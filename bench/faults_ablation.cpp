@@ -1,0 +1,132 @@
+// Stream-fault ablation (§3.2 Streaming Properties): the paper argues that
+// "altered event orders or the loss of events may produce inconsistent
+// graph topologies, as operations might fail due to violated preconditions
+// caused by lost preceding events" — and that the framework should
+// therefore replay reliable ordered streams and inject faults a priori.
+//
+// This bench quantifies the argument: a valid Table 3 stream is degraded
+// with increasing drop / duplicate / reorder rates, and for each level we
+// measure (i) precondition violations a consumer observes and (ii) the
+// divergence of the resulting graph from the fault-free one.
+#include <cstdio>
+
+#include "faults/fault_injector.h"
+#include "generator/models/event_mix_model.h"
+#include "generator/stream_generator.h"
+#include "graph/graph.h"
+#include "harness/report.h"
+#include "stream/validator.h"
+
+using namespace graphtides;
+
+namespace {
+
+struct Divergence {
+  size_t violations = 0;
+  size_t vertex_diff = 0;
+  size_t edge_diff = 0;
+};
+
+Divergence Evaluate(const std::vector<Event>& clean,
+                    const std::vector<Event>& faulty) {
+  Divergence out;
+  Graph clean_graph;
+  for (const Event& e : clean) (void)clean_graph.Apply(e);
+  Graph faulty_graph;
+  for (const Event& e : faulty) {
+    if (!faulty_graph.Apply(e).ok()) ++out.violations;
+  }
+  // Symmetric difference of vertex sets and edge sets.
+  clean_graph.ForEachVertex([&](VertexId v, const std::string&) {
+    if (!faulty_graph.HasVertex(v)) ++out.vertex_diff;
+  });
+  faulty_graph.ForEachVertex([&](VertexId v, const std::string&) {
+    if (!clean_graph.HasVertex(v)) ++out.vertex_diff;
+  });
+  clean_graph.ForEachEdge([&](VertexId s, VertexId d, const std::string&) {
+    if (!faulty_graph.HasEdge(s, d)) ++out.edge_diff;
+  });
+  faulty_graph.ForEachEdge([&](VertexId s, VertexId d, const std::string&) {
+    if (!clean_graph.HasEdge(s, d)) ++out.edge_diff;
+  });
+  return out;
+}
+
+}  // namespace
+
+int main() {
+  std::printf("%s", SectionHeader(
+      "Fault-injection ablation — weakened stream guarantees vs graph "
+      "consistency").c_str());
+
+  EventMixModelOptions model_options;
+  model_options.ba = {2000, 50, 10};
+  EventMixModel model(model_options);
+  StreamGeneratorOptions gen;
+  gen.rounds = 50000;
+  gen.seed = 17;
+  gen.emit_phase_markers = false;
+  auto generated = StreamGenerator(&model, gen).Generate();
+  if (!generated.ok()) {
+    std::fprintf(stderr, "generation failed: %s\n",
+                 generated.status().ToString().c_str());
+    return 1;
+  }
+  const std::vector<Event>& clean = generated->events;
+  std::printf("base stream: %zu events (valid: %s)\n\n", clean.size(),
+              ValidateStream(clean).valid() ? "yes" : "NO");
+
+  TextTable table({"fault", "level", "events out", "violations",
+                   "violation rate", "vertex diff", "edge diff"});
+  auto run = [&](const char* kind, double level, const FaultOptions& opts) {
+    FaultReport report;
+    const std::vector<Event> faulty = InjectFaults(clean, opts, &report);
+    const Divergence div = Evaluate(clean, faulty);
+    table.AddRow({kind, TextTable::FormatDouble(level, 3),
+                  std::to_string(faulty.size()),
+                  std::to_string(div.violations),
+                  TextTable::FormatDouble(
+                      100.0 * static_cast<double>(div.violations) /
+                          static_cast<double>(faulty.size()),
+                      2) + "%",
+                  std::to_string(div.vertex_diff),
+                  std::to_string(div.edge_diff)});
+  };
+
+  for (double p : {0.001, 0.01, 0.05, 0.2}) {
+    FaultOptions opts;
+    opts.seed = 23;
+    opts.drop_probability = p;
+    run("drop", p, opts);
+  }
+  for (double p : {0.001, 0.01, 0.05, 0.2}) {
+    FaultOptions opts;
+    opts.seed = 23;
+    opts.duplicate_probability = p;
+    run("duplicate", p, opts);
+  }
+  for (double p : {0.001, 0.01, 0.05, 0.2}) {
+    FaultOptions opts;
+    opts.seed = 23;
+    opts.reorder_probability = p;
+    opts.reorder_window = 16;
+    run("reorder(w=16)", p, opts);
+  }
+  {
+    FaultOptions opts;
+    opts.seed = 23;
+    opts.drop_probability = 0.02;
+    opts.duplicate_probability = 0.02;
+    opts.reorder_probability = 0.05;
+    opts.reorder_window = 16;
+    run("combined", 0.02, opts);
+  }
+
+  std::printf("%s", table.ToString().c_str());
+  std::printf(
+      "\nReading: even sub-percent loss rates produce lasting topology\n"
+      "divergence (dropped CREATEs invalidate later operations), which is\n"
+      "why the framework replays with exactly-once semantics and injects\n"
+      "faults deterministically a priori instead (\xc2\xa7""3.2).\n");
+  return 0;
+}

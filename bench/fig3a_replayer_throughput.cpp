@@ -1,0 +1,162 @@
+// Figure 3a reproduction: throughput of the Graph Stream Replayer for given
+// target rates, pipe vs TCP transport.
+//
+// Paper setup (Table 2): a single machine; the replayer streams a generated
+// social-network workload either over a pipe (STDOUT -> STDIN of a
+// measurement process) or a local TCP socket. For each target rate the
+// paper reports the median achieved throughput with a band from the 5th
+// percentile to the maximum.
+//
+// Here the pipe transport writes CSV lines through a FILE* pipe buffer to
+// /dev/null-equivalent (a counting consumer), and the TCP transport streams
+// over a loopback socket to an in-process line server — both measure the
+// same code paths (serialization + transport write + pacing).
+#include <cstdio>
+
+#include "common/stats.h"
+#include "generator/models/social_network_model.h"
+#include "generator/stream_generator.h"
+#include "harness/report.h"
+#include "replayer/replayer.h"
+#include "replayer/tcp.h"
+
+using namespace graphtides;
+
+namespace {
+
+std::vector<Event> MakeWorkload(size_t rounds) {
+  SocialNetworkModel model;
+  StreamGeneratorOptions options;
+  options.rounds = rounds;
+  options.seed = 3;
+  options.emit_phase_markers = false;
+  auto stream = StreamGenerator(&model, options).Generate();
+  if (!stream.ok()) {
+    std::fprintf(stderr, "generation failed: %s\n",
+                 stream.status().ToString().c_str());
+    std::exit(1);
+  }
+  // Strip controls so the replay rate is exactly the configured target.
+  std::vector<Event> events;
+  for (Event& e : stream->events) {
+    if (IsGraphOp(e.type)) events.push_back(std::move(e));
+  }
+  return events;
+}
+
+struct RateObservation {
+  double median = 0.0;
+  double p05 = 0.0;
+  double max = 0.0;
+  double lag_p50_us = 0.0;
+  double lag_p99_us = 0.0;
+  double lag_max_us = 0.0;
+};
+
+/// Achieved-rate distribution over 100 ms bins across `repetitions` runs.
+RateObservation Measure(const std::vector<Event>& events, double target_rate,
+                        bool tcp, int repetitions) {
+  std::vector<double> bin_rates;
+  std::vector<double> lags;
+  for (int rep = 0; rep < repetitions; ++rep) {
+    ReplayerOptions options;
+    options.base_rate_eps = target_rate;
+    options.stats_bin = Duration::FromMillis(100);
+    StreamReplayer replayer(options);
+
+    Result<ReplayStats> stats = Status::Internal("unset");
+    if (tcp) {
+      TcpLineServer server;
+      auto port = server.Start(nullptr);
+      if (!port.ok()) {
+        std::fprintf(stderr, "server start failed\n");
+        std::exit(1);
+      }
+      TcpSink sink;
+      if (!sink.Connect("127.0.0.1", *port).ok()) {
+        std::fprintf(stderr, "connect failed\n");
+        std::exit(1);
+      }
+      stats = replayer.Replay(events, &sink);
+      server.Join();
+    } else {
+      std::FILE* devnull = std::fopen("/dev/null", "w");
+      PipeSink sink(devnull);
+      stats = replayer.Replay(events, &sink);
+      std::fclose(devnull);
+    }
+    if (!stats.ok()) {
+      std::fprintf(stderr, "replay failed: %s\n",
+                   stats.status().ToString().c_str());
+      std::exit(1);
+    }
+    // Drop the first and last bin (ramp-up / partial bin).
+    const auto& series = stats->rate_series;
+    for (size_t i = 1; i + 1 < series.size(); ++i) {
+      bin_rates.push_back(static_cast<double>(series[i].events) /
+                          options.stats_bin.seconds());
+    }
+    lags.insert(lags.end(), stats->lag_us.begin(), stats->lag_us.end());
+  }
+  RateObservation obs;
+  std::sort(bin_rates.begin(), bin_rates.end());
+  obs.median = PercentileSorted(bin_rates, 0.5);
+  obs.p05 = PercentileSorted(bin_rates, 0.05);
+  obs.max = bin_rates.empty() ? 0.0 : bin_rates.back();
+  std::sort(lags.begin(), lags.end());
+  obs.lag_p50_us = PercentileSorted(lags, 0.5);
+  obs.lag_p99_us = PercentileSorted(lags, 0.99);
+  obs.lag_max_us = lags.empty() ? 0.0 : lags.back();
+  return obs;
+}
+
+}  // namespace
+
+int main() {
+  std::printf("%s", SectionHeader(
+      "Fig. 3a — Graph Stream Replayer throughput (pipe vs TCP)").c_str());
+  std::printf("%s", ConfigBlock({
+      {"Setup", "single process (replayer thread pair per run)"},
+      {"Workload", "generated social network workload, graph ops only"},
+      {"Pipe", "CSV lines through a stdio pipe buffer"},
+      {"TCP", "CSV lines over a loopback socket to a line server"},
+      {"Measurement", "achieved rate per 100 ms bin; median / 5th pct / max"},
+  }).c_str());
+
+  const std::vector<double> targets = {10000, 20000, 40000, 80000,
+                                       160000, 320000};
+  const int repetitions = 3;
+
+  // Workload sized for ~0.5 s per run at the highest rate and reused
+  // (truncated) for lower rates, keeping total bench time small.
+  const std::vector<Event> full = MakeWorkload(170000);
+
+  TextTable table({"transport", "target [ev/s]", "median [ev/s]",
+                   "p05 [ev/s]", "max [ev/s]", "lag p50 [us]",
+                   "lag p99 [us]", "lag max [us]"});
+  for (const bool tcp : {false, true}) {
+    for (double target : targets) {
+      const size_t count = std::min<size_t>(
+          full.size(), static_cast<size_t>(target * 0.5));  // ~0.5 s
+      const std::vector<Event> slice(full.begin(),
+                                     full.begin() + static_cast<long>(count));
+      const RateObservation obs =
+          Measure(slice, target, tcp, repetitions);
+      table.AddRow({tcp ? "tcp" : "pipe",
+                    TextTable::FormatDouble(target, 0),
+                    TextTable::FormatDouble(obs.median, 0),
+                    TextTable::FormatDouble(obs.p05, 0),
+                    TextTable::FormatDouble(obs.max, 0),
+                    TextTable::FormatDouble(obs.lag_p50_us, 1),
+                    TextTable::FormatDouble(obs.lag_p99_us, 1),
+                    TextTable::FormatDouble(obs.lag_max_us, 0)});
+    }
+  }
+  std::printf("%s", table.ToString().c_str());
+  std::printf(
+      "\nExpected shape (paper): the achieved median sticks to the target\n"
+      "rate across the sweep for both transports, while the measured range\n"
+      "— here the per-event emission-lag distribution — widens noticeably\n"
+      "at the highest rates.\n");
+  return 0;
+}

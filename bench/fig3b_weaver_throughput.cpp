@@ -1,0 +1,114 @@
+// Figure 3b reproduction: events processed in the (simulated) Weaver store
+// under different streaming rates and transaction batchings.
+//
+// Paper setup (Table 3): BA bootstrap n = 10000, m0 = 250, M = 50; event
+// mix 10% CREATE_VERTEX / 5% REMOVE_VERTEX / 35% UPDATE_VERTEX /
+// 35% CREATE_EDGE / 15% REMOVE_EDGE; Zipf-biased selections. Streaming
+// rates 10^2, 10^3, 10^4 events/s, batched as 1 event/tx and 10 events/tx.
+//
+// Finding to reproduce: "Independent of the actual streaming rates, Weaver
+// appeared to have an upper bound for throughput" — the store keeps pace
+// with low rates but backthrottles fast ones; batching raises the ceiling
+// because the timestamper's fixed per-transaction cost amortizes.
+#include <cstdio>
+
+#include "generator/models/event_mix_model.h"
+#include "generator/stream_generator.h"
+#include "harness/report.h"
+#include "sut/weaverlite/experiment.h"
+
+using namespace graphtides;
+
+namespace {
+
+// Observation window (the paper plots 500 s; 60 s shows the same plateau).
+constexpr double kWindowSeconds = 60.0;
+
+std::vector<Event> MakeTable3Stream(size_t evolution_events, uint64_t seed) {
+  EventMixModelOptions options;  // defaults are the Table 3 mix and biases
+  options.ba = {10000, 250, 50};
+  EventMixModel model(options);
+  StreamGeneratorOptions gen;
+  gen.rounds = evolution_events;
+  gen.seed = seed;
+  gen.emit_phase_markers = false;
+  auto stream = StreamGenerator(&model, gen).Generate();
+  if (!stream.ok()) {
+    std::fprintf(stderr, "generation failed: %s\n",
+                 stream.status().ToString().c_str());
+    std::exit(1);
+  }
+  return std::move(stream).value().events;
+}
+
+}  // namespace
+
+int main() {
+  std::printf("%s", SectionHeader(
+      "Fig. 3b — events processed in weaverlite at different streaming "
+      "rates / batchings").c_str());
+  std::printf("%s", ConfigBlock({
+      {"Bootstrap graph", "BarabasiAlbert(n=10000, m0=250, M=50)"},
+      {"Event mix", "cv 10% / rv 5% / uv 35% / ce 35% / re 15% / ue 0%"},
+      {"Vertex selection", "removals Zipf toward low degree; updates uniform"},
+      {"Edge selection", "source uniform; target Zipf toward high degree"},
+      {"Rates x batching", "{100, 1000, 10000} ev/s x {1, 10} ev/tx"},
+      {"Window", TextTable::FormatDouble(kWindowSeconds, 0) + " virtual s"},
+  }).c_str());
+
+  // One stream sized for the largest configuration, truncated per rate.
+  const std::vector<Event> full = MakeTable3Stream(
+      static_cast<size_t>(10000 * kWindowSeconds), 42);
+
+  TextTable summary({"rate [ev/s]", "ev/tx", "offered", "applied",
+                     "applied rate [ev/s]", "kept pace"});
+  for (const size_t batch : {size_t{1}, size_t{10}}) {
+    for (const double rate : {100.0, 1000.0, 10000.0}) {
+      const size_t want =
+          static_cast<size_t>(rate * kWindowSeconds);
+      std::vector<Event> slice;
+      size_t graph_ops = 0;
+      for (const Event& e : full) {
+        slice.push_back(e);
+        if (IsGraphOp(e.type) && ++graph_ops >= want) break;
+      }
+
+      WeaverExperimentConfig config;
+      config.target_rate_eps = rate;
+      config.events_per_tx = batch;
+      config.max_duration = Duration::FromSeconds(kWindowSeconds);
+      auto result = RunWeaverExperiment(slice, config);
+      if (!result.ok()) {
+        std::fprintf(stderr, "run failed: %s\n",
+                     result.status().ToString().c_str());
+        return 1;
+      }
+
+      const bool kept_pace =
+          result->AppliedRateEps() > 0.9 * rate;
+      summary.AddRow({TextTable::FormatDouble(rate, 0),
+                      std::to_string(batch),
+                      std::to_string(result->events_offered),
+                      std::to_string(result->events_applied),
+                      TextTable::FormatDouble(result->AppliedRateEps(), 1),
+                      kept_pace ? "yes" : "no (backthrottled)"});
+
+      // The Fig. 3b series: events processed per second over time.
+      std::printf("\nseries rate=%g ev/s batch=%zu [events applied per "
+                  "second]:\n  ",
+                  rate, batch);
+      const auto& series = result->processed_per_interval;
+      for (size_t i = 0; i < series.size(); ++i) {
+        std::printf("%g%s", series[i], i + 1 < series.size() ? " " : "\n");
+      }
+    }
+  }
+  std::printf("\n%s", summary.ToString().c_str());
+  std::printf(
+      "\nExpected shape (paper): at 100 ev/s the store keeps pace; at\n"
+      "10^4 ev/s throughput saturates at a rate-independent ceiling\n"
+      "(~1.1k ev/s at 1 ev/tx, ~8.7k ev/s at 10 ev/tx here): the\n"
+      "timestamper's per-transaction cost bounds the write path, and\n"
+      "batching shifts the bound.\n");
+  return 0;
+}

@@ -1,0 +1,88 @@
+// Figure 3c reproduction: CPU usage of the Weaver processes while streaming
+// 10,000 events/s batched as 10 events per transaction.
+//
+// Finding to reproduce: "a relatively high utilization of the timestamper
+// process of Weaver" — the ordering service saturates while the shard
+// (storage) processes stay well below it. The paper flags this as an entry
+// point for optimizing Weaver.
+#include <cstdio>
+
+#include "generator/models/event_mix_model.h"
+#include "generator/stream_generator.h"
+#include "harness/report.h"
+#include "sut/weaverlite/experiment.h"
+
+using namespace graphtides;
+
+int main() {
+  std::printf("%s", SectionHeader(
+      "Fig. 3c — CPU usage of weaverlite processes @ 10k ev/s, "
+      "10 events/tx").c_str());
+
+  constexpr double kWindowSeconds = 60.0;
+  EventMixModelOptions model_options;  // Table 3 defaults
+  model_options.ba = {10000, 250, 50};
+  EventMixModel model(model_options);
+  StreamGeneratorOptions gen;
+  gen.rounds = static_cast<size_t>(10000 * kWindowSeconds);
+  gen.seed = 42;
+  gen.emit_phase_markers = false;
+  auto stream = StreamGenerator(&model, gen).Generate();
+  if (!stream.ok()) {
+    std::fprintf(stderr, "generation failed: %s\n",
+                 stream.status().ToString().c_str());
+    return 1;
+  }
+
+  WeaverExperimentConfig config;
+  config.target_rate_eps = 10000.0;
+  config.events_per_tx = 10;
+  config.max_duration = Duration::FromSeconds(kWindowSeconds);
+  auto result = RunWeaverExperiment(stream->events, config);
+  if (!result.ok()) {
+    std::fprintf(stderr, "run failed: %s\n",
+                 result.status().ToString().c_str());
+    return 1;
+  }
+
+  std::printf("%s", ConfigBlock({
+      {"Workload", "Table 3 event mix over BA(10000, 250, 50) bootstrap"},
+      {"Streaming rate", "10000 ev/s, 10 events per transaction"},
+      {"Applied rate",
+       TextTable::FormatDouble(result->AppliedRateEps(), 1) + " ev/s"},
+      {"Shards", std::to_string(result->shard_utilization.size())},
+  }).c_str());
+
+  std::printf("\ncpu utilization [%%] per second of virtual time:\n");
+  std::printf("%-22s", "weaver-timestamper:");
+  for (double u : result->timestamper_utilization) {
+    std::printf(" %3.0f", u * 100.0);
+  }
+  std::printf("\n");
+  for (size_t s = 0; s < result->shard_utilization.size(); ++s) {
+    std::printf("%-22s",
+                ("weaver-shard-" + std::to_string(s) + ":").c_str());
+    for (double u : result->shard_utilization[s]) {
+      std::printf(" %3.0f", u * 100.0);
+    }
+    std::printf("\n");
+  }
+
+  // Aggregate comparison.
+  auto mean_of = [](const std::vector<double>& v) {
+    if (v.size() <= 2) return 0.0;
+    double sum = 0.0;
+    for (size_t i = 1; i + 1 < v.size(); ++i) sum += v[i];
+    return sum / static_cast<double>(v.size() - 2);
+  };
+  const double ts_mean = mean_of(result->timestamper_utilization);
+  double shard_mean = 0.0;
+  for (const auto& s : result->shard_utilization) shard_mean += mean_of(s);
+  shard_mean /= static_cast<double>(result->shard_utilization.size());
+  std::printf("\nmean steady-state cpu: timestamper %.0f%%, shards %.0f%%\n",
+              ts_mean * 100.0, shard_mean * 100.0);
+  std::printf(
+      "\nExpected shape (paper): the timestamper consumes far more cycles\n"
+      "than the shard processes — it is the write-path bottleneck.\n");
+  return 0;
+}

@@ -1,0 +1,208 @@
+// Figure 3d reproduction: stacked time series of a chronolite (Chronograph
+// stand-in) experiment run with a social network workload.
+//
+// Paper setup (Table 4): four workers; converted LDBC SNB workload (persons
+// and connections only), 190,518 events; online influence rank; base
+// streaming rate 2000 events/s with a 20 s pause after 100,000 events and
+// a doubled rate between events 100,001 and 150,000.
+//
+// Findings to reproduce: worker queues saturate toward the end of the
+// stream; the system stays busy long after the stream stopped, working off
+// the backlog of internal messages; the online rank is inaccurate with
+// high delays while evolution and computation compete for the workers'
+// communication resources.
+#include <algorithm>
+#include <cstdio>
+
+#include "analysis/ascii_chart.h"
+#include "generator/models/social_network_model.h"
+#include "generator/stream_generator.h"
+#include "harness/report.h"
+#include "sut/chronolite/experiment.h"
+
+using namespace graphtides;
+
+int main() {
+  std::printf("%s", SectionHeader(
+      "Fig. 3d — chronolite stacked time series (social network "
+      "workload)").c_str());
+
+  // --- Workload: SNB-like social stream, 190,518 events (Table 4) --------
+  SocialNetworkModel model;
+  StreamGeneratorOptions gen;
+  gen.seed = 4;
+  gen.emit_phase_markers = false;
+  // Rounds tuned so bootstrap + evolution = 190,518 total graph events:
+  // bootstrap emits seed_users + edges; generate a bit more and trim.
+  gen.rounds = 190518;
+  auto generated = StreamGenerator(&model, gen).Generate();
+  if (!generated.ok()) {
+    std::fprintf(stderr, "generation failed: %s\n",
+                 generated.status().ToString().c_str());
+    return 1;
+  }
+  std::vector<Event> stream;
+  size_t graph_ops = 0;
+  for (Event& e : generated->events) {
+    if (!IsGraphOp(e.type)) continue;
+    if (graph_ops >= 190518) break;
+    stream.push_back(std::move(e));
+    ++graph_ops;
+  }
+  // Table 4 control schedule: pause 20 s after event 100,000; doubled rate
+  // for events 100,001..150,000. Watermark markers every 10,000 events
+  // (the §4.5 pattern used to measure ingestion-to-visibility latency).
+  std::vector<ScheduleEntry> schedule;
+  for (size_t at = 10000; at < 190518; at += 10000) {
+    schedule.push_back({at, Event::Marker("WM_" + std::to_string(at))});
+  }
+  schedule.push_back({100000, Event::Pause(Duration::FromSeconds(20.0))});
+  schedule.push_back({100000, Event::SetRate(2.0)});
+  schedule.push_back({150000, Event::SetRate(1.0)});
+  std::stable_sort(schedule.begin(), schedule.end(),
+                   [](const ScheduleEntry& a, const ScheduleEntry& b) {
+                     return a.after_graph_events < b.after_graph_events;
+                   });
+  stream = ApplyControlSchedule(std::move(stream), std::move(schedule));
+
+  ChronographExperimentConfig config;
+  config.base_rate_eps = 2000.0;
+  config.sample_interval = Duration::FromSeconds(1.0);
+  config.error_interval = Duration::FromSeconds(10.0);
+  config.track_top_k = 10;
+  config.max_duration = Duration::FromSeconds(300.0);
+  // Worker cost model tuned so the doubled-rate segment oversubscribes the
+  // workers (the paper's run saturated about half the worker queues).
+  config.engine.num_workers = 4;
+  config.engine.update_cost = Duration::FromMicros(400);
+  config.engine.residual_cost = Duration::FromMicros(60);
+  config.engine.residual_entry_cost = Duration::FromMicros(12);
+  config.engine.push_cost = Duration::FromMicros(30);
+  config.engine.rank.push_threshold = 0.02;
+
+  std::printf("%s", ConfigBlock({
+      {"Machines", "4 simulated workers + broker (one link per pair)"},
+      {"Workload", "social-network stream, " +
+                       std::to_string(graph_ops) + " events"},
+      {"Computation", "online influence rank (residual-push PageRank)"},
+      {"Stream", "2000 ev/s base; pause 20 s after 100k events; 2x rate "
+                 "for events 100k..150k"},
+      {"Plot window", "300 virtual seconds"},
+  }).c_str());
+
+  auto result = RunChronographExperiment(stream, config);
+  if (!result.ok()) {
+    std::fprintf(stderr, "run failed: %s\n",
+                 result.status().ToString().c_str());
+    return 1;
+  }
+
+  // --- Stacked series, one row per 2 s ------------------------------------
+  std::printf("\n%-6s %-10s %-10s %-7s %-32s %-s\n", "t[s]",
+              "replay", "ops/s", "cpu%", "queue length w1..w4",
+              "rank err");
+  const size_t samples = result->replay_rate.size();
+  auto error_at = [&](double t) {
+    double err = -1.0;
+    for (const RankErrorSample& s : result->rank_error) {
+      if (s.time.seconds() <= t) err = s.median_relative_error;
+    }
+    return err;
+  };
+  for (size_t i = 0; i < samples; i += 2) {
+    double ops = 0.0;
+    double cpu = 0.0;
+    char queues[128];
+    size_t off = 0;
+    for (size_t w = 0; w < result->worker_ops_rate.size(); ++w) {
+      if (i < result->worker_ops_rate[w].size()) {
+        ops += result->worker_ops_rate[w][i];
+      }
+      if (w < result->worker_cpu.size() &&
+          i < result->worker_cpu[w].size()) {
+        cpu += result->worker_cpu[w][i] * 100.0;
+      }
+      const double q = i < result->worker_queue_length[w].size()
+                           ? result->worker_queue_length[w][i]
+                           : 0.0;
+      off += std::snprintf(queues + off, sizeof(queues) - off, "%-8.0f", q);
+    }
+    const double err = error_at(static_cast<double>(i));
+    std::printf("%-6zu %-10.0f %-10.0f %-7.0f %-32s %s\n", i,
+                result->replay_rate[i], ops, cpu, queues,
+                err < 0 ? "-" : TextTable::FormatDouble(err, 3).c_str());
+  }
+
+  // --- Summary -------------------------------------------------------------
+  double peak_queue = 0.0;
+  for (const auto& series : result->worker_queue_length) {
+    for (double q : series) peak_queue = std::max(peak_queue, q);
+  }
+  std::printf("\nstream finished at t=%.1f s; system drained at t=%.1f s "
+              "(%.1f s of post-stream computation)\n",
+              result->stream_finished_at.seconds(),
+              result->drained_at.seconds(),
+              (result->drained_at - result->stream_finished_at).seconds());
+  std::printf("events ingested: %llu; residual batch messages: %llu "
+              "(%llu deltas); peak worker queue length: %.0f\n",
+              static_cast<unsigned long long>(result->events_ingested),
+              static_cast<unsigned long long>(result->residual_messages),
+              static_cast<unsigned long long>(result->residual_deltas),
+              peak_queue);
+  if (!result->rank_error.empty()) {
+    double worst = 0.0;
+    for (const RankErrorSample& s : result->rank_error) {
+      worst = std::max(worst, s.median_relative_error);
+    }
+    std::printf("median relative rank error: worst %.3f, final %.3f\n",
+                worst, result->rank_error.back().median_relative_error);
+  }
+
+  // --- Watermark latency (§4.5) --------------------------------------------
+  if (!result->marker_latency.empty()) {
+    std::printf("\nwatermark (marker) ingestion-to-visibility latency:\n");
+    for (const MarkerLatencySample& m : result->marker_latency) {
+      std::printf("  %-10s sent t=%6.1fs  visible after %7.2f s\n",
+                  m.label.c_str(), m.sent.seconds(), m.latency.seconds());
+    }
+  }
+
+  // --- Sparkline rendition of the stacked figure ----------------------------
+  std::vector<ChartSeries> chart;
+  chart.push_back({"replay rate", result->replay_rate});
+  std::vector<double> total_ops;
+  std::vector<double> total_cpu;
+  const size_t n_samples = result->replay_rate.size();
+  for (size_t i = 0; i < n_samples; ++i) {
+    double ops = 0.0;
+    double cpu = 0.0;
+    for (size_t w = 0; w < result->worker_ops_rate.size(); ++w) {
+      if (i < result->worker_ops_rate[w].size()) {
+        ops += result->worker_ops_rate[w][i];
+      }
+      if (w < result->worker_cpu.size() && i < result->worker_cpu[w].size()) {
+        cpu += result->worker_cpu[w][i] * 100.0;
+      }
+    }
+    total_ops.push_back(ops);
+    total_cpu.push_back(cpu);
+  }
+  chart.push_back({"internal ops", total_ops});
+  chart.push_back({"cpu [%]", total_cpu});
+  for (size_t w = 0; w < result->worker_queue_length.size(); ++w) {
+    chart.push_back({"queue w" + std::to_string(w + 1),
+                     result->worker_queue_length[w]});
+  }
+  std::vector<double> error_series;
+  for (const RankErrorSample& e : result->rank_error) {
+    error_series.push_back(e.median_relative_error);
+  }
+  chart.push_back({"rank error", error_series});
+  std::printf("\n%s", RenderStackedChart(chart, 100).c_str());
+  std::printf(
+      "\nExpected shape (paper): queues fill during the doubled-rate\n"
+      "segment and stay saturated at stream end; internal ops continue\n"
+      "long after the replay stops while the backlog drains; rank errors\n"
+      "stay high under load and recover only once the system catches up.\n");
+  return 0;
+}

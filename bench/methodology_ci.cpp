@@ -1,0 +1,123 @@
+// Methodology demonstration (§4.5): "at least n >= 30 test runs for each
+// configuration due to the central limit theory. Results can then be
+// compared using confidence intervals of the aggregated metrics (often
+// CI95). Non-overlapping confidence intervals of the results from two
+// different systems are indeed significantly different."
+//
+// This bench runs the full factorial {streaming rate} x {events/tx} against
+// weaverlite with n = 30 seeded repetitions per cell, prints per-cell CI95,
+// and performs the paper's disjoint-interval significance test on the
+// batching comparison.
+#include <cstdio>
+
+#include "generator/models/event_mix_model.h"
+#include "generator/stream_generator.h"
+#include "harness/experiment.h"
+#include "harness/report.h"
+#include "sut/weaverlite/experiment.h"
+
+using namespace graphtides;
+
+namespace {
+
+std::vector<Event> MakeStream(size_t rounds, uint64_t seed) {
+  EventMixModelOptions options;
+  options.ba = {500, 20, 5};
+  EventMixModel model(options);
+  StreamGeneratorOptions gen;
+  gen.rounds = rounds;
+  gen.seed = seed;
+  gen.emit_phase_markers = false;
+  auto stream = StreamGenerator(&model, gen).Generate();
+  if (!stream.ok()) {
+    std::fprintf(stderr, "generation failed: %s\n",
+                 stream.status().ToString().c_str());
+    std::exit(1);
+  }
+  return std::move(stream).value().events;
+}
+
+}  // namespace
+
+int main() {
+  std::printf("%s", SectionHeader(
+      "Methodology (\xc2\xa7""4.5) — full factorial, n = 30 runs, CI95 "
+      "comparison").c_str());
+
+  ExperimentOptions options;
+  options.repetitions = 30;
+  options.confidence_level = 0.95;
+  options.base_seed = 1000;
+  ExperimentRunner runner(
+      {{"rate", {2000.0, 10000.0}}, {"events_per_tx", {1.0, 10.0}}},
+      options);
+
+  auto results = runner.Run(
+      [](const ExperimentConfig& config, uint64_t seed) -> Result<RunOutcome> {
+        WeaverExperimentConfig weaver;
+        weaver.target_rate_eps = config.at("rate");
+        weaver.events_per_tx =
+            static_cast<size_t>(config.at("events_per_tx"));
+        weaver.max_duration = Duration::FromSeconds(8.0);
+        // The workload (and therefore the exact event sequence) varies per
+        // seed, as the paper's repeated-runs methodology intends.
+        GT_ASSIGN_OR_RETURN(
+            const WeaverExperimentResult run,
+            RunWeaverExperiment(MakeStream(12000, seed), weaver));
+        return RunOutcome{{"applied_rate_eps", run.AppliedRateEps()}};
+      });
+  if (!results.ok()) {
+    std::fprintf(stderr, "experiment failed: %s\n",
+                 results.status().ToString().c_str());
+    return 1;
+  }
+
+  TextTable table({"rate [ev/s]", "ev/tx", "n", "mean [ev/s]", "stddev",
+                   "CI95 low", "CI95 high"});
+  for (const ConfigResult& r : *results) {
+    const MetricAggregate& agg = r.metrics.at("applied_rate_eps");
+    table.AddRow({TextTable::FormatDouble(r.config.at("rate"), 0),
+                  TextTable::FormatDouble(r.config.at("events_per_tx"), 0),
+                  std::to_string(agg.samples.size()),
+                  TextTable::FormatDouble(agg.ci.mean, 1),
+                  TextTable::FormatDouble(agg.stats.stddev(), 2),
+                  TextTable::FormatDouble(agg.ci.lower, 1),
+                  TextTable::FormatDouble(agg.ci.upper, 1)});
+  }
+  std::printf("%s", table.ToString().c_str());
+
+  // Significance tests on pairs of configurations.
+  auto find = [&](double rate, double batch) -> const MetricAggregate& {
+    for (const ConfigResult& r : *results) {
+      if (r.config.at("rate") == rate &&
+          r.config.at("events_per_tx") == batch) {
+        return r.metrics.at("applied_rate_eps");
+      }
+    }
+    std::fprintf(stderr, "missing config\n");
+    std::exit(1);
+  };
+
+  std::printf("\nsignificance (disjoint CI95 intervals):\n");
+  struct Pair {
+    const char* label;
+    double rate_a, batch_a, rate_b, batch_b;
+  };
+  const Pair pairs[] = {
+      {"10k ev/s: 1 ev/tx vs 10 ev/tx", 10000, 1, 10000, 10},
+      {"2k ev/s: 1 ev/tx vs 10 ev/tx", 2000, 1, 2000, 10},
+      {"10 ev/tx: 2k ev/s vs 10k ev/s", 2000, 10, 10000, 10},
+  };
+  for (const Pair& p : pairs) {
+    const Comparison cmp = CompareByConfidenceIntervals(
+        find(p.rate_a, p.batch_a).samples, find(p.rate_b, p.batch_b).samples);
+    std::printf("  %-34s mean diff %9.1f ev/s -> %s\n", p.label,
+                cmp.mean_difference,
+                cmp.significant ? "significant" : "not significant");
+  }
+  std::printf(
+      "\nReading: batching is significant at the saturating rate (the\n"
+      "timestamper bound moves) and at 2k ev/s vs 10k ev/s with batching\n"
+      "the system keeps pace in one case and saturates in the other.\n");
+  return 0;
+}

@@ -1,0 +1,121 @@
+// Replayer-instance scaling (§3.2 Concurrency & Parallelism, §4.1): "a
+// stream is only allowed to have a single event source ... In order to
+// enable parallelism and horizontal scaling of input workload, we opt for
+// concurrent streaming of disjunct streams by different event sources;
+// multiple independent graphs are provided and changed concurrently."
+//
+// This bench drives chronolite with N concurrent virtual replayers, each
+// owning a disjoint social graph (disjoint vertex-id ranges), and reports
+// the aggregate sustained ingest rate and the engine's saturation behavior
+// as the offered load scales with N.
+#include <cstdio>
+#include <memory>
+
+#include "generator/models/social_network_model.h"
+#include "generator/stream_generator.h"
+#include "harness/report.h"
+#include "sim/virtual_replayer.h"
+#include "sut/chronolite/chronolite.h"
+
+using namespace graphtides;
+
+namespace {
+
+/// A social stream whose vertex ids live in [offset, offset + range).
+std::vector<Event> DisjointSocialStream(size_t rounds, uint64_t seed,
+                                        VertexId offset) {
+  SocialNetworkModel model;
+  StreamGeneratorOptions gen;
+  gen.rounds = rounds;
+  gen.seed = seed;
+  gen.emit_phase_markers = false;
+  auto stream = StreamGenerator(&model, gen).Generate();
+  if (!stream.ok()) {
+    std::fprintf(stderr, "generation failed: %s\n",
+                 stream.status().ToString().c_str());
+    std::exit(1);
+  }
+  std::vector<Event> events = std::move(stream).value().events;
+  for (Event& e : events) {
+    if (IsVertexOp(e.type)) {
+      e.vertex += offset;
+    } else if (IsEdgeOp(e.type)) {
+      e.edge.src += offset;
+      e.edge.dst += offset;
+    }
+  }
+  return events;
+}
+
+}  // namespace
+
+int main() {
+  std::printf("%s", SectionHeader(
+      "Scaling — concurrent replayer instances with disjunct streams "
+      "(\xc2\xa7""3.2)").c_str());
+  std::printf("%s", ConfigBlock({
+      {"Engine", "chronolite, 4 workers"},
+      {"Per-replayer stream", "social network, 20000 events @ 2000 ev/s"},
+      {"Isolation", "disjoint vertex-id ranges (independent graphs)"},
+  }).c_str());
+
+  TextTable table({"replayers", "offered [ev/s]", "events", "ingest done [s]",
+                   "drained [s]", "peak queue", "updates applied"});
+  for (size_t n : {size_t{1}, size_t{2}, size_t{4}, size_t{8}}) {
+    Simulator sim;
+    ChronoLiteOptions engine_options;
+    engine_options.rank.push_threshold = 0.02;
+    ChronoLite engine(&sim, engine_options);
+
+    std::vector<std::unique_ptr<VirtualReplayer>> replayers;
+    size_t finished = 0;
+    Timestamp last_finish;
+    for (size_t i = 0; i < n; ++i) {
+      VirtualReplayerOptions options;
+      options.base_rate_eps = 2000.0;
+      auto replayer = std::make_unique<VirtualReplayer>(&sim, options);
+      replayer->Start(
+          DisjointSocialStream(20000, 100 + i, i * 10'000'000ULL),
+          [&engine](const Event& e, size_t) { engine.Ingest(e); }, nullptr,
+          [&finished, &last_finish, &sim] {
+            ++finished;
+            last_finish = sim.Now();
+          });
+      replayers.push_back(std::move(replayer));
+    }
+
+    // Sample peak queue while running; record the drain instant.
+    double peak_queue = 0.0;
+    double drained_at_s = -1.0;
+    std::function<void()> sample = [&] {
+      for (size_t w = 0; w < engine.num_workers(); ++w) {
+        peak_queue = std::max(
+            peak_queue, static_cast<double>(engine.WorkerQueueLength(w)));
+      }
+      if (finished == n && engine.Idle() && sim.pending() == 0) {
+        drained_at_s = sim.Now().seconds();
+        return;
+      }
+      if (sim.Now() > Timestamp::FromSeconds(600.0)) return;
+      sim.ScheduleAfter(Duration::FromSeconds(1.0), sample);
+    };
+    sim.ScheduleAfter(Duration::FromSeconds(1.0), sample);
+    sim.RunUntil(Timestamp::FromSeconds(600.0));
+
+    table.AddRow({std::to_string(n),
+                  TextTable::FormatDouble(2000.0 * static_cast<double>(n), 0),
+                  std::to_string(engine.events_ingested()),
+                  TextTable::FormatDouble(last_finish.seconds(), 1),
+                  TextTable::FormatDouble(drained_at_s, 1),
+                  TextTable::FormatDouble(peak_queue, 0),
+                  std::to_string(engine.updates_applied())});
+  }
+  std::printf("%s", table.ToString().c_str());
+  std::printf(
+      "\nReading: disjoint streams ingest without coordination (ingest-done\n"
+      "time stays ~10 s regardless of N); the engine's drain time and queue\n"
+      "backlog grow with aggregate offered load, surfacing the capacity\n"
+      "boundary exactly as a single stream with N-fold rate would (the\n"
+      "paper's equivalence argument).\n");
+  return 0;
+}

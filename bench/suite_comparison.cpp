@@ -1,0 +1,83 @@
+// The GraphTides benchmark suite in action (§6 future work): three
+// computation styles (§4.4.2 — offline snapshots, online, hybrid
+// pause/shift/resume-like epochs) compared under identical standardized
+// workloads. This is the "LDBC Graphalytics, but for stream-based
+// analytics" comparison table the paper sets as its long-term goal, and it
+// makes the central trade-off measurable:
+//
+//   * offline  — exact results, but stale by up to an epoch + recompute
+//                time, and ingestion stalls behind recomputes;
+//   * online   — instantly queryable approximations whose error is the
+//                unprocessed residual;
+//   * hybrid   — exact-but-stale results with online-grade ingestion.
+#include <cstdio>
+
+#include "harness/report.h"
+#include "suite/benchmark_suite.h"
+#include "suite/connectors/hybrid_connector.h"
+#include "suite/connectors/offline_connector.h"
+#include "suite/connectors/online_connector.h"
+
+using namespace graphtides;
+
+int main() {
+  std::printf("%s", SectionHeader(
+      "GraphTides benchmark suite — computation-style comparison "
+      "(small size class)").c_str());
+  std::printf("%s", ConfigBlock({
+      {"Workloads", "social / ddos / blockchain / mix (standard set, small)"},
+      {"Computation goal", "influence rank (normalized PageRank)"},
+      {"Metrics", "ingest rate (HB), watermark latency (LB), rank error "
+                  "(HB accuracy), staleness (LB)"},
+      {"Methodology", "identical streams, rates, and cost scales per cell"},
+  }).c_str());
+
+  const std::vector<SuiteWorkload> workloads =
+      StandardWorkloads(SuiteSize::kSmall, 42);
+  for (const SuiteWorkload& w : workloads) {
+    if (w.events.empty()) {
+      std::fprintf(stderr, "workload generation failed: %s\n",
+                   w.name.c_str());
+      return 1;
+    }
+  }
+
+  std::vector<SuiteEntry> connectors;
+  connectors.push_back(
+      {"offline", [](Simulator* sim) -> std::unique_ptr<SuiteConnector> {
+         OfflineConnectorOptions options;
+         options.epoch = Duration::FromSeconds(2.0);
+         return std::make_unique<OfflineSnapshotConnector>(sim, options);
+       }});
+  connectors.push_back(
+      {"online", [](Simulator* sim) -> std::unique_ptr<SuiteConnector> {
+         ChronoLiteOptions options;
+         options.rank.push_threshold = 0.02;
+         return std::make_unique<OnlineConnector>(sim, options);
+       }});
+  connectors.push_back(
+      {"hybrid", [](Simulator* sim) -> std::unique_ptr<SuiteConnector> {
+         HybridConnectorOptions options;
+         options.epoch = Duration::FromSeconds(2.0);
+         return std::make_unique<HybridConnector>(sim, options);
+       }});
+
+  SuiteCaseOptions options;
+  options.error_interval = Duration::FromSeconds(5.0);
+  options.max_duration = Duration::FromSeconds(300.0);
+  auto scores = RunSuite(workloads, connectors, options);
+  if (!scores.ok()) {
+    std::fprintf(stderr, "suite failed: %s\n",
+                 scores.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("\n%s", FormatSuiteReport(*scores).c_str());
+  std::printf(
+      "\nReading: the online style holds watermark latency and staleness\n"
+      "near zero with a modest approximation error; the snapshot styles\n"
+      "deliver (epoch-)exact results whose error at query time is governed\n"
+      "by staleness — and the offline variant additionally inflates\n"
+      "watermark latency whenever a recompute blocks ingestion. A '+'\n"
+      "after the drain time marks cases still busy at the deadline.\n");
+  return 0;
+}

@@ -1,0 +1,58 @@
+#include "algorithms/coloring.h"
+
+#include <algorithm>
+#include <numeric>
+
+namespace graphtides {
+
+ColoringResult GreedyColoring(const CsrGraph& graph) {
+  ColoringResult result;
+  const size_t n = graph.num_vertices();
+  constexpr uint32_t kUncolored = std::numeric_limits<uint32_t>::max();
+  result.color.assign(n, kUncolored);
+  if (n == 0) return result;
+
+  auto undirected_degree = [&](size_t v) {
+    return graph.OutDegree(static_cast<CsrGraph::Index>(v)) +
+           graph.InDegree(static_cast<CsrGraph::Index>(v));
+  };
+
+  std::vector<uint32_t> order(n);
+  std::iota(order.begin(), order.end(), 0);
+  std::sort(order.begin(), order.end(), [&](uint32_t a, uint32_t b) {
+    const size_t da = undirected_degree(a);
+    const size_t db = undirected_degree(b);
+    if (da != db) return da > db;
+    return a < b;
+  });
+
+  std::vector<uint8_t> used;  // scratch: colors used by neighbors
+  for (uint32_t v : order) {
+    used.assign(undirected_degree(v) + 1, 0);
+    auto mark = [&](CsrGraph::Index w) {
+      const uint32_t c = result.color[w];
+      if (c != kUncolored && c < used.size()) used[c] = 1;
+    };
+    for (CsrGraph::Index w : graph.OutNeighbors(v)) mark(w);
+    for (CsrGraph::Index w : graph.InNeighbors(v)) mark(w);
+    uint32_t c = 0;
+    while (c < used.size() && used[c]) ++c;
+    result.color[v] = c;
+    result.num_colors = std::max<size_t>(result.num_colors, c + 1);
+  }
+  return result;
+}
+
+bool IsProperColoring(const CsrGraph& graph,
+                      const std::vector<uint32_t>& color) {
+  if (color.size() != graph.num_vertices()) return false;
+  for (size_t v = 0; v < graph.num_vertices(); ++v) {
+    for (CsrGraph::Index w :
+         graph.OutNeighbors(static_cast<CsrGraph::Index>(v))) {
+      if (color[v] == color[w]) return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace graphtides

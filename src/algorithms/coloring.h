@@ -1,0 +1,30 @@
+// Greedy vertex coloring (Table 1: "Graph theory"). Colors the undirected
+// view so that no two adjacent vertices share a color.
+#ifndef GRAPHTIDES_ALGORITHMS_COLORING_H_
+#define GRAPHTIDES_ALGORITHMS_COLORING_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "graph/csr.h"
+
+namespace graphtides {
+
+struct ColoringResult {
+  /// Color per dense index.
+  std::vector<uint32_t> color;
+  size_t num_colors = 0;
+};
+
+/// \brief Greedy coloring in largest-degree-first order (Welsh–Powell),
+/// which bounds colors by max_degree + 1.
+ColoringResult GreedyColoring(const CsrGraph& graph);
+
+/// \brief Verifies that no edge connects two same-colored vertices.
+bool IsProperColoring(const CsrGraph& graph,
+                      const std::vector<uint32_t>& color);
+
+}  // namespace graphtides
+
+#endif  // GRAPHTIDES_ALGORITHMS_COLORING_H_

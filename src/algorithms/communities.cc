@@ -1,0 +1,167 @@
+#include "algorithms/communities.h"
+
+#include <algorithm>
+#include <numeric>
+#include <unordered_map>
+
+namespace graphtides {
+
+namespace {
+
+std::vector<std::vector<CsrGraph::Index>> UndirectedAdjacency(
+    const CsrGraph& graph) {
+  const size_t n = graph.num_vertices();
+  std::vector<std::vector<CsrGraph::Index>> adj(n);
+  for (size_t v = 0; v < n; ++v) {
+    auto& list = adj[v];
+    for (CsrGraph::Index w :
+         graph.OutNeighbors(static_cast<CsrGraph::Index>(v))) {
+      list.push_back(w);
+    }
+    for (CsrGraph::Index w :
+         graph.InNeighbors(static_cast<CsrGraph::Index>(v))) {
+      list.push_back(w);
+    }
+    std::sort(list.begin(), list.end());
+    list.erase(std::unique(list.begin(), list.end()), list.end());
+  }
+  return adj;
+}
+
+}  // namespace
+
+CommunityResult LabelPropagation(const CsrGraph& graph, Rng& rng,
+                                 const LabelPropagationOptions& options) {
+  CommunityResult result;
+  const size_t n = graph.num_vertices();
+  result.community.resize(n);
+  std::iota(result.community.begin(), result.community.end(), 0);
+  if (n == 0) return result;
+
+  const auto adj = UndirectedAdjacency(graph);
+
+  std::vector<uint32_t> order(n);
+  std::iota(order.begin(), order.end(), 0);
+
+  std::unordered_map<uint32_t, size_t> counts;
+  for (size_t round = 0; round < options.max_rounds; ++round) {
+    // Fisher–Yates shuffle of the visit order.
+    for (size_t i = n - 1; i > 0; --i) {
+      std::swap(order[i], order[rng.NextBounded(i + 1)]);
+    }
+    size_t changed = 0;
+    for (uint32_t v : order) {
+      if (adj[v].empty()) continue;
+      counts.clear();
+      for (CsrGraph::Index w : adj[v]) ++counts[result.community[w]];
+      uint32_t best_label = result.community[v];
+      size_t best_count = 0;
+      for (const auto& [label, count] : counts) {
+        if (count > best_count ||
+            (count == best_count && label < best_label)) {
+          best_count = count;
+          best_label = label;
+        }
+      }
+      if (best_label != result.community[v]) {
+        result.community[v] = best_label;
+        ++changed;
+      }
+    }
+    result.rounds = round + 1;
+    if (changed == 0 ||
+        static_cast<double>(changed) <
+            options.min_change_fraction * static_cast<double>(n)) {
+      break;
+    }
+  }
+
+  // Relabel to dense [0, k).
+  std::unordered_map<uint32_t, uint32_t> dense;
+  for (uint32_t& label : result.community) {
+    auto [it, inserted] =
+        dense.try_emplace(label, static_cast<uint32_t>(dense.size()));
+    label = it->second;
+  }
+  result.num_communities = dense.size();
+  return result;
+}
+
+std::vector<uint32_t> CoreNumbers(const CsrGraph& graph) {
+  const size_t n = graph.num_vertices();
+  const auto adj = UndirectedAdjacency(graph);
+  std::vector<uint32_t> degree(n);
+  uint32_t max_degree = 0;
+  for (size_t v = 0; v < n; ++v) {
+    degree[v] = static_cast<uint32_t>(adj[v].size());
+    max_degree = std::max(max_degree, degree[v]);
+  }
+
+  // Bucket sort by degree (Batagelj–Zaveršnik).
+  std::vector<uint32_t> bin(max_degree + 2, 0);
+  for (size_t v = 0; v < n; ++v) ++bin[degree[v]];
+  uint32_t start = 0;
+  for (uint32_t d = 0; d <= max_degree; ++d) {
+    const uint32_t count = bin[d];
+    bin[d] = start;
+    start += count;
+  }
+  std::vector<uint32_t> pos(n);
+  std::vector<uint32_t> vert(n);
+  {
+    std::vector<uint32_t> cursor(bin.begin(), bin.end());
+    for (size_t v = 0; v < n; ++v) {
+      pos[v] = cursor[degree[v]];
+      vert[pos[v]] = static_cast<uint32_t>(v);
+      ++cursor[degree[v]];
+    }
+  }
+
+  std::vector<uint32_t> core(degree);
+  for (size_t i = 0; i < n; ++i) {
+    const uint32_t v = vert[i];
+    for (CsrGraph::Index w : adj[v]) {
+      if (core[w] > core[v]) {
+        // Move w one bucket down.
+        const uint32_t dw = core[w];
+        const uint32_t pw = pos[w];
+        const uint32_t pfirst = bin[dw];
+        const uint32_t vfirst = vert[pfirst];
+        if (vfirst != w) {
+          std::swap(vert[pw], vert[pfirst]);
+          pos[w] = pfirst;
+          pos[vfirst] = pw;
+        }
+        ++bin[dw];
+        --core[w];
+      }
+    }
+  }
+  return core;
+}
+
+double Modularity(const CsrGraph& graph,
+                  const std::vector<uint32_t>& community) {
+  const size_t n = graph.num_vertices();
+  if (n == 0 || community.size() != n) return 0.0;
+  const auto adj = UndirectedAdjacency(graph);
+  double m2 = 0.0;  // sum of undirected degrees = 2m
+  for (const auto& list : adj) m2 += static_cast<double>(list.size());
+  if (m2 == 0.0) return 0.0;
+
+  std::unordered_map<uint32_t, double> degree_sum;
+  double intra = 0.0;  // directed count of intra-community adjacency entries
+  for (size_t v = 0; v < n; ++v) {
+    degree_sum[community[v]] += static_cast<double>(adj[v].size());
+    for (CsrGraph::Index w : adj[v]) {
+      if (community[v] == community[w]) intra += 1.0;
+    }
+  }
+  double q = intra / m2;
+  for (const auto& [label, dsum] : degree_sum) {
+    q -= (dsum / m2) * (dsum / m2);
+  }
+  return q;
+}
+
+}  // namespace graphtides

@@ -1,0 +1,45 @@
+// Community detection via synchronous label propagation and k-core
+// decomposition (Table 1: "Communities").
+#ifndef GRAPHTIDES_ALGORITHMS_COMMUNITIES_H_
+#define GRAPHTIDES_ALGORITHMS_COMMUNITIES_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "common/random.h"
+#include "graph/csr.h"
+
+namespace graphtides {
+
+struct LabelPropagationOptions {
+  size_t max_rounds = 50;
+  /// Stop when fewer than this fraction of vertices changed label in a
+  /// round.
+  double min_change_fraction = 0.0;
+};
+
+struct CommunityResult {
+  /// Community label per dense index (labels relabeled to be dense).
+  std::vector<uint32_t> community;
+  size_t num_communities = 0;
+  size_t rounds = 0;
+};
+
+/// \brief Label propagation over the undirected view. Ties are broken by
+/// the smallest label for determinism; `rng` shuffles the visit order.
+CommunityResult LabelPropagation(const CsrGraph& graph, Rng& rng,
+                                 const LabelPropagationOptions& options = {});
+
+/// \brief Core number per dense index (undirected view), by the standard
+/// peeling algorithm.
+std::vector<uint32_t> CoreNumbers(const CsrGraph& graph);
+
+/// \brief Modularity of a partition over the undirected view (standard
+/// Newman definition, each undirected edge counted once).
+double Modularity(const CsrGraph& graph,
+                  const std::vector<uint32_t>& community);
+
+}  // namespace graphtides
+
+#endif  // GRAPHTIDES_ALGORITHMS_COMMUNITIES_H_

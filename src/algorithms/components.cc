@@ -1,0 +1,74 @@
+#include "algorithms/components.h"
+
+#include <algorithm>
+#include <numeric>
+#include <unordered_map>
+
+namespace graphtides {
+
+namespace {
+
+class UnionFind {
+ public:
+  explicit UnionFind(size_t n) : parent_(n), rank_(n, 0) {
+    std::iota(parent_.begin(), parent_.end(), 0);
+  }
+
+  uint32_t Find(uint32_t x) {
+    while (parent_[x] != x) {
+      parent_[x] = parent_[parent_[x]];  // path halving
+      x = parent_[x];
+    }
+    return x;
+  }
+
+  void Union(uint32_t a, uint32_t b) {
+    a = Find(a);
+    b = Find(b);
+    if (a == b) return;
+    if (rank_[a] < rank_[b]) std::swap(a, b);
+    parent_[b] = a;
+    if (rank_[a] == rank_[b]) ++rank_[a];
+  }
+
+ private:
+  std::vector<uint32_t> parent_;
+  std::vector<uint8_t> rank_;
+};
+
+}  // namespace
+
+ComponentsResult WeaklyConnectedComponents(const CsrGraph& graph) {
+  ComponentsResult result;
+  const size_t n = graph.num_vertices();
+  result.component.assign(n, 0);
+  if (n == 0) return result;
+
+  UnionFind uf(n);
+  for (size_t v = 0; v < n; ++v) {
+    for (CsrGraph::Index w :
+         graph.OutNeighbors(static_cast<CsrGraph::Index>(v))) {
+      uf.Union(static_cast<uint32_t>(v), w);
+    }
+  }
+
+  std::unordered_map<uint32_t, uint32_t> label_of_root;
+  for (size_t v = 0; v < n; ++v) {
+    const uint32_t root = uf.Find(static_cast<uint32_t>(v));
+    auto [it, inserted] = label_of_root.try_emplace(
+        root, static_cast<uint32_t>(label_of_root.size()));
+    result.component[v] = it->second;
+  }
+  result.num_components = label_of_root.size();
+  result.sizes.assign(result.num_components, 0);
+  for (uint32_t label : result.component) ++result.sizes[label];
+  return result;
+}
+
+size_t ComponentsResult::LargestSize() const {
+  size_t best = 0;
+  for (size_t s : sizes) best = std::max(best, s);
+  return best;
+}
+
+}  // namespace graphtides

@@ -1,0 +1,29 @@
+// Weakly connected components (Table 1: "Communities").
+#ifndef GRAPHTIDES_ALGORITHMS_COMPONENTS_H_
+#define GRAPHTIDES_ALGORITHMS_COMPONENTS_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "graph/csr.h"
+
+namespace graphtides {
+
+struct ComponentsResult {
+  /// Component label per dense index; labels are dense in [0, num_components)
+  /// and assigned in order of first appearance by vertex index.
+  std::vector<uint32_t> component;
+  size_t num_components = 0;
+  /// Size of each component, indexed by label.
+  std::vector<size_t> sizes;
+
+  /// Size of the largest component (0 on an empty graph).
+  size_t LargestSize() const;
+};
+
+/// \brief Weakly connected components via union-find with path halving.
+ComponentsResult WeaklyConnectedComponents(const CsrGraph& graph);
+
+}  // namespace graphtides
+
+#endif  // GRAPHTIDES_ALGORITHMS_COMPONENTS_H_

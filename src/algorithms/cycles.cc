@@ -1,0 +1,78 @@
+#include "algorithms/cycles.h"
+
+#include <algorithm>
+#include <deque>
+
+namespace graphtides {
+
+std::optional<std::vector<CsrGraph::Index>> TopologicalSort(
+    const CsrGraph& graph) {
+  const size_t n = graph.num_vertices();
+  std::vector<size_t> in_degree(n);
+  std::deque<CsrGraph::Index> ready;
+  for (size_t v = 0; v < n; ++v) {
+    in_degree[v] = graph.InDegree(static_cast<CsrGraph::Index>(v));
+    if (in_degree[v] == 0) ready.push_back(static_cast<CsrGraph::Index>(v));
+  }
+  std::vector<CsrGraph::Index> order;
+  order.reserve(n);
+  while (!ready.empty()) {
+    const CsrGraph::Index v = ready.front();
+    ready.pop_front();
+    order.push_back(v);
+    for (CsrGraph::Index w : graph.OutNeighbors(v)) {
+      if (--in_degree[w] == 0) ready.push_back(w);
+    }
+  }
+  if (order.size() != n) return std::nullopt;
+  return order;
+}
+
+bool HasCycle(const CsrGraph& graph) {
+  return !TopologicalSort(graph).has_value();
+}
+
+std::optional<std::vector<CsrGraph::Index>> FindCycle(const CsrGraph& graph) {
+  const size_t n = graph.num_vertices();
+  // Iterative DFS with colors: 0 = white, 1 = on stack, 2 = done.
+  std::vector<uint8_t> color(n, 0);
+  std::vector<CsrGraph::Index> parent(n, 0);
+
+  for (size_t root = 0; root < n; ++root) {
+    if (color[root] != 0) continue;
+    // Stack of (vertex, next-neighbor cursor).
+    std::vector<std::pair<CsrGraph::Index, size_t>> stack;
+    stack.emplace_back(static_cast<CsrGraph::Index>(root), 0);
+    color[root] = 1;
+    while (!stack.empty()) {
+      auto& [v, cursor] = stack.back();
+      const auto neighbors = graph.OutNeighbors(v);
+      if (cursor < neighbors.size()) {
+        const CsrGraph::Index w = neighbors[cursor++];
+        if (color[w] == 0) {
+          color[w] = 1;
+          parent[w] = v;
+          stack.emplace_back(w, 0);
+        } else if (color[w] == 1) {
+          // Back edge v -> w closes a cycle w -> ... -> v -> w.
+          std::vector<CsrGraph::Index> cycle;
+          cycle.push_back(w);
+          CsrGraph::Index cur = v;
+          while (cur != w) {
+            cycle.push_back(cur);
+            cur = parent[cur];
+          }
+          cycle.push_back(w);
+          std::reverse(cycle.begin() + 1, cycle.end() - 1);
+          return cycle;
+        }
+      } else {
+        color[v] = 2;
+        stack.pop_back();
+      }
+    }
+  }
+  return std::nullopt;
+}
+
+}  // namespace graphtides

@@ -1,0 +1,26 @@
+// Directed cycle detection and topological ordering (Table 1: "Graph
+// properties" — cycle detection).
+#ifndef GRAPHTIDES_ALGORITHMS_CYCLES_H_
+#define GRAPHTIDES_ALGORITHMS_CYCLES_H_
+
+#include <optional>
+#include <vector>
+
+#include "graph/csr.h"
+
+namespace graphtides {
+
+/// \brief True if the directed graph contains at least one cycle.
+bool HasCycle(const CsrGraph& graph);
+
+/// \brief One directed cycle as a vertex sequence (first == last), or
+/// std::nullopt if the graph is acyclic.
+std::optional<std::vector<CsrGraph::Index>> FindCycle(const CsrGraph& graph);
+
+/// \brief Topological order (Kahn), or std::nullopt if cyclic.
+std::optional<std::vector<CsrGraph::Index>> TopologicalSort(
+    const CsrGraph& graph);
+
+}  // namespace graphtides
+
+#endif  // GRAPHTIDES_ALGORITHMS_CYCLES_H_

@@ -1,0 +1,182 @@
+#include "algorithms/incremental.h"
+
+#include <algorithm>
+
+namespace graphtides {
+
+// ---------------------------------------------------------------------------
+// IncrementalWcc
+// ---------------------------------------------------------------------------
+
+VertexId IncrementalWcc::Find(VertexId v) {
+  VertexId root = v;
+  while (parent_[root] != root) root = parent_[root];
+  // Path compression.
+  while (parent_[v] != root) {
+    const VertexId next = parent_[v];
+    parent_[v] = root;
+    v = next;
+  }
+  return root;
+}
+
+void IncrementalWcc::Union(VertexId a, VertexId b) {
+  const VertexId ra = Find(a);
+  const VertexId rb = Find(b);
+  if (ra == rb) return;
+  parent_[ra] = rb;
+  --components_;
+}
+
+void IncrementalWcc::OnEventApplied(const Event& event) {
+  switch (event.type) {
+    case EventType::kAddVertex: {
+      adjacency_.try_emplace(event.vertex);
+      parent_[event.vertex] = event.vertex;
+      ++components_;
+      break;
+    }
+    case EventType::kRemoveVertex: {
+      auto it = adjacency_.find(event.vertex);
+      if (it == adjacency_.end()) break;
+      // Remove the vertex from its neighbors' lists.
+      for (VertexId w : it->second) {
+        auto& list = adjacency_[w];
+        list.erase(std::remove(list.begin(), list.end(), event.vertex),
+                   list.end());
+      }
+      adjacency_.erase(it);
+      dirty_ = true;
+      break;
+    }
+    case EventType::kAddEdge: {
+      adjacency_[event.edge.src].push_back(event.edge.dst);
+      adjacency_[event.edge.dst].push_back(event.edge.src);
+      if (!dirty_) Union(event.edge.src, event.edge.dst);
+      break;
+    }
+    case EventType::kRemoveEdge: {
+      auto& a = adjacency_[event.edge.src];
+      a.erase(std::remove(a.begin(), a.end(), event.edge.dst), a.end());
+      auto& b = adjacency_[event.edge.dst];
+      b.erase(std::remove(b.begin(), b.end(), event.edge.src), b.end());
+      dirty_ = true;
+      break;
+    }
+    case EventType::kUpdateVertex:
+    case EventType::kUpdateEdge:
+    case EventType::kMarker:
+    case EventType::kSetRate:
+    case EventType::kPause:
+      break;
+  }
+}
+
+void IncrementalWcc::RebuildIfDirty() {
+  if (!dirty_) return;
+  parent_.clear();
+  components_ = adjacency_.size();
+  for (const auto& [v, neighbors] : adjacency_) parent_[v] = v;
+  for (const auto& [v, neighbors] : adjacency_) {
+    for (VertexId w : neighbors) Union(v, w);
+  }
+  dirty_ = false;
+}
+
+size_t IncrementalWcc::NumComponents() {
+  RebuildIfDirty();
+  return components_;
+}
+
+bool IncrementalWcc::SameComponent(VertexId a, VertexId b) {
+  RebuildIfDirty();
+  if (!parent_.contains(a) || !parent_.contains(b)) return false;
+  return Find(a) == Find(b);
+}
+
+// ---------------------------------------------------------------------------
+// IncrementalDegreeStats
+// ---------------------------------------------------------------------------
+
+void IncrementalDegreeStats::OnEventApplied(const Event& event) {
+  switch (event.type) {
+    case EventType::kAddVertex:
+      out_degree_.try_emplace(event.vertex, 0);
+      in_neighbors_.try_emplace(event.vertex);
+      out_neighbors_.try_emplace(event.vertex);
+      break;
+    case EventType::kRemoveVertex: {
+      auto it = out_degree_.find(event.vertex);
+      if (it == out_degree_.end()) break;
+      // Incident edges disappear with the vertex.
+      for (VertexId dst : out_neighbors_[event.vertex]) {
+        auto& in_list = in_neighbors_[dst];
+        in_list.erase(
+            std::remove(in_list.begin(), in_list.end(), event.vertex),
+            in_list.end());
+        --num_edges_;
+      }
+      for (VertexId src : in_neighbors_[event.vertex]) {
+        auto& out_list = out_neighbors_[src];
+        out_list.erase(
+            std::remove(out_list.begin(), out_list.end(), event.vertex),
+            out_list.end());
+        if (out_degree_[src] == max_out_degree_) max_dirty_ = true;
+        --out_degree_[src];
+        --num_edges_;
+      }
+      if (it->second == max_out_degree_) max_dirty_ = true;
+      out_degree_.erase(it);
+      in_neighbors_.erase(event.vertex);
+      out_neighbors_.erase(event.vertex);
+      break;
+    }
+    case EventType::kAddEdge: {
+      out_neighbors_[event.edge.src].push_back(event.edge.dst);
+      in_neighbors_[event.edge.dst].push_back(event.edge.src);
+      const size_t d = ++out_degree_[event.edge.src];
+      max_out_degree_ = std::max(max_out_degree_, d);
+      ++num_edges_;
+      break;
+    }
+    case EventType::kRemoveEdge: {
+      auto& out_list = out_neighbors_[event.edge.src];
+      out_list.erase(
+          std::remove(out_list.begin(), out_list.end(), event.edge.dst),
+          out_list.end());
+      auto& in_list = in_neighbors_[event.edge.dst];
+      in_list.erase(
+          std::remove(in_list.begin(), in_list.end(), event.edge.src),
+          in_list.end());
+      if (out_degree_[event.edge.src] == max_out_degree_) max_dirty_ = true;
+      --out_degree_[event.edge.src];
+      --num_edges_;
+      break;
+    }
+    case EventType::kUpdateVertex:
+    case EventType::kUpdateEdge:
+    case EventType::kMarker:
+    case EventType::kSetRate:
+    case EventType::kPause:
+      break;
+  }
+}
+
+double IncrementalDegreeStats::MeanOutDegree() const {
+  if (out_degree_.empty()) return 0.0;
+  return static_cast<double>(num_edges_) /
+         static_cast<double>(out_degree_.size());
+}
+
+size_t IncrementalDegreeStats::MaxOutDegree() {
+  if (max_dirty_) {
+    max_out_degree_ = 0;
+    for (const auto& [v, d] : out_degree_) {
+      max_out_degree_ = std::max(max_out_degree_, d);
+    }
+    max_dirty_ = false;
+  }
+  return max_out_degree_;
+}
+
+}  // namespace graphtides

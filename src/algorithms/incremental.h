@@ -1,0 +1,70 @@
+// Further online computations on evolving graphs (§4.4.2): an incremental
+// weakly-connected-components tracker and an incremental degree-statistics
+// tracker. Both consume applied stream events.
+#ifndef GRAPHTIDES_ALGORITHMS_INCREMENTAL_H_
+#define GRAPHTIDES_ALGORITHMS_INCREMENTAL_H_
+
+#include <cstddef>
+#include <unordered_map>
+#include <vector>
+
+#include "stream/event.h"
+
+namespace graphtides {
+
+/// \brief Online weakly-connected-components count.
+///
+/// Edge/vertex additions are handled incrementally with union-find; deletions
+/// mark the structure dirty and trigger a rebuild from the tracked edge set
+/// on the next query (deletions cannot be handled by plain union-find). The
+/// rebuild cost is the accuracy/latency trade-off knob: queries between a
+/// deletion and the rebuild would be stale, so this tracker always rebuilds
+/// before answering.
+class IncrementalWcc {
+ public:
+  void OnEventApplied(const Event& event);
+
+  /// Number of weakly connected components (rebuilds if dirty).
+  size_t NumComponents();
+  /// Whether two vertices are currently in the same component.
+  bool SameComponent(VertexId a, VertexId b);
+
+  size_t num_vertices() const { return adjacency_.size(); }
+  bool dirty() const { return dirty_; }
+
+ private:
+  void RebuildIfDirty();
+  VertexId Find(VertexId v);
+  void Union(VertexId a, VertexId b);
+
+  // Full undirected adjacency is retained to support rebuilds.
+  std::unordered_map<VertexId, std::vector<VertexId>> adjacency_;
+  std::unordered_map<VertexId, VertexId> parent_;
+  size_t components_ = 0;
+  bool dirty_ = false;
+};
+
+/// \brief Online degree statistics: mean and maximum out-degree maintained
+/// per event in O(1) amortized (max falls back to a scan after removals that
+/// hit the maximum).
+class IncrementalDegreeStats {
+ public:
+  void OnEventApplied(const Event& event);
+
+  size_t num_vertices() const { return out_degree_.size(); }
+  size_t num_edges() const { return num_edges_; }
+  double MeanOutDegree() const;
+  size_t MaxOutDegree();
+
+ private:
+  std::unordered_map<VertexId, size_t> out_degree_;
+  std::unordered_map<VertexId, std::vector<VertexId>> in_neighbors_;
+  std::unordered_map<VertexId, std::vector<VertexId>> out_neighbors_;
+  size_t num_edges_ = 0;
+  size_t max_out_degree_ = 0;
+  bool max_dirty_ = false;
+};
+
+}  // namespace graphtides
+
+#endif  // GRAPHTIDES_ALGORITHMS_INCREMENTAL_H_

@@ -1,0 +1,155 @@
+#include "algorithms/kmeans.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <unordered_set>
+
+namespace graphtides {
+
+namespace {
+
+double SquaredDistance(const std::vector<double>& a,
+                       const std::vector<double>& b) {
+  double sum = 0.0;
+  for (size_t i = 0; i < a.size(); ++i) {
+    const double d = a[i] - b[i];
+    sum += d * d;
+  }
+  return sum;
+}
+
+/// k-means++ seeding: first centroid uniform, subsequent ones sampled with
+/// probability proportional to squared distance from the nearest chosen
+/// centroid.
+std::vector<std::vector<double>> SeedCentroids(
+    const std::vector<std::vector<double>>& points, size_t k, Rng& rng) {
+  std::vector<std::vector<double>> centroids;
+  centroids.reserve(k);
+  centroids.push_back(points[rng.NextBounded(points.size())]);
+  std::vector<double> best_dist(points.size(),
+                                std::numeric_limits<double>::max());
+  while (centroids.size() < k) {
+    double total = 0.0;
+    for (size_t i = 0; i < points.size(); ++i) {
+      best_dist[i] =
+          std::min(best_dist[i], SquaredDistance(points[i], centroids.back()));
+      total += best_dist[i];
+    }
+    if (total <= 0.0) {
+      // All remaining points coincide with a centroid; duplicate one.
+      centroids.push_back(points[rng.NextBounded(points.size())]);
+      continue;
+    }
+    double x = rng.NextDouble() * total;
+    size_t chosen = points.size() - 1;
+    for (size_t i = 0; i < points.size(); ++i) {
+      x -= best_dist[i];
+      if (x <= 0.0) {
+        chosen = i;
+        break;
+      }
+    }
+    centroids.push_back(points[chosen]);
+  }
+  return centroids;
+}
+
+}  // namespace
+
+Result<KMeansResult> KMeans(const std::vector<std::vector<double>>& points,
+                            size_t k, Rng& rng,
+                            const KMeansOptions& options) {
+  if (points.empty()) {
+    return Status::InvalidArgument("KMeans requires at least one point");
+  }
+  if (k == 0 || k > points.size()) {
+    return Status::InvalidArgument("KMeans requires 1 <= k <= #points");
+  }
+  const size_t dim = points[0].size();
+  for (const auto& p : points) {
+    if (p.size() != dim) {
+      return Status::InvalidArgument("inconsistent point dimensions");
+    }
+  }
+
+  KMeansResult result;
+  result.centroids = SeedCentroids(points, k, rng);
+  result.assignment.assign(points.size(), 0);
+
+  for (size_t iter = 0; iter < options.max_iterations; ++iter) {
+    // Assign.
+    result.inertia = 0.0;
+    for (size_t i = 0; i < points.size(); ++i) {
+      double best = std::numeric_limits<double>::max();
+      uint32_t best_cluster = 0;
+      for (size_t c = 0; c < k; ++c) {
+        const double d = SquaredDistance(points[i], result.centroids[c]);
+        if (d < best) {
+          best = d;
+          best_cluster = static_cast<uint32_t>(c);
+        }
+      }
+      result.assignment[i] = best_cluster;
+      result.inertia += best;
+    }
+
+    // Update.
+    std::vector<std::vector<double>> next(k, std::vector<double>(dim, 0.0));
+    std::vector<size_t> counts(k, 0);
+    for (size_t i = 0; i < points.size(); ++i) {
+      auto& acc = next[result.assignment[i]];
+      for (size_t d = 0; d < dim; ++d) acc[d] += points[i][d];
+      ++counts[result.assignment[i]];
+    }
+    double movement = 0.0;
+    for (size_t c = 0; c < k; ++c) {
+      if (counts[c] == 0) {
+        // Empty cluster: reseed at the point farthest from its centroid.
+        size_t farthest = 0;
+        double far_dist = -1.0;
+        for (size_t i = 0; i < points.size(); ++i) {
+          const double d = SquaredDistance(
+              points[i], result.centroids[result.assignment[i]]);
+          if (d > far_dist) {
+            far_dist = d;
+            farthest = i;
+          }
+        }
+        next[c] = points[farthest];
+      } else {
+        for (size_t d = 0; d < dim; ++d) {
+          next[c][d] /= static_cast<double>(counts[c]);
+        }
+      }
+      movement += std::sqrt(SquaredDistance(next[c], result.centroids[c]));
+      result.centroids[c] = std::move(next[c]);
+    }
+    result.iterations = iter + 1;
+    if (movement < options.tolerance) {
+      result.converged = true;
+      break;
+    }
+  }
+  return result;
+}
+
+std::vector<std::vector<double>> VertexStructuralFeatures(
+    const CsrGraph& graph) {
+  const size_t n = graph.num_vertices();
+  std::vector<std::vector<double>> features(n);
+  for (size_t v = 0; v < n; ++v) {
+    const auto idx = static_cast<CsrGraph::Index>(v);
+    // 2-hop out reach (bounded sampling of neighbor degrees).
+    uint64_t two_hop = 0;
+    for (CsrGraph::Index w : graph.OutNeighbors(idx)) {
+      two_hop += graph.OutDegree(w);
+    }
+    features[v] = {std::log1p(static_cast<double>(graph.OutDegree(idx))),
+                   std::log1p(static_cast<double>(graph.InDegree(idx))),
+                   std::log1p(static_cast<double>(two_hop))};
+  }
+  return features;
+}
+
+}  // namespace graphtides

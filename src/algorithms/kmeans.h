@@ -1,0 +1,49 @@
+// K-means clustering (Table 1: "Communities — ... k-means ..."): a generic
+// Lloyd's-algorithm implementation with k-means++ seeding, plus a
+// structural feature extractor so vertices of a graph snapshot can be
+// clustered by their connectivity profile.
+#ifndef GRAPHTIDES_ALGORITHMS_KMEANS_H_
+#define GRAPHTIDES_ALGORITHMS_KMEANS_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "common/random.h"
+#include "common/result.h"
+#include "graph/csr.h"
+
+namespace graphtides {
+
+struct KMeansOptions {
+  size_t max_iterations = 100;
+  /// Stop when total centroid movement (L2) falls below this.
+  double tolerance = 1e-6;
+};
+
+struct KMeansResult {
+  /// Cluster index per point.
+  std::vector<uint32_t> assignment;
+  /// k centroids (dimension = input dimension).
+  std::vector<std::vector<double>> centroids;
+  /// Sum of squared distances of points to their centroid.
+  double inertia = 0.0;
+  size_t iterations = 0;
+  bool converged = false;
+};
+
+/// \brief Lloyd's algorithm with k-means++ seeding.
+///
+/// All points must share one dimension; k must satisfy 1 <= k <= #points.
+Result<KMeansResult> KMeans(const std::vector<std::vector<double>>& points,
+                            size_t k, Rng& rng,
+                            const KMeansOptions& options = {});
+
+/// \brief Per-vertex structural features for clustering:
+/// [log1p(out-degree), log1p(in-degree), log1p(2-hop out reach)].
+std::vector<std::vector<double>> VertexStructuralFeatures(
+    const CsrGraph& graph);
+
+}  // namespace graphtides
+
+#endif  // GRAPHTIDES_ALGORITHMS_KMEANS_H_

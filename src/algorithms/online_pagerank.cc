@@ -1,0 +1,244 @@
+#include "algorithms/online_pagerank.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace graphtides {
+
+OnlinePageRankCore::OnlinePageRankCore(OnlinePageRankOptions options,
+                                       IsLocalFn is_local)
+    : options_(options), is_local_(std::move(is_local)) {}
+
+void OnlinePageRankCore::MaybeEnqueue(VertexId v, VertexState& state) {
+  if (!state.queued && std::abs(state.residual) > options_.push_threshold) {
+    state.queued = true;
+    queue_.push_back(v);
+  }
+}
+
+void OnlinePageRankCore::AdjustBuffered(VertexId target, double delta) {
+  if (delta == 0.0) return;
+  if (is_local_(target)) {
+    VertexState& state = state_[target];
+    state.residual += delta;
+    MaybeEnqueue(target, state);
+  } else {
+    pending_remote_.emplace_back(target, delta);
+  }
+}
+
+void OnlinePageRankCore::Adjust(VertexId target, double delta,
+                                const EmitRemoteFn& emit_remote) {
+  if (delta == 0.0) return;
+  if (is_local_(target)) {
+    VertexState& state = state_[target];
+    state.residual += delta;
+    MaybeEnqueue(target, state);
+  } else {
+    emit_remote(target, delta);
+  }
+}
+
+void OnlinePageRankCore::AddVertex(VertexId v) {
+  VertexState& state = state_[v];
+  state.residual += 1.0;  // teleport injection b_v = 1
+  MaybeEnqueue(v, state);
+}
+
+void OnlinePageRankCore::RemoveVertex(
+    VertexId v, const std::vector<VertexId>& in_neighbors) {
+  auto it = state_.find(v);
+  if (it == state_.end()) return;
+  const double x = it->second.score;
+  const std::vector<VertexId> out = std::move(it->second.out);
+  estimate_mass_ -= x;
+  state_.erase(it);  // drops b_v, x_v, r_v; a queued entry is skipped later
+
+  // Column v of W disappears: out-neighbors lose d * x / deg.
+  if (!out.empty() && x != 0.0) {
+    const double share =
+        options_.damping * x / static_cast<double>(out.size());
+    for (VertexId w : out) AdjustBuffered(w, -share);
+  }
+  // In-neighbors' transition columns renormalize: equivalent to removing
+  // the edge s -> v from each.
+  for (VertexId s : in_neighbors) {
+    if (s != v) RemoveEdge(s, v);
+  }
+}
+
+void OnlinePageRankCore::AddEdge(VertexId u, VertexId w) {
+  VertexState& state = state_[u];
+  if (std::find(state.out.begin(), state.out.end(), w) != state.out.end()) {
+    return;
+  }
+  const size_t k = state.out.size();
+  state.out.push_back(w);
+  const double x = state.score;
+  if (x == 0.0) return;
+  // d * x * (new_distribution - old_distribution):
+  // old neighbors go from 1/k to 1/(k+1); w gains 1/(k+1).
+  // Collect targets first: AdjustBuffered may rehash state_ and invalidate
+  // the adjacency reference.
+  const std::vector<VertexId> out_copy = state.out;
+  const double m = static_cast<double>(k + 1);
+  if (k > 0) {
+    const double shrink =
+        options_.damping * x * (1.0 / m - 1.0 / static_cast<double>(k));
+    for (size_t i = 0; i + 1 < out_copy.size(); ++i) {
+      AdjustBuffered(out_copy[i], shrink);
+    }
+  }
+  AdjustBuffered(w, options_.damping * x / m);
+}
+
+void OnlinePageRankCore::RemoveEdge(VertexId u, VertexId w) {
+  auto it = state_.find(u);
+  if (it == state_.end()) return;
+  auto& out = it->second.out;
+  auto pos = std::find(out.begin(), out.end(), w);
+  if (pos == out.end()) return;
+  const size_t k = out.size();
+  out.erase(pos);
+  const double x = it->second.score;
+  if (x == 0.0) return;
+  const std::vector<VertexId> out_copy = out;  // see AddEdge rationale
+  // Old neighbors went from 1/k each to 1/(k-1); w loses its 1/k.
+  if (!out_copy.empty()) {
+    const double grow = options_.damping * x *
+                        (1.0 / static_cast<double>(out_copy.size()) -
+                         1.0 / static_cast<double>(k));
+    for (VertexId nw : out_copy) AdjustBuffered(nw, grow);
+  }
+  AdjustBuffered(w, -options_.damping * x / static_cast<double>(k));
+}
+
+void OnlinePageRankCore::AddResidual(VertexId v, double amount) {
+  if (amount == 0.0) return;
+  VertexState& state = state_[v];
+  state.residual += amount;
+  MaybeEnqueue(v, state);
+}
+
+size_t OnlinePageRankCore::ProcessPushes(size_t max_pushes,
+                                         const EmitRemoteFn& emit_remote) {
+  // Flush remote deltas accumulated by topology notifications.
+  if (!pending_remote_.empty()) {
+    std::vector<std::pair<VertexId, double>> pending;
+    pending.swap(pending_remote_);
+    for (const auto& [target, delta] : pending) emit_remote(target, delta);
+  }
+
+  size_t executed = 0;
+  while (executed < max_pushes && !queue_.empty()) {
+    const VertexId v = queue_.front();
+    queue_.pop_front();
+    auto it = state_.find(v);
+    if (it == state_.end()) continue;  // removed while queued
+    VertexState& state = it->second;
+    state.queued = false;
+    if (std::abs(state.residual) <= options_.push_threshold) continue;
+
+    const double r = state.residual;
+    state.residual = 0.0;
+    state.score += r;
+    estimate_mass_ += r;
+
+    if (!state.out.empty()) {
+      const double share =
+          options_.damping * r / static_cast<double>(state.out.size());
+      // state.out may reallocate if Adjust touches state_ for v itself;
+      // copy defensively (self-loops are excluded by the graph model, but
+      // rehashing of state_ invalidates the reference regardless).
+      const std::vector<VertexId> targets = state.out;
+      for (VertexId w : targets) Adjust(w, share, emit_remote);
+    }
+    // Dangling vertices forward nothing (sink semantics; normalization at
+    // query time yields the renormalized-sink PageRank).
+    ++executed;
+  }
+  return executed;
+}
+
+double OnlinePageRankCore::EstimateOf(VertexId v) const {
+  auto it = state_.find(v);
+  return it == state_.end() ? 0.0 : it->second.score;
+}
+
+std::vector<std::pair<VertexId, double>> OnlinePageRankCore::Estimates()
+    const {
+  std::vector<std::pair<VertexId, double>> out;
+  out.reserve(state_.size());
+  for (const auto& [v, state] : state_) out.emplace_back(v, state.score);
+  return out;
+}
+
+size_t OnlinePageRankCore::OutDegreeOf(VertexId v) const {
+  auto it = state_.find(v);
+  return it == state_.end() ? 0 : it->second.out.size();
+}
+
+// ---------------------------------------------------------------------------
+// OnlinePageRank (single-process wrapper)
+// ---------------------------------------------------------------------------
+
+OnlinePageRank::OnlinePageRank(OnlinePageRankOptions options)
+    : core_(options, [](VertexId) { return true; }) {}
+
+void OnlinePageRank::OnEventApplied(const Event& event) {
+  switch (event.type) {
+    case EventType::kAddVertex:
+      core_.AddVertex(event.vertex);
+      in_.try_emplace(event.vertex);
+      break;
+    case EventType::kRemoveVertex: {
+      auto it = in_.find(event.vertex);
+      std::vector<VertexId> in_neighbors;
+      if (it != in_.end()) {
+        in_neighbors.assign(it->second.begin(), it->second.end());
+      }
+      core_.RemoveVertex(event.vertex, in_neighbors);
+      // Mirror maintenance: drop v everywhere.
+      if (it != in_.end()) in_.erase(it);
+      for (auto& [v, ins] : in_) ins.erase(event.vertex);
+      break;
+    }
+    case EventType::kAddEdge:
+      core_.AddEdge(event.edge.src, event.edge.dst);
+      in_[event.edge.dst].insert(event.edge.src);
+      break;
+    case EventType::kRemoveEdge:
+      core_.RemoveEdge(event.edge.src, event.edge.dst);
+      in_[event.edge.dst].erase(event.edge.src);
+      break;
+    case EventType::kUpdateVertex:
+    case EventType::kUpdateEdge:
+    case EventType::kMarker:
+    case EventType::kSetRate:
+    case EventType::kPause:
+      break;
+  }
+}
+
+size_t OnlinePageRank::ProcessPending(size_t max_pushes) {
+  return core_.ProcessPushes(max_pushes,
+                             [](VertexId, double) { /* all local */ });
+}
+
+double OnlinePageRank::RankOf(VertexId v) const {
+  const double mass = core_.EstimateMass();
+  if (mass <= 0.0) return 0.0;
+  return core_.EstimateOf(v) / mass;
+}
+
+std::unordered_map<VertexId, double> OnlinePageRank::NormalizedRanks() const {
+  std::unordered_map<VertexId, double> out;
+  const double mass = core_.EstimateMass();
+  if (mass <= 0.0) return out;
+  for (const auto& [v, estimate] : core_.Estimates()) {
+    out.emplace(v, estimate / mass);
+  }
+  return out;
+}
+
+}  // namespace graphtides

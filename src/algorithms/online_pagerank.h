@@ -1,0 +1,165 @@
+// Online (converging) PageRank-style influence rank over an evolving graph
+// (§4.4.2 "Converging computations (e.g., online PageRank variants)").
+//
+// Algorithm: residual push with *invariant-preserving* corrections on
+// topology changes (in the style of Ohsaka et al., "Efficient PageRank
+// Tracking in Evolving Networks", KDD'15). The core maintains, per tracked
+// vertex, a score x(v) and a signed residual r(v) with the invariant
+//
+//     r = b - (I - d * W^T) x
+//
+// where b is the teleport injection (one unit per live vertex), d the
+// damping factor, and W the out-edge transition matrix (dangling columns
+// are sinks; normalization at query time makes this the "renormalized
+// sink" PageRank formulation). A push at v moves r(v) into x(v) and
+// forwards d * r(v) split across v's current out-neighbors. When an edge
+// at u is inserted or removed, residuals of u's (old and new) neighbors
+// are adjusted by the exact difference d * x(u) * (W' - W) e_u, so the
+// invariant — and therefore convergence to the rank of the *current*
+// graph — is preserved. The remaining residual mass at any instant is
+// exactly the staleness the framework's accuracy metrics quantify.
+//
+// OnlinePageRankCore is partition-friendly: it owns only local vertices
+// (and their out-adjacency) and emits signed residual deltas for non-local
+// targets through a callback. The chronolite SUT runs one core per worker
+// and routes deltas as messages; OnlinePageRank wraps a single core with
+// direct local routing.
+#ifndef GRAPHTIDES_ALGORITHMS_ONLINE_PAGERANK_H_
+#define GRAPHTIDES_ALGORITHMS_ONLINE_PAGERANK_H_
+
+#include <deque>
+#include <functional>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "stream/event.h"
+
+namespace graphtides {
+
+struct OnlinePageRankOptions {
+  double damping = 0.85;
+  /// Residuals with |r| below this threshold stay parked (no push).
+  ///
+  /// Unit: one vertex's teleport injection (every vertex injects exactly
+  /// 1.0). Converged scores average 1/(1-d) ~ 6.7 per vertex, so a
+  /// threshold of 0.01 parks residuals below ~0.15% of the mean score.
+  /// Worst-case total pushes scale as n / ((1 - d) * threshold): for
+  /// large graphs prefer 0.01-0.05; very small thresholds are only
+  /// affordable on small graphs.
+  double push_threshold = 1e-4;
+};
+
+/// \brief Partitionable dynamic-PageRank state.
+class OnlinePageRankCore {
+ public:
+  /// True if a vertex is owned by this core.
+  using IsLocalFn = std::function<bool(VertexId)>;
+  /// Signed residual delta addressed to a non-local vertex.
+  using EmitRemoteFn = std::function<void(VertexId, double)>;
+
+  OnlinePageRankCore(OnlinePageRankOptions options, IsLocalFn is_local);
+
+  // --- Topology notifications (all vertices below are local) -------------
+
+  /// A new local vertex: injects one unit of teleport mass.
+  void AddVertex(VertexId v);
+
+  /// Removes a local vertex with exact residual corrections for its
+  /// out-neighbors. `in_neighbors` (local vertices with an edge into v)
+  /// enables the exact correction for their renormalized distributions;
+  /// pass an empty list when unknown (distributed workers) — the resulting
+  /// stale contribution is part of the measured approximation error.
+  void RemoveVertex(VertexId v, const std::vector<VertexId>& in_neighbors);
+
+  /// Edge u -> w inserted (u local; w may be remote).
+  void AddEdge(VertexId u, VertexId w);
+  /// Edge u -> w removed (u local; w may be remote).
+  void RemoveEdge(VertexId u, VertexId w);
+
+  /// Adds signed residual to a local vertex (local push or remote
+  /// delivery).
+  void AddResidual(VertexId v, double amount);
+
+  // --- Computation --------------------------------------------------------
+
+  /// Executes up to `max_pushes` pushes; returns how many ran. Remote
+  /// residual deltas are forwarded through `emit_remote`.
+  size_t ProcessPushes(size_t max_pushes, const EmitRemoteFn& emit_remote);
+
+  bool HasPendingWork() const { return !queue_.empty(); }
+  size_t pending_pushes() const { return queue_.size(); }
+
+  // --- Results ------------------------------------------------------------
+
+  /// Unnormalized score of a local vertex (0 if unknown).
+  double EstimateOf(VertexId v) const;
+  /// Sum of local scores (for cross-partition normalization).
+  double EstimateMass() const { return estimate_mass_; }
+  /// Snapshot of (vertex, unnormalized score) pairs.
+  std::vector<std::pair<VertexId, double>> Estimates() const;
+
+  size_t num_tracked() const { return state_.size(); }
+  /// Current out-degree of a local vertex (adjacency mirror).
+  size_t OutDegreeOf(VertexId v) const;
+
+ private:
+  struct VertexState {
+    double score = 0.0;
+    double residual = 0.0;
+    bool queued = false;
+    std::vector<VertexId> out;
+  };
+
+  void MaybeEnqueue(VertexId v, VertexState& state);
+  /// Applies a signed residual delta, routing to local state or the remote
+  /// emitter.
+  void Adjust(VertexId target, double delta, const EmitRemoteFn& emit_remote);
+  /// Deferred remote emissions issued outside ProcessPushes are buffered
+  /// and flushed on the next ProcessPushes call.
+  void AdjustBuffered(VertexId target, double delta);
+
+  OnlinePageRankOptions options_;
+  IsLocalFn is_local_;
+  std::unordered_map<VertexId, VertexState> state_;
+  std::deque<VertexId> queue_;
+  double estimate_mass_ = 0.0;
+  /// Remote deltas produced by topology notifications, flushed by
+  /// ProcessPushes.
+  std::vector<std::pair<VertexId, double>> pending_remote_;
+};
+
+/// \brief Single-process online PageRank over an event-defined graph.
+///
+/// Feed every applied event via OnEventApplied (after the corresponding
+/// Graph::Apply succeeded), interleave ProcessPending with ingestion, and
+/// query NormalizedRanks whenever an approximate result is needed. The
+/// tracker keeps its own adjacency mirror, so vertex removals are handled
+/// with exact corrections.
+class OnlinePageRank {
+ public:
+  explicit OnlinePageRank(OnlinePageRankOptions options = {});
+
+  /// Reacts to a successfully applied graph event.
+  void OnEventApplied(const Event& event);
+
+  /// Runs up to `max_pushes` pushes. Returns the number executed.
+  size_t ProcessPending(size_t max_pushes);
+
+  bool HasPendingWork() const { return core_.HasPendingWork(); }
+
+  /// Normalized rank of one vertex (scores normalized to sum to 1).
+  double RankOf(VertexId v) const;
+
+  /// All normalized ranks.
+  std::unordered_map<VertexId, double> NormalizedRanks() const;
+
+ private:
+  OnlinePageRankCore core_;
+  /// In-adjacency mirror (out-adjacency lives in the core).
+  std::unordered_map<VertexId, std::unordered_set<VertexId>> in_;
+};
+
+}  // namespace graphtides
+
+#endif  // GRAPHTIDES_ALGORITHMS_ONLINE_PAGERANK_H_

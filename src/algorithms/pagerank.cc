@@ -1,0 +1,81 @@
+#include "algorithms/pagerank.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "common/stats.h"
+
+namespace graphtides {
+
+PageRankResult PageRank(const CsrGraph& graph, const PageRankOptions& options) {
+  PageRankResult result;
+  const size_t n = graph.num_vertices();
+  if (n == 0) return result;
+
+  std::vector<double> rank(n, 1.0 / static_cast<double>(n));
+  std::vector<double> next(n, 0.0);
+
+  for (size_t iter = 0; iter < options.max_iterations; ++iter) {
+    // Dangling vertices donate their rank uniformly.
+    double dangling_mass = 0.0;
+    for (size_t v = 0; v < n; ++v) {
+      if (graph.OutDegree(static_cast<CsrGraph::Index>(v)) == 0) {
+        dangling_mass += rank[v];
+      }
+    }
+    const double base = (1.0 - options.damping) / static_cast<double>(n) +
+                        options.damping * dangling_mass /
+                            static_cast<double>(n);
+    std::fill(next.begin(), next.end(), base);
+    for (size_t v = 0; v < n; ++v) {
+      const size_t out_deg = graph.OutDegree(static_cast<CsrGraph::Index>(v));
+      if (out_deg == 0) continue;
+      const double share =
+          options.damping * rank[v] / static_cast<double>(out_deg);
+      for (CsrGraph::Index w :
+           graph.OutNeighbors(static_cast<CsrGraph::Index>(v))) {
+        next[w] += share;
+      }
+    }
+
+    double delta = 0.0;
+    for (size_t v = 0; v < n; ++v) delta += std::abs(next[v] - rank[v]);
+    rank.swap(next);
+    result.iterations = iter + 1;
+    if (delta < options.tolerance) {
+      result.converged = true;
+      break;
+    }
+  }
+  result.ranks = std::move(rank);
+  return result;
+}
+
+std::vector<CsrGraph::Index> TopKByRank(const std::vector<double>& ranks,
+                                        size_t k) {
+  std::vector<CsrGraph::Index> order(ranks.size());
+  std::iota(order.begin(), order.end(), 0);
+  k = std::min(k, order.size());
+  std::partial_sort(order.begin(), order.begin() + k, order.end(),
+                    [&](CsrGraph::Index a, CsrGraph::Index b) {
+                      if (ranks[a] != ranks[b]) return ranks[a] > ranks[b];
+                      return a < b;
+                    });
+  order.resize(k);
+  return order;
+}
+
+double MedianRelativeError(const std::vector<double>& approx,
+                           const std::vector<double>& exact) {
+  std::vector<double> errors;
+  const size_t n = std::min(approx.size(), exact.size());
+  errors.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    if (exact[i] == 0.0) continue;
+    errors.push_back(std::abs(approx[i] - exact[i]) / exact[i]);
+  }
+  return Median(std::move(errors));
+}
+
+}  // namespace graphtides

@@ -1,0 +1,47 @@
+// Batch PageRank by power iteration (Table 1: "Graph properties").
+//
+// This is the exact-result baseline the harness uses to score the accuracy
+// of online rank approximations (§4.3 Computation Metrics: "Exact results
+// ... need to be prespecified (i.e., by reconstructing the target graph and
+// running a separate batch computation as reference)").
+#ifndef GRAPHTIDES_ALGORITHMS_PAGERANK_H_
+#define GRAPHTIDES_ALGORITHMS_PAGERANK_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "graph/csr.h"
+
+namespace graphtides {
+
+struct PageRankOptions {
+  double damping = 0.85;
+  size_t max_iterations = 100;
+  /// Convergence threshold on the L1 norm of the rank delta.
+  double tolerance = 1e-9;
+};
+
+struct PageRankResult {
+  /// Rank per dense vertex index; sums to 1 (dangling mass redistributed).
+  std::vector<double> ranks;
+  size_t iterations = 0;
+  bool converged = false;
+};
+
+/// Runs power iteration until convergence or `max_iterations`.
+PageRankResult PageRank(const CsrGraph& graph,
+                        const PageRankOptions& options = {});
+
+/// \brief Dense indices of the k highest-ranked vertices, descending; ties
+/// broken by ascending index for determinism.
+std::vector<CsrGraph::Index> TopKByRank(const std::vector<double>& ranks,
+                                        size_t k);
+
+/// \brief Median (over vertices) relative error |approx - exact| / exact.
+/// Vertices whose exact rank is 0 are skipped. Vector sizes must match.
+double MedianRelativeError(const std::vector<double>& approx,
+                           const std::vector<double>& exact);
+
+}  // namespace graphtides
+
+#endif  // GRAPHTIDES_ALGORITHMS_PAGERANK_H_

@@ -1,0 +1,85 @@
+#include "algorithms/shortest_paths.h"
+
+#include <algorithm>
+
+namespace graphtides {
+
+EdgeWeightFn UnitWeights() {
+  return [](CsrGraph::Index, CsrGraph::Index) { return 1.0; };
+}
+
+BellmanFordResult BellmanFord(const CsrGraph& graph, CsrGraph::Index source,
+                              const EdgeWeightFn& weight) {
+  BellmanFordResult result;
+  const size_t n = graph.num_vertices();
+  result.distance.assign(n, kInfiniteDistance);
+  result.predecessor.assign(n, BellmanFordResult::kNoPredecessor);
+  if (source >= n) return result;
+  result.distance[source] = 0.0;
+
+  const size_t max_rounds = n > 0 ? n - 1 : 0;
+  for (size_t round = 0; round < max_rounds; ++round) {
+    bool changed = false;
+    for (size_t v = 0; v < n; ++v) {
+      if (result.distance[v] == kInfiniteDistance) continue;
+      for (CsrGraph::Index w :
+           graph.OutNeighbors(static_cast<CsrGraph::Index>(v))) {
+        const double cand =
+            result.distance[v] +
+            weight(static_cast<CsrGraph::Index>(v), w);
+        if (cand < result.distance[w]) {
+          result.distance[w] = cand;
+          result.predecessor[w] = static_cast<uint32_t>(v);
+          changed = true;
+        }
+      }
+    }
+    ++result.relaxation_rounds;
+    if (!changed) break;
+  }
+
+  // One extra pass detects reachable negative cycles.
+  for (size_t v = 0; v < n; ++v) {
+    if (result.distance[v] == kInfiniteDistance) continue;
+    for (CsrGraph::Index w :
+         graph.OutNeighbors(static_cast<CsrGraph::Index>(v))) {
+      if (result.distance[v] + weight(static_cast<CsrGraph::Index>(v), w) <
+          result.distance[w]) {
+        result.has_negative_cycle = true;
+        return result;
+      }
+    }
+  }
+  return result;
+}
+
+Result<std::vector<double>> FloydWarshall(const CsrGraph& graph,
+                                          const EdgeWeightFn& weight) {
+  const size_t n = graph.num_vertices();
+  if (n > 4096) {
+    return Status::CapacityExceeded(
+        "FloydWarshall limited to 4096 vertices; got " + std::to_string(n));
+  }
+  std::vector<double> dist(n * n, kInfiniteDistance);
+  for (size_t v = 0; v < n; ++v) {
+    dist[v * n + v] = 0.0;
+    for (CsrGraph::Index w :
+         graph.OutNeighbors(static_cast<CsrGraph::Index>(v))) {
+      dist[v * n + w] = std::min(
+          dist[v * n + w], weight(static_cast<CsrGraph::Index>(v), w));
+    }
+  }
+  for (size_t k = 0; k < n; ++k) {
+    for (size_t i = 0; i < n; ++i) {
+      const double dik = dist[i * n + k];
+      if (dik == kInfiniteDistance) continue;
+      for (size_t j = 0; j < n; ++j) {
+        const double cand = dik + dist[k * n + j];
+        if (cand < dist[i * n + j]) dist[i * n + j] = cand;
+      }
+    }
+  }
+  return dist;
+}
+
+}  // namespace graphtides

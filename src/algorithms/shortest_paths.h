@@ -1,0 +1,50 @@
+// Weighted shortest paths (Table 1: Bellman–Ford, Floyd–Warshall).
+//
+// Edge weights are supplied by a callback so callers can derive them from
+// edge state strings (the graph model keeps state opaque).
+#ifndef GRAPHTIDES_ALGORITHMS_SHORTEST_PATHS_H_
+#define GRAPHTIDES_ALGORITHMS_SHORTEST_PATHS_H_
+
+#include <functional>
+#include <limits>
+#include <vector>
+
+#include "common/result.h"
+#include "graph/csr.h"
+
+namespace graphtides {
+
+/// Sentinel for "no path".
+inline constexpr double kInfiniteDistance =
+    std::numeric_limits<double>::infinity();
+
+/// Weight of the edge (src, dst), both dense indices.
+using EdgeWeightFn =
+    std::function<double(CsrGraph::Index src, CsrGraph::Index dst)>;
+
+/// Unit weight for every edge.
+EdgeWeightFn UnitWeights();
+
+struct BellmanFordResult {
+  std::vector<double> distance;
+  /// Predecessor on a shortest path; kNoPredecessor if unreached/source.
+  static constexpr uint32_t kNoPredecessor =
+      std::numeric_limits<uint32_t>::max();
+  std::vector<uint32_t> predecessor;
+  bool has_negative_cycle = false;
+  size_t relaxation_rounds = 0;
+};
+
+/// \brief Bellman–Ford from `source`. Handles negative weights; sets
+/// `has_negative_cycle` if one is reachable from the source.
+BellmanFordResult BellmanFord(const CsrGraph& graph, CsrGraph::Index source,
+                              const EdgeWeightFn& weight);
+
+/// \brief All-pairs shortest paths (Floyd–Warshall), O(n^3); reference and
+/// small-graph use. Returns a row-major n*n distance matrix.
+Result<std::vector<double>> FloydWarshall(const CsrGraph& graph,
+                                          const EdgeWeightFn& weight);
+
+}  // namespace graphtides
+
+#endif  // GRAPHTIDES_ALGORITHMS_SHORTEST_PATHS_H_

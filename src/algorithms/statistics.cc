@@ -1,0 +1,73 @@
+#include "algorithms/statistics.h"
+
+#include <algorithm>
+#include <sstream>
+
+namespace graphtides {
+
+GraphStatistics ComputeGraphStatistics(const CsrGraph& graph) {
+  GraphStatistics s;
+  s.num_vertices = graph.num_vertices();
+  s.num_edges = graph.num_edges();
+  if (s.num_vertices == 0) return s;
+
+  std::vector<size_t> out_degrees(s.num_vertices);
+  size_t degree_sum = 0;
+  for (size_t v = 0; v < s.num_vertices; ++v) {
+    const size_t out = graph.OutDegree(static_cast<CsrGraph::Index>(v));
+    const size_t in = graph.InDegree(static_cast<CsrGraph::Index>(v));
+    out_degrees[v] = out;
+    degree_sum += out;
+    s.max_out_degree = std::max(s.max_out_degree, out);
+    s.max_in_degree = std::max(s.max_in_degree, in);
+    if (out == 0 && in == 0) ++s.isolated_vertices;
+  }
+  s.mean_out_degree =
+      static_cast<double>(degree_sum) / static_cast<double>(s.num_vertices);
+  if (s.num_vertices > 1) {
+    s.density = static_cast<double>(s.num_edges) /
+                (static_cast<double>(s.num_vertices) *
+                 static_cast<double>(s.num_vertices - 1));
+  }
+
+  // Gini coefficient over sorted degrees.
+  if (degree_sum > 0) {
+    std::sort(out_degrees.begin(), out_degrees.end());
+    double weighted = 0.0;
+    for (size_t i = 0; i < out_degrees.size(); ++i) {
+      weighted += static_cast<double>(i + 1) *
+                  static_cast<double>(out_degrees[i]);
+    }
+    const double n = static_cast<double>(out_degrees.size());
+    const double total = static_cast<double>(degree_sum);
+    s.out_degree_gini = (2.0 * weighted) / (n * total) - (n + 1.0) / n;
+  }
+  return s;
+}
+
+std::map<size_t, size_t> OutDegreeDistribution(const CsrGraph& graph) {
+  std::map<size_t, size_t> dist;
+  for (size_t v = 0; v < graph.num_vertices(); ++v) {
+    ++dist[graph.OutDegree(static_cast<CsrGraph::Index>(v))];
+  }
+  return dist;
+}
+
+std::map<size_t, size_t> InDegreeDistribution(const CsrGraph& graph) {
+  std::map<size_t, size_t> dist;
+  for (size_t v = 0; v < graph.num_vertices(); ++v) {
+    ++dist[graph.InDegree(static_cast<CsrGraph::Index>(v))];
+  }
+  return dist;
+}
+
+std::string GraphStatistics::ToString() const {
+  std::ostringstream os;
+  os << "n=" << num_vertices << " m=" << num_edges << " density=" << density
+     << " mean_out_deg=" << mean_out_degree
+     << " max_out_deg=" << max_out_degree << " max_in_deg=" << max_in_degree
+     << " isolated=" << isolated_vertices << " gini=" << out_degree_gini;
+  return os.str();
+}
+
+}  // namespace graphtides

@@ -1,0 +1,43 @@
+// Global graph statistics (Table 1: "Graph statistics" — global properties,
+// degree distribution).
+#ifndef GRAPHTIDES_ALGORITHMS_STATISTICS_H_
+#define GRAPHTIDES_ALGORITHMS_STATISTICS_H_
+
+#include <cstddef>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "graph/csr.h"
+
+namespace graphtides {
+
+/// \brief Aggregate structural properties of a graph snapshot.
+struct GraphStatistics {
+  size_t num_vertices = 0;
+  size_t num_edges = 0;
+  /// Directed density: m / (n * (n - 1)).
+  double density = 0.0;
+  double mean_out_degree = 0.0;
+  size_t max_out_degree = 0;
+  size_t max_in_degree = 0;
+  /// Count of vertices with no incident edges at all.
+  size_t isolated_vertices = 0;
+  /// Gini coefficient of the out-degree distribution — a locality measure
+  /// for how concentrated connectivity is (0 = perfectly even).
+  double out_degree_gini = 0.0;
+
+  std::string ToString() const;
+};
+
+GraphStatistics ComputeGraphStatistics(const CsrGraph& graph);
+
+/// \brief Out-degree histogram: degree -> number of vertices.
+std::map<size_t, size_t> OutDegreeDistribution(const CsrGraph& graph);
+
+/// \brief In-degree histogram: degree -> number of vertices.
+std::map<size_t, size_t> InDegreeDistribution(const CsrGraph& graph);
+
+}  // namespace graphtides
+
+#endif  // GRAPHTIDES_ALGORITHMS_STATISTICS_H_

@@ -1,0 +1,121 @@
+#include "algorithms/traversal.h"
+
+#include <algorithm>
+#include <deque>
+
+namespace graphtides {
+
+namespace {
+
+/// Generic BFS; `expand` yields the neighbor span(s) of a vertex.
+template <typename ExpandFn>
+std::vector<uint32_t> Bfs(size_t n, CsrGraph::Index source, ExpandFn expand) {
+  std::vector<uint32_t> dist(n, kUnreachable);
+  if (source >= n) return dist;
+  std::deque<CsrGraph::Index> queue;
+  dist[source] = 0;
+  queue.push_back(source);
+  while (!queue.empty()) {
+    const CsrGraph::Index v = queue.front();
+    queue.pop_front();
+    expand(v, [&](CsrGraph::Index w) {
+      if (dist[w] == kUnreachable) {
+        dist[w] = dist[v] + 1;
+        queue.push_back(w);
+      }
+    });
+  }
+  return dist;
+}
+
+}  // namespace
+
+std::vector<uint32_t> BfsDistances(const CsrGraph& graph,
+                                   CsrGraph::Index source) {
+  return Bfs(graph.num_vertices(), source,
+             [&](CsrGraph::Index v, auto visit) {
+               for (CsrGraph::Index w : graph.OutNeighbors(v)) visit(w);
+             });
+}
+
+std::vector<uint32_t> BfsDistancesUndirected(const CsrGraph& graph,
+                                             CsrGraph::Index source) {
+  return Bfs(graph.num_vertices(), source,
+             [&](CsrGraph::Index v, auto visit) {
+               for (CsrGraph::Index w : graph.OutNeighbors(v)) visit(w);
+               for (CsrGraph::Index w : graph.InNeighbors(v)) visit(w);
+             });
+}
+
+bool PathExists(const CsrGraph& graph, CsrGraph::Index source,
+                CsrGraph::Index target) {
+  if (source >= graph.num_vertices() || target >= graph.num_vertices()) {
+    return false;
+  }
+  const std::vector<uint32_t> dist = BfsDistances(graph, source);
+  return dist[target] != kUnreachable;
+}
+
+SpanningTree BfsSpanningTree(const CsrGraph& graph, CsrGraph::Index root) {
+  SpanningTree tree;
+  tree.root = root;
+  tree.parent.assign(graph.num_vertices(), SpanningTree::kNoParent);
+  if (root >= graph.num_vertices()) return tree;
+  std::deque<CsrGraph::Index> queue;
+  tree.parent[root] = root;
+  tree.reached = 1;
+  queue.push_back(root);
+  while (!queue.empty()) {
+    const CsrGraph::Index v = queue.front();
+    queue.pop_front();
+    for (CsrGraph::Index w : graph.OutNeighbors(v)) {
+      if (tree.parent[w] == SpanningTree::kNoParent) {
+        tree.parent[w] = v;
+        ++tree.reached;
+        queue.push_back(w);
+      }
+    }
+  }
+  return tree;
+}
+
+size_t EstimateDiameter(const CsrGraph& graph, size_t samples, Rng& rng) {
+  const size_t n = graph.num_vertices();
+  if (n < 2) return 0;
+  size_t best = 0;
+  for (size_t i = 0; i < samples; ++i) {
+    const auto start =
+        static_cast<CsrGraph::Index>(rng.NextBounded(n));
+    // Double sweep: BFS from a random start, then BFS from the farthest
+    // reached vertex; the second eccentricity lower-bounds the diameter.
+    std::vector<uint32_t> d1 = BfsDistancesUndirected(graph, start);
+    CsrGraph::Index farthest = start;
+    uint32_t far_dist = 0;
+    for (size_t v = 0; v < n; ++v) {
+      if (d1[v] != kUnreachable && d1[v] > far_dist) {
+        far_dist = d1[v];
+        farthest = static_cast<CsrGraph::Index>(v);
+      }
+    }
+    std::vector<uint32_t> d2 = BfsDistancesUndirected(graph, farthest);
+    for (uint32_t d : d2) {
+      if (d != kUnreachable) best = std::max<size_t>(best, d);
+    }
+  }
+  return best;
+}
+
+size_t ExactDiameter(const CsrGraph& graph) {
+  const size_t n = graph.num_vertices();
+  size_t diameter = 0;
+  for (size_t v = 0; v < n; ++v) {
+    const std::vector<uint32_t> dist =
+        BfsDistancesUndirected(graph, static_cast<CsrGraph::Index>(v));
+    for (uint32_t d : dist) {
+      if (d != kUnreachable) diameter = std::max<size_t>(diameter, d);
+    }
+  }
+  return diameter;
+}
+
+}  // namespace graphtides

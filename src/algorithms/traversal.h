@@ -1,0 +1,55 @@
+// Traversal computations (Table 1: "Routing & traversals"): breadth-first
+// search, spanning trees, and diameter estimation.
+#ifndef GRAPHTIDES_ALGORITHMS_TRAVERSAL_H_
+#define GRAPHTIDES_ALGORITHMS_TRAVERSAL_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <limits>
+#include <vector>
+
+#include "common/random.h"
+#include "graph/csr.h"
+
+namespace graphtides {
+
+/// Sentinel distance for unreachable vertices.
+inline constexpr uint32_t kUnreachable = std::numeric_limits<uint32_t>::max();
+
+/// \brief BFS hop distances from `source` (dense index) following out-edges.
+/// Unreachable vertices get kUnreachable.
+std::vector<uint32_t> BfsDistances(const CsrGraph& graph,
+                                   CsrGraph::Index source);
+
+/// \brief BFS over the undirected view (out- and in-edges).
+std::vector<uint32_t> BfsDistancesUndirected(const CsrGraph& graph,
+                                             CsrGraph::Index source);
+
+/// \brief Whether a directed path source -> target exists — the dichotomous
+/// "correctness" computation of §4.3.
+bool PathExists(const CsrGraph& graph, CsrGraph::Index source,
+                CsrGraph::Index target);
+
+/// \brief BFS spanning tree: parent[v] is the BFS predecessor of v, the
+/// source is its own parent, unreached vertices have parent kNoParent.
+struct SpanningTree {
+  static constexpr uint32_t kNoParent = std::numeric_limits<uint32_t>::max();
+  CsrGraph::Index root = 0;
+  std::vector<uint32_t> parent;
+  size_t reached = 0;
+};
+
+SpanningTree BfsSpanningTree(const CsrGraph& graph, CsrGraph::Index root);
+
+/// \brief Estimates the diameter of the undirected view by `samples`
+/// double-sweep BFS probes (lower bound that is exact on trees and tight on
+/// most real-world graphs). Returns 0 on graphs with < 2 vertices.
+size_t EstimateDiameter(const CsrGraph& graph, size_t samples, Rng& rng);
+
+/// \brief Exact eccentricity-based diameter of the undirected view —
+/// O(n * (n + m)); test/reference use only.
+size_t ExactDiameter(const CsrGraph& graph);
+
+}  // namespace graphtides
+
+#endif  // GRAPHTIDES_ALGORITHMS_TRAVERSAL_H_

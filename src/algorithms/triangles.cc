@@ -1,0 +1,89 @@
+#include "algorithms/triangles.h"
+
+#include <algorithm>
+#include <vector>
+
+namespace graphtides {
+
+namespace {
+
+/// Undirected, deduplicated, sorted adjacency lists.
+std::vector<std::vector<CsrGraph::Index>> BuildUndirectedAdjacency(
+    const CsrGraph& graph) {
+  const size_t n = graph.num_vertices();
+  std::vector<std::vector<CsrGraph::Index>> adj(n);
+  for (size_t v = 0; v < n; ++v) {
+    auto& list = adj[v];
+    for (CsrGraph::Index w :
+         graph.OutNeighbors(static_cast<CsrGraph::Index>(v))) {
+      list.push_back(w);
+    }
+    for (CsrGraph::Index w :
+         graph.InNeighbors(static_cast<CsrGraph::Index>(v))) {
+      list.push_back(w);
+    }
+    std::sort(list.begin(), list.end());
+    list.erase(std::unique(list.begin(), list.end()), list.end());
+  }
+  return adj;
+}
+
+}  // namespace
+
+uint64_t CountTriangles(const CsrGraph& graph) {
+  const size_t n = graph.num_vertices();
+  const auto adj = BuildUndirectedAdjacency(graph);
+
+  // Rank vertices by (degree, index); keep only forward edges. Every
+  // triangle then has exactly one representation.
+  auto rank_less = [&](CsrGraph::Index a, CsrGraph::Index b) {
+    if (adj[a].size() != adj[b].size()) return adj[a].size() < adj[b].size();
+    return a < b;
+  };
+  std::vector<std::vector<CsrGraph::Index>> forward(n);
+  for (size_t v = 0; v < n; ++v) {
+    for (CsrGraph::Index w : adj[v]) {
+      if (rank_less(static_cast<CsrGraph::Index>(v), w)) {
+        forward[v].push_back(w);
+      }
+    }
+    std::sort(forward[v].begin(), forward[v].end());
+  }
+
+  uint64_t triangles = 0;
+  for (size_t v = 0; v < n; ++v) {
+    for (CsrGraph::Index w : forward[v]) {
+      // Intersect forward[v] with forward[w].
+      const auto& a = forward[v];
+      const auto& b = forward[w];
+      size_t i = 0;
+      size_t j = 0;
+      while (i < a.size() && j < b.size()) {
+        if (a[i] < b[j]) {
+          ++i;
+        } else if (a[i] > b[j]) {
+          ++j;
+        } else {
+          ++triangles;
+          ++i;
+          ++j;
+        }
+      }
+    }
+  }
+  return triangles;
+}
+
+double GlobalClusteringCoefficient(const CsrGraph& graph) {
+  const auto adj = BuildUndirectedAdjacency(graph);
+  uint64_t wedges = 0;
+  for (const auto& list : adj) {
+    const uint64_t d = list.size();
+    wedges += d * (d - 1) / 2;
+  }
+  if (wedges == 0) return 0.0;
+  return 3.0 * static_cast<double>(CountTriangles(graph)) /
+         static_cast<double>(wedges);
+}
+
+}  // namespace graphtides

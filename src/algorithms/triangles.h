@@ -1,0 +1,23 @@
+// Triangle counting and clustering coefficient (Table 1: "Graph theory").
+// Operates on the undirected view of the graph.
+#ifndef GRAPHTIDES_ALGORITHMS_TRIANGLES_H_
+#define GRAPHTIDES_ALGORITHMS_TRIANGLES_H_
+
+#include <cstddef>
+#include <cstdint>
+
+#include "graph/csr.h"
+
+namespace graphtides {
+
+/// \brief Exact triangle count over the undirected view (each triangle
+/// counted once), using degree-ordered neighbor intersection.
+uint64_t CountTriangles(const CsrGraph& graph);
+
+/// \brief Global clustering coefficient: 3 * triangles / open-or-closed
+/// wedges. Returns 0 if the graph has no wedges.
+double GlobalClusteringCoefficient(const CsrGraph& graph);
+
+}  // namespace graphtides
+
+#endif  // GRAPHTIDES_ALGORITHMS_TRIANGLES_H_

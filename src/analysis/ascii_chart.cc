@@ -1,0 +1,84 @@
+#include "analysis/ascii_chart.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+
+namespace graphtides {
+
+namespace {
+
+// Eight block glyphs from lowest to full.
+const char* const kBlocks[] = {"▁", "▂", "▃",
+                               "▄", "▅", "▆",
+                               "▇", "█"};
+
+std::vector<double> Downsample(const std::vector<double>& values,
+                               size_t width) {
+  if (width == 0 || values.size() <= width) return values;
+  std::vector<double> out(width, 0.0);
+  std::vector<size_t> counts(width, 0);
+  for (size_t i = 0; i < values.size(); ++i) {
+    const size_t bucket = i * width / values.size();
+    out[bucket] += values[i];
+    ++counts[bucket];
+  }
+  for (size_t b = 0; b < width; ++b) {
+    if (counts[b] > 0) out[b] /= static_cast<double>(counts[b]);
+  }
+  return out;
+}
+
+}  // namespace
+
+std::string RenderSparkline(const std::vector<double>& values, size_t width) {
+  if (values.empty()) return "";
+  const std::vector<double> sampled = Downsample(values, width);
+  double lo = sampled[0];
+  double hi = sampled[0];
+  for (double v : sampled) {
+    lo = std::min(lo, v);
+    hi = std::max(hi, v);
+  }
+  std::string out;
+  const double span = hi - lo;
+  for (double v : sampled) {
+    size_t level = 0;
+    if (span > 0) {
+      level = static_cast<size_t>((v - lo) / span * 7.999);
+      level = std::min<size_t>(level, 7);
+    }
+    out += kBlocks[level];
+  }
+  return out;
+}
+
+std::string RenderStackedChart(const std::vector<ChartSeries>& series,
+                               size_t width) {
+  size_t label_width = 0;
+  for (const ChartSeries& s : series) {
+    label_width = std::max(label_width, s.label.size());
+  }
+  std::string out;
+  for (const ChartSeries& s : series) {
+    double lo = 0.0;
+    double hi = 0.0;
+    if (!s.values.empty()) {
+      lo = hi = s.values[0];
+      for (double v : s.values) {
+        lo = std::min(lo, v);
+        hi = std::max(hi, v);
+      }
+    }
+    char range[64];
+    std::snprintf(range, sizeof(range), "  [%.3g .. %.3g]", lo, hi);
+    out += s.label;
+    out.append(label_width - s.label.size() + 2, ' ');
+    out += RenderSparkline(s.values, width);
+    out += range;
+    out += '\n';
+  }
+  return out;
+}
+
+}  // namespace graphtides

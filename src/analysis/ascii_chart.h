@@ -1,0 +1,35 @@
+// Terminal-friendly time-series rendering (§4.5: "Tools for the assessment
+// include appropriate visualizations (e.g., time series plots)"). Renders
+// series as Unicode block sparklines and multi-series stacked charts, the
+// textual analogue of the paper's Fig. 3 plots.
+#ifndef GRAPHTIDES_ANALYSIS_ASCII_CHART_H_
+#define GRAPHTIDES_ANALYSIS_ASCII_CHART_H_
+
+#include <string>
+#include <vector>
+
+namespace graphtides {
+
+/// \brief Renders `values` as a one-line sparkline (8 block levels).
+///
+/// Values are scaled to [min, max] of the series; negative-to-positive
+/// series render relative to their own range. Empty input yields "".
+/// If `width` > 0 and the series is longer, it is downsampled by averaging
+/// consecutive buckets.
+std::string RenderSparkline(const std::vector<double>& values,
+                            size_t width = 0);
+
+/// \brief One labelled series for a stacked chart.
+struct ChartSeries {
+  std::string label;
+  std::vector<double> values;
+};
+
+/// \brief Renders aligned sparkline rows with labels and [min..max]
+/// annotations — a stacked time-series "plot" like Fig. 3d.
+std::string RenderStackedChart(const std::vector<ChartSeries>& series,
+                               size_t width = 80);
+
+}  // namespace graphtides
+
+#endif  // GRAPHTIDES_ANALYSIS_ASCII_CHART_H_

@@ -1,0 +1,61 @@
+#include "analysis/trend.h"
+
+#include <algorithm>
+
+namespace graphtides {
+
+void TrendDetector::Observe(uint64_t key, Timestamp time) {
+  std::deque<Timestamp>& times = observations_[key];
+  times.push_back(time);
+  Prune(times, time);
+}
+
+void TrendDetector::Prune(std::deque<Timestamp>& times, Timestamp now) const {
+  // Keep two windows of history: [now - 2W, now].
+  const Timestamp cutoff = now - options_.window - options_.window;
+  while (!times.empty() && times.front() < cutoff) times.pop_front();
+}
+
+uint64_t TrendDetector::CountInWindow(uint64_t key, Timestamp now) const {
+  auto it = observations_.find(key);
+  if (it == observations_.end()) return 0;
+  const Timestamp window_start = now - options_.window;
+  uint64_t count = 0;
+  for (Timestamp t : it->second) {
+    if (t >= window_start && t <= now) ++count;
+  }
+  return count;
+}
+
+std::vector<Trend> TrendDetector::TrendingAt(Timestamp now) const {
+  std::vector<Trend> trends;
+  const Timestamp window_start = now - options_.window;
+  const Timestamp prev_start = window_start - options_.window;
+  for (const auto& [key, times] : observations_) {
+    uint64_t current = 0;
+    uint64_t previous = 0;
+    for (Timestamp t : times) {
+      if (t > now) continue;
+      if (t >= window_start) {
+        ++current;
+      } else if (t >= prev_start) {
+        ++previous;
+      }
+    }
+    if (current < options_.min_count) continue;
+    const double growth =
+        previous == 0 ? static_cast<double>(current)
+                      : static_cast<double>(current) /
+                            static_cast<double>(previous);
+    if (previous == 0 || growth >= options_.growth_factor) {
+      trends.push_back({key, current, previous, growth});
+    }
+  }
+  std::sort(trends.begin(), trends.end(), [](const Trend& a, const Trend& b) {
+    if (a.growth != b.growth) return a.growth > b.growth;
+    return a.key < b.key;
+  });
+  return trends;
+}
+
+}  // namespace graphtides

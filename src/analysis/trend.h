@@ -1,0 +1,60 @@
+// Sliding-window trend detection (Table 1: "Temporal analyses — trend
+// analyses on graph properties"; §2.4: "individuals that attract a lot of
+// new friends within a specified period").
+#ifndef GRAPHTIDES_ANALYSIS_TREND_H_
+#define GRAPHTIDES_ANALYSIS_TREND_H_
+
+#include <cstdint>
+#include <deque>
+#include <unordered_map>
+#include <vector>
+
+#include "common/clock.h"
+
+namespace graphtides {
+
+struct TrendDetectorOptions {
+  /// Width of the current and reference windows.
+  Duration window = Duration::FromSeconds(10.0);
+  /// A key is trending if current-window count >= growth_factor *
+  /// previous-window count (and >= min_count).
+  double growth_factor = 3.0;
+  uint64_t min_count = 5;
+};
+
+struct Trend {
+  uint64_t key = 0;
+  uint64_t current_count = 0;
+  uint64_t previous_count = 0;
+  double growth = 0.0;
+};
+
+/// \brief Streams (key, time) observations and reports keys whose recent
+/// activity outgrows their own baseline.
+class TrendDetector {
+ public:
+  explicit TrendDetector(TrendDetectorOptions options = {})
+      : options_(options) {}
+
+  /// Records one observation (e.g. "vertex gained a follower at t").
+  /// Observations must arrive in non-decreasing time order.
+  void Observe(uint64_t key, Timestamp time);
+
+  /// Keys trending at `now`, sorted by descending growth.
+  std::vector<Trend> TrendingAt(Timestamp now) const;
+
+  /// Observations of `key` inside the current window [now - W, now].
+  uint64_t CountInWindow(uint64_t key, Timestamp now) const;
+
+  size_t tracked_keys() const { return observations_.size(); }
+
+ private:
+  void Prune(std::deque<Timestamp>& times, Timestamp now) const;
+
+  TrendDetectorOptions options_;
+  std::unordered_map<uint64_t, std::deque<Timestamp>> observations_;
+};
+
+}  // namespace graphtides
+
+#endif  // GRAPHTIDES_ANALYSIS_TREND_H_

@@ -1,0 +1,153 @@
+// Clock abstractions. All framework timestamps are nanoseconds held in a
+// strong Timestamp type. Real experiments use MonotonicClock / WallClock;
+// simulated experiments use VirtualClock driven by the sim/ scheduler.
+#ifndef GRAPHTIDES_COMMON_CLOCK_H_
+#define GRAPHTIDES_COMMON_CLOCK_H_
+
+#include <chrono>
+#include <cstdint>
+#include <ostream>
+
+namespace graphtides {
+
+/// \brief Nanosecond-resolution point in time on some clock's axis.
+///
+/// A thin strong typedef over int64 nanoseconds: arithmetic between
+/// timestamps yields Duration; Duration +/- Timestamp yields Timestamp.
+class Timestamp {
+ public:
+  constexpr Timestamp() = default;
+  constexpr explicit Timestamp(int64_t nanos) : nanos_(nanos) {}
+
+  static constexpr Timestamp FromNanos(int64_t ns) { return Timestamp(ns); }
+  static constexpr Timestamp FromMicros(int64_t us) {
+    return Timestamp(us * 1000);
+  }
+  static constexpr Timestamp FromMillis(int64_t ms) {
+    return Timestamp(ms * 1000000);
+  }
+  static constexpr Timestamp FromSeconds(double s) {
+    return Timestamp(static_cast<int64_t>(s * 1e9));
+  }
+
+  constexpr int64_t nanos() const { return nanos_; }
+  constexpr int64_t micros() const { return nanos_ / 1000; }
+  constexpr int64_t millis() const { return nanos_ / 1000000; }
+  constexpr double seconds() const { return static_cast<double>(nanos_) / 1e9; }
+
+  constexpr auto operator<=>(const Timestamp&) const = default;
+
+ private:
+  int64_t nanos_ = 0;
+};
+
+/// \brief Signed span of time in nanoseconds.
+class Duration {
+ public:
+  constexpr Duration() = default;
+  constexpr explicit Duration(int64_t nanos) : nanos_(nanos) {}
+
+  static constexpr Duration FromNanos(int64_t ns) { return Duration(ns); }
+  static constexpr Duration FromMicros(int64_t us) {
+    return Duration(us * 1000);
+  }
+  static constexpr Duration FromMillis(int64_t ms) {
+    return Duration(ms * 1000000);
+  }
+  static constexpr Duration FromSeconds(double s) {
+    return Duration(static_cast<int64_t>(s * 1e9));
+  }
+  static constexpr Duration Zero() { return Duration(0); }
+
+  constexpr int64_t nanos() const { return nanos_; }
+  constexpr int64_t micros() const { return nanos_ / 1000; }
+  constexpr int64_t millis() const { return nanos_ / 1000000; }
+  constexpr double seconds() const { return static_cast<double>(nanos_) / 1e9; }
+
+  constexpr auto operator<=>(const Duration&) const = default;
+
+  constexpr Duration operator+(Duration o) const {
+    return Duration(nanos_ + o.nanos_);
+  }
+  constexpr Duration operator-(Duration o) const {
+    return Duration(nanos_ - o.nanos_);
+  }
+  constexpr Duration operator*(int64_t k) const { return Duration(nanos_ * k); }
+  constexpr Duration operator/(int64_t k) const { return Duration(nanos_ / k); }
+  Duration& operator+=(Duration o) {
+    nanos_ += o.nanos_;
+    return *this;
+  }
+  Duration& operator-=(Duration o) {
+    nanos_ -= o.nanos_;
+    return *this;
+  }
+
+ private:
+  int64_t nanos_ = 0;
+};
+
+constexpr Duration operator-(Timestamp a, Timestamp b) {
+  return Duration(a.nanos() - b.nanos());
+}
+constexpr Timestamp operator+(Timestamp t, Duration d) {
+  return Timestamp(t.nanos() + d.nanos());
+}
+constexpr Timestamp operator-(Timestamp t, Duration d) {
+  return Timestamp(t.nanos() - d.nanos());
+}
+
+inline std::ostream& operator<<(std::ostream& os, Timestamp t) {
+  return os << t.nanos() << "ns";
+}
+inline std::ostream& operator<<(std::ostream& os, Duration d) {
+  return os << d.nanos() << "ns";
+}
+
+/// \brief Source of timestamps; implemented by real and virtual clocks.
+class Clock {
+ public:
+  virtual ~Clock() = default;
+  virtual Timestamp Now() const = 0;
+};
+
+/// Monotonic clock (std::chrono::steady_clock). Suitable for interval
+/// measurements; the epoch is arbitrary.
+class MonotonicClock final : public Clock {
+ public:
+  Timestamp Now() const override {
+    return Timestamp(std::chrono::duration_cast<std::chrono::nanoseconds>(
+                         std::chrono::steady_clock::now().time_since_epoch())
+                         .count());
+  }
+};
+
+/// Wall clock (std::chrono::system_clock) for log record timestamps that are
+/// merged across machines; the paper assumes PTP-synchronized wall clocks.
+class WallClock final : public Clock {
+ public:
+  Timestamp Now() const override {
+    return Timestamp(std::chrono::duration_cast<std::chrono::nanoseconds>(
+                         std::chrono::system_clock::now().time_since_epoch())
+                         .count());
+  }
+};
+
+/// \brief Manually advanced clock used by the discrete-event simulator.
+class VirtualClock final : public Clock {
+ public:
+  Timestamp Now() const override { return now_; }
+
+  /// Moves the clock forward to `t`. Never moves backward.
+  void AdvanceTo(Timestamp t) {
+    if (t > now_) now_ = t;
+  }
+  void Advance(Duration d) { now_ = now_ + d; }
+
+ private:
+  Timestamp now_;
+};
+
+}  // namespace graphtides
+
+#endif  // GRAPHTIDES_COMMON_CLOCK_H_

@@ -1,0 +1,78 @@
+#include "common/csv.h"
+
+namespace graphtides {
+
+Result<std::vector<std::string>> ParseCsvLine(std::string_view line) {
+  std::vector<std::string> fields;
+  std::string current;
+  bool in_quotes = false;
+  bool was_quoted = false;  // current field started with a quote
+  size_t i = 0;
+  const size_t n = line.size();
+  while (i < n) {
+    const char c = line[i];
+    if (in_quotes) {
+      if (c == '"') {
+        if (i + 1 < n && line[i + 1] == '"') {
+          current.push_back('"');
+          i += 2;
+        } else {
+          in_quotes = false;
+          ++i;
+        }
+      } else {
+        current.push_back(c);
+        ++i;
+      }
+    } else if (c == '"') {
+      if (!current.empty() || was_quoted) {
+        return Status::ParseError("unexpected quote inside unquoted field");
+      }
+      in_quotes = true;
+      was_quoted = true;
+      ++i;
+    } else if (c == ',') {
+      fields.push_back(std::move(current));
+      current.clear();
+      was_quoted = false;
+      ++i;
+    } else {
+      if (was_quoted) {
+        return Status::ParseError("characters after closing quote");
+      }
+      current.push_back(c);
+      ++i;
+    }
+  }
+  if (in_quotes) {
+    return Status::ParseError("unterminated quoted field");
+  }
+  fields.push_back(std::move(current));
+  return fields;
+}
+
+std::string EscapeCsvField(std::string_view field) {
+  const bool needs_quoting =
+      field.find_first_of(",\"\n\r") != std::string_view::npos;
+  if (!needs_quoting) return std::string(field);
+  std::string out;
+  out.reserve(field.size() + 2);
+  out.push_back('"');
+  for (char c : field) {
+    if (c == '"') out.push_back('"');
+    out.push_back(c);
+  }
+  out.push_back('"');
+  return out;
+}
+
+std::string FormatCsvLine(const std::vector<std::string>& fields) {
+  std::string out;
+  for (size_t i = 0; i < fields.size(); ++i) {
+    if (i > 0) out.push_back(',');
+    out += EscapeCsvField(fields[i]);
+  }
+  return out;
+}
+
+}  // namespace graphtides

@@ -1,0 +1,34 @@
+// Minimal CSV reading/writing for the GraphTides stream format (§4.2).
+//
+// The format is comma-separated with optional double-quote quoting: a field
+// containing a comma, quote, or newline is wrapped in quotes, and embedded
+// quotes are doubled (RFC 4180 style). This matters because vertex/edge
+// states are "user-defined strings (e.g., stringified JSON)" and JSON
+// contains commas and quotes.
+#ifndef GRAPHTIDES_COMMON_CSV_H_
+#define GRAPHTIDES_COMMON_CSV_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/result.h"
+
+namespace graphtides {
+
+/// \brief Splits one CSV line into fields, honoring quoting.
+///
+/// Returns ParseError on unbalanced quotes or characters trailing a closing
+/// quote. The input must not contain the line terminator.
+Result<std::vector<std::string>> ParseCsvLine(std::string_view line);
+
+/// \brief Joins fields into one CSV line, quoting where necessary.
+std::string FormatCsvLine(const std::vector<std::string>& fields);
+
+/// \brief Escapes a single field if it needs quoting; otherwise returns it
+/// verbatim.
+std::string EscapeCsvField(std::string_view field);
+
+}  // namespace graphtides
+
+#endif  // GRAPHTIDES_COMMON_CSV_H_

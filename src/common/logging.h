@@ -1,0 +1,58 @@
+// Diagnostic logging for framework components (distinct from the harness's
+// measurement logs, which live in harness/). Thread-safe, leveled, writes to
+// stderr by default.
+#ifndef GRAPHTIDES_COMMON_LOGGING_H_
+#define GRAPHTIDES_COMMON_LOGGING_H_
+
+#include <mutex>
+#include <sstream>
+#include <string>
+
+namespace graphtides {
+
+enum class LogLevel : int { kDebug = 0, kInfo = 1, kWarning = 2, kError = 3 };
+
+/// \brief Process-wide diagnostic logger.
+class Logger {
+ public:
+  static Logger& Instance();
+
+  void SetMinLevel(LogLevel level) { min_level_ = level; }
+  LogLevel min_level() const { return min_level_; }
+
+  void Log(LogLevel level, const std::string& message);
+
+ private:
+  Logger() = default;
+  std::mutex mu_;
+  LogLevel min_level_ = LogLevel::kWarning;
+};
+
+namespace internal {
+
+/// Builds one log line and emits it on destruction.
+class LogMessage {
+ public:
+  LogMessage(LogLevel level, const char* file, int line);
+  ~LogMessage();
+
+  template <typename T>
+  LogMessage& operator<<(const T& v) {
+    stream_ << v;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+
+}  // namespace internal
+
+#define GT_LOG(level)                                            \
+  ::graphtides::internal::LogMessage(::graphtides::LogLevel::level, \
+                                     __FILE__, __LINE__)
+
+}  // namespace graphtides
+
+#endif  // GRAPHTIDES_COMMON_LOGGING_H_

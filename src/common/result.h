@@ -1,0 +1,76 @@
+// Result<T>: a value or a Status, in the style of arrow::Result.
+#ifndef GRAPHTIDES_COMMON_RESULT_H_
+#define GRAPHTIDES_COMMON_RESULT_H_
+
+#include <cassert>
+#include <utility>
+#include <variant>
+
+#include "common/status.h"
+
+namespace graphtides {
+
+/// \brief Holds either a value of type T or a non-OK Status.
+///
+/// Construct from a T (success) or from a Status (failure). Constructing from
+/// an OK status is a programming error and is converted to an Internal error.
+template <typename T>
+class Result {
+ public:
+  using ValueType = T;
+
+  Result(T value) : repr_(std::move(value)) {}  // NOLINT(runtime/explicit)
+  Result(Status status) : repr_(std::move(status)) {  // NOLINT(runtime/explicit)
+    if (std::get<Status>(repr_).ok()) {
+      repr_ = Status::Internal("Result constructed from OK status");
+    }
+  }
+
+  bool ok() const { return std::holds_alternative<T>(repr_); }
+
+  /// The error Status; OK() if this Result holds a value.
+  Status status() const {
+    return ok() ? Status::OK() : std::get<Status>(repr_);
+  }
+
+  /// Access to the held value. Undefined if !ok().
+  const T& value() const& {
+    assert(ok());
+    return std::get<T>(repr_);
+  }
+  T& value() & {
+    assert(ok());
+    return std::get<T>(repr_);
+  }
+  T&& value() && {
+    assert(ok());
+    return std::get<T>(std::move(repr_));
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+  /// Returns the value, or `fallback` if this Result holds an error.
+  T ValueOr(T fallback) const& { return ok() ? value() : std::move(fallback); }
+
+ private:
+  std::variant<Status, T> repr_;
+};
+
+/// Assigns the value of a Result expression to `lhs`, or propagates its error.
+#define GT_ASSIGN_OR_RETURN_IMPL(tmp, lhs, expr) \
+  auto tmp = (expr);                             \
+  if (!tmp.ok()) return tmp.status();            \
+  lhs = std::move(tmp).value()
+
+#define GT_ASSIGN_OR_RETURN_CONCAT_(a, b) a##b
+#define GT_ASSIGN_OR_RETURN_CONCAT(a, b) GT_ASSIGN_OR_RETURN_CONCAT_(a, b)
+#define GT_ASSIGN_OR_RETURN(lhs, expr) \
+  GT_ASSIGN_OR_RETURN_IMPL(            \
+      GT_ASSIGN_OR_RETURN_CONCAT(_gt_result_, __COUNTER__), lhs, expr)
+
+}  // namespace graphtides
+
+#endif  // GRAPHTIDES_COMMON_RESULT_H_

@@ -1,0 +1,151 @@
+// Status: lightweight error propagation without exceptions, in the style of
+// Arrow / RocksDB. A Status is either OK (the common, cheap case) or carries
+// an error code plus a human-readable message.
+#ifndef GRAPHTIDES_COMMON_STATUS_H_
+#define GRAPHTIDES_COMMON_STATUS_H_
+
+#include <memory>
+#include <ostream>
+#include <string>
+#include <string_view>
+#include <utility>
+
+namespace graphtides {
+
+/// Error categories used across the framework.
+enum class StatusCode : int {
+  kOk = 0,
+  kInvalidArgument = 1,
+  kNotFound = 2,
+  kAlreadyExists = 3,
+  kPreconditionFailed = 4,
+  kIoError = 5,
+  kParseError = 6,
+  kCapacityExceeded = 7,
+  kTimeout = 8,
+  kUnsupported = 9,
+  kInternal = 10,
+  kCancelled = 11,
+};
+
+/// \brief Returns a stable, human-readable name for a status code.
+std::string_view StatusCodeToString(StatusCode code);
+
+/// \brief Outcome of an operation: OK, or an error code with a message.
+///
+/// OK is represented by a null state pointer, so returning and testing an OK
+/// Status costs one pointer move / null check.
+class Status {
+ public:
+  /// Constructs an OK status.
+  Status() noexcept = default;
+
+  Status(StatusCode code, std::string message) {
+    if (code != StatusCode::kOk) {
+      state_ = std::make_unique<State>(State{code, std::move(message)});
+    }
+  }
+
+  Status(const Status& other) { CopyFrom(other); }
+  Status& operator=(const Status& other) {
+    if (this != &other) CopyFrom(other);
+    return *this;
+  }
+  Status(Status&&) noexcept = default;
+  Status& operator=(Status&&) noexcept = default;
+
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status AlreadyExists(std::string msg) {
+    return Status(StatusCode::kAlreadyExists, std::move(msg));
+  }
+  static Status PreconditionFailed(std::string msg) {
+    return Status(StatusCode::kPreconditionFailed, std::move(msg));
+  }
+  static Status IoError(std::string msg) {
+    return Status(StatusCode::kIoError, std::move(msg));
+  }
+  static Status ParseError(std::string msg) {
+    return Status(StatusCode::kParseError, std::move(msg));
+  }
+  static Status CapacityExceeded(std::string msg) {
+    return Status(StatusCode::kCapacityExceeded, std::move(msg));
+  }
+  static Status Timeout(std::string msg) {
+    return Status(StatusCode::kTimeout, std::move(msg));
+  }
+  static Status Unsupported(std::string msg) {
+    return Status(StatusCode::kUnsupported, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+  static Status Cancelled(std::string msg) {
+    return Status(StatusCode::kCancelled, std::move(msg));
+  }
+
+  bool ok() const { return state_ == nullptr; }
+  StatusCode code() const { return ok() ? StatusCode::kOk : state_->code; }
+  /// Message text; empty for OK statuses.
+  const std::string& message() const {
+    static const std::string kEmpty;
+    return ok() ? kEmpty : state_->message;
+  }
+
+  bool IsInvalidArgument() const { return code() == StatusCode::kInvalidArgument; }
+  bool IsNotFound() const { return code() == StatusCode::kNotFound; }
+  bool IsAlreadyExists() const { return code() == StatusCode::kAlreadyExists; }
+  bool IsPreconditionFailed() const {
+    return code() == StatusCode::kPreconditionFailed;
+  }
+  bool IsIoError() const { return code() == StatusCode::kIoError; }
+  bool IsParseError() const { return code() == StatusCode::kParseError; }
+  bool IsCapacityExceeded() const {
+    return code() == StatusCode::kCapacityExceeded;
+  }
+  bool IsTimeout() const { return code() == StatusCode::kTimeout; }
+  bool IsUnsupported() const { return code() == StatusCode::kUnsupported; }
+  bool IsInternal() const { return code() == StatusCode::kInternal; }
+  bool IsCancelled() const { return code() == StatusCode::kCancelled; }
+
+  /// "OK" or "<CODE>: <message>".
+  std::string ToString() const;
+
+  /// \brief Prepends context to the message, keeping the code.
+  ///
+  /// No-op on OK statuses. Useful when bubbling errors up through layers:
+  /// `return st.WithContext("while replaying line 12");`
+  Status WithContext(std::string_view context) const;
+
+ private:
+  struct State {
+    StatusCode code;
+    std::string message;
+  };
+
+  void CopyFrom(const Status& other) {
+    state_ = other.state_ ? std::make_unique<State>(*other.state_) : nullptr;
+  }
+
+  std::unique_ptr<State> state_;
+};
+
+inline std::ostream& operator<<(std::ostream& os, const Status& st) {
+  return os << st.ToString();
+}
+
+/// Propagates a non-OK Status to the caller.
+#define GT_RETURN_NOT_OK(expr)                 \
+  do {                                         \
+    ::graphtides::Status _st = (expr);         \
+    if (!_st.ok()) return _st;                 \
+  } while (false)
+
+}  // namespace graphtides
+
+#endif  // GRAPHTIDES_COMMON_STATUS_H_

@@ -1,0 +1,41 @@
+// Small string helpers shared across modules.
+#ifndef GRAPHTIDES_COMMON_STRING_UTIL_H_
+#define GRAPHTIDES_COMMON_STRING_UTIL_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/result.h"
+
+namespace graphtides {
+
+/// Splits on a single-character delimiter; keeps empty fields.
+std::vector<std::string_view> SplitString(std::string_view s, char delim);
+
+/// Removes leading and trailing ASCII whitespace.
+std::string_view TrimWhitespace(std::string_view s);
+
+/// Parses a base-10 signed integer occupying the whole string.
+Result<int64_t> ParseInt64(std::string_view s);
+
+/// Parses a base-10 unsigned integer occupying the whole string.
+Result<uint64_t> ParseUint64(std::string_view s);
+
+/// Parses a floating-point number occupying the whole string.
+Result<double> ParseDouble(std::string_view s);
+
+/// True if `s` begins with `prefix`.
+bool StartsWith(std::string_view s, std::string_view prefix);
+
+/// Joins items with a separator.
+std::string JoinStrings(const std::vector<std::string>& items,
+                        std::string_view sep);
+
+/// Uppercases ASCII letters.
+std::string ToUpperAscii(std::string_view s);
+
+}  // namespace graphtides
+
+#endif  // GRAPHTIDES_COMMON_STRING_UTIL_H_

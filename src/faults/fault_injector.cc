@@ -1,0 +1,81 @@
+#include "faults/fault_injector.h"
+
+#include <algorithm>
+#include <map>
+#include <sstream>
+
+namespace graphtides {
+
+std::vector<Event> InjectFaults(const std::vector<Event>& events,
+                                const FaultOptions& options,
+                                FaultReport* report) {
+  Rng rng(options.seed);
+  FaultReport local;
+  local.input_events = events.size();
+
+  // Pending displaced events: target position -> events due there.
+  std::multimap<size_t, Event> displaced;
+  std::vector<Event> out;
+  out.reserve(events.size());
+
+  auto flush_due = [&](size_t position) {
+    auto end = displaced.upper_bound(position);
+    for (auto it = displaced.begin(); it != end; ++it) {
+      out.push_back(std::move(it->second));
+    }
+    displaced.erase(displaced.begin(), end);
+  };
+
+  for (size_t i = 0; i < events.size(); ++i) {
+    flush_due(i);
+    const Event& e = events[i];
+    const bool protect =
+        options.protect_non_graph_events && !IsGraphOp(e.type);
+    if (!protect && rng.NextBool(options.drop_probability)) {
+      ++local.dropped;
+      continue;
+    }
+    const bool duplicate =
+        !protect && rng.NextBool(options.duplicate_probability);
+    if (!protect && options.reorder_window > 0 &&
+        rng.NextBool(options.reorder_probability)) {
+      const size_t shift = 1 + rng.NextBounded(options.reorder_window);
+      displaced.emplace(i + shift, e);
+      ++local.displaced;
+    } else {
+      out.push_back(e);
+    }
+    if (duplicate) {
+      out.push_back(e);
+      ++local.duplicated;
+    }
+  }
+  // Flush any remaining displaced events in due order.
+  for (auto& [pos, event] : displaced) out.push_back(std::move(event));
+
+  local.output_events = out.size();
+  if (report != nullptr) *report = local;
+  return out;
+}
+
+std::vector<Event> ShuffleWindow(std::vector<Event> events, size_t begin,
+                                 size_t end, Rng& rng) {
+  begin = std::min(begin, events.size());
+  end = std::min(end, events.size());
+  if (begin >= end) return events;
+  for (size_t i = end - 1; i > begin; --i) {
+    const size_t j = begin + rng.NextBounded(i - begin + 1);
+    std::swap(events[i], events[j]);
+  }
+  return events;
+}
+
+std::string FaultReport::ToString() const {
+  std::ostringstream os;
+  os << "faults: in=" << input_events << " out=" << output_events
+     << " dropped=" << dropped << " duplicated=" << duplicated
+     << " displaced=" << displaced;
+  return os.str();
+}
+
+}  // namespace graphtides

@@ -1,0 +1,61 @@
+// A-priori stream fault injection (§3.2 Streaming Properties): the replayer
+// itself always delivers an ordered, reliable, exactly-once stream, so
+// weaker delivery semantics are modeled by deterministically rewriting the
+// input stream *before* a run — dropping events (loss), duplicating events
+// (at-least-once), and displacing events within a bounded window
+// (reordering).
+#ifndef GRAPHTIDES_FAULTS_FAULT_INJECTOR_H_
+#define GRAPHTIDES_FAULTS_FAULT_INJECTOR_H_
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "common/random.h"
+#include "common/result.h"
+#include "stream/event.h"
+
+namespace graphtides {
+
+struct FaultOptions {
+  uint64_t seed = 1;
+  /// Per-event probability of being dropped.
+  double drop_probability = 0.0;
+  /// Per-event probability of being emitted twice (back to back).
+  double duplicate_probability = 0.0;
+  /// Per-event probability of being displaced.
+  double reorder_probability = 0.0;
+  /// Maximum forward displacement (in positions) of a reordered event.
+  size_t reorder_window = 8;
+  /// Keep marker and control events intact: they steer the replayer and
+  /// the analysis, not the graph.
+  bool protect_non_graph_events = true;
+};
+
+struct FaultReport {
+  size_t input_events = 0;
+  size_t output_events = 0;
+  size_t dropped = 0;
+  size_t duplicated = 0;
+  size_t displaced = 0;
+
+  std::string ToString() const;
+};
+
+/// \brief Applies the configured faults; deterministic in `options.seed`.
+///
+/// Order of application per event: drop, else duplicate, and independently
+/// displacement. Displacement pushes the event up to `reorder_window`
+/// positions later in the output.
+std::vector<Event> InjectFaults(const std::vector<Event>& events,
+                                const FaultOptions& options,
+                                FaultReport* report = nullptr);
+
+/// \brief Uniformly shuffles the slice [begin, end) of the stream — the
+/// paper's "shuffling partial streams". Indices clamp to the stream size.
+std::vector<Event> ShuffleWindow(std::vector<Event> events, size_t begin,
+                                 size_t end, Rng& rng);
+
+}  // namespace graphtides
+
+#endif  // GRAPHTIDES_FAULTS_FAULT_INJECTOR_H_

@@ -1,0 +1,100 @@
+#include "generator/bootstrap.h"
+
+#include <cmath>
+#include <vector>
+
+namespace graphtides {
+
+Status BootstrapBarabasiAlbert(GraphBuilder& builder, GeneratorContext& ctx,
+                               const BarabasiAlbertParams& params) {
+  if (params.m0 < 2 || params.n < params.m0 || params.m == 0) {
+    return Status::InvalidArgument(
+        "BarabasiAlbert requires m0 >= 2, n >= m0, m >= 1");
+  }
+  Rng& rng = ctx.rng();
+
+  // Seed vertices.
+  std::vector<VertexId> seed;
+  seed.reserve(params.m0);
+  for (size_t i = 0; i < params.m0; ++i) {
+    GT_ASSIGN_OR_RETURN(const VertexId id, builder.AddVertex());
+    seed.push_back(id);
+  }
+  // Seed connectivity: a directed ring plus random chords, so every seed
+  // vertex has nonzero degree before attachment starts.
+  for (size_t i = 0; i < params.m0; ++i) {
+    GT_RETURN_NOT_OK(
+        builder.AddEdge(seed[i], seed[(i + 1) % params.m0]));
+  }
+  const size_t chords = std::min(params.m, params.m0 - 1);
+  for (size_t i = 0; i < params.m0 && chords > 1; ++i) {
+    for (size_t c = 1; c < chords; ++c) {
+      const VertexId target = seed[rng.NextBounded(params.m0)];
+      if (target == seed[i] || ctx.topology().HasEdge(seed[i], target)) {
+        continue;
+      }
+      GT_RETURN_NOT_OK(builder.AddEdge(seed[i], target));
+    }
+  }
+
+  // Preferential attachment phase. The repeated-endpoints list gives exact
+  // degree-proportional sampling.
+  for (size_t i = params.m0; i < params.n; ++i) {
+    GT_ASSIGN_OR_RETURN(const VertexId v, builder.AddVertex());
+    const size_t attach = std::min(params.m, i);
+    size_t added = 0;
+    size_t guard = 0;
+    while (added < attach && guard < attach * 64) {
+      ++guard;
+      const auto target = ctx.topology().PreferentialVertex(rng);
+      if (!target.has_value() || *target == v ||
+          ctx.topology().HasEdge(v, *target)) {
+        continue;
+      }
+      GT_RETURN_NOT_OK(builder.AddEdge(v, *target));
+      ++added;
+    }
+  }
+  return Status::OK();
+}
+
+Status BootstrapErdosRenyi(GraphBuilder& builder, GeneratorContext& ctx,
+                           const ErdosRenyiParams& params) {
+  if (params.p < 0.0 || params.p > 1.0) {
+    return Status::InvalidArgument("ErdosRenyi requires 0 <= p <= 1");
+  }
+  Rng& rng = ctx.rng();
+  std::vector<VertexId> ids;
+  ids.reserve(params.n);
+  for (size_t i = 0; i < params.n; ++i) {
+    GT_ASSIGN_OR_RETURN(const VertexId id, builder.AddVertex());
+    ids.push_back(id);
+  }
+  if (params.p == 0.0 || params.n < 2) return Status::OK();
+
+  // Geometric skipping over the n*(n-1) ordered non-loop pairs.
+  const double log_q = std::log(1.0 - params.p);
+  const uint64_t total = static_cast<uint64_t>(params.n) *
+                         static_cast<uint64_t>(params.n - 1);
+  uint64_t idx = 0;
+  const bool dense = params.p >= 1.0;
+  while (idx < total) {
+    if (!dense) {
+      double u;
+      do {
+        u = rng.NextDouble();
+      } while (u <= 0.0);
+      idx += static_cast<uint64_t>(std::floor(std::log(u) / log_q));
+      if (idx >= total) break;
+    }
+    // Decode the pair: row-major over (src, dst != src).
+    const uint64_t src_idx = idx / (params.n - 1);
+    uint64_t dst_idx = idx % (params.n - 1);
+    if (dst_idx >= src_idx) ++dst_idx;  // skip the diagonal
+    GT_RETURN_NOT_OK(builder.AddEdge(ids[src_idx], ids[dst_idx]));
+    ++idx;
+  }
+  return Status::OK();
+}
+
+}  // namespace graphtides

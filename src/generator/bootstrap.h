@@ -1,0 +1,42 @@
+// Well-known bootstrap graph generators (§5.1: "use a well-known graph
+// generation algorithm for the initial graph (such as Barabási-Albert or
+// Erdős-Rényi)"). Both emit CREATE events through a GraphBuilder.
+#ifndef GRAPHTIDES_GENERATOR_BOOTSTRAP_H_
+#define GRAPHTIDES_GENERATOR_BOOTSTRAP_H_
+
+#include <cstddef>
+
+#include "common/status.h"
+#include "generator/graph_builder.h"
+
+namespace graphtides {
+
+/// \brief Barabási–Albert preferential attachment.
+///
+/// Matches the Table 3 parameterization: `n` total vertices, `m0` fully
+/// interconnected seed vertices (seeded as a directed cycle plus random
+/// chords up to min(m0-1, m) per vertex to keep seeding O(m0 * m)), then
+/// each new vertex attaches to `m` existing vertices chosen by preferential
+/// attachment. Edges are directed from the new vertex to its targets.
+struct BarabasiAlbertParams {
+  size_t n = 1000;
+  size_t m0 = 10;  // seed size
+  size_t m = 3;    // edges per new vertex
+};
+
+Status BootstrapBarabasiAlbert(GraphBuilder& builder, GeneratorContext& ctx,
+                               const BarabasiAlbertParams& params);
+
+/// \brief Erdős–Rényi G(n, p): every ordered pair (u, v), u != v, is an edge
+/// with probability p. Uses geometric skipping, O(n + m) expected.
+struct ErdosRenyiParams {
+  size_t n = 1000;
+  double p = 0.01;
+};
+
+Status BootstrapErdosRenyi(GraphBuilder& builder, GeneratorContext& ctx,
+                           const ErdosRenyiParams& params);
+
+}  // namespace graphtides
+
+#endif  // GRAPHTIDES_GENERATOR_BOOTSTRAP_H_

@@ -1,0 +1,26 @@
+#include "generator/graph_builder.h"
+
+namespace graphtides {
+
+Result<VertexId> GraphBuilder::AddVertex(std::string state) {
+  const VertexId id = ctx_->NextVertexId();
+  GT_RETURN_NOT_OK(AddVertexWithId(id, std::move(state)));
+  return id;
+}
+
+Status GraphBuilder::AddVertexWithId(VertexId id, std::string state) {
+  GT_RETURN_NOT_OK(topology_->AddVertex(id));
+  ctx_->BumpNextVertexId(id);
+  out_->push_back(Event::AddVertex(id, std::move(state)));
+  ++emitted_;
+  return Status::OK();
+}
+
+Status GraphBuilder::AddEdge(VertexId src, VertexId dst, std::string state) {
+  GT_RETURN_NOT_OK(topology_->AddEdge(src, dst));
+  out_->push_back(Event::AddEdge(src, dst, std::move(state)));
+  ++emitted_;
+  return Status::OK();
+}
+
+}  // namespace graphtides

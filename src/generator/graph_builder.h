@@ -1,0 +1,42 @@
+// GraphBuilder: the object handed to GeneratorModel::BootstrapGraph.
+// Emitting through the builder keeps the generated event list and the
+// topology shadow consistent.
+#ifndef GRAPHTIDES_GENERATOR_GRAPH_BUILDER_H_
+#define GRAPHTIDES_GENERATOR_GRAPH_BUILDER_H_
+
+#include <vector>
+
+#include "common/status.h"
+#include "generator/model.h"
+#include "generator/topology_index.h"
+#include "stream/event.h"
+
+namespace graphtides {
+
+/// \brief Emits bootstrap events and mirrors them into the topology index.
+class GraphBuilder {
+ public:
+  GraphBuilder(TopologyIndex* topology, GeneratorContext* ctx,
+               std::vector<Event>* out)
+      : topology_(topology), ctx_(ctx), out_(out) {}
+
+  /// Creates a fresh vertex (id from the context counter) and returns it.
+  Result<VertexId> AddVertex(std::string state = "");
+
+  /// Creates a vertex with an explicit id.
+  Status AddVertexWithId(VertexId id, std::string state = "");
+
+  Status AddEdge(VertexId src, VertexId dst, std::string state = "");
+
+  size_t events_emitted() const { return emitted_; }
+
+ private:
+  TopologyIndex* topology_;
+  GeneratorContext* ctx_;
+  std::vector<Event>* out_;
+  size_t emitted_ = 0;
+};
+
+}  // namespace graphtides
+
+#endif  // GRAPHTIDES_GENERATOR_GRAPH_BUILDER_H_

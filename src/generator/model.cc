@@ -1,0 +1,56 @@
+#include "generator/model.h"
+
+namespace graphtides {
+
+std::optional<VertexId> GeneratorModel::SelectVertex(EventType type,
+                                                     GeneratorContext& ctx) {
+  if (type == EventType::kAddVertex) return ctx.NextVertexId();
+  return ctx.topology().UniformVertex(ctx.rng());
+}
+
+std::optional<EdgeId> GeneratorModel::SelectEdge(EventType type,
+                                                 GeneratorContext& ctx) {
+  const TopologyIndex& topo = ctx.topology();
+  if (type == EventType::kAddEdge) {
+    // Uniform unconnected ordered pair, bounded retries.
+    for (int attempt = 0; attempt < 32; ++attempt) {
+      const auto src = topo.UniformVertex(ctx.rng());
+      if (!src.has_value()) return std::nullopt;
+      const auto dst = topo.UniformVertexOtherThan(ctx.rng(), *src);
+      if (!dst.has_value()) return std::nullopt;
+      if (!topo.HasEdge(*src, *dst)) return EdgeId{*src, *dst};
+    }
+    return std::nullopt;
+  }
+  return topo.UniformEdge(ctx.rng());
+}
+
+std::string GeneratorModel::InsertVertexState(VertexId, GeneratorContext&) {
+  return "";
+}
+
+std::string GeneratorModel::InsertEdgeState(EdgeId, GeneratorContext&) {
+  return "";
+}
+
+std::string GeneratorModel::UpdateVertexState(VertexId, GeneratorContext&) {
+  return "";
+}
+
+std::string GeneratorModel::UpdateEdgeState(EdgeId, GeneratorContext&) {
+  return "";
+}
+
+bool GeneratorModel::AllowRemoveVertex(VertexId, GeneratorContext&) {
+  return true;
+}
+
+bool GeneratorModel::AllowRemoveEdge(EdgeId, GeneratorContext&) {
+  return true;
+}
+
+bool GeneratorModel::Constraint(const Event&, GeneratorContext&) {
+  return true;
+}
+
+}  // namespace graphtides

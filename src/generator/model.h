@@ -1,0 +1,112 @@
+// The generator model interface — the C++ rendering of the user API in
+// Listing 1 of the paper (Appendix A.1). Generation is split into two
+// phases: (i) bootstrapping an initial graph and (ii) continuous round-based
+// evolution, where each round the model picks an event type, a target
+// vertex/edge, and the new state.
+//
+// Listing 1 name mapping:
+//   bootstrapGlobalContext -> the model's own constructor / member state
+//   bootstrapGraph         -> BootstrapGraph(builder, ctx)
+//   nextEventType          -> NextEventType(ctx)
+//   vertexSelect           -> SelectVertex(type, ctx)
+//   edgeSelect             -> SelectEdge(type, ctx)
+//   insertVertex           -> InsertVertexState(id, ctx)
+//   insertEdge             -> InsertEdgeState(edge, ctx)
+//   updateVertex           -> UpdateVertexState(id, ctx)
+//   updateEdge             -> UpdateEdgeState(edge, ctx)
+//   removeVertex           -> AllowRemoveVertex(id, ctx)
+//   removeEdge             -> AllowRemoveEdge(edge, ctx)
+//   constraint             -> Constraint(event, ctx)
+#ifndef GRAPHTIDES_GENERATOR_MODEL_H_
+#define GRAPHTIDES_GENERATOR_MODEL_H_
+
+#include <optional>
+#include <string>
+
+#include "common/random.h"
+#include "generator/topology_index.h"
+#include "stream/event.h"
+
+namespace graphtides {
+
+/// \brief Per-run state handed to every model callback.
+class GeneratorContext {
+ public:
+  GeneratorContext(TopologyIndex* topology, Rng* rng)
+      : topology_(topology), rng_(rng) {}
+
+  /// Read-only view of the evolving topology.
+  const TopologyIndex& topology() const { return *topology_; }
+  Rng& rng() { return *rng_; }
+
+  /// Current evolution round (0 during bootstrap).
+  uint64_t round() const { return round_; }
+
+  /// Hands out fresh, never-used vertex IDs.
+  VertexId NextVertexId() { return next_vertex_id_++; }
+
+  // Engine-side hooks (not for models).
+  void set_round(uint64_t round) { round_ = round; }
+  void BumpNextVertexId(VertexId floor) {
+    if (floor >= next_vertex_id_) next_vertex_id_ = floor + 1;
+  }
+
+ private:
+  TopologyIndex* topology_;
+  Rng* rng_;
+  uint64_t round_ = 0;
+  VertexId next_vertex_id_ = 0;
+};
+
+class GraphBuilder;  // defined in graph_builder.h
+
+/// \brief User-extensible generation rules (Listing 1).
+///
+/// The default Select/State/Allow implementations give a usable
+/// uniform-random model, so subclasses override only what their workload
+/// needs.
+class GeneratorModel {
+ public:
+  virtual ~GeneratorModel() = default;
+
+  /// Short identifier used in stream-file headers and reports.
+  virtual std::string Name() const = 0;
+
+  /// Phase (i): builds the initial graph through `builder` (which emits
+  /// CREATE events into the stream and updates the topology).
+  virtual Status BootstrapGraph(GraphBuilder& builder,
+                                GeneratorContext& ctx) = 0;
+
+  /// Phase (ii): picks the type of the next event.
+  virtual EventType NextEventType(GeneratorContext& ctx) = 0;
+
+  /// Target vertex for REMOVE_VERTEX / UPDATE_VERTEX; for CREATE_VERTEX a
+  /// fresh id (default: ctx.NextVertexId()). nullopt = no candidate, the
+  /// engine retries with a different event type.
+  virtual std::optional<VertexId> SelectVertex(EventType type,
+                                               GeneratorContext& ctx);
+
+  /// Target edge for CREATE_EDGE / REMOVE_EDGE / UPDATE_EDGE. For
+  /// CREATE_EDGE the pair must not currently be connected. nullopt = no
+  /// candidate.
+  virtual std::optional<EdgeId> SelectEdge(EventType type,
+                                           GeneratorContext& ctx);
+
+  /// Initial / updated state payloads.
+  virtual std::string InsertVertexState(VertexId id, GeneratorContext& ctx);
+  virtual std::string InsertEdgeState(EdgeId edge, GeneratorContext& ctx);
+  virtual std::string UpdateVertexState(VertexId id, GeneratorContext& ctx);
+  virtual std::string UpdateEdgeState(EdgeId edge, GeneratorContext& ctx);
+
+  /// Veto hooks for removals (Listing 1's boolean returns).
+  virtual bool AllowRemoveVertex(VertexId id, GeneratorContext& ctx);
+  virtual bool AllowRemoveEdge(EdgeId edge, GeneratorContext& ctx);
+
+  /// Global constraint over the fully-formed event; returning false drops
+  /// the event and the engine retries.
+  virtual bool Constraint(const Event& event, GeneratorContext& ctx);
+};
+
+}  // namespace graphtides
+
+#endif  // GRAPHTIDES_GENERATOR_MODEL_H_

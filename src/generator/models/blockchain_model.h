@@ -1,0 +1,61 @@
+// BlockchainModel: the distributed-ledger use case of §2.4 — wallets as
+// vertices, pairwise transaction channels as edges. Transactions between a
+// connected pair are UPDATE_EDGE events carrying the amount; first-contact
+// transactions create the edge. Wallet balances are tracked by the model
+// and periodically written back as UPDATE_VERTEX events, so a consumer can
+// maintain live balance statistics from the stream alone.
+#ifndef GRAPHTIDES_GENERATOR_MODELS_BLOCKCHAIN_MODEL_H_
+#define GRAPHTIDES_GENERATOR_MODELS_BLOCKCHAIN_MODEL_H_
+
+#include <optional>
+#include <string>
+#include <unordered_map>
+
+#include "generator/model.h"
+
+namespace graphtides {
+
+struct BlockchainModelOptions {
+  size_t initial_wallets = 100;
+  int64_t initial_balance = 1000000;  // in smallest units
+  double p_new_wallet = 0.05;
+  double p_transaction = 0.80;
+  double p_balance_snapshot = 0.15;
+  /// Transaction counterparties are degree-biased ("exchanges" emerge).
+  double hub_bias = 1.2;
+};
+
+class BlockchainModel : public GeneratorModel {
+ public:
+  explicit BlockchainModel(BlockchainModelOptions options = {})
+      : options_(options) {}
+
+  std::string Name() const override { return "blockchain"; }
+
+  Status BootstrapGraph(GraphBuilder& builder, GeneratorContext& ctx) override;
+  EventType NextEventType(GeneratorContext& ctx) override;
+  std::optional<VertexId> SelectVertex(EventType type,
+                                       GeneratorContext& ctx) override;
+  std::optional<EdgeId> SelectEdge(EventType type,
+                                   GeneratorContext& ctx) override;
+  std::string InsertVertexState(VertexId id, GeneratorContext& ctx) override;
+  std::string UpdateVertexState(VertexId id, GeneratorContext& ctx) override;
+  std::string InsertEdgeState(EdgeId edge, GeneratorContext& ctx) override;
+  std::string UpdateEdgeState(EdgeId edge, GeneratorContext& ctx) override;
+
+  /// Model-side balance (ground truth for consumers).
+  int64_t BalanceOf(VertexId wallet) const;
+
+ private:
+  /// Moves a random affordable amount src -> dst; returns the amount.
+  int64_t Transact(VertexId src, VertexId dst, Rng& rng);
+
+  BlockchainModelOptions options_;
+  std::unordered_map<VertexId, int64_t> balances_;
+  /// Counterparties chosen ahead of time by NextEventType.
+  std::optional<EdgeId> pending_pair_;
+};
+
+}  // namespace graphtides
+
+#endif  // GRAPHTIDES_GENERATOR_MODELS_BLOCKCHAIN_MODEL_H_

@@ -1,0 +1,78 @@
+// DdosModel: the computer-network use case of §2.4 — a fixed set of
+// monitored servers, a churning population of remote clients, and flow
+// edges carrying traffic counters in their state.
+//
+// During configured attack windows, a botnet of fresh clients floods one
+// victim server: bursts of CREATE_VERTEX (bots), CREATE_EDGE (bot→victim),
+// and hot UPDATE_EDGE traffic on the victim's incoming flows. This produces
+// the highly localized temporal workload pattern the paper calls out
+// ("huge numbers of state update operations on a single vertex", §3.2).
+#ifndef GRAPHTIDES_GENERATOR_MODELS_DDOS_MODEL_H_
+#define GRAPHTIDES_GENERATOR_MODELS_DDOS_MODEL_H_
+
+#include <string>
+#include <unordered_set>
+#include <vector>
+
+#include "generator/model.h"
+
+namespace graphtides {
+
+struct DdosAttackWindow {
+  uint64_t start_round = 0;
+  uint64_t end_round = 0;  // exclusive
+};
+
+struct DdosModelOptions {
+  size_t num_servers = 8;
+  size_t initial_clients = 200;
+  /// Normal-phase behavior.
+  double p_new_client = 0.10;
+  double p_client_leaves = 0.05;
+  double p_new_flow = 0.25;
+  double p_flow_update = 0.55;
+  double p_flow_closes = 0.05;
+  /// During an attack, this fraction of events targets the victim.
+  double attack_intensity = 0.9;
+  std::vector<DdosAttackWindow> attacks;
+  size_t min_clients = 10;
+};
+
+class DdosModel : public GeneratorModel {
+ public:
+  explicit DdosModel(DdosModelOptions options = {}) : options_(options) {}
+
+  std::string Name() const override { return "ddos"; }
+
+  Status BootstrapGraph(GraphBuilder& builder, GeneratorContext& ctx) override;
+  EventType NextEventType(GeneratorContext& ctx) override;
+  std::optional<VertexId> SelectVertex(EventType type,
+                                       GeneratorContext& ctx) override;
+  std::optional<EdgeId> SelectEdge(EventType type,
+                                   GeneratorContext& ctx) override;
+  std::string InsertVertexState(VertexId id, GeneratorContext& ctx) override;
+  std::string InsertEdgeState(EdgeId edge, GeneratorContext& ctx) override;
+  std::string UpdateEdgeState(EdgeId edge, GeneratorContext& ctx) override;
+  bool AllowRemoveVertex(VertexId id, GeneratorContext& ctx) override;
+
+  /// Server vertex IDs (fixed after bootstrap).
+  const std::vector<VertexId>& servers() const { return servers_; }
+  /// Clients created during attack windows (ground truth for evaluations).
+  const std::unordered_set<VertexId>& bots() const { return bots_; }
+  /// The server attacked during windows (first server).
+  VertexId victim() const { return servers_.empty() ? 0 : servers_.front(); }
+
+  bool InAttack(uint64_t round) const;
+
+ private:
+  /// True if the current round's event should serve the attack.
+  bool AttackEvent(GeneratorContext& ctx) const;
+
+  DdosModelOptions options_;
+  std::vector<VertexId> servers_;
+  std::unordered_set<VertexId> bots_;
+};
+
+}  // namespace graphtides
+
+#endif  // GRAPHTIDES_GENERATOR_MODELS_DDOS_MODEL_H_

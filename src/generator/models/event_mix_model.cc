@@ -1,0 +1,101 @@
+#include "generator/models/event_mix_model.h"
+
+#include <cmath>
+
+namespace graphtides {
+
+Status EventMixModel::BootstrapGraph(GraphBuilder& builder,
+                                     GeneratorContext& ctx) {
+  if (std::abs(options_.mix.Sum() - 1.0) > 1e-6) {
+    return Status::InvalidArgument("event mix must sum to 1, got " +
+                                   std::to_string(options_.mix.Sum()));
+  }
+  switch (options_.bootstrap) {
+    case EventMixModelOptions::Bootstrap::kBarabasiAlbert:
+      return BootstrapBarabasiAlbert(builder, ctx, options_.ba);
+    case EventMixModelOptions::Bootstrap::kErdosRenyi:
+      return BootstrapErdosRenyi(builder, ctx, options_.er);
+    case EventMixModelOptions::Bootstrap::kNone:
+      return Status::OK();
+  }
+  return Status::Internal("unhandled bootstrap kind");
+}
+
+EventType EventMixModel::NextEventType(GeneratorContext& ctx) {
+  const double x = ctx.rng().NextDouble() * options_.mix.Sum();
+  double acc = options_.mix.create_vertex;
+  if (x < acc) return EventType::kAddVertex;
+  acc += options_.mix.remove_vertex;
+  if (x < acc) return EventType::kRemoveVertex;
+  acc += options_.mix.update_vertex;
+  if (x < acc) return EventType::kUpdateVertex;
+  acc += options_.mix.create_edge;
+  if (x < acc) return EventType::kAddEdge;
+  acc += options_.mix.remove_edge;
+  if (x < acc) return EventType::kRemoveEdge;
+  return EventType::kUpdateEdge;
+}
+
+std::optional<VertexId> EventMixModel::SelectVertex(EventType type,
+                                                    GeneratorContext& ctx) {
+  switch (type) {
+    case EventType::kAddVertex:
+      return ctx.NextVertexId();
+    case EventType::kRemoveVertex:
+      // Table 3: Zipf by degree, biased toward less connected vertices.
+      return ctx.topology().DegreeBiasedVertex(ctx.rng(),
+                                               options_.remove_vertex_bias);
+    case EventType::kUpdateVertex:
+      // Table 3: uniform-random.
+      return ctx.topology().UniformVertex(ctx.rng());
+    default:
+      return GeneratorModel::SelectVertex(type, ctx);
+  }
+}
+
+std::optional<EdgeId> EventMixModel::SelectEdge(EventType type,
+                                                GeneratorContext& ctx) {
+  if (type != EventType::kAddEdge) {
+    return GeneratorModel::SelectEdge(type, ctx);
+  }
+  // Table 3: source uniform-random, target Zipf by degree biased toward
+  // strongly connected vertices.
+  const TopologyIndex& topo = ctx.topology();
+  for (int attempt = 0; attempt < 32; ++attempt) {
+    const auto src = topo.UniformVertex(ctx.rng());
+    if (!src.has_value()) return std::nullopt;
+    const auto dst =
+        topo.DegreeBiasedVertex(ctx.rng(), options_.edge_target_bias);
+    if (!dst.has_value()) return std::nullopt;
+    if (*src != *dst && !topo.HasEdge(*src, *dst)) {
+      return EdgeId{*src, *dst};
+    }
+  }
+  return std::nullopt;
+}
+
+std::string EventMixModel::InsertVertexState(VertexId id,
+                                             GeneratorContext& ctx) {
+  return "{\"v\":" + std::to_string(id) +
+         ",\"r\":" + std::to_string(ctx.round()) + "}";
+}
+
+std::string EventMixModel::UpdateVertexState(VertexId id,
+                                             GeneratorContext& ctx) {
+  return "{\"v\":" + std::to_string(id) +
+         ",\"r\":" + std::to_string(ctx.round()) + "}";
+}
+
+std::string EventMixModel::InsertEdgeState(EdgeId, GeneratorContext& ctx) {
+  return "{\"w\":" + std::to_string(ctx.rng().NextInt(1, 100)) + "}";
+}
+
+std::string EventMixModel::UpdateEdgeState(EdgeId, GeneratorContext& ctx) {
+  return "{\"w\":" + std::to_string(ctx.rng().NextInt(1, 100)) + "}";
+}
+
+bool EventMixModel::AllowRemoveVertex(VertexId, GeneratorContext& ctx) {
+  return ctx.topology().num_vertices() > options_.min_vertices;
+}
+
+}  // namespace graphtides

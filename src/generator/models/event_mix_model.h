@@ -1,0 +1,79 @@
+// EventMixModel: a configurable-ratio workload model. This is the exact
+// shape of the paper's Weaver experiment workload (Table 3): a
+// Barabási–Albert bootstrap followed by an evolution phase drawn from fixed
+// event-type ratios, with Zipf-by-degree selection functions.
+#ifndef GRAPHTIDES_GENERATOR_MODELS_EVENT_MIX_MODEL_H_
+#define GRAPHTIDES_GENERATOR_MODELS_EVENT_MIX_MODEL_H_
+
+#include <string>
+
+#include "generator/bootstrap.h"
+#include "generator/model.h"
+
+namespace graphtides {
+
+/// \brief Probabilities per event type; must sum to ~1.
+struct EventMix {
+  double create_vertex = 0.10;
+  double remove_vertex = 0.05;
+  double update_vertex = 0.35;
+  double create_edge = 0.35;
+  double remove_edge = 0.15;
+  double update_edge = 0.00;
+
+  double Sum() const {
+    return create_vertex + remove_vertex + update_vertex + create_edge +
+           remove_edge + update_edge;
+  }
+};
+
+struct EventMixModelOptions {
+  /// Which bootstrap to run.
+  enum class Bootstrap { kBarabasiAlbert, kErdosRenyi, kNone };
+  Bootstrap bootstrap = Bootstrap::kBarabasiAlbert;
+  /// Table 3 default: n = 10000, m0 = 250, M = 50.
+  BarabasiAlbertParams ba{10000, 250, 50};
+  ErdosRenyiParams er{};
+
+  EventMix mix;
+
+  /// Selection biases, Table 3 semantics:
+  ///  * vertex removal biased toward *less* connected vertices,
+  ///  * vertex updates uniform,
+  ///  * edge source uniform, edge target biased toward *strongly*
+  ///    connected vertices.
+  double remove_vertex_bias = -1.0;
+  double edge_target_bias = 1.0;
+
+  /// Keep at least this many vertices (removals are vetoed below this).
+  size_t min_vertices = 2;
+};
+
+class EventMixModel : public GeneratorModel {
+ public:
+  explicit EventMixModel(EventMixModelOptions options)
+      : options_(std::move(options)) {}
+
+  std::string Name() const override { return "event_mix"; }
+
+  Status BootstrapGraph(GraphBuilder& builder, GeneratorContext& ctx) override;
+  EventType NextEventType(GeneratorContext& ctx) override;
+  std::optional<VertexId> SelectVertex(EventType type,
+                                       GeneratorContext& ctx) override;
+  std::optional<EdgeId> SelectEdge(EventType type,
+                                   GeneratorContext& ctx) override;
+  std::string InsertVertexState(VertexId id, GeneratorContext& ctx) override;
+  std::string UpdateVertexState(VertexId id, GeneratorContext& ctx) override;
+  std::string InsertEdgeState(EdgeId edge, GeneratorContext& ctx) override;
+  std::string UpdateEdgeState(EdgeId edge, GeneratorContext& ctx) override;
+  bool AllowRemoveVertex(VertexId id, GeneratorContext& ctx) override;
+
+  const EventMixModelOptions& options() const { return options_; }
+
+ private:
+  EventMixModelOptions options_;
+};
+
+}  // namespace graphtides
+
+#endif  // GRAPHTIDES_GENERATOR_MODELS_EVENT_MIX_MODEL_H_

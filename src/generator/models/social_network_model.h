@@ -1,0 +1,64 @@
+// SocialNetworkModel: a growing social graph of persons and follow
+// relations — the synthetic stand-in for the paper's converted LDBC SNB
+// workload ("only persons and connections", Table 4) and for the social
+// network use case of §2.4.
+//
+// Dynamics: the network grows steadily (new users, new follow edges with
+// preferential attachment, so influencers emerge), with light churn
+// (unfollows, departures biased toward weakly connected users) and profile
+// updates.
+#ifndef GRAPHTIDES_GENERATOR_MODELS_SOCIAL_NETWORK_MODEL_H_
+#define GRAPHTIDES_GENERATOR_MODELS_SOCIAL_NETWORK_MODEL_H_
+
+#include <string>
+
+#include "generator/bootstrap.h"
+#include "generator/model.h"
+
+namespace graphtides {
+
+struct SocialNetworkModelOptions {
+  /// Seed community size and connectivity.
+  size_t seed_users = 100;
+  size_t seed_follows_per_user = 3;
+
+  /// Evolution-phase event probabilities (normalized internally).
+  double p_new_user = 0.15;
+  double p_follow = 0.60;
+  double p_profile_update = 0.15;
+  double p_unfollow = 0.07;
+  double p_user_leaves = 0.03;
+
+  /// Preferential-attachment strength for follow targets (>= 0).
+  double influencer_bias = 1.0;
+  /// Departure bias toward weakly connected users (< 0).
+  double departure_bias = -1.5;
+
+  size_t min_users = 10;
+};
+
+class SocialNetworkModel : public GeneratorModel {
+ public:
+  explicit SocialNetworkModel(SocialNetworkModelOptions options = {})
+      : options_(options) {}
+
+  std::string Name() const override { return "social_network"; }
+
+  Status BootstrapGraph(GraphBuilder& builder, GeneratorContext& ctx) override;
+  EventType NextEventType(GeneratorContext& ctx) override;
+  std::optional<VertexId> SelectVertex(EventType type,
+                                       GeneratorContext& ctx) override;
+  std::optional<EdgeId> SelectEdge(EventType type,
+                                   GeneratorContext& ctx) override;
+  std::string InsertVertexState(VertexId id, GeneratorContext& ctx) override;
+  std::string UpdateVertexState(VertexId id, GeneratorContext& ctx) override;
+  std::string InsertEdgeState(EdgeId edge, GeneratorContext& ctx) override;
+  bool AllowRemoveVertex(VertexId id, GeneratorContext& ctx) override;
+
+ private:
+  SocialNetworkModelOptions options_;
+};
+
+}  // namespace graphtides
+
+#endif  // GRAPHTIDES_GENERATOR_MODELS_SOCIAL_NETWORK_MODEL_H_

@@ -1,0 +1,194 @@
+#include "generator/stream_generator.h"
+
+#include <algorithm>
+
+namespace graphtides {
+
+Result<Event> StreamGenerator::BuildEvent(EventType type,
+                                          GeneratorContext& ctx,
+                                          TopologyIndex& topology) {
+  switch (type) {
+    case EventType::kAddVertex: {
+      const auto id = model_->SelectVertex(type, ctx);
+      if (!id.has_value() || topology.HasVertex(*id)) {
+        return Status::NotFound("no vertex candidate");
+      }
+      return Event::AddVertex(*id, model_->InsertVertexState(*id, ctx));
+    }
+    case EventType::kRemoveVertex: {
+      const auto id = model_->SelectVertex(type, ctx);
+      if (!id.has_value() || !topology.HasVertex(*id)) {
+        return Status::NotFound("no vertex candidate");
+      }
+      if (!model_->AllowRemoveVertex(*id, ctx)) {
+        return Status::NotFound("removal vetoed");
+      }
+      return Event::RemoveVertex(*id);
+    }
+    case EventType::kUpdateVertex: {
+      const auto id = model_->SelectVertex(type, ctx);
+      if (!id.has_value() || !topology.HasVertex(*id)) {
+        return Status::NotFound("no vertex candidate");
+      }
+      return Event::UpdateVertex(*id, model_->UpdateVertexState(*id, ctx));
+    }
+    case EventType::kAddEdge: {
+      const auto edge = model_->SelectEdge(type, ctx);
+      if (!edge.has_value() || edge->src == edge->dst ||
+          !topology.HasVertex(edge->src) || !topology.HasVertex(edge->dst) ||
+          topology.HasEdge(edge->src, edge->dst)) {
+        return Status::NotFound("no edge candidate");
+      }
+      return Event::AddEdge(edge->src, edge->dst,
+                            model_->InsertEdgeState(*edge, ctx));
+    }
+    case EventType::kRemoveEdge: {
+      const auto edge = model_->SelectEdge(type, ctx);
+      if (!edge.has_value() || !topology.HasEdge(edge->src, edge->dst)) {
+        return Status::NotFound("no edge candidate");
+      }
+      if (!model_->AllowRemoveEdge(*edge, ctx)) {
+        return Status::NotFound("removal vetoed");
+      }
+      return Event::RemoveEdge(edge->src, edge->dst);
+    }
+    case EventType::kUpdateEdge: {
+      const auto edge = model_->SelectEdge(type, ctx);
+      if (!edge.has_value() || !topology.HasEdge(edge->src, edge->dst)) {
+        return Status::NotFound("no edge candidate");
+      }
+      return Event::UpdateEdge(edge->src, edge->dst,
+                               model_->UpdateEdgeState(*edge, ctx));
+    }
+    case EventType::kMarker:
+    case EventType::kSetRate:
+    case EventType::kPause:
+      return Status::InvalidArgument(
+          "models must produce graph-changing event types");
+  }
+  return Status::Internal("unhandled event type");
+}
+
+Result<GeneratedStream> StreamGenerator::Generate() {
+  GeneratedStream result;
+  TopologyIndex topology;
+  Rng rng(options_.seed);
+  GeneratorContext ctx(&topology, &rng);
+
+  // Phase (i): bootstrap.
+  GraphBuilder builder(&topology, &ctx, &result.events);
+  GT_RETURN_NOT_OK(model_->BootstrapGraph(builder, ctx));
+  result.bootstrap_events = builder.events_emitted();
+  if (options_.emit_phase_markers) {
+    result.events.push_back(Event::Marker("BOOTSTRAP_DONE"));
+  }
+  if (options_.bootstrap_pause > Duration::Zero()) {
+    result.events.push_back(Event::Pause(options_.bootstrap_pause));
+  }
+
+  // Phase (ii): evolution rounds.
+  size_t consecutive_skips = 0;
+  size_t marker_counter = 0;
+  for (size_t round = 1; round <= options_.rounds; ++round) {
+    ctx.set_round(round);
+    bool emitted = false;
+    for (size_t attempt = 0; attempt < options_.max_retries_per_round;
+         ++attempt) {
+      const EventType type = model_->NextEventType(ctx);
+      if (!IsGraphOp(type)) {
+        return Status::InvalidArgument(
+            "model " + model_->Name() +
+            " returned a non-graph event type from NextEventType");
+      }
+      Result<Event> candidate = BuildEvent(type, ctx, topology);
+      if (!candidate.ok()) {
+        if (candidate.status().IsNotFound()) continue;
+        return candidate.status();
+      }
+      Event event = std::move(candidate).value();
+      if (!model_->Constraint(event, ctx)) continue;
+
+      // Mirror into the topology shadow; selection already guaranteed
+      // validity, so a failure here is an engine bug.
+      Status applied;
+      switch (event.type) {
+        case EventType::kAddVertex:
+          applied = topology.AddVertex(event.vertex);
+          ctx.BumpNextVertexId(event.vertex);
+          break;
+        case EventType::kRemoveVertex:
+          applied = topology.RemoveVertex(event.vertex);
+          break;
+        case EventType::kAddEdge:
+          applied = topology.AddEdge(event.edge.src, event.edge.dst);
+          break;
+        case EventType::kRemoveEdge:
+          applied = topology.RemoveEdge(event.edge.src, event.edge.dst);
+          break;
+        default:
+          break;  // state updates do not alter topology
+      }
+      if (!applied.ok()) {
+        return applied.WithContext("generator engine inconsistency at round " +
+                                   std::to_string(round));
+      }
+      result.events.push_back(std::move(event));
+      ++result.evolution_events;
+      emitted = true;
+      break;
+    }
+    if (!emitted) {
+      ++result.skipped_rounds;
+      if (++consecutive_skips > options_.max_consecutive_skips) {
+        return Status::Internal(
+            "model " + model_->Name() + " produced no applicable event for " +
+            std::to_string(consecutive_skips) + " consecutive rounds");
+      }
+      continue;
+    }
+    consecutive_skips = 0;
+    if (options_.marker_interval != 0 &&
+        result.evolution_events % options_.marker_interval == 0) {
+      result.events.push_back(
+          Event::Marker("MARK_" + std::to_string(++marker_counter)));
+    }
+  }
+  if (options_.emit_phase_markers) {
+    result.events.push_back(Event::Marker("STREAM_END"));
+  }
+  result.final_vertices = topology.num_vertices();
+  result.final_edges = topology.num_edges();
+  return result;
+}
+
+std::vector<Event> ApplyControlSchedule(std::vector<Event> events,
+                                        std::vector<ScheduleEntry> schedule) {
+  std::vector<Event> out;
+  out.reserve(events.size() + schedule.size());
+  size_t graph_events = 0;
+  size_t next = 0;
+  auto drain_due = [&]() {
+    while (next < schedule.size() &&
+           schedule[next].after_graph_events <= graph_events) {
+      out.push_back(schedule[next].event);
+      ++next;
+    }
+  };
+  drain_due();
+  for (Event& e : events) {
+    const bool is_graph = IsGraphOp(e.type);
+    out.push_back(std::move(e));
+    if (is_graph) {
+      ++graph_events;
+      drain_due();
+    }
+  }
+  // Entries past the end of the stream are appended.
+  while (next < schedule.size()) {
+    out.push_back(schedule[next].event);
+    ++next;
+  }
+  return out;
+}
+
+}  // namespace graphtides

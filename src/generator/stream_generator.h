@@ -1,0 +1,81 @@
+// The graph stream generator engine (§4.1, §5.1): runs a GeneratorModel in
+// two phases (bootstrap + round-based evolution) and produces the event
+// sequence of a graph stream, including phase markers and periodic markers.
+#ifndef GRAPHTIDES_GENERATOR_STREAM_GENERATOR_H_
+#define GRAPHTIDES_GENERATOR_STREAM_GENERATOR_H_
+
+#include <string>
+#include <vector>
+
+#include "common/clock.h"
+#include "common/result.h"
+#include "generator/graph_builder.h"
+#include "generator/model.h"
+#include "stream/event.h"
+
+namespace graphtides {
+
+struct StreamGeneratorOptions {
+  uint64_t seed = 42;
+  /// Number of evolution-phase graph events to generate.
+  size_t rounds = 10000;
+  /// Emit "MARK_<n>" markers every this many evolution events (0 = off).
+  size_t marker_interval = 0;
+  /// Emit BOOTSTRAP_DONE / STREAM_END phase markers.
+  bool emit_phase_markers = true;
+  /// Insert a PAUSE of this length right after the bootstrap marker —
+  /// the paper's standard two-phase stream layout (§4.1).
+  Duration bootstrap_pause = Duration::Zero();
+  /// Give up on a round after this many rejected candidates (selection
+  /// failures, vetoes, constraint violations). The round is skipped; the
+  /// generator continues. A fully stuck model aborts after
+  /// `max_consecutive_skips` skipped rounds.
+  size_t max_retries_per_round = 64;
+  size_t max_consecutive_skips = 1000;
+};
+
+struct GeneratedStream {
+  std::vector<Event> events;
+  size_t bootstrap_events = 0;
+  size_t evolution_events = 0;
+  size_t skipped_rounds = 0;
+  /// Final topology sizes.
+  size_t final_vertices = 0;
+  size_t final_edges = 0;
+};
+
+/// \brief Runs a model to completion and returns the generated stream.
+class StreamGenerator {
+ public:
+  StreamGenerator(GeneratorModel* model, StreamGeneratorOptions options)
+      : model_(model), options_(options) {}
+
+  Result<GeneratedStream> Generate();
+
+ private:
+  /// Builds one evolution event; NotFound when the model produced no
+  /// applicable candidate this attempt.
+  Result<Event> BuildEvent(EventType type, GeneratorContext& ctx,
+                           TopologyIndex& topology);
+
+  GeneratorModel* model_;
+  StreamGeneratorOptions options_;
+};
+
+/// \brief A control/marker entry to splice into a generated stream at an
+/// absolute position counted in *graph events* (markers/controls do not
+/// advance the position). Used to express workloads like Table 4's
+/// "pause after 100,000 events, doubled rate for the next 50,000".
+struct ScheduleEntry {
+  size_t after_graph_events = 0;
+  Event event;
+};
+
+/// \brief Splices schedule entries into `events`. Entries must be sorted by
+/// position; several entries at one position keep their relative order.
+std::vector<Event> ApplyControlSchedule(std::vector<Event> events,
+                                        std::vector<ScheduleEntry> schedule);
+
+}  // namespace graphtides
+
+#endif  // GRAPHTIDES_GENERATOR_STREAM_GENERATOR_H_

@@ -1,0 +1,153 @@
+#include "generator/topology_index.h"
+
+#include <cmath>
+
+namespace graphtides {
+
+Status TopologyIndex::AddVertex(VertexId id) {
+  auto [it, inserted] = vertex_pos_.try_emplace(id, vertices_.size());
+  if (!inserted) {
+    return Status::PreconditionFailed("vertex already exists: " +
+                                      std::to_string(id));
+  }
+  vertices_.push_back(id);
+  out_[id];
+  in_[id];
+  return Status::OK();
+}
+
+Status TopologyIndex::RemoveVertex(VertexId id) {
+  auto pos_it = vertex_pos_.find(id);
+  if (pos_it == vertex_pos_.end()) {
+    return Status::PreconditionFailed("vertex does not exist: " +
+                                      std::to_string(id));
+  }
+  // Cascade edge removal; copy neighbor sets because RemoveEdge mutates.
+  const std::unordered_set<VertexId> outs = out_[id];
+  for (VertexId dst : outs) {
+    Status st = RemoveEdge(id, dst);
+    (void)st;
+  }
+  const std::unordered_set<VertexId> ins = in_[id];
+  for (VertexId src : ins) {
+    Status st = RemoveEdge(src, id);
+    (void)st;
+  }
+  // Swap-remove from the dense vertex vector.
+  const size_t pos = pos_it->second;
+  const VertexId last = vertices_.back();
+  vertices_[pos] = last;
+  vertex_pos_[last] = pos;
+  vertices_.pop_back();
+  vertex_pos_.erase(id);
+  out_.erase(id);
+  in_.erase(id);
+  return Status::OK();
+}
+
+Status TopologyIndex::AddEdge(VertexId src, VertexId dst) {
+  if (src == dst) {
+    return Status::PreconditionFailed("self-loops are not allowed");
+  }
+  if (!HasVertex(src) || !HasVertex(dst)) {
+    return Status::PreconditionFailed("edge endpoint does not exist");
+  }
+  const EdgeId edge{src, dst};
+  auto [it, inserted] = edge_pos_.try_emplace(edge, edges_.size());
+  if (!inserted) {
+    return Status::PreconditionFailed("edge already exists");
+  }
+  edges_.push_back(edge);
+  out_[src].insert(dst);
+  in_[dst].insert(src);
+  return Status::OK();
+}
+
+Status TopologyIndex::RemoveEdge(VertexId src, VertexId dst) {
+  const EdgeId edge{src, dst};
+  auto pos_it = edge_pos_.find(edge);
+  if (pos_it == edge_pos_.end()) {
+    return Status::PreconditionFailed("edge does not exist");
+  }
+  const size_t pos = pos_it->second;
+  const EdgeId last = edges_.back();
+  edges_[pos] = last;
+  edge_pos_[last] = pos;
+  edges_.pop_back();
+  edge_pos_.erase(edge);
+  out_[src].erase(dst);
+  in_[dst].erase(src);
+  return Status::OK();
+}
+
+bool TopologyIndex::HasEdge(VertexId src, VertexId dst) const {
+  return edge_pos_.contains(EdgeId{src, dst});
+}
+
+size_t TopologyIndex::DegreeOf(VertexId id) const {
+  size_t degree = 0;
+  if (auto it = out_.find(id); it != out_.end()) degree += it->second.size();
+  if (auto it = in_.find(id); it != in_.end()) degree += it->second.size();
+  return degree;
+}
+
+size_t TopologyIndex::OutDegreeOf(VertexId id) const {
+  auto it = out_.find(id);
+  return it == out_.end() ? 0 : it->second.size();
+}
+
+std::optional<VertexId> TopologyIndex::UniformVertex(Rng& rng) const {
+  if (vertices_.empty()) return std::nullopt;
+  return vertices_[rng.NextBounded(vertices_.size())];
+}
+
+std::optional<EdgeId> TopologyIndex::UniformEdge(Rng& rng) const {
+  if (edges_.empty()) return std::nullopt;
+  return edges_[rng.NextBounded(edges_.size())];
+}
+
+std::optional<VertexId> TopologyIndex::PreferentialVertex(Rng& rng) const {
+  if (edges_.empty()) return UniformVertex(rng);
+  const EdgeId e = edges_[rng.NextBounded(edges_.size())];
+  return rng.NextBool(0.5) ? e.src : e.dst;
+}
+
+std::optional<VertexId> TopologyIndex::DegreeBiasedVertex(
+    Rng& rng, double bias, size_t candidates) const {
+  if (vertices_.empty()) return std::nullopt;
+  if (bias == 0.0 || vertices_.size() == 1) return UniformVertex(rng);
+  candidates = std::min(candidates, vertices_.size());
+  std::vector<VertexId> picks;
+  std::vector<double> weights;
+  picks.reserve(candidates);
+  weights.reserve(candidates);
+  for (size_t i = 0; i < candidates; ++i) {
+    const VertexId v = vertices_[rng.NextBounded(vertices_.size())];
+    picks.push_back(v);
+    weights.push_back(
+        std::pow(static_cast<double>(DegreeOf(v) + 1), bias));
+  }
+  const size_t chosen = rng.NextWeighted(weights);
+  if (chosen >= picks.size()) return picks.front();
+  return picks[chosen];
+}
+
+std::optional<VertexId> TopologyIndex::UniformVertexOtherThan(
+    Rng& rng, VertexId other) const {
+  if (vertices_.empty()) return std::nullopt;
+  if (vertices_.size() == 1) {
+    return vertices_[0] == other ? std::nullopt
+                                 : std::optional<VertexId>(vertices_[0]);
+  }
+  for (int attempt = 0; attempt < 16; ++attempt) {
+    const VertexId v = vertices_[rng.NextBounded(vertices_.size())];
+    if (v != other) return v;
+  }
+  // Degenerate duplicate-heavy case: linear scan.
+  for (VertexId v : vertices_) {
+    if (v != other) return v;
+  }
+  return std::nullopt;
+}
+
+}  // namespace graphtides

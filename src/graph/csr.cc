@@ -1,0 +1,61 @@
+#include "graph/csr.h"
+
+#include <algorithm>
+
+namespace graphtides {
+
+CsrGraph CsrGraph::FromGraph(const Graph& graph) {
+  CsrGraph csr;
+  csr.ids_ = graph.VertexIds();
+  std::sort(csr.ids_.begin(), csr.ids_.end());
+  csr.index_of_.reserve(csr.ids_.size());
+  for (Index i = 0; i < csr.ids_.size(); ++i) {
+    csr.index_of_.emplace(csr.ids_[i], i);
+  }
+
+  const size_t n = csr.ids_.size();
+  csr.out_offsets_.assign(n + 1, 0);
+  csr.in_offsets_.assign(n + 1, 0);
+
+  // Counting pass.
+  graph.ForEachEdge([&](VertexId src, VertexId dst, const std::string&) {
+    ++csr.out_offsets_[csr.index_of_[src] + 1];
+    ++csr.in_offsets_[csr.index_of_[dst] + 1];
+  });
+  for (size_t i = 1; i <= n; ++i) {
+    csr.out_offsets_[i] += csr.out_offsets_[i - 1];
+    csr.in_offsets_[i] += csr.in_offsets_[i - 1];
+  }
+
+  // Fill pass.
+  csr.out_targets_.resize(graph.num_edges());
+  csr.in_targets_.resize(graph.num_edges());
+  std::vector<size_t> out_cursor(csr.out_offsets_.begin(),
+                                 csr.out_offsets_.end() - 1);
+  std::vector<size_t> in_cursor(csr.in_offsets_.begin(),
+                                csr.in_offsets_.end() - 1);
+  graph.ForEachEdge([&](VertexId src, VertexId dst, const std::string&) {
+    const Index s = csr.index_of_[src];
+    const Index d = csr.index_of_[dst];
+    csr.out_targets_[out_cursor[s]++] = d;
+    csr.in_targets_[in_cursor[d]++] = s;
+  });
+
+  // Sort neighbor lists for deterministic iteration and fast intersection.
+  for (size_t v = 0; v < n; ++v) {
+    std::sort(csr.out_targets_.begin() + csr.out_offsets_[v],
+              csr.out_targets_.begin() + csr.out_offsets_[v + 1]);
+    std::sort(csr.in_targets_.begin() + csr.in_offsets_[v],
+              csr.in_targets_.begin() + csr.in_offsets_[v + 1]);
+  }
+  return csr;
+}
+
+bool CsrGraph::IndexOf(VertexId id, Index* out) const {
+  auto it = index_of_.find(id);
+  if (it == index_of_.end()) return false;
+  *out = it->second;
+  return true;
+}
+
+}  // namespace graphtides

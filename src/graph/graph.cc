@@ -1,0 +1,222 @@
+#include "graph/graph.h"
+
+namespace graphtides {
+
+namespace {
+
+std::string EdgeName(VertexId src, VertexId dst) {
+  return std::to_string(src) + "-" + std::to_string(dst);
+}
+
+}  // namespace
+
+Status Graph::AddVertex(VertexId id, std::string state) {
+  auto [it, inserted] = vertices_.try_emplace(id);
+  if (!inserted) {
+    return Status::PreconditionFailed("vertex already exists: " +
+                                      std::to_string(id));
+  }
+  it->second.state = std::move(state);
+  return Status::OK();
+}
+
+Status Graph::RemoveVertex(VertexId id) {
+  auto it = vertices_.find(id);
+  if (it == vertices_.end()) {
+    return Status::PreconditionFailed("vertex does not exist: " +
+                                      std::to_string(id));
+  }
+  // Cascade-remove incident edges.
+  for (const auto& [dst, state] : it->second.out) {
+    vertices_[dst].in.erase(id);
+    --num_edges_;
+  }
+  for (VertexId src : it->second.in) {
+    vertices_[src].out.erase(id);
+    --num_edges_;
+  }
+  vertices_.erase(it);
+  return Status::OK();
+}
+
+Status Graph::UpdateVertexState(VertexId id, std::string state) {
+  auto it = vertices_.find(id);
+  if (it == vertices_.end()) {
+    return Status::PreconditionFailed("vertex does not exist: " +
+                                      std::to_string(id));
+  }
+  it->second.state = std::move(state);
+  return Status::OK();
+}
+
+Status Graph::AddEdge(VertexId src, VertexId dst, std::string state) {
+  if (src == dst) {
+    return Status::PreconditionFailed("self-loops are not allowed: " +
+                                      EdgeName(src, dst));
+  }
+  auto src_it = vertices_.find(src);
+  if (src_it == vertices_.end()) {
+    return Status::PreconditionFailed("edge source does not exist: " +
+                                      std::to_string(src));
+  }
+  auto dst_it = vertices_.find(dst);
+  if (dst_it == vertices_.end()) {
+    return Status::PreconditionFailed("edge destination does not exist: " +
+                                      std::to_string(dst));
+  }
+  auto [edge_it, inserted] = src_it->second.out.try_emplace(dst);
+  if (!inserted) {
+    return Status::PreconditionFailed("edge already exists: " +
+                                      EdgeName(src, dst));
+  }
+  edge_it->second = std::move(state);
+  dst_it->second.in.insert(src);
+  ++num_edges_;
+  return Status::OK();
+}
+
+Status Graph::RemoveEdge(VertexId src, VertexId dst) {
+  auto src_it = vertices_.find(src);
+  if (src_it == vertices_.end() || src_it->second.out.erase(dst) == 0) {
+    return Status::PreconditionFailed("edge does not exist: " +
+                                      EdgeName(src, dst));
+  }
+  vertices_[dst].in.erase(src);
+  --num_edges_;
+  return Status::OK();
+}
+
+Status Graph::UpdateEdgeState(VertexId src, VertexId dst, std::string state) {
+  auto src_it = vertices_.find(src);
+  if (src_it == vertices_.end()) {
+    return Status::PreconditionFailed("edge does not exist: " +
+                                      EdgeName(src, dst));
+  }
+  auto edge_it = src_it->second.out.find(dst);
+  if (edge_it == src_it->second.out.end()) {
+    return Status::PreconditionFailed("edge does not exist: " +
+                                      EdgeName(src, dst));
+  }
+  edge_it->second = std::move(state);
+  return Status::OK();
+}
+
+Status Graph::Apply(const Event& event) {
+  switch (event.type) {
+    case EventType::kAddVertex:
+      return AddVertex(event.vertex, event.payload);
+    case EventType::kRemoveVertex:
+      return RemoveVertex(event.vertex);
+    case EventType::kUpdateVertex:
+      return UpdateVertexState(event.vertex, event.payload);
+    case EventType::kAddEdge:
+      return AddEdge(event.edge.src, event.edge.dst, event.payload);
+    case EventType::kRemoveEdge:
+      return RemoveEdge(event.edge.src, event.edge.dst);
+    case EventType::kUpdateEdge:
+      return UpdateEdgeState(event.edge.src, event.edge.dst, event.payload);
+    case EventType::kMarker:
+    case EventType::kSetRate:
+    case EventType::kPause:
+      return Status::OK();
+  }
+  return Status::Internal("unhandled event type");
+}
+
+Status Graph::ApplyAll(const std::vector<Event>& events) {
+  for (size_t i = 0; i < events.size(); ++i) {
+    Status st = Apply(events[i]);
+    if (!st.ok()) {
+      return st.WithContext("event " + std::to_string(i));
+    }
+  }
+  return Status::OK();
+}
+
+void Graph::Clear() {
+  vertices_.clear();
+  num_edges_ = 0;
+}
+
+bool Graph::HasEdge(VertexId src, VertexId dst) const {
+  auto it = vertices_.find(src);
+  return it != vertices_.end() && it->second.out.contains(dst);
+}
+
+Result<std::string> Graph::GetVertexState(VertexId id) const {
+  auto it = vertices_.find(id);
+  if (it == vertices_.end()) {
+    return Status::NotFound("vertex does not exist: " + std::to_string(id));
+  }
+  return it->second.state;
+}
+
+Result<std::string> Graph::GetEdgeState(VertexId src, VertexId dst) const {
+  auto it = vertices_.find(src);
+  if (it != vertices_.end()) {
+    auto edge_it = it->second.out.find(dst);
+    if (edge_it != it->second.out.end()) return edge_it->second;
+  }
+  return Status::NotFound("edge does not exist: " + EdgeName(src, dst));
+}
+
+Result<size_t> Graph::OutDegree(VertexId id) const {
+  auto it = vertices_.find(id);
+  if (it == vertices_.end()) {
+    return Status::NotFound("vertex does not exist: " + std::to_string(id));
+  }
+  return it->second.out.size();
+}
+
+Result<size_t> Graph::InDegree(VertexId id) const {
+  auto it = vertices_.find(id);
+  if (it == vertices_.end()) {
+    return Status::NotFound("vertex does not exist: " + std::to_string(id));
+  }
+  return it->second.in.size();
+}
+
+Result<size_t> Graph::Degree(VertexId id) const {
+  auto it = vertices_.find(id);
+  if (it == vertices_.end()) {
+    return Status::NotFound("vertex does not exist: " + std::to_string(id));
+  }
+  return it->second.out.size() + it->second.in.size();
+}
+
+std::vector<VertexId> Graph::VertexIds() const {
+  std::vector<VertexId> ids;
+  ids.reserve(vertices_.size());
+  for (const auto& [id, record] : vertices_) ids.push_back(id);
+  return ids;
+}
+
+void Graph::ForEachVertex(
+    const std::function<void(VertexId, const std::string&)>& fn) const {
+  for (const auto& [id, record] : vertices_) fn(id, record.state);
+}
+
+void Graph::ForEachOutEdge(
+    VertexId src,
+    const std::function<void(VertexId, const std::string&)>& fn) const {
+  auto it = vertices_.find(src);
+  if (it == vertices_.end()) return;
+  for (const auto& [dst, state] : it->second.out) fn(dst, state);
+}
+
+void Graph::ForEachInEdge(VertexId dst,
+                          const std::function<void(VertexId)>& fn) const {
+  auto it = vertices_.find(dst);
+  if (it == vertices_.end()) return;
+  for (VertexId src : it->second.in) fn(src);
+}
+
+void Graph::ForEachEdge(const std::function<void(VertexId, VertexId,
+                                                 const std::string&)>& fn)
+    const {
+  for (const auto& [src, record] : vertices_) {
+    for (const auto& [dst, state] : record.out) fn(src, dst, state);
+  }
+}
+
+}  // namespace graphtides

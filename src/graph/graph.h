@@ -1,0 +1,107 @@
+// In-memory directed property graph per the paper's graph model (§3.2 Graph
+// Types): directed, stateful vertices and edges, unique numeric vertex IDs,
+// no multigraphs, no self-loops. Undirected graphs are modeled by ignoring
+// direction; stateless graphs by ignoring the state strings.
+//
+// This is the reference graph representation used by the stream validator's
+// semantics, by the batch algorithms (ground truth), and by the simulated
+// systems under test.
+#ifndef GRAPHTIDES_GRAPH_GRAPH_H_
+#define GRAPHTIDES_GRAPH_GRAPH_H_
+
+#include <functional>
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "common/result.h"
+#include "stream/event.h"
+
+namespace graphtides {
+
+/// \brief Mutable directed graph with string state on vertices and edges.
+///
+/// All mutating operations enforce the stream preconditions and return
+/// PreconditionFailed without modifying the graph when violated; a stream
+/// that passes StreamValidator applies cleanly.
+class Graph {
+ public:
+  Graph() = default;
+
+  // --- Mutation ---------------------------------------------------------
+
+  Status AddVertex(VertexId id, std::string state = "");
+  /// Removes the vertex and all incident edges.
+  Status RemoveVertex(VertexId id);
+  Status UpdateVertexState(VertexId id, std::string state);
+  Status AddEdge(VertexId src, VertexId dst, std::string state = "");
+  Status RemoveEdge(VertexId src, VertexId dst);
+  Status UpdateEdgeState(VertexId src, VertexId dst, std::string state);
+
+  /// Applies one stream event. Marker and control events are no-ops.
+  Status Apply(const Event& event);
+
+  /// Applies a whole stream; stops at (and returns) the first failure,
+  /// annotated with the 0-based event index.
+  Status ApplyAll(const std::vector<Event>& events);
+
+  void Clear();
+
+  // --- Inspection -------------------------------------------------------
+
+  size_t num_vertices() const { return vertices_.size(); }
+  size_t num_edges() const { return num_edges_; }
+
+  bool HasVertex(VertexId id) const { return vertices_.contains(id); }
+  bool HasEdge(VertexId src, VertexId dst) const;
+
+  Result<std::string> GetVertexState(VertexId id) const;
+  Result<std::string> GetEdgeState(VertexId src, VertexId dst) const;
+
+  /// Out-/in-degree; NotFound if the vertex does not exist.
+  Result<size_t> OutDegree(VertexId id) const;
+  Result<size_t> InDegree(VertexId id) const;
+  /// OutDegree + InDegree.
+  Result<size_t> Degree(VertexId id) const;
+
+  /// Snapshot of all vertex IDs (unordered).
+  std::vector<VertexId> VertexIds() const;
+
+  /// Invokes `fn(id, state)` for every vertex.
+  void ForEachVertex(
+      const std::function<void(VertexId, const std::string&)>& fn) const;
+
+  /// Invokes `fn(dst, state)` for every out-edge of `src`. No-op if `src`
+  /// does not exist.
+  void ForEachOutEdge(
+      VertexId src,
+      const std::function<void(VertexId, const std::string&)>& fn) const;
+
+  /// Invokes `fn(src)` for every in-edge of `dst`. No-op if `dst` does not
+  /// exist.
+  void ForEachInEdge(VertexId dst,
+                     const std::function<void(VertexId)>& fn) const;
+
+  /// Invokes `fn(src, dst, state)` for every edge in the graph.
+  void ForEachEdge(const std::function<void(VertexId, VertexId,
+                                            const std::string&)>& fn) const;
+
+  /// Deep copy (snapshot for offline computations, §4.4.2).
+  Graph Clone() const { return *this; }
+
+ private:
+  struct VertexRecord {
+    std::string state;
+    // Out-adjacency carries the edge state; in-adjacency is id-only.
+    std::unordered_map<VertexId, std::string> out;
+    std::unordered_set<VertexId> in;
+  };
+
+  std::unordered_map<VertexId, VertexRecord> vertices_;
+  size_t num_edges_ = 0;
+};
+
+}  // namespace graphtides
+
+#endif  // GRAPHTIDES_GRAPH_GRAPH_H_

@@ -1,0 +1,61 @@
+#include "harness/experiment.h"
+
+namespace graphtides {
+
+std::vector<ExperimentConfig> ExperimentRunner::EnumerateConfigs() const {
+  std::vector<ExperimentConfig> configs;
+  configs.emplace_back();
+  for (const Factor& factor : factors_) {
+    std::vector<ExperimentConfig> expanded;
+    expanded.reserve(configs.size() * factor.levels.size());
+    for (const ExperimentConfig& base : configs) {
+      for (double level : factor.levels) {
+        ExperimentConfig next = base;
+        next[factor.name] = level;
+        expanded.push_back(std::move(next));
+      }
+    }
+    configs = std::move(expanded);
+  }
+  return configs;
+}
+
+Result<std::vector<ConfigResult>> ExperimentRunner::Run(
+    const RunFn& run) const {
+  const std::vector<ExperimentConfig> configs = EnumerateConfigs();
+  std::vector<ConfigResult> results;
+  results.reserve(configs.size());
+  for (size_t c = 0; c < configs.size(); ++c) {
+    ConfigResult result;
+    result.config = configs[c];
+    result.repetitions = options_.repetitions;
+    for (size_t r = 0; r < options_.repetitions; ++r) {
+      const uint64_t seed = options_.base_seed + c * 1000003ULL + r;
+      GT_ASSIGN_OR_RETURN(const RunOutcome outcome, run(configs[c], seed));
+      for (const auto& [metric, value] : outcome) {
+        MetricAggregate& agg = result.metrics[metric];
+        agg.stats.Add(value);
+        agg.samples.push_back(value);
+      }
+    }
+    for (auto& [metric, agg] : result.metrics) {
+      agg.ci =
+          MeanConfidenceInterval(agg.samples, options_.confidence_level);
+    }
+    results.push_back(std::move(result));
+  }
+  return results;
+}
+
+Comparison CompareByConfidenceIntervals(const std::vector<double>& samples_a,
+                                        const std::vector<double>& samples_b,
+                                        double level) {
+  Comparison cmp;
+  cmp.a = MeanConfidenceInterval(samples_a, level);
+  cmp.b = MeanConfidenceInterval(samples_b, level);
+  cmp.significant = cmp.a.DisjointFrom(cmp.b);
+  cmp.mean_difference = cmp.b.mean - cmp.a.mean;
+  return cmp;
+}
+
+}  // namespace graphtides

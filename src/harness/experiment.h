@@ -1,0 +1,91 @@
+// Experiment runner implementing the methodology of §4.5 (Jain + Popper):
+// factor/level sweeps (up to full factorial), n repetitions per
+// configuration, aggregation with confidence intervals, and significance
+// comparison via CI disjointness.
+#ifndef GRAPHTIDES_HARNESS_EXPERIMENT_H_
+#define GRAPHTIDES_HARNESS_EXPERIMENT_H_
+
+#include <functional>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "common/stats.h"
+
+namespace graphtides {
+
+/// \brief One concrete configuration: factor name -> chosen level.
+using ExperimentConfig = std::map<std::string, double>;
+
+/// \brief Outcome variables of one run: metric name -> value.
+using RunOutcome = std::map<std::string, double>;
+
+/// \brief A factor and its levels.
+struct Factor {
+  std::string name;
+  std::vector<double> levels;
+};
+
+/// \brief Aggregate of one metric over the repetitions of one config.
+struct MetricAggregate {
+  RunningStats stats;
+  ConfidenceInterval ci;
+  std::vector<double> samples;
+};
+
+/// \brief All repetitions of one configuration, aggregated.
+struct ConfigResult {
+  ExperimentConfig config;
+  size_t repetitions = 0;
+  std::map<std::string, MetricAggregate> metrics;
+};
+
+struct ExperimentOptions {
+  /// §4.5: "at least n >= 30 test runs for each configuration".
+  size_t repetitions = 30;
+  double confidence_level = 0.95;
+  /// Base seed; run r of config c uses seed base + c * 1,000,003 + r.
+  uint64_t base_seed = 42;
+};
+
+/// \brief Full-factorial experiment driver.
+///
+/// The run function receives the configuration and a per-run seed and
+/// returns the outcome metrics (or an error, which aborts the experiment).
+class ExperimentRunner {
+ public:
+  using RunFn =
+      std::function<Result<RunOutcome>(const ExperimentConfig&, uint64_t seed)>;
+
+  ExperimentRunner(std::vector<Factor> factors, ExperimentOptions options)
+      : factors_(std::move(factors)), options_(options) {}
+
+  /// Enumerates the cartesian product of all factor levels.
+  std::vector<ExperimentConfig> EnumerateConfigs() const;
+
+  /// Runs every configuration `repetitions` times and aggregates.
+  Result<std::vector<ConfigResult>> Run(const RunFn& run) const;
+
+ private:
+  std::vector<Factor> factors_;
+  ExperimentOptions options_;
+};
+
+/// \brief §4.5 significance test: non-overlapping confidence intervals of
+/// two systems' results are significantly different at the interval level.
+struct Comparison {
+  ConfidenceInterval a;
+  ConfidenceInterval b;
+  bool significant = false;
+  /// Positive when b's mean exceeds a's.
+  double mean_difference = 0.0;
+};
+
+Comparison CompareByConfidenceIntervals(const std::vector<double>& samples_a,
+                                        const std::vector<double>& samples_b,
+                                        double level = 0.95);
+
+}  // namespace graphtides
+
+#endif  // GRAPHTIDES_HARNESS_EXPERIMENT_H_

@@ -1,0 +1,91 @@
+#include "harness/log_collector.h"
+
+#include <algorithm>
+#include <fstream>
+#include <unordered_set>
+
+namespace graphtides {
+
+ResultLog::ResultLog(std::vector<LogRecord> records)
+    : records_(std::move(records)) {
+  std::stable_sort(records_.begin(), records_.end(),
+                   [](const LogRecord& a, const LogRecord& b) {
+                     return a.time < b.time;
+                   });
+}
+
+std::vector<LogRecord> ResultLog::Filter(const std::string& source,
+                                         const std::string& metric) const {
+  std::vector<LogRecord> out;
+  for (const LogRecord& r : records_) {
+    if (!source.empty() && r.source != source) continue;
+    if (!metric.empty() && r.metric != metric) continue;
+    out.push_back(r);
+  }
+  return out;
+}
+
+TimeSeries ResultLog::Series(const std::string& source,
+                             const std::string& metric) const {
+  TimeSeries series(source.empty() ? metric : source + "." + metric);
+  for (const LogRecord& r : records_) {
+    if (!source.empty() && r.source != source) continue;
+    if (!metric.empty() && r.metric != metric) continue;
+    series.Add(r.time, r.value);
+  }
+  return series;
+}
+
+std::vector<std::string> ResultLog::Sources() const {
+  std::unordered_set<std::string> seen;
+  std::vector<std::string> out;
+  for (const LogRecord& r : records_) {
+    if (seen.insert(r.source).second) out.push_back(r.source);
+  }
+  return out;
+}
+
+Status ResultLog::WriteCsv(const std::string& path) const {
+  std::ofstream out(path, std::ios::trunc);
+  if (!out.is_open()) {
+    return Status::IoError("cannot create result log: " + path);
+  }
+  for (const LogRecord& r : records_) {
+    out << r.ToCsvLine() << '\n';
+  }
+  out.flush();
+  if (!out.good()) return Status::IoError("write failure: " + path);
+  return Status::OK();
+}
+
+Result<ResultLog> ResultLog::ReadCsv(const std::string& path) {
+  std::ifstream in(path);
+  if (!in.is_open()) {
+    return Status::IoError("cannot open result log: " + path);
+  }
+  std::vector<LogRecord> records;
+  std::string line;
+  size_t line_number = 0;
+  while (std::getline(in, line)) {
+    ++line_number;
+    if (line.empty()) continue;
+    Result<LogRecord> parsed = LogRecord::FromCsvLine(line);
+    if (!parsed.ok()) {
+      return parsed.status().WithContext("line " +
+                                         std::to_string(line_number));
+    }
+    records.push_back(std::move(parsed).value());
+  }
+  return ResultLog(std::move(records));
+}
+
+ResultLog LogCollector::Collect() const {
+  std::vector<LogRecord> all;
+  for (const MetricsLogger* logger : loggers_) {
+    const std::vector<LogRecord> records = logger->Records();
+    all.insert(all.end(), records.begin(), records.end());
+  }
+  return ResultLog(std::move(all));
+}
+
+}  // namespace graphtides

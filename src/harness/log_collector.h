@@ -1,0 +1,58 @@
+// Log collector (Fig. 2): merges the logs of all logger instances into a
+// single, chronologically sorted result log — the input of every analysis.
+#ifndef GRAPHTIDES_HARNESS_LOG_COLLECTOR_H_
+#define GRAPHTIDES_HARNESS_LOG_COLLECTOR_H_
+
+#include <string>
+#include <vector>
+
+#include "analysis/time_series.h"
+#include "common/result.h"
+#include "harness/log_record.h"
+#include "harness/metrics_logger.h"
+
+namespace graphtides {
+
+/// \brief The merged result log of one experiment run.
+class ResultLog {
+ public:
+  ResultLog() = default;
+  explicit ResultLog(std::vector<LogRecord> records);
+
+  const std::vector<LogRecord>& records() const { return records_; }
+  size_t size() const { return records_.size(); }
+
+  /// Records matching source and/or metric ("" = wildcard).
+  std::vector<LogRecord> Filter(const std::string& source,
+                                const std::string& metric) const;
+
+  /// Extracts one metric (optionally per source) as a time series.
+  TimeSeries Series(const std::string& source,
+                    const std::string& metric) const;
+
+  /// Distinct sources appearing in the log.
+  std::vector<std::string> Sources() const;
+
+  Status WriteCsv(const std::string& path) const;
+  static Result<ResultLog> ReadCsv(const std::string& path);
+
+ private:
+  std::vector<LogRecord> records_;  // sorted by time
+};
+
+/// \brief Gathers and merges the records of many loggers.
+class LogCollector {
+ public:
+  void AddLogger(const MetricsLogger* logger) { loggers_.push_back(logger); }
+
+  /// Merges all loggers' records, chronologically sorted (stable across
+  /// equal timestamps).
+  ResultLog Collect() const;
+
+ private:
+  std::vector<const MetricsLogger*> loggers_;
+};
+
+}  // namespace graphtides
+
+#endif  // GRAPHTIDES_HARNESS_LOG_COLLECTOR_H_

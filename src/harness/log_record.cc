@@ -1,0 +1,34 @@
+#include "harness/log_record.h"
+
+#include <cstdio>
+
+#include "common/csv.h"
+#include "common/string_util.h"
+
+namespace graphtides {
+
+std::string LogRecord::ToCsvLine() const {
+  char value_buf[64];
+  std::snprintf(value_buf, sizeof(value_buf), "%.9g", value);
+  return FormatCsvLine(
+      {std::to_string(time.nanos()), source, metric, value_buf, text});
+}
+
+Result<LogRecord> LogRecord::FromCsvLine(std::string_view line) {
+  GT_ASSIGN_OR_RETURN(const std::vector<std::string> fields,
+                      ParseCsvLine(line));
+  if (fields.size() != 5) {
+    return Status::ParseError("log record needs 5 fields, got " +
+                              std::to_string(fields.size()));
+  }
+  LogRecord record;
+  GT_ASSIGN_OR_RETURN(const int64_t ns, ParseInt64(fields[0]));
+  record.time = Timestamp(ns);
+  record.source = fields[1];
+  record.metric = fields[2];
+  GT_ASSIGN_OR_RETURN(record.value, ParseDouble(fields[3]));
+  record.text = fields[4];
+  return record;
+}
+
+}  // namespace graphtides

@@ -1,0 +1,33 @@
+// Log records: the unit of measurement data in the test harness (Fig. 2).
+// Every logger produces timestamped records; the log collector merges them
+// into one chronologically sorted result log.
+#ifndef GRAPHTIDES_HARNESS_LOG_RECORD_H_
+#define GRAPHTIDES_HARNESS_LOG_RECORD_H_
+
+#include <string>
+
+#include "common/clock.h"
+#include "common/result.h"
+
+namespace graphtides {
+
+/// \brief One timestamped measurement or annotation.
+struct LogRecord {
+  Timestamp time;
+  /// Which logger/machine produced the record (e.g. "replayer",
+  /// "worker-2").
+  std::string source;
+  /// Metric name (e.g. "cpu", "queue_length", "marker").
+  std::string metric;
+  double value = 0.0;
+  /// Free-form annotation (marker labels, query results).
+  std::string text;
+
+  /// CSV line: time_ns,source,metric,value,text.
+  std::string ToCsvLine() const;
+  static Result<LogRecord> FromCsvLine(std::string_view line);
+};
+
+}  // namespace graphtides
+
+#endif  // GRAPHTIDES_HARNESS_LOG_RECORD_H_

@@ -1,0 +1,45 @@
+#include "harness/marker_correlator.h"
+
+#include <map>
+
+namespace graphtides {
+
+MarkerCorrelationReport CorrelateMarkers(const ResultLog& log,
+                                         const std::string& sent_metric,
+                                         const std::string& observed_metric) {
+  MarkerCorrelationReport report;
+  // label -> earliest observation times, in time order per label.
+  std::map<std::string, std::vector<Timestamp>> observations;
+  for (const LogRecord& r : log.records()) {
+    if (r.metric == observed_metric) {
+      observations[r.text].push_back(r.time);
+    }
+  }
+  for (const LogRecord& r : log.records()) {
+    if (r.metric != sent_metric) continue;
+    auto it = observations.find(r.text);
+    bool matched = false;
+    if (it != observations.end()) {
+      for (Timestamp t : it->second) {
+        if (t >= r.time) {
+          report.matched.push_back({r.text, r.time, t});
+          matched = true;
+          break;
+        }
+      }
+    }
+    if (!matched) report.unmatched.push_back(r.text);
+  }
+  return report;
+}
+
+std::vector<double> MarkerCorrelationReport::LatenciesSeconds() const {
+  std::vector<double> out;
+  out.reserve(matched.size());
+  for (const MarkerLatency& m : matched) {
+    out.push_back(m.latency().seconds());
+  }
+  return out;
+}
+
+}  // namespace graphtides

@@ -1,0 +1,43 @@
+// Marker/watermark correlation (§4.5): marker events in the stream are
+// logged with the instant they passed the replayer; the system under test
+// (or a query logger) logs when each marker's effect became observable.
+// Matching the two gives per-marker ingestion-to-visibility latency.
+#ifndef GRAPHTIDES_HARNESS_MARKER_CORRELATOR_H_
+#define GRAPHTIDES_HARNESS_MARKER_CORRELATOR_H_
+
+#include <string>
+#include <vector>
+
+#include "common/clock.h"
+#include "harness/log_collector.h"
+
+namespace graphtides {
+
+/// \brief One correlated marker: streamed at `sent`, observed at
+/// `observed`.
+struct MarkerLatency {
+  std::string label;
+  Timestamp sent;
+  Timestamp observed;
+  Duration latency() const { return observed - sent; }
+};
+
+struct MarkerCorrelationReport {
+  std::vector<MarkerLatency> matched;
+  /// Markers streamed but never observed (lost / still pending at run end).
+  std::vector<std::string> unmatched;
+
+  /// Latencies in seconds for statistics.
+  std::vector<double> LatenciesSeconds() const;
+};
+
+/// \brief Joins `sent_metric` records (marker label in `text`) with
+/// `observed_metric` records on the label. The first observation at or
+/// after the send time wins.
+MarkerCorrelationReport CorrelateMarkers(const ResultLog& log,
+                                         const std::string& sent_metric,
+                                         const std::string& observed_metric);
+
+}  // namespace graphtides
+
+#endif  // GRAPHTIDES_HARNESS_MARKER_CORRELATOR_H_

@@ -1,0 +1,35 @@
+#include "harness/metrics_logger.h"
+
+namespace graphtides {
+
+void MetricsLogger::Log(const std::string& metric, double value) {
+  LogAt(clock_->Now(), metric, value);
+}
+
+void MetricsLogger::LogText(const std::string& metric, double value,
+                            const std::string& text) {
+  LogAt(clock_->Now(), metric, value, text);
+}
+
+void MetricsLogger::LogAt(Timestamp time, const std::string& metric,
+                          double value, const std::string& text) {
+  std::lock_guard<std::mutex> lock(mu_);
+  records_.push_back(LogRecord{time, source_, metric, value, text});
+}
+
+std::vector<LogRecord> MetricsLogger::Records() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return records_;
+}
+
+size_t MetricsLogger::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return records_.size();
+}
+
+void MetricsLogger::Clear() {
+  std::lock_guard<std::mutex> lock(mu_);
+  records_.clear();
+}
+
+}  // namespace graphtides

@@ -1,0 +1,51 @@
+// Runtime metrics loggers (Fig. 2): each logger instance gathers
+// timestamped records from one source — a process monitor, the replayer,
+// a query client — into a local log that the collector later merges.
+#ifndef GRAPHTIDES_HARNESS_METRICS_LOGGER_H_
+#define GRAPHTIDES_HARNESS_METRICS_LOGGER_H_
+
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "common/clock.h"
+#include "harness/log_record.h"
+
+namespace graphtides {
+
+/// \brief Thread-safe per-source record log.
+///
+/// The clock is injected: real experiments pass a WallClock, simulated
+/// experiments pass the simulator's virtual clock, and merged analyses stay
+/// consistent either way.
+class MetricsLogger {
+ public:
+  MetricsLogger(std::string source, const Clock* clock)
+      : source_(std::move(source)), clock_(clock) {}
+
+  const std::string& source() const { return source_; }
+
+  /// Records metric=value at the current clock time.
+  void Log(const std::string& metric, double value);
+  /// Records an annotated value (e.g. marker label, query result text).
+  void LogText(const std::string& metric, double value,
+               const std::string& text);
+  /// Records with an explicit timestamp (e.g. replaying a marker log).
+  void LogAt(Timestamp time, const std::string& metric, double value,
+             const std::string& text = "");
+
+  /// Snapshot of all records so far.
+  std::vector<LogRecord> Records() const;
+  size_t size() const;
+  void Clear();
+
+ private:
+  std::string source_;
+  const Clock* clock_;
+  mutable std::mutex mu_;
+  std::vector<LogRecord> records_;
+};
+
+}  // namespace graphtides
+
+#endif  // GRAPHTIDES_HARNESS_METRICS_LOGGER_H_

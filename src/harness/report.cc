@@ -1,0 +1,65 @@
+#include "harness/report.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <sstream>
+
+namespace graphtides {
+
+TextTable::TextTable(std::vector<std::string> headers)
+    : headers_(std::move(headers)) {}
+
+void TextTable::AddRow(std::vector<std::string> cells) {
+  cells.resize(headers_.size());
+  rows_.push_back(std::move(cells));
+}
+
+std::string TextTable::ToString() const {
+  std::vector<size_t> widths(headers_.size());
+  for (size_t i = 0; i < headers_.size(); ++i) widths[i] = headers_[i].size();
+  for (const auto& row : rows_) {
+    for (size_t i = 0; i < row.size(); ++i) {
+      widths[i] = std::max(widths[i], row[i].size());
+    }
+  }
+  std::ostringstream os;
+  auto emit_row = [&](const std::vector<std::string>& cells) {
+    for (size_t i = 0; i < cells.size(); ++i) {
+      os << cells[i];
+      if (i + 1 < cells.size()) {
+        os << std::string(widths[i] - cells[i].size() + 2, ' ');
+      }
+    }
+    os << '\n';
+  };
+  emit_row(headers_);
+  size_t total = 0;
+  for (size_t w : widths) total += w + 2;
+  os << std::string(total > 2 ? total - 2 : total, '-') << '\n';
+  for (const auto& row : rows_) emit_row(row);
+  return os.str();
+}
+
+std::string TextTable::FormatDouble(double v, int precision) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f", precision, v);
+  return buf;
+}
+
+std::string SectionHeader(const std::string& title) {
+  return "\n=== " + title + " ===\n";
+}
+
+std::string ConfigBlock(
+    const std::vector<std::pair<std::string, std::string>>& entries) {
+  size_t width = 0;
+  for (const auto& [key, value] : entries) width = std::max(width, key.size());
+  std::ostringstream os;
+  for (const auto& [key, value] : entries) {
+    os << "  " << key << std::string(width - key.size() + 2, ' ') << value
+       << '\n';
+  }
+  return os.str();
+}
+
+}  // namespace graphtides

@@ -1,0 +1,37 @@
+// Plain-text report helpers used by the benchmark binaries to print the
+// paper-figure data series and configuration tables.
+#ifndef GRAPHTIDES_HARNESS_REPORT_H_
+#define GRAPHTIDES_HARNESS_REPORT_H_
+
+#include <string>
+#include <vector>
+
+namespace graphtides {
+
+/// \brief Fixed-width text table builder.
+class TextTable {
+ public:
+  explicit TextTable(std::vector<std::string> headers);
+
+  void AddRow(std::vector<std::string> cells);
+  /// Renders with aligned columns, a header rule, and trailing newline.
+  std::string ToString() const;
+
+  static std::string FormatDouble(double v, int precision = 2);
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// \brief Section header for bench output ("=== title ===").
+std::string SectionHeader(const std::string& title);
+
+/// \brief Key/value block used to echo experiment configurations
+/// (Tables 2-4).
+std::string ConfigBlock(
+    const std::vector<std::pair<std::string, std::string>>& entries);
+
+}  // namespace graphtides
+
+#endif  // GRAPHTIDES_HARNESS_REPORT_H_

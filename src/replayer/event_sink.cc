@@ -1,0 +1,26 @@
+#include "replayer/event_sink.h"
+
+#include <cerrno>
+#include <cstring>
+
+namespace graphtides {
+
+Status PipeSink::Deliver(const Event& event) {
+  const std::string line = event.ToCsvLine();
+  if (std::fwrite(line.data(), 1, line.size(), out_) != line.size() ||
+      std::fputc('\n', out_) == EOF) {
+    return Status::IoError(std::string("pipe write failed: ") +
+                           std::strerror(errno));
+  }
+  return Status::OK();
+}
+
+Status PipeSink::Finish() {
+  if (std::fflush(out_) != 0) {
+    return Status::IoError(std::string("pipe flush failed: ") +
+                           std::strerror(errno));
+  }
+  return Status::OK();
+}
+
+}  // namespace graphtides

@@ -1,0 +1,65 @@
+// Event sinks: where the replayer delivers the stream. Platform-specific
+// connectors (§3.3, §4.1) implement this interface; the framework ships a
+// callback sink (in-process SUTs), a pipe/stdio sink, and a TCP sink
+// matching the paper's replayer evaluation setups (Table 2).
+#ifndef GRAPHTIDES_REPLAYER_EVENT_SINK_H_
+#define GRAPHTIDES_REPLAYER_EVENT_SINK_H_
+
+#include <cstdio>
+#include <functional>
+#include <string>
+
+#include "common/status.h"
+#include "stream/event.h"
+
+namespace graphtides {
+
+/// \brief Destination for replayed graph events.
+///
+/// Deliver may block — blocking is the natural backpressure channel (§3.2:
+/// "the flow control mechanism of TCP can be used to indicate overload").
+class EventSink {
+ public:
+  virtual ~EventSink() = default;
+
+  /// Delivers one graph event. Called from the replayer's emitter thread.
+  virtual Status Deliver(const Event& event) = 0;
+
+  /// Called once after the last event.
+  virtual Status Finish() { return Status::OK(); }
+};
+
+/// \brief Invokes a user function per event (in-process connector).
+class CallbackSink final : public EventSink {
+ public:
+  explicit CallbackSink(std::function<Status(const Event&)> fn)
+      : fn_(std::move(fn)) {}
+
+  Status Deliver(const Event& event) override { return fn_(event); }
+
+ private:
+  std::function<Status(const Event&)> fn_;
+};
+
+/// \brief Writes CSV event lines to a stdio stream (e.g. stdout for the
+/// Table 2 "Pipe: STDOUT to STDIN" setup). Does not own the FILE*.
+class PipeSink final : public EventSink {
+ public:
+  explicit PipeSink(std::FILE* out) : out_(out) {}
+
+  Status Deliver(const Event& event) override;
+  Status Finish() override;
+
+ private:
+  std::FILE* out_;
+};
+
+/// \brief Discards events (replayer self-benchmarking).
+class NullSink final : public EventSink {
+ public:
+  Status Deliver(const Event&) override { return Status::OK(); }
+};
+
+}  // namespace graphtides
+
+#endif  // GRAPHTIDES_REPLAYER_EVENT_SINK_H_

@@ -1,0 +1,59 @@
+#include "replayer/rate_controller.h"
+
+#include <cassert>
+#include <thread>
+
+namespace graphtides {
+
+RateController::RateController(double base_rate_eps, const Clock* clock)
+    : base_rate_eps_(base_rate_eps), clock_(clock) {
+  assert(base_rate_eps > 0.0);
+}
+
+void RateController::SetFactor(double factor) {
+  if (factor <= 0.0) return;
+  factor_ = factor;
+}
+
+void RateController::Defer(Duration pause) { pending_defer_ += pause; }
+
+Timestamp RateController::NextDeadline() {
+  Timestamp deadline;
+  if (!started_) {
+    deadline = clock_->Now() + pending_defer_;
+    started_ = true;
+  } else {
+    // The interval is evaluated now, so SET_RATE applies to the very next
+    // emission.
+    deadline = prev_deadline_ + Interval() + pending_defer_;
+  }
+  pending_defer_ = Duration::Zero();
+  prev_deadline_ = deadline;
+  return deadline;
+}
+
+Timestamp RateController::WaitForNextSlot() {
+  const Timestamp deadline = NextDeadline();
+  // Two-stage wait: yield while far from the deadline, spin when close.
+  // Yielding keeps the reader thread runnable on loaded machines; the final
+  // busy-wait gives microsecond-precision release times.
+  constexpr Duration kSpinWindow = Duration::FromMicros(50);
+  while (true) {
+    const Timestamp now = clock_->Now();
+    if (now >= deadline) break;
+    if (deadline - now > kSpinWindow) {
+      std::this_thread::yield();
+    }
+    // else: pure busy-wait
+  }
+  return deadline;
+}
+
+Duration RateController::Lag() const {
+  if (!started_) return Duration::Zero();
+  const Timestamp upcoming = prev_deadline_ + Interval() + pending_defer_;
+  const Timestamp now = clock_->Now();
+  return now >= upcoming ? now - upcoming : Duration::Zero();
+}
+
+}  // namespace graphtides

@@ -1,0 +1,57 @@
+// RateController: paces event emission at a uniform, tunable rate (§5.1:
+// "emitting stream events is handled by a dedicated thread that uses high
+// precision timestamps and busy-waiting for timeliness").
+#ifndef GRAPHTIDES_REPLAYER_RATE_CONTROLLER_H_
+#define GRAPHTIDES_REPLAYER_RATE_CONTROLLER_H_
+
+#include "common/clock.h"
+
+namespace graphtides {
+
+/// \brief Computes and enforces per-event emission deadlines.
+///
+/// The schedule is deadline-based rather than sleep-based: the next
+/// deadline advances by exactly one interval per event, so transient delays
+/// are caught up instead of accumulating drift. SET_RATE control events map
+/// to SetFactor, PAUSE control events to Defer.
+class RateController {
+ public:
+  /// `base_rate_eps` is the initial rate in events per second (factor 1.0).
+  RateController(double base_rate_eps, const Clock* clock);
+
+  /// Changes the speed-up factor (1.0 = base rate).
+  void SetFactor(double factor);
+  double factor() const { return factor_; }
+  double current_rate_eps() const { return base_rate_eps_ * factor_; }
+
+  /// Pushes the schedule into the future (PAUSE control event).
+  void Defer(Duration pause);
+
+  /// Blocks (busy-waits near the deadline) until the next emission slot,
+  /// then advances the schedule. Returns the deadline that was enforced.
+  Timestamp WaitForNextSlot();
+
+  /// Non-blocking variant for virtual-time use: the deadline for the next
+  /// event; the caller advances its own clock.
+  Timestamp NextDeadline();
+
+  /// Positive when emission lags behind the schedule.
+  Duration Lag() const;
+
+ private:
+  Duration Interval() const {
+    return Duration::FromNanos(
+        static_cast<int64_t>(1e9 / (base_rate_eps_ * factor_)));
+  }
+
+  double base_rate_eps_;
+  double factor_ = 1.0;
+  const Clock* clock_;
+  Timestamp prev_deadline_;
+  Duration pending_defer_;
+  bool started_ = false;
+};
+
+}  // namespace graphtides
+
+#endif  // GRAPHTIDES_REPLAYER_RATE_CONTROLLER_H_

@@ -1,0 +1,128 @@
+#include "replayer/replayer.h"
+
+#include <atomic>
+#include <memory>
+#include <mutex>
+#include <thread>
+
+#include "replayer/spsc_queue.h"
+#include "stream/stream_file.h"
+
+namespace graphtides {
+
+Result<ReplayStats> StreamReplayer::Replay(const std::vector<Event>& events,
+                                           EventSink* sink) {
+  size_t index = 0;
+  return Run(
+      [&events, index]() mutable -> Result<std::optional<Event>> {
+        if (index >= events.size()) return std::optional<Event>(std::nullopt);
+        return std::optional<Event>(events[index++]);
+      },
+      sink);
+}
+
+Result<ReplayStats> StreamReplayer::ReplayFile(const std::string& path,
+                                               EventSink* sink) {
+  auto reader = std::make_shared<StreamFileReader>();
+  GT_RETURN_NOT_OK(reader->Open(path));
+  return Run([reader]() { return reader->Next(); }, sink);
+}
+
+Result<ReplayStats> StreamReplayer::Run(const SourceFn& source,
+                                        EventSink* sink) {
+  SpscQueue<Event> queue(options_.queue_capacity);
+  std::atomic<bool> reader_done{false};
+  std::atomic<bool> abort{false};
+  Status reader_status;  // written by reader thread before reader_done
+
+  std::thread reader([&] {
+    while (!abort.load(std::memory_order_relaxed)) {
+      Result<std::optional<Event>> next = source();
+      if (!next.ok()) {
+        reader_status = next.status();
+        break;
+      }
+      if (!next->has_value()) break;  // end of stream
+      Event event = std::move(**next);
+      while (!queue.TryPush(std::move(event))) {
+        if (abort.load(std::memory_order_relaxed)) {
+          reader_done.store(true, std::memory_order_release);
+          return;
+        }
+        std::this_thread::yield();
+      }
+    }
+    reader_done.store(true, std::memory_order_release);
+  });
+
+  MonotonicClock clock;
+  RateController rate(options_.base_rate_eps, &clock);
+  ReplayStats stats;
+  stats.started = clock.Now();
+
+  Timestamp bin_start = stats.started;
+  size_t bin_count = 0;
+  auto roll_bins = [&](Timestamp now) {
+    while (now - bin_start >= options_.stats_bin) {
+      stats.rate_series.push_back({bin_start, bin_count});
+      bin_start = bin_start + options_.stats_bin;
+      bin_count = 0;
+    }
+  };
+
+  Status emit_status;
+  while (true) {
+    std::optional<Event> popped = queue.TryPop();
+    if (!popped.has_value()) {
+      if (reader_done.load(std::memory_order_acquire)) {
+        // Drain anything pushed between the failed pop and the flag read.
+        popped = queue.TryPop();
+        if (!popped.has_value()) break;
+      } else {
+        std::this_thread::yield();
+        continue;
+      }
+    }
+    const Event& event = *popped;
+
+    if (IsControl(event.type)) {
+      ++stats.controls;
+      if (options_.honor_control_events) {
+        if (event.type == EventType::kSetRate) {
+          rate.SetFactor(event.rate_factor);
+        } else {
+          rate.Defer(event.pause);
+        }
+      }
+      continue;
+    }
+    if (event.type == EventType::kMarker) {
+      ++stats.markers;
+      stats.marker_log.push_back(
+          {event.payload, clock.Now(), stats.events_delivered});
+      continue;
+    }
+
+    const Timestamp slot = rate.WaitForNextSlot();
+    emit_status = sink->Deliver(event);
+    if (!emit_status.ok()) {
+      abort.store(true, std::memory_order_relaxed);
+      break;
+    }
+    ++stats.events_delivered;
+    stats.lag_us.push_back((clock.Now() - slot).seconds() * 1e6);
+    roll_bins(slot);
+    ++bin_count;
+  }
+
+  reader.join();
+  stats.finished = clock.Now();
+  if (bin_count > 0) stats.rate_series.push_back({bin_start, bin_count});
+
+  if (!emit_status.ok()) return emit_status.WithContext("sink delivery");
+  if (!reader_status.ok()) return reader_status.WithContext("stream source");
+  GT_RETURN_NOT_OK(sink->Finish());
+  return stats;
+}
+
+}  // namespace graphtides

@@ -1,0 +1,103 @@
+// The graph stream replayer (§4.1, §5.1): replays a stream file or an
+// in-memory stream against an EventSink at a uniform, tunable rate.
+//
+// Architecture (mirrors the paper's Java implementation):
+//   * a reader thread parses/loads events and fills a bounded SPSC queue,
+//   * an emitter thread paces each event with a deadline-based
+//     RateController (busy-waiting near deadlines) and delivers it,
+//   * marker events are timestamped and logged (not delivered),
+//   * control events retune the rate (SET_RATE) or suspend emission
+//     (PAUSE).
+#ifndef GRAPHTIDES_REPLAYER_REPLAYER_H_
+#define GRAPHTIDES_REPLAYER_REPLAYER_H_
+
+#include <functional>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/clock.h"
+#include "common/result.h"
+#include "replayer/event_sink.h"
+#include "replayer/rate_controller.h"
+#include "stream/event.h"
+
+namespace graphtides {
+
+struct ReplayerOptions {
+  /// Base emission rate in events/second (SET_RATE factor 1.0).
+  double base_rate_eps = 10000.0;
+  /// SPSC queue capacity between reader and emitter threads.
+  size_t queue_capacity = 1 << 14;
+  /// Bin width for the achieved-rate time series.
+  Duration stats_bin = Duration::FromMillis(100);
+  /// When false, controls (SET_RATE / PAUSE) are ignored — events stream
+  /// at the base rate throughout.
+  bool honor_control_events = true;
+};
+
+/// \brief One marker observation: the wall-clock instant the marker passed
+/// through the emitter, for later correlation (§4.5 "watermark events").
+struct MarkerRecord {
+  std::string label;
+  Timestamp time;
+  /// Graph events delivered before this marker.
+  size_t events_before = 0;
+};
+
+/// \brief Per-bin achieved throughput sample.
+struct RateSample {
+  Timestamp bin_start;
+  size_t events = 0;
+};
+
+/// \brief Outcome of one replay run.
+struct ReplayStats {
+  size_t events_delivered = 0;
+  size_t markers = 0;
+  size_t controls = 0;
+  Timestamp started;
+  Timestamp finished;
+  std::vector<MarkerRecord> marker_log;
+  std::vector<RateSample> rate_series;
+  /// Per-event emission lag in microseconds: how far behind its scheduled
+  /// deadline each event left the emitter (0 = perfectly timed). The
+  /// spread of this distribution is the "range of rates" effect Fig. 3a
+  /// reports at high target rates.
+  std::vector<double> lag_us;
+
+  Duration Elapsed() const { return finished - started; }
+  /// Mean achieved rate over the whole run (events/second).
+  double AchievedRateEps() const {
+    const double secs = Elapsed().seconds();
+    return secs > 0.0 ? static_cast<double>(events_delivered) / secs : 0.0;
+  }
+};
+
+/// \brief Replays one stream against one sink (one event source per stream,
+/// per the paper's concurrency model; run several replayers for parallel
+/// load).
+class StreamReplayer {
+ public:
+  explicit StreamReplayer(ReplayerOptions options) : options_(options) {}
+
+  /// Replays an in-memory stream. Blocks until done or failed.
+  Result<ReplayStats> Replay(const std::vector<Event>& events,
+                             EventSink* sink);
+
+  /// Streams a file without loading it fully (reader thread parses lines
+  /// while the emitter drains the queue).
+  Result<ReplayStats> ReplayFile(const std::string& path, EventSink* sink);
+
+ private:
+  /// Pull-based event source; nullopt signals end of stream.
+  using SourceFn = std::function<Result<std::optional<Event>>()>;
+
+  Result<ReplayStats> Run(const SourceFn& source, EventSink* sink);
+
+  ReplayerOptions options_;
+};
+
+}  // namespace graphtides
+
+#endif  // GRAPHTIDES_REPLAYER_REPLAYER_H_

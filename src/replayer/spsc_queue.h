@@ -1,0 +1,67 @@
+// Bounded single-producer/single-consumer queue used to decouple stream
+// reading from paced emission (§5.1: "We use a multi-threaded design to
+// decouple both tasks and to ensure high throughput").
+#ifndef GRAPHTIDES_REPLAYER_SPSC_QUEUE_H_
+#define GRAPHTIDES_REPLAYER_SPSC_QUEUE_H_
+
+#include <atomic>
+#include <cassert>
+#include <cstddef>
+#include <optional>
+#include <utility>
+#include <vector>
+
+namespace graphtides {
+
+/// \brief Lock-free bounded SPSC ring buffer.
+///
+/// Exactly one producer thread may call TryPush and exactly one consumer
+/// thread may call TryPop. Capacity is rounded up to a power of two.
+template <typename T>
+class SpscQueue {
+ public:
+  explicit SpscQueue(size_t capacity) {
+    size_t cap = 1;
+    while (cap < capacity) cap <<= 1;
+    buffer_.resize(cap);
+    mask_ = cap - 1;
+  }
+
+  /// Non-blocking push; false when full.
+  bool TryPush(T value) {
+    const size_t head = head_.load(std::memory_order_relaxed);
+    const size_t tail = tail_.load(std::memory_order_acquire);
+    if (head - tail > mask_) return false;  // full
+    buffer_[head & mask_] = std::move(value);
+    head_.store(head + 1, std::memory_order_release);
+    return true;
+  }
+
+  /// Non-blocking pop; nullopt when empty.
+  std::optional<T> TryPop() {
+    const size_t tail = tail_.load(std::memory_order_relaxed);
+    const size_t head = head_.load(std::memory_order_acquire);
+    if (tail == head) return std::nullopt;  // empty
+    T value = std::move(buffer_[tail & mask_]);
+    tail_.store(tail + 1, std::memory_order_release);
+    return value;
+  }
+
+  size_t capacity() const { return mask_ + 1; }
+
+  /// Approximate size (safe to call from either thread).
+  size_t SizeApprox() const {
+    return head_.load(std::memory_order_acquire) -
+           tail_.load(std::memory_order_acquire);
+  }
+
+ private:
+  std::vector<T> buffer_;
+  size_t mask_ = 0;
+  alignas(64) std::atomic<size_t> head_{0};
+  alignas(64) std::atomic<size_t> tail_{0};
+};
+
+}  // namespace graphtides
+
+#endif  // GRAPHTIDES_REPLAYER_SPSC_QUEUE_H_

@@ -1,0 +1,154 @@
+#include "replayer/tcp.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+namespace graphtides {
+
+namespace {
+
+Status Errno(const std::string& what) {
+  return Status::IoError(what + ": " + std::strerror(errno));
+}
+
+Status WriteAll(int fd, const char* data, size_t size) {
+  size_t written = 0;
+  while (written < size) {
+    const ssize_t n = ::write(fd, data + written, size - written);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return Errno("socket write");
+    }
+    written += static_cast<size_t>(n);
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+TcpSink::~TcpSink() {
+  if (fd_ >= 0) ::close(fd_);
+}
+
+Status TcpSink::Connect(const std::string& host, uint16_t port) {
+  fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd_ < 0) return Errno("socket");
+
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  const std::string resolved = (host == "localhost") ? "127.0.0.1" : host;
+  if (::inet_pton(AF_INET, resolved.c_str(), &addr.sin_addr) != 1) {
+    ::close(fd_);
+    fd_ = -1;
+    return Status::InvalidArgument("not an IPv4 address: " + host);
+  }
+  if (::connect(fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    ::close(fd_);
+    fd_ = -1;
+    return Errno("connect " + resolved + ":" + std::to_string(port));
+  }
+  int one = 1;
+  ::setsockopt(fd_, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  buffer_.reserve(2 * kFlushBytes);
+  return Status::OK();
+}
+
+Status TcpSink::FlushBuffer() {
+  if (buffer_.empty()) return Status::OK();
+  GT_RETURN_NOT_OK(WriteAll(fd_, buffer_.data(), buffer_.size()));
+  buffer_.clear();
+  return Status::OK();
+}
+
+Status TcpSink::Deliver(const Event& event) {
+  if (fd_ < 0) return Status::PreconditionFailed("TcpSink not connected");
+  buffer_ += event.ToCsvLine();
+  buffer_.push_back('\n');
+  if (buffer_.size() >= kFlushBytes) return FlushBuffer();
+  return Status::OK();
+}
+
+Status TcpSink::Finish() {
+  if (fd_ < 0) return Status::OK();
+  GT_RETURN_NOT_OK(FlushBuffer());
+  ::shutdown(fd_, SHUT_WR);
+  ::close(fd_);
+  fd_ = -1;
+  return Status::OK();
+}
+
+TcpLineServer::~TcpLineServer() {
+  if (listen_fd_ >= 0) ::close(listen_fd_);
+  if (thread_.joinable()) thread_.join();
+}
+
+Result<uint16_t> TcpLineServer::Start(LineFn on_line, uint16_t port) {
+  on_line_ = std::move(on_line);
+  listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (listen_fd_ < 0) return Errno("socket");
+  int one = 1;
+  ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  if (::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) !=
+      0) {
+    return Errno("bind");
+  }
+  if (::listen(listen_fd_, 1) != 0) return Errno("listen");
+
+  socklen_t len = sizeof(addr);
+  if (::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&addr), &len) !=
+      0) {
+    return Errno("getsockname");
+  }
+  thread_ = std::thread([this] { Serve(); });
+  return ntohs(addr.sin_port);
+}
+
+void TcpLineServer::Serve() {
+  const int conn = ::accept(listen_fd_, nullptr, nullptr);
+  if (conn < 0) return;
+  std::string pending;
+  char buf[64 * 1024];
+  while (true) {
+    const ssize_t n = ::read(conn, buf, sizeof(buf));
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      break;
+    }
+    if (n == 0) break;  // client closed
+    pending.append(buf, static_cast<size_t>(n));
+    size_t start = 0;
+    while (true) {
+      const size_t nl = pending.find('\n', start);
+      if (nl == std::string::npos) break;
+      if (on_line_) {
+        on_line_(std::string_view(pending).substr(start, nl - start));
+      }
+      lines_.fetch_add(1, std::memory_order_relaxed);
+      start = nl + 1;
+    }
+    pending.erase(0, start);
+  }
+  ::close(conn);
+}
+
+void TcpLineServer::Join() {
+  if (thread_.joinable()) thread_.join();
+  if (listen_fd_ >= 0) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+  }
+}
+
+}  // namespace graphtides

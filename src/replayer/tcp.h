@@ -1,0 +1,87 @@
+// TCP transport: a client sink (connector side) and a minimal line-oriented
+// server (system-under-test side / benchmark counterpart). Matches the
+// Table 2 "TCP: local socket to measurement process" setup.
+#ifndef GRAPHTIDES_REPLAYER_TCP_H_
+#define GRAPHTIDES_REPLAYER_TCP_H_
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <thread>
+
+#include "common/result.h"
+#include "replayer/event_sink.h"
+
+namespace graphtides {
+
+/// \brief EventSink that writes CSV event lines over a TCP connection.
+///
+/// Writes go through a small user-space buffer and the kernel socket
+/// buffer; when the receiver falls behind, writes block — TCP flow control
+/// is the backpressure signal.
+class TcpSink final : public EventSink {
+ public:
+  TcpSink() = default;
+  ~TcpSink() override;
+
+  TcpSink(const TcpSink&) = delete;
+  TcpSink& operator=(const TcpSink&) = delete;
+
+  /// Connects to host:port (IPv4 dotted quad or "localhost").
+  Status Connect(const std::string& host, uint16_t port);
+
+  Status Deliver(const Event& event) override;
+  Status Finish() override;
+
+  bool connected() const { return fd_ >= 0; }
+
+ private:
+  Status FlushBuffer();
+
+  int fd_ = -1;
+  std::string buffer_;
+  /// Flush threshold; one syscall per ~16 KiB rather than per event.
+  static constexpr size_t kFlushBytes = 16 * 1024;
+};
+
+/// \brief Minimal single-connection line server: accepts one client and
+/// feeds every received line to a callback on a background thread.
+///
+/// Used by benchmarks and tests as the "measurement process" counterpart of
+/// the TCP setup.
+class TcpLineServer {
+ public:
+  using LineFn = std::function<void(std::string_view line)>;
+
+  TcpLineServer() = default;
+  ~TcpLineServer();
+
+  TcpLineServer(const TcpLineServer&) = delete;
+  TcpLineServer& operator=(const TcpLineServer&) = delete;
+
+  /// Binds to 127.0.0.1 on an ephemeral (or given) port and starts
+  /// listening. Returns the bound port.
+  Result<uint16_t> Start(LineFn on_line, uint16_t port = 0);
+
+  /// Waits for the client to disconnect and joins the service thread.
+  void Join();
+
+  /// Lines received so far.
+  uint64_t lines_received() const {
+    return lines_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  void Serve();
+
+  int listen_fd_ = -1;
+  std::thread thread_;
+  LineFn on_line_;
+  std::atomic<uint64_t> lines_{0};
+};
+
+}  // namespace graphtides
+
+#endif  // GRAPHTIDES_REPLAYER_TCP_H_

@@ -1,0 +1,61 @@
+#include "sim/process.h"
+
+#include <algorithm>
+
+namespace graphtides {
+
+SimProcess::SimProcess(Simulator* sim, std::string name,
+                       Duration utilization_bin)
+    : sim_(sim),
+      name_(std::move(name)),
+      bin_(utilization_bin),
+      epoch_(sim->Now()),
+      busy_until_(sim->Now()) {}
+
+Timestamp SimProcess::Submit(Duration cpu_cost, Simulator::Callback done) {
+  const Timestamp start = std::max(sim_->Now(), busy_until_);
+  const Timestamp end = start + cpu_cost;
+  AccountBusy(start, end);
+  busy_until_ = end;
+  total_busy_ += cpu_cost;
+  if (done) sim_->ScheduleAt(end, std::move(done));
+  return end;
+}
+
+Duration SimProcess::Backlog() const {
+  const Timestamp now = sim_->Now();
+  return busy_until_ > now ? busy_until_ - now : Duration::Zero();
+}
+
+void SimProcess::AccountBusy(Timestamp start, Timestamp end) {
+  if (end <= start) return;
+  int64_t begin_ns = (start - epoch_).nanos();
+  const int64_t end_ns = (end - epoch_).nanos();
+  const int64_t bin_ns = bin_.nanos();
+  while (begin_ns < end_ns) {
+    const size_t bin_index = static_cast<size_t>(begin_ns / bin_ns);
+    if (busy_per_bin_.size() <= bin_index) {
+      busy_per_bin_.resize(bin_index + 1, Duration::Zero());
+    }
+    const int64_t bin_end = static_cast<int64_t>(bin_index + 1) * bin_ns;
+    const int64_t chunk = std::min(end_ns, bin_end) - begin_ns;
+    busy_per_bin_[bin_index] += Duration::FromNanos(chunk);
+    begin_ns += chunk;
+  }
+}
+
+std::vector<double> SimProcess::UtilizationSeries(Timestamp until) const {
+  std::vector<double> out;
+  if (until <= epoch_) return out;
+  const size_t bins = static_cast<size_t>(
+      ((until - epoch_).nanos() + bin_.nanos() - 1) / bin_.nanos());
+  out.resize(bins, 0.0);
+  for (size_t i = 0; i < bins && i < busy_per_bin_.size(); ++i) {
+    out[i] = static_cast<double>(busy_per_bin_[i].nanos()) /
+             static_cast<double>(bin_.nanos());
+    out[i] = std::min(out[i], 1.0);
+  }
+  return out;
+}
+
+}  // namespace graphtides

@@ -1,0 +1,60 @@
+// SimProcess: a single-threaded OS process in the simulation, with CPU-time
+// accounting. Work items are serialized (a busy process delays later work),
+// and busy intervals are binned into a utilization time series — this is
+// the Level-0 "CPU load per process" metric of §4.3, computed by accounting
+// instead of sampling.
+#ifndef GRAPHTIDES_SIM_PROCESS_H_
+#define GRAPHTIDES_SIM_PROCESS_H_
+
+#include <string>
+#include <vector>
+
+#include "common/clock.h"
+#include "sim/simulator.h"
+
+namespace graphtides {
+
+/// \brief A simulated process with one CPU's worth of capacity.
+class SimProcess {
+ public:
+  /// `utilization_bin` is the width of CPU-accounting bins.
+  SimProcess(Simulator* sim, std::string name,
+             Duration utilization_bin = Duration::FromSeconds(1.0));
+
+  const std::string& name() const { return name_; }
+
+  /// \brief Submits a work item costing `cpu_cost` of CPU time; `done`
+  /// runs at the virtual time the work completes. Work is serialized after
+  /// everything previously submitted.
+  ///
+  /// Returns the completion time.
+  Timestamp Submit(Duration cpu_cost, Simulator::Callback done);
+
+  /// First moment at which newly submitted work could start.
+  Timestamp free_at() const { return busy_until_; }
+  /// Queue-delay a new submission would currently experience.
+  Duration Backlog() const;
+
+  Duration total_busy() const { return total_busy_; }
+
+  /// CPU utilization (0..1) per bin since construction, up to `until`.
+  /// Bins with no accounted work report 0.
+  std::vector<double> UtilizationSeries(Timestamp until) const;
+  Duration utilization_bin() const { return bin_; }
+  Timestamp epoch() const { return epoch_; }
+
+ private:
+  void AccountBusy(Timestamp start, Timestamp end);
+
+  Simulator* sim_;
+  std::string name_;
+  Duration bin_;
+  Timestamp epoch_;
+  Timestamp busy_until_;
+  Duration total_busy_;
+  std::vector<Duration> busy_per_bin_;
+};
+
+}  // namespace graphtides
+
+#endif  // GRAPHTIDES_SIM_PROCESS_H_

@@ -1,0 +1,57 @@
+// SimQueue: a bounded FIFO with length instrumentation — the building block
+// for worker input queues whose saturation the Chronograph experiment
+// visualizes (Fig. 3d "worker queue length").
+#ifndef GRAPHTIDES_SIM_QUEUE_H_
+#define GRAPHTIDES_SIM_QUEUE_H_
+
+#include <cstddef>
+#include <deque>
+#include <optional>
+#include <utility>
+
+namespace graphtides {
+
+/// \brief Bounded FIFO in simulated components (single-threaded: the
+/// simulator serializes all callbacks).
+template <typename T>
+class SimQueue {
+ public:
+  /// capacity == 0 means unbounded.
+  explicit SimQueue(size_t capacity = 0) : capacity_(capacity) {}
+
+  /// False (and drops) when the queue is full.
+  bool Push(T value) {
+    if (capacity_ != 0 && items_.size() >= capacity_) {
+      ++rejected_;
+      return false;
+    }
+    items_.push_back(std::move(value));
+    peak_ = std::max(peak_, items_.size());
+    return true;
+  }
+
+  std::optional<T> Pop() {
+    if (items_.empty()) return std::nullopt;
+    T value = std::move(items_.front());
+    items_.pop_front();
+    return value;
+  }
+
+  size_t size() const { return items_.size(); }
+  bool empty() const { return items_.empty(); }
+  size_t capacity() const { return capacity_; }
+  size_t peak_size() const { return peak_; }
+  /// Pushes refused because the queue was full.
+  size_t rejected() const { return rejected_; }
+  bool Full() const { return capacity_ != 0 && items_.size() >= capacity_; }
+
+ private:
+  size_t capacity_;
+  std::deque<T> items_;
+  size_t peak_ = 0;
+  size_t rejected_ = 0;
+};
+
+}  // namespace graphtides
+
+#endif  // GRAPHTIDES_SIM_QUEUE_H_

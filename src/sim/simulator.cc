@@ -1,0 +1,36 @@
+#include "sim/simulator.h"
+
+#include <utility>
+
+namespace graphtides {
+
+void Simulator::ScheduleAt(Timestamp t, Callback cb) {
+  if (t < Now()) t = Now();
+  queue_.push(Entry{t, next_seq_++, std::move(cb)});
+}
+
+bool Simulator::Step() {
+  if (queue_.empty()) return false;
+  // priority_queue::top returns const&; the callback must be moved out
+  // before pop, so copy the shell and pop first.
+  Entry entry = std::move(const_cast<Entry&>(queue_.top()));
+  queue_.pop();
+  clock_.AdvanceTo(entry.time);
+  ++executed_;
+  entry.cb();
+  return true;
+}
+
+void Simulator::RunUntilIdle() {
+  while (Step()) {
+  }
+}
+
+void Simulator::RunUntil(Timestamp t) {
+  while (!queue_.empty() && queue_.top().time <= t) {
+    Step();
+  }
+  clock_.AdvanceTo(t);
+}
+
+}  // namespace graphtides

@@ -1,0 +1,78 @@
+#include "sim/virtual_replayer.h"
+
+namespace graphtides {
+
+void VirtualReplayer::Start(std::vector<Event> events, DeliverFn deliver,
+                            MarkerFn on_marker, DoneFn on_done) {
+  events_ = std::move(events);
+  deliver_ = std::move(deliver);
+  on_marker_ = std::move(on_marker);
+  on_done_ = std::move(on_done);
+  cursor_ = 0;
+  delivered_ = 0;
+  factor_ = 1.0;
+  finished_ = false;
+  next_deadline_ = sim_->Now();
+  delivery_times_.clear();
+  sim_->ScheduleAt(next_deadline_, [this] { EmitNext(); });
+}
+
+void VirtualReplayer::EmitNext() {
+  // Consume markers and controls immediately; they carry no pacing cost of
+  // their own (controls adjust the schedule instead).
+  while (cursor_ < events_.size()) {
+    const Event& event = events_[cursor_];
+    if (event.type == EventType::kMarker) {
+      if (on_marker_) on_marker_(event.payload);
+      ++cursor_;
+      continue;
+    }
+    if (IsControl(event.type)) {
+      if (options_.honor_control_events) {
+        if (event.type == EventType::kSetRate) {
+          if (event.rate_factor > 0.0) factor_ = event.rate_factor;
+        } else {
+          next_deadline_ = next_deadline_ + event.pause;
+        }
+      }
+      ++cursor_;
+      continue;
+    }
+    break;
+  }
+  if (cursor_ >= events_.size()) {
+    finished_ = true;
+    finished_at_ = sim_->Now();
+    if (on_done_) on_done_();
+    return;
+  }
+
+  // If controls pushed the deadline beyond now, re-schedule; the deferred
+  // call finds the controls already consumed and emits then.
+  if (next_deadline_ > sim_->Now()) {
+    sim_->ScheduleAt(next_deadline_, [this] { EmitNext(); });
+    return;
+  }
+
+  // Backpressure: a closed gate defers emission (and shifts the schedule —
+  // a throttled replayer does not burst to catch up afterwards).
+  if (gate_ && !gate_()) {
+    throttled_ += options_.gate_backoff;
+    next_deadline_ = sim_->Now() + options_.gate_backoff;
+    sim_->ScheduleAt(next_deadline_, [this] { EmitNext(); });
+    return;
+  }
+
+  const Event& event = events_[cursor_];
+  delivery_times_.push_back(sim_->Now());
+  if (deliver_) deliver_(event, cursor_);
+  ++cursor_;
+  ++delivered_;
+
+  const Duration interval = Duration::FromNanos(static_cast<int64_t>(
+      1e9 / (options_.base_rate_eps * factor_)));
+  next_deadline_ = next_deadline_ + interval;
+  sim_->ScheduleAt(next_deadline_, [this] { EmitNext(); });
+}
+
+}  // namespace graphtides

@@ -1,0 +1,282 @@
+#include "stream/event.h"
+
+#include "common/csv.h"
+#include "common/string_util.h"
+
+namespace graphtides {
+
+std::string_view EventTypeName(EventType type) {
+  switch (type) {
+    case EventType::kAddVertex:
+      return "CREATE_VERTEX";
+    case EventType::kRemoveVertex:
+      return "REMOVE_VERTEX";
+    case EventType::kUpdateVertex:
+      return "UPDATE_VERTEX";
+    case EventType::kAddEdge:
+      return "CREATE_EDGE";
+    case EventType::kRemoveEdge:
+      return "REMOVE_EDGE";
+    case EventType::kUpdateEdge:
+      return "UPDATE_EDGE";
+    case EventType::kMarker:
+      return "MARKER";
+    case EventType::kSetRate:
+      return "SET_RATE";
+    case EventType::kPause:
+      return "PAUSE";
+  }
+  return "UNKNOWN";
+}
+
+Result<EventType> EventTypeFromName(std::string_view name) {
+  if (name == "CREATE_VERTEX") return EventType::kAddVertex;
+  if (name == "REMOVE_VERTEX") return EventType::kRemoveVertex;
+  if (name == "UPDATE_VERTEX") return EventType::kUpdateVertex;
+  if (name == "CREATE_EDGE") return EventType::kAddEdge;
+  if (name == "REMOVE_EDGE") return EventType::kRemoveEdge;
+  if (name == "UPDATE_EDGE") return EventType::kUpdateEdge;
+  if (name == "MARKER") return EventType::kMarker;
+  if (name == "SET_RATE") return EventType::kSetRate;
+  if (name == "PAUSE") return EventType::kPause;
+  return Status::ParseError("unknown command: '" + std::string(name) + "'");
+}
+
+bool IsGraphOp(EventType type) {
+  return static_cast<uint8_t>(type) <=
+         static_cast<uint8_t>(EventType::kUpdateEdge);
+}
+
+bool IsTopologyChange(EventType type) {
+  return type == EventType::kAddVertex || type == EventType::kRemoveVertex ||
+         type == EventType::kAddEdge || type == EventType::kRemoveEdge;
+}
+
+bool IsStateUpdate(EventType type) {
+  return type == EventType::kUpdateVertex || type == EventType::kUpdateEdge;
+}
+
+bool IsVertexOp(EventType type) {
+  return type == EventType::kAddVertex || type == EventType::kRemoveVertex ||
+         type == EventType::kUpdateVertex;
+}
+
+bool IsEdgeOp(EventType type) {
+  return type == EventType::kAddEdge || type == EventType::kRemoveEdge ||
+         type == EventType::kUpdateEdge;
+}
+
+bool IsControl(EventType type) {
+  return type == EventType::kSetRate || type == EventType::kPause;
+}
+
+bool IsAddOp(EventType type) {
+  return type == EventType::kAddVertex || type == EventType::kAddEdge;
+}
+
+bool IsRemoveOp(EventType type) {
+  return type == EventType::kRemoveVertex || type == EventType::kRemoveEdge;
+}
+
+Event Event::AddVertex(VertexId id, std::string state) {
+  Event e;
+  e.type = EventType::kAddVertex;
+  e.vertex = id;
+  e.payload = std::move(state);
+  return e;
+}
+
+Event Event::RemoveVertex(VertexId id) {
+  Event e;
+  e.type = EventType::kRemoveVertex;
+  e.vertex = id;
+  return e;
+}
+
+Event Event::UpdateVertex(VertexId id, std::string state) {
+  Event e;
+  e.type = EventType::kUpdateVertex;
+  e.vertex = id;
+  e.payload = std::move(state);
+  return e;
+}
+
+Event Event::AddEdge(VertexId src, VertexId dst, std::string state) {
+  Event e;
+  e.type = EventType::kAddEdge;
+  e.edge = {src, dst};
+  e.payload = std::move(state);
+  return e;
+}
+
+Event Event::RemoveEdge(VertexId src, VertexId dst) {
+  Event e;
+  e.type = EventType::kRemoveEdge;
+  e.edge = {src, dst};
+  return e;
+}
+
+Event Event::UpdateEdge(VertexId src, VertexId dst, std::string state) {
+  Event e;
+  e.type = EventType::kUpdateEdge;
+  e.edge = {src, dst};
+  e.payload = std::move(state);
+  return e;
+}
+
+Event Event::Marker(std::string label) {
+  Event e;
+  e.type = EventType::kMarker;
+  e.payload = std::move(label);
+  return e;
+}
+
+Event Event::SetRate(double factor) {
+  Event e;
+  e.type = EventType::kSetRate;
+  e.rate_factor = factor;
+  return e;
+}
+
+Event Event::Pause(Duration duration) {
+  Event e;
+  e.type = EventType::kPause;
+  e.pause = duration;
+  return e;
+}
+
+bool Event::operator==(const Event& other) const {
+  if (type != other.type) return false;
+  switch (type) {
+    case EventType::kAddVertex:
+    case EventType::kUpdateVertex:
+      return vertex == other.vertex && payload == other.payload;
+    case EventType::kRemoveVertex:
+      return vertex == other.vertex;
+    case EventType::kAddEdge:
+    case EventType::kUpdateEdge:
+      return edge == other.edge && payload == other.payload;
+    case EventType::kRemoveEdge:
+      return edge == other.edge;
+    case EventType::kMarker:
+      return payload == other.payload;
+    case EventType::kSetRate:
+      return rate_factor == other.rate_factor;
+    case EventType::kPause:
+      return pause == other.pause;
+  }
+  return false;
+}
+
+std::string Event::ToCsvLine() const {
+  std::vector<std::string> fields;
+  fields.emplace_back(EventTypeName(type));
+  switch (type) {
+    case EventType::kAddVertex:
+    case EventType::kUpdateVertex:
+      fields.push_back(std::to_string(vertex));
+      fields.push_back(payload);
+      break;
+    case EventType::kRemoveVertex:
+      fields.push_back(std::to_string(vertex));
+      fields.emplace_back();
+      break;
+    case EventType::kAddEdge:
+    case EventType::kUpdateEdge:
+      fields.push_back(std::to_string(edge.src) + "-" +
+                       std::to_string(edge.dst));
+      fields.push_back(payload);
+      break;
+    case EventType::kRemoveEdge:
+      fields.push_back(std::to_string(edge.src) + "-" +
+                       std::to_string(edge.dst));
+      fields.emplace_back();
+      break;
+    case EventType::kMarker:
+      fields.emplace_back();
+      fields.push_back(payload);
+      break;
+    case EventType::kSetRate: {
+      fields.emplace_back();
+      char buf[32];
+      std::snprintf(buf, sizeof(buf), "%g", rate_factor);
+      fields.emplace_back(buf);
+      break;
+    }
+    case EventType::kPause:
+      fields.emplace_back();
+      fields.push_back(std::to_string(pause.millis()));
+      break;
+  }
+  return FormatCsvLine(fields);
+}
+
+namespace {
+
+Result<EdgeId> ParseEdgeId(std::string_view s) {
+  const size_t dash = s.find('-');
+  if (dash == std::string_view::npos) {
+    return Status::ParseError("edge id missing '-': '" + std::string(s) + "'");
+  }
+  GT_ASSIGN_OR_RETURN(const uint64_t src, ParseUint64(s.substr(0, dash)));
+  GT_ASSIGN_OR_RETURN(const uint64_t dst, ParseUint64(s.substr(dash + 1)));
+  return EdgeId{src, dst};
+}
+
+}  // namespace
+
+Result<Event> ParseEventLine(std::string_view line) {
+  const std::string_view trimmed = TrimWhitespace(line);
+  if (trimmed.empty() || trimmed.front() == '#') {
+    return Status::NotFound("blank or comment line");
+  }
+  GT_ASSIGN_OR_RETURN(const std::vector<std::string> fields,
+                      ParseCsvLine(trimmed));
+  if (fields.size() != 3) {
+    return Status::ParseError("expected 3 fields, got " +
+                              std::to_string(fields.size()));
+  }
+  GT_ASSIGN_OR_RETURN(const EventType type, EventTypeFromName(fields[0]));
+
+  Event e;
+  e.type = type;
+  switch (type) {
+    case EventType::kAddVertex:
+    case EventType::kUpdateVertex:
+    case EventType::kRemoveVertex: {
+      GT_ASSIGN_OR_RETURN(e.vertex, ParseUint64(fields[1]));
+      e.payload = fields[2];
+      break;
+    }
+    case EventType::kAddEdge:
+    case EventType::kUpdateEdge:
+    case EventType::kRemoveEdge: {
+      GT_ASSIGN_OR_RETURN(e.edge, ParseEdgeId(fields[1]));
+      e.payload = fields[2];
+      break;
+    }
+    case EventType::kMarker:
+      e.payload = fields[2];
+      break;
+    case EventType::kSetRate: {
+      GT_ASSIGN_OR_RETURN(e.rate_factor, ParseDouble(fields[2]));
+      if (e.rate_factor <= 0.0) {
+        return Status::ParseError("rate factor must be positive");
+      }
+      break;
+    }
+    case EventType::kPause: {
+      GT_ASSIGN_OR_RETURN(const int64_t ms, ParseInt64(fields[2]));
+      if (ms < 0) return Status::ParseError("pause must be non-negative");
+      e.pause = Duration::FromMillis(ms);
+      break;
+    }
+  }
+  return e;
+}
+
+std::ostream& operator<<(std::ostream& os, const Event& e) {
+  return os << e.ToCsvLine();
+}
+
+}  // namespace graphtides

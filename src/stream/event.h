@@ -1,0 +1,115 @@
+// The GraphTides event model (§3.1, §4.2).
+//
+// A graph stream is an ordered sequence of entries of three classes:
+//   * graph-changing events — the six localized operations
+//     add/remove/update x vertex/edge,
+//   * marker events — flags for specific points in the stream, correlated
+//     with wall-clock timestamps during analysis,
+//   * control events — replayer directives: a rate (speed-up) factor and a
+//     pause of fixed duration.
+#ifndef GRAPHTIDES_STREAM_EVENT_H_
+#define GRAPHTIDES_STREAM_EVENT_H_
+
+#include <cstdint>
+#include <ostream>
+#include <string>
+#include <string_view>
+
+#include "common/clock.h"
+#include "common/result.h"
+
+namespace graphtides {
+
+/// Vertices are identified by a unique numeric ID (§3.2 Graph Types).
+using VertexId = uint64_t;
+
+/// \brief Edge identity: the ordered (source, destination) pair.
+///
+/// The stream format renders this as "src-dst" (§4.2). Graphs are directed
+/// without multi-edges or self-loops, so the pair is a unique key.
+struct EdgeId {
+  VertexId src = 0;
+  VertexId dst = 0;
+
+  constexpr auto operator<=>(const EdgeId&) const = default;
+};
+
+inline std::ostream& operator<<(std::ostream& os, const EdgeId& e) {
+  return os << e.src << "-" << e.dst;
+}
+
+/// Entry types appearing in a graph stream file.
+enum class EventType : uint8_t {
+  // Graph-changing events.
+  kAddVertex = 0,
+  kRemoveVertex = 1,
+  kUpdateVertex = 2,
+  kAddEdge = 3,
+  kRemoveEdge = 4,
+  kUpdateEdge = 5,
+  // Marker events (§4.2).
+  kMarker = 6,
+  // Control events (§4.2): SET_RATE carries a speed-up factor relative to
+  // the replayer's base rate (1.0 = base); PAUSE suspends emission.
+  kSetRate = 7,
+  kPause = 8,
+};
+
+/// Stream-format command names (Table 3 vocabulary).
+std::string_view EventTypeName(EventType type);
+
+/// Inverse of EventTypeName; ParseError for unknown commands.
+Result<EventType> EventTypeFromName(std::string_view name);
+
+bool IsGraphOp(EventType type);
+/// Add/remove vertex/edge — changes the topology.
+bool IsTopologyChange(EventType type);
+/// Update vertex/edge — changes only entity state.
+bool IsStateUpdate(EventType type);
+bool IsVertexOp(EventType type);
+bool IsEdgeOp(EventType type);
+bool IsControl(EventType type);
+bool IsAddOp(EventType type);
+bool IsRemoveOp(EventType type);
+
+/// \brief One entry of a graph stream.
+///
+/// The fields used depend on `type`:
+///  * vertex ops: `vertex`, and `payload` as the state string (adds/updates),
+///  * edge ops: `edge`, and `payload` as the state string (adds/updates),
+///  * kMarker: `payload` is the marker label,
+///  * kSetRate: `rate_factor`,
+///  * kPause: `pause`.
+struct Event {
+  EventType type = EventType::kAddVertex;
+  VertexId vertex = 0;
+  EdgeId edge;
+  std::string payload;
+  double rate_factor = 1.0;
+  Duration pause;
+
+  static Event AddVertex(VertexId id, std::string state = "");
+  static Event RemoveVertex(VertexId id);
+  static Event UpdateVertex(VertexId id, std::string state);
+  static Event AddEdge(VertexId src, VertexId dst, std::string state = "");
+  static Event RemoveEdge(VertexId src, VertexId dst);
+  static Event UpdateEdge(VertexId src, VertexId dst, std::string state);
+  static Event Marker(std::string label);
+  static Event SetRate(double factor);
+  static Event Pause(Duration duration);
+
+  bool operator==(const Event& other) const;
+
+  /// Renders the stream-file line for this event (no newline).
+  std::string ToCsvLine() const;
+};
+
+/// \brief Parses one stream-file line. Empty lines and lines starting with
+/// '#' yield NotFound (callers skip those); malformed lines yield ParseError.
+Result<Event> ParseEventLine(std::string_view line);
+
+std::ostream& operator<<(std::ostream& os, const Event& e);
+
+}  // namespace graphtides
+
+#endif  // GRAPHTIDES_STREAM_EVENT_H_

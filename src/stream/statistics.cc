@@ -1,0 +1,103 @@
+#include "stream/statistics.h"
+
+#include <algorithm>
+#include <sstream>
+
+#include "stream/validator.h"
+
+namespace graphtides {
+
+StreamStatistics ComputeStreamStatistics(const std::vector<Event>& events) {
+  StreamStatistics s;
+  StreamValidator shadow;
+
+  bool have_prev_class = false;
+  bool prev_is_topology = false;
+  size_t run_count = 0;
+  size_t run_total = 0;
+  size_t current_run = 0;
+
+  for (const Event& e : events) {
+    ++s.total_entries;
+    ++s.by_type[static_cast<size_t>(e.type)];
+    if (e.type == EventType::kMarker) {
+      ++s.markers;
+      continue;
+    }
+    if (IsControl(e.type)) {
+      ++s.controls;
+      continue;
+    }
+    ++s.graph_ops;
+    const bool is_topology = IsTopologyChange(e.type);
+    if (is_topology) {
+      ++s.topology_changes;
+    } else {
+      ++s.state_updates;
+    }
+    if (IsVertexOp(e.type)) ++s.vertex_ops;
+    if (IsEdgeOp(e.type)) ++s.edge_ops;
+    if (IsAddOp(e.type)) ++s.add_ops;
+    if (IsRemoveOp(e.type)) ++s.remove_ops;
+
+    // Interleaving run-length accounting over graph ops only.
+    if (!have_prev_class || is_topology != prev_is_topology) {
+      if (have_prev_class) {
+        run_total += current_run;
+        ++run_count;
+      }
+      current_run = 1;
+      prev_is_topology = is_topology;
+      have_prev_class = true;
+    } else {
+      ++current_run;
+    }
+
+    // Track sizes; ignore invalid events the same way a SUT would reject
+    // them.
+    if (shadow.Check(e).ok()) {
+      s.peak_vertices = std::max(s.peak_vertices, shadow.num_vertices());
+      s.peak_edges = std::max(s.peak_edges, shadow.num_edges());
+    }
+  }
+  if (have_prev_class) {
+    run_total += current_run;
+    ++run_count;
+  }
+
+  if (s.graph_ops > 0) {
+    s.topology_ratio = static_cast<double>(s.topology_changes) /
+                       static_cast<double>(s.graph_ops);
+    s.vertex_op_ratio =
+        static_cast<double>(s.vertex_ops) / static_cast<double>(s.graph_ops);
+  }
+  if (s.add_ops + s.remove_ops > 0) {
+    s.add_ratio = static_cast<double>(s.add_ops) /
+                  static_cast<double>(s.add_ops + s.remove_ops);
+  }
+  if (run_count > 0) {
+    s.mean_run_length =
+        static_cast<double>(run_total) / static_cast<double>(run_count);
+  }
+  s.final_vertices = shadow.num_vertices();
+  s.final_edges = shadow.num_edges();
+  return s;
+}
+
+std::string StreamStatistics::ToString() const {
+  std::ostringstream os;
+  os << "stream entries: " << total_entries << " (graph ops " << graph_ops
+     << ", markers " << markers << ", controls " << controls << ")\n";
+  os << "event mix: topology " << topology_changes << " / state "
+     << state_updates << " (topology ratio " << topology_ratio << ")\n";
+  os << "direction: adds " << add_ops << " / removes " << remove_ops
+     << " (add ratio " << add_ratio << ")\n";
+  os << "types: vertex ops " << vertex_ops << " / edge ops " << edge_ops
+     << " (vertex ratio " << vertex_op_ratio << ")\n";
+  os << "interleaving: mean run length " << mean_run_length << "\n";
+  os << "final graph: " << final_vertices << " vertices, " << final_edges
+     << " edges (peak " << peak_vertices << "/" << peak_edges << ")";
+  return os.str();
+}
+
+}  // namespace graphtides

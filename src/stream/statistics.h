@@ -1,0 +1,61 @@
+// Descriptive statistics of a graph stream, mirroring the workload property
+// taxonomy of §4.4.1: stream composition (event mix, interleaving), topology
+// changes (direction, types), and state changes (types).
+#ifndef GRAPHTIDES_STREAM_STATISTICS_H_
+#define GRAPHTIDES_STREAM_STATISTICS_H_
+
+#include <array>
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "stream/event.h"
+
+namespace graphtides {
+
+/// \brief Aggregate properties of a stream.
+struct StreamStatistics {
+  size_t total_entries = 0;
+  size_t graph_ops = 0;
+  size_t markers = 0;
+  size_t controls = 0;
+
+  /// Count per EventType (indexed by the enum's underlying value).
+  std::array<size_t, 9> by_type{};
+
+  size_t topology_changes = 0;  // add/remove vertex/edge
+  size_t state_updates = 0;     // update vertex/edge
+  size_t vertex_ops = 0;
+  size_t edge_ops = 0;
+  size_t add_ops = 0;
+  size_t remove_ops = 0;
+
+  /// §4.4.1 "Event mix": topology-changing / graph ops.
+  double topology_ratio = 0.0;
+  /// §4.4.1 "Direction": adds / (adds + removes).
+  double add_ratio = 0.0;
+  /// §4.4.1 "Types": vertex ops / graph ops.
+  double vertex_op_ratio = 0.0;
+
+  /// §4.4.1 "Interleaving": mean run length of consecutive events of the
+  /// same class (topology vs. state). A perfectly alternating stream has
+  /// mean run length 1; a two-phase stream has very long runs.
+  double mean_run_length = 0.0;
+
+  /// Graph size after the full stream (valid events only).
+  size_t final_vertices = 0;
+  size_t final_edges = 0;
+  /// Peak sizes during the stream.
+  size_t peak_vertices = 0;
+  size_t peak_edges = 0;
+
+  /// Multi-line human-readable rendering.
+  std::string ToString() const;
+};
+
+/// \brief Single-pass computation of StreamStatistics.
+StreamStatistics ComputeStreamStatistics(const std::vector<Event>& events);
+
+}  // namespace graphtides
+
+#endif  // GRAPHTIDES_STREAM_STATISTICS_H_

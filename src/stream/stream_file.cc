@@ -1,0 +1,114 @@
+#include "stream/stream_file.h"
+
+#include <sstream>
+
+namespace graphtides {
+
+Status StreamFileReader::Open(const std::string& path) {
+  in_.open(path);
+  if (!in_.is_open()) {
+    return Status::IoError("cannot open stream file: " + path);
+  }
+  line_number_ = 0;
+  return Status::OK();
+}
+
+Result<std::optional<Event>> StreamFileReader::Next() {
+  std::string line;
+  while (std::getline(in_, line)) {
+    ++line_number_;
+    Result<Event> parsed = ParseEventLine(line);
+    if (parsed.ok()) return std::optional<Event>(std::move(parsed).value());
+    if (parsed.status().IsNotFound()) continue;  // blank/comment line
+    return parsed.status().WithContext("line " + std::to_string(line_number_));
+  }
+  if (in_.bad()) return Status::IoError("read failure");
+  return std::optional<Event>(std::nullopt);
+}
+
+Status StreamFileWriter::Open(const std::string& path) {
+  out_.open(path, std::ios::trunc);
+  if (!out_.is_open()) {
+    return Status::IoError("cannot create stream file: " + path);
+  }
+  events_written_ = 0;
+  return Status::OK();
+}
+
+Status StreamFileWriter::Append(const Event& event) {
+  out_ << event.ToCsvLine() << '\n';
+  if (!out_.good()) return Status::IoError("write failure");
+  ++events_written_;
+  return Status::OK();
+}
+
+Status StreamFileWriter::AppendComment(const std::string& comment) {
+  out_ << "# " << comment << '\n';
+  if (!out_.good()) return Status::IoError("write failure");
+  return Status::OK();
+}
+
+Status StreamFileWriter::Flush() {
+  out_.flush();
+  if (!out_.good()) return Status::IoError("flush failure");
+  return Status::OK();
+}
+
+Status StreamFileWriter::Close() {
+  if (out_.is_open()) {
+    out_.close();
+    if (out_.fail()) return Status::IoError("close failure");
+  }
+  return Status::OK();
+}
+
+Result<std::vector<Event>> ReadStreamFile(const std::string& path) {
+  StreamFileReader reader;
+  GT_RETURN_NOT_OK(reader.Open(path));
+  std::vector<Event> events;
+  while (true) {
+    GT_ASSIGN_OR_RETURN(std::optional<Event> next, reader.Next());
+    if (!next.has_value()) break;
+    events.push_back(std::move(*next));
+  }
+  return events;
+}
+
+Status WriteStreamFile(const std::string& path,
+                       const std::vector<Event>& events) {
+  StreamFileWriter writer;
+  GT_RETURN_NOT_OK(writer.Open(path));
+  for (const Event& e : events) {
+    GT_RETURN_NOT_OK(writer.Append(e));
+  }
+  return writer.Close();
+}
+
+Result<std::vector<Event>> ParseStreamText(const std::string& text) {
+  std::vector<Event> events;
+  std::istringstream in(text);
+  std::string line;
+  size_t line_number = 0;
+  while (std::getline(in, line)) {
+    ++line_number;
+    Result<Event> parsed = ParseEventLine(line);
+    if (parsed.ok()) {
+      events.push_back(std::move(parsed).value());
+      continue;
+    }
+    if (parsed.status().IsNotFound()) continue;
+    return parsed.status().WithContext("line " + std::to_string(line_number));
+  }
+  return events;
+}
+
+std::string FormatStreamText(const std::vector<Event>& events) {
+  std::string out;
+  for (const Event& e : events) {
+    out += e.ToCsvLine();
+    out.push_back('\n');
+  }
+  return out;
+}
+
+}  // namespace graphtides

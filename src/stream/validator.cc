@@ -1,0 +1,113 @@
+#include "stream/validator.h"
+
+namespace graphtides {
+
+Status StreamValidator::Check(const Event& event) {
+  switch (event.type) {
+    case EventType::kAddVertex: {
+      if (HasVertex(event.vertex)) {
+        return Status::PreconditionFailed(
+            "vertex already exists: " + std::to_string(event.vertex));
+      }
+      out_[event.vertex];
+      in_[event.vertex];
+      return Status::OK();
+    }
+    case EventType::kRemoveVertex: {
+      auto out_it = out_.find(event.vertex);
+      if (out_it == out_.end()) {
+        return Status::PreconditionFailed(
+            "vertex does not exist: " + std::to_string(event.vertex));
+      }
+      // Cascade: remove outgoing and incoming edges.
+      for (VertexId dst : out_it->second) {
+        in_[dst].erase(event.vertex);
+        --num_edges_;
+      }
+      auto in_it = in_.find(event.vertex);
+      for (VertexId src : in_it->second) {
+        out_[src].erase(event.vertex);
+        --num_edges_;
+      }
+      out_.erase(out_it);
+      in_.erase(in_it);
+      return Status::OK();
+    }
+    case EventType::kUpdateVertex: {
+      if (!HasVertex(event.vertex)) {
+        return Status::PreconditionFailed(
+            "vertex does not exist: " + std::to_string(event.vertex));
+      }
+      return Status::OK();
+    }
+    case EventType::kAddEdge: {
+      if (event.edge.src == event.edge.dst) {
+        return Status::PreconditionFailed(
+            "self-loops are not allowed: " + std::to_string(event.edge.src));
+      }
+      if (!HasVertex(event.edge.src)) {
+        return Status::PreconditionFailed(
+            "edge source does not exist: " + std::to_string(event.edge.src));
+      }
+      if (!HasVertex(event.edge.dst)) {
+        return Status::PreconditionFailed(
+            "edge destination does not exist: " +
+            std::to_string(event.edge.dst));
+      }
+      if (HasEdge(event.edge)) {
+        return Status::PreconditionFailed(
+            "edge already exists: " + std::to_string(event.edge.src) + "-" +
+            std::to_string(event.edge.dst));
+      }
+      out_[event.edge.src].insert(event.edge.dst);
+      in_[event.edge.dst].insert(event.edge.src);
+      ++num_edges_;
+      return Status::OK();
+    }
+    case EventType::kRemoveEdge: {
+      if (!HasEdge(event.edge)) {
+        return Status::PreconditionFailed(
+            "edge does not exist: " + std::to_string(event.edge.src) + "-" +
+            std::to_string(event.edge.dst));
+      }
+      out_[event.edge.src].erase(event.edge.dst);
+      in_[event.edge.dst].erase(event.edge.src);
+      --num_edges_;
+      return Status::OK();
+    }
+    case EventType::kUpdateEdge: {
+      if (!HasEdge(event.edge)) {
+        return Status::PreconditionFailed(
+            "edge does not exist: " + std::to_string(event.edge.src) + "-" +
+            std::to_string(event.edge.dst));
+      }
+      return Status::OK();
+    }
+    case EventType::kMarker:
+    case EventType::kSetRate:
+    case EventType::kPause:
+      return Status::OK();
+  }
+  return Status::Internal("unhandled event type");
+}
+
+StreamValidationReport ValidateStream(const std::vector<Event>& events,
+                                      size_t max_violations) {
+  StreamValidator validator;
+  StreamValidationReport report;
+  for (size_t i = 0; i < events.size(); ++i) {
+    ++report.events_checked;
+    Status st = validator.Check(events[i]);
+    if (!st.ok()) {
+      report.violations.push_back({i, events[i], st.message()});
+      if (max_violations != 0 && report.violations.size() >= max_violations) {
+        break;
+      }
+    }
+  }
+  report.final_vertices = validator.num_vertices();
+  report.final_edges = validator.num_edges();
+  return report;
+}
+
+}  // namespace graphtides

@@ -1,0 +1,75 @@
+// Stream validation: checks that every graph-changing event in a stream
+// satisfies its precondition when the stream is applied in order (§3.2
+// Streaming Properties — altered orders or lost events produce inconsistent
+// topologies because preconditions of later events are violated).
+//
+// Preconditions enforced (matching graph::Graph semantics):
+//   CREATE_VERTEX v      — v must not exist
+//   REMOVE_VERTEX v      — v must exist (incident edges are removed with it)
+//   UPDATE_VERTEX v      — v must exist
+//   CREATE_EDGE a-b      — a and b exist, a != b, edge a-b must not exist
+//   REMOVE_EDGE a-b      — edge a-b must exist
+//   UPDATE_EDGE a-b      — edge a-b must exist
+#ifndef GRAPHTIDES_STREAM_VALIDATOR_H_
+#define GRAPHTIDES_STREAM_VALIDATOR_H_
+
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "common/status.h"
+#include "stream/event.h"
+
+namespace graphtides {
+
+/// \brief One precondition violation found during validation.
+struct StreamViolation {
+  size_t index = 0;  // 0-based position in the stream
+  Event event;
+  std::string reason;
+};
+
+/// \brief Result of validating a stream.
+struct StreamValidationReport {
+  std::vector<StreamViolation> violations;
+  size_t events_checked = 0;
+  /// Topology size after applying all *valid* events.
+  size_t final_vertices = 0;
+  size_t final_edges = 0;
+
+  bool valid() const { return violations.empty(); }
+};
+
+/// \brief Incremental stream validator; also usable as a cheap topology
+/// shadow (existence and adjacency only, no state).
+class StreamValidator {
+ public:
+  /// Checks (and on success applies) one event. Marker and control events
+  /// always pass. Invalid events are not applied.
+  Status Check(const Event& event);
+
+  size_t num_vertices() const { return out_.size(); }
+  size_t num_edges() const { return num_edges_; }
+  bool HasVertex(VertexId v) const { return out_.contains(v); }
+  bool HasEdge(EdgeId e) const {
+    auto it = out_.find(e.src);
+    return it != out_.end() && it->second.contains(e.dst);
+  }
+
+ private:
+  // Adjacency by direction; a vertex exists iff it has entries in both maps
+  // (possibly with empty sets).
+  std::unordered_map<VertexId, std::unordered_set<VertexId>> out_;
+  std::unordered_map<VertexId, std::unordered_set<VertexId>> in_;
+  size_t num_edges_ = 0;
+};
+
+/// \brief Validates an entire stream, collecting up to `max_violations`
+/// violations (0 = unlimited).
+StreamValidationReport ValidateStream(const std::vector<Event>& events,
+                                      size_t max_violations = 0);
+
+}  // namespace graphtides
+
+#endif  // GRAPHTIDES_STREAM_VALIDATOR_H_

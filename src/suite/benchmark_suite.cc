@@ -1,0 +1,300 @@
+#include "suite/benchmark_suite.h"
+
+#include <algorithm>
+#include <deque>
+
+#include "algorithms/pagerank.h"
+#include "common/stats.h"
+#include "generator/models/blockchain_model.h"
+#include "generator/models/ddos_model.h"
+#include "generator/models/event_mix_model.h"
+#include "generator/models/social_network_model.h"
+#include "generator/stream_generator.h"
+#include "graph/csr.h"
+#include "graph/graph.h"
+#include "harness/report.h"
+#include "sim/virtual_replayer.h"
+
+namespace graphtides {
+
+namespace {
+
+size_t RoundsFor(SuiteSize size) {
+  switch (size) {
+    case SuiteSize::kSmall:
+      return 20000;
+    case SuiteSize::kMedium:
+      return 100000;
+    case SuiteSize::kLarge:
+      return 400000;
+  }
+  return 20000;
+}
+
+SuiteWorkload BuildWorkload(const std::string& name, GeneratorModel* model,
+                            size_t rounds, uint64_t seed, double rate) {
+  StreamGeneratorOptions gen;
+  gen.rounds = rounds;
+  gen.seed = seed;
+  gen.emit_phase_markers = false;
+  auto generated = StreamGenerator(model, gen).Generate();
+  SuiteWorkload workload;
+  workload.name = name;
+  workload.rate_eps = rate;
+  if (!generated.ok()) return workload;  // empty workload signals failure
+  std::vector<Event> events = std::move(generated).value().events;
+  size_t graph_events = 0;
+  for (const Event& e : events) {
+    if (IsGraphOp(e.type)) ++graph_events;
+  }
+  // Watermarks every ~5% of the stream.
+  std::vector<ScheduleEntry> schedule;
+  const size_t step = std::max<size_t>(1, graph_events / 20);
+  for (size_t at = step; at < graph_events; at += step) {
+    schedule.push_back({at, Event::Marker("WM_" + std::to_string(at))});
+  }
+  workload.events = ApplyControlSchedule(std::move(events), schedule);
+  workload.graph_events = graph_events;
+  return workload;
+}
+
+}  // namespace
+
+std::vector<SuiteWorkload> StandardWorkloads(SuiteSize size, uint64_t seed) {
+  const size_t rounds = RoundsFor(size);
+  std::vector<SuiteWorkload> workloads;
+  {
+    SocialNetworkModel model;
+    workloads.push_back(
+        BuildWorkload("social", &model, rounds, seed, 2000.0));
+  }
+  {
+    DdosModelOptions options;
+    options.attacks = {{rounds / 3, 2 * rounds / 3}};
+    DdosModel model(options);
+    workloads.push_back(BuildWorkload("ddos", &model, rounds, seed, 4000.0));
+  }
+  {
+    BlockchainModel model;
+    workloads.push_back(
+        BuildWorkload("blockchain", &model, rounds, seed, 2000.0));
+  }
+  {
+    EventMixModelOptions options;
+    options.ba = {std::max<size_t>(rounds / 20, 100),
+                  std::max<size_t>(rounds / 400, 10), 5};
+    EventMixModel model(options);
+    workloads.push_back(BuildWorkload("mix", &model, rounds, seed, 2000.0));
+  }
+  return workloads;
+}
+
+Result<SuiteCaseScore> RunSuiteCase(const SuiteWorkload& workload,
+                                    const ConnectorFactory& factory,
+                                    const SuiteCaseOptions& options) {
+  if (workload.events.empty()) {
+    return Status::InvalidArgument("empty workload: " + workload.name);
+  }
+
+  // Tracked users: top-k of the final exact ranking.
+  Graph final_graph;
+  for (const Event& e : workload.events) (void)final_graph.Apply(e);
+  const CsrGraph final_csr = CsrGraph::FromGraph(final_graph);
+  const PageRankResult final_pr = PageRank(final_csr);
+  std::vector<VertexId> tracked;
+  for (CsrGraph::Index idx : TopKByRank(final_pr.ranks, options.track_top_k)) {
+    tracked.push_back(final_csr.IdOf(idx));
+  }
+
+  Simulator sim;
+  std::unique_ptr<SuiteConnector> connector = factory(&sim);
+  if (connector == nullptr) {
+    return Status::InvalidArgument("connector factory returned null");
+  }
+
+  VirtualReplayerOptions replay_options;
+  replay_options.base_rate_eps = workload.rate_eps;
+  VirtualReplayer replayer(&sim, replay_options);
+
+  struct PendingWatermark {
+    uint64_t events_before;
+    Timestamp sent;
+  };
+  std::deque<PendingWatermark> pending_watermarks;
+  std::vector<double> watermark_latencies;
+
+  bool stream_done = false;
+  replayer.Start(
+      workload.events,
+      [&](const Event& e, size_t) { connector->Ingest(e); },
+      [&](const std::string&) {
+        pending_watermarks.push_back(
+            {replayer.events_delivered(), sim.Now()});
+      },
+      [&] { stream_done = true; });
+
+  struct RankSnapshot {
+    Timestamp time;
+    std::vector<double> tracked_ranks;
+    double result_age_s;
+  };
+  std::vector<RankSnapshot> snapshots;
+
+  const Timestamp t0 = sim.Now();
+  const Timestamp deadline = t0 + options.max_duration;
+  Timestamp next_rank_sample = t0 + options.error_interval;
+  bool drained_seen = false;
+  Timestamp drained_at;
+  RunningStats result_age;
+
+  std::function<void()> sample = [&]() {
+    // Watermark visibility.
+    while (!pending_watermarks.empty() &&
+           connector->EventsApplied() >=
+               pending_watermarks.front().events_before) {
+      watermark_latencies.push_back(
+          (sim.Now() - pending_watermarks.front().sent).seconds());
+      pending_watermarks.pop_front();
+    }
+    // Periodic rank snapshot for retrospective accuracy.
+    if (sim.Now() >= next_rank_sample) {
+      next_rank_sample = next_rank_sample + options.error_interval;
+      const auto ranks = connector->CurrentRanks();
+      RankSnapshot snap;
+      snap.time = sim.Now();
+      for (VertexId v : tracked) {
+        auto it = ranks.find(v);
+        snap.tracked_ranks.push_back(it == ranks.end() ? 0.0 : it->second);
+      }
+      const double age = connector->ResultAge().seconds();
+      snap.result_age_s = age;
+      if (age < 1e8) result_age.Add(age);
+      snapshots.push_back(std::move(snap));
+    }
+    const bool drained =
+        stream_done && connector->Idle() && pending_watermarks.empty();
+    if (drained && !drained_seen) {
+      drained_seen = true;
+      drained_at = sim.Now();
+    }
+    if (drained || sim.Now() >= deadline) return;
+    sim.ScheduleAfter(options.sample_interval, sample);
+  };
+  sim.ScheduleAfter(options.sample_interval, sample);
+  sim.RunUntil(deadline);
+
+  // One final snapshot after the run so epoch-style connectors' last
+  // published result is always scored. RunUntil advanced the clock to the
+  // deadline even for early-drained runs; staleness is therefore taken
+  // relative to the drain instant, where the system last changed.
+  {
+    const auto ranks = connector->CurrentRanks();
+    RankSnapshot snap;
+    snap.time = sim.Now();
+    for (VertexId v : tracked) {
+      auto it = ranks.find(v);
+      snap.tracked_ranks.push_back(it == ranks.end() ? 0.0 : it->second);
+    }
+    double age = connector->ResultAge().seconds();
+    if (drained_seen) {
+      age = std::max(0.0, age - (sim.Now() - drained_at).seconds());
+    }
+    snap.result_age_s = age;
+    if (age < 1e8) result_age.Add(age);
+    snapshots.push_back(std::move(snap));
+  }
+
+  SuiteCaseScore score;
+  score.workload = workload.name;
+  score.connector = connector->Name();
+  score.graph_events = workload.graph_events;
+  score.offered_rate_eps = workload.rate_eps;
+  score.drained = drained_seen;
+  score.drained_s =
+      drained_seen ? (drained_at - t0).seconds() : (sim.Now() - t0).seconds();
+  if (score.drained_s > 0) {
+    score.applied_rate_eps =
+        static_cast<double>(connector->EventsApplied()) / score.drained_s;
+  }
+  if (!watermark_latencies.empty()) {
+    score.watermark_p50_s = Percentile(watermark_latencies, 0.5);
+    score.watermark_p99_s = Percentile(watermark_latencies, 0.99);
+  }
+  score.mean_result_age_s = result_age.mean();
+
+  // Retrospective accuracy: exact PageRank on the reconstructed graph at
+  // each snapshot time.
+  const std::vector<Timestamp>& delivery_times = replayer.delivery_times();
+  std::vector<const Event*> graph_events;
+  graph_events.reserve(delivery_times.size());
+  for (const Event& e : workload.events) {
+    if (IsGraphOp(e.type)) graph_events.push_back(&e);
+  }
+  Graph reconstructed;
+  size_t cursor = 0;
+  RunningStats error_stats;
+  double final_error = -1.0;
+  for (const RankSnapshot& snap : snapshots) {
+    while (cursor < graph_events.size() && cursor < delivery_times.size() &&
+           delivery_times[cursor] <= snap.time) {
+      (void)reconstructed.Apply(*graph_events[cursor]);
+      ++cursor;
+    }
+    if (reconstructed.num_vertices() == 0) continue;
+    const CsrGraph csr = CsrGraph::FromGraph(reconstructed);
+    const PageRankResult exact = PageRank(csr);
+    std::vector<double> errors;
+    for (size_t i = 0; i < tracked.size(); ++i) {
+      CsrGraph::Index idx;
+      if (!csr.IndexOf(tracked[i], &idx)) continue;
+      if (exact.ranks[idx] <= 0.0) continue;
+      errors.push_back(std::abs(snap.tracked_ranks[i] - exact.ranks[idx]) /
+                       exact.ranks[idx]);
+    }
+    if (errors.empty()) continue;
+    final_error = Median(std::move(errors));
+    error_stats.Add(final_error);
+  }
+  if (error_stats.count() > 0) {
+    score.mean_rank_error = error_stats.mean();
+    score.final_rank_error = final_error;
+  }
+  return score;
+}
+
+Result<std::vector<SuiteCaseScore>> RunSuite(
+    const std::vector<SuiteWorkload>& workloads,
+    const std::vector<SuiteEntry>& connectors,
+    const SuiteCaseOptions& options) {
+  std::vector<SuiteCaseScore> scores;
+  for (const SuiteWorkload& workload : workloads) {
+    for (const SuiteEntry& entry : connectors) {
+      GT_ASSIGN_OR_RETURN(SuiteCaseScore score,
+                          RunSuiteCase(workload, entry.factory, options));
+      if (!entry.name.empty()) score.connector = entry.name;
+      scores.push_back(std::move(score));
+    }
+  }
+  return scores;
+}
+
+std::string FormatSuiteReport(const std::vector<SuiteCaseScore>& scores) {
+  TextTable table({"workload", "connector", "events", "rate [ev/s]",
+                   "applied [ev/s]", "drained [s]", "wm p50 [s]",
+                   "wm p99 [s]", "mean err", "final err", "staleness [s]"});
+  for (const SuiteCaseScore& s : scores) {
+    table.AddRow({s.workload, s.connector, std::to_string(s.graph_events),
+                  TextTable::FormatDouble(s.offered_rate_eps, 0),
+                  TextTable::FormatDouble(s.applied_rate_eps, 0),
+                  TextTable::FormatDouble(s.drained_s, 1) +
+                      (s.drained ? "" : "+"),
+                  TextTable::FormatDouble(s.watermark_p50_s, 3),
+                  TextTable::FormatDouble(s.watermark_p99_s, 3),
+                  TextTable::FormatDouble(s.mean_rank_error, 4),
+                  TextTable::FormatDouble(s.final_rank_error, 4),
+                  TextTable::FormatDouble(s.mean_result_age_s, 2)});
+  }
+  return table.ToString();
+}
+
+}  // namespace graphtides

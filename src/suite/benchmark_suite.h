@@ -1,0 +1,99 @@
+// The GraphTides benchmark suite (§6 future work, made concrete):
+// standardized graph-stream workloads in size classes, a fixed computation
+// goal (influence rank), and a scoring harness that runs any SuiteConnector
+// under identical conditions and reports the §4.3 metric set — ingest
+// throughput (HB), watermark visibility latency (LB), result accuracy (HB),
+// result staleness (LB) — enabling the "unbiased system comparisons" the
+// paper calls for.
+#ifndef GRAPHTIDES_SUITE_BENCHMARK_SUITE_H_
+#define GRAPHTIDES_SUITE_BENCHMARK_SUITE_H_
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "stream/event.h"
+#include "suite/connector.h"
+
+namespace graphtides {
+
+/// Workload size classes (Graphalytics-style).
+enum class SuiteSize { kSmall, kMedium, kLarge };
+
+/// \brief One standardized benchmark workload.
+struct SuiteWorkload {
+  std::string name;
+  /// Stream including watermark markers and phase markers.
+  std::vector<Event> events;
+  size_t graph_events = 0;
+  /// Replay rate for this workload.
+  double rate_eps = 2000.0;
+};
+
+/// \brief The standard workload set for a size class: the three §2.4 use
+/// cases plus the Table 3 mix, each with watermarks every ~5% of the
+/// stream. Deterministic in `seed`.
+std::vector<SuiteWorkload> StandardWorkloads(SuiteSize size,
+                                             uint64_t seed = 42);
+
+struct SuiteCaseOptions {
+  /// Accuracy is scored on the k most influential users of the final graph.
+  size_t track_top_k = 10;
+  Duration sample_interval = Duration::FromMillis(100);
+  /// Exact-reference evaluation cadence (batch PageRank per point).
+  Duration error_interval = Duration::FromSeconds(10.0);
+  Duration max_duration = Duration::FromSeconds(600.0);
+};
+
+/// \brief Scores of one (workload, connector) cell.
+struct SuiteCaseScore {
+  std::string workload;
+  std::string connector;
+
+  uint64_t graph_events = 0;
+  double offered_rate_eps = 0.0;
+  /// Mean ingest rate actually sustained (events applied / active time).
+  double applied_rate_eps = 0.0;
+  /// Virtual time from first event until the connector fully drained.
+  double drained_s = 0.0;
+  bool drained = false;
+
+  /// Watermark ingestion-to-visibility latency (seconds).
+  double watermark_p50_s = 0.0;
+  double watermark_p99_s = 0.0;
+
+  /// Median relative rank error over tracked users, averaged over the
+  /// evaluation points (and at the final point).
+  double mean_rank_error = -1.0;
+  double final_rank_error = -1.0;
+  /// Mean age of the queryable result across samples (staleness, LB).
+  double mean_result_age_s = 0.0;
+};
+
+using ConnectorFactory =
+    std::function<std::unique_ptr<SuiteConnector>(Simulator*)>;
+
+/// \brief Runs one connector against one workload and scores it.
+Result<SuiteCaseScore> RunSuiteCase(const SuiteWorkload& workload,
+                                    const ConnectorFactory& factory,
+                                    const SuiteCaseOptions& options = {});
+
+/// \brief Runs a full suite: every workload against every connector.
+struct SuiteEntry {
+  std::string name;  // display name (overrides the connector's own)
+  ConnectorFactory factory;
+};
+
+Result<std::vector<SuiteCaseScore>> RunSuite(
+    const std::vector<SuiteWorkload>& workloads,
+    const std::vector<SuiteEntry>& connectors,
+    const SuiteCaseOptions& options = {});
+
+/// \brief Renders scores as the suite's comparison table.
+std::string FormatSuiteReport(const std::vector<SuiteCaseScore>& scores);
+
+}  // namespace graphtides
+
+#endif  // GRAPHTIDES_SUITE_BENCHMARK_SUITE_H_

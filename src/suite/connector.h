@@ -1,0 +1,62 @@
+// The GraphTides benchmark suite (§6: "Our long-term goal is to develop
+// GraphTides into a benchmark suite — similar to LDBC Graphalytics, but for
+// stream-based analytics"). This header defines the platform-agnostic
+// connector contract (§3.3: "a generic streaming interface ... adapted by
+// platform-specific connectors"); benchmark_suite.h defines the
+// standardized workloads and scoring.
+//
+// Connectors run on the deterministic simulator: ingestion and computation
+// consume virtual CPU time on SimProcesses, so radically different
+// computation styles (§4.4.2 offline / online / hybrid) are comparable
+// under identical workloads.
+#ifndef GRAPHTIDES_SUITE_CONNECTOR_H_
+#define GRAPHTIDES_SUITE_CONNECTOR_H_
+
+#include <string>
+#include <unordered_map>
+
+#include "sim/simulator.h"
+#include "stream/event.h"
+
+namespace graphtides {
+
+/// \brief A system under test, adapted to the suite.
+///
+/// All methods are invoked from simulator callbacks. Ingest must be
+/// non-blocking (enqueue and return); applied work is reported through
+/// EventsApplied so the suite can measure watermark visibility latency.
+class SuiteConnector {
+ public:
+  virtual ~SuiteConnector() = default;
+
+  /// Connector name for reports.
+  virtual std::string Name() const = 0;
+
+  /// One graph event arriving from the replayer.
+  virtual void Ingest(const Event& event) = 0;
+
+  /// Number of ingested events whose effect is visible in the internal
+  /// graph representation (monotone; drives watermark correlation).
+  virtual uint64_t EventsApplied() const = 0;
+
+  /// True when no queued or in-flight work remains.
+  virtual bool Idle() const = 0;
+
+  /// \brief The connector's current influence-rank result, normalized to
+  /// sum to 1.
+  ///
+  /// The suite treats this as the "query a result now" operation (§4.4.2):
+  /// online systems return a fresh approximation, snapshot systems return
+  /// their most recently completed batch result. The call itself is free —
+  /// the cost of *producing* the result must have been charged to the
+  /// connector's processes.
+  virtual std::unordered_map<VertexId, double> CurrentRanks() const = 0;
+
+  /// Age of the result CurrentRanks returns: how long ago the underlying
+  /// computation's input graph was current (0 for always-online styles).
+  virtual Duration ResultAge() const = 0;
+};
+
+}  // namespace graphtides
+
+#endif  // GRAPHTIDES_SUITE_CONNECTOR_H_

@@ -1,0 +1,67 @@
+#include "suite/connectors/hybrid_connector.h"
+
+#include "algorithms/pagerank.h"
+#include "graph/csr.h"
+
+namespace graphtides {
+
+HybridConnector::HybridConnector(Simulator* sim,
+                                 HybridConnectorOptions options)
+    : sim_(sim), options_(options) {
+  updater_ = std::make_unique<SimProcess>(sim, "hybrid-updater");
+  computer_ = std::make_unique<SimProcess>(sim, "hybrid-computer");
+}
+
+void HybridConnector::Ingest(const Event& event) {
+  if (!IsGraphOp(event.type)) return;
+  ++updates_pending_;
+  Event copy = event;
+  updater_->Submit(options_.update_cost, [this, copy] {
+    (void)graph_.Apply(copy);
+    ++applied_;
+    --updates_pending_;
+    dirty_ = true;
+  });
+  if (!epoch_scheduled_ && !compute_in_flight_) ScheduleEpoch();
+}
+
+void HybridConnector::ScheduleEpoch() {
+  epoch_scheduled_ = true;
+  sim_->ScheduleAfter(options_.epoch, [this] {
+    epoch_scheduled_ = false;
+    if (compute_in_flight_) return;
+    if (!dirty_ && has_published_) return;  // nothing new to compute
+    compute_in_flight_ = true;
+    // Snapshot the *applied* graph now; compute on the dedicated process
+    // while the updater keeps ingesting.
+    const Timestamp snapshot_time = sim_->Now();
+    auto snapshot = std::make_shared<Graph>(graph_.Clone());
+    dirty_ = false;
+    const int64_t cost_ns =
+        options_.compute_cost_per_edge.nanos() *
+        static_cast<int64_t>(std::max<size_t>(1, snapshot->num_edges())) *
+        static_cast<int64_t>(options_.compute_iterations);
+    computer_->Submit(Duration::FromNanos(cost_ns), [this, snapshot,
+                                                     snapshot_time] {
+      const CsrGraph csr = CsrGraph::FromGraph(*snapshot);
+      const PageRankResult pr = PageRank(csr);
+      published_ranks_.clear();
+      for (CsrGraph::Index v = 0; v < csr.num_vertices(); ++v) {
+        published_ranks_[csr.IdOf(v)] = pr.ranks[v];
+      }
+      published_snapshot_time_ = snapshot_time;
+      has_published_ = true;
+      ++recomputes_;
+      compute_in_flight_ = false;
+      // Keep epochs running while the published result is stale.
+      if (dirty_ || updates_pending_ > 0) ScheduleEpoch();
+    });
+  });
+}
+
+Duration HybridConnector::ResultAge() const {
+  if (!has_published_) return Duration::FromSeconds(1e9);
+  return sim_->Now() - published_snapshot_time_;
+}
+
+}  // namespace graphtides

@@ -1,0 +1,69 @@
+// Hybrid computation style (§4.4.2: "Hybrid approaches (e.g.,
+// pause/shift/resume in GraphTau) combine both approaches"): updates apply
+// on a dedicated updater process (ingestion never stalls), while a second
+// compute process periodically recomputes exact PageRank on a snapshot.
+// Results are exact-for-a-snapshot like the offline style, but ingestion
+// latency matches the online style — the trade-off moves entirely into
+// result staleness.
+#ifndef GRAPHTIDES_SUITE_CONNECTORS_HYBRID_CONNECTOR_H_
+#define GRAPHTIDES_SUITE_CONNECTORS_HYBRID_CONNECTOR_H_
+
+#include <memory>
+
+#include "graph/graph.h"
+#include "sim/process.h"
+#include "suite/connector.h"
+
+namespace graphtides {
+
+struct HybridConnectorOptions {
+  Duration update_cost = Duration::FromMicros(120);
+  Duration compute_cost_per_edge = Duration::FromNanos(400);
+  size_t compute_iterations = 20;
+  Duration epoch = Duration::FromSeconds(10.0);
+};
+
+/// \brief Two-process connector: concurrent ingestion + epoch recomputes.
+class HybridConnector final : public SuiteConnector {
+ public:
+  HybridConnector(Simulator* sim, HybridConnectorOptions options);
+
+  std::string Name() const override { return "hybrid-epoch"; }
+  void Ingest(const Event& event) override;
+  uint64_t EventsApplied() const override { return applied_; }
+  bool Idle() const override {
+    return updates_pending_ == 0 && !compute_in_flight_;
+  }
+  std::unordered_map<VertexId, double> CurrentRanks() const override {
+    return published_ranks_;
+  }
+  Duration ResultAge() const override;
+
+  uint64_t recomputes_completed() const { return recomputes_; }
+  const SimProcess& updater() const { return *updater_; }
+  const SimProcess& computer() const { return *computer_; }
+
+ private:
+  void ScheduleEpoch();
+
+  Simulator* sim_;
+  HybridConnectorOptions options_;
+  std::unique_ptr<SimProcess> updater_;
+  std::unique_ptr<SimProcess> computer_;
+  Graph graph_;
+  uint64_t applied_ = 0;
+  uint64_t updates_pending_ = 0;
+  uint64_t recomputes_ = 0;
+  bool epoch_scheduled_ = false;
+  bool compute_in_flight_ = false;
+  /// Updates applied since the last snapshot was taken.
+  bool dirty_ = false;
+
+  std::unordered_map<VertexId, double> published_ranks_;
+  Timestamp published_snapshot_time_;
+  bool has_published_ = false;
+};
+
+}  // namespace graphtides
+
+#endif  // GRAPHTIDES_SUITE_CONNECTORS_HYBRID_CONNECTOR_H_

@@ -1,0 +1,75 @@
+#include "suite/connectors/offline_connector.h"
+
+#include "algorithms/pagerank.h"
+#include "graph/csr.h"
+
+namespace graphtides {
+
+OfflineSnapshotConnector::OfflineSnapshotConnector(
+    Simulator* sim, OfflineConnectorOptions options)
+    : sim_(sim), options_(options) {
+  process_ = std::make_unique<SimProcess>(sim, "offline-connector");
+}
+
+void OfflineSnapshotConnector::Ingest(const Event& event) {
+  if (!IsGraphOp(event.type)) return;
+  ++updates_pending_;
+  Event copy = event;
+  process_->Submit(options_.update_cost, [this, copy] {
+    (void)graph_.Apply(copy);
+    ++applied_;
+    --updates_pending_;
+    dirty_ = true;
+  });
+  if (!epoch_scheduled_ && !recompute_in_flight_) ScheduleEpoch();
+}
+
+void OfflineSnapshotConnector::ScheduleEpoch() {
+  epoch_scheduled_ = true;
+  sim_->ScheduleAfter(options_.epoch, [this] {
+    epoch_scheduled_ = false;
+    RunRecompute();
+  });
+}
+
+void OfflineSnapshotConnector::RunRecompute() {
+  // One recompute at a time; nothing to do if the published result is
+  // already based on the current graph.
+  if (recompute_in_flight_) return;
+  if (!dirty_ && has_published_) return;
+  recompute_in_flight_ = true;
+  // Zero-cost task to serialize behind queued updates, then snapshot and
+  // charge the batch computation.
+  process_->Submit(Duration::Zero(), [this] {
+    const Timestamp snapshot_time = sim_->Now();
+    auto snapshot = std::make_shared<Graph>(graph_.Clone());
+    dirty_ = false;  // the snapshot reflects every applied update
+    const int64_t cost_ns =
+        options_.compute_cost_per_edge.nanos() *
+        static_cast<int64_t>(std::max<size_t>(1, snapshot->num_edges())) *
+        static_cast<int64_t>(options_.compute_iterations);
+    process_->Submit(Duration::FromNanos(cost_ns), [this, snapshot,
+                                                    snapshot_time] {
+      const CsrGraph csr = CsrGraph::FromGraph(*snapshot);
+      const PageRankResult pr = PageRank(csr);
+      published_ranks_.clear();
+      for (CsrGraph::Index v = 0; v < csr.num_vertices(); ++v) {
+        published_ranks_[csr.IdOf(v)] = pr.ranks[v];
+      }
+      published_snapshot_time_ = snapshot_time;
+      has_published_ = true;
+      ++recomputes_;
+      recompute_in_flight_ = false;
+      // Re-arm only if the snapshot is already stale again; otherwise the
+      // next Ingest re-arms (keeps the simulator quiescible).
+      if (dirty_ || updates_pending_ > 0) ScheduleEpoch();
+    });
+  });
+}
+
+Duration OfflineSnapshotConnector::ResultAge() const {
+  if (!has_published_) return Duration::FromSeconds(1e9);  // "no result yet"
+  return sim_->Now() - published_snapshot_time_;
+}
+
+}  // namespace graphtides

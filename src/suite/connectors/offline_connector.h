@@ -1,0 +1,74 @@
+// Offline (snapshot/epoch) computation style (§4.4.2: "Offline computations
+// are executed on graph snapshots that are reconstructed from the event
+// stream (e.g., epoch snapshots in Kineograph)"). One process both applies
+// updates and periodically recomputes exact PageRank on a snapshot — while
+// the batch computation runs, updates queue behind it, so fast streams
+// stall ingestion (the offline trade-off: exact but stale results and
+// ingest interference).
+#ifndef GRAPHTIDES_SUITE_CONNECTORS_OFFLINE_CONNECTOR_H_
+#define GRAPHTIDES_SUITE_CONNECTORS_OFFLINE_CONNECTOR_H_
+
+#include <memory>
+
+#include "graph/graph.h"
+#include "sim/process.h"
+#include "suite/connector.h"
+
+namespace graphtides {
+
+struct OfflineConnectorOptions {
+  /// Virtual CPU cost to apply one graph update.
+  Duration update_cost = Duration::FromMicros(120);
+  /// Batch recompute cost per edge per iteration.
+  Duration compute_cost_per_edge = Duration::FromNanos(400);
+  /// Assumed power-iteration count for the cost model.
+  size_t compute_iterations = 20;
+  /// Epoch length: a recompute is scheduled this often.
+  Duration epoch = Duration::FromSeconds(10.0);
+};
+
+/// \brief Epoch-snapshot connector: exact results, stale by up to one epoch
+/// plus the recompute time; ingestion stalls during recomputes.
+class OfflineSnapshotConnector final : public SuiteConnector {
+ public:
+  OfflineSnapshotConnector(Simulator* sim, OfflineConnectorOptions options);
+
+  std::string Name() const override { return "offline-snapshot"; }
+  void Ingest(const Event& event) override;
+  uint64_t EventsApplied() const override { return applied_; }
+  bool Idle() const override {
+    return updates_pending_ == 0 && !recompute_in_flight_;
+  }
+  std::unordered_map<VertexId, double> CurrentRanks() const override {
+    return published_ranks_;
+  }
+  Duration ResultAge() const override;
+
+  uint64_t recomputes_completed() const { return recomputes_; }
+  const SimProcess& process() const { return *process_; }
+
+ private:
+  void ScheduleEpoch();
+  void RunRecompute();
+
+  Simulator* sim_;
+  OfflineConnectorOptions options_;
+  std::unique_ptr<SimProcess> process_;
+  Graph graph_;
+  uint64_t applied_ = 0;
+  uint64_t updates_pending_ = 0;
+  uint64_t recomputes_ = 0;
+  bool epoch_scheduled_ = false;
+  bool recompute_in_flight_ = false;
+  /// Updates applied since the last snapshot was taken.
+  bool dirty_ = false;
+
+  std::unordered_map<VertexId, double> published_ranks_;
+  /// Virtual time at which the published result's input snapshot was taken.
+  Timestamp published_snapshot_time_;
+  bool has_published_ = false;
+};
+
+}  // namespace graphtides
+
+#endif  // GRAPHTIDES_SUITE_CONNECTORS_OFFLINE_CONNECTOR_H_

@@ -1,0 +1,9 @@
+#include "suite/connectors/online_connector.h"
+
+namespace graphtides {
+
+std::unordered_map<VertexId, double> OnlineConnector::CurrentRanks() const {
+  return engine_->AllRanks();
+}
+
+}  // namespace graphtides

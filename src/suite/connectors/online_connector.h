@@ -1,0 +1,41 @@
+// Online computation style (§4.4.2: "Online computations directly process
+// incoming graph stream events (e.g., live model of Chronograph)") —
+// adapts the chronolite engine to the suite connector contract. Results
+// are always immediately queryable approximations; accuracy depends on how
+// far the residual computation lags the stream.
+#ifndef GRAPHTIDES_SUITE_CONNECTORS_ONLINE_CONNECTOR_H_
+#define GRAPHTIDES_SUITE_CONNECTORS_ONLINE_CONNECTOR_H_
+
+#include <memory>
+
+#include "suite/connector.h"
+#include "sut/chronolite/chronolite.h"
+
+namespace graphtides {
+
+/// \brief chronolite-backed connector: fresh approximate results.
+class OnlineConnector final : public SuiteConnector {
+ public:
+  OnlineConnector(Simulator* sim, ChronoLiteOptions options)
+      : engine_(std::make_unique<ChronoLite>(sim, options)) {}
+
+  std::string Name() const override { return "online-chronolite"; }
+  void Ingest(const Event& event) override { engine_->Ingest(event); }
+  uint64_t EventsApplied() const override {
+    return engine_->updates_applied();
+  }
+  bool Idle() const override { return engine_->Idle(); }
+  std::unordered_map<VertexId, double> CurrentRanks() const override;
+  /// The online estimate always reflects the current graph (its error is
+  /// unprocessed residual, not snapshot age).
+  Duration ResultAge() const override { return Duration::Zero(); }
+
+  const ChronoLite& engine() const { return *engine_; }
+
+ private:
+  std::unique_ptr<ChronoLite> engine_;
+};
+
+}  // namespace graphtides
+
+#endif  // GRAPHTIDES_SUITE_CONNECTORS_ONLINE_CONNECTOR_H_

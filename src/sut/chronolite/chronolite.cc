@@ -1,0 +1,339 @@
+#include "sut/chronolite/chronolite.h"
+
+#include <algorithm>
+#include <unordered_map>
+#include <unordered_set>
+
+namespace graphtides {
+
+// ---------------------------------------------------------------------------
+// ChronoWorker
+// ---------------------------------------------------------------------------
+
+/// One worker: owns a vertex partition (out-adjacency of owned vertices),
+/// an OnlinePageRankCore over that partition, and a single input queue
+/// shared by update and residual messages.
+class ChronoWorker {
+ public:
+  struct Message {
+    enum class Kind { kUpdate, kResidualBatch } kind = Kind::kUpdate;
+    Event update;                                      // kUpdate
+    std::vector<std::pair<VertexId, double>> deltas;   // kResidualBatch
+  };
+
+  ChronoWorker(ChronoLite* engine, Simulator* sim, size_t index,
+               const ChronoLiteOptions& options)
+      : engine_(engine),
+        sim_(sim),
+        index_(index),
+        options_(options),
+        process_(sim, "worker-" + std::to_string(index + 1),
+                 options.utilization_bin),
+        queue_(options.worker_queue_capacity),
+        rank_(options.rank, [this, engine](VertexId v) {
+          return engine->OwnerOf(v) == index_;
+        }) {}
+
+  /// Enqueues a message (from the broker or a peer worker) and wakes the
+  /// worker if idle.
+  void Enqueue(Message message) {
+    queue_.Push(std::move(message));
+    engine_->hooks_.Fire("queue_length." + std::to_string(index_),
+                         static_cast<double>(queue_.size()));
+    Wake();
+  }
+
+  /// Per-message processing cost (batches pay per entry).
+  Duration CostOf(const Message& message) const {
+    if (message.kind == Message::Kind::kUpdate) return options_.update_cost;
+    return options_.residual_cost +
+           Duration::FromNanos(
+               options_.residual_entry_cost.nanos() *
+               static_cast<int64_t>(message.deltas.size()));
+  }
+
+  /// Schedules the processing loop if it is not already running.
+  void Wake() {
+    if (running_) return;
+    if (queue_.empty() && !rank_.HasPendingWork()) return;
+    running_ = true;
+    ScheduleNext();
+  }
+
+  bool Idle() const {
+    return !running_ && queue_.empty() && !rank_.HasPendingWork();
+  }
+
+  size_t queue_length() const { return queue_.size(); }
+  uint64_t ops_processed() const { return ops_processed_; }
+  const SimProcess& process() const { return process_; }
+  const OnlinePageRankCore& rank() const { return rank_; }
+  size_t owned_vertices() const { return alive_.size(); }
+
+ private:
+  void ScheduleNext() {
+    std::optional<Message> message = queue_.Pop();
+    if (message.has_value()) {
+      const Duration cost = CostOf(*message);
+      // Move the message into the completion callback.
+      auto msg = std::make_shared<Message>(std::move(*message));
+      process_.Submit(cost, [this, msg] {
+        Handle(*msg);
+        ops_processed_ += 1;
+        engine_->hooks_.Fire("message_processed." + std::to_string(index_),
+                             1.0);
+        RunPushes(options_.pushes_per_message);
+        Continue();
+      });
+      return;
+    }
+    if (rank_.HasPendingWork()) {
+      const size_t quantum = options_.pushes_per_idle_task;
+      process_.Submit(
+          Duration::FromNanos(options_.push_cost.nanos() *
+                              static_cast<int64_t>(quantum)),
+          [this, quantum] {
+            RunPushes(quantum);
+            Continue();
+          });
+      return;
+    }
+    running_ = false;
+  }
+
+  void Continue() {
+    if (queue_.empty() && !rank_.HasPendingWork()) {
+      running_ = false;
+      return;
+    }
+    ScheduleNext();
+  }
+
+  void RunPushes(size_t quantum) {
+    // Remote deltas within one quantum are merged per target vertex — one
+    // message per (quantum, target) instead of one per push, the same
+    // batching a real engine applies to its outbound channels.
+    std::unordered_map<VertexId, double> outbound;
+    const size_t executed = rank_.ProcessPushes(
+        quantum, [&outbound](VertexId target, double delta) {
+          outbound[target] += delta;
+        });
+    for (const auto& [target, delta] : outbound) {
+      engine_->RouteResidual(index_, target, delta);
+    }
+    ops_processed_ += executed;
+  }
+
+  void Handle(const Message& message) {
+    if (message.kind == Message::Kind::kResidualBatch) {
+      for (const auto& [target, delta] : message.deltas) {
+        // Residuals addressed to vertices this worker no longer owns (e.g.
+        // removed users whose remote in-edges are stale) are dropped rather
+        // than resurrecting ghost state.
+        if (alive_.contains(target)) {
+          rank_.AddResidual(target, delta);
+        }
+      }
+      return;
+    }
+    const Event& e = message.update;
+    switch (e.type) {
+      case EventType::kAddVertex:
+        alive_.insert(e.vertex);
+        rank_.AddVertex(e.vertex);
+        ++engine_->updates_applied_;
+        break;
+      case EventType::kRemoveVertex:
+        alive_.erase(e.vertex);
+        // In-neighbors are unknown to this worker (they may live anywhere);
+        // their stale contributions are part of the measured error.
+        rank_.RemoveVertex(e.vertex, {});
+        ++engine_->updates_applied_;
+        break;
+      case EventType::kAddEdge:
+        rank_.AddEdge(e.edge.src, e.edge.dst);
+        ++engine_->updates_applied_;
+        break;
+      case EventType::kRemoveEdge:
+        rank_.RemoveEdge(e.edge.src, e.edge.dst);
+        ++engine_->updates_applied_;
+        break;
+      case EventType::kUpdateVertex:
+      case EventType::kUpdateEdge:
+        // State updates do not affect the rank computation.
+        ++engine_->updates_applied_;
+        break;
+      default:
+        break;
+    }
+  }
+
+  ChronoLite* engine_;
+  Simulator* sim_;
+  size_t index_;
+  const ChronoLiteOptions& options_;
+  SimProcess process_;
+  SimQueue<Message> queue_;
+  /// Vertices currently owned and live on this worker.
+  std::unordered_set<VertexId> alive_;
+  OnlinePageRankCore rank_;
+  bool running_ = false;
+  uint64_t ops_processed_ = 0;
+};
+
+// ---------------------------------------------------------------------------
+// ChronoLite
+// ---------------------------------------------------------------------------
+
+ChronoLite::ChronoLite(Simulator* sim, ChronoLiteOptions options)
+    : sim_(sim), options_(options) {
+  for (size_t i = 0; i < options_.num_workers; ++i) {
+    workers_.push_back(std::make_unique<ChronoWorker>(this, sim, i, options_));
+  }
+  outboxes_.resize(options_.num_workers,
+                   std::vector<Outbox>(options_.num_workers));
+  // Links: rows 0..n-1 are workers, row n is the broker.
+  links_.resize(options_.num_workers + 1);
+  for (size_t i = 0; i <= options_.num_workers; ++i) {
+    for (size_t j = 0; j < options_.num_workers; ++j) {
+      const std::string name = (i == options_.num_workers)
+                                   ? "broker->w" + std::to_string(j)
+                                   : "w" + std::to_string(i) + "->w" +
+                                         std::to_string(j);
+      links_[i].push_back(
+          std::make_unique<SimLink>(sim, name, options_.link));
+    }
+  }
+}
+
+ChronoLite::~ChronoLite() = default;
+
+void ChronoLite::Ingest(const Event& event) {
+  if (!IsGraphOp(event.type)) return;
+  ++events_ingested_;
+  const size_t owner = IsVertexOp(event.type) ? OwnerOf(event.vertex)
+                                              : OwnerOf(event.edge.src);
+  const uint64_t bytes = 48 + event.payload.size();
+  Event copy = event;
+  links_[options_.num_workers][owner]->Send(bytes, [this, owner, copy] {
+    ChronoWorker::Message message;
+    message.kind = ChronoWorker::Message::Kind::kUpdate;
+    message.update = copy;
+    workers_[owner]->Enqueue(std::move(message));
+  });
+}
+
+void ChronoLite::RouteResidual(size_t from_worker, VertexId target,
+                               double delta) {
+  ++residual_deltas_;
+  const size_t owner = OwnerOf(target);
+  Outbox& outbox = outboxes_[from_worker][owner];
+  outbox.deltas[target] += delta;
+  if (!outbox.flush_scheduled) {
+    outbox.flush_scheduled = true;
+    sim_->ScheduleAfter(options_.residual_flush_interval,
+                        [this, from_worker, owner] {
+                          FlushOutbox(from_worker, owner);
+                        });
+  }
+}
+
+void ChronoLite::FlushOutbox(size_t from_worker, size_t to_worker) {
+  Outbox& outbox = outboxes_[from_worker][to_worker];
+  outbox.flush_scheduled = false;
+  if (outbox.deltas.empty()) return;
+  ChronoWorker::Message message;
+  message.kind = ChronoWorker::Message::Kind::kResidualBatch;
+  message.deltas.assign(outbox.deltas.begin(), outbox.deltas.end());
+  outbox.deltas.clear();
+  ++residual_messages_;
+  const uint64_t bytes = 16 + 16 * message.deltas.size();
+  // Move the batch into a shared holder for the link-delivery callback.
+  auto holder = std::make_shared<ChronoWorker::Message>(std::move(message));
+  links_[from_worker][to_worker]->Send(bytes, [this, to_worker, holder] {
+    workers_[to_worker]->Enqueue(std::move(*holder));
+  });
+}
+
+bool ChronoLite::Idle() const {
+  for (const auto& worker : workers_) {
+    if (!worker->Idle()) return false;
+  }
+  for (const auto& row : outboxes_) {
+    for (const Outbox& outbox : row) {
+      if (!outbox.deltas.empty() || outbox.flush_scheduled) return false;
+    }
+  }
+  return true;
+}
+
+size_t ChronoLite::WorkerQueueLength(size_t i) const {
+  return workers_[i]->queue_length();
+}
+
+uint64_t ChronoLite::WorkerOpsProcessed(size_t i) const {
+  return workers_[i]->ops_processed();
+}
+
+const SimProcess& ChronoLite::WorkerProcess(size_t i) const {
+  return workers_[i]->process();
+}
+
+double ChronoLite::RankOf(VertexId v) const {
+  double mass = 0.0;
+  for (const auto& worker : workers_) mass += worker->rank().EstimateMass();
+  if (mass <= 0.0) return 0.0;
+  return workers_[OwnerOf(v)]->rank().EstimateOf(v) / mass;
+}
+
+std::vector<std::pair<VertexId, double>> ChronoLite::TopRanks(size_t k) const {
+  double mass = 0.0;
+  for (const auto& worker : workers_) mass += worker->rank().EstimateMass();
+  std::vector<std::pair<VertexId, double>> all;
+  for (const auto& worker : workers_) {
+    for (const auto& [v, estimate] : worker->rank().Estimates()) {
+      all.emplace_back(v, mass > 0.0 ? estimate / mass : 0.0);
+    }
+  }
+  k = std::min(k, all.size());
+  std::partial_sort(all.begin(), all.begin() + static_cast<long>(k), all.end(),
+                    [](const auto& a, const auto& b) {
+                      if (a.second != b.second) return a.second > b.second;
+                      return a.first < b.first;
+                    });
+  all.resize(k);
+  return all;
+}
+
+std::unordered_map<VertexId, double> ChronoLite::AllRanks() const {
+  double mass = 0.0;
+  for (const auto& worker : workers_) mass += worker->rank().EstimateMass();
+  std::unordered_map<VertexId, double> out;
+  if (mass <= 0.0) return out;
+  for (const auto& worker : workers_) {
+    for (const auto& [v, estimate] : worker->rank().Estimates()) {
+      out.emplace(v, estimate / mass);
+    }
+  }
+  return out;
+}
+
+std::vector<std::pair<std::string, double>> ChronoLite::CollectMetrics()
+    const {
+  std::vector<std::pair<std::string, double>> metrics;
+  metrics.emplace_back("events_ingested",
+                       static_cast<double>(events_ingested_));
+  metrics.emplace_back("updates_applied",
+                       static_cast<double>(updates_applied_));
+  metrics.emplace_back("residual_messages",
+                       static_cast<double>(residual_messages_));
+  for (size_t i = 0; i < workers_.size(); ++i) {
+    metrics.emplace_back("queue_length." + std::to_string(i),
+                         static_cast<double>(workers_[i]->queue_length()));
+    metrics.emplace_back("ops_processed." + std::to_string(i),
+                         static_cast<double>(workers_[i]->ops_processed()));
+  }
+  return metrics;
+}
+
+}  // namespace graphtides

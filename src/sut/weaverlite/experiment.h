@@ -1,0 +1,67 @@
+// The Weaver write-throughput experiment of §5.3.1, reproduced against
+// WeaverLite: a virtual replayer feeds a local client at a target rate; the
+// client batches events into transactions and submits them, retrying under
+// backpressure; per-second loggers record processed events and per-process
+// CPU — the data behind Figs. 3b and 3c.
+#ifndef GRAPHTIDES_SUT_WEAVERLITE_EXPERIMENT_H_
+#define GRAPHTIDES_SUT_WEAVERLITE_EXPERIMENT_H_
+
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "harness/log_collector.h"
+#include "stream/event.h"
+#include "sut/weaverlite/weaverlite.h"
+
+namespace graphtides {
+
+struct WeaverExperimentConfig {
+  /// Target streaming rate (events/second).
+  double target_rate_eps = 10000.0;
+  /// Transaction batching: 1 event/tx or 10 events/tx in the paper.
+  size_t events_per_tx = 10;
+  /// Hard stop (virtual time) — the paper plots 500 s.
+  Duration max_duration = Duration::FromSeconds(500.0);
+  Duration sample_interval = Duration::FromSeconds(1.0);
+  /// Backpressure: the replayer is gated while the client has this many
+  /// ready-but-unadmitted transactions (0 = never gate; the client then
+  /// buffers without bound). Models Weaver "backthrottling" fast streams.
+  size_t client_backlog_limit_tx = 256;
+  WeaverLiteOptions weaver;
+};
+
+struct WeaverExperimentResult {
+  /// Merged result log; sources: "replayer", "client",
+  /// "weaver-timestamper", "weaver-shard-<i>".
+  ResultLog log;
+
+  uint64_t events_offered = 0;
+  uint64_t events_applied = 0;
+  uint64_t transactions_committed = 0;
+  /// Time until the deadline or until the system fully drained, whichever
+  /// came first.
+  Duration virtual_duration;
+  bool drained = false;
+
+  /// Mean applied rate over the active period (events/second).
+  double AppliedRateEps() const {
+    const double secs = virtual_duration.seconds();
+    return secs > 0.0 ? static_cast<double>(events_applied) / secs : 0.0;
+  }
+
+  /// Fig. 3b series: events applied per sample interval.
+  std::vector<double> processed_per_interval;
+  /// Fig. 3c series: CPU utilization (0..1) per bin.
+  std::vector<double> timestamper_utilization;
+  std::vector<std::vector<double>> shard_utilization;
+};
+
+/// \brief Runs one configuration to completion (stream drained and store
+/// idle, or `max_duration` reached).
+Result<WeaverExperimentResult> RunWeaverExperiment(
+    const std::vector<Event>& stream, const WeaverExperimentConfig& config);
+
+}  // namespace graphtides
+
+#endif  // GRAPHTIDES_SUT_WEAVERLITE_EXPERIMENT_H_

@@ -1,0 +1,154 @@
+#include "sut/weaverlite/weaverlite.h"
+
+namespace graphtides {
+
+WeaverLite::WeaverLite(Simulator* sim, WeaverLiteOptions options)
+    : sim_(sim),
+      options_(options),
+      admission_(options.admission_queue_capacity) {
+  timestamper_ = std::make_unique<SimProcess>(sim, "weaver-timestamper",
+                                              options_.utilization_bin);
+  shard_graphs_.resize(options_.num_shards);
+  for (size_t i = 0; i < options_.num_shards; ++i) {
+    shards_.push_back(std::make_unique<SimProcess>(
+        sim, "weaver-shard-" + std::to_string(i), options_.utilization_bin));
+    shard_links_.push_back(std::make_unique<SimLink>(
+        sim, "ts->shard" + std::to_string(i), options_.shard_link));
+  }
+}
+
+bool WeaverLite::TrySubmit(std::vector<Event> transaction) {
+  if (!admission_.Push(std::move(transaction))) return false;
+  PumpTimestamper();
+  return true;
+}
+
+void WeaverLite::PumpTimestamper() {
+  if (timestamper_pumping_) return;
+  std::optional<std::vector<Event>> tx = admission_.Pop();
+  if (!tx.has_value()) return;
+  timestamper_pumping_ = true;
+
+  const Duration cost =
+      options_.timestamper_cost_per_tx +
+      Duration::FromNanos(options_.timestamper_cost_per_op.nanos() *
+                          static_cast<int64_t>(tx->size()));
+  // Move the transaction into the completion callback.
+  auto tx_events = std::make_shared<std::vector<Event>>(std::move(*tx));
+  timestamper_->Submit(cost, [this, tx_events] {
+    // Timestamp assigned; validate and route each operation.
+    for (const Event& event : *tx_events) {
+      if (!IsGraphOp(event.type)) continue;
+      if (!global_topology_.Check(event).ok()) {
+        ++ops_rejected_;
+        continue;
+      }
+      if (event.type == EventType::kRemoveVertex) {
+        // Fan out: every shard may hold edges touching the vertex.
+        for (size_t s = 0; s < shards_.size(); ++s) {
+          const bool primary = (s == ShardOf(event.vertex));
+          Event copy = event;
+          shard_links_[s]->Send(
+              64, [this, s, copy, primary] {
+                shards_[s]->Submit(options_.shard_cost_per_op,
+                                   [this, s, copy, primary] {
+                                     ApplyOnShard(s, copy);
+                                     last_apply_at_ = sim_->Now();
+                                     if (primary) ++events_applied_;
+                                   });
+              });
+        }
+        continue;
+      }
+      const size_t s = IsVertexOp(event.type) ? ShardOf(event.vertex)
+                                              : ShardOf(event.edge.src);
+      const uint64_t bytes = 64 + event.payload.size();
+      Event copy = event;
+      shard_links_[s]->Send(bytes, [this, s, copy] {
+        shards_[s]->Submit(options_.shard_cost_per_op, [this, s, copy] {
+          ApplyOnShard(s, copy);
+          last_apply_at_ = sim_->Now();
+          ++events_applied_;
+        });
+      });
+    }
+    ++tx_committed_;
+    timestamper_pumping_ = false;
+    PumpTimestamper();
+    if (on_tx_done_) on_tx_done_();
+  });
+}
+
+void WeaverLite::ApplyOnShard(size_t shard_index, const Event& event) {
+  Graph& graph = shard_graphs_[shard_index];
+  switch (event.type) {
+    case EventType::kAddVertex:
+      (void)graph.AddVertex(event.vertex, event.payload);
+      break;
+    case EventType::kRemoveVertex:
+      // Present either as owned vertex or as a ghost; either way removal
+      // cascades the locally stored incident edges.
+      if (graph.HasVertex(event.vertex)) {
+        (void)graph.RemoveVertex(event.vertex);
+      }
+      break;
+    case EventType::kUpdateVertex:
+      if (graph.HasVertex(event.vertex)) {
+        (void)graph.UpdateVertexState(event.vertex, event.payload);
+      } else {
+        // The owner shard must know the vertex; validation guaranteed
+        // existence, so absence means it was hashed here as a ghost-only
+        // update. Materialize it.
+        (void)graph.AddVertex(event.vertex, event.payload);
+      }
+      break;
+    case EventType::kAddEdge: {
+      // The destination may live on another shard: materialize a ghost.
+      if (!graph.HasVertex(event.edge.src)) {
+        (void)graph.AddVertex(event.edge.src, "");
+      }
+      if (!graph.HasVertex(event.edge.dst)) {
+        (void)graph.AddVertex(event.edge.dst, "");
+      }
+      (void)graph.AddEdge(event.edge.src, event.edge.dst, event.payload);
+      break;
+    }
+    case EventType::kRemoveEdge:
+      if (graph.HasEdge(event.edge.src, event.edge.dst)) {
+        (void)graph.RemoveEdge(event.edge.src, event.edge.dst);
+      }
+      break;
+    case EventType::kUpdateEdge:
+      if (graph.HasEdge(event.edge.src, event.edge.dst)) {
+        (void)graph.UpdateEdgeState(event.edge.src, event.edge.dst,
+                                    event.payload);
+      }
+      break;
+    default:
+      break;
+  }
+}
+
+size_t WeaverLite::TotalVertices() const {
+  // Ghost vertices would double-count; report the validator's global view,
+  // which is authoritative.
+  return global_topology_.num_vertices();
+}
+
+size_t WeaverLite::TotalEdges() const { return global_topology_.num_edges(); }
+
+std::vector<std::pair<std::string, double>> WeaverLite::CollectMetrics()
+    const {
+  std::vector<std::pair<std::string, double>> metrics;
+  metrics.emplace_back("transactions_committed",
+                       static_cast<double>(tx_committed_));
+  metrics.emplace_back("events_applied", static_cast<double>(events_applied_));
+  metrics.emplace_back("ops_rejected", static_cast<double>(ops_rejected_));
+  metrics.emplace_back("admission_queue_length",
+                       static_cast<double>(admission_.size()));
+  metrics.emplace_back("vertices", static_cast<double>(TotalVertices()));
+  metrics.emplace_back("edges", static_cast<double>(TotalEdges()));
+  return metrics;
+}
+
+}  // namespace graphtides

@@ -1,0 +1,122 @@
+// WeaverLite: a simulated transactional, shard-partitioned graph store —
+// the stand-in for Weaver (Dubey et al., VLDB'16) in the paper's Level-0
+// experiment (§5.3.1, Figs. 3b/3c, Table 3).
+//
+// Architecture, mirroring the mechanisms the paper's evaluation surfaces:
+//   * a *timestamper* process serializes every transaction: it assigns the
+//     commit timestamp and validates all preconditions against the global
+//     topology (Weaver's "refinable timestamps" ordering service). Its
+//     per-transaction cost is the write-path bottleneck — offered load
+//     beyond its capacity backthrottles the client no matter the target
+//     streaming rate (Fig. 3b), and its CPU saturates first (Fig. 3c).
+//   * `num_shards` *shard* processes store the actual graph partitions and
+//     apply validated operations (vertices partitioned by hash; an edge
+//     lives on its source's shard).
+//   * transactions batch `k` stream events ("1 evt/tx" vs "10 evts/tx" in
+//     the paper); batching amortizes the timestamper's fixed per-tx cost.
+//   * backpressure: the timestamper's admission queue is bounded; when it
+//     is full, TrySubmit refuses and the client must retry later.
+#ifndef GRAPHTIDES_SUT_WEAVERLITE_WEAVERLITE_H_
+#define GRAPHTIDES_SUT_WEAVERLITE_WEAVERLITE_H_
+
+#include <memory>
+#include <vector>
+
+#include "common/clock.h"
+#include "graph/graph.h"
+#include "harness/evaluation_level.h"
+#include "sim/network.h"
+#include "sim/process.h"
+#include "sim/queue.h"
+#include "sim/simulator.h"
+#include "stream/event.h"
+#include "stream/validator.h"
+
+namespace graphtides {
+
+struct WeaverLiteOptions {
+  size_t num_shards = 2;
+  /// Fixed timestamper cost per transaction (ordering + 2PC bookkeeping).
+  Duration timestamper_cost_per_tx = Duration::FromMicros(900);
+  /// Timestamper cost per contained operation (precondition validation).
+  Duration timestamper_cost_per_op = Duration::FromMicros(25);
+  /// Shard cost to apply one operation.
+  Duration shard_cost_per_op = Duration::FromMicros(80);
+  /// Bounded admission queue (transactions) — the backpressure point.
+  size_t admission_queue_capacity = 64;
+  /// Timestamper -> shard link.
+  SimLinkOptions shard_link;
+  /// CPU accounting bin.
+  Duration utilization_bin = Duration::FromSeconds(1.0);
+};
+
+/// \brief The simulated store. All methods must be called from simulator
+/// callbacks (single-threaded virtual time).
+class WeaverLite : public SutMetricsSource {
+ public:
+  WeaverLite(Simulator* sim, WeaverLiteOptions options);
+
+  /// \brief Submits one transaction (a batch of stream events).
+  ///
+  /// Returns false when the admission queue is full (backpressure); the
+  /// caller owns retry policy. Accepted transactions are timestamped,
+  /// validated, and applied asynchronously in simulator time.
+  bool TrySubmit(std::vector<Event> transaction);
+
+  /// Registers a callback run whenever a transaction finishes committing
+  /// (used by clients to resubmit after backpressure).
+  void SetOnTransactionDone(Simulator::Callback cb) {
+    on_tx_done_ = std::move(cb);
+  }
+
+  // --- Observable state --------------------------------------------------
+
+  uint64_t transactions_committed() const { return tx_committed_; }
+  /// Events applied by shards (the paper's "events processed" metric).
+  uint64_t events_applied() const { return events_applied_; }
+  /// Operations rejected by validation (faulty streams).
+  uint64_t ops_rejected() const { return ops_rejected_; }
+  size_t admission_queue_length() const { return admission_.size(); }
+  bool AdmissionFull() const { return admission_.Full(); }
+  /// Virtual time of the most recent shard apply.
+  Timestamp last_apply_at() const { return last_apply_at_; }
+
+  const SimProcess& timestamper() const { return *timestamper_; }
+  const SimProcess& shard(size_t i) const { return *shards_[i]; }
+  size_t num_shards() const { return shards_.size(); }
+
+  /// The stored graph partition of shard i.
+  const Graph& shard_graph(size_t i) const { return shard_graphs_[i]; }
+  /// Total stored vertices/edges across shards.
+  size_t TotalVertices() const;
+  size_t TotalEdges() const;
+
+  /// Level-1 metrics interface.
+  std::vector<std::pair<std::string, double>> CollectMetrics() const override;
+
+ private:
+  size_t ShardOf(VertexId v) const { return v % shards_.size(); }
+  void PumpTimestamper();
+  void ApplyOnShard(size_t shard_index, const Event& event);
+
+  Simulator* sim_;
+  WeaverLiteOptions options_;
+  std::unique_ptr<SimProcess> timestamper_;
+  std::vector<std::unique_ptr<SimProcess>> shards_;
+  std::vector<std::unique_ptr<SimLink>> shard_links_;
+  std::vector<Graph> shard_graphs_;
+
+  SimQueue<std::vector<Event>> admission_;
+  bool timestamper_pumping_ = false;
+  StreamValidator global_topology_;  // the timestamper's validation state
+
+  uint64_t tx_committed_ = 0;
+  uint64_t events_applied_ = 0;
+  uint64_t ops_rejected_ = 0;
+  Timestamp last_apply_at_;
+  Simulator::Callback on_tx_done_;
+};
+
+}  // namespace graphtides
+
+#endif  // GRAPHTIDES_SUT_WEAVERLITE_WEAVERLITE_H_

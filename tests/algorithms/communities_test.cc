@@ -1,0 +1,144 @@
+#include "algorithms/communities.h"
+
+#include <gtest/gtest.h>
+
+namespace graphtides {
+namespace {
+
+/// Two dense cliques joined by one bridge edge.
+Graph TwoCliques(size_t clique_size) {
+  Graph g;
+  const size_t n = 2 * clique_size;
+  for (VertexId v = 0; v < n; ++v) EXPECT_TRUE(g.AddVertex(v).ok());
+  for (size_t base : {size_t{0}, clique_size}) {
+    for (VertexId i = 0; i < clique_size; ++i) {
+      for (VertexId j = i + 1; j < clique_size; ++j) {
+        EXPECT_TRUE(g.AddEdge(base + i, base + j).ok());
+      }
+    }
+  }
+  EXPECT_TRUE(g.AddEdge(clique_size - 1, clique_size).ok());  // bridge
+  return g;
+}
+
+TEST(LabelPropagationTest, EmptyGraph) {
+  Rng rng(1);
+  const CommunityResult r = LabelPropagation(CsrGraph::FromGraph(Graph()), rng);
+  EXPECT_EQ(r.num_communities, 0u);
+}
+
+TEST(LabelPropagationTest, CliqueCollapsesToOneCommunity) {
+  Graph g;
+  const size_t n = 8;
+  for (VertexId v = 0; v < n; ++v) ASSERT_TRUE(g.AddVertex(v).ok());
+  for (VertexId i = 0; i < n; ++i) {
+    for (VertexId j = i + 1; j < n; ++j) ASSERT_TRUE(g.AddEdge(i, j).ok());
+  }
+  Rng rng(5);
+  const CommunityResult r = LabelPropagation(CsrGraph::FromGraph(g), rng);
+  EXPECT_EQ(r.num_communities, 1u);
+}
+
+TEST(LabelPropagationTest, SeparatesTwoCliques) {
+  const CsrGraph csr = CsrGraph::FromGraph(TwoCliques(8));
+  Rng rng(7);
+  const CommunityResult r = LabelPropagation(csr, rng);
+  // The two cliques must end up internally uniform.
+  for (size_t i = 1; i < 8; ++i) {
+    EXPECT_EQ(r.community[i], r.community[0]) << i;
+    EXPECT_EQ(r.community[8 + i], r.community[8]) << i;
+  }
+  EXPECT_NE(r.community[0], r.community[8]);
+  EXPECT_EQ(r.num_communities, 2u);
+}
+
+TEST(LabelPropagationTest, IsolatedVerticesKeepOwnLabels) {
+  Graph g;
+  for (VertexId v = 0; v < 4; ++v) ASSERT_TRUE(g.AddVertex(v).ok());
+  Rng rng(9);
+  const CommunityResult r = LabelPropagation(CsrGraph::FromGraph(g), rng);
+  EXPECT_EQ(r.num_communities, 4u);
+}
+
+TEST(LabelPropagationTest, LabelsDense) {
+  const CsrGraph csr = CsrGraph::FromGraph(TwoCliques(5));
+  Rng rng(11);
+  const CommunityResult r = LabelPropagation(csr, rng);
+  for (uint32_t label : r.community) EXPECT_LT(label, r.num_communities);
+}
+
+TEST(CoreNumbersTest, CliqueIsUniform) {
+  Graph g;
+  const size_t n = 6;
+  for (VertexId v = 0; v < n; ++v) ASSERT_TRUE(g.AddVertex(v).ok());
+  for (VertexId i = 0; i < n; ++i) {
+    for (VertexId j = i + 1; j < n; ++j) ASSERT_TRUE(g.AddEdge(i, j).ok());
+  }
+  const auto cores = CoreNumbers(CsrGraph::FromGraph(g));
+  for (uint32_t c : cores) EXPECT_EQ(c, n - 1);
+}
+
+TEST(CoreNumbersTest, PathGraphIsOneCore) {
+  Graph g;
+  for (VertexId v = 0; v < 5; ++v) ASSERT_TRUE(g.AddVertex(v).ok());
+  for (VertexId v = 0; v + 1 < 5; ++v) ASSERT_TRUE(g.AddEdge(v, v + 1).ok());
+  const auto cores = CoreNumbers(CsrGraph::FromGraph(g));
+  for (uint32_t c : cores) EXPECT_EQ(c, 1u);
+}
+
+TEST(CoreNumbersTest, CliqueWithPendant) {
+  // Clique of 4 (core 3) plus a pendant vertex (core 1).
+  Graph g;
+  for (VertexId v = 0; v < 5; ++v) ASSERT_TRUE(g.AddVertex(v).ok());
+  for (VertexId i = 0; i < 4; ++i) {
+    for (VertexId j = i + 1; j < 4; ++j) ASSERT_TRUE(g.AddEdge(i, j).ok());
+  }
+  ASSERT_TRUE(g.AddEdge(0, 4).ok());
+  const CsrGraph csr = CsrGraph::FromGraph(g);
+  const auto cores = CoreNumbers(csr);
+  CsrGraph::Index pendant;
+  ASSERT_TRUE(csr.IndexOf(4, &pendant));
+  EXPECT_EQ(cores[pendant], 1u);
+  CsrGraph::Index clique0;
+  ASSERT_TRUE(csr.IndexOf(0, &clique0));
+  EXPECT_EQ(cores[clique0], 3u);
+}
+
+TEST(CoreNumbersTest, IsolatedVertexIsZeroCore) {
+  Graph g;
+  ASSERT_TRUE(g.AddVertex(1).ok());
+  const auto cores = CoreNumbers(CsrGraph::FromGraph(g));
+  ASSERT_EQ(cores.size(), 1u);
+  EXPECT_EQ(cores[0], 0u);
+}
+
+TEST(ModularityTest, GoodPartitionBeatsBadPartition) {
+  const CsrGraph csr = CsrGraph::FromGraph(TwoCliques(6));
+  std::vector<uint32_t> good(12);
+  std::vector<uint32_t> bad(12);
+  for (size_t v = 0; v < 12; ++v) {
+    good[v] = v < 6 ? 0 : 1;
+    bad[v] = v % 2;  // interleaved: terrible split
+  }
+  const double q_good = Modularity(csr, good);
+  const double q_bad = Modularity(csr, bad);
+  EXPECT_GT(q_good, 0.3);
+  EXPECT_GT(q_good, q_bad);
+}
+
+TEST(ModularityTest, SingleCommunityIsZero) {
+  const CsrGraph csr = CsrGraph::FromGraph(TwoCliques(4));
+  const std::vector<uint32_t> all_same(8, 0);
+  EXPECT_NEAR(Modularity(csr, all_same), 0.0, 1e-12);
+}
+
+TEST(ModularityTest, DegenerateInputs) {
+  EXPECT_EQ(Modularity(CsrGraph::FromGraph(Graph()), {}), 0.0);
+  Graph g;
+  ASSERT_TRUE(g.AddVertex(1).ok());
+  // Size mismatch -> 0.
+  EXPECT_EQ(Modularity(CsrGraph::FromGraph(g), {0, 1}), 0.0);
+}
+
+}  // namespace
+}  // namespace graphtides

@@ -1,0 +1,169 @@
+#include "algorithms/incremental.h"
+
+#include <gtest/gtest.h>
+
+#include "algorithms/components.h"
+#include "common/random.h"
+#include "graph/csr.h"
+#include "graph/graph.h"
+
+namespace graphtides {
+namespace {
+
+TEST(IncrementalWccTest, StartsEmpty) {
+  IncrementalWcc wcc;
+  EXPECT_EQ(wcc.NumComponents(), 0u);
+  EXPECT_FALSE(wcc.SameComponent(1, 2));
+}
+
+TEST(IncrementalWccTest, AdditionsTracked) {
+  IncrementalWcc wcc;
+  wcc.OnEventApplied(Event::AddVertex(1));
+  wcc.OnEventApplied(Event::AddVertex(2));
+  wcc.OnEventApplied(Event::AddVertex(3));
+  EXPECT_EQ(wcc.NumComponents(), 3u);
+  wcc.OnEventApplied(Event::AddEdge(1, 2));
+  EXPECT_EQ(wcc.NumComponents(), 2u);
+  EXPECT_TRUE(wcc.SameComponent(1, 2));
+  EXPECT_FALSE(wcc.SameComponent(1, 3));
+  // Redundant edge does not change the count.
+  wcc.OnEventApplied(Event::AddEdge(2, 1));
+  EXPECT_EQ(wcc.NumComponents(), 2u);
+}
+
+TEST(IncrementalWccTest, EdgeRemovalSplits) {
+  IncrementalWcc wcc;
+  for (VertexId v : {1, 2, 3}) wcc.OnEventApplied(Event::AddVertex(v));
+  wcc.OnEventApplied(Event::AddEdge(1, 2));
+  wcc.OnEventApplied(Event::AddEdge(2, 3));
+  EXPECT_EQ(wcc.NumComponents(), 1u);
+  EXPECT_FALSE(wcc.dirty());
+  wcc.OnEventApplied(Event::RemoveEdge(2, 3));
+  EXPECT_TRUE(wcc.dirty());
+  EXPECT_EQ(wcc.NumComponents(), 2u);  // rebuild happens on query
+  EXPECT_FALSE(wcc.dirty());
+  EXPECT_FALSE(wcc.SameComponent(1, 3));
+}
+
+TEST(IncrementalWccTest, VertexRemovalSplits) {
+  IncrementalWcc wcc;
+  for (VertexId v : {1, 2, 3}) wcc.OnEventApplied(Event::AddVertex(v));
+  wcc.OnEventApplied(Event::AddEdge(1, 2));
+  wcc.OnEventApplied(Event::AddEdge(2, 3));
+  wcc.OnEventApplied(Event::RemoveVertex(2));
+  EXPECT_EQ(wcc.NumComponents(), 2u);  // {1}, {3}
+  EXPECT_EQ(wcc.num_vertices(), 2u);
+}
+
+TEST(IncrementalWccTest, MatchesBatchOnRandomStreams) {
+  for (uint64_t seed = 1; seed <= 5; ++seed) {
+    Rng rng(seed);
+    IncrementalWcc wcc;
+    Graph graph;
+    const size_t n = 30;
+    for (VertexId v = 0; v < n; ++v) {
+      const Event e = Event::AddVertex(v);
+      ASSERT_TRUE(graph.Apply(e).ok());
+      wcc.OnEventApplied(e);
+    }
+    for (int i = 0; i < 200; ++i) {
+      const double x = rng.NextDouble();
+      if (x < 0.6) {
+        const VertexId a = rng.NextBounded(n);
+        const VertexId b = rng.NextBounded(n);
+        const Event e = Event::AddEdge(a, b);
+        if (graph.Apply(e).ok()) wcc.OnEventApplied(e);
+      } else if (x < 0.9) {
+        // Remove a random existing edge by scanning.
+        std::vector<EdgeId> edges;
+        graph.ForEachEdge([&](VertexId s, VertexId d, const std::string&) {
+          edges.push_back({s, d});
+        });
+        if (edges.empty()) continue;
+        const EdgeId victim = edges[rng.NextBounded(edges.size())];
+        const Event e = Event::RemoveEdge(victim.src, victim.dst);
+        ASSERT_TRUE(graph.Apply(e).ok());
+        wcc.OnEventApplied(e);
+      }
+      // Occasionally verify against the batch algorithm.
+      if (i % 40 == 39) {
+        const ComponentsResult batch =
+            WeaklyConnectedComponents(CsrGraph::FromGraph(graph));
+        EXPECT_EQ(wcc.NumComponents(), batch.num_components)
+            << "seed " << seed << " step " << i;
+      }
+    }
+  }
+}
+
+TEST(IncrementalDegreeStatsTest, StartsEmpty) {
+  IncrementalDegreeStats stats;
+  EXPECT_EQ(stats.num_vertices(), 0u);
+  EXPECT_EQ(stats.num_edges(), 0u);
+  EXPECT_EQ(stats.MeanOutDegree(), 0.0);
+  EXPECT_EQ(stats.MaxOutDegree(), 0u);
+}
+
+TEST(IncrementalDegreeStatsTest, TracksAdds) {
+  IncrementalDegreeStats stats;
+  for (VertexId v : {1, 2, 3}) stats.OnEventApplied(Event::AddVertex(v));
+  stats.OnEventApplied(Event::AddEdge(1, 2));
+  stats.OnEventApplied(Event::AddEdge(1, 3));
+  EXPECT_EQ(stats.num_edges(), 2u);
+  EXPECT_EQ(stats.MaxOutDegree(), 2u);
+  EXPECT_NEAR(stats.MeanOutDegree(), 2.0 / 3.0, 1e-12);
+}
+
+TEST(IncrementalDegreeStatsTest, EdgeRemovalUpdatesMax) {
+  IncrementalDegreeStats stats;
+  for (VertexId v : {1, 2, 3}) stats.OnEventApplied(Event::AddVertex(v));
+  stats.OnEventApplied(Event::AddEdge(1, 2));
+  stats.OnEventApplied(Event::AddEdge(1, 3));
+  stats.OnEventApplied(Event::AddEdge(2, 3));
+  EXPECT_EQ(stats.MaxOutDegree(), 2u);
+  stats.OnEventApplied(Event::RemoveEdge(1, 2));
+  EXPECT_EQ(stats.MaxOutDegree(), 1u);
+  EXPECT_EQ(stats.num_edges(), 2u);
+}
+
+TEST(IncrementalDegreeStatsTest, VertexRemovalCascades) {
+  IncrementalDegreeStats stats;
+  for (VertexId v : {1, 2, 3}) stats.OnEventApplied(Event::AddVertex(v));
+  stats.OnEventApplied(Event::AddEdge(1, 2));
+  stats.OnEventApplied(Event::AddEdge(3, 2));
+  stats.OnEventApplied(Event::RemoveVertex(2));
+  EXPECT_EQ(stats.num_vertices(), 2u);
+  EXPECT_EQ(stats.num_edges(), 0u);
+  EXPECT_EQ(stats.MaxOutDegree(), 0u);
+}
+
+TEST(IncrementalDegreeStatsTest, MatchesGraphOnRandomStream) {
+  Rng rng(77);
+  IncrementalDegreeStats stats;
+  Graph graph;
+  const size_t n = 25;
+  for (VertexId v = 0; v < n; ++v) {
+    const Event e = Event::AddVertex(v);
+    ASSERT_TRUE(graph.Apply(e).ok());
+    stats.OnEventApplied(e);
+  }
+  for (int i = 0; i < 300; ++i) {
+    const VertexId a = rng.NextBounded(n);
+    const VertexId b = rng.NextBounded(n);
+    if (a == b) continue;
+    Event e = graph.HasEdge(a, b) ? Event::RemoveEdge(a, b)
+                                  : Event::AddEdge(a, b);
+    if (!graph.HasVertex(a) || !graph.HasVertex(b)) continue;
+    ASSERT_TRUE(graph.Apply(e).ok());
+    stats.OnEventApplied(e);
+  }
+  EXPECT_EQ(stats.num_edges(), graph.num_edges());
+  size_t expected_max = 0;
+  for (VertexId v : graph.VertexIds()) {
+    expected_max = std::max(expected_max, graph.OutDegree(v).value());
+  }
+  EXPECT_EQ(stats.MaxOutDegree(), expected_max);
+}
+
+}  // namespace
+}  // namespace graphtides

@@ -1,0 +1,85 @@
+#include "algorithms/statistics.h"
+
+#include <gtest/gtest.h>
+
+namespace graphtides {
+namespace {
+
+Graph Star(size_t leaves) {
+  Graph g;
+  EXPECT_TRUE(g.AddVertex(0).ok());
+  for (VertexId v = 1; v <= leaves; ++v) {
+    EXPECT_TRUE(g.AddVertex(v).ok());
+    EXPECT_TRUE(g.AddEdge(0, v).ok());
+  }
+  return g;
+}
+
+TEST(GraphStatisticsTest, EmptyGraph) {
+  const GraphStatistics s = ComputeGraphStatistics(CsrGraph::FromGraph(Graph()));
+  EXPECT_EQ(s.num_vertices, 0u);
+  EXPECT_EQ(s.num_edges, 0u);
+  EXPECT_EQ(s.density, 0.0);
+}
+
+TEST(GraphStatisticsTest, StarGraph) {
+  const CsrGraph csr = CsrGraph::FromGraph(Star(4));
+  const GraphStatistics s = ComputeGraphStatistics(csr);
+  EXPECT_EQ(s.num_vertices, 5u);
+  EXPECT_EQ(s.num_edges, 4u);
+  EXPECT_EQ(s.max_out_degree, 4u);
+  EXPECT_EQ(s.max_in_degree, 1u);
+  EXPECT_DOUBLE_EQ(s.mean_out_degree, 0.8);
+  EXPECT_DOUBLE_EQ(s.density, 4.0 / 20.0);
+  EXPECT_EQ(s.isolated_vertices, 0u);
+  // One vertex holds all out-degree: very unequal.
+  EXPECT_GT(s.out_degree_gini, 0.7);
+}
+
+TEST(GraphStatisticsTest, IsolatedVerticesCounted) {
+  Graph g;
+  for (VertexId v : {1, 2, 3}) ASSERT_TRUE(g.AddVertex(v).ok());
+  ASSERT_TRUE(g.AddEdge(1, 2).ok());
+  const GraphStatistics s = ComputeGraphStatistics(CsrGraph::FromGraph(g));
+  EXPECT_EQ(s.isolated_vertices, 1u);
+}
+
+TEST(GraphStatisticsTest, UniformDegreesHaveZeroGini) {
+  // Directed cycle: every vertex has out-degree 1.
+  Graph g;
+  const size_t n = 10;
+  for (VertexId v = 0; v < n; ++v) ASSERT_TRUE(g.AddVertex(v).ok());
+  for (VertexId v = 0; v < n; ++v) {
+    ASSERT_TRUE(g.AddEdge(v, (v + 1) % n).ok());
+  }
+  const GraphStatistics s = ComputeGraphStatistics(CsrGraph::FromGraph(g));
+  EXPECT_NEAR(s.out_degree_gini, 0.0, 1e-9);
+  EXPECT_DOUBLE_EQ(s.mean_out_degree, 1.0);
+}
+
+TEST(DegreeDistributionTest, StarGraph) {
+  const CsrGraph csr = CsrGraph::FromGraph(Star(4));
+  const auto out = OutDegreeDistribution(csr);
+  EXPECT_EQ(out.at(0), 4u);  // 4 leaves with out-degree 0
+  EXPECT_EQ(out.at(4), 1u);  // hub
+  const auto in = InDegreeDistribution(csr);
+  EXPECT_EQ(in.at(1), 4u);
+  EXPECT_EQ(in.at(0), 1u);
+}
+
+TEST(DegreeDistributionTest, SumsToVertexCount) {
+  const CsrGraph csr = CsrGraph::FromGraph(Star(7));
+  size_t total = 0;
+  for (const auto& [deg, count] : OutDegreeDistribution(csr)) total += count;
+  EXPECT_EQ(total, csr.num_vertices());
+}
+
+TEST(GraphStatisticsTest, ToStringContainsCoreFields) {
+  const GraphStatistics s = ComputeGraphStatistics(CsrGraph::FromGraph(Star(2)));
+  const std::string text = s.ToString();
+  EXPECT_NE(text.find("n=3"), std::string::npos);
+  EXPECT_NE(text.find("m=2"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace graphtides

@@ -1,0 +1,107 @@
+#include "algorithms/triangles.h"
+
+#include <gtest/gtest.h>
+
+namespace graphtides {
+namespace {
+
+Graph CompleteDirected(size_t n) {
+  // One direction per pair (i < j), which is a complete undirected graph.
+  Graph g;
+  for (VertexId v = 0; v < n; ++v) EXPECT_TRUE(g.AddVertex(v).ok());
+  for (VertexId i = 0; i < n; ++i) {
+    for (VertexId j = i + 1; j < n; ++j) {
+      EXPECT_TRUE(g.AddEdge(i, j).ok());
+    }
+  }
+  return g;
+}
+
+TEST(TrianglesTest, EmptyAndTiny) {
+  EXPECT_EQ(CountTriangles(CsrGraph::FromGraph(Graph())), 0u);
+  EXPECT_EQ(CountTriangles(CsrGraph::FromGraph(CompleteDirected(2))), 0u);
+}
+
+TEST(TrianglesTest, SingleTriangle) {
+  EXPECT_EQ(CountTriangles(CsrGraph::FromGraph(CompleteDirected(3))), 1u);
+}
+
+class CompleteGraphTrianglesTest : public ::testing::TestWithParam<size_t> {};
+
+TEST_P(CompleteGraphTrianglesTest, BinomialCount) {
+  const size_t n = GetParam();
+  const uint64_t expected = n * (n - 1) * (n - 2) / 6;
+  EXPECT_EQ(CountTriangles(CsrGraph::FromGraph(CompleteDirected(n))),
+            expected);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, CompleteGraphTrianglesTest,
+                         ::testing::Values(3, 4, 5, 6, 8, 12));
+
+TEST(TrianglesTest, DirectionDoesNotMatter) {
+  // Triangle with mixed directions.
+  Graph g;
+  for (VertexId v : {1, 2, 3}) ASSERT_TRUE(g.AddVertex(v).ok());
+  ASSERT_TRUE(g.AddEdge(1, 2).ok());
+  ASSERT_TRUE(g.AddEdge(3, 2).ok());
+  ASSERT_TRUE(g.AddEdge(1, 3).ok());
+  EXPECT_EQ(CountTriangles(CsrGraph::FromGraph(g)), 1u);
+}
+
+TEST(TrianglesTest, ReciprocalEdgesNotDoubleCounted) {
+  // Both directions of every pair: still one triangle.
+  Graph g;
+  for (VertexId v : {1, 2, 3}) ASSERT_TRUE(g.AddVertex(v).ok());
+  for (VertexId a : {1, 2, 3}) {
+    for (VertexId b : {1, 2, 3}) {
+      if (a != b) ASSERT_TRUE(g.AddEdge(a, b).ok());
+    }
+  }
+  EXPECT_EQ(CountTriangles(CsrGraph::FromGraph(g)), 1u);
+}
+
+TEST(TrianglesTest, SquareHasNoTriangles) {
+  Graph g;
+  for (VertexId v = 0; v < 4; ++v) ASSERT_TRUE(g.AddVertex(v).ok());
+  for (VertexId v = 0; v < 4; ++v) {
+    ASSERT_TRUE(g.AddEdge(v, (v + 1) % 4).ok());
+  }
+  EXPECT_EQ(CountTriangles(CsrGraph::FromGraph(g)), 0u);
+}
+
+TEST(ClusteringTest, CompleteGraphIsOne) {
+  EXPECT_NEAR(
+      GlobalClusteringCoefficient(CsrGraph::FromGraph(CompleteDirected(5))),
+      1.0, 1e-12);
+}
+
+TEST(ClusteringTest, TreeIsZero) {
+  Graph g;
+  for (VertexId v = 0; v < 7; ++v) ASSERT_TRUE(g.AddVertex(v).ok());
+  for (VertexId v = 1; v < 7; ++v) {
+    ASSERT_TRUE(g.AddEdge((v - 1) / 2, v).ok());
+  }
+  EXPECT_DOUBLE_EQ(GlobalClusteringCoefficient(CsrGraph::FromGraph(g)), 0.0);
+}
+
+TEST(ClusteringTest, KnownSmallGraph) {
+  // Triangle {0,1,2} plus pendant 3 attached to 0.
+  // Triangles = 1; wedges: deg(0)=3 -> 3, deg(1)=2 -> 1, deg(2)=2 -> 1,
+  // deg(3)=1 -> 0; total 5. C = 3*1/5.
+  Graph g;
+  for (VertexId v = 0; v < 4; ++v) ASSERT_TRUE(g.AddVertex(v).ok());
+  ASSERT_TRUE(g.AddEdge(0, 1).ok());
+  ASSERT_TRUE(g.AddEdge(1, 2).ok());
+  ASSERT_TRUE(g.AddEdge(2, 0).ok());
+  ASSERT_TRUE(g.AddEdge(0, 3).ok());
+  EXPECT_NEAR(GlobalClusteringCoefficient(CsrGraph::FromGraph(g)), 0.6,
+              1e-12);
+}
+
+TEST(ClusteringTest, EmptyGraphIsZero) {
+  EXPECT_DOUBLE_EQ(GlobalClusteringCoefficient(CsrGraph::FromGraph(Graph())),
+                   0.0);
+}
+
+}  // namespace
+}  // namespace graphtides

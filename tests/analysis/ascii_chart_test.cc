@@ -1,0 +1,69 @@
+#include "analysis/ascii_chart.h"
+
+#include <gtest/gtest.h>
+
+namespace graphtides {
+namespace {
+
+// The block glyphs are 3-byte UTF-8 sequences.
+size_t GlyphCount(const std::string& s) { return s.size() / 3; }
+
+TEST(SparklineTest, EmptyInput) {
+  EXPECT_EQ(RenderSparkline({}), "");
+}
+
+TEST(SparklineTest, OneGlyphPerValue) {
+  const std::string s = RenderSparkline({1.0, 2.0, 3.0, 4.0});
+  EXPECT_EQ(GlyphCount(s), 4u);
+}
+
+TEST(SparklineTest, MonotoneSeriesEndsAtExtremes) {
+  const std::string s = RenderSparkline({0, 1, 2, 3, 4, 5, 6, 7});
+  // First glyph is the lowest block, last is the full block.
+  EXPECT_EQ(s.substr(0, 3), "▁");
+  EXPECT_EQ(s.substr(s.size() - 3), "█");
+}
+
+TEST(SparklineTest, ConstantSeriesIsFlat) {
+  const std::string s = RenderSparkline({5.0, 5.0, 5.0});
+  EXPECT_EQ(s, "▁▁▁");
+}
+
+TEST(SparklineTest, DownsamplesToWidth) {
+  std::vector<double> values(1000);
+  for (size_t i = 0; i < values.size(); ++i) {
+    values[i] = static_cast<double>(i);
+  }
+  const std::string s = RenderSparkline(values, 50);
+  EXPECT_EQ(GlyphCount(s), 50u);
+}
+
+TEST(SparklineTest, NegativeValuesUseOwnRange) {
+  const std::string s = RenderSparkline({-10.0, 0.0, 10.0});
+  EXPECT_EQ(GlyphCount(s), 3u);
+  EXPECT_EQ(s.substr(0, 3), "▁");
+  EXPECT_EQ(s.substr(6, 3), "█");
+}
+
+TEST(StackedChartTest, RowsAlignedWithLabelsAndRanges) {
+  const std::string chart = RenderStackedChart(
+      {{"rate", {1, 2, 3}}, {"queue length", {100, 50, 0}}}, 40);
+  // Two lines.
+  EXPECT_EQ(std::count(chart.begin(), chart.end(), '\n'), 2);
+  EXPECT_NE(chart.find("rate"), std::string::npos);
+  EXPECT_NE(chart.find("queue length"), std::string::npos);
+  EXPECT_NE(chart.find("[1 .. 3]"), std::string::npos);
+  EXPECT_NE(chart.find("[0 .. 100]"), std::string::npos);
+  // Sparklines of equal length start at the same column.
+  const size_t line_break = chart.find('\n');
+  const std::string line1 = chart.substr(0, line_break);
+  EXPECT_NE(line1.find("▁"), std::string::npos);
+}
+
+TEST(StackedChartTest, EmptySeriesHandled) {
+  const std::string chart = RenderStackedChart({{"nothing", {}}}, 40);
+  EXPECT_NE(chart.find("nothing"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace graphtides

@@ -1,0 +1,105 @@
+#include "analysis/trend.h"
+
+#include <gtest/gtest.h>
+
+namespace graphtides {
+namespace {
+
+TrendDetectorOptions DefaultOptions() {
+  TrendDetectorOptions options;
+  options.window = Duration::FromSeconds(10.0);
+  options.growth_factor = 3.0;
+  options.min_count = 5;
+  return options;
+}
+
+TEST(TrendDetectorTest, EmptyDetector) {
+  TrendDetector detector(DefaultOptions());
+  EXPECT_TRUE(detector.TrendingAt(Timestamp::FromSeconds(100.0)).empty());
+  EXPECT_EQ(detector.tracked_keys(), 0u);
+}
+
+TEST(TrendDetectorTest, SuddenBurstIsTrending) {
+  TrendDetector detector(DefaultOptions());
+  // Key 7: nothing before t=20, then 10 observations in [20, 25].
+  for (int i = 0; i < 10; ++i) {
+    detector.Observe(7, Timestamp::FromSeconds(20.0 + i * 0.5));
+  }
+  const auto trends = detector.TrendingAt(Timestamp::FromSeconds(26.0));
+  ASSERT_EQ(trends.size(), 1u);
+  EXPECT_EQ(trends[0].key, 7u);
+  EXPECT_EQ(trends[0].current_count, 10u);
+  EXPECT_EQ(trends[0].previous_count, 0u);
+}
+
+TEST(TrendDetectorTest, SteadyActivityNotTrending) {
+  TrendDetector detector(DefaultOptions());
+  // One observation per second for 40 s: current ~= previous.
+  for (int i = 0; i < 40; ++i) {
+    detector.Observe(1, Timestamp::FromSeconds(i));
+  }
+  EXPECT_TRUE(detector.TrendingAt(Timestamp::FromSeconds(40.0)).empty());
+}
+
+TEST(TrendDetectorTest, GrowthFactorBoundary) {
+  TrendDetector detector(DefaultOptions());
+  // Previous window [0,10): 2 observations; current [10,20): 6 = 3x.
+  detector.Observe(1, Timestamp::FromSeconds(1.0));
+  detector.Observe(1, Timestamp::FromSeconds(2.0));
+  for (int i = 0; i < 6; ++i) {
+    detector.Observe(1, Timestamp::FromSeconds(11.0 + i));
+  }
+  const auto trends = detector.TrendingAt(Timestamp::FromSeconds(20.0));
+  ASSERT_EQ(trends.size(), 1u);
+  EXPECT_DOUBLE_EQ(trends[0].growth, 3.0);
+}
+
+TEST(TrendDetectorTest, MinCountFiltersNoise) {
+  TrendDetector detector(DefaultOptions());
+  // 3 observations from nothing: big relative growth, too few to matter.
+  for (int i = 0; i < 3; ++i) {
+    detector.Observe(9, Timestamp::FromSeconds(15.0 + i));
+  }
+  EXPECT_TRUE(detector.TrendingAt(Timestamp::FromSeconds(19.0)).empty());
+}
+
+TEST(TrendDetectorTest, SortedByGrowthDescending) {
+  TrendDetector detector(DefaultOptions());
+  // Key 1: 0 -> 20; key 2: 5 -> 15 (growth 3).
+  for (int i = 0; i < 20; ++i) {
+    detector.Observe(1, Timestamp::FromSeconds(12.0 + i * 0.2));
+  }
+  for (int i = 0; i < 5; ++i) {
+    detector.Observe(2, Timestamp::FromSeconds(1.0 + i));
+  }
+  for (int i = 0; i < 15; ++i) {
+    detector.Observe(2, Timestamp::FromSeconds(11.0 + i * 0.5));
+  }
+  const auto trends = detector.TrendingAt(Timestamp::FromSeconds(20.0));
+  ASSERT_EQ(trends.size(), 2u);
+  EXPECT_EQ(trends[0].key, 1u);  // infinite-ish growth first
+  EXPECT_EQ(trends[1].key, 2u);
+}
+
+TEST(TrendDetectorTest, OldObservationsAgeOut) {
+  TrendDetector detector(DefaultOptions());
+  for (int i = 0; i < 10; ++i) {
+    detector.Observe(3, Timestamp::FromSeconds(i * 0.5));
+  }
+  // Observing later prunes; at t=100 nothing recent remains.
+  detector.Observe(3, Timestamp::FromSeconds(100.0));
+  const auto trends = detector.TrendingAt(Timestamp::FromSeconds(100.0));
+  EXPECT_TRUE(trends.empty());
+}
+
+TEST(TrendDetectorTest, FutureObservationsExcluded) {
+  TrendDetector detector(DefaultOptions());
+  for (int i = 0; i < 10; ++i) {
+    detector.Observe(4, Timestamp::FromSeconds(50.0 + i * 0.1));
+  }
+  // Query earlier than the observations: nothing counts yet.
+  EXPECT_TRUE(detector.TrendingAt(Timestamp::FromSeconds(40.0)).empty());
+}
+
+}  // namespace
+}  // namespace graphtides

@@ -1,0 +1,91 @@
+#include "common/clock.h"
+
+#include <gtest/gtest.h>
+
+#include <thread>
+
+namespace graphtides {
+namespace {
+
+TEST(TimestampTest, Conversions) {
+  const Timestamp t = Timestamp::FromMillis(1500);
+  EXPECT_EQ(t.nanos(), 1500000000);
+  EXPECT_EQ(t.micros(), 1500000);
+  EXPECT_EQ(t.millis(), 1500);
+  EXPECT_DOUBLE_EQ(t.seconds(), 1.5);
+  EXPECT_EQ(Timestamp::FromSeconds(2.5).nanos(), 2500000000);
+  EXPECT_EQ(Timestamp::FromMicros(3).nanos(), 3000);
+}
+
+TEST(TimestampTest, ComparisonAndArithmetic) {
+  const Timestamp a = Timestamp::FromMillis(100);
+  const Timestamp b = Timestamp::FromMillis(250);
+  EXPECT_LT(a, b);
+  EXPECT_EQ((b - a).millis(), 150);
+  EXPECT_EQ((a + Duration::FromMillis(150)), b);
+  EXPECT_EQ((b - Duration::FromMillis(150)), a);
+}
+
+TEST(DurationTest, Arithmetic) {
+  const Duration d = Duration::FromMillis(10);
+  EXPECT_EQ((d + d).millis(), 20);
+  EXPECT_EQ((d - Duration::FromMillis(4)).millis(), 6);
+  EXPECT_EQ((d * 3).millis(), 30);
+  EXPECT_EQ((d / 2).millis(), 5);
+  Duration acc;
+  acc += d;
+  acc += d;
+  EXPECT_EQ(acc.millis(), 20);
+  acc -= Duration::FromMillis(5);
+  EXPECT_EQ(acc.millis(), 15);
+}
+
+TEST(DurationTest, NegativeDurations) {
+  const Duration neg = Timestamp::FromMillis(1) - Timestamp::FromMillis(5);
+  EXPECT_LT(neg, Duration::Zero());
+  EXPECT_EQ(neg.millis(), -4);
+}
+
+TEST(MonotonicClockTest, NeverGoesBackward) {
+  MonotonicClock clock;
+  Timestamp prev = clock.Now();
+  for (int i = 0; i < 1000; ++i) {
+    const Timestamp now = clock.Now();
+    EXPECT_GE(now, prev);
+    prev = now;
+  }
+}
+
+TEST(MonotonicClockTest, AdvancesWithRealTime) {
+  MonotonicClock clock;
+  const Timestamp before = clock.Now();
+  std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  const Timestamp after = clock.Now();
+  EXPECT_GE((after - before).millis(), 9);
+}
+
+TEST(VirtualClockTest, StartsAtZeroAndAdvances) {
+  VirtualClock clock;
+  EXPECT_EQ(clock.Now().nanos(), 0);
+  clock.Advance(Duration::FromSeconds(2.0));
+  EXPECT_DOUBLE_EQ(clock.Now().seconds(), 2.0);
+  clock.AdvanceTo(Timestamp::FromSeconds(5.0));
+  EXPECT_DOUBLE_EQ(clock.Now().seconds(), 5.0);
+}
+
+TEST(VirtualClockTest, NeverMovesBackward) {
+  VirtualClock clock;
+  clock.AdvanceTo(Timestamp::FromSeconds(10.0));
+  clock.AdvanceTo(Timestamp::FromSeconds(5.0));
+  EXPECT_DOUBLE_EQ(clock.Now().seconds(), 10.0);
+}
+
+TEST(ClockInterfaceTest, PolymorphicUse) {
+  VirtualClock vclock;
+  vclock.Advance(Duration::FromMillis(42));
+  const Clock* clock = &vclock;
+  EXPECT_EQ(clock->Now().millis(), 42);
+}
+
+}  // namespace
+}  // namespace graphtides

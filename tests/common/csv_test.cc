@@ -1,0 +1,100 @@
+#include "common/csv.h"
+
+#include <gtest/gtest.h>
+
+namespace graphtides {
+namespace {
+
+TEST(CsvTest, SplitsPlainFields) {
+  auto r = ParseCsvLine("a,b,c");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(*r, (std::vector<std::string>{"a", "b", "c"}));
+}
+
+TEST(CsvTest, KeepsEmptyFields) {
+  auto r = ParseCsvLine("a,,c,");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(*r, (std::vector<std::string>{"a", "", "c", ""}));
+}
+
+TEST(CsvTest, EmptyLineIsOneEmptyField) {
+  auto r = ParseCsvLine("");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(*r, (std::vector<std::string>{""}));
+}
+
+TEST(CsvTest, QuotedFieldWithComma) {
+  auto r = ParseCsvLine("a,\"b,c\",d");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(*r, (std::vector<std::string>{"a", "b,c", "d"}));
+}
+
+TEST(CsvTest, EscapedQuotes) {
+  auto r = ParseCsvLine("\"he said \"\"hi\"\"\",x");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(*r, (std::vector<std::string>{"he said \"hi\"", "x"}));
+}
+
+TEST(CsvTest, JsonPayloadRoundTrip) {
+  const std::string json = R"({"name":"alice","tags":["a","b"],"n":3})";
+  const std::string line = FormatCsvLine({"UPDATE_VERTEX", "7", json});
+  auto r = ParseCsvLine(line);
+  ASSERT_TRUE(r.ok());
+  ASSERT_EQ(r->size(), 3u);
+  EXPECT_EQ((*r)[2], json);
+}
+
+TEST(CsvTest, UnterminatedQuoteIsParseError) {
+  auto r = ParseCsvLine("a,\"oops");
+  ASSERT_FALSE(r.ok());
+  EXPECT_TRUE(r.status().IsParseError());
+}
+
+TEST(CsvTest, TrailingGarbageAfterQuoteIsParseError) {
+  auto r = ParseCsvLine("\"ok\"x,y");
+  ASSERT_FALSE(r.ok());
+  EXPECT_TRUE(r.status().IsParseError());
+}
+
+TEST(CsvTest, QuoteInsideUnquotedFieldIsParseError) {
+  auto r = ParseCsvLine("ab\"cd,e");
+  ASSERT_FALSE(r.ok());
+  EXPECT_TRUE(r.status().IsParseError());
+}
+
+TEST(CsvTest, EscapePlainFieldUnchanged) {
+  EXPECT_EQ(EscapeCsvField("plain"), "plain");
+  EXPECT_EQ(EscapeCsvField(""), "");
+}
+
+TEST(CsvTest, EscapeQuotesWhenNeeded) {
+  EXPECT_EQ(EscapeCsvField("a,b"), "\"a,b\"");
+  EXPECT_EQ(EscapeCsvField("a\"b"), "\"a\"\"b\"");
+  EXPECT_EQ(EscapeCsvField("a\nb"), "\"a\nb\"");
+}
+
+struct RoundTripCase {
+  std::vector<std::string> fields;
+};
+
+class CsvRoundTripTest : public ::testing::TestWithParam<RoundTripCase> {};
+
+TEST_P(CsvRoundTripTest, FormatThenParseIsIdentity) {
+  const auto& fields = GetParam().fields;
+  auto parsed = ParseCsvLine(FormatCsvLine(fields));
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(*parsed, fields);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Cases, CsvRoundTripTest,
+    ::testing::Values(
+        RoundTripCase{{"a", "b", "c"}},
+        RoundTripCase{{"", "", ""}},
+        RoundTripCase{{"with,comma", "with\"quote", "with\nnewline"}},
+        RoundTripCase{{R"({"k":"v,x"})", "1-2", ""}},
+        RoundTripCase{{"\"\"", ",", "\""}},
+        RoundTripCase{{"MARKER", "", "PHASE_1 done, next up"}}));
+
+}  // namespace
+}  // namespace graphtides

@@ -1,0 +1,120 @@
+#include "common/status.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+namespace graphtides {
+namespace {
+
+TEST(StatusTest, DefaultIsOk) {
+  Status st;
+  EXPECT_TRUE(st.ok());
+  EXPECT_EQ(st.code(), StatusCode::kOk);
+  EXPECT_EQ(st.message(), "");
+  EXPECT_EQ(st.ToString(), "OK");
+}
+
+TEST(StatusTest, OkFactory) {
+  EXPECT_TRUE(Status::OK().ok());
+}
+
+TEST(StatusTest, ErrorCarriesCodeAndMessage) {
+  Status st = Status::NotFound("missing vertex");
+  EXPECT_FALSE(st.ok());
+  EXPECT_EQ(st.code(), StatusCode::kNotFound);
+  EXPECT_EQ(st.message(), "missing vertex");
+  EXPECT_EQ(st.ToString(), "NotFound: missing vertex");
+}
+
+TEST(StatusTest, AllFactoryPredicatesMatch) {
+  EXPECT_TRUE(Status::InvalidArgument("x").IsInvalidArgument());
+  EXPECT_TRUE(Status::NotFound("x").IsNotFound());
+  EXPECT_TRUE(Status::AlreadyExists("x").IsAlreadyExists());
+  EXPECT_TRUE(Status::PreconditionFailed("x").IsPreconditionFailed());
+  EXPECT_TRUE(Status::IoError("x").IsIoError());
+  EXPECT_TRUE(Status::ParseError("x").IsParseError());
+  EXPECT_TRUE(Status::CapacityExceeded("x").IsCapacityExceeded());
+  EXPECT_TRUE(Status::Timeout("x").IsTimeout());
+  EXPECT_TRUE(Status::Unsupported("x").IsUnsupported());
+  EXPECT_TRUE(Status::Internal("x").IsInternal());
+  EXPECT_TRUE(Status::Cancelled("x").IsCancelled());
+}
+
+TEST(StatusTest, PredicatesAreExclusive) {
+  Status st = Status::IoError("disk");
+  EXPECT_FALSE(st.IsNotFound());
+  EXPECT_FALSE(st.IsParseError());
+  EXPECT_FALSE(st.ok());
+}
+
+TEST(StatusTest, CopyPreservesState) {
+  Status original = Status::ParseError("bad line");
+  Status copy = original;
+  EXPECT_EQ(copy.code(), StatusCode::kParseError);
+  EXPECT_EQ(copy.message(), "bad line");
+  // Original unaffected by copy.
+  EXPECT_EQ(original.message(), "bad line");
+}
+
+TEST(StatusTest, CopyAssignOverwrites) {
+  Status a = Status::IoError("io");
+  Status b = Status::NotFound("nf");
+  a = b;
+  EXPECT_TRUE(a.IsNotFound());
+  a = Status::OK();
+  EXPECT_TRUE(a.ok());
+}
+
+TEST(StatusTest, MoveLeavesSourceReusable) {
+  Status a = Status::Internal("boom");
+  Status b = std::move(a);
+  EXPECT_TRUE(b.IsInternal());
+}
+
+TEST(StatusTest, WithContextPrepends) {
+  Status st = Status::ParseError("bad field").WithContext("line 7");
+  EXPECT_EQ(st.ToString(), "ParseError: line 7: bad field");
+  EXPECT_TRUE(st.IsParseError());
+}
+
+TEST(StatusTest, WithContextOnOkIsNoop) {
+  Status st = Status::OK().WithContext("anything");
+  EXPECT_TRUE(st.ok());
+}
+
+TEST(StatusTest, StreamInsertion) {
+  std::ostringstream os;
+  os << Status::Timeout("slow");
+  EXPECT_EQ(os.str(), "Timeout: slow");
+}
+
+TEST(StatusTest, CodeToStringCoversAllCodes) {
+  EXPECT_EQ(StatusCodeToString(StatusCode::kOk), "OK");
+  EXPECT_EQ(StatusCodeToString(StatusCode::kInvalidArgument),
+            "InvalidArgument");
+  EXPECT_EQ(StatusCodeToString(StatusCode::kCancelled), "Cancelled");
+}
+
+Status Fails() { return Status::IoError("inner"); }
+
+Status PropagatesThroughMacro() {
+  GT_RETURN_NOT_OK(Fails());
+  return Status::Internal("unreachable");
+}
+
+Status PassesThroughMacro() {
+  GT_RETURN_NOT_OK(Status::OK());
+  return Status::Internal("reached");
+}
+
+TEST(StatusTest, ReturnNotOkMacroPropagatesError) {
+  EXPECT_TRUE(PropagatesThroughMacro().IsIoError());
+}
+
+TEST(StatusTest, ReturnNotOkMacroFallsThroughOnOk) {
+  EXPECT_TRUE(PassesThroughMacro().IsInternal());
+}
+
+}  // namespace
+}  // namespace graphtides

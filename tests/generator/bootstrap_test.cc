@@ -1,0 +1,156 @@
+#include "generator/bootstrap.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "stream/validator.h"
+
+namespace graphtides {
+namespace {
+
+struct BootstrapRun {
+  std::vector<Event> events;
+  TopologyIndex topology;
+};
+
+BootstrapRun RunBa(const BarabasiAlbertParams& params, uint64_t seed,
+                   Status* status) {
+  BootstrapRun run;
+  Rng rng(seed);
+  GeneratorContext ctx(&run.topology, &rng);
+  GraphBuilder builder(&run.topology, &ctx, &run.events);
+  *status = BootstrapBarabasiAlbert(builder, ctx, params);
+  return run;
+}
+
+BootstrapRun RunEr(const ErdosRenyiParams& params, uint64_t seed,
+                   Status* status) {
+  BootstrapRun run;
+  Rng rng(seed);
+  GeneratorContext ctx(&run.topology, &rng);
+  GraphBuilder builder(&run.topology, &ctx, &run.events);
+  *status = BootstrapErdosRenyi(builder, ctx, params);
+  return run;
+}
+
+TEST(BarabasiAlbertTest, ProducesRequestedVertexCount) {
+  Status st;
+  const BootstrapRun run = RunBa({200, 10, 3}, 1, &st);
+  ASSERT_TRUE(st.ok());
+  EXPECT_EQ(run.topology.num_vertices(), 200u);
+}
+
+TEST(BarabasiAlbertTest, AttachmentEdgesPerVertex) {
+  Status st;
+  const BarabasiAlbertParams params{300, 20, 5};
+  const BootstrapRun run = RunBa(params, 2, &st);
+  ASSERT_TRUE(st.ok());
+  // Each of the (n - m0) attachment vertices adds ~m edges (guard loop can
+  // fall short only in pathological cases).
+  const size_t attachment_edges = (params.n - params.m0) * params.m;
+  EXPECT_GE(run.topology.num_edges(), attachment_edges * 95 / 100);
+}
+
+TEST(BarabasiAlbertTest, StreamIsValid) {
+  Status st;
+  const BootstrapRun run = RunBa({150, 10, 4}, 3, &st);
+  ASSERT_TRUE(st.ok());
+  const StreamValidationReport report = ValidateStream(run.events);
+  EXPECT_TRUE(report.valid()) << report.violations.size() << " violations";
+  EXPECT_EQ(report.final_vertices, run.topology.num_vertices());
+  EXPECT_EQ(report.final_edges, run.topology.num_edges());
+}
+
+TEST(BarabasiAlbertTest, SkewedDegreeDistribution) {
+  Status st;
+  const BootstrapRun run = RunBa({500, 10, 3}, 4, &st);
+  ASSERT_TRUE(st.ok());
+  // Preferential attachment produces hubs: max degree far above the mean.
+  size_t max_degree = 0;
+  size_t total_degree = 0;
+  for (VertexId v : run.topology.vertex_ids()) {
+    const size_t d = run.topology.DegreeOf(v);
+    max_degree = std::max(max_degree, d);
+    total_degree += d;
+  }
+  const double mean = static_cast<double>(total_degree) /
+                      static_cast<double>(run.topology.num_vertices());
+  EXPECT_GT(static_cast<double>(max_degree), 4.0 * mean);
+}
+
+TEST(BarabasiAlbertTest, DeterministicInSeed) {
+  Status st1;
+  Status st2;
+  const BootstrapRun a = RunBa({100, 10, 3}, 42, &st1);
+  const BootstrapRun b = RunBa({100, 10, 3}, 42, &st2);
+  ASSERT_TRUE(st1.ok());
+  ASSERT_TRUE(st2.ok());
+  EXPECT_EQ(a.events, b.events);
+}
+
+TEST(BarabasiAlbertTest, RejectsBadParameters) {
+  Status st;
+  RunBa({10, 1, 3}, 1, &st);  // m0 < 2
+  EXPECT_TRUE(st.IsInvalidArgument());
+  RunBa({5, 10, 3}, 1, &st);  // n < m0
+  EXPECT_TRUE(st.IsInvalidArgument());
+  RunBa({10, 5, 0}, 1, &st);  // m == 0
+  EXPECT_TRUE(st.IsInvalidArgument());
+}
+
+TEST(ErdosRenyiTest, VertexCountAndValidity) {
+  Status st;
+  const BootstrapRun run = RunEr({100, 0.05}, 5, &st);
+  ASSERT_TRUE(st.ok());
+  EXPECT_EQ(run.topology.num_vertices(), 100u);
+  EXPECT_TRUE(ValidateStream(run.events).valid());
+}
+
+TEST(ErdosRenyiTest, EdgeCountNearExpectation) {
+  Status st;
+  const size_t n = 300;
+  const double p = 0.02;
+  const BootstrapRun run = RunEr({n, p}, 6, &st);
+  ASSERT_TRUE(st.ok());
+  const double expected = p * static_cast<double>(n) *
+                          static_cast<double>(n - 1);
+  const double actual = static_cast<double>(run.topology.num_edges());
+  EXPECT_NEAR(actual, expected, 4.0 * std::sqrt(expected));
+}
+
+TEST(ErdosRenyiTest, ZeroProbabilityMeansNoEdges) {
+  Status st;
+  const BootstrapRun run = RunEr({50, 0.0}, 7, &st);
+  ASSERT_TRUE(st.ok());
+  EXPECT_EQ(run.topology.num_edges(), 0u);
+}
+
+TEST(ErdosRenyiTest, FullProbabilityMeansCompleteGraph) {
+  Status st;
+  const BootstrapRun run = RunEr({20, 1.0}, 8, &st);
+  ASSERT_TRUE(st.ok());
+  EXPECT_EQ(run.topology.num_edges(), 20u * 19u);
+}
+
+TEST(ErdosRenyiTest, RejectsBadProbability) {
+  Status st;
+  RunEr({10, -0.1}, 1, &st);
+  EXPECT_TRUE(st.IsInvalidArgument());
+  RunEr({10, 1.5}, 1, &st);
+  EXPECT_TRUE(st.IsInvalidArgument());
+}
+
+TEST(ErdosRenyiTest, NoSelfLoops) {
+  Status st;
+  const BootstrapRun run = RunEr({50, 0.3}, 9, &st);
+  ASSERT_TRUE(st.ok());
+  for (const Event& e : run.events) {
+    if (e.type == EventType::kAddEdge) {
+      EXPECT_NE(e.edge.src, e.edge.dst);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace graphtides

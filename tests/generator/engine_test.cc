@@ -1,0 +1,198 @@
+#include "generator/stream_generator.h"
+
+#include <gtest/gtest.h>
+
+#include "generator/models/event_mix_model.h"
+#include "stream/statistics.h"
+#include "stream/validator.h"
+
+namespace graphtides {
+namespace {
+
+EventMixModelOptions SmallModelOptions() {
+  EventMixModelOptions options;
+  options.ba = {100, 10, 3};
+  return options;
+}
+
+TEST(StreamGeneratorTest, ProducesRequestedRounds) {
+  EventMixModel model(SmallModelOptions());
+  StreamGeneratorOptions options;
+  options.rounds = 500;
+  options.seed = 1;
+  StreamGenerator generator(&model, options);
+  auto result = generator.Generate();
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->evolution_events + result->skipped_rounds, 500u);
+  EXPECT_GT(result->bootstrap_events, 0u);
+  EXPECT_EQ(result->skipped_rounds, 0u);
+}
+
+TEST(StreamGeneratorTest, StreamIsValid) {
+  EventMixModel model(SmallModelOptions());
+  StreamGeneratorOptions options;
+  options.rounds = 1000;
+  options.seed = 2;
+  StreamGenerator generator(&model, options);
+  auto result = generator.Generate();
+  ASSERT_TRUE(result.ok());
+  const StreamValidationReport report = ValidateStream(result->events);
+  EXPECT_TRUE(report.valid())
+      << "first violation: "
+      << (report.violations.empty() ? "" : report.violations[0].reason);
+  EXPECT_EQ(report.final_vertices, result->final_vertices);
+  EXPECT_EQ(report.final_edges, result->final_edges);
+}
+
+TEST(StreamGeneratorTest, DeterministicInSeed) {
+  EventMixModel model_a(SmallModelOptions());
+  EventMixModel model_b(SmallModelOptions());
+  StreamGeneratorOptions options;
+  options.rounds = 300;
+  options.seed = 99;
+  auto a = StreamGenerator(&model_a, options).Generate();
+  auto b = StreamGenerator(&model_b, options).Generate();
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  EXPECT_EQ(a->events, b->events);
+}
+
+TEST(StreamGeneratorTest, DifferentSeedsDiffer) {
+  EventMixModel model_a(SmallModelOptions());
+  EventMixModel model_b(SmallModelOptions());
+  StreamGeneratorOptions options;
+  options.rounds = 300;
+  options.seed = 1;
+  auto a = StreamGenerator(&model_a, options).Generate();
+  options.seed = 2;
+  auto b = StreamGenerator(&model_b, options).Generate();
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  EXPECT_NE(a->events, b->events);
+}
+
+TEST(StreamGeneratorTest, PhaseMarkersEmitted) {
+  EventMixModel model(SmallModelOptions());
+  StreamGeneratorOptions options;
+  options.rounds = 10;
+  options.bootstrap_pause = Duration::FromSeconds(2.0);
+  StreamGenerator generator(&model, options);
+  auto result = generator.Generate();
+  ASSERT_TRUE(result.ok());
+  // Expect BOOTSTRAP_DONE marker followed by a pause, and STREAM_END last.
+  size_t bootstrap_marker = 0;
+  bool found_bootstrap = false;
+  for (size_t i = 0; i < result->events.size(); ++i) {
+    const Event& e = result->events[i];
+    if (e.type == EventType::kMarker && e.payload == "BOOTSTRAP_DONE") {
+      bootstrap_marker = i;
+      found_bootstrap = true;
+    }
+  }
+  ASSERT_TRUE(found_bootstrap);
+  ASSERT_LT(bootstrap_marker + 1, result->events.size());
+  EXPECT_EQ(result->events[bootstrap_marker + 1].type, EventType::kPause);
+  EXPECT_EQ(result->events.back().type, EventType::kMarker);
+  EXPECT_EQ(result->events.back().payload, "STREAM_END");
+}
+
+TEST(StreamGeneratorTest, MarkersAtConfiguredInterval) {
+  EventMixModel model(SmallModelOptions());
+  StreamGeneratorOptions options;
+  options.rounds = 100;
+  options.marker_interval = 25;
+  options.emit_phase_markers = false;
+  StreamGenerator generator(&model, options);
+  auto result = generator.Generate();
+  ASSERT_TRUE(result.ok());
+  std::vector<std::string> labels;
+  size_t graph_ops_seen = 0;
+  std::vector<size_t> marker_positions;
+  for (const Event& e : result->events) {
+    if (IsGraphOp(e.type)) ++graph_ops_seen;
+    if (e.type == EventType::kMarker) {
+      labels.push_back(e.payload);
+      marker_positions.push_back(graph_ops_seen);
+    }
+  }
+  // Bootstrap ops count too; markers only fire on evolution events.
+  ASSERT_EQ(labels.size(), 4u);
+  EXPECT_EQ(labels[0], "MARK_1");
+  EXPECT_EQ(labels[3], "MARK_4");
+}
+
+TEST(StreamGeneratorTest, NoPhaseMarkersWhenDisabled) {
+  EventMixModel model(SmallModelOptions());
+  StreamGeneratorOptions options;
+  options.rounds = 10;
+  options.emit_phase_markers = false;
+  StreamGenerator generator(&model, options);
+  auto result = generator.Generate();
+  ASSERT_TRUE(result.ok());
+  for (const Event& e : result->events) {
+    EXPECT_NE(e.type, EventType::kMarker);
+  }
+}
+
+TEST(StreamGeneratorTest, InvalidMixRejected) {
+  EventMixModelOptions bad = SmallModelOptions();
+  bad.mix.create_vertex = 0.9;  // sum != 1
+  EventMixModel model(bad);
+  StreamGeneratorOptions options;
+  options.rounds = 10;
+  StreamGenerator generator(&model, options);
+  auto result = generator.Generate();
+  ASSERT_FALSE(result.ok());
+  EXPECT_TRUE(result.status().IsInvalidArgument());
+}
+
+TEST(ApplyControlScheduleTest, InsertsAtGraphEventPositions) {
+  std::vector<Event> events = {
+      Event::AddVertex(1), Event::AddVertex(2), Event::AddVertex(3),
+      Event::AddVertex(4)};
+  std::vector<ScheduleEntry> schedule = {
+      {2, Event::Pause(Duration::FromSeconds(20.0))},
+      {2, Event::SetRate(2.0)},
+      {4, Event::SetRate(1.0)},
+  };
+  const std::vector<Event> out =
+      ApplyControlSchedule(std::move(events), std::move(schedule));
+  ASSERT_EQ(out.size(), 7u);
+  EXPECT_EQ(out[0].type, EventType::kAddVertex);
+  EXPECT_EQ(out[1].type, EventType::kAddVertex);
+  EXPECT_EQ(out[2].type, EventType::kPause);
+  EXPECT_EQ(out[3].type, EventType::kSetRate);
+  EXPECT_DOUBLE_EQ(out[3].rate_factor, 2.0);
+  EXPECT_EQ(out[4].type, EventType::kAddVertex);
+  EXPECT_EQ(out[5].type, EventType::kAddVertex);
+  EXPECT_EQ(out[6].type, EventType::kSetRate);
+}
+
+TEST(ApplyControlScheduleTest, PositionZeroGoesFirst) {
+  std::vector<Event> events = {Event::AddVertex(1)};
+  const auto out = ApplyControlSchedule(std::move(events),
+                                        {{0, Event::SetRate(3.0)}});
+  ASSERT_EQ(out.size(), 2u);
+  EXPECT_EQ(out[0].type, EventType::kSetRate);
+}
+
+TEST(ApplyControlScheduleTest, MarkersDoNotAdvancePosition) {
+  std::vector<Event> events = {Event::AddVertex(1), Event::Marker("m"),
+                               Event::AddVertex(2)};
+  const auto out = ApplyControlSchedule(std::move(events),
+                                        {{2, Event::SetRate(2.0)}});
+  // SET_RATE lands after the second *graph* event (last position).
+  ASSERT_EQ(out.size(), 4u);
+  EXPECT_EQ(out[3].type, EventType::kSetRate);
+}
+
+TEST(ApplyControlScheduleTest, TrailingEntriesAppended) {
+  std::vector<Event> events = {Event::AddVertex(1)};
+  const auto out = ApplyControlSchedule(std::move(events),
+                                        {{100, Event::Marker("late")}});
+  ASSERT_EQ(out.size(), 2u);
+  EXPECT_EQ(out[1].payload, "late");
+}
+
+}  // namespace
+}  // namespace graphtides

@@ -1,0 +1,127 @@
+#include "graph/csr.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "common/random.h"
+
+namespace graphtides {
+namespace {
+
+Graph Chain(size_t n) {
+  Graph g;
+  for (VertexId v = 0; v < n; ++v) EXPECT_TRUE(g.AddVertex(v * 10).ok());
+  for (VertexId v = 0; v + 1 < n; ++v) {
+    EXPECT_TRUE(g.AddEdge(v * 10, (v + 1) * 10).ok());
+  }
+  return g;
+}
+
+TEST(CsrGraphTest, EmptyGraph) {
+  const CsrGraph csr = CsrGraph::FromGraph(Graph());
+  EXPECT_EQ(csr.num_vertices(), 0u);
+  EXPECT_EQ(csr.num_edges(), 0u);
+}
+
+TEST(CsrGraphTest, DenseIndicesSortedByVertexId) {
+  Graph g;
+  for (VertexId v : {30, 10, 20}) ASSERT_TRUE(g.AddVertex(v).ok());
+  const CsrGraph csr = CsrGraph::FromGraph(g);
+  ASSERT_EQ(csr.num_vertices(), 3u);
+  EXPECT_EQ(csr.IdOf(0), 10u);
+  EXPECT_EQ(csr.IdOf(1), 20u);
+  EXPECT_EQ(csr.IdOf(2), 30u);
+  CsrGraph::Index idx = 99;
+  ASSERT_TRUE(csr.IndexOf(20, &idx));
+  EXPECT_EQ(idx, 1u);
+  EXPECT_FALSE(csr.IndexOf(40, &idx));
+}
+
+TEST(CsrGraphTest, ChainAdjacency) {
+  const CsrGraph csr = CsrGraph::FromGraph(Chain(5));
+  ASSERT_EQ(csr.num_vertices(), 5u);
+  EXPECT_EQ(csr.num_edges(), 4u);
+  for (CsrGraph::Index v = 0; v < 4; ++v) {
+    const auto out = csr.OutNeighbors(v);
+    ASSERT_EQ(out.size(), 1u);
+    EXPECT_EQ(out[0], v + 1);
+  }
+  EXPECT_TRUE(csr.OutNeighbors(4).empty());
+  EXPECT_TRUE(csr.InNeighbors(0).empty());
+  const auto in = csr.InNeighbors(3);
+  ASSERT_EQ(in.size(), 1u);
+  EXPECT_EQ(in[0], 2u);
+}
+
+TEST(CsrGraphTest, DegreesMatchGraph) {
+  Rng rng(5);
+  Graph g;
+  const size_t n = 50;
+  for (VertexId v = 0; v < n; ++v) ASSERT_TRUE(g.AddVertex(v).ok());
+  for (int i = 0; i < 300; ++i) {
+    const VertexId a = rng.NextBounded(n);
+    const VertexId b = rng.NextBounded(n);
+    if (a != b && !g.HasEdge(a, b)) ASSERT_TRUE(g.AddEdge(a, b).ok());
+  }
+  const CsrGraph csr = CsrGraph::FromGraph(g);
+  EXPECT_EQ(csr.num_edges(), g.num_edges());
+  for (CsrGraph::Index v = 0; v < n; ++v) {
+    EXPECT_EQ(csr.OutDegree(v), g.OutDegree(csr.IdOf(v)).value());
+    EXPECT_EQ(csr.InDegree(v), g.InDegree(csr.IdOf(v)).value());
+  }
+}
+
+TEST(CsrGraphTest, NeighborListsSorted) {
+  Rng rng(11);
+  Graph g;
+  const size_t n = 30;
+  for (VertexId v = 0; v < n; ++v) ASSERT_TRUE(g.AddVertex(v).ok());
+  for (int i = 0; i < 200; ++i) {
+    const VertexId a = rng.NextBounded(n);
+    const VertexId b = rng.NextBounded(n);
+    if (a != b && !g.HasEdge(a, b)) ASSERT_TRUE(g.AddEdge(a, b).ok());
+  }
+  const CsrGraph csr = CsrGraph::FromGraph(g);
+  for (CsrGraph::Index v = 0; v < n; ++v) {
+    const auto out = csr.OutNeighbors(v);
+    EXPECT_TRUE(std::is_sorted(out.begin(), out.end()));
+    const auto in = csr.InNeighbors(v);
+    EXPECT_TRUE(std::is_sorted(in.begin(), in.end()));
+  }
+}
+
+TEST(CsrGraphTest, EveryEdgeAppearsInBothDirections) {
+  Graph g;
+  for (VertexId v : {1, 2, 3}) ASSERT_TRUE(g.AddVertex(v).ok());
+  ASSERT_TRUE(g.AddEdge(1, 2).ok());
+  ASSERT_TRUE(g.AddEdge(2, 3).ok());
+  ASSERT_TRUE(g.AddEdge(1, 3).ok());
+  const CsrGraph csr = CsrGraph::FromGraph(g);
+  size_t out_total = 0;
+  size_t in_total = 0;
+  for (CsrGraph::Index v = 0; v < csr.num_vertices(); ++v) {
+    out_total += csr.OutDegree(v);
+    in_total += csr.InDegree(v);
+  }
+  EXPECT_EQ(out_total, 3u);
+  EXPECT_EQ(in_total, 3u);
+  // Check the dual representation pointwise.
+  for (CsrGraph::Index v = 0; v < csr.num_vertices(); ++v) {
+    for (CsrGraph::Index w : csr.OutNeighbors(v)) {
+      const auto in = csr.InNeighbors(w);
+      EXPECT_TRUE(std::find(in.begin(), in.end(), v) != in.end());
+    }
+  }
+}
+
+TEST(CsrGraphTest, SnapshotUnaffectedByLaterMutation) {
+  Graph g = Chain(3);
+  const CsrGraph csr = CsrGraph::FromGraph(g);
+  ASSERT_TRUE(g.RemoveVertex(10).ok());
+  EXPECT_EQ(csr.num_vertices(), 3u);
+  EXPECT_EQ(csr.num_edges(), 2u);
+}
+
+}  // namespace
+}  // namespace graphtides

@@ -1,0 +1,201 @@
+#include "graph/graph.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "stream/validator.h"
+
+namespace graphtides {
+namespace {
+
+TEST(GraphTest, EmptyGraph) {
+  Graph g;
+  EXPECT_EQ(g.num_vertices(), 0u);
+  EXPECT_EQ(g.num_edges(), 0u);
+  EXPECT_FALSE(g.HasVertex(1));
+  EXPECT_FALSE(g.HasEdge(1, 2));
+  EXPECT_TRUE(g.GetVertexState(1).status().IsNotFound());
+  EXPECT_TRUE(g.OutDegree(1).status().IsNotFound());
+}
+
+TEST(GraphTest, AddVertexWithState) {
+  Graph g;
+  ASSERT_TRUE(g.AddVertex(7, "hello").ok());
+  EXPECT_TRUE(g.HasVertex(7));
+  EXPECT_EQ(g.GetVertexState(7).value(), "hello");
+  EXPECT_TRUE(g.AddVertex(7).IsPreconditionFailed());
+}
+
+TEST(GraphTest, UpdateVertexState) {
+  Graph g;
+  ASSERT_TRUE(g.AddVertex(1, "v1").ok());
+  ASSERT_TRUE(g.UpdateVertexState(1, "v2").ok());
+  EXPECT_EQ(g.GetVertexState(1).value(), "v2");
+  EXPECT_TRUE(g.UpdateVertexState(2, "x").IsPreconditionFailed());
+}
+
+TEST(GraphTest, EdgeLifecycle) {
+  Graph g;
+  ASSERT_TRUE(g.AddVertex(1).ok());
+  ASSERT_TRUE(g.AddVertex(2).ok());
+  EXPECT_TRUE(g.AddEdge(1, 1).IsPreconditionFailed());  // self loop
+  EXPECT_TRUE(g.AddEdge(1, 3).IsPreconditionFailed());
+  EXPECT_TRUE(g.AddEdge(3, 1).IsPreconditionFailed());
+  ASSERT_TRUE(g.AddEdge(1, 2, "w").ok());
+  EXPECT_TRUE(g.HasEdge(1, 2));
+  EXPECT_FALSE(g.HasEdge(2, 1));
+  EXPECT_EQ(g.GetEdgeState(1, 2).value(), "w");
+  EXPECT_TRUE(g.AddEdge(1, 2).IsPreconditionFailed());
+  ASSERT_TRUE(g.UpdateEdgeState(1, 2, "w2").ok());
+  EXPECT_EQ(g.GetEdgeState(1, 2).value(), "w2");
+  ASSERT_TRUE(g.RemoveEdge(1, 2).ok());
+  EXPECT_FALSE(g.HasEdge(1, 2));
+  EXPECT_TRUE(g.RemoveEdge(1, 2).IsPreconditionFailed());
+  EXPECT_TRUE(g.UpdateEdgeState(1, 2, "x").IsPreconditionFailed());
+}
+
+TEST(GraphTest, DegreesTrackEdges) {
+  Graph g;
+  for (VertexId v : {1, 2, 3}) ASSERT_TRUE(g.AddVertex(v).ok());
+  ASSERT_TRUE(g.AddEdge(1, 2).ok());
+  ASSERT_TRUE(g.AddEdge(1, 3).ok());
+  ASSERT_TRUE(g.AddEdge(2, 1).ok());
+  EXPECT_EQ(g.OutDegree(1).value(), 2u);
+  EXPECT_EQ(g.InDegree(1).value(), 1u);
+  EXPECT_EQ(g.Degree(1).value(), 3u);
+  EXPECT_EQ(g.OutDegree(3).value(), 0u);
+  EXPECT_EQ(g.InDegree(3).value(), 1u);
+}
+
+TEST(GraphTest, RemoveVertexCascades) {
+  Graph g;
+  for (VertexId v : {1, 2, 3}) ASSERT_TRUE(g.AddVertex(v).ok());
+  ASSERT_TRUE(g.AddEdge(1, 2).ok());
+  ASSERT_TRUE(g.AddEdge(3, 1).ok());
+  ASSERT_TRUE(g.AddEdge(2, 3).ok());
+  ASSERT_TRUE(g.RemoveVertex(1).ok());
+  EXPECT_EQ(g.num_vertices(), 2u);
+  EXPECT_EQ(g.num_edges(), 1u);
+  EXPECT_TRUE(g.HasEdge(2, 3));
+  EXPECT_EQ(g.OutDegree(3).value(), 0u);   // 3->1 gone
+  EXPECT_EQ(g.InDegree(2).value(), 0u);    // 1->2 gone
+  EXPECT_TRUE(g.RemoveVertex(1).IsPreconditionFailed());
+}
+
+TEST(GraphTest, ApplyDispatchesAllEventTypes) {
+  Graph g;
+  ASSERT_TRUE(g.Apply(Event::AddVertex(1, "a")).ok());
+  ASSERT_TRUE(g.Apply(Event::AddVertex(2, "b")).ok());
+  ASSERT_TRUE(g.Apply(Event::AddEdge(1, 2, "e")).ok());
+  ASSERT_TRUE(g.Apply(Event::UpdateVertex(1, "a2")).ok());
+  ASSERT_TRUE(g.Apply(Event::UpdateEdge(1, 2, "e2")).ok());
+  ASSERT_TRUE(g.Apply(Event::Marker("noop")).ok());
+  ASSERT_TRUE(g.Apply(Event::SetRate(2.0)).ok());
+  ASSERT_TRUE(g.Apply(Event::Pause(Duration::FromMillis(1))).ok());
+  ASSERT_TRUE(g.Apply(Event::RemoveEdge(1, 2)).ok());
+  ASSERT_TRUE(g.Apply(Event::RemoveVertex(2)).ok());
+  EXPECT_EQ(g.num_vertices(), 1u);
+  EXPECT_EQ(g.GetVertexState(1).value(), "a2");
+}
+
+TEST(GraphTest, ApplyAllStopsAtFirstFailureWithIndex) {
+  Graph g;
+  const std::vector<Event> events = {
+      Event::AddVertex(1),
+      Event::AddVertex(1),  // fails at index 1
+      Event::AddVertex(2),
+  };
+  const Status st = g.ApplyAll(events);
+  ASSERT_FALSE(st.ok());
+  EXPECT_NE(st.message().find("event 1"), std::string::npos);
+  EXPECT_EQ(g.num_vertices(), 1u);  // stopped before index 2
+}
+
+TEST(GraphTest, IterationCoversAll) {
+  Graph g;
+  for (VertexId v : {1, 2, 3}) ASSERT_TRUE(g.AddVertex(v).ok());
+  ASSERT_TRUE(g.AddEdge(1, 2, "a").ok());
+  ASSERT_TRUE(g.AddEdge(1, 3, "b").ok());
+
+  size_t vertex_count = 0;
+  g.ForEachVertex([&](VertexId, const std::string&) { ++vertex_count; });
+  EXPECT_EQ(vertex_count, 3u);
+
+  std::vector<VertexId> targets;
+  g.ForEachOutEdge(1, [&](VertexId dst, const std::string&) {
+    targets.push_back(dst);
+  });
+  std::sort(targets.begin(), targets.end());
+  EXPECT_EQ(targets, (std::vector<VertexId>{2, 3}));
+
+  size_t in_count = 0;
+  g.ForEachInEdge(3, [&](VertexId src) {
+    EXPECT_EQ(src, 1u);
+    ++in_count;
+  });
+  EXPECT_EQ(in_count, 1u);
+
+  size_t edge_count = 0;
+  g.ForEachEdge(
+      [&](VertexId, VertexId, const std::string&) { ++edge_count; });
+  EXPECT_EQ(edge_count, 2u);
+
+  // Iterating a missing vertex is a no-op.
+  g.ForEachOutEdge(99, [&](VertexId, const std::string&) { FAIL(); });
+}
+
+TEST(GraphTest, VertexIdsSnapshot) {
+  Graph g;
+  for (VertexId v : {5, 1, 9}) ASSERT_TRUE(g.AddVertex(v).ok());
+  std::vector<VertexId> ids = g.VertexIds();
+  std::sort(ids.begin(), ids.end());
+  EXPECT_EQ(ids, (std::vector<VertexId>{1, 5, 9}));
+}
+
+TEST(GraphTest, CloneIsIndependent) {
+  Graph g;
+  ASSERT_TRUE(g.AddVertex(1, "orig").ok());
+  ASSERT_TRUE(g.AddVertex(2).ok());
+  ASSERT_TRUE(g.AddEdge(1, 2).ok());
+  Graph snapshot = g.Clone();
+  ASSERT_TRUE(g.UpdateVertexState(1, "changed").ok());
+  ASSERT_TRUE(g.RemoveEdge(1, 2).ok());
+  EXPECT_EQ(snapshot.GetVertexState(1).value(), "orig");
+  EXPECT_TRUE(snapshot.HasEdge(1, 2));
+  EXPECT_FALSE(g.HasEdge(1, 2));
+}
+
+TEST(GraphTest, ClearResets) {
+  Graph g;
+  ASSERT_TRUE(g.AddVertex(1).ok());
+  ASSERT_TRUE(g.AddVertex(2).ok());
+  ASSERT_TRUE(g.AddEdge(1, 2).ok());
+  g.Clear();
+  EXPECT_EQ(g.num_vertices(), 0u);
+  EXPECT_EQ(g.num_edges(), 0u);
+  // Reusable after clear.
+  EXPECT_TRUE(g.AddVertex(1).ok());
+}
+
+TEST(GraphTest, ValidatorAgreementOnRandomStream) {
+  // The Graph and the StreamValidator must accept exactly the same streams.
+  Graph g;
+  StreamValidator v;
+  std::vector<Event> events;
+  for (VertexId i = 0; i < 20; ++i) events.push_back(Event::AddVertex(i));
+  for (VertexId i = 0; i < 19; ++i) events.push_back(Event::AddEdge(i, i + 1));
+  events.push_back(Event::RemoveVertex(10));
+  events.push_back(Event::AddEdge(9, 11));
+  events.push_back(Event::AddEdge(9, 11));   // duplicate -> both reject
+  events.push_back(Event::RemoveEdge(0, 1));
+  events.push_back(Event::UpdateVertex(5, "x"));
+  for (const Event& e : events) {
+    EXPECT_EQ(g.Apply(e).ok(), v.Check(e).ok()) << e;
+  }
+  EXPECT_EQ(g.num_vertices(), v.num_vertices());
+  EXPECT_EQ(g.num_edges(), v.num_edges());
+}
+
+}  // namespace
+}  // namespace graphtides

@@ -1,0 +1,119 @@
+#include "harness/experiment.h"
+
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+
+namespace graphtides {
+namespace {
+
+TEST(ExperimentRunnerTest, EnumeratesFullFactorial) {
+  ExperimentRunner runner(
+      {{"rate", {100, 1000, 10000}}, {"batch", {1, 10}}},
+      ExperimentOptions{});
+  const auto configs = runner.EnumerateConfigs();
+  ASSERT_EQ(configs.size(), 6u);
+  // Every combination appears once.
+  std::set<std::pair<double, double>> seen;
+  for (const auto& c : configs) {
+    seen.emplace(c.at("rate"), c.at("batch"));
+  }
+  EXPECT_EQ(seen.size(), 6u);
+}
+
+TEST(ExperimentRunnerTest, NoFactorsIsSingleEmptyConfig) {
+  ExperimentRunner runner({}, ExperimentOptions{});
+  EXPECT_EQ(runner.EnumerateConfigs().size(), 1u);
+}
+
+TEST(ExperimentRunnerTest, RunsConfiguredRepetitions) {
+  ExperimentOptions options;
+  options.repetitions = 5;
+  ExperimentRunner runner({{"x", {1, 2}}}, options);
+  size_t calls = 0;
+  auto results = runner.Run(
+      [&](const ExperimentConfig& config, uint64_t) -> Result<RunOutcome> {
+        ++calls;
+        return RunOutcome{{"y", config.at("x") * 2}};
+      });
+  ASSERT_TRUE(results.ok());
+  EXPECT_EQ(calls, 10u);
+  ASSERT_EQ(results->size(), 2u);
+  for (const ConfigResult& r : *results) {
+    const MetricAggregate& agg = r.metrics.at("y");
+    EXPECT_EQ(agg.samples.size(), 5u);
+    EXPECT_DOUBLE_EQ(agg.stats.mean(), r.config.at("x") * 2);
+    EXPECT_DOUBLE_EQ(agg.ci.mean, r.config.at("x") * 2);
+  }
+}
+
+TEST(ExperimentRunnerTest, SeedsUniquePerRun) {
+  ExperimentOptions options;
+  options.repetitions = 10;
+  ExperimentRunner runner({{"x", {1, 2, 3}}}, options);
+  std::set<uint64_t> seeds;
+  auto results = runner.Run(
+      [&](const ExperimentConfig&, uint64_t seed) -> Result<RunOutcome> {
+        seeds.insert(seed);
+        return RunOutcome{{"y", 0.0}};
+      });
+  ASSERT_TRUE(results.ok());
+  EXPECT_EQ(seeds.size(), 30u);
+}
+
+TEST(ExperimentRunnerTest, ErrorAborts) {
+  ExperimentRunner runner({{"x", {1}}}, ExperimentOptions{});
+  auto results = runner.Run(
+      [](const ExperimentConfig&, uint64_t) -> Result<RunOutcome> {
+        return Status::Internal("run crashed");
+      });
+  ASSERT_FALSE(results.ok());
+  EXPECT_TRUE(results.status().IsInternal());
+}
+
+TEST(ExperimentRunnerTest, CiShrinkWithVariance) {
+  // Noisy metric: CI must straddle the true mean.
+  ExperimentOptions options;
+  options.repetitions = 30;  // §4.5 minimum
+  ExperimentRunner runner({{"x", {5}}}, options);
+  auto results = runner.Run(
+      [](const ExperimentConfig& config, uint64_t seed) -> Result<RunOutcome> {
+        Rng rng(seed);
+        return RunOutcome{
+            {"y", config.at("x") + rng.NextGaussian() * 0.5}};
+      });
+  ASSERT_TRUE(results.ok());
+  const MetricAggregate& agg = (*results)[0].metrics.at("y");
+  EXPECT_EQ(agg.ci.n, 30u);
+  EXPECT_LT(agg.ci.lower, 5.1);
+  EXPECT_GT(agg.ci.upper, 4.9);
+  EXPECT_LT(agg.ci.upper - agg.ci.lower, 1.0);
+}
+
+TEST(CompareByConfidenceIntervalsTest, ClearDifferenceSignificant) {
+  std::vector<double> a;
+  std::vector<double> b;
+  Rng rng(1);
+  for (int i = 0; i < 30; ++i) {
+    a.push_back(10.0 + rng.NextGaussian() * 0.1);
+    b.push_back(20.0 + rng.NextGaussian() * 0.1);
+  }
+  const Comparison cmp = CompareByConfidenceIntervals(a, b);
+  EXPECT_TRUE(cmp.significant);
+  EXPECT_NEAR(cmp.mean_difference, 10.0, 0.2);
+}
+
+TEST(CompareByConfidenceIntervalsTest, OverlapNotSignificant) {
+  std::vector<double> a;
+  std::vector<double> b;
+  Rng rng(2);
+  for (int i = 0; i < 30; ++i) {
+    a.push_back(10.0 + rng.NextGaussian() * 5.0);
+    b.push_back(10.5 + rng.NextGaussian() * 5.0);
+  }
+  const Comparison cmp = CompareByConfidenceIntervals(a, b);
+  EXPECT_FALSE(cmp.significant);
+}
+
+}  // namespace
+}  // namespace graphtides

@@ -1,0 +1,145 @@
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <unistd.h>
+
+#include "harness/log_collector.h"
+#include "harness/metrics_logger.h"
+
+namespace graphtides {
+namespace {
+
+TEST(LogRecordTest, CsvRoundTrip) {
+  LogRecord r{Timestamp::FromMillis(1234), "worker-1", "queue_length", 42.5,
+              "note, with comma"};
+  auto parsed = LogRecord::FromCsvLine(r.ToCsvLine());
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(parsed->time, r.time);
+  EXPECT_EQ(parsed->source, r.source);
+  EXPECT_EQ(parsed->metric, r.metric);
+  EXPECT_DOUBLE_EQ(parsed->value, r.value);
+  EXPECT_EQ(parsed->text, r.text);
+}
+
+TEST(LogRecordTest, RejectsMalformedLines) {
+  EXPECT_FALSE(LogRecord::FromCsvLine("only,three,fields").ok());
+  EXPECT_FALSE(LogRecord::FromCsvLine("notatime,s,m,1,t").ok());
+  EXPECT_FALSE(LogRecord::FromCsvLine("1,s,m,notanumber,t").ok());
+}
+
+TEST(MetricsLoggerTest, RecordsCarrySourceAndClockTime) {
+  VirtualClock clock;
+  MetricsLogger logger("replayer", &clock);
+  clock.Advance(Duration::FromMillis(10));
+  logger.Log("rate", 100.0);
+  clock.Advance(Duration::FromMillis(10));
+  logger.LogText("marker", 1.0, "PHASE_DONE");
+  const auto records = logger.Records();
+  ASSERT_EQ(records.size(), 2u);
+  EXPECT_EQ(records[0].source, "replayer");
+  EXPECT_EQ(records[0].time.millis(), 10);
+  EXPECT_EQ(records[1].time.millis(), 20);
+  EXPECT_EQ(records[1].text, "PHASE_DONE");
+  EXPECT_EQ(logger.size(), 2u);
+  logger.Clear();
+  EXPECT_EQ(logger.size(), 0u);
+}
+
+TEST(MetricsLoggerTest, ExplicitTimestamps) {
+  VirtualClock clock;
+  MetricsLogger logger("x", &clock);
+  logger.LogAt(Timestamp::FromSeconds(5.0), "m", 1.0);
+  EXPECT_EQ(logger.Records()[0].time.seconds(), 5.0);
+}
+
+TEST(LogCollectorTest, MergesChronologically) {
+  VirtualClock clock;
+  MetricsLogger a("a", &clock);
+  MetricsLogger b("b", &clock);
+  a.LogAt(Timestamp::FromMillis(30), "m", 3.0);
+  b.LogAt(Timestamp::FromMillis(10), "m", 1.0);
+  a.LogAt(Timestamp::FromMillis(20), "m", 2.0);
+  b.LogAt(Timestamp::FromMillis(40), "m", 4.0);
+  LogCollector collector;
+  collector.AddLogger(&a);
+  collector.AddLogger(&b);
+  const ResultLog log = collector.Collect();
+  ASSERT_EQ(log.size(), 4u);
+  for (size_t i = 0; i < 4; ++i) {
+    EXPECT_DOUBLE_EQ(log.records()[i].value, static_cast<double>(i + 1));
+  }
+}
+
+TEST(ResultLogTest, FilterBySourceAndMetric) {
+  VirtualClock clock;
+  MetricsLogger a("w1", &clock);
+  a.Log("cpu", 10.0);
+  a.Log("queue", 5.0);
+  MetricsLogger b("w2", &clock);
+  b.Log("cpu", 20.0);
+  LogCollector collector;
+  collector.AddLogger(&a);
+  collector.AddLogger(&b);
+  const ResultLog log = collector.Collect();
+  EXPECT_EQ(log.Filter("w1", "").size(), 2u);
+  EXPECT_EQ(log.Filter("", "cpu").size(), 2u);
+  EXPECT_EQ(log.Filter("w2", "cpu").size(), 1u);
+  EXPECT_EQ(log.Filter("w2", "queue").size(), 0u);
+  EXPECT_EQ(log.Filter("", "").size(), 3u);
+}
+
+TEST(ResultLogTest, SeriesExtraction) {
+  VirtualClock clock;
+  MetricsLogger a("w1", &clock);
+  for (int i = 0; i < 5; ++i) {
+    a.LogAt(Timestamp::FromSeconds(i), "cpu", i * 10.0);
+  }
+  LogCollector collector;
+  collector.AddLogger(&a);
+  const TimeSeries series = collector.Collect().Series("w1", "cpu");
+  ASSERT_EQ(series.size(), 5u);
+  EXPECT_DOUBLE_EQ(series.points()[4].value, 40.0);
+}
+
+TEST(ResultLogTest, SourcesEnumerated) {
+  VirtualClock clock;
+  MetricsLogger a("alpha", &clock);
+  MetricsLogger b("beta", &clock);
+  a.Log("m", 1.0);
+  b.Log("m", 1.0);
+  LogCollector collector;
+  collector.AddLogger(&a);
+  collector.AddLogger(&b);
+  const auto sources = collector.Collect().Sources();
+  EXPECT_EQ(sources.size(), 2u);
+}
+
+TEST(ResultLogTest, CsvFileRoundTrip) {
+  VirtualClock clock;
+  MetricsLogger a("src", &clock);
+  a.LogAt(Timestamp::FromMillis(1), "m1", 1.5);
+  clock.Advance(Duration::FromMillis(2));
+  a.LogText("m2", 2.5, "text,with,commas");
+  LogCollector collector;
+  collector.AddLogger(&a);
+  const ResultLog log = collector.Collect();
+
+  const std::string path =
+      (std::filesystem::temp_directory_path() /
+       ("gt_resultlog_" + std::to_string(::getpid()) + ".csv"))
+          .string();
+  ASSERT_TRUE(log.WriteCsv(path).ok());
+  auto loaded = ResultLog::ReadCsv(path);
+  std::filesystem::remove(path);
+  ASSERT_TRUE(loaded.ok());
+  ASSERT_EQ(loaded->size(), 2u);
+  EXPECT_EQ(loaded->records()[1].text, "text,with,commas");
+  EXPECT_DOUBLE_EQ(loaded->records()[0].value, 1.5);
+}
+
+TEST(ResultLogTest, ReadMissingFileFails) {
+  EXPECT_TRUE(ResultLog::ReadCsv("/no/such/file.csv").status().IsIoError());
+}
+
+}  // namespace
+}  // namespace graphtides

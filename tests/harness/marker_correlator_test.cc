@@ -1,0 +1,92 @@
+#include "harness/marker_correlator.h"
+
+#include <gtest/gtest.h>
+
+#include "harness/metrics_logger.h"
+
+namespace graphtides {
+namespace {
+
+ResultLog BuildLog(
+    const std::vector<std::tuple<int64_t, std::string, std::string>>& rows) {
+  VirtualClock clock;
+  MetricsLogger logger("any", &clock);
+  for (const auto& [ms, metric, label] : rows) {
+    logger.LogAt(Timestamp::FromMillis(ms), metric, 1.0, label);
+  }
+  LogCollector collector;
+  collector.AddLogger(&logger);
+  return collector.Collect();
+}
+
+TEST(MarkerCorrelatorTest, MatchesSentToObserved) {
+  const ResultLog log = BuildLog({
+      {100, "marker_sent", "M1"},
+      {150, "marker_seen", "M1"},
+      {200, "marker_sent", "M2"},
+      {280, "marker_seen", "M2"},
+  });
+  const auto report = CorrelateMarkers(log, "marker_sent", "marker_seen");
+  ASSERT_EQ(report.matched.size(), 2u);
+  EXPECT_TRUE(report.unmatched.empty());
+  EXPECT_EQ(report.matched[0].label, "M1");
+  EXPECT_EQ(report.matched[0].latency().millis(), 50);
+  EXPECT_EQ(report.matched[1].latency().millis(), 80);
+  const auto latencies = report.LatenciesSeconds();
+  ASSERT_EQ(latencies.size(), 2u);
+  EXPECT_NEAR(latencies[0], 0.05, 1e-9);
+}
+
+TEST(MarkerCorrelatorTest, UnobservedMarkersReported) {
+  const ResultLog log = BuildLog({
+      {100, "marker_sent", "M1"},
+      {200, "marker_sent", "LOST"},
+      {150, "marker_seen", "M1"},
+  });
+  const auto report = CorrelateMarkers(log, "marker_sent", "marker_seen");
+  EXPECT_EQ(report.matched.size(), 1u);
+  ASSERT_EQ(report.unmatched.size(), 1u);
+  EXPECT_EQ(report.unmatched[0], "LOST");
+}
+
+TEST(MarkerCorrelatorTest, ObservationBeforeSendIgnored) {
+  const ResultLog log = BuildLog({
+      {50, "marker_seen", "M1"},  // stale observation from a previous run
+      {100, "marker_sent", "M1"},
+      {170, "marker_seen", "M1"},
+  });
+  const auto report = CorrelateMarkers(log, "marker_sent", "marker_seen");
+  ASSERT_EQ(report.matched.size(), 1u);
+  EXPECT_EQ(report.matched[0].latency().millis(), 70);
+}
+
+TEST(MarkerCorrelatorTest, FirstObservationWins) {
+  const ResultLog log = BuildLog({
+      {100, "marker_sent", "M1"},
+      {130, "marker_seen", "M1"},
+      {500, "marker_seen", "M1"},
+  });
+  const auto report = CorrelateMarkers(log, "marker_sent", "marker_seen");
+  ASSERT_EQ(report.matched.size(), 1u);
+  EXPECT_EQ(report.matched[0].latency().millis(), 30);
+}
+
+TEST(MarkerCorrelatorTest, ZeroLatencyMatches) {
+  const ResultLog log = BuildLog({
+      {100, "marker_sent", "M1"},
+      {100, "marker_seen", "M1"},
+  });
+  const auto report = CorrelateMarkers(log, "marker_sent", "marker_seen");
+  ASSERT_EQ(report.matched.size(), 1u);
+  EXPECT_EQ(report.matched[0].latency().millis(), 0);
+}
+
+TEST(MarkerCorrelatorTest, EmptyLog) {
+  const ResultLog log;
+  const auto report = CorrelateMarkers(log, "a", "b");
+  EXPECT_TRUE(report.matched.empty());
+  EXPECT_TRUE(report.unmatched.empty());
+}
+
+}  // namespace
+}  // namespace graphtides

@@ -1,0 +1,58 @@
+#include "harness/report.h"
+
+#include <gtest/gtest.h>
+
+namespace graphtides {
+namespace {
+
+TEST(TextTableTest, AlignsColumns) {
+  TextTable table({"name", "value"});
+  table.AddRow({"a", "1"});
+  table.AddRow({"longer-name", "22"});
+  const std::string out = table.ToString();
+  // Header, rule, two rows.
+  EXPECT_EQ(std::count(out.begin(), out.end(), '\n'), 4);
+  // The second column starts at the same offset in every line.
+  std::vector<std::string> lines;
+  size_t start = 0;
+  while (true) {
+    const size_t nl = out.find('\n', start);
+    if (nl == std::string::npos) break;
+    lines.push_back(out.substr(start, nl - start));
+    start = nl + 1;
+  }
+  ASSERT_EQ(lines.size(), 4u);
+  const size_t header_col = lines[0].find("value");
+  EXPECT_EQ(lines[2].find('1'), header_col);
+  EXPECT_EQ(lines[3].find("22"), header_col);
+}
+
+TEST(TextTableTest, ShortRowsPadded) {
+  TextTable table({"a", "b", "c"});
+  table.AddRow({"only-one"});
+  const std::string out = table.ToString();
+  EXPECT_NE(out.find("only-one"), std::string::npos);
+}
+
+TEST(TextTableTest, FormatDouble) {
+  EXPECT_EQ(TextTable::FormatDouble(3.14159, 2), "3.14");
+  EXPECT_EQ(TextTable::FormatDouble(5.0, 0), "5");
+  EXPECT_EQ(TextTable::FormatDouble(-1.5, 1), "-1.5");
+}
+
+TEST(SectionHeaderTest, WrapsTitle) {
+  EXPECT_EQ(SectionHeader("abc"), "\n=== abc ===\n");
+}
+
+TEST(ConfigBlockTest, AlignsKeys) {
+  const std::string block =
+      ConfigBlock({{"k", "v"}, {"longer-key", "value2"}});
+  EXPECT_NE(block.find("k"), std::string::npos);
+  EXPECT_NE(block.find("longer-key"), std::string::npos);
+  // Both values begin at the same column.
+  const size_t line2 = block.find('\n') + 1;
+  EXPECT_EQ(block.find("v"), block.find("value2", line2) - line2);
+}
+
+}  // namespace
+}  // namespace graphtides

@@ -1,0 +1,88 @@
+#include "replayer/rate_controller.h"
+
+#include <gtest/gtest.h>
+
+namespace graphtides {
+namespace {
+
+// NextDeadline against a virtual clock exercises the scheduling math
+// without wall-clock flakiness.
+TEST(RateControllerTest, DeadlinesUniformAtBaseRate) {
+  VirtualClock clock;
+  RateController rate(1000.0, &clock);  // 1 ms interval
+  const Timestamp first = rate.NextDeadline();
+  EXPECT_EQ(first.nanos(), 0);
+  for (int i = 1; i <= 10; ++i) {
+    EXPECT_EQ(rate.NextDeadline().nanos(), i * 1000000);
+  }
+}
+
+TEST(RateControllerTest, FactorScalesInterval) {
+  VirtualClock clock;
+  RateController rate(1000.0, &clock);
+  rate.NextDeadline();  // t=0
+  rate.SetFactor(2.0);  // 0.5 ms interval
+  EXPECT_EQ(rate.NextDeadline().nanos(), 500000);
+  EXPECT_EQ(rate.NextDeadline().nanos(), 1000000);
+  rate.SetFactor(0.5);  // 2 ms interval
+  EXPECT_EQ(rate.NextDeadline().nanos(), 3000000);
+  EXPECT_DOUBLE_EQ(rate.current_rate_eps(), 500.0);
+}
+
+TEST(RateControllerTest, InvalidFactorIgnored) {
+  VirtualClock clock;
+  RateController rate(1000.0, &clock);
+  rate.SetFactor(0.0);
+  EXPECT_DOUBLE_EQ(rate.factor(), 1.0);
+  rate.SetFactor(-2.0);
+  EXPECT_DOUBLE_EQ(rate.factor(), 1.0);
+}
+
+TEST(RateControllerTest, DeferPushesSchedule) {
+  VirtualClock clock;
+  RateController rate(1000.0, &clock);
+  rate.NextDeadline();  // 0; next = 1ms
+  rate.Defer(Duration::FromMillis(20));
+  EXPECT_EQ(rate.NextDeadline().nanos(), 21000000);
+}
+
+TEST(RateControllerTest, DeferBeforeStartAnchorsToNow) {
+  VirtualClock clock;
+  clock.Advance(Duration::FromMillis(5));
+  RateController rate(1000.0, &clock);
+  rate.Defer(Duration::FromMillis(10));
+  EXPECT_EQ(rate.NextDeadline().nanos(), 15000000);
+}
+
+TEST(RateControllerTest, LagMeasuredAgainstSchedule) {
+  VirtualClock clock;
+  RateController rate(1000.0, &clock);
+  EXPECT_EQ(rate.Lag(), Duration::Zero());
+  rate.NextDeadline();  // next deadline = 1 ms
+  clock.Advance(Duration::FromMillis(5));
+  EXPECT_EQ(rate.Lag().millis(), 4);
+}
+
+TEST(RateControllerTest, WallClockWaitHitsTargetRate) {
+  MonotonicClock clock;
+  RateController rate(20000.0, &clock);  // 50 us interval
+  const Timestamp start = clock.Now();
+  const int events = 2000;
+  for (int i = 0; i < events; ++i) rate.WaitForNextSlot();
+  const double elapsed = (clock.Now() - start).seconds();
+  const double achieved = events / elapsed;
+  // Within 15% of the 20k target on a loaded CI machine.
+  EXPECT_NEAR(achieved, 20000.0, 3000.0);
+}
+
+TEST(RateControllerTest, WaitNeverReturnsEarly) {
+  MonotonicClock clock;
+  RateController rate(50000.0, &clock);
+  for (int i = 0; i < 100; ++i) {
+    const Timestamp deadline = rate.WaitForNextSlot();
+    EXPECT_GE(clock.Now(), deadline);
+  }
+}
+
+}  // namespace
+}  // namespace graphtides

@@ -1,0 +1,107 @@
+#include "replayer/spsc_queue.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <thread>
+#include <vector>
+
+namespace graphtides {
+namespace {
+
+TEST(SpscQueueTest, CapacityRoundedToPowerOfTwo) {
+  SpscQueue<int> q(10);
+  EXPECT_EQ(q.capacity(), 16u);
+  SpscQueue<int> q2(16);
+  EXPECT_EQ(q2.capacity(), 16u);
+  SpscQueue<int> q3(1);
+  EXPECT_EQ(q3.capacity(), 1u);
+}
+
+TEST(SpscQueueTest, FifoOrder) {
+  SpscQueue<int> q(8);
+  for (int i = 0; i < 5; ++i) EXPECT_TRUE(q.TryPush(i));
+  for (int i = 0; i < 5; ++i) {
+    auto v = q.TryPop();
+    ASSERT_TRUE(v.has_value());
+    EXPECT_EQ(*v, i);
+  }
+  EXPECT_FALSE(q.TryPop().has_value());
+}
+
+TEST(SpscQueueTest, FullQueueRejectsPush) {
+  SpscQueue<int> q(4);
+  for (int i = 0; i < 4; ++i) EXPECT_TRUE(q.TryPush(i));
+  EXPECT_FALSE(q.TryPush(99));
+  EXPECT_EQ(q.SizeApprox(), 4u);
+  ASSERT_TRUE(q.TryPop().has_value());
+  EXPECT_TRUE(q.TryPush(99));
+}
+
+TEST(SpscQueueTest, InterleavedPushPop) {
+  SpscQueue<int> q(2);
+  int next_push = 0;
+  int next_pop = 0;
+  for (int round = 0; round < 100; ++round) {
+    while (q.TryPush(next_push)) ++next_push;
+    while (auto v = q.TryPop()) {
+      EXPECT_EQ(*v, next_pop);
+      ++next_pop;
+    }
+  }
+  EXPECT_EQ(next_push, next_pop);
+}
+
+TEST(SpscQueueTest, MoveOnlyPayload) {
+  SpscQueue<std::unique_ptr<int>> q(4);
+  EXPECT_TRUE(q.TryPush(std::make_unique<int>(7)));
+  auto v = q.TryPop();
+  ASSERT_TRUE(v.has_value());
+  EXPECT_EQ(**v, 7);
+}
+
+TEST(SpscQueueTest, TwoThreadStressPreservesSequence) {
+  constexpr int kCount = 200000;
+  SpscQueue<int> q(1024);
+  std::thread producer([&] {
+    for (int i = 0; i < kCount; ++i) {
+      while (!q.TryPush(i)) std::this_thread::yield();
+    }
+  });
+  int expected = 0;
+  while (expected < kCount) {
+    auto v = q.TryPop();
+    if (!v.has_value()) {
+      std::this_thread::yield();
+      continue;
+    }
+    ASSERT_EQ(*v, expected);
+    ++expected;
+  }
+  producer.join();
+  EXPECT_FALSE(q.TryPop().has_value());
+}
+
+TEST(SpscQueueTest, TwoThreadStressStrings) {
+  constexpr int kCount = 50000;
+  SpscQueue<std::string> q(256);
+  std::thread producer([&] {
+    for (int i = 0; i < kCount; ++i) {
+      std::string payload = "event-" + std::to_string(i);
+      while (!q.TryPush(payload)) std::this_thread::yield();
+    }
+  });
+  for (int i = 0; i < kCount;) {
+    auto v = q.TryPop();
+    if (!v.has_value()) {
+      std::this_thread::yield();
+      continue;
+    }
+    ASSERT_EQ(*v, "event-" + std::to_string(i));
+    ++i;
+  }
+  producer.join();
+}
+
+}  // namespace
+}  // namespace graphtides

@@ -1,0 +1,112 @@
+#include "replayer/tcp.h"
+
+#include <gtest/gtest.h>
+
+#include <mutex>
+#include <vector>
+
+#include "replayer/replayer.h"
+#include "stream/event.h"
+
+namespace graphtides {
+namespace {
+
+TEST(TcpTest, SinkDeliversLinesToServer) {
+  TcpLineServer server;
+  std::mutex mu;
+  std::vector<std::string> lines;
+  auto port = server.Start([&](std::string_view line) {
+    std::lock_guard<std::mutex> lock(mu);
+    lines.emplace_back(line);
+  });
+  ASSERT_TRUE(port.ok());
+
+  TcpSink sink;
+  ASSERT_TRUE(sink.Connect("127.0.0.1", *port).ok());
+  ASSERT_TRUE(sink.Deliver(Event::AddVertex(1, "a")).ok());
+  ASSERT_TRUE(sink.Deliver(Event::AddEdge(1, 2, "b")).ok());
+  ASSERT_TRUE(sink.Finish().ok());
+  server.Join();
+
+  ASSERT_EQ(server.lines_received(), 2u);
+  std::lock_guard<std::mutex> lock(mu);
+  EXPECT_EQ(lines[0], "CREATE_VERTEX,1,a");
+  EXPECT_EQ(lines[1], "CREATE_EDGE,1-2,b");
+}
+
+TEST(TcpTest, LinesParseBackToEvents) {
+  TcpLineServer server;
+  std::mutex mu;
+  std::vector<Event> received;
+  auto port = server.Start([&](std::string_view line) {
+    auto parsed = ParseEventLine(line);
+    ASSERT_TRUE(parsed.ok());
+    std::lock_guard<std::mutex> lock(mu);
+    received.push_back(std::move(parsed).value());
+  });
+  ASSERT_TRUE(port.ok());
+
+  std::vector<Event> sent;
+  for (VertexId v = 0; v < 100; ++v) sent.push_back(Event::AddVertex(v));
+  TcpSink sink;
+  ASSERT_TRUE(sink.Connect("localhost", *port).ok());
+  for (const Event& e : sent) ASSERT_TRUE(sink.Deliver(e).ok());
+  ASSERT_TRUE(sink.Finish().ok());
+  server.Join();
+
+  std::lock_guard<std::mutex> lock(mu);
+  EXPECT_EQ(received, sent);
+}
+
+TEST(TcpTest, ReplayerOverTcpEndToEnd) {
+  TcpLineServer server;
+  auto port = server.Start(nullptr);
+  ASSERT_TRUE(port.ok());
+
+  std::vector<Event> events;
+  for (VertexId v = 0; v < 5000; ++v) events.push_back(Event::AddVertex(v));
+
+  TcpSink sink;
+  ASSERT_TRUE(sink.Connect("127.0.0.1", *port).ok());
+  ReplayerOptions options;
+  options.base_rate_eps = 200000.0;
+  StreamReplayer replayer(options);
+  auto stats = replayer.Replay(events, &sink);
+  ASSERT_TRUE(stats.ok());
+  server.Join();
+  EXPECT_EQ(stats->events_delivered, 5000u);
+  EXPECT_EQ(server.lines_received(), 5000u);
+}
+
+TEST(TcpTest, ConnectToClosedPortFails) {
+  TcpSink sink;
+  // Port 1 on loopback is essentially never listening.
+  const Status st = sink.Connect("127.0.0.1", 1);
+  EXPECT_FALSE(st.ok());
+  EXPECT_FALSE(sink.connected());
+}
+
+TEST(TcpTest, InvalidAddressRejected) {
+  TcpSink sink;
+  EXPECT_TRUE(sink.Connect("not-a-host-name", 8080).IsInvalidArgument());
+}
+
+TEST(TcpTest, DeliverWithoutConnectFails) {
+  TcpSink sink;
+  EXPECT_TRUE(sink.Deliver(Event::AddVertex(1)).IsPreconditionFailed());
+}
+
+TEST(TcpTest, FinishIdempotent) {
+  TcpLineServer server;
+  auto port = server.Start(nullptr);
+  ASSERT_TRUE(port.ok());
+  TcpSink sink;
+  ASSERT_TRUE(sink.Connect("127.0.0.1", *port).ok());
+  ASSERT_TRUE(sink.Deliver(Event::AddVertex(1)).ok());
+  EXPECT_TRUE(sink.Finish().ok());
+  EXPECT_TRUE(sink.Finish().ok());
+  server.Join();
+}
+
+}  // namespace
+}  // namespace graphtides

@@ -1,0 +1,85 @@
+#include "sim/network.h"
+
+#include <gtest/gtest.h>
+
+namespace graphtides {
+namespace {
+
+TEST(SimLinkTest, LatencyOnlyDelivery) {
+  Simulator sim;
+  SimLinkOptions options;
+  options.latency = Duration::FromMillis(5);
+  options.bandwidth_bps = 0;  // infinite
+  SimLink link(&sim, "l", options);
+  Timestamp delivered;
+  link.Send(1000, [&] { delivered = sim.Now(); });
+  sim.RunUntilIdle();
+  EXPECT_EQ(delivered.millis(), 5);
+}
+
+TEST(SimLinkTest, TransmissionTimeFromBandwidth) {
+  Simulator sim;
+  SimLinkOptions options;
+  options.latency = Duration::Zero();
+  options.bandwidth_bps = 1000;  // 1000 bytes/s
+  SimLink link(&sim, "l", options);
+  Timestamp delivered;
+  link.Send(500, [&] { delivered = sim.Now(); });  // 0.5 s tx
+  sim.RunUntilIdle();
+  EXPECT_EQ(delivered.millis(), 500);
+}
+
+TEST(SimLinkTest, TransmissionsSerialized) {
+  Simulator sim;
+  SimLinkOptions options;
+  options.latency = Duration::FromMillis(1);
+  options.bandwidth_bps = 1000;
+  SimLink link(&sim, "l", options);
+  std::vector<int64_t> arrivals;
+  // Two 500-byte messages: tx 0.5 s each, serialized, each + 1 ms latency.
+  link.Send(500, [&] { arrivals.push_back(sim.Now().millis()); });
+  link.Send(500, [&] { arrivals.push_back(sim.Now().millis()); });
+  sim.RunUntilIdle();
+  ASSERT_EQ(arrivals.size(), 2u);
+  EXPECT_EQ(arrivals[0], 501);
+  EXPECT_EQ(arrivals[1], 1001);
+}
+
+TEST(SimLinkTest, InOrderDelivery) {
+  Simulator sim;
+  SimLink link(&sim, "l");
+  std::vector<int> order;
+  for (int i = 0; i < 10; ++i) {
+    link.Send(100, [&order, i] { order.push_back(i); });
+  }
+  sim.RunUntilIdle();
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(order[i], i);
+}
+
+TEST(SimLinkTest, CountersAndBacklog) {
+  Simulator sim;
+  SimLinkOptions options;
+  options.latency = Duration::Zero();
+  options.bandwidth_bps = 1000;
+  SimLink link(&sim, "l", options);
+  link.Send(1000, [] {});
+  link.Send(1000, [] {});
+  EXPECT_EQ(link.messages_sent(), 2u);
+  EXPECT_EQ(link.bytes_sent(), 2000u);
+  EXPECT_EQ(link.Backlog().millis(), 2000);
+  sim.RunUntilIdle();
+  EXPECT_EQ(link.Backlog(), Duration::Zero());
+}
+
+TEST(SimLinkTest, GigabitDefaultsAreFast) {
+  Simulator sim;
+  SimLink link(&sim, "l");  // defaults: 100 us latency, 1 GigE
+  Timestamp delivered;
+  link.Send(1500, [&] { delivered = sim.Now(); });
+  sim.RunUntilIdle();
+  // 1500 B / 125 MB/s = 12 us, + 100 us latency.
+  EXPECT_EQ(delivered.micros(), 112);
+}
+
+}  // namespace
+}  // namespace graphtides

@@ -1,0 +1,61 @@
+#include "sim/queue.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+namespace graphtides {
+namespace {
+
+TEST(SimQueueTest, FifoSemantics) {
+  SimQueue<int> q;
+  EXPECT_TRUE(q.empty());
+  EXPECT_TRUE(q.Push(1));
+  EXPECT_TRUE(q.Push(2));
+  EXPECT_EQ(q.size(), 2u);
+  EXPECT_EQ(*q.Pop(), 1);
+  EXPECT_EQ(*q.Pop(), 2);
+  EXPECT_FALSE(q.Pop().has_value());
+}
+
+TEST(SimQueueTest, UnboundedByDefault) {
+  SimQueue<int> q;
+  for (int i = 0; i < 100000; ++i) EXPECT_TRUE(q.Push(i));
+  EXPECT_EQ(q.size(), 100000u);
+  EXPECT_EQ(q.rejected(), 0u);
+  EXPECT_FALSE(q.Full());
+}
+
+TEST(SimQueueTest, BoundedRejectsWhenFull) {
+  SimQueue<int> q(3);
+  EXPECT_TRUE(q.Push(1));
+  EXPECT_TRUE(q.Push(2));
+  EXPECT_TRUE(q.Push(3));
+  EXPECT_TRUE(q.Full());
+  EXPECT_FALSE(q.Push(4));
+  EXPECT_EQ(q.rejected(), 1u);
+  EXPECT_EQ(q.size(), 3u);
+  q.Pop();
+  EXPECT_FALSE(q.Full());
+  EXPECT_TRUE(q.Push(4));
+}
+
+TEST(SimQueueTest, PeakTracksHighWaterMark) {
+  SimQueue<int> q;
+  for (int i = 0; i < 10; ++i) q.Push(i);
+  for (int i = 0; i < 8; ++i) q.Pop();
+  for (int i = 0; i < 3; ++i) q.Push(i);
+  EXPECT_EQ(q.peak_size(), 10u);
+  EXPECT_EQ(q.size(), 5u);
+}
+
+TEST(SimQueueTest, MoveOnlyPayload) {
+  SimQueue<std::unique_ptr<std::string>> q;
+  q.Push(std::make_unique<std::string>("x"));
+  auto v = q.Pop();
+  ASSERT_TRUE(v.has_value());
+  EXPECT_EQ(**v, "x");
+}
+
+}  // namespace
+}  // namespace graphtides

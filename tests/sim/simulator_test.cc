@@ -1,0 +1,119 @@
+#include "sim/simulator.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace graphtides {
+namespace {
+
+TEST(SimulatorTest, StartsAtTimeZero) {
+  Simulator sim;
+  EXPECT_EQ(sim.Now().nanos(), 0);
+  EXPECT_EQ(sim.pending(), 0u);
+}
+
+TEST(SimulatorTest, CallbacksRunInTimeOrder) {
+  Simulator sim;
+  std::vector<int> order;
+  sim.ScheduleAt(Timestamp::FromMillis(30), [&] { order.push_back(3); });
+  sim.ScheduleAt(Timestamp::FromMillis(10), [&] { order.push_back(1); });
+  sim.ScheduleAt(Timestamp::FromMillis(20), [&] { order.push_back(2); });
+  sim.RunUntilIdle();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(sim.Now().millis(), 30);
+}
+
+TEST(SimulatorTest, EqualTimestampsFifo) {
+  Simulator sim;
+  std::vector<int> order;
+  for (int i = 0; i < 10; ++i) {
+    sim.ScheduleAt(Timestamp::FromMillis(5), [&order, i] {
+      order.push_back(i);
+    });
+  }
+  sim.RunUntilIdle();
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(order[i], i);
+}
+
+TEST(SimulatorTest, ClockAdvancesToCallbackTime) {
+  Simulator sim;
+  Timestamp observed;
+  sim.ScheduleAt(Timestamp::FromSeconds(2.5), [&] { observed = sim.Now(); });
+  sim.RunUntilIdle();
+  EXPECT_DOUBLE_EQ(observed.seconds(), 2.5);
+}
+
+TEST(SimulatorTest, ScheduleAfterIsRelative) {
+  Simulator sim;
+  std::vector<int64_t> times;
+  sim.ScheduleAt(Timestamp::FromMillis(10), [&] {
+    times.push_back(sim.Now().millis());
+    sim.ScheduleAfter(Duration::FromMillis(5), [&] {
+      times.push_back(sim.Now().millis());
+    });
+  });
+  sim.RunUntilIdle();
+  EXPECT_EQ(times, (std::vector<int64_t>{10, 15}));
+}
+
+TEST(SimulatorTest, PastSchedulingClampsToNow) {
+  Simulator sim;
+  sim.ScheduleAt(Timestamp::FromMillis(10), [&] {
+    // Scheduling in the past runs "immediately" (at now), not backwards.
+    sim.ScheduleAt(Timestamp::FromMillis(1), [&] {
+      EXPECT_EQ(sim.Now().millis(), 10);
+    });
+  });
+  sim.RunUntilIdle();
+}
+
+TEST(SimulatorTest, RunUntilStopsAtBoundary) {
+  Simulator sim;
+  int ran = 0;
+  sim.ScheduleAt(Timestamp::FromMillis(10), [&] { ++ran; });
+  sim.ScheduleAt(Timestamp::FromMillis(20), [&] { ++ran; });
+  sim.ScheduleAt(Timestamp::FromMillis(30), [&] { ++ran; });
+  sim.RunUntil(Timestamp::FromMillis(20));
+  EXPECT_EQ(ran, 2);
+  EXPECT_EQ(sim.Now().millis(), 20);
+  EXPECT_EQ(sim.pending(), 1u);
+  sim.RunUntilIdle();
+  EXPECT_EQ(ran, 3);
+}
+
+TEST(SimulatorTest, RunUntilAdvancesClockEvenWithoutWork) {
+  Simulator sim;
+  sim.RunUntil(Timestamp::FromSeconds(100.0));
+  EXPECT_DOUBLE_EQ(sim.Now().seconds(), 100.0);
+}
+
+TEST(SimulatorTest, StepExecutesOne) {
+  Simulator sim;
+  int ran = 0;
+  sim.ScheduleAt(Timestamp::FromMillis(1), [&] { ++ran; });
+  sim.ScheduleAt(Timestamp::FromMillis(2), [&] { ++ran; });
+  EXPECT_TRUE(sim.Step());
+  EXPECT_EQ(ran, 1);
+  EXPECT_TRUE(sim.Step());
+  EXPECT_EQ(ran, 2);
+  EXPECT_FALSE(sim.Step());
+  EXPECT_EQ(sim.callbacks_executed(), 2u);
+}
+
+TEST(SimulatorTest, CascadingCallbacksAllRun) {
+  Simulator sim;
+  int depth = 0;
+  std::function<void()> recurse = [&] {
+    if (++depth < 100) {
+      sim.ScheduleAfter(Duration::FromMicros(10), recurse);
+    }
+  };
+  sim.ScheduleAt(Timestamp(), recurse);
+  sim.RunUntilIdle();
+  EXPECT_EQ(depth, 100);
+  EXPECT_EQ(sim.Now().micros(), 99 * 10);
+}
+
+}  // namespace
+}  // namespace graphtides

@@ -1,0 +1,181 @@
+#include "sim/virtual_replayer.h"
+
+#include <gtest/gtest.h>
+
+namespace graphtides {
+namespace {
+
+std::vector<Event> VertexStream(size_t n) {
+  std::vector<Event> events;
+  for (VertexId v = 0; v < n; ++v) events.push_back(Event::AddVertex(v));
+  return events;
+}
+
+TEST(VirtualReplayerTest, UniformSpacingAtBaseRate) {
+  Simulator sim;
+  VirtualReplayerOptions options;
+  options.base_rate_eps = 1000.0;  // 1 ms apart
+  VirtualReplayer replayer(&sim, options);
+  std::vector<int64_t> times;
+  replayer.Start(VertexStream(5),
+                 [&](const Event&, size_t) { times.push_back(sim.Now().micros()); });
+  sim.RunUntilIdle();
+  EXPECT_EQ(times, (std::vector<int64_t>{0, 1000, 2000, 3000, 4000}));
+  EXPECT_TRUE(replayer.finished());
+  EXPECT_EQ(replayer.events_delivered(), 5u);
+}
+
+TEST(VirtualReplayerTest, PauseShiftsSubsequentEvents) {
+  Simulator sim;
+  VirtualReplayerOptions options;
+  options.base_rate_eps = 1000.0;
+  VirtualReplayer replayer(&sim, options);
+  std::vector<Event> events = VertexStream(4);
+  events.insert(events.begin() + 2, Event::Pause(Duration::FromMillis(100)));
+  std::vector<int64_t> times;
+  replayer.Start(events,
+                 [&](const Event&, size_t) { times.push_back(sim.Now().millis()); });
+  sim.RunUntilIdle();
+  ASSERT_EQ(times.size(), 4u);
+  EXPECT_EQ(times[0], 0);
+  EXPECT_EQ(times[1], 1);
+  EXPECT_EQ(times[2], 102);
+  EXPECT_EQ(times[3], 103);
+}
+
+TEST(VirtualReplayerTest, SetRateDoublesThroughput) {
+  Simulator sim;
+  VirtualReplayerOptions options;
+  options.base_rate_eps = 1000.0;
+  VirtualReplayer replayer(&sim, options);
+  std::vector<Event> events = VertexStream(2);
+  events.push_back(Event::SetRate(2.0));
+  for (VertexId v = 10; v < 14; ++v) events.push_back(Event::AddVertex(v));
+  std::vector<int64_t> times;
+  replayer.Start(events,
+                 [&](const Event&, size_t) { times.push_back(sim.Now().micros()); });
+  sim.RunUntilIdle();
+  ASSERT_EQ(times.size(), 6u);
+  EXPECT_EQ(times[0], 0);
+  EXPECT_EQ(times[1], 1000);
+  // After SET_RATE 2.0: 500 us spacing.
+  EXPECT_EQ(times[2], 2000);
+  EXPECT_EQ(times[3], 2500);
+  EXPECT_EQ(times[4], 3000);
+  EXPECT_EQ(times[5], 3500);
+}
+
+TEST(VirtualReplayerTest, MarkersReportedNotDelivered) {
+  Simulator sim;
+  VirtualReplayer replayer(&sim, VirtualReplayerOptions{});
+  std::vector<Event> events = VertexStream(3);
+  events.insert(events.begin() + 1, Event::Marker("M"));
+  size_t delivered = 0;
+  std::vector<std::string> markers;
+  replayer.Start(
+      events, [&](const Event& e, size_t) {
+        EXPECT_TRUE(IsGraphOp(e.type));
+        ++delivered;
+      },
+      [&](const std::string& label) { markers.push_back(label); });
+  sim.RunUntilIdle();
+  EXPECT_EQ(delivered, 3u);
+  EXPECT_EQ(markers, (std::vector<std::string>{"M"}));
+}
+
+TEST(VirtualReplayerTest, ControlsIgnoredWhenDisabled) {
+  Simulator sim;
+  VirtualReplayerOptions options;
+  options.base_rate_eps = 1000.0;
+  options.honor_control_events = false;
+  VirtualReplayer replayer(&sim, options);
+  std::vector<Event> events = VertexStream(2);
+  events.insert(events.begin() + 1, Event::Pause(Duration::FromSeconds(60.0)));
+  replayer.Start(events, [](const Event&, size_t) {});
+  sim.RunUntilIdle();
+  EXPECT_LT(sim.Now().millis(), 10);
+  EXPECT_TRUE(replayer.finished());
+}
+
+TEST(VirtualReplayerTest, DoneCallbackFiresOnce) {
+  Simulator sim;
+  VirtualReplayer replayer(&sim, VirtualReplayerOptions{});
+  int done_calls = 0;
+  replayer.Start(VertexStream(10), [](const Event&, size_t) {},
+                 nullptr, [&] { ++done_calls; });
+  sim.RunUntilIdle();
+  EXPECT_EQ(done_calls, 1);
+  EXPECT_GT(replayer.finished_at().nanos(), 0);
+}
+
+TEST(VirtualReplayerTest, DeliveryTimesRecorded) {
+  Simulator sim;
+  VirtualReplayerOptions options;
+  options.base_rate_eps = 2000.0;
+  VirtualReplayer replayer(&sim, options);
+  replayer.Start(VertexStream(100), [](const Event&, size_t) {});
+  sim.RunUntilIdle();
+  const auto& times = replayer.delivery_times();
+  ASSERT_EQ(times.size(), 100u);
+  for (size_t i = 1; i < times.size(); ++i) {
+    EXPECT_EQ((times[i] - times[i - 1]).micros(), 500);
+  }
+}
+
+TEST(VirtualReplayerTest, EmptyStreamFinishesImmediately) {
+  Simulator sim;
+  VirtualReplayer replayer(&sim, VirtualReplayerOptions{});
+  bool done = false;
+  replayer.Start({}, nullptr, nullptr, [&] { done = true; });
+  sim.RunUntilIdle();
+  EXPECT_TRUE(done);
+  EXPECT_EQ(replayer.events_delivered(), 0u);
+}
+
+TEST(VirtualReplayerTest, IndicesMatchStreamOrder) {
+  Simulator sim;
+  VirtualReplayer replayer(&sim, VirtualReplayerOptions{});
+  std::vector<size_t> indices;
+  replayer.Start(VertexStream(20),
+                 [&](const Event&, size_t index) { indices.push_back(index); });
+  sim.RunUntilIdle();
+  for (size_t i = 0; i < indices.size(); ++i) EXPECT_EQ(indices[i], i);
+}
+
+
+TEST(VirtualReplayerTest, GateThrottlesEmission) {
+  Simulator sim;
+  VirtualReplayerOptions options;
+  options.base_rate_eps = 1000.0;  // 1 ms spacing
+  options.gate_backoff = Duration::FromMillis(5);
+  VirtualReplayer replayer(&sim, options);
+  // Gate closed until t = 50 ms.
+  replayer.SetGate([&sim] { return sim.Now() >= Timestamp::FromMillis(50); });
+  std::vector<int64_t> times;
+  replayer.Start(VertexStream(5),
+                 [&](const Event&, size_t) { times.push_back(sim.Now().millis()); });
+  sim.RunUntilIdle();
+  ASSERT_EQ(times.size(), 5u);
+  EXPECT_GE(times[0], 50);
+  // After the gate opens, pacing resumes at the base rate (no burst).
+  for (size_t i = 1; i < times.size(); ++i) {
+    EXPECT_EQ(times[i] - times[i - 1], 1);
+  }
+  EXPECT_GE(replayer.throttled_time().millis(), 45);
+  EXPECT_TRUE(replayer.finished());
+}
+
+TEST(VirtualReplayerTest, OpenGateIsFree) {
+  Simulator sim;
+  VirtualReplayerOptions options;
+  options.base_rate_eps = 1000.0;
+  VirtualReplayer replayer(&sim, options);
+  replayer.SetGate([] { return true; });
+  replayer.Start(VertexStream(10), [](const Event&, size_t) {});
+  sim.RunUntilIdle();
+  EXPECT_EQ(replayer.events_delivered(), 10u);
+  EXPECT_EQ(replayer.throttled_time(), Duration::Zero());
+}
+
+}  // namespace
+}  // namespace graphtides

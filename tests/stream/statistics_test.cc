@@ -1,0 +1,95 @@
+#include "stream/statistics.h"
+
+#include <gtest/gtest.h>
+
+namespace graphtides {
+namespace {
+
+TEST(StreamStatisticsTest, EmptyStream) {
+  const StreamStatistics s = ComputeStreamStatistics({});
+  EXPECT_EQ(s.total_entries, 0u);
+  EXPECT_EQ(s.graph_ops, 0u);
+  EXPECT_EQ(s.topology_ratio, 0.0);
+  EXPECT_EQ(s.mean_run_length, 0.0);
+}
+
+TEST(StreamStatisticsTest, CountsByCategory) {
+  const std::vector<Event> events = {
+      Event::AddVertex(1),        Event::AddVertex(2),
+      Event::AddEdge(1, 2),       Event::UpdateVertex(1, "x"),
+      Event::UpdateEdge(1, 2, "y"), Event::RemoveEdge(1, 2),
+      Event::RemoveVertex(2),     Event::Marker("m"),
+      Event::SetRate(2.0),        Event::Pause(Duration::FromMillis(5)),
+  };
+  const StreamStatistics s = ComputeStreamStatistics(events);
+  EXPECT_EQ(s.total_entries, 10u);
+  EXPECT_EQ(s.graph_ops, 7u);
+  EXPECT_EQ(s.markers, 1u);
+  EXPECT_EQ(s.controls, 2u);
+  EXPECT_EQ(s.topology_changes, 5u);
+  EXPECT_EQ(s.state_updates, 2u);
+  EXPECT_EQ(s.vertex_ops, 4u);
+  EXPECT_EQ(s.edge_ops, 3u);
+  EXPECT_EQ(s.add_ops, 3u);
+  EXPECT_EQ(s.remove_ops, 2u);
+  EXPECT_NEAR(s.topology_ratio, 5.0 / 7.0, 1e-12);
+  EXPECT_NEAR(s.add_ratio, 3.0 / 5.0, 1e-12);
+  EXPECT_NEAR(s.vertex_op_ratio, 4.0 / 7.0, 1e-12);
+}
+
+TEST(StreamStatisticsTest, FinalAndPeakSizes) {
+  const std::vector<Event> events = {
+      Event::AddVertex(1), Event::AddVertex(2), Event::AddVertex(3),
+      Event::AddEdge(1, 2), Event::AddEdge(2, 3),
+      Event::RemoveVertex(3),  // drops edge 2->3 too
+  };
+  const StreamStatistics s = ComputeStreamStatistics(events);
+  EXPECT_EQ(s.final_vertices, 2u);
+  EXPECT_EQ(s.final_edges, 1u);
+  EXPECT_EQ(s.peak_vertices, 3u);
+  EXPECT_EQ(s.peak_edges, 2u);
+}
+
+TEST(StreamStatisticsTest, InterleavingAlternating) {
+  // topology, state, topology, state -> run length 1.
+  const std::vector<Event> events = {
+      Event::AddVertex(1), Event::UpdateVertex(1, "a"), Event::AddVertex(2),
+      Event::UpdateVertex(2, "b")};
+  const StreamStatistics s = ComputeStreamStatistics(events);
+  EXPECT_DOUBLE_EQ(s.mean_run_length, 1.0);
+}
+
+TEST(StreamStatisticsTest, InterleavingTwoPhase) {
+  // 3 topology then 3 state -> two runs of 3.
+  const std::vector<Event> events = {
+      Event::AddVertex(1),       Event::AddVertex(2),
+      Event::AddVertex(3),       Event::UpdateVertex(1, "a"),
+      Event::UpdateVertex(2, "b"), Event::UpdateVertex(3, "c")};
+  const StreamStatistics s = ComputeStreamStatistics(events);
+  EXPECT_DOUBLE_EQ(s.mean_run_length, 3.0);
+}
+
+TEST(StreamStatisticsTest, InvalidEventsDoNotCorruptSizes) {
+  const std::vector<Event> events = {
+      Event::AddVertex(1),
+      Event::AddVertex(1),  // invalid duplicate
+      Event::AddEdge(1, 9),  // invalid endpoint
+  };
+  const StreamStatistics s = ComputeStreamStatistics(events);
+  EXPECT_EQ(s.final_vertices, 1u);
+  EXPECT_EQ(s.final_edges, 0u);
+  // They still count as entries / ops in the mix, as they would be offered
+  // to a SUT.
+  EXPECT_EQ(s.graph_ops, 3u);
+}
+
+TEST(StreamStatisticsTest, ToStringMentionsKeyNumbers) {
+  const StreamStatistics s =
+      ComputeStreamStatistics({Event::AddVertex(1), Event::Marker("m")});
+  const std::string text = s.ToString();
+  EXPECT_NE(text.find("graph ops 1"), std::string::npos);
+  EXPECT_NE(text.find("markers 1"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace graphtides

@@ -1,0 +1,145 @@
+#include "stream/validator.h"
+
+#include <gtest/gtest.h>
+
+namespace graphtides {
+namespace {
+
+TEST(StreamValidatorTest, AddVertexOnce) {
+  StreamValidator v;
+  EXPECT_TRUE(v.Check(Event::AddVertex(1)).ok());
+  EXPECT_TRUE(v.HasVertex(1));
+  EXPECT_EQ(v.num_vertices(), 1u);
+  // Duplicate add fails.
+  EXPECT_TRUE(v.Check(Event::AddVertex(1)).IsPreconditionFailed());
+  EXPECT_EQ(v.num_vertices(), 1u);
+}
+
+TEST(StreamValidatorTest, RemoveRequiresExistence) {
+  StreamValidator v;
+  EXPECT_TRUE(v.Check(Event::RemoveVertex(5)).IsPreconditionFailed());
+  ASSERT_TRUE(v.Check(Event::AddVertex(5)).ok());
+  EXPECT_TRUE(v.Check(Event::RemoveVertex(5)).ok());
+  EXPECT_FALSE(v.HasVertex(5));
+}
+
+TEST(StreamValidatorTest, UpdateVertexRequiresExistence) {
+  StreamValidator v;
+  EXPECT_TRUE(
+      v.Check(Event::UpdateVertex(1, "x")).IsPreconditionFailed());
+  ASSERT_TRUE(v.Check(Event::AddVertex(1)).ok());
+  EXPECT_TRUE(v.Check(Event::UpdateVertex(1, "x")).ok());
+}
+
+TEST(StreamValidatorTest, EdgePreconditions) {
+  StreamValidator v;
+  ASSERT_TRUE(v.Check(Event::AddVertex(1)).ok());
+  ASSERT_TRUE(v.Check(Event::AddVertex(2)).ok());
+  // Self loop rejected.
+  EXPECT_TRUE(v.Check(Event::AddEdge(1, 1)).IsPreconditionFailed());
+  // Missing endpoint rejected.
+  EXPECT_TRUE(v.Check(Event::AddEdge(1, 3)).IsPreconditionFailed());
+  EXPECT_TRUE(v.Check(Event::AddEdge(3, 1)).IsPreconditionFailed());
+  // Valid add.
+  EXPECT_TRUE(v.Check(Event::AddEdge(1, 2)).ok());
+  EXPECT_TRUE(v.HasEdge({1, 2}));
+  EXPECT_FALSE(v.HasEdge({2, 1}));  // directed
+  // Duplicate rejected.
+  EXPECT_TRUE(v.Check(Event::AddEdge(1, 2)).IsPreconditionFailed());
+  // Reverse direction is a distinct edge.
+  EXPECT_TRUE(v.Check(Event::AddEdge(2, 1)).ok());
+  EXPECT_EQ(v.num_edges(), 2u);
+}
+
+TEST(StreamValidatorTest, RemoveAndUpdateEdge) {
+  StreamValidator v;
+  ASSERT_TRUE(v.Check(Event::AddVertex(1)).ok());
+  ASSERT_TRUE(v.Check(Event::AddVertex(2)).ok());
+  EXPECT_TRUE(v.Check(Event::RemoveEdge(1, 2)).IsPreconditionFailed());
+  EXPECT_TRUE(
+      v.Check(Event::UpdateEdge(1, 2, "x")).IsPreconditionFailed());
+  ASSERT_TRUE(v.Check(Event::AddEdge(1, 2)).ok());
+  EXPECT_TRUE(v.Check(Event::UpdateEdge(1, 2, "x")).ok());
+  EXPECT_TRUE(v.Check(Event::RemoveEdge(1, 2)).ok());
+  EXPECT_EQ(v.num_edges(), 0u);
+}
+
+TEST(StreamValidatorTest, RemoveVertexCascadesEdges) {
+  StreamValidator v;
+  for (VertexId id : {1, 2, 3}) {
+    ASSERT_TRUE(v.Check(Event::AddVertex(id)).ok());
+  }
+  ASSERT_TRUE(v.Check(Event::AddEdge(1, 2)).ok());
+  ASSERT_TRUE(v.Check(Event::AddEdge(3, 1)).ok());
+  ASSERT_TRUE(v.Check(Event::AddEdge(2, 3)).ok());
+  EXPECT_EQ(v.num_edges(), 3u);
+  ASSERT_TRUE(v.Check(Event::RemoveVertex(1)).ok());
+  // Edges 1->2 and 3->1 are gone; 2->3 survives.
+  EXPECT_EQ(v.num_edges(), 1u);
+  EXPECT_TRUE(v.HasEdge({2, 3}));
+  EXPECT_FALSE(v.HasEdge({1, 2}));
+  EXPECT_FALSE(v.HasEdge({3, 1}));
+  // Recreating the vertex gives it no edges.
+  ASSERT_TRUE(v.Check(Event::AddVertex(1)).ok());
+  EXPECT_TRUE(v.Check(Event::AddEdge(1, 2)).ok());
+}
+
+TEST(StreamValidatorTest, MarkersAndControlsAlwaysPass) {
+  StreamValidator v;
+  EXPECT_TRUE(v.Check(Event::Marker("m")).ok());
+  EXPECT_TRUE(v.Check(Event::SetRate(2.0)).ok());
+  EXPECT_TRUE(v.Check(Event::Pause(Duration::FromSeconds(1.0))).ok());
+  EXPECT_EQ(v.num_vertices(), 0u);
+}
+
+TEST(ValidateStreamTest, CleanStreamReport) {
+  const std::vector<Event> events = {
+      Event::AddVertex(1), Event::AddVertex(2), Event::AddEdge(1, 2),
+      Event::Marker("done")};
+  const StreamValidationReport report = ValidateStream(events);
+  EXPECT_TRUE(report.valid());
+  EXPECT_EQ(report.events_checked, 4u);
+  EXPECT_EQ(report.final_vertices, 2u);
+  EXPECT_EQ(report.final_edges, 1u);
+}
+
+TEST(ValidateStreamTest, CollectsViolationsWithIndices) {
+  const std::vector<Event> events = {
+      Event::AddVertex(1),
+      Event::AddVertex(1),          // violation at 1
+      Event::RemoveVertex(9),       // violation at 2
+      Event::AddVertex(2),
+      Event::AddEdge(1, 2),
+  };
+  const StreamValidationReport report = ValidateStream(events);
+  EXPECT_FALSE(report.valid());
+  ASSERT_EQ(report.violations.size(), 2u);
+  EXPECT_EQ(report.violations[0].index, 1u);
+  EXPECT_EQ(report.violations[1].index, 2u);
+  // Valid events still applied.
+  EXPECT_EQ(report.final_vertices, 2u);
+  EXPECT_EQ(report.final_edges, 1u);
+}
+
+TEST(ValidateStreamTest, MaxViolationsStopsEarly) {
+  std::vector<Event> events;
+  for (int i = 0; i < 10; ++i) events.push_back(Event::RemoveVertex(1));
+  const StreamValidationReport report = ValidateStream(events, 3);
+  EXPECT_EQ(report.violations.size(), 3u);
+  EXPECT_EQ(report.events_checked, 3u);
+}
+
+TEST(ValidateStreamTest, InvalidEventsNotApplied) {
+  const std::vector<Event> events = {
+      Event::AddVertex(1),
+      Event::AddEdge(1, 2),  // invalid: 2 missing
+      Event::AddVertex(2),
+      Event::AddEdge(1, 2),  // now valid
+  };
+  const StreamValidationReport report = ValidateStream(events);
+  EXPECT_EQ(report.violations.size(), 1u);
+  EXPECT_EQ(report.final_edges, 1u);
+}
+
+}  // namespace
+}  // namespace graphtides

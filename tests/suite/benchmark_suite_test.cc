@@ -1,0 +1,185 @@
+#include "suite/benchmark_suite.h"
+
+#include <gtest/gtest.h>
+
+#include "suite/connectors/hybrid_connector.h"
+#include "suite/connectors/offline_connector.h"
+#include "suite/connectors/online_connector.h"
+
+namespace graphtides {
+namespace {
+
+std::vector<SuiteWorkload> SmallWorkloads() {
+  return StandardWorkloads(SuiteSize::kSmall, 7);
+}
+
+TEST(StandardWorkloadsTest, FourWorkloadsWithWatermarks) {
+  const auto workloads = SmallWorkloads();
+  ASSERT_EQ(workloads.size(), 4u);
+  for (const SuiteWorkload& w : workloads) {
+    EXPECT_FALSE(w.events.empty()) << w.name;
+    EXPECT_GT(w.graph_events, 10000u) << w.name;
+    EXPECT_GT(w.rate_eps, 0.0);
+    size_t markers = 0;
+    for (const Event& e : w.events) {
+      if (e.type == EventType::kMarker) ++markers;
+    }
+    // ~19 watermarks at 5% spacing.
+    EXPECT_GE(markers, 15u) << w.name;
+  }
+  EXPECT_EQ(workloads[0].name, "social");
+  EXPECT_EQ(workloads[1].name, "ddos");
+  EXPECT_EQ(workloads[2].name, "blockchain");
+  EXPECT_EQ(workloads[3].name, "mix");
+}
+
+TEST(StandardWorkloadsTest, DeterministicInSeed) {
+  const auto a = StandardWorkloads(SuiteSize::kSmall, 3);
+  const auto b = StandardWorkloads(SuiteSize::kSmall, 3);
+  ASSERT_EQ(a.size(), b.size());
+  for (size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].events, b[i].events) << a[i].name;
+  }
+}
+
+SuiteWorkload TinySocial() {
+  auto workloads = StandardWorkloads(SuiteSize::kSmall, 5);
+  SuiteWorkload w = std::move(workloads[0]);
+  // Truncate to ~4000 graph events to keep connector tests fast.
+  std::vector<Event> events;
+  size_t graph_events = 0;
+  for (Event& e : w.events) {
+    if (IsGraphOp(e.type)) {
+      if (graph_events >= 4000) break;
+      ++graph_events;
+    }
+    events.push_back(std::move(e));
+  }
+  w.events = std::move(events);
+  w.graph_events = graph_events;
+  return w;
+}
+
+SuiteCaseOptions FastOptions() {
+  SuiteCaseOptions options;
+  options.error_interval = Duration::FromSeconds(1.0);
+  options.max_duration = Duration::FromSeconds(60.0);
+  return options;
+}
+
+TEST(SuiteCaseTest, OnlineConnectorScores) {
+  const SuiteWorkload w = TinySocial();
+  auto score = RunSuiteCase(
+      w,
+      [](Simulator* sim) -> std::unique_ptr<SuiteConnector> {
+        ChronoLiteOptions options;
+        options.rank.push_threshold = 0.02;
+        return std::make_unique<OnlineConnector>(sim, options);
+      },
+      FastOptions());
+  ASSERT_TRUE(score.ok()) << score.status();
+  EXPECT_EQ(score->connector, "online-chronolite");
+  EXPECT_TRUE(score->drained);
+  EXPECT_NEAR(score->applied_rate_eps, w.rate_eps, 0.2 * w.rate_eps);
+  EXPECT_GE(score->watermark_p50_s, 0.0);
+  EXPECT_LT(score->watermark_p99_s, 2.0);
+  // Approximate but sane accuracy.
+  EXPECT_GE(score->mean_rank_error, 0.0);
+  EXPECT_LT(score->mean_rank_error, 0.5);
+  EXPECT_DOUBLE_EQ(score->mean_result_age_s, 0.0);
+}
+
+TEST(SuiteCaseTest, OfflineConnectorExactButStale) {
+  const SuiteWorkload w = TinySocial();
+  auto score = RunSuiteCase(
+      w,
+      [](Simulator* sim) -> std::unique_ptr<SuiteConnector> {
+        OfflineConnectorOptions options;
+        options.epoch = Duration::FromMillis(500);
+        return std::make_unique<OfflineSnapshotConnector>(sim, options);
+      },
+      FastOptions());
+  ASSERT_TRUE(score.ok()) << score.status();
+  EXPECT_TRUE(score->drained);
+  // Final result is exact: the last recompute ran on the final graph.
+  EXPECT_GE(score->final_rank_error, 0.0);
+  EXPECT_LT(score->final_rank_error, 0.01);
+  // But results are stale on average.
+  EXPECT_GT(score->mean_result_age_s, 0.0);
+}
+
+TEST(SuiteCaseTest, HybridKeepsIngestionFast) {
+  const SuiteWorkload w = TinySocial();
+  // Heavy recomputes (several hundred ms) make the architectural
+  // difference visible: offline blocks ingestion behind them, hybrid
+  // runs them on a second process.
+  auto offline = RunSuiteCase(
+      w,
+      [](Simulator* sim) -> std::unique_ptr<SuiteConnector> {
+        OfflineConnectorOptions options;
+        options.epoch = Duration::FromMillis(500);
+        options.compute_cost_per_edge = Duration::FromMicros(10);
+        return std::make_unique<OfflineSnapshotConnector>(sim, options);
+      },
+      FastOptions());
+  auto hybrid = RunSuiteCase(
+      w,
+      [](Simulator* sim) -> std::unique_ptr<SuiteConnector> {
+        HybridConnectorOptions options;
+        options.epoch = Duration::FromMillis(500);
+        options.compute_cost_per_edge = Duration::FromMicros(10);
+        return std::make_unique<HybridConnector>(sim, options);
+      },
+      FastOptions());
+  ASSERT_TRUE(offline.ok());
+  ASSERT_TRUE(hybrid.ok());
+  // The hybrid's recomputes do not block ingestion: its worst-case
+  // watermark latency is below the offline connector's.
+  EXPECT_LT(hybrid->watermark_p99_s, offline->watermark_p99_s);
+  EXPECT_GE(hybrid->applied_rate_eps, offline->applied_rate_eps);
+}
+
+TEST(SuiteCaseTest, EmptyWorkloadRejected) {
+  SuiteWorkload empty;
+  empty.name = "empty";
+  auto score = RunSuiteCase(empty, [](Simulator*) {
+    return std::unique_ptr<SuiteConnector>();
+  });
+  ASSERT_FALSE(score.ok());
+}
+
+TEST(SuiteCaseTest, NullConnectorRejected) {
+  const SuiteWorkload w = TinySocial();
+  auto score = RunSuiteCase(
+      w, [](Simulator*) { return std::unique_ptr<SuiteConnector>(); });
+  ASSERT_FALSE(score.ok());
+  EXPECT_TRUE(score.status().IsInvalidArgument());
+}
+
+TEST(RunSuiteTest, CrossProductAndReport) {
+  std::vector<SuiteWorkload> workloads = {TinySocial()};
+  std::vector<SuiteEntry> connectors;
+  connectors.push_back(
+      {"online", [](Simulator* sim) -> std::unique_ptr<SuiteConnector> {
+         ChronoLiteOptions options;
+         options.rank.push_threshold = 0.05;
+         return std::make_unique<OnlineConnector>(sim, options);
+       }});
+  connectors.push_back(
+      {"hybrid", [](Simulator* sim) -> std::unique_ptr<SuiteConnector> {
+         return std::make_unique<HybridConnector>(sim,
+                                                  HybridConnectorOptions{});
+       }});
+  auto scores = RunSuite(workloads, connectors, FastOptions());
+  ASSERT_TRUE(scores.ok());
+  ASSERT_EQ(scores->size(), 2u);
+  EXPECT_EQ((*scores)[0].connector, "online");
+  EXPECT_EQ((*scores)[1].connector, "hybrid");
+  const std::string report = FormatSuiteReport(*scores);
+  EXPECT_NE(report.find("online"), std::string::npos);
+  EXPECT_NE(report.find("hybrid"), std::string::npos);
+  EXPECT_NE(report.find("wm p99"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace graphtides

@@ -1,0 +1,132 @@
+#include <gtest/gtest.h>
+
+#include "algorithms/pagerank.h"
+#include "graph/csr.h"
+#include "suite/connectors/hybrid_connector.h"
+#include "suite/connectors/offline_connector.h"
+#include "suite/connectors/online_connector.h"
+
+namespace graphtides {
+namespace {
+
+std::vector<Event> StarStream(size_t leaves) {
+  std::vector<Event> events;
+  events.push_back(Event::AddVertex(0));
+  for (VertexId v = 1; v <= leaves; ++v) {
+    events.push_back(Event::AddVertex(v));
+    events.push_back(Event::AddEdge(v, 0));
+  }
+  return events;
+}
+
+TEST(OfflineConnectorTest, AppliesUpdatesAndCounts) {
+  Simulator sim;
+  OfflineSnapshotConnector connector(&sim, OfflineConnectorOptions{});
+  const auto events = StarStream(10);
+  for (const Event& e : events) connector.Ingest(e);
+  sim.RunUntilIdle();
+  EXPECT_EQ(connector.EventsApplied(), events.size());
+  EXPECT_TRUE(connector.Idle());
+}
+
+TEST(OfflineConnectorTest, PublishesExactRanksAfterEpoch) {
+  Simulator sim;
+  OfflineConnectorOptions options;
+  options.epoch = Duration::FromMillis(100);
+  OfflineSnapshotConnector connector(&sim, options);
+  for (const Event& e : StarStream(20)) connector.Ingest(e);
+  sim.RunUntilIdle();
+  ASSERT_GE(connector.recomputes_completed(), 1u);
+  const auto ranks = connector.CurrentRanks();
+  ASSERT_EQ(ranks.size(), 21u);
+  // Exact batch result: the hub dominates with the known star value.
+  Graph g;
+  ASSERT_TRUE(g.ApplyAll(StarStream(20)).ok());
+  const CsrGraph csr = CsrGraph::FromGraph(g);
+  const PageRankResult exact = PageRank(csr);
+  CsrGraph::Index hub;
+  ASSERT_TRUE(csr.IndexOf(0, &hub));
+  EXPECT_NEAR(ranks.at(0), exact.ranks[hub], 1e-9);
+}
+
+TEST(OfflineConnectorTest, NoResultBeforeFirstEpoch) {
+  Simulator sim;
+  OfflineConnectorOptions options;
+  options.epoch = Duration::FromSeconds(100.0);
+  OfflineSnapshotConnector connector(&sim, options);
+  connector.Ingest(Event::AddVertex(1));
+  sim.RunUntil(Timestamp::FromSeconds(1.0));
+  EXPECT_TRUE(connector.CurrentRanks().empty());
+  EXPECT_GT(connector.ResultAge().seconds(), 1e6);  // "no result" sentinel
+}
+
+TEST(OfflineConnectorTest, IngestionStallsBehindRecompute) {
+  Simulator sim;
+  OfflineConnectorOptions options;
+  options.epoch = Duration::FromMillis(10);
+  options.compute_cost_per_edge = Duration::FromMillis(10);  // huge
+  OfflineSnapshotConnector connector(&sim, options);
+  for (const Event& e : StarStream(5)) connector.Ingest(e);
+  // Let the epoch fire and the recompute start.
+  sim.RunUntil(Timestamp::FromMillis(30));
+  const uint64_t applied_before = connector.EventsApplied();
+  // New updates queue behind the long recompute.
+  connector.Ingest(Event::AddVertex(100));
+  sim.RunUntil(Timestamp::FromMillis(40));
+  EXPECT_EQ(connector.EventsApplied(), applied_before);
+  sim.RunUntilIdle();
+  EXPECT_EQ(connector.EventsApplied(), applied_before + 1);
+}
+
+TEST(HybridConnectorTest, IngestionUnaffectedByRecompute) {
+  Simulator sim;
+  HybridConnectorOptions options;
+  options.epoch = Duration::FromMillis(10);
+  options.compute_cost_per_edge = Duration::FromMillis(10);  // huge
+  HybridConnector connector(&sim, options);
+  for (const Event& e : StarStream(5)) connector.Ingest(e);
+  sim.RunUntil(Timestamp::FromMillis(30));  // recompute in flight
+  const uint64_t applied_before = connector.EventsApplied();
+  connector.Ingest(Event::AddVertex(100));
+  sim.RunUntil(Timestamp::FromMillis(40));
+  // The updater process applies it immediately despite the recompute.
+  EXPECT_EQ(connector.EventsApplied(), applied_before + 1);
+  sim.RunUntilIdle();
+  EXPECT_TRUE(connector.Idle());
+}
+
+TEST(HybridConnectorTest, PublishesSnapshotsWithAge) {
+  Simulator sim;
+  HybridConnectorOptions options;
+  options.epoch = Duration::FromMillis(50);
+  HybridConnector connector(&sim, options);
+  for (const Event& e : StarStream(15)) connector.Ingest(e);
+  sim.RunUntilIdle();
+  ASSERT_GE(connector.recomputes_completed(), 1u);
+  EXPECT_FALSE(connector.CurrentRanks().empty());
+  EXPECT_LT(connector.ResultAge().seconds(), 10.0);
+}
+
+TEST(OnlineConnectorTest, RanksMatchEngine) {
+  Simulator sim;
+  ChronoLiteOptions options;
+  options.rank.push_threshold = 1e-5;
+  OnlineConnector connector(&sim, options);
+  for (const Event& e : StarStream(12)) connector.Ingest(e);
+  sim.RunUntilIdle();
+  EXPECT_TRUE(connector.Idle());
+  EXPECT_EQ(connector.EventsApplied(), 25u);
+  const auto ranks = connector.CurrentRanks();
+  ASSERT_EQ(ranks.size(), 13u);
+  double sum = 0.0;
+  for (const auto& [v, r] : ranks) sum += r;
+  EXPECT_NEAR(sum, 1.0, 1e-9);
+  // Hub outranks every leaf.
+  for (VertexId v = 1; v <= 12; ++v) {
+    EXPECT_GT(ranks.at(0), ranks.at(v));
+  }
+  EXPECT_EQ(connector.ResultAge(), Duration::Zero());
+}
+
+}  // namespace
+}  // namespace graphtides

@@ -1,0 +1,210 @@
+#include "sut/weaverlite/weaverlite.h"
+
+#include <gtest/gtest.h>
+
+namespace graphtides {
+namespace {
+
+std::vector<Event> SmallGraphStream() {
+  std::vector<Event> events;
+  for (VertexId v = 0; v < 10; ++v) events.push_back(Event::AddVertex(v));
+  for (VertexId v = 0; v + 1 < 10; ++v) {
+    events.push_back(Event::AddEdge(v, v + 1));
+  }
+  return events;
+}
+
+TEST(WeaverLiteTest, AppliesSubmittedTransactions) {
+  Simulator sim;
+  WeaverLite store(&sim, WeaverLiteOptions{});
+  ASSERT_TRUE(store.TrySubmit(SmallGraphStream()));
+  sim.RunUntilIdle();
+  EXPECT_EQ(store.transactions_committed(), 1u);
+  EXPECT_EQ(store.events_applied(), 19u);
+  EXPECT_EQ(store.TotalVertices(), 10u);
+  EXPECT_EQ(store.TotalEdges(), 9u);
+  EXPECT_EQ(store.ops_rejected(), 0u);
+}
+
+TEST(WeaverLiteTest, ValidationRejectsBadOps) {
+  Simulator sim;
+  WeaverLite store(&sim, WeaverLiteOptions{});
+  ASSERT_TRUE(store.TrySubmit({Event::AddVertex(1), Event::AddVertex(1),
+                               Event::AddEdge(1, 99)}));
+  sim.RunUntilIdle();
+  EXPECT_EQ(store.events_applied(), 1u);
+  EXPECT_EQ(store.ops_rejected(), 2u);
+  EXPECT_EQ(store.TotalVertices(), 1u);
+}
+
+TEST(WeaverLiteTest, DataLandsOnShards) {
+  Simulator sim;
+  WeaverLiteOptions options;
+  options.num_shards = 2;
+  WeaverLite store(&sim, options);
+  ASSERT_TRUE(store.TrySubmit(SmallGraphStream()));
+  sim.RunUntilIdle();
+  // Vertices are hash-partitioned: evens on shard 0, odds on shard 1.
+  EXPECT_TRUE(store.shard_graph(0).HasVertex(0));
+  EXPECT_TRUE(store.shard_graph(0).HasVertex(2));
+  EXPECT_TRUE(store.shard_graph(1).HasVertex(1));
+  // Edge v -> v+1 lives on the source's shard.
+  EXPECT_TRUE(store.shard_graph(0).HasEdge(0, 1));
+  EXPECT_TRUE(store.shard_graph(1).HasEdge(1, 2));
+}
+
+TEST(WeaverLiteTest, AdmissionQueueBackpressure) {
+  Simulator sim;
+  WeaverLiteOptions options;
+  options.admission_queue_capacity = 2;
+  WeaverLite store(&sim, options);
+  // Burst of submissions without running the simulator: the first is
+  // pulled into the timestamper, two wait, the rest are refused.
+  int accepted = 0;
+  for (int i = 0; i < 10; ++i) {
+    std::vector<Event> tx = {Event::AddVertex(static_cast<VertexId>(i))};
+    if (store.TrySubmit(std::move(tx))) ++accepted;
+  }
+  EXPECT_EQ(accepted, 3);
+  EXPECT_TRUE(store.AdmissionFull());
+  sim.RunUntilIdle();
+  EXPECT_EQ(store.events_applied(), 3u);
+  // Queue drained: submissions accepted again.
+  EXPECT_TRUE(store.TrySubmit({Event::AddVertex(100)}));
+  sim.RunUntilIdle();
+  EXPECT_EQ(store.events_applied(), 4u);
+}
+
+TEST(WeaverLiteTest, OnTransactionDoneFires) {
+  Simulator sim;
+  WeaverLite store(&sim, WeaverLiteOptions{});
+  int done = 0;
+  store.SetOnTransactionDone([&] { ++done; });
+  ASSERT_TRUE(store.TrySubmit({Event::AddVertex(1)}));
+  ASSERT_TRUE(store.TrySubmit({Event::AddVertex(2)}));
+  sim.RunUntilIdle();
+  EXPECT_EQ(done, 2);
+}
+
+TEST(WeaverLiteTest, ThroughputCappedByTimestamper) {
+  // Timestamper cost 1 ms/tx -> at most ~1000 tx/s regardless of load.
+  Simulator sim;
+  WeaverLiteOptions options;
+  options.timestamper_cost_per_tx = Duration::FromMillis(1);
+  options.timestamper_cost_per_op = Duration::Zero();
+  options.admission_queue_capacity = 8;
+  WeaverLite store(&sim, options);
+
+  // Offer one single-event transaction every 100 us for 1 s (10000 tx).
+  size_t offered = 0;
+  size_t refused = 0;
+  for (int i = 0; i < 10000; ++i) {
+    sim.ScheduleAt(Timestamp::FromMicros(i * 100), [&, i] {
+      ++offered;
+      if (!store.TrySubmit({Event::AddVertex(static_cast<VertexId>(i))})) {
+        ++refused;
+      }
+    });
+  }
+  sim.RunUntil(Timestamp::FromSeconds(1.0));
+  EXPECT_EQ(offered, 10000u);
+  // Roughly 1000 committed in the first virtual second; most refused.
+  EXPECT_LE(store.transactions_committed(), 1100u);
+  EXPECT_GE(store.transactions_committed(), 900u);
+  EXPECT_GT(refused, 8000u);
+}
+
+TEST(WeaverLiteTest, BatchingRaisesEventThroughput) {
+  auto run = [](size_t batch) {
+    Simulator sim;
+    WeaverLiteOptions options;
+    options.timestamper_cost_per_tx = Duration::FromMicros(900);
+    options.timestamper_cost_per_op = Duration::FromMicros(20);
+    WeaverLite store(&sim, options);
+    // Saturate: submit whenever there is room, for 1 virtual second.
+    VertexId next = 0;
+    std::function<void()> pump = [&] {
+      while (!store.AdmissionFull()) {
+        std::vector<Event> tx;
+        for (size_t k = 0; k < batch; ++k) {
+          tx.push_back(Event::AddVertex(next++));
+        }
+        if (!store.TrySubmit(std::move(tx))) break;
+      }
+    };
+    store.SetOnTransactionDone(pump);
+    pump();
+    sim.RunUntil(Timestamp::FromSeconds(1.0));
+    return store.events_applied();
+  };
+  const uint64_t single = run(1);
+  const uint64_t batched = run(10);
+  // 1 evt/tx: ~1087 ev/s. 10 evts/tx: ~9090 ev/s.
+  EXPECT_GT(batched, 5 * single);
+  EXPECT_NEAR(static_cast<double>(single), 1087.0, 120.0);
+  EXPECT_NEAR(static_cast<double>(batched), 9090.0, 900.0);
+}
+
+TEST(WeaverLiteTest, TimestamperSaturatesBeforeShards) {
+  Simulator sim;
+  WeaverLiteOptions options;
+  WeaverLite store(&sim, options);
+  VertexId next = 0;
+  std::function<void()> pump = [&] {
+    while (!store.AdmissionFull()) {
+      std::vector<Event> tx;
+      for (size_t k = 0; k < 10; ++k) tx.push_back(Event::AddVertex(next++));
+      if (!store.TrySubmit(std::move(tx))) break;
+    }
+  };
+  store.SetOnTransactionDone(pump);
+  pump();
+  sim.RunUntil(Timestamp::FromSeconds(5.0));
+  const auto ts_util = store.timestamper().UtilizationSeries(sim.Now());
+  const auto shard_util = store.shard(0).UtilizationSeries(sim.Now());
+  ASSERT_GE(ts_util.size(), 4u);
+  // Timestamper pinned at ~100%, shards well below (Fig. 3c shape).
+  EXPECT_GT(ts_util[2], 0.95);
+  ASSERT_GE(shard_util.size(), 4u);
+  EXPECT_LT(shard_util[2], 0.8 * ts_util[2]);
+}
+
+TEST(WeaverLiteTest, CollectMetricsExposesCounters) {
+  Simulator sim;
+  WeaverLite store(&sim, WeaverLiteOptions{});
+  ASSERT_TRUE(store.TrySubmit(SmallGraphStream()));
+  sim.RunUntilIdle();
+  const auto metrics = store.CollectMetrics();
+  bool found_events = false;
+  for (const auto& [name, value] : metrics) {
+    if (name == "events_applied") {
+      found_events = true;
+      EXPECT_DOUBLE_EQ(value, 19.0);
+    }
+  }
+  EXPECT_TRUE(found_events);
+}
+
+TEST(WeaverLiteTest, RemoveVertexFansOutToAllShards) {
+  Simulator sim;
+  WeaverLiteOptions options;
+  options.num_shards = 2;
+  WeaverLite store(&sim, options);
+  // Edges from both shards into vertex 2.
+  ASSERT_TRUE(store.TrySubmit({Event::AddVertex(1), Event::AddVertex(2),
+                               Event::AddVertex(3), Event::AddVertex(4),
+                               Event::AddEdge(1, 2), Event::AddEdge(4, 2),
+                               Event::AddEdge(3, 2)}));
+  sim.RunUntilIdle();
+  ASSERT_TRUE(store.TrySubmit({Event::RemoveVertex(2)}));
+  sim.RunUntilIdle();
+  EXPECT_EQ(store.TotalVertices(), 3u);
+  EXPECT_EQ(store.TotalEdges(), 0u);
+  EXPECT_FALSE(store.shard_graph(0).HasVertex(2));
+  EXPECT_FALSE(store.shard_graph(1).HasEdge(1, 2));
+  EXPECT_FALSE(store.shard_graph(1).HasEdge(3, 2));
+  EXPECT_FALSE(store.shard_graph(0).HasEdge(4, 2));
+}
+
+}  // namespace
+}  // namespace graphtides

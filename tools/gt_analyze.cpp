@@ -1,0 +1,154 @@
+// gt_analyze — result-log analysis (Fig. 2 "Log Collector" output side;
+// §4.5 assessment): merges one or more per-logger CSV log files into the
+// chronologically sorted result log, prints per-metric statistics, and
+// optionally runs marker correlation and cross-correlation between two
+// metrics.
+//
+// Usage:
+//   gt_analyze --log run1.csv --log-2 run2.csv
+//   gt_analyze --log result.csv --correlate replayer.replay_rate,worker-1.queue_length --bin-ms 1000
+//   gt_analyze --log result.csv --markers marker_sent,marker_seen
+//
+// Flags:
+//   --log FILE [--log-2 FILE --log-3 FILE]  input logs (merged)
+//   --out FILE                merged result log output
+//   --markers SENT,SEEN      correlate marker metrics, print latencies
+//   --correlate A,B          cross-correlate metric series "source.metric"
+//   --bin-ms N               resampling bin for correlation (default 1000)
+//   --max-lag N              lag search range in bins (default 10)
+#include <cstdio>
+
+#include "analysis/time_series.h"
+#include "common/flags.h"
+#include "common/string_util.h"
+#include "harness/log_collector.h"
+#include "harness/marker_correlator.h"
+#include "harness/report.h"
+
+using namespace graphtides;
+
+namespace {
+
+int Fail(const Status& status) {
+  std::fprintf(stderr, "gt_analyze: %s\n", status.ToString().c_str());
+  return 1;
+}
+
+/// Splits "source.metric" (metric may not contain a dot; source may).
+std::pair<std::string, std::string> SplitSeriesName(const std::string& s) {
+  const size_t dot = s.rfind('.');
+  if (dot == std::string::npos) return {"", s};
+  return {s.substr(0, dot), s.substr(dot + 1)};
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  auto flags_or = Flags::Parse(argc, argv);
+  if (!flags_or.ok()) return Fail(flags_or.status());
+  const Flags& flags = *flags_or;
+  const auto unknown = flags.UnknownFlags({"log", "log-2", "log-3", "out",
+                                           "markers", "correlate", "bin-ms",
+                                           "max-lag", "help"});
+  if (!unknown.empty()) {
+    return Fail(Status::InvalidArgument("unknown flag --" + unknown[0]));
+  }
+  if (flags.GetBool("help")) {
+    std::printf("usage: gt_analyze --log FILE [--markers SENT,SEEN] "
+                "[--correlate A,B --bin-ms N]\n");
+    return 0;
+  }
+
+  // Merge all provided logs.
+  std::vector<LogRecord> all;
+  for (const char* name : {"log", "log-2", "log-3"}) {
+    const std::string path = flags.GetString(name, "");
+    if (path.empty()) continue;
+    auto log = ResultLog::ReadCsv(path);
+    if (!log.ok()) return Fail(log.status());
+    all.insert(all.end(), log->records().begin(), log->records().end());
+  }
+  if (all.empty()) {
+    return Fail(Status::InvalidArgument("no --log input given (or empty)"));
+  }
+  const ResultLog log(std::move(all));
+
+  // Per source.metric statistics.
+  std::map<std::string, RunningStats> by_series;
+  for (const LogRecord& r : log.records()) {
+    by_series[r.source + "." + r.metric].Add(r.value);
+  }
+  TextTable table({"series", "n", "mean", "min", "max"});
+  for (const auto& [name, stats] : by_series) {
+    table.AddRow({name, std::to_string(stats.count()),
+                  TextTable::FormatDouble(stats.mean(), 3),
+                  TextTable::FormatDouble(stats.min(), 3),
+                  TextTable::FormatDouble(stats.max(), 3)});
+  }
+  std::printf("result log: %zu records, %zu sources, spanning %.3f s\n\n",
+              log.size(), log.Sources().size(),
+              log.records().empty()
+                  ? 0.0
+                  : (log.records().back().time - log.records().front().time)
+                        .seconds());
+  std::printf("%s", table.ToString().c_str());
+
+  const std::string out = flags.GetString("out", "");
+  if (!out.empty()) {
+    if (Status st = log.WriteCsv(out); !st.ok()) return Fail(st);
+    std::printf("\nmerged log -> %s\n", out.c_str());
+  }
+
+  // Marker correlation (watermark latency, §4.5).
+  const std::string markers = flags.GetString("markers", "");
+  if (!markers.empty()) {
+    const auto parts = SplitString(markers, ',');
+    if (parts.size() != 2) {
+      return Fail(Status::InvalidArgument("--markers expects SENT,SEEN"));
+    }
+    const auto report = CorrelateMarkers(log, std::string(parts[0]),
+                                         std::string(parts[1]));
+    std::printf("\nmarker correlation (%s -> %s): %zu matched, %zu "
+                "unmatched\n",
+                std::string(parts[0]).c_str(), std::string(parts[1]).c_str(),
+                report.matched.size(), report.unmatched.size());
+    const auto latencies = report.LatenciesSeconds();
+    if (!latencies.empty()) {
+      std::printf("latency: median %.6f s, p99 %.6f s\n",
+                  Percentile(latencies, 0.5), Percentile(latencies, 0.99));
+    }
+  }
+
+  // Cross-correlation between two series (§4.5 time-series analyses).
+  const std::string correlate = flags.GetString("correlate", "");
+  if (!correlate.empty()) {
+    const auto parts = SplitString(correlate, ',');
+    if (parts.size() != 2) {
+      return Fail(Status::InvalidArgument("--correlate expects A,B"));
+    }
+    const auto [src_a, met_a] = SplitSeriesName(std::string(parts[0]));
+    const auto [src_b, met_b] = SplitSeriesName(std::string(parts[1]));
+    const TimeSeries a = log.Series(src_a, met_a);
+    const TimeSeries b = log.Series(src_b, met_b);
+    if (a.empty() || b.empty()) {
+      return Fail(Status::NotFound("one of the series is empty"));
+    }
+    auto bin_ms = flags.GetInt("bin-ms", 1000);
+    auto max_lag = flags.GetInt("max-lag", 10);
+    if (!bin_ms.ok()) return Fail(bin_ms.status());
+    if (!max_lag.ok()) return Fail(max_lag.status());
+    const Timestamp from = std::min(a.start(), b.start());
+    const Timestamp to = std::max(a.end(), b.end());
+    const Duration bin = Duration::FromMillis(*bin_ms);
+    const auto sa = a.ResampleMean(from, to, bin);
+    const auto sb = b.ResampleMean(from, to, bin);
+    double correlation = 0.0;
+    const int lag = BestCrossCorrelationLag(
+        sa, sb, static_cast<int>(*max_lag), &correlation);
+    std::printf("\ncross-correlation %s vs %s (bin %lld ms): r = %.3f at "
+                "lag %+d bins\n",
+                std::string(parts[0]).c_str(), std::string(parts[1]).c_str(),
+                static_cast<long long>(*bin_ms), correlation, lag);
+  }
+  return 0;
+}

@@ -1,0 +1,69 @@
+// gt_validate — checks a graph stream file for precondition violations and
+// prints the workload's §4.4.1 property profile (event mix, direction,
+// types, interleaving, sizes).
+//
+// Usage:
+//   gt_validate --in stream.gts [--max-violations 10] [--quiet]
+//
+// Exit code 0 for a valid stream, 2 for violations, 1 for usage/IO errors.
+#include <cstdio>
+
+#include "common/flags.h"
+#include "stream/statistics.h"
+#include "stream/stream_file.h"
+#include "stream/validator.h"
+
+using namespace graphtides;
+
+namespace {
+
+int Fail(const Status& status) {
+  std::fprintf(stderr, "gt_validate: %s\n", status.ToString().c_str());
+  return 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  auto flags_or = Flags::Parse(argc, argv);
+  if (!flags_or.ok()) return Fail(flags_or.status());
+  const Flags& flags = *flags_or;
+  const auto unknown =
+      flags.UnknownFlags({"in", "max-violations", "quiet", "help"});
+  if (!unknown.empty()) {
+    return Fail(Status::InvalidArgument("unknown flag --" + unknown[0]));
+  }
+  if (flags.GetBool("help")) {
+    std::printf("usage: gt_validate --in FILE [--max-violations N] "
+                "[--quiet]\n");
+    return 0;
+  }
+
+  const std::string in = flags.GetString("in", "");
+  if (in.empty()) return Fail(Status::InvalidArgument("--in is required"));
+  auto events = ReadStreamFile(in);
+  if (!events.ok()) return Fail(events.status());
+
+  auto max_violations = flags.GetInt("max-violations", 10);
+  if (!max_violations.ok()) return Fail(max_violations.status());
+
+  const StreamValidationReport report =
+      ValidateStream(*events, static_cast<size_t>(*max_violations));
+
+  if (!flags.GetBool("quiet")) {
+    std::printf("%s\n", ComputeStreamStatistics(*events).ToString().c_str());
+  }
+  if (report.valid()) {
+    std::printf("gt_validate: OK — %zu events, no precondition violations\n",
+                report.events_checked);
+    return 0;
+  }
+  std::printf("gt_validate: %zu violation(s) (showing up to %lld):\n",
+              report.violations.size(),
+              static_cast<long long>(*max_violations));
+  for (const StreamViolation& v : report.violations) {
+    std::printf("  event %zu: %s  [%s]\n", v.index, v.reason.c_str(),
+                v.event.ToCsvLine().c_str());
+  }
+  return 2;
+}
