@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_tradeoffs.dir/ablation_tradeoffs.cpp.o"
+  "CMakeFiles/ablation_tradeoffs.dir/ablation_tradeoffs.cpp.o.d"
+  "ablation_tradeoffs"
+  "ablation_tradeoffs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_tradeoffs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/faults_ablation.dir/faults_ablation.cpp.o"
+  "CMakeFiles/faults_ablation.dir/faults_ablation.cpp.o.d"
+  "faults_ablation"
+  "faults_ablation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/faults_ablation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig3a_replayer_throughput.dir/fig3a_replayer_throughput.cpp.o"
+  "CMakeFiles/fig3a_replayer_throughput.dir/fig3a_replayer_throughput.cpp.o.d"
+  "fig3a_replayer_throughput"
+  "fig3a_replayer_throughput.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig3a_replayer_throughput.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig3b_weaver_throughput.dir/fig3b_weaver_throughput.cpp.o"
+  "CMakeFiles/fig3b_weaver_throughput.dir/fig3b_weaver_throughput.cpp.o.d"
+  "fig3b_weaver_throughput"
+  "fig3b_weaver_throughput.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig3b_weaver_throughput.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig3c_weaver_cpu.dir/fig3c_weaver_cpu.cpp.o"
+  "CMakeFiles/fig3c_weaver_cpu.dir/fig3c_weaver_cpu.cpp.o.d"
+  "fig3c_weaver_cpu"
+  "fig3c_weaver_cpu.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig3c_weaver_cpu.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig3d_chronograph_timeline.dir/fig3d_chronograph_timeline.cpp.o"
+  "CMakeFiles/fig3d_chronograph_timeline.dir/fig3d_chronograph_timeline.cpp.o.d"
+  "fig3d_chronograph_timeline"
+  "fig3d_chronograph_timeline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig3d_chronograph_timeline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/methodology_ci.dir/methodology_ci.cpp.o"
+  "CMakeFiles/methodology_ci.dir/methodology_ci.cpp.o.d"
+  "methodology_ci"
+  "methodology_ci.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/methodology_ci.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

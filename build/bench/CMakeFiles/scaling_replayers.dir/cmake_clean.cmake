@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/scaling_replayers.dir/scaling_replayers.cpp.o"
+  "CMakeFiles/scaling_replayers.dir/scaling_replayers.cpp.o.d"
+  "scaling_replayers"
+  "scaling_replayers.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/scaling_replayers.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table1_computations.dir/table1_computations.cpp.o"
+  "CMakeFiles/table1_computations.dir/table1_computations.cpp.o.d"
+  "table1_computations"
+  "table1_computations.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table1_computations.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/blockchain_monitor.dir/blockchain_monitor.cpp.o"
+  "CMakeFiles/blockchain_monitor.dir/blockchain_monitor.cpp.o.d"
+  "blockchain_monitor"
+  "blockchain_monitor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/blockchain_monitor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

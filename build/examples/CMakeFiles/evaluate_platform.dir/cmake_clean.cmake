@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/evaluate_platform.dir/evaluate_platform.cpp.o"
+  "CMakeFiles/evaluate_platform.dir/evaluate_platform.cpp.o.d"
+  "evaluate_platform"
+  "evaluate_platform.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/evaluate_platform.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

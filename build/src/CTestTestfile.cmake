@@ -1,0 +1,18 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("common")
+subdirs("stream")
+subdirs("graph")
+subdirs("algorithms")
+subdirs("generator")
+subdirs("faults")
+subdirs("replayer")
+subdirs("sim")
+subdirs("sut")
+subdirs("analysis")
+subdirs("suite")
+subdirs("harness")

@@ -1,0 +1,33 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/algorithms/coloring.cc" "src/algorithms/CMakeFiles/gt_algorithms.dir/coloring.cc.o" "gcc" "src/algorithms/CMakeFiles/gt_algorithms.dir/coloring.cc.o.d"
+  "/root/repo/src/algorithms/communities.cc" "src/algorithms/CMakeFiles/gt_algorithms.dir/communities.cc.o" "gcc" "src/algorithms/CMakeFiles/gt_algorithms.dir/communities.cc.o.d"
+  "/root/repo/src/algorithms/components.cc" "src/algorithms/CMakeFiles/gt_algorithms.dir/components.cc.o" "gcc" "src/algorithms/CMakeFiles/gt_algorithms.dir/components.cc.o.d"
+  "/root/repo/src/algorithms/cycles.cc" "src/algorithms/CMakeFiles/gt_algorithms.dir/cycles.cc.o" "gcc" "src/algorithms/CMakeFiles/gt_algorithms.dir/cycles.cc.o.d"
+  "/root/repo/src/algorithms/incremental.cc" "src/algorithms/CMakeFiles/gt_algorithms.dir/incremental.cc.o" "gcc" "src/algorithms/CMakeFiles/gt_algorithms.dir/incremental.cc.o.d"
+  "/root/repo/src/algorithms/kmeans.cc" "src/algorithms/CMakeFiles/gt_algorithms.dir/kmeans.cc.o" "gcc" "src/algorithms/CMakeFiles/gt_algorithms.dir/kmeans.cc.o.d"
+  "/root/repo/src/algorithms/online_pagerank.cc" "src/algorithms/CMakeFiles/gt_algorithms.dir/online_pagerank.cc.o" "gcc" "src/algorithms/CMakeFiles/gt_algorithms.dir/online_pagerank.cc.o.d"
+  "/root/repo/src/algorithms/pagerank.cc" "src/algorithms/CMakeFiles/gt_algorithms.dir/pagerank.cc.o" "gcc" "src/algorithms/CMakeFiles/gt_algorithms.dir/pagerank.cc.o.d"
+  "/root/repo/src/algorithms/shortest_paths.cc" "src/algorithms/CMakeFiles/gt_algorithms.dir/shortest_paths.cc.o" "gcc" "src/algorithms/CMakeFiles/gt_algorithms.dir/shortest_paths.cc.o.d"
+  "/root/repo/src/algorithms/statistics.cc" "src/algorithms/CMakeFiles/gt_algorithms.dir/statistics.cc.o" "gcc" "src/algorithms/CMakeFiles/gt_algorithms.dir/statistics.cc.o.d"
+  "/root/repo/src/algorithms/traversal.cc" "src/algorithms/CMakeFiles/gt_algorithms.dir/traversal.cc.o" "gcc" "src/algorithms/CMakeFiles/gt_algorithms.dir/traversal.cc.o.d"
+  "/root/repo/src/algorithms/triangles.cc" "src/algorithms/CMakeFiles/gt_algorithms.dir/triangles.cc.o" "gcc" "src/algorithms/CMakeFiles/gt_algorithms.dir/triangles.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/gt_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/gt_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/stream/CMakeFiles/gt_stream.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,33 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gt_algorithms.dir/coloring.cc.o"
+  "CMakeFiles/gt_algorithms.dir/coloring.cc.o.d"
+  "CMakeFiles/gt_algorithms.dir/communities.cc.o"
+  "CMakeFiles/gt_algorithms.dir/communities.cc.o.d"
+  "CMakeFiles/gt_algorithms.dir/components.cc.o"
+  "CMakeFiles/gt_algorithms.dir/components.cc.o.d"
+  "CMakeFiles/gt_algorithms.dir/cycles.cc.o"
+  "CMakeFiles/gt_algorithms.dir/cycles.cc.o.d"
+  "CMakeFiles/gt_algorithms.dir/incremental.cc.o"
+  "CMakeFiles/gt_algorithms.dir/incremental.cc.o.d"
+  "CMakeFiles/gt_algorithms.dir/kmeans.cc.o"
+  "CMakeFiles/gt_algorithms.dir/kmeans.cc.o.d"
+  "CMakeFiles/gt_algorithms.dir/online_pagerank.cc.o"
+  "CMakeFiles/gt_algorithms.dir/online_pagerank.cc.o.d"
+  "CMakeFiles/gt_algorithms.dir/pagerank.cc.o"
+  "CMakeFiles/gt_algorithms.dir/pagerank.cc.o.d"
+  "CMakeFiles/gt_algorithms.dir/shortest_paths.cc.o"
+  "CMakeFiles/gt_algorithms.dir/shortest_paths.cc.o.d"
+  "CMakeFiles/gt_algorithms.dir/statistics.cc.o"
+  "CMakeFiles/gt_algorithms.dir/statistics.cc.o.d"
+  "CMakeFiles/gt_algorithms.dir/traversal.cc.o"
+  "CMakeFiles/gt_algorithms.dir/traversal.cc.o.d"
+  "CMakeFiles/gt_algorithms.dir/triangles.cc.o"
+  "CMakeFiles/gt_algorithms.dir/triangles.cc.o.d"
+  "libgt_algorithms.a"
+  "libgt_algorithms.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gt_algorithms.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gt_analysis.dir/ascii_chart.cc.o"
+  "CMakeFiles/gt_analysis.dir/ascii_chart.cc.o.d"
+  "CMakeFiles/gt_analysis.dir/time_series.cc.o"
+  "CMakeFiles/gt_analysis.dir/time_series.cc.o.d"
+  "CMakeFiles/gt_analysis.dir/trend.cc.o"
+  "CMakeFiles/gt_analysis.dir/trend.cc.o.d"
+  "libgt_analysis.a"
+  "libgt_analysis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gt_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gt_common.dir/csv.cc.o"
+  "CMakeFiles/gt_common.dir/csv.cc.o.d"
+  "CMakeFiles/gt_common.dir/flags.cc.o"
+  "CMakeFiles/gt_common.dir/flags.cc.o.d"
+  "CMakeFiles/gt_common.dir/logging.cc.o"
+  "CMakeFiles/gt_common.dir/logging.cc.o.d"
+  "CMakeFiles/gt_common.dir/random.cc.o"
+  "CMakeFiles/gt_common.dir/random.cc.o.d"
+  "CMakeFiles/gt_common.dir/stats.cc.o"
+  "CMakeFiles/gt_common.dir/stats.cc.o.d"
+  "CMakeFiles/gt_common.dir/status.cc.o"
+  "CMakeFiles/gt_common.dir/status.cc.o.d"
+  "CMakeFiles/gt_common.dir/string_util.cc.o"
+  "CMakeFiles/gt_common.dir/string_util.cc.o.d"
+  "libgt_common.a"
+  "libgt_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gt_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

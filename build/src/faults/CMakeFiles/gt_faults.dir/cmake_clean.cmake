@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gt_faults.dir/fault_injector.cc.o"
+  "CMakeFiles/gt_faults.dir/fault_injector.cc.o.d"
+  "libgt_faults.a"
+  "libgt_faults.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gt_faults.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

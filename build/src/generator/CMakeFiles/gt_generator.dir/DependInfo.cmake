@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/generator/bootstrap.cc" "src/generator/CMakeFiles/gt_generator.dir/bootstrap.cc.o" "gcc" "src/generator/CMakeFiles/gt_generator.dir/bootstrap.cc.o.d"
+  "/root/repo/src/generator/graph_builder.cc" "src/generator/CMakeFiles/gt_generator.dir/graph_builder.cc.o" "gcc" "src/generator/CMakeFiles/gt_generator.dir/graph_builder.cc.o.d"
+  "/root/repo/src/generator/model.cc" "src/generator/CMakeFiles/gt_generator.dir/model.cc.o" "gcc" "src/generator/CMakeFiles/gt_generator.dir/model.cc.o.d"
+  "/root/repo/src/generator/models/blockchain_model.cc" "src/generator/CMakeFiles/gt_generator.dir/models/blockchain_model.cc.o" "gcc" "src/generator/CMakeFiles/gt_generator.dir/models/blockchain_model.cc.o.d"
+  "/root/repo/src/generator/models/ddos_model.cc" "src/generator/CMakeFiles/gt_generator.dir/models/ddos_model.cc.o" "gcc" "src/generator/CMakeFiles/gt_generator.dir/models/ddos_model.cc.o.d"
+  "/root/repo/src/generator/models/event_mix_model.cc" "src/generator/CMakeFiles/gt_generator.dir/models/event_mix_model.cc.o" "gcc" "src/generator/CMakeFiles/gt_generator.dir/models/event_mix_model.cc.o.d"
+  "/root/repo/src/generator/models/social_network_model.cc" "src/generator/CMakeFiles/gt_generator.dir/models/social_network_model.cc.o" "gcc" "src/generator/CMakeFiles/gt_generator.dir/models/social_network_model.cc.o.d"
+  "/root/repo/src/generator/stream_generator.cc" "src/generator/CMakeFiles/gt_generator.dir/stream_generator.cc.o" "gcc" "src/generator/CMakeFiles/gt_generator.dir/stream_generator.cc.o.d"
+  "/root/repo/src/generator/topology_index.cc" "src/generator/CMakeFiles/gt_generator.dir/topology_index.cc.o" "gcc" "src/generator/CMakeFiles/gt_generator.dir/topology_index.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/gt_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/stream/CMakeFiles/gt_stream.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gt_generator.dir/bootstrap.cc.o"
+  "CMakeFiles/gt_generator.dir/bootstrap.cc.o.d"
+  "CMakeFiles/gt_generator.dir/graph_builder.cc.o"
+  "CMakeFiles/gt_generator.dir/graph_builder.cc.o.d"
+  "CMakeFiles/gt_generator.dir/model.cc.o"
+  "CMakeFiles/gt_generator.dir/model.cc.o.d"
+  "CMakeFiles/gt_generator.dir/models/blockchain_model.cc.o"
+  "CMakeFiles/gt_generator.dir/models/blockchain_model.cc.o.d"
+  "CMakeFiles/gt_generator.dir/models/ddos_model.cc.o"
+  "CMakeFiles/gt_generator.dir/models/ddos_model.cc.o.d"
+  "CMakeFiles/gt_generator.dir/models/event_mix_model.cc.o"
+  "CMakeFiles/gt_generator.dir/models/event_mix_model.cc.o.d"
+  "CMakeFiles/gt_generator.dir/models/social_network_model.cc.o"
+  "CMakeFiles/gt_generator.dir/models/social_network_model.cc.o.d"
+  "CMakeFiles/gt_generator.dir/stream_generator.cc.o"
+  "CMakeFiles/gt_generator.dir/stream_generator.cc.o.d"
+  "CMakeFiles/gt_generator.dir/topology_index.cc.o"
+  "CMakeFiles/gt_generator.dir/topology_index.cc.o.d"
+  "libgt_generator.a"
+  "libgt_generator.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gt_generator.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/graph/csr.cc" "src/graph/CMakeFiles/gt_graph.dir/csr.cc.o" "gcc" "src/graph/CMakeFiles/gt_graph.dir/csr.cc.o.d"
+  "/root/repo/src/graph/graph.cc" "src/graph/CMakeFiles/gt_graph.dir/graph.cc.o" "gcc" "src/graph/CMakeFiles/gt_graph.dir/graph.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/gt_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/stream/CMakeFiles/gt_stream.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

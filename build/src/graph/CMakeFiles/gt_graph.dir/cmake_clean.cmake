@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gt_graph.dir/csr.cc.o"
+  "CMakeFiles/gt_graph.dir/csr.cc.o.d"
+  "CMakeFiles/gt_graph.dir/graph.cc.o"
+  "CMakeFiles/gt_graph.dir/graph.cc.o.d"
+  "libgt_graph.a"
+  "libgt_graph.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gt_graph.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

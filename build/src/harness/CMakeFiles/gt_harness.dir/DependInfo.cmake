@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/harness/experiment.cc" "src/harness/CMakeFiles/gt_harness.dir/experiment.cc.o" "gcc" "src/harness/CMakeFiles/gt_harness.dir/experiment.cc.o.d"
+  "/root/repo/src/harness/log_collector.cc" "src/harness/CMakeFiles/gt_harness.dir/log_collector.cc.o" "gcc" "src/harness/CMakeFiles/gt_harness.dir/log_collector.cc.o.d"
+  "/root/repo/src/harness/log_record.cc" "src/harness/CMakeFiles/gt_harness.dir/log_record.cc.o" "gcc" "src/harness/CMakeFiles/gt_harness.dir/log_record.cc.o.d"
+  "/root/repo/src/harness/marker_correlator.cc" "src/harness/CMakeFiles/gt_harness.dir/marker_correlator.cc.o" "gcc" "src/harness/CMakeFiles/gt_harness.dir/marker_correlator.cc.o.d"
+  "/root/repo/src/harness/metrics_logger.cc" "src/harness/CMakeFiles/gt_harness.dir/metrics_logger.cc.o" "gcc" "src/harness/CMakeFiles/gt_harness.dir/metrics_logger.cc.o.d"
+  "/root/repo/src/harness/process_monitor.cc" "src/harness/CMakeFiles/gt_harness.dir/process_monitor.cc.o" "gcc" "src/harness/CMakeFiles/gt_harness.dir/process_monitor.cc.o.d"
+  "/root/repo/src/harness/report.cc" "src/harness/CMakeFiles/gt_harness.dir/report.cc.o" "gcc" "src/harness/CMakeFiles/gt_harness.dir/report.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/gt_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/analysis/CMakeFiles/gt_analysis.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gt_harness.dir/experiment.cc.o"
+  "CMakeFiles/gt_harness.dir/experiment.cc.o.d"
+  "CMakeFiles/gt_harness.dir/log_collector.cc.o"
+  "CMakeFiles/gt_harness.dir/log_collector.cc.o.d"
+  "CMakeFiles/gt_harness.dir/log_record.cc.o"
+  "CMakeFiles/gt_harness.dir/log_record.cc.o.d"
+  "CMakeFiles/gt_harness.dir/marker_correlator.cc.o"
+  "CMakeFiles/gt_harness.dir/marker_correlator.cc.o.d"
+  "CMakeFiles/gt_harness.dir/metrics_logger.cc.o"
+  "CMakeFiles/gt_harness.dir/metrics_logger.cc.o.d"
+  "CMakeFiles/gt_harness.dir/process_monitor.cc.o"
+  "CMakeFiles/gt_harness.dir/process_monitor.cc.o.d"
+  "CMakeFiles/gt_harness.dir/report.cc.o"
+  "CMakeFiles/gt_harness.dir/report.cc.o.d"
+  "libgt_harness.a"
+  "libgt_harness.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gt_harness.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/replayer/event_sink.cc" "src/replayer/CMakeFiles/gt_replayer.dir/event_sink.cc.o" "gcc" "src/replayer/CMakeFiles/gt_replayer.dir/event_sink.cc.o.d"
+  "/root/repo/src/replayer/rate_controller.cc" "src/replayer/CMakeFiles/gt_replayer.dir/rate_controller.cc.o" "gcc" "src/replayer/CMakeFiles/gt_replayer.dir/rate_controller.cc.o.d"
+  "/root/repo/src/replayer/replayer.cc" "src/replayer/CMakeFiles/gt_replayer.dir/replayer.cc.o" "gcc" "src/replayer/CMakeFiles/gt_replayer.dir/replayer.cc.o.d"
+  "/root/repo/src/replayer/tcp.cc" "src/replayer/CMakeFiles/gt_replayer.dir/tcp.cc.o" "gcc" "src/replayer/CMakeFiles/gt_replayer.dir/tcp.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/gt_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/stream/CMakeFiles/gt_stream.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

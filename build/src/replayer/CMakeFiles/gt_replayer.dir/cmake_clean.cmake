@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gt_replayer.dir/event_sink.cc.o"
+  "CMakeFiles/gt_replayer.dir/event_sink.cc.o.d"
+  "CMakeFiles/gt_replayer.dir/rate_controller.cc.o"
+  "CMakeFiles/gt_replayer.dir/rate_controller.cc.o.d"
+  "CMakeFiles/gt_replayer.dir/replayer.cc.o"
+  "CMakeFiles/gt_replayer.dir/replayer.cc.o.d"
+  "CMakeFiles/gt_replayer.dir/tcp.cc.o"
+  "CMakeFiles/gt_replayer.dir/tcp.cc.o.d"
+  "libgt_replayer.a"
+  "libgt_replayer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gt_replayer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

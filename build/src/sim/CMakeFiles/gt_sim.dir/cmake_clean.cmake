@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gt_sim.dir/process.cc.o"
+  "CMakeFiles/gt_sim.dir/process.cc.o.d"
+  "CMakeFiles/gt_sim.dir/simulator.cc.o"
+  "CMakeFiles/gt_sim.dir/simulator.cc.o.d"
+  "CMakeFiles/gt_sim.dir/virtual_replayer.cc.o"
+  "CMakeFiles/gt_sim.dir/virtual_replayer.cc.o.d"
+  "libgt_sim.a"
+  "libgt_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gt_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/stream/event.cc" "src/stream/CMakeFiles/gt_stream.dir/event.cc.o" "gcc" "src/stream/CMakeFiles/gt_stream.dir/event.cc.o.d"
+  "/root/repo/src/stream/statistics.cc" "src/stream/CMakeFiles/gt_stream.dir/statistics.cc.o" "gcc" "src/stream/CMakeFiles/gt_stream.dir/statistics.cc.o.d"
+  "/root/repo/src/stream/stream_file.cc" "src/stream/CMakeFiles/gt_stream.dir/stream_file.cc.o" "gcc" "src/stream/CMakeFiles/gt_stream.dir/stream_file.cc.o.d"
+  "/root/repo/src/stream/validator.cc" "src/stream/CMakeFiles/gt_stream.dir/validator.cc.o" "gcc" "src/stream/CMakeFiles/gt_stream.dir/validator.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/gt_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gt_stream.dir/event.cc.o"
+  "CMakeFiles/gt_stream.dir/event.cc.o.d"
+  "CMakeFiles/gt_stream.dir/statistics.cc.o"
+  "CMakeFiles/gt_stream.dir/statistics.cc.o.d"
+  "CMakeFiles/gt_stream.dir/stream_file.cc.o"
+  "CMakeFiles/gt_stream.dir/stream_file.cc.o.d"
+  "CMakeFiles/gt_stream.dir/validator.cc.o"
+  "CMakeFiles/gt_stream.dir/validator.cc.o.d"
+  "libgt_stream.a"
+  "libgt_stream.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gt_stream.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gt_suite.dir/benchmark_suite.cc.o"
+  "CMakeFiles/gt_suite.dir/benchmark_suite.cc.o.d"
+  "CMakeFiles/gt_suite.dir/connectors/hybrid_connector.cc.o"
+  "CMakeFiles/gt_suite.dir/connectors/hybrid_connector.cc.o.d"
+  "CMakeFiles/gt_suite.dir/connectors/offline_connector.cc.o"
+  "CMakeFiles/gt_suite.dir/connectors/offline_connector.cc.o.d"
+  "CMakeFiles/gt_suite.dir/connectors/online_connector.cc.o"
+  "CMakeFiles/gt_suite.dir/connectors/online_connector.cc.o.d"
+  "libgt_suite.a"
+  "libgt_suite.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gt_suite.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

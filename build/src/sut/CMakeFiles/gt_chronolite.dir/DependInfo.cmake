@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sut/chronolite/chronolite.cc" "src/sut/CMakeFiles/gt_chronolite.dir/chronolite/chronolite.cc.o" "gcc" "src/sut/CMakeFiles/gt_chronolite.dir/chronolite/chronolite.cc.o.d"
+  "/root/repo/src/sut/chronolite/experiment.cc" "src/sut/CMakeFiles/gt_chronolite.dir/chronolite/experiment.cc.o" "gcc" "src/sut/CMakeFiles/gt_chronolite.dir/chronolite/experiment.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/gt_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/stream/CMakeFiles/gt_stream.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/gt_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/algorithms/CMakeFiles/gt_algorithms.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/gt_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/harness/CMakeFiles/gt_harness.dir/DependInfo.cmake"
+  "/root/repo/build/src/analysis/CMakeFiles/gt_analysis.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gt_chronolite.dir/chronolite/chronolite.cc.o"
+  "CMakeFiles/gt_chronolite.dir/chronolite/chronolite.cc.o.d"
+  "CMakeFiles/gt_chronolite.dir/chronolite/experiment.cc.o"
+  "CMakeFiles/gt_chronolite.dir/chronolite/experiment.cc.o.d"
+  "libgt_chronolite.a"
+  "libgt_chronolite.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gt_chronolite.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gt_weaverlite.dir/weaverlite/experiment.cc.o"
+  "CMakeFiles/gt_weaverlite.dir/weaverlite/experiment.cc.o.d"
+  "CMakeFiles/gt_weaverlite.dir/weaverlite/weaverlite.cc.o"
+  "CMakeFiles/gt_weaverlite.dir/weaverlite/weaverlite.cc.o.d"
+  "libgt_weaverlite.a"
+  "libgt_weaverlite.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gt_weaverlite.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,34 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/algorithms_tests.dir/algorithms/coloring_test.cc.o"
+  "CMakeFiles/algorithms_tests.dir/algorithms/coloring_test.cc.o.d"
+  "CMakeFiles/algorithms_tests.dir/algorithms/communities_test.cc.o"
+  "CMakeFiles/algorithms_tests.dir/algorithms/communities_test.cc.o.d"
+  "CMakeFiles/algorithms_tests.dir/algorithms/components_test.cc.o"
+  "CMakeFiles/algorithms_tests.dir/algorithms/components_test.cc.o.d"
+  "CMakeFiles/algorithms_tests.dir/algorithms/cycles_test.cc.o"
+  "CMakeFiles/algorithms_tests.dir/algorithms/cycles_test.cc.o.d"
+  "CMakeFiles/algorithms_tests.dir/algorithms/incremental_test.cc.o"
+  "CMakeFiles/algorithms_tests.dir/algorithms/incremental_test.cc.o.d"
+  "CMakeFiles/algorithms_tests.dir/algorithms/kmeans_test.cc.o"
+  "CMakeFiles/algorithms_tests.dir/algorithms/kmeans_test.cc.o.d"
+  "CMakeFiles/algorithms_tests.dir/algorithms/online_pagerank_test.cc.o"
+  "CMakeFiles/algorithms_tests.dir/algorithms/online_pagerank_test.cc.o.d"
+  "CMakeFiles/algorithms_tests.dir/algorithms/pagerank_test.cc.o"
+  "CMakeFiles/algorithms_tests.dir/algorithms/pagerank_test.cc.o.d"
+  "CMakeFiles/algorithms_tests.dir/algorithms/shortest_paths_test.cc.o"
+  "CMakeFiles/algorithms_tests.dir/algorithms/shortest_paths_test.cc.o.d"
+  "CMakeFiles/algorithms_tests.dir/algorithms/statistics_test.cc.o"
+  "CMakeFiles/algorithms_tests.dir/algorithms/statistics_test.cc.o.d"
+  "CMakeFiles/algorithms_tests.dir/algorithms/traversal_test.cc.o"
+  "CMakeFiles/algorithms_tests.dir/algorithms/traversal_test.cc.o.d"
+  "CMakeFiles/algorithms_tests.dir/algorithms/triangles_test.cc.o"
+  "CMakeFiles/algorithms_tests.dir/algorithms/triangles_test.cc.o.d"
+  "algorithms_tests"
+  "algorithms_tests.pdb"
+  "algorithms_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/algorithms_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

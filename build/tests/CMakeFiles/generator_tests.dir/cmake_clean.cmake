@@ -1,0 +1,18 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/generator_tests.dir/generator/bootstrap_test.cc.o"
+  "CMakeFiles/generator_tests.dir/generator/bootstrap_test.cc.o.d"
+  "CMakeFiles/generator_tests.dir/generator/engine_test.cc.o"
+  "CMakeFiles/generator_tests.dir/generator/engine_test.cc.o.d"
+  "CMakeFiles/generator_tests.dir/generator/models_test.cc.o"
+  "CMakeFiles/generator_tests.dir/generator/models_test.cc.o.d"
+  "CMakeFiles/generator_tests.dir/generator/topology_index_test.cc.o"
+  "CMakeFiles/generator_tests.dir/generator/topology_index_test.cc.o.d"
+  "generator_tests"
+  "generator_tests.pdb"
+  "generator_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/generator_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,33 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/graph/csr_test.cc" "tests/CMakeFiles/graph_tests.dir/graph/csr_test.cc.o" "gcc" "tests/CMakeFiles/graph_tests.dir/graph/csr_test.cc.o.d"
+  "/root/repo/tests/graph/graph_test.cc" "tests/CMakeFiles/graph_tests.dir/graph/graph_test.cc.o" "gcc" "tests/CMakeFiles/graph_tests.dir/graph/graph_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/faults/CMakeFiles/gt_faults.dir/DependInfo.cmake"
+  "/root/repo/build/src/replayer/CMakeFiles/gt_replayer.dir/DependInfo.cmake"
+  "/root/repo/build/src/sut/CMakeFiles/gt_weaverlite.dir/DependInfo.cmake"
+  "/root/repo/build/src/suite/CMakeFiles/gt_suite.dir/DependInfo.cmake"
+  "/root/repo/build/src/generator/CMakeFiles/gt_generator.dir/DependInfo.cmake"
+  "/root/repo/build/src/sut/CMakeFiles/gt_chronolite.dir/DependInfo.cmake"
+  "/root/repo/build/src/algorithms/CMakeFiles/gt_algorithms.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/gt_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/gt_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/stream/CMakeFiles/gt_stream.dir/DependInfo.cmake"
+  "/root/repo/build/src/harness/CMakeFiles/gt_harness.dir/DependInfo.cmake"
+  "/root/repo/build/src/analysis/CMakeFiles/gt_analysis.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/gt_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,18 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/replayer_tests.dir/replayer/rate_controller_test.cc.o"
+  "CMakeFiles/replayer_tests.dir/replayer/rate_controller_test.cc.o.d"
+  "CMakeFiles/replayer_tests.dir/replayer/replayer_test.cc.o"
+  "CMakeFiles/replayer_tests.dir/replayer/replayer_test.cc.o.d"
+  "CMakeFiles/replayer_tests.dir/replayer/spsc_queue_test.cc.o"
+  "CMakeFiles/replayer_tests.dir/replayer/spsc_queue_test.cc.o.d"
+  "CMakeFiles/replayer_tests.dir/replayer/tcp_test.cc.o"
+  "CMakeFiles/replayer_tests.dir/replayer/tcp_test.cc.o.d"
+  "replayer_tests"
+  "replayer_tests.pdb"
+  "replayer_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/replayer_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

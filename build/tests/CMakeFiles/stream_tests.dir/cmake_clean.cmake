@@ -1,0 +1,18 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/stream_tests.dir/stream/event_test.cc.o"
+  "CMakeFiles/stream_tests.dir/stream/event_test.cc.o.d"
+  "CMakeFiles/stream_tests.dir/stream/statistics_test.cc.o"
+  "CMakeFiles/stream_tests.dir/stream/statistics_test.cc.o.d"
+  "CMakeFiles/stream_tests.dir/stream/stream_file_test.cc.o"
+  "CMakeFiles/stream_tests.dir/stream/stream_file_test.cc.o.d"
+  "CMakeFiles/stream_tests.dir/stream/validator_test.cc.o"
+  "CMakeFiles/stream_tests.dir/stream/validator_test.cc.o.d"
+  "stream_tests"
+  "stream_tests.pdb"
+  "stream_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/stream_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,14 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/suite_tests.dir/suite/benchmark_suite_test.cc.o"
+  "CMakeFiles/suite_tests.dir/suite/benchmark_suite_test.cc.o.d"
+  "CMakeFiles/suite_tests.dir/suite/connectors_test.cc.o"
+  "CMakeFiles/suite_tests.dir/suite/connectors_test.cc.o.d"
+  "suite_tests"
+  "suite_tests.pdb"
+  "suite_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/suite_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,16 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sut_tests.dir/sut/chronolite_test.cc.o"
+  "CMakeFiles/sut_tests.dir/sut/chronolite_test.cc.o.d"
+  "CMakeFiles/sut_tests.dir/sut/experiments_test.cc.o"
+  "CMakeFiles/sut_tests.dir/sut/experiments_test.cc.o.d"
+  "CMakeFiles/sut_tests.dir/sut/weaverlite_test.cc.o"
+  "CMakeFiles/sut_tests.dir/sut/weaverlite_test.cc.o.d"
+  "sut_tests"
+  "sut_tests.pdb"
+  "sut_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sut_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

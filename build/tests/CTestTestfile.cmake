@@ -1,0 +1,19 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/common_tests[1]_include.cmake")
+include("/root/repo/build/tests/stream_tests[1]_include.cmake")
+include("/root/repo/build/tests/graph_tests[1]_include.cmake")
+include("/root/repo/build/tests/algorithms_tests[1]_include.cmake")
+include("/root/repo/build/tests/generator_tests[1]_include.cmake")
+include("/root/repo/build/tests/faults_tests[1]_include.cmake")
+include("/root/repo/build/tests/replayer_tests[1]_include.cmake")
+include("/root/repo/build/tests/sim_tests[1]_include.cmake")
+include("/root/repo/build/tests/sut_tests[1]_include.cmake")
+include("/root/repo/build/tests/harness_tests[1]_include.cmake")
+include("/root/repo/build/tests/analysis_tests[1]_include.cmake")
+include("/root/repo/build/tests/integration_tests[1]_include.cmake")
+include("/root/repo/build/tests/suite_tests[1]_include.cmake")

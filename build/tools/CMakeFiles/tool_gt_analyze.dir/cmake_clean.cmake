@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tool_gt_analyze.dir/gt_analyze.cpp.o"
+  "CMakeFiles/tool_gt_analyze.dir/gt_analyze.cpp.o.d"
+  "gt_analyze"
+  "gt_analyze.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tool_gt_analyze.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

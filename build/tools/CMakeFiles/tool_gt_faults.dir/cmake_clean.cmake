@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tool_gt_faults.dir/gt_faults.cpp.o"
+  "CMakeFiles/tool_gt_faults.dir/gt_faults.cpp.o.d"
+  "gt_faults"
+  "gt_faults.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tool_gt_faults.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tool_gt_generate.dir/gt_generate.cpp.o"
+  "CMakeFiles/tool_gt_generate.dir/gt_generate.cpp.o.d"
+  "gt_generate"
+  "gt_generate.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tool_gt_generate.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tool_gt_replay.dir/gt_replay.cpp.o"
+  "CMakeFiles/tool_gt_replay.dir/gt_replay.cpp.o.d"
+  "gt_replay"
+  "gt_replay.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tool_gt_replay.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tool_gt_validate.dir/gt_validate.cpp.o"
+  "CMakeFiles/tool_gt_validate.dir/gt_validate.cpp.o.d"
+  "gt_validate"
+  "gt_validate.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tool_gt_validate.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
