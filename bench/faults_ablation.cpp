@@ -8,6 +8,11 @@
 // with increasing drop / duplicate / reorder rates, and for each level we
 // measure (i) precondition violations a consumer observes and (ii) the
 // divergence of the resulting graph from the fault-free one.
+//
+// A second section moves from stream faults to *system* faults: the SUT
+// itself is killed mid-stream and restarted after a fixed downtime, and we
+// report recovery latency, rebuild workload, and post-recovery consistency
+// (RunCrashRecoveryCase over a RecoverableConnector).
 #include <cstdio>
 
 #include "faults/fault_injector.h"
@@ -16,6 +21,8 @@
 #include "graph/graph.h"
 #include "harness/report.h"
 #include "stream/validator.h"
+#include "suite/benchmark_suite.h"
+#include "suite/connectors/online_connector.h"
 
 using namespace graphtides;
 
@@ -128,5 +135,57 @@ int main() {
       "divergence (dropped CREATEs invalidate later operations), which is\n"
       "why the framework replays with exactly-once semantics and injects\n"
       "faults deterministically a priori instead (\xc2\xa7""3.2).\n");
+
+  // --- SUT crash–recovery: kill the system under test mid-stream ---------
+  std::printf("%s", SectionHeader(
+      "SUT crash\xe2\x80\x93recovery \xe2\x80\x94 kill at t=10s (virtual), "
+      "restart after 2s downtime").c_str());
+
+  SuiteWorkload workload;
+  workload.name = "table3-mix-50k";
+  workload.events = clean;
+  for (const Event& e : clean) {
+    if (IsGraphOp(e.type)) ++workload.graph_events;
+  }
+  workload.rate_eps = 2000.0;
+
+  ConnectorFactory online_factory = [](Simulator* sim) {
+    return std::make_unique<OnlineConnector>(sim, ChronoLiteOptions{});
+  };
+
+  TextTable crash_table({"recovery mode", "crash at", "recover at",
+                         "journal events", "lost events", "catch-up (s)",
+                         "drained (s)", "final rank err"});
+  for (const bool journaled : {true, false}) {
+    CrashRecoveryOptions crash_options;
+    crash_options.journal_during_downtime = journaled;
+    auto report = RunCrashRecoveryCase(workload, online_factory,
+                                       crash_options);
+    if (!report.ok()) {
+      std::fprintf(stderr, "crash-recovery case failed: %s\n",
+                   report.status().ToString().c_str());
+      return 1;
+    }
+    crash_table.AddRow(
+        {journaled ? "journal + replay" : "lossy restart",
+         TextTable::FormatDouble(report->crash_at_s, 2) + "s",
+         TextTable::FormatDouble(report->recover_at_s, 2) + "s",
+         std::to_string(report->journal_events),
+         std::to_string(report->lost_events),
+         report->recovered
+             ? TextTable::FormatDouble(report->recovery_catchup_s, 3)
+             : std::string("never"),
+         report->drained ? TextTable::FormatDouble(report->drained_s, 2)
+                         : std::string("no"),
+         TextTable::FormatDouble(report->final_rank_error, 4)});
+  }
+  std::printf("%s", crash_table.ToString().c_str());
+  std::printf(
+      "\nReading: catch-up is the virtual time the restarted SUT needs to\n"
+      "re-apply as many events as the dead instance had. With a durable\n"
+      "journal nothing is lost (lost events = 0, full rebuild workload);\n"
+      "a lossy restart permanently misses the downtime window's events.\n"
+      "The residual rank error of the online engine dominates both final\n"
+      "error figures; the lost-events column is the consistency signal.\n");
   return 0;
 }

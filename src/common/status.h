@@ -26,6 +26,9 @@ enum class StatusCode : int {
   kUnsupported = 9,
   kInternal = 10,
   kCancelled = 11,
+  /// Transient unavailability (injected chaos faults, overloaded peers):
+  /// the operation is expected to succeed when retried.
+  kUnavailable = 12,
 };
 
 /// \brief Returns a stable, human-readable name for a status code.
@@ -88,6 +91,9 @@ class Status {
   static Status Cancelled(std::string msg) {
     return Status(StatusCode::kCancelled, std::move(msg));
   }
+  static Status Unavailable(std::string msg) {
+    return Status(StatusCode::kUnavailable, std::move(msg));
+  }
 
   bool ok() const { return state_ == nullptr; }
   StatusCode code() const { return ok() ? StatusCode::kOk : state_->code; }
@@ -112,6 +118,7 @@ class Status {
   bool IsUnsupported() const { return code() == StatusCode::kUnsupported; }
   bool IsInternal() const { return code() == StatusCode::kInternal; }
   bool IsCancelled() const { return code() == StatusCode::kCancelled; }
+  bool IsUnavailable() const { return code() == StatusCode::kUnavailable; }
 
   /// "OK" or "<CODE>: <message>".
   std::string ToString() const;

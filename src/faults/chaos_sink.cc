@@ -1,0 +1,65 @@
+#include "faults/chaos_sink.h"
+
+#include <chrono>
+#include <thread>
+
+namespace graphtides {
+
+ChaosSink::ChaosSink(EventSink* inner, ChaosOptions options,
+                     DisconnectFn disconnect)
+    : inner_(inner),
+      options_(std::move(options)),
+      disconnect_(std::move(disconnect)),
+      rng_(options_.seed),
+      fail_points_(options_.fail_points.begin(), options_.fail_points.end()) {
+  sleep_ = [](Duration d) {
+    std::this_thread::sleep_for(std::chrono::nanoseconds(d.nanos()));
+  };
+}
+
+Status ChaosSink::Deliver(const Event& event) {
+  const uint64_t attempt = stats_.attempts++;
+  // Always draw every fault class, even when a draw earlier in the
+  // priority order already fired: a fixed number of draws per attempt
+  // keeps the schedule aligned with the attempt index.
+  const bool disconnect = rng_.NextBool(options_.disconnect_probability);
+  const bool fail = rng_.NextBool(options_.fail_probability);
+  const bool stall = rng_.NextBool(options_.stall_probability);
+  const bool spike = rng_.NextBool(options_.latency_probability);
+
+  if (disconnect) {
+    ++stats_.injected_disconnects;
+    if (disconnect_) disconnect_();
+    return Status::IoError("chaos: forced disconnect at attempt " +
+                           std::to_string(attempt));
+  }
+  if (fail || fail_points_.contains(attempt)) {
+    ++stats_.injected_failures;
+    return Status::Unavailable("chaos: injected delivery failure at attempt " +
+                               std::to_string(attempt));
+  }
+  if (stall) {
+    ++stats_.stalls;
+    stats_.stall_time += options_.stall;
+    sleep_(options_.stall);
+  } else if (spike) {
+    ++stats_.latency_spikes;
+    stats_.stall_time += options_.latency;
+    sleep_(options_.latency);
+  }
+  ++stats_.forwarded;
+  return inner_->Deliver(event);
+}
+
+SinkTelemetry ChaosSink::Telemetry() const {
+  SinkTelemetry t = inner_->Telemetry();
+  SinkTelemetry own;
+  own.injected_failures = stats_.injected_failures;
+  own.injected_disconnects = stats_.injected_disconnects;
+  own.injected_stalls = stats_.stalls;
+  own.injected_latency_spikes = stats_.latency_spikes;
+  own.stall_s = stats_.stall_time.seconds();
+  return t.Merge(own);
+}
+
+}  // namespace graphtides

@@ -1,0 +1,91 @@
+// Runtime fault injection (the counterpart of fault_injector.h): instead of
+// rewriting the stream a priori (§3.2 "faults as input preprocessing"), a
+// ChaosSink degrades *delivery itself* while the replayer runs — transient
+// Deliver failures, latency spikes, stalls, and forced transport
+// disconnects, all driven by a deterministic seeded schedule. Paired with
+// replayer/resilient_sink.h this turns fault tolerance into a runtime,
+// measurable dimension: the harness observes how the delivery pipeline and
+// the system under test behave *while* misbehaving, which is what the
+// paper's evaluation methodology (§4.1, §4.5) demands of a robust harness.
+#ifndef GRAPHTIDES_FAULTS_CHAOS_SINK_H_
+#define GRAPHTIDES_FAULTS_CHAOS_SINK_H_
+
+#include <cstdint>
+#include <functional>
+#include <unordered_set>
+#include <vector>
+
+#include "common/clock.h"
+#include "common/random.h"
+#include "replayer/event_sink.h"
+
+namespace graphtides {
+
+/// \brief Deterministic schedule of runtime delivery faults.
+///
+/// Decisions are drawn per *delivery attempt* from a seeded RNG, one draw
+/// per fault class, so the decision sequence — and therefore every fault
+/// count — is stable under a given seed regardless of wall-clock timing or
+/// how an outer retry layer paces the attempts.
+struct ChaosOptions {
+  uint64_t seed = 1;
+  /// Per-attempt probability of a transient delivery failure
+  /// (Status::Unavailable; the event is not forwarded).
+  double fail_probability = 0.0;
+  /// Per-attempt probability of severing the transport via the disconnect
+  /// hook and failing the attempt with IoError.
+  double disconnect_probability = 0.0;
+  /// Per-attempt probability of stalling (sleeping) before forwarding.
+  double stall_probability = 0.0;
+  Duration stall = Duration::FromMillis(2);
+  /// Per-attempt probability of a short latency spike before forwarding.
+  double latency_probability = 0.0;
+  Duration latency = Duration::FromMicros(100);
+  /// Attempt indices (0-based) that always fail, independent of the
+  /// probabilities — deterministic fail points for targeted tests.
+  std::vector<uint64_t> fail_points;
+};
+
+/// \brief What the chaos layer actually injected during a run.
+struct ChaosStats {
+  uint64_t attempts = 0;
+  uint64_t forwarded = 0;
+  uint64_t injected_failures = 0;
+  uint64_t injected_disconnects = 0;
+  uint64_t stalls = 0;
+  uint64_t latency_spikes = 0;
+  Duration stall_time;
+};
+
+/// \brief EventSink decorator that injects runtime delivery faults.
+class ChaosSink final : public EventSink {
+ public:
+  /// Severs the underlying transport (e.g. TcpSink::Sever).
+  using DisconnectFn = std::function<void()>;
+  using SleepFn = std::function<void(Duration)>;
+
+  ChaosSink(EventSink* inner, ChaosOptions options,
+            DisconnectFn disconnect = {});
+
+  /// Replaces the real sleep (test hook; virtual-time harnesses).
+  void set_sleep_fn(SleepFn fn) { sleep_ = std::move(fn); }
+
+  Status Deliver(const Event& event) override;
+  Status Finish() override { return inner_->Finish(); }
+  SinkTelemetry Telemetry() const override;
+
+  const ChaosStats& stats() const { return stats_; }
+
+ private:
+  EventSink* inner_;
+  ChaosOptions options_;
+  DisconnectFn disconnect_;
+  SleepFn sleep_;
+  Rng rng_;
+  std::unordered_set<uint64_t> fail_points_;
+  ChaosStats stats_;
+};
+
+}  // namespace graphtides
+
+#endif  // GRAPHTIDES_FAULTS_CHAOS_SINK_H_

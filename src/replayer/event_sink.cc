@@ -2,8 +2,35 @@
 
 #include <cerrno>
 #include <cstring>
+#include <sstream>
 
 namespace graphtides {
+
+SinkTelemetry& SinkTelemetry::Merge(const SinkTelemetry& other) {
+  retries += other.retries;
+  reconnects += other.reconnects;
+  drops_after_retry += other.drops_after_retry;
+  giveups += other.giveups;
+  backoff_s += other.backoff_s;
+  injected_failures += other.injected_failures;
+  injected_disconnects += other.injected_disconnects;
+  injected_stalls += other.injected_stalls;
+  injected_latency_spikes += other.injected_latency_spikes;
+  stall_s += other.stall_s;
+  return *this;
+}
+
+std::string SinkTelemetry::ToString() const {
+  std::ostringstream os;
+  os << "retries=" << retries << " reconnects=" << reconnects
+     << " drops=" << drops_after_retry << " giveups=" << giveups
+     << " backoff_s=" << backoff_s << " injected_failures=" << injected_failures
+     << " injected_disconnects=" << injected_disconnects
+     << " injected_stalls=" << injected_stalls
+     << " injected_latency_spikes=" << injected_latency_spikes
+     << " stall_s=" << stall_s;
+  return os.str();
+}
 
 Status PipeSink::Deliver(const Event& event) {
   const std::string line = event.ToCsvLine();

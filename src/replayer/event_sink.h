@@ -5,6 +5,7 @@
 #ifndef GRAPHTIDES_REPLAYER_EVENT_SINK_H_
 #define GRAPHTIDES_REPLAYER_EVENT_SINK_H_
 
+#include <cstdint>
 #include <cstdio>
 #include <functional>
 #include <string>
@@ -13,6 +14,34 @@
 #include "stream/event.h"
 
 namespace graphtides {
+
+/// \brief Runtime-fault telemetry accumulated along a sink chain.
+///
+/// Decorator sinks (faults/ChaosSink, ResilientSink) report what happened
+/// on the delivery path during a run; StreamReplayer copies the chain's
+/// telemetry into ReplayStats so fault behaviour is measurable end to end
+/// (§4.3 streaming metrics, extended to the delivery dimension).
+struct SinkTelemetry {
+  // Resilience layer (replayer/resilient_sink.h).
+  uint64_t retries = 0;
+  uint64_t reconnects = 0;
+  uint64_t drops_after_retry = 0;
+  uint64_t giveups = 0;
+  /// Total time spent sleeping in retry backoff, seconds.
+  double backoff_s = 0.0;
+  // Chaos layer (faults/chaos_sink.h).
+  uint64_t injected_failures = 0;
+  uint64_t injected_disconnects = 0;
+  uint64_t injected_stalls = 0;
+  uint64_t injected_latency_spikes = 0;
+  /// Total injected stall + latency-spike time, seconds.
+  double stall_s = 0.0;
+
+  /// Field-wise sum; used to fold a decorated sink's own counters into its
+  /// inner sink's.
+  SinkTelemetry& Merge(const SinkTelemetry& other);
+  std::string ToString() const;
+};
 
 /// \brief Destination for replayed graph events.
 ///
@@ -27,6 +56,10 @@ class EventSink {
 
   /// Called once after the last event.
   virtual Status Finish() { return Status::OK(); }
+
+  /// Fault telemetry for this sink and everything it wraps. Plain
+  /// transports report nothing.
+  virtual SinkTelemetry Telemetry() const { return {}; }
 };
 
 /// \brief Invokes a user function per event (in-process connector).

@@ -122,6 +122,7 @@ Result<ReplayStats> StreamReplayer::Run(const SourceFn& source,
   if (!emit_status.ok()) return emit_status.WithContext("sink delivery");
   if (!reader_status.ok()) return reader_status.WithContext("stream source");
   GT_RETURN_NOT_OK(sink->Finish());
+  stats.telemetry = sink->Telemetry();
   return stats;
 }
 

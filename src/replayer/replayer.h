@@ -65,6 +65,10 @@ struct ReplayStats {
   /// spread of this distribution is the "range of rates" effect Fig. 3a
   /// reports at high target rates.
   std::vector<double> lag_us;
+  /// Runtime-fault telemetry collected from the sink chain (retries,
+  /// reconnects, counted drops, injected chaos faults). All zeros for
+  /// plain sinks.
+  SinkTelemetry telemetry;
 
   Duration Elapsed() const { return finished - started; }
   /// Mean achieved rate over the whole run (events/second).

@@ -17,10 +17,12 @@ Status Errno(const std::string& what) {
   return Status::IoError(what + ": " + std::strerror(errno));
 }
 
+// MSG_NOSIGNAL: a peer reset must surface as a Status, not a SIGPIPE that
+// kills the replayer process mid-run.
 Status WriteAll(int fd, const char* data, size_t size) {
   size_t written = 0;
   while (written < size) {
-    const ssize_t n = ::write(fd, data + written, size - written);
+    const ssize_t n = ::send(fd, data + written, size - written, MSG_NOSIGNAL);
     if (n < 0) {
       if (errno == EINTR) continue;
       return Errno("socket write");
@@ -36,23 +38,23 @@ TcpSink::~TcpSink() {
   if (fd_ >= 0) ::close(fd_);
 }
 
-Status TcpSink::Connect(const std::string& host, uint16_t port) {
+Status TcpSink::Dial() {
   fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
   if (fd_ < 0) return Errno("socket");
 
   sockaddr_in addr{};
   addr.sin_family = AF_INET;
-  addr.sin_port = htons(port);
-  const std::string resolved = (host == "localhost") ? "127.0.0.1" : host;
+  addr.sin_port = htons(port_);
+  const std::string resolved = (host_ == "localhost") ? "127.0.0.1" : host_;
   if (::inet_pton(AF_INET, resolved.c_str(), &addr.sin_addr) != 1) {
     ::close(fd_);
     fd_ = -1;
-    return Status::InvalidArgument("not an IPv4 address: " + host);
+    return Status::InvalidArgument("not an IPv4 address: " + host_);
   }
   if (::connect(fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
     ::close(fd_);
     fd_ = -1;
-    return Errno("connect " + resolved + ":" + std::to_string(port));
+    return Errno("connect " + resolved + ":" + std::to_string(port_));
   }
   int one = 1;
   ::setsockopt(fd_, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
@@ -60,8 +62,38 @@ Status TcpSink::Connect(const std::string& host, uint16_t port) {
   return Status::OK();
 }
 
+Status TcpSink::Connect(const std::string& host, uint16_t port) {
+  host_ = host;
+  port_ = port;
+  GT_RETURN_NOT_OK(Dial());
+  ever_connected_ = true;
+  return Status::OK();
+}
+
+Status TcpSink::Reconnect() {
+  if (!ever_connected_) {
+    return Status::PreconditionFailed("TcpSink was never connected");
+  }
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+  GT_RETURN_NOT_OK(Dial());
+  ++reconnects_;
+  return Status::OK();
+}
+
+void TcpSink::Sever() {
+  if (fd_ < 0) return;
+  ::shutdown(fd_, SHUT_RDWR);
+  ::close(fd_);
+  fd_ = -1;
+}
+
 Status TcpSink::FlushBuffer() {
   if (buffer_.empty()) return Status::OK();
+  // On failure the buffer is kept: a retry after Reconnect re-sends it
+  // (at-least-once semantics on the fault path).
   GT_RETURN_NOT_OK(WriteAll(fd_, buffer_.data(), buffer_.size()));
   buffer_.clear();
   return Status::OK();
@@ -85,8 +117,11 @@ Status TcpSink::Finish() {
 }
 
 TcpLineServer::~TcpLineServer() {
+  if (thread_.joinable()) {
+    Stop();
+    thread_.join();
+  }
   if (listen_fd_ >= 0) ::close(listen_fd_);
-  if (thread_.joinable()) thread_.join();
 }
 
 Result<uint16_t> TcpLineServer::Start(LineFn on_line, uint16_t port) {
@@ -104,22 +139,22 @@ Result<uint16_t> TcpLineServer::Start(LineFn on_line, uint16_t port) {
       0) {
     return Errno("bind");
   }
-  if (::listen(listen_fd_, 1) != 0) return Errno("listen");
+  if (::listen(listen_fd_, 8) != 0) return Errno("listen");
 
   socklen_t len = sizeof(addr);
   if (::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&addr), &len) !=
       0) {
     return Errno("getsockname");
   }
+  port_ = ntohs(addr.sin_port);
   thread_ = std::thread([this] { Serve(); });
-  return ntohs(addr.sin_port);
+  return port_;
 }
 
-void TcpLineServer::Serve() {
-  const int conn = ::accept(listen_fd_, nullptr, nullptr);
-  if (conn < 0) return;
+bool TcpLineServer::ServeConnection(int conn) {
   std::string pending;
   char buf[64 * 1024];
+  bool keep_accepting = true;
   while (true) {
     const ssize_t n = ::read(conn, buf, sizeof(buf));
     if (n < 0) {
@@ -139,8 +174,52 @@ void TcpLineServer::Serve() {
       start = nl + 1;
     }
     pending.erase(0, start);
+    if (close_after_lines_ != 0 &&
+        lines_.load(std::memory_order_relaxed) >= close_after_lines_) {
+      // Simulated crash of the measurement process: drop the connection
+      // (and stop serving) while the client may still be sending.
+      keep_accepting = false;
+      break;
+    }
+  }
+  // A final line without a trailing newline still counts: the peer's
+  // disconnect terminates it.
+  if (!pending.empty()) {
+    if (on_line_) on_line_(std::string_view(pending));
+    lines_.fetch_add(1, std::memory_order_relaxed);
   }
   ::close(conn);
+  return keep_accepting;
+}
+
+void TcpLineServer::Serve() {
+  while (!stop_.load(std::memory_order_relaxed) &&
+         connections_.load(std::memory_order_relaxed) < max_connections_) {
+    const int conn = ::accept(listen_fd_, nullptr, nullptr);
+    if (conn < 0) {
+      if (errno == EINTR) continue;
+      return;
+    }
+    if (stop_.load(std::memory_order_relaxed)) {
+      ::close(conn);  // wake-up connection from Stop()
+      return;
+    }
+    connections_.fetch_add(1, std::memory_order_relaxed);
+    if (!ServeConnection(conn)) return;
+  }
+}
+
+void TcpLineServer::Stop() {
+  if (stop_.exchange(true)) return;
+  // Wake a blocked accept with a throwaway connection.
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return;
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port_);
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  (void)::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr));
+  ::close(fd);
 }
 
 void TcpLineServer::Join() {

@@ -21,6 +21,12 @@ namespace graphtides {
 /// Writes go through a small user-space buffer and the kernel socket
 /// buffer; when the receiver falls behind, writes block — TCP flow control
 /// is the backpressure signal.
+///
+/// Failure semantics: sends use MSG_NOSIGNAL, so a peer that resets the
+/// connection mid-replay surfaces as an IoError Status instead of a
+/// process-killing SIGPIPE. Unflushed buffered lines survive a failure and
+/// a Reconnect(), giving at-least-once delivery when a ResilientSink
+/// drives the retry loop.
 class TcpSink final : public EventSink {
  public:
   TcpSink() = default;
@@ -32,25 +38,47 @@ class TcpSink final : public EventSink {
   /// Connects to host:port (IPv4 dotted quad or "localhost").
   Status Connect(const std::string& host, uint16_t port);
 
+  /// \brief Re-dials the address of the last successful Connect.
+  ///
+  /// Closes any half-dead socket first; the user-space buffer is kept, so
+  /// lines accepted but not yet flushed are re-sent on the new connection.
+  /// PreconditionFailed if Connect never succeeded.
+  Status Reconnect();
+
+  /// \brief Severs the connection immediately (no flush, fd closed).
+  ///
+  /// Used as the chaos "forced disconnect" hook: after Sever, Deliver
+  /// fails until Reconnect() re-establishes the connection.
+  void Sever();
+
   Status Deliver(const Event& event) override;
   Status Finish() override;
 
   bool connected() const { return fd_ >= 0; }
+  uint64_t reconnects() const { return reconnects_; }
 
  private:
+  Status Dial();
   Status FlushBuffer();
 
   int fd_ = -1;
+  std::string host_;
+  uint16_t port_ = 0;
+  bool ever_connected_ = false;
+  uint64_t reconnects_ = 0;
   std::string buffer_;
   /// Flush threshold; one syscall per ~16 KiB rather than per event.
   static constexpr size_t kFlushBytes = 16 * 1024;
 };
 
-/// \brief Minimal single-connection line server: accepts one client and
-/// feeds every received line to a callback on a background thread.
+/// \brief Minimal line server: accepts clients sequentially and feeds every
+/// received line to a callback on a background thread.
 ///
 /// Used by benchmarks and tests as the "measurement process" counterpart of
-/// the TCP setup.
+/// the TCP setup. By default exactly one connection is served (the historic
+/// behaviour); raise `set_max_connections` to let a resilient client
+/// reconnect after forced disconnects. A final line without a trailing
+/// newline is still delivered when the peer disconnects.
 class TcpLineServer {
  public:
   using LineFn = std::function<void(std::string_view line)>;
@@ -61,25 +89,51 @@ class TcpLineServer {
   TcpLineServer(const TcpLineServer&) = delete;
   TcpLineServer& operator=(const TcpLineServer&) = delete;
 
+  /// Maximum sequential connections to serve before the server thread
+  /// exits (default 1). Call before Start.
+  void set_max_connections(size_t n) { max_connections_ = n; }
+
+  /// Close each connection after this many total lines were received
+  /// (0 = never) — simulates a measurement process dying mid-replay.
+  void set_close_after_lines(uint64_t n) { close_after_lines_ = n; }
+
   /// Binds to 127.0.0.1 on an ephemeral (or given) port and starts
   /// listening. Returns the bound port.
   Result<uint16_t> Start(LineFn on_line, uint16_t port = 0);
 
-  /// Waits for the client to disconnect and joins the service thread.
+  /// Asks the server thread to exit after the current connection; wakes a
+  /// blocked accept. Needed before Join when max_connections was not
+  /// exhausted.
+  void Stop();
+
+  /// Waits for the service thread to finish and joins it.
   void Join();
 
-  /// Lines received so far.
+  /// Lines received so far (across all connections).
   uint64_t lines_received() const {
     return lines_.load(std::memory_order_relaxed);
   }
 
+  /// Connections accepted so far.
+  uint64_t connections_served() const {
+    return connections_.load(std::memory_order_relaxed);
+  }
+
  private:
   void Serve();
+  /// Reads one connection until EOF / close trigger. Returns false when
+  /// the server should stop accepting.
+  bool ServeConnection(int conn);
 
   int listen_fd_ = -1;
+  uint16_t port_ = 0;
+  size_t max_connections_ = 1;
+  uint64_t close_after_lines_ = 0;
   std::thread thread_;
   LineFn on_line_;
   std::atomic<uint64_t> lines_{0};
+  std::atomic<uint64_t> connections_{0};
+  std::atomic<bool> stop_{false};
 };
 
 }  // namespace graphtides

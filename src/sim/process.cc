@@ -13,13 +13,45 @@ SimProcess::SimProcess(Simulator* sim, std::string name,
       busy_until_(sim->Now()) {}
 
 Timestamp SimProcess::Submit(Duration cpu_cost, Simulator::Callback done) {
+  if (!alive_) {
+    ++lost_submissions_;
+    return sim_->Now();
+  }
   const Timestamp start = std::max(sim_->Now(), busy_until_);
   const Timestamp end = start + cpu_cost;
   AccountBusy(start, end);
   busy_until_ = end;
   total_busy_ += cpu_cost;
-  if (done) sim_->ScheduleAt(end, std::move(done));
+  if (done) {
+    const uint64_t gen = generation_;
+    sim_->ScheduleAt(end, [this, gen, cb = std::move(done)] {
+      if (gen == generation_) cb();
+    });
+  }
   return end;
+}
+
+void SimProcess::Kill() {
+  if (!alive_) return;
+  const Timestamp now = sim_->Now();
+  // Roll back the CPU time charged for work that will now never run.
+  if (busy_until_ > now) {
+    UnaccountBusy(now, busy_until_);
+    total_busy_ -= busy_until_ - now;
+    busy_until_ = now;
+  }
+  ++generation_;  // suppress in-flight completion callbacks
+  alive_ = false;
+  killed_at_ = now;
+  ++kills_;
+}
+
+void SimProcess::Recover() {
+  if (alive_) return;
+  const Timestamp now = sim_->Now();
+  downtime_ += now - killed_at_;
+  busy_until_ = now;
+  alive_ = true;
 }
 
 Duration SimProcess::Backlog() const {
@@ -40,6 +72,23 @@ void SimProcess::AccountBusy(Timestamp start, Timestamp end) {
     const int64_t bin_end = static_cast<int64_t>(bin_index + 1) * bin_ns;
     const int64_t chunk = std::min(end_ns, bin_end) - begin_ns;
     busy_per_bin_[bin_index] += Duration::FromNanos(chunk);
+    begin_ns += chunk;
+  }
+}
+
+void SimProcess::UnaccountBusy(Timestamp start, Timestamp end) {
+  if (end <= start) return;
+  int64_t begin_ns = (start - epoch_).nanos();
+  const int64_t end_ns = (end - epoch_).nanos();
+  const int64_t bin_ns = bin_.nanos();
+  while (begin_ns < end_ns) {
+    const size_t bin_index = static_cast<size_t>(begin_ns / bin_ns);
+    const int64_t bin_end = static_cast<int64_t>(bin_index + 1) * bin_ns;
+    const int64_t chunk = std::min(end_ns, bin_end) - begin_ns;
+    if (bin_index < busy_per_bin_.size()) {
+      busy_per_bin_[bin_index] -= Duration::FromNanos(
+          std::min(chunk, busy_per_bin_[bin_index].nanos()));
+    }
     begin_ns += chunk;
   }
 }

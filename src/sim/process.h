@@ -27,8 +27,30 @@ class SimProcess {
   /// runs at the virtual time the work completes. Work is serialized after
   /// everything previously submitted.
   ///
-  /// Returns the completion time.
+  /// Returns the completion time. Submissions to a killed process are
+  /// dropped (counted in lost_submissions) and `done` never runs.
   Timestamp Submit(Duration cpu_cost, Simulator::Callback done);
+
+  // --- Crash–recovery (§3.2 fault tolerance, runtime dimension) ---------
+
+  /// \brief Kills the process at the current virtual time.
+  ///
+  /// All queued and in-flight work is lost: completion callbacks already
+  /// scheduled on the simulator are suppressed, the accounted busy time
+  /// beyond now is rolled back, and new submissions are dropped until
+  /// Recover(). Idempotent while dead.
+  void Kill();
+
+  /// \brief Restarts the process at the current virtual time with an
+  /// empty queue. No-op when alive.
+  void Recover();
+
+  bool alive() const { return alive_; }
+  uint64_t kills() const { return kills_; }
+  /// Work items dropped because the process was dead.
+  uint64_t lost_submissions() const { return lost_submissions_; }
+  /// Accumulated dead time (closed downtimes only).
+  Duration downtime() const { return downtime_; }
 
   /// First moment at which newly submitted work could start.
   Timestamp free_at() const { return busy_until_; }
@@ -45,6 +67,9 @@ class SimProcess {
 
  private:
   void AccountBusy(Timestamp start, Timestamp end);
+  /// Removes previously accounted busy time in [start, end) — used when a
+  /// kill discards queued work whose cost was charged at submit time.
+  void UnaccountBusy(Timestamp start, Timestamp end);
 
   Simulator* sim_;
   std::string name_;
@@ -53,6 +78,15 @@ class SimProcess {
   Timestamp busy_until_;
   Duration total_busy_;
   std::vector<Duration> busy_per_bin_;
+
+  bool alive_ = true;
+  /// Bumped on every Kill; completion callbacks carry the generation they
+  /// were scheduled under and fire only if it still matches.
+  uint64_t generation_ = 0;
+  Timestamp killed_at_;
+  Duration downtime_;
+  uint64_t kills_ = 0;
+  uint64_t lost_submissions_ = 0;
 };
 
 }  // namespace graphtides

@@ -14,6 +14,7 @@
 #include "graph/graph.h"
 #include "harness/report.h"
 #include "sim/virtual_replayer.h"
+#include "suite/recoverable_connector.h"
 
 namespace graphtides {
 
@@ -260,6 +261,101 @@ Result<SuiteCaseScore> RunSuiteCase(const SuiteWorkload& workload,
     score.final_rank_error = final_error;
   }
   return score;
+}
+
+Result<CrashRecoveryReport> RunCrashRecoveryCase(
+    const SuiteWorkload& workload, const ConnectorFactory& factory,
+    const CrashRecoveryOptions& options) {
+  if (workload.events.empty()) {
+    return Status::InvalidArgument("empty workload: " + workload.name);
+  }
+
+  // Tracked users: top-k of the final exact ranking (as in RunSuiteCase).
+  Graph final_graph;
+  for (const Event& e : workload.events) (void)final_graph.Apply(e);
+  const CsrGraph final_csr = CsrGraph::FromGraph(final_graph);
+  const PageRankResult final_pr = PageRank(final_csr);
+  std::vector<VertexId> tracked;
+  for (CsrGraph::Index idx : TopKByRank(final_pr.ranks, options.track_top_k)) {
+    tracked.push_back(final_csr.IdOf(idx));
+  }
+
+  Simulator sim;
+  RecoverableOptions rec_options;
+  rec_options.journal_during_downtime = options.journal_during_downtime;
+  RecoverableConnector connector(&sim, factory, rec_options);
+
+  VirtualReplayerOptions replay_options;
+  replay_options.base_rate_eps = workload.rate_eps;
+  VirtualReplayer replayer(&sim, replay_options);
+
+  bool stream_done = false;
+  replayer.Start(
+      workload.events,
+      [&](const Event& e, size_t) { connector.Ingest(e); }, {},
+      [&] { stream_done = true; });
+
+  const Timestamp t0 = sim.Now();
+  const Timestamp deadline = t0 + options.max_duration;
+  uint64_t applied_at_crash = 0;
+  sim.ScheduleAfter(options.kill_after, [&] {
+    applied_at_crash = connector.EventsApplied();
+    connector.Crash();
+  });
+  sim.ScheduleAfter(options.kill_after + options.downtime,
+                    [&] { connector.Recover(); });
+
+  bool catchup_seen = false;
+  Timestamp catchup_at;
+  bool drained_seen = false;
+  Timestamp drained_at;
+  std::function<void()> sample = [&]() {
+    const bool post_recovery = connector.crashes() > 0 && !connector.crashed();
+    if (!catchup_seen && post_recovery &&
+        connector.inner_applied() >= applied_at_crash) {
+      catchup_seen = true;
+      catchup_at = sim.Now();
+    }
+    const bool drained = stream_done && post_recovery && connector.Idle();
+    if (drained && !drained_seen) {
+      drained_seen = true;
+      drained_at = sim.Now();
+    }
+    if (drained || sim.Now() >= deadline) return;
+    sim.ScheduleAfter(options.sample_interval, sample);
+  };
+  sim.ScheduleAfter(options.sample_interval, sample);
+  sim.RunUntil(deadline);
+
+  CrashRecoveryReport report;
+  report.workload = workload.name;
+  report.connector = connector.Name();
+  report.crash_at_s = options.kill_after.seconds();
+  report.recover_at_s = (options.kill_after + options.downtime).seconds();
+  report.journal_events = connector.last_recovery_journal();
+  report.lost_events = connector.lost_events();
+  report.recovered = catchup_seen;
+  if (catchup_seen) {
+    report.recovery_catchup_s =
+        (catchup_at - connector.last_recovered_at()).seconds();
+  }
+  report.drained = drained_seen;
+  report.drained_s =
+      drained_seen ? (drained_at - t0).seconds() : (sim.Now() - t0).seconds();
+
+  const auto ranks = connector.CurrentRanks();
+  std::vector<double> errors;
+  for (VertexId v : tracked) {
+    CsrGraph::Index idx;
+    if (!final_csr.IndexOf(v, &idx)) continue;
+    if (final_pr.ranks[idx] <= 0.0) continue;
+    const auto it = ranks.find(v);
+    const double got = it == ranks.end() ? 0.0 : it->second;
+    errors.push_back(std::abs(got - final_pr.ranks[idx]) /
+                     final_pr.ranks[idx]);
+  }
+  if (!errors.empty()) report.final_rank_error = Median(std::move(errors));
+  return report;
 }
 
 Result<std::vector<SuiteCaseScore>> RunSuite(

@@ -94,6 +94,51 @@ Result<std::vector<SuiteCaseScore>> RunSuite(
 /// \brief Renders scores as the suite's comparison table.
 std::string FormatSuiteReport(const std::vector<SuiteCaseScore>& scores);
 
+// --- SUT crash–recovery (§3.2 fault-tolerance evaluation, implemented) ---
+
+struct CrashRecoveryOptions {
+  /// Virtual time from replay start until the SUT is killed.
+  Duration kill_after = Duration::FromSeconds(10.0);
+  /// How long the SUT stays down before it is restarted.
+  Duration downtime = Duration::FromSeconds(2.0);
+  /// Durable input log: events arriving while down are journaled and
+  /// replayed on recovery (false = lost and counted).
+  bool journal_during_downtime = true;
+  /// Consistency is scored on the k most influential users of the final
+  /// graph, like RunSuiteCase.
+  size_t track_top_k = 10;
+  Duration sample_interval = Duration::FromMillis(100);
+  Duration max_duration = Duration::FromSeconds(600.0);
+};
+
+/// \brief Outcome of one kill–restart experiment.
+struct CrashRecoveryReport {
+  std::string workload;
+  std::string connector;
+  double crash_at_s = 0.0;
+  double recover_at_s = 0.0;
+  /// Rebuild workload: journaled events replayed at recovery.
+  uint64_t journal_events = 0;
+  /// Events lost during downtime (journal_during_downtime = false).
+  uint64_t lost_events = 0;
+  /// Virtual seconds from restart until the fresh SUT instance re-applied
+  /// as many events as the crashed one had (catch-up latency).
+  double recovery_catchup_s = -1.0;
+  bool recovered = false;
+  /// Virtual time until the stream ended and the SUT fully drained.
+  double drained_s = 0.0;
+  bool drained = false;
+  /// Median relative top-k rank error at the end vs exact PageRank on the
+  /// final graph — post-recovery consistency.
+  double final_rank_error = -1.0;
+};
+
+/// \brief Runs one workload against a connector that is killed mid-stream
+/// and restarted after a fixed downtime (via RecoverableConnector).
+Result<CrashRecoveryReport> RunCrashRecoveryCase(
+    const SuiteWorkload& workload, const ConnectorFactory& factory,
+    const CrashRecoveryOptions& options = {});
+
 }  // namespace graphtides
 
 #endif  // GRAPHTIDES_SUITE_BENCHMARK_SUITE_H_

@@ -55,6 +55,20 @@ class SuiteConnector {
   /// Age of the result CurrentRanks returns: how long ago the underlying
   /// computation's input graph was current (0 for always-online styles).
   virtual Duration ResultAge() const = 0;
+
+  // --- Crash–recovery contract (§3.2 fault tolerance, runtime) ----------
+  //
+  // Connectors that can be killed and restarted mid-stream (e.g. wrapped
+  // in a RecoverableConnector) override these; the default connector is
+  // not recoverable and treats Crash/Recover as no-ops.
+
+  virtual bool SupportsRecovery() const { return false; }
+  /// Kills the SUT at the current virtual time: in-flight state is lost
+  /// and Ingest becomes a no-op until Recover().
+  virtual void Crash() {}
+  /// Restarts the SUT; implementations rebuild state (e.g. by replaying a
+  /// journal), charging the recovery work to their sim processes.
+  virtual void Recover() {}
 };
 
 }  // namespace graphtides

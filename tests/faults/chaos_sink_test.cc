@@ -1,0 +1,149 @@
+#include "faults/chaos_sink.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "stream/event.h"
+
+namespace graphtides {
+namespace {
+
+// Sink that counts deliveries (ChaosSink's inner).
+class CountingSink final : public EventSink {
+ public:
+  Status Deliver(const Event&) override {
+    ++delivered;
+    return Status::OK();
+  }
+  Status Finish() override {
+    finished = true;
+    return Status::OK();
+  }
+  uint64_t delivered = 0;
+  bool finished = false;
+};
+
+ChaosStats RunChaos(const ChaosOptions& options, size_t attempts,
+                    uint64_t* delivered = nullptr) {
+  CountingSink inner;
+  ChaosSink chaos(&inner, options);
+  chaos.set_sleep_fn([](Duration) {});
+  const Event event = Event::AddVertex(1);
+  for (size_t i = 0; i < attempts; ++i) (void)chaos.Deliver(event);
+  if (delivered != nullptr) *delivered = inner.delivered;
+  return chaos.stats();
+}
+
+TEST(ChaosSinkTest, NoFaultsConfiguredForwardsEverything) {
+  uint64_t delivered = 0;
+  const ChaosStats stats = RunChaos(ChaosOptions{}, 1000, &delivered);
+  EXPECT_EQ(stats.attempts, 1000u);
+  EXPECT_EQ(stats.forwarded, 1000u);
+  EXPECT_EQ(delivered, 1000u);
+  EXPECT_EQ(stats.injected_failures, 0u);
+  EXPECT_EQ(stats.injected_disconnects, 0u);
+  EXPECT_EQ(stats.stalls, 0u);
+}
+
+TEST(ChaosSinkTest, ScheduleIsDeterministicInSeed) {
+  ChaosOptions options;
+  options.seed = 42;
+  options.fail_probability = 0.05;
+  options.stall_probability = 0.02;
+  options.latency_probability = 0.1;
+  options.stall = Duration::FromMicros(1);
+  options.latency = Duration::FromMicros(1);
+
+  const ChaosStats a = RunChaos(options, 5000);
+  const ChaosStats b = RunChaos(options, 5000);
+  EXPECT_EQ(a.injected_failures, b.injected_failures);
+  EXPECT_EQ(a.stalls, b.stalls);
+  EXPECT_EQ(a.latency_spikes, b.latency_spikes);
+  EXPECT_EQ(a.forwarded, b.forwarded);
+
+  options.seed = 43;
+  const ChaosStats c = RunChaos(options, 5000);
+  EXPECT_NE(a.injected_failures, c.injected_failures);
+}
+
+TEST(ChaosSinkTest, FailureRateIsApproximatelyHonored) {
+  ChaosOptions options;
+  options.seed = 7;
+  options.fail_probability = 0.1;
+  const ChaosStats stats = RunChaos(options, 20000);
+  // 10% of 20k = 2000; a seeded PRNG should land well within ±20%.
+  EXPECT_GT(stats.injected_failures, 1600u);
+  EXPECT_LT(stats.injected_failures, 2400u);
+  EXPECT_EQ(stats.forwarded + stats.injected_failures, stats.attempts);
+}
+
+TEST(ChaosSinkTest, InjectedFailureIsUnavailableAndNotForwarded) {
+  CountingSink inner;
+  ChaosOptions options;
+  options.fail_points = {1};
+  ChaosSink chaos(&inner, options);
+  EXPECT_TRUE(chaos.Deliver(Event::AddVertex(1)).ok());
+  const Status st = chaos.Deliver(Event::AddVertex(2));
+  EXPECT_TRUE(st.IsUnavailable()) << st.ToString();
+  EXPECT_TRUE(chaos.Deliver(Event::AddVertex(3)).ok());
+  EXPECT_EQ(inner.delivered, 2u);
+  EXPECT_EQ(chaos.stats().injected_failures, 1u);
+}
+
+TEST(ChaosSinkTest, DisconnectInvokesHookAndReturnsIoError) {
+  CountingSink inner;
+  ChaosOptions options;
+  options.seed = 3;
+  options.disconnect_probability = 0.05;
+  int severed = 0;
+  ChaosSink chaos(&inner, options, [&] { ++severed; });
+  Status last = Status::OK();
+  for (int i = 0; i < 2000; ++i) {
+    Status st = chaos.Deliver(Event::AddVertex(1));
+    if (!st.ok()) last = st;
+  }
+  const ChaosStats& stats = chaos.stats();
+  EXPECT_GT(stats.injected_disconnects, 0u);
+  EXPECT_EQ(static_cast<uint64_t>(severed), stats.injected_disconnects);
+  EXPECT_TRUE(last.IsIoError()) << last.ToString();
+}
+
+TEST(ChaosSinkTest, StallsSleepAndAccountStallTime) {
+  CountingSink inner;
+  ChaosOptions options;
+  options.seed = 11;
+  options.stall_probability = 0.1;
+  options.stall = Duration::FromMillis(5);
+  ChaosSink chaos(&inner, options);
+  Duration slept;
+  chaos.set_sleep_fn([&](Duration d) { slept = slept + d; });
+  for (int i = 0; i < 1000; ++i) (void)chaos.Deliver(Event::AddVertex(1));
+  const ChaosStats& stats = chaos.stats();
+  EXPECT_GT(stats.stalls, 0u);
+  EXPECT_EQ(stats.stall_time.nanos(), slept.nanos());
+  EXPECT_EQ(stats.stall_time.nanos(),
+            static_cast<int64_t>(stats.stalls) *
+                Duration::FromMillis(5).nanos());
+}
+
+TEST(ChaosSinkTest, TelemetryMergesInnerAndOwnCounters) {
+  ChaosOptions options;
+  options.fail_points = {0, 2, 4};
+  CountingSink inner;
+  ChaosSink chaos(&inner, options);
+  for (int i = 0; i < 6; ++i) (void)chaos.Deliver(Event::AddVertex(1));
+  const SinkTelemetry t = chaos.Telemetry();
+  EXPECT_EQ(t.injected_failures, 3u);
+  EXPECT_EQ(t.injected_disconnects, 0u);
+}
+
+TEST(ChaosSinkTest, FinishForwardsToInner) {
+  CountingSink inner;
+  ChaosSink chaos(&inner, ChaosOptions{});
+  EXPECT_TRUE(chaos.Finish().ok());
+  EXPECT_TRUE(inner.finished);
+}
+
+}  // namespace
+}  // namespace graphtides

@@ -2,6 +2,9 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <map>
+
 #include "generator/models/event_mix_model.h"
 #include "generator/stream_generator.h"
 #include "stream/validator.h"
@@ -173,6 +176,93 @@ TEST(FaultInjectorTest, FaultyStreamViolatesPreconditions) {
   const StreamValidationReport report = ValidateStream(faulty);
   EXPECT_FALSE(report.valid());
   EXPECT_GT(report.violations.size(), 10u);
+}
+
+TEST(FaultInjectorTest, CombinedFaultsReconcileExactly) {
+  // Drop + duplicate + reorder on the same stream: the counters must
+  // reconcile exactly with the output size, and the surviving multiset is
+  // input minus drops plus duplicates.
+  const auto events = VertexStream(5000);
+  FaultOptions options;
+  options.drop_probability = 0.05;
+  options.duplicate_probability = 0.08;
+  options.reorder_probability = 0.15;
+  options.reorder_window = 12;
+  options.seed = 31;
+  FaultReport report;
+  const auto out = InjectFaults(events, options, &report);
+
+  EXPECT_EQ(report.input_events, 5000u);
+  EXPECT_EQ(report.output_events, out.size());
+  EXPECT_EQ(out.size(), 5000u - report.dropped + report.duplicated);
+  EXPECT_GT(report.dropped, 0u);
+  EXPECT_GT(report.duplicated, 0u);
+  EXPECT_GT(report.displaced, 0u);
+
+  // Multiset check: every surviving id appears once, plus once more per
+  // duplication; dropped ids are absent.
+  std::map<VertexId, size_t> counts;
+  for (const Event& e : out) ++counts[e.vertex];
+  size_t singles = 0;
+  size_t doubles = 0;
+  for (const auto& [id, n] : counts) {
+    ASSERT_LE(n, 2u) << "vertex " << id;
+    if (n == 1) ++singles;
+    if (n == 2) ++doubles;
+  }
+  EXPECT_EQ(doubles, report.duplicated);
+  EXPECT_EQ(singles + doubles, 5000u - report.dropped);
+}
+
+TEST(FaultInjectorTest, ReorderWindowLargerThanStream) {
+  const auto events = VertexStream(50);
+  FaultOptions options;
+  options.reorder_probability = 1.0;  // displace everything
+  options.reorder_window = 1000;      // far beyond the stream length
+  options.seed = 37;
+  FaultReport report;
+  const auto out = InjectFaults(events, options, &report);
+
+  // Nothing is lost or duplicated, everything was displaced.
+  EXPECT_EQ(out.size(), 50u);
+  EXPECT_EQ(report.displaced, 50u);
+  std::vector<VertexId> ids;
+  for (const Event& e : out) ids.push_back(e.vertex);
+  std::sort(ids.begin(), ids.end());
+  for (size_t i = 0; i < 50; ++i) EXPECT_EQ(ids[i], i);
+}
+
+TEST(FaultInjectorTest, UnprotectedCombinedFaultsOnMixedStream) {
+  // protect_non_graph_events=false over a stream interleaving graph ops,
+  // markers, and controls: non-graph events are degraded like the rest and
+  // the counters still reconcile exactly.
+  std::vector<Event> events;
+  for (int i = 0; i < 1000; ++i) {
+    events.push_back(Event::AddVertex(static_cast<VertexId>(i)));
+    events.push_back(Event::Marker("M" + std::to_string(i)));
+    events.push_back(Event::SetRate(1.5));
+  }
+  FaultOptions options;
+  options.drop_probability = 0.2;
+  options.duplicate_probability = 0.1;
+  options.reorder_probability = 0.1;
+  options.reorder_window = 6;
+  options.protect_non_graph_events = false;
+  options.seed = 41;
+  FaultReport report;
+  const auto out = InjectFaults(events, options, &report);
+
+  EXPECT_EQ(report.input_events, 3000u);
+  EXPECT_EQ(report.output_events, out.size());
+  EXPECT_EQ(out.size(), 3000u - report.dropped + report.duplicated);
+
+  // Markers were not spared this time.
+  size_t markers = 0;
+  for (const Event& e : out) {
+    if (e.type == EventType::kMarker) ++markers;
+  }
+  EXPECT_LT(markers, 1000u);
+  EXPECT_GT(markers, 500u);  // ~20% drop rate, not a wipeout
 }
 
 TEST(ShuffleWindowTest, OnlyWindowAffected) {

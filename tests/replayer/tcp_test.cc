@@ -1,6 +1,9 @@
 #include "replayer/tcp.h"
 
 #include <gtest/gtest.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
 
 #include <mutex>
 #include <vector>
@@ -94,6 +97,109 @@ TEST(TcpTest, InvalidAddressRejected) {
 TEST(TcpTest, DeliverWithoutConnectFails) {
   TcpSink sink;
   EXPECT_TRUE(sink.Deliver(Event::AddVertex(1)).IsPreconditionFailed());
+}
+
+TEST(TcpTest, FinalPartialLineDeliveredAtDisconnect) {
+  TcpLineServer server;
+  std::mutex mu;
+  std::vector<std::string> lines;
+  auto port = server.Start([&](std::string_view line) {
+    std::lock_guard<std::mutex> lock(mu);
+    lines.emplace_back(line);
+  });
+  ASSERT_TRUE(port.ok());
+
+  // Raw client: the last line has no trailing newline before the peer
+  // closes — it must still be delivered.
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  ASSERT_GE(fd, 0);
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(*port);
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  ASSERT_EQ(::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)),
+            0);
+  const std::string payload = "first line\nsecond line\nlast-line-no-newline";
+  ASSERT_EQ(::send(fd, payload.data(), payload.size(), 0),
+            static_cast<ssize_t>(payload.size()));
+  ::close(fd);
+  server.Join();
+
+  std::lock_guard<std::mutex> lock(mu);
+  ASSERT_EQ(lines.size(), 3u);
+  EXPECT_EQ(lines[0], "first line");
+  EXPECT_EQ(lines[1], "second line");
+  EXPECT_EQ(lines[2], "last-line-no-newline");
+  EXPECT_EQ(server.lines_received(), 3u);
+}
+
+TEST(TcpTest, PeerDeathSurfacesAsStatusNotSigpipe) {
+  // Regression: the server kills the connection mid-replay. Without
+  // MSG_NOSIGNAL the process would die of SIGPIPE on the next send; with
+  // it, the replayer must return an error Status and the test must still
+  // be running to observe it.
+  TcpLineServer server;
+  server.set_close_after_lines(10);
+  auto port = server.Start(nullptr);
+  ASSERT_TRUE(port.ok());
+
+  TcpSink sink;
+  ASSERT_TRUE(sink.Connect("127.0.0.1", *port).ok());
+
+  std::vector<Event> events;
+  for (VertexId v = 0; v < 100000; ++v) {
+    events.push_back(Event::AddVertex(v));
+  }
+  ReplayerOptions options;
+  options.base_rate_eps = 5e6;
+  StreamReplayer replayer(options);
+  auto stats = replayer.Replay(events, &sink);
+
+  EXPECT_FALSE(stats.ok());  // the run aborted, the process survived
+  server.Join();
+  // The trigger is checked per read chunk, so at least 10 lines arrived but
+  // far from all of them.
+  EXPECT_GE(server.lines_received(), 10u);
+  EXPECT_LT(server.lines_received(), 100000u);
+}
+
+TEST(TcpTest, ReconnectResumesDeliveryAndKeepsBufferedLines) {
+  TcpLineServer server;
+  server.set_max_connections(2);
+  std::mutex mu;
+  std::vector<std::string> lines;
+  auto port = server.Start([&](std::string_view line) {
+    std::lock_guard<std::mutex> lock(mu);
+    lines.emplace_back(line);
+  });
+  ASSERT_TRUE(port.ok());
+
+  TcpSink sink;
+  ASSERT_TRUE(sink.Connect("127.0.0.1", *port).ok());
+  ASSERT_TRUE(sink.Deliver(Event::AddVertex(1)).ok());
+
+  // Sever before the (buffered) line was flushed: the line must survive
+  // the reconnect and arrive over the second connection.
+  sink.Sever();
+  EXPECT_FALSE(sink.connected());
+  EXPECT_FALSE(sink.Deliver(Event::AddVertex(2)).ok());
+  ASSERT_TRUE(sink.Reconnect().ok());
+  EXPECT_TRUE(sink.connected());
+  EXPECT_EQ(sink.reconnects(), 1u);
+  ASSERT_TRUE(sink.Deliver(Event::AddVertex(3)).ok());
+  ASSERT_TRUE(sink.Finish().ok());
+  server.Join();
+
+  std::lock_guard<std::mutex> lock(mu);
+  ASSERT_EQ(lines.size(), 2u);
+  EXPECT_EQ(lines[0], "CREATE_VERTEX,1,");
+  EXPECT_EQ(lines[1], "CREATE_VERTEX,3,");
+  EXPECT_EQ(server.connections_served(), 2u);
+}
+
+TEST(TcpTest, ReconnectWithoutConnectFails) {
+  TcpSink sink;
+  EXPECT_TRUE(sink.Reconnect().IsPreconditionFailed());
 }
 
 TEST(TcpTest, FinishIdempotent) {

@@ -120,5 +120,94 @@ TEST(SimProcessTest, CompletionCallbacksInterleaveCorrectly) {
   EXPECT_EQ(log, (std::vector<std::string>{"b0@4", "a@10", "b@20"}));
 }
 
+TEST(SimProcessTest, KillSuppressesInFlightCompletions) {
+  Simulator sim;
+  SimProcess proc(&sim, "p");
+  int completed = 0;
+  proc.Submit(Duration::FromMillis(10), [&] { ++completed; });
+  proc.Submit(Duration::FromMillis(10), [&] { ++completed; });
+  sim.ScheduleAt(Timestamp::FromMillis(5), [&] { proc.Kill(); });
+  sim.RunUntilIdle();
+  EXPECT_EQ(completed, 0);
+  EXPECT_FALSE(proc.alive());
+  EXPECT_EQ(proc.kills(), 1u);
+}
+
+TEST(SimProcessTest, SubmissionsToDeadProcessAreDropped) {
+  Simulator sim;
+  SimProcess proc(&sim, "p");
+  proc.Kill();
+  int completed = 0;
+  proc.Submit(Duration::FromMillis(10), [&] { ++completed; });
+  proc.Submit(Duration::FromMillis(10), [&] { ++completed; });
+  sim.RunUntilIdle();
+  EXPECT_EQ(completed, 0);
+  EXPECT_EQ(proc.lost_submissions(), 2u);
+}
+
+TEST(SimProcessTest, RecoverAcceptsNewWorkWithEmptyQueue) {
+  Simulator sim;
+  SimProcess proc(&sim, "p");
+  // 100ms of queued work, killed at 5ms: the backlog must not delay work
+  // submitted after recovery.
+  for (int i = 0; i < 10; ++i) proc.Submit(Duration::FromMillis(10), [] {});
+  sim.ScheduleAt(Timestamp::FromMillis(5), [&] { proc.Kill(); });
+  sim.ScheduleAt(Timestamp::FromMillis(25), [&] { proc.Recover(); });
+  Timestamp done;
+  sim.ScheduleAt(Timestamp::FromMillis(30), [&] {
+    proc.Submit(Duration::FromMillis(10), [&] { done = sim.Now(); });
+  });
+  sim.RunUntilIdle();
+  EXPECT_TRUE(proc.alive());
+  EXPECT_EQ(done.millis(), 40);
+  EXPECT_EQ(proc.downtime().millis(), 20);
+}
+
+TEST(SimProcessTest, KillRollsBackChargedUtilization) {
+  Simulator sim;
+  SimProcess proc(&sim, "p", Duration::FromSeconds(1.0));
+  // 4s of work charged at submit time; killed at 1s — only the first
+  // second was actually spent.
+  for (int i = 0; i < 4; ++i) proc.Submit(Duration::FromSeconds(1.0), [] {});
+  sim.ScheduleAt(Timestamp::FromSeconds(1.0), [&] { proc.Kill(); });
+  sim.RunUntilIdle();
+  EXPECT_EQ(proc.total_busy().millis(), 1000);
+  const auto series = proc.UtilizationSeries(Timestamp::FromSeconds(4.0));
+  ASSERT_EQ(series.size(), 4u);
+  EXPECT_NEAR(series[0], 1.0, 1e-9);
+  EXPECT_NEAR(series[1], 0.0, 1e-9);
+  EXPECT_NEAR(series[2], 0.0, 1e-9);
+  EXPECT_NEAR(series[3], 0.0, 1e-9);
+}
+
+TEST(SimProcessTest, WorkAfterRecoveryCompletesNormally) {
+  Simulator sim;
+  SimProcess proc(&sim, "p");
+  int pre = 0;
+  int post = 0;
+  proc.Submit(Duration::FromMillis(10), [&] { ++pre; });
+  proc.Kill();
+  proc.Recover();
+  proc.Submit(Duration::FromMillis(10), [&] { ++post; });
+  sim.RunUntilIdle();
+  // The pre-kill completion was suppressed by the generation bump; the
+  // post-recovery one ran.
+  EXPECT_EQ(pre, 0);
+  EXPECT_EQ(post, 1);
+  EXPECT_EQ(proc.lost_submissions(), 0u);
+}
+
+TEST(SimProcessTest, KillAndRecoverAreIdempotent) {
+  Simulator sim;
+  SimProcess proc(&sim, "p");
+  proc.Recover();  // no-op while alive
+  EXPECT_TRUE(proc.alive());
+  proc.Kill();
+  proc.Kill();  // no-op while dead
+  EXPECT_EQ(proc.kills(), 1u);
+  proc.Recover();
+  EXPECT_TRUE(proc.alive());
+}
+
 }  // namespace
 }  // namespace graphtides

@@ -13,10 +13,14 @@
 //   --window N              max forward displacement         (default 8)
 //   --seed S                fault RNG seed                   (default 1)
 //   --include-non-graph     also degrade markers/controls
+//   --shuffle-begin N       uniformly shuffle events [N, M) after the other
+//   --shuffle-end M         faults ("shuffling partial streams", §3.2)
+//   --report FILE           write fault counters as harness log records (CSV)
 #include <cstdio>
 
 #include "common/flags.h"
 #include "faults/fault_injector.h"
+#include "harness/log_record.h"
 #include "stream/stream_file.h"
 
 using namespace graphtides;
@@ -36,13 +40,14 @@ int main(int argc, char** argv) {
   const Flags& flags = *flags_or;
   const auto unknown = flags.UnknownFlags(
       {"in", "out", "drop", "dup", "reorder", "window", "seed",
-       "include-non-graph", "help"});
+       "include-non-graph", "shuffle-begin", "shuffle-end", "report", "help"});
   if (!unknown.empty()) {
     return Fail(Status::InvalidArgument("unknown flag --" + unknown[0]));
   }
   if (flags.GetBool("help")) {
     std::printf("usage: gt_faults --in FILE --out FILE [--drop P] [--dup P] "
-                "[--reorder P --window N] [--seed S]\n");
+                "[--reorder P --window N] [--seed S]\n"
+                "       [--shuffle-begin N --shuffle-end M] [--report FILE]\n");
     return 0;
   }
 
@@ -73,9 +78,56 @@ int main(int argc, char** argv) {
   options.protect_non_graph_events = !flags.GetBool("include-non-graph");
 
   FaultReport report;
-  const std::vector<Event> faulty = InjectFaults(*events, options, &report);
+  std::vector<Event> faulty = InjectFaults(*events, options, &report);
+
+  // Optional partial-stream shuffle, applied after the per-event faults so
+  // the window indices refer to the stream that will actually be written.
+  auto shuffle_begin = flags.GetInt("shuffle-begin", 0);
+  auto shuffle_end = flags.GetInt("shuffle-end", 0);
+  for (const Status& st : {shuffle_begin.status(), shuffle_end.status()}) {
+    if (!st.ok()) return Fail(st);
+  }
+  size_t shuffled = 0;
+  if (flags.Has("shuffle-begin") || flags.Has("shuffle-end")) {
+    if (*shuffle_begin < 0 || *shuffle_end < *shuffle_begin) {
+      return Fail(Status::InvalidArgument(
+          "--shuffle-begin/--shuffle-end must satisfy 0 <= N <= M"));
+    }
+    // Distinct stream from the per-event fault draws so adding a shuffle
+    // does not change which events get dropped/duplicated.
+    Rng rng(options.seed ^ 0x5A0FFULL);
+    const size_t begin = static_cast<size_t>(*shuffle_begin);
+    const size_t end = static_cast<size_t>(*shuffle_end);
+    faulty = ShuffleWindow(std::move(faulty), begin, end, rng);
+    shuffled = std::min(end, faulty.size()) -
+               std::min(begin, faulty.size());
+  }
+
   if (Status st = WriteStreamFile(out, faulty); !st.ok()) return Fail(st);
-  std::fprintf(stderr, "gt_faults: %s -> %s\n", report.ToString().c_str(),
-               out.c_str());
+  std::fprintf(stderr, "gt_faults: %s shuffled=%zu -> %s\n",
+               report.ToString().c_str(), shuffled, out.c_str());
+
+  const std::string report_file = flags.GetString("report", "");
+  if (!report_file.empty()) {
+    std::FILE* f = std::fopen(report_file.c_str(), "w");
+    if (f == nullptr) {
+      return Fail(Status::IoError("cannot create " + report_file));
+    }
+    WallClock wall;
+    const Timestamp now = wall.Now();
+    const std::vector<std::pair<std::string, double>> metrics = {
+        {"fault_input_events", static_cast<double>(report.input_events)},
+        {"fault_output_events", static_cast<double>(report.output_events)},
+        {"fault_dropped", static_cast<double>(report.dropped)},
+        {"fault_duplicated", static_cast<double>(report.duplicated)},
+        {"fault_displaced", static_cast<double>(report.displaced)},
+        {"fault_shuffled", static_cast<double>(shuffled)},
+    };
+    for (const auto& [metric, value] : metrics) {
+      LogRecord record{now, "faults", metric, value, out};
+      std::fprintf(f, "%s\n", record.ToCsvLine().c_str());
+    }
+    std::fclose(f);
+  }
   return 0;
 }

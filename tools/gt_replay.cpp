@@ -6,22 +6,44 @@
 // reports marker wall-clock timestamps plus achieved-rate statistics on
 // stderr (the replayer-side instrumentation of §4.3 "Streaming Metrics").
 //
+// Runtime faults & resilience: --chaos-* flags inject delivery faults at
+// runtime (ChaosSink) and --retry-*/--on-failure flags wrap the transport
+// in a ResilientSink (retry + backoff + reconnect + degradation policy);
+// the resulting fault telemetry is reported on stderr and, with
+// --marker-log, as harness log records.
+//
 // Usage:
 //   gt_replay --in stream.gts --rate 10000                    # to stdout
 //   gt_replay --in stream.gts --rate 10000 --tcp 127.0.0.1:9009
+//   gt_replay --in stream.gts --tcp HOST:PORT
+//       --chaos-seed 7 --chaos-fail 0.001 --chaos-disconnect 0.0002
+//       --retry-budget 8 --on-failure block
 //
 // Flags:
-//   --in FILE          stream file (required)
-//   --rate R           base emission rate in events/s (default 1000)
-//   --tcp HOST:PORT    stream over TCP instead of stdout
-//   --ignore-controls  do not honor SET_RATE / PAUSE events
-//   --marker-log FILE  write marker records (CSV) for the log collector
+//   --in FILE              stream file (required)
+//   --rate R               base emission rate in events/s (default 1000)
+//   --tcp HOST:PORT        stream over TCP instead of stdout
+//   --ignore-controls      do not honor SET_RATE / PAUSE events
+//   --marker-log FILE      write marker + telemetry records (CSV)
+//   --chaos-seed S         chaos schedule seed (default 1)
+//   --chaos-fail P         per-attempt transient failure probability
+//   --chaos-disconnect P   per-attempt forced-disconnect probability (TCP)
+//   --chaos-stall P        per-attempt stall probability
+//   --chaos-stall-ms M     stall duration (default 2)
+//   --retry-budget N       retries per delivery (default 5)
+//   --retry-backoff-ms M   initial backoff (default 1)
+//   --deliver-timeout-ms M per-delivery timeout, 0 = unlimited
+//   --on-failure POLICY    fail | drop | block (default fail)
 #include <cstdio>
+#include <memory>
+#include <optional>
 
 #include "common/flags.h"
 #include "common/string_util.h"
+#include "faults/chaos_sink.h"
 #include "harness/log_record.h"
 #include "replayer/replayer.h"
+#include "replayer/resilient_sink.h"
 #include "replayer/tcp.h"
 
 using namespace graphtides;
@@ -40,14 +62,21 @@ int main(int argc, char** argv) {
   if (!flags_or.ok()) return Fail(flags_or.status());
   const Flags& flags = *flags_or;
   const auto unknown = flags.UnknownFlags(
-      {"in", "rate", "tcp", "ignore-controls", "marker-log", "help"});
+      {"in", "rate", "tcp", "ignore-controls", "marker-log", "chaos-seed",
+       "chaos-fail", "chaos-disconnect", "chaos-stall", "chaos-stall-ms",
+       "retry-budget", "retry-backoff-ms", "deliver-timeout-ms", "on-failure",
+       "help"});
   if (!unknown.empty()) {
     return Fail(Status::InvalidArgument("unknown flag --" + unknown[0]));
   }
   if (flags.GetBool("help")) {
     std::printf(
         "usage: gt_replay --in FILE --rate R [--tcp HOST:PORT] "
-        "[--ignore-controls] [--marker-log FILE]\n");
+        "[--ignore-controls] [--marker-log FILE]\n"
+        "       [--chaos-seed S --chaos-fail P --chaos-disconnect P "
+        "--chaos-stall P --chaos-stall-ms M]\n"
+        "       [--retry-budget N --retry-backoff-ms M "
+        "--deliver-timeout-ms M --on-failure fail|drop|block]\n");
     return 0;
   }
 
@@ -59,15 +88,59 @@ int main(int argc, char** argv) {
     return Fail(Status::InvalidArgument("--rate must be positive"));
   }
 
+  auto chaos_seed = flags.GetInt("chaos-seed", 1);
+  auto chaos_fail = flags.GetDouble("chaos-fail", 0.0);
+  auto chaos_disconnect = flags.GetDouble("chaos-disconnect", 0.0);
+  auto chaos_stall = flags.GetDouble("chaos-stall", 0.0);
+  auto chaos_stall_ms = flags.GetInt("chaos-stall-ms", 2);
+  auto retry_budget = flags.GetInt("retry-budget", 5);
+  auto retry_backoff_ms = flags.GetInt("retry-backoff-ms", 1);
+  auto deliver_timeout_ms = flags.GetInt("deliver-timeout-ms", 0);
+  for (const Status& st :
+       {chaos_seed.status(), chaos_fail.status(), chaos_disconnect.status(),
+        chaos_stall.status(), chaos_stall_ms.status(), retry_budget.status(),
+        retry_backoff_ms.status(), deliver_timeout_ms.status()}) {
+    if (!st.ok()) return Fail(st);
+  }
+
+  const bool chaos_enabled = flags.Has("chaos-fail") ||
+                             flags.Has("chaos-disconnect") ||
+                             flags.Has("chaos-stall");
+  const bool resilience_enabled =
+      chaos_enabled || flags.Has("retry-budget") ||
+      flags.Has("retry-backoff-ms") || flags.Has("deliver-timeout-ms") ||
+      flags.Has("on-failure");
+
+  ChaosOptions chaos_options;
+  chaos_options.seed = static_cast<uint64_t>(*chaos_seed);
+  chaos_options.fail_probability = *chaos_fail;
+  chaos_options.disconnect_probability = *chaos_disconnect;
+  chaos_options.stall_probability = *chaos_stall;
+  chaos_options.stall = Duration::FromMillis(*chaos_stall_ms);
+
+  ResilientSinkOptions resilient_options;
+  resilient_options.retry_budget = static_cast<uint32_t>(*retry_budget);
+  resilient_options.initial_backoff = Duration::FromMillis(*retry_backoff_ms);
+  resilient_options.deliver_timeout =
+      Duration::FromMillis(*deliver_timeout_ms);
+  if (flags.Has("on-failure")) {
+    auto policy = ParseDegradationPolicy(flags.GetString("on-failure", ""));
+    if (!policy.ok()) return Fail(policy.status());
+    resilient_options.policy = *policy;
+  }
+
   ReplayerOptions options;
   options.base_rate_eps = *rate;
   options.honor_control_events = !flags.GetBool("ignore-controls");
   StreamReplayer replayer(options);
 
-  Result<ReplayStats> stats = Status::Internal("unset");
-  const std::string tcp = flags.GetString("tcp", "");
-  if (!tcp.empty()) {
-    const auto parts = SplitString(tcp, ':');
+  // Sink chain: transport -> [ChaosSink] -> [ResilientSink] -> replayer.
+  TcpSink tcp;
+  std::unique_ptr<PipeSink> pipe;
+  EventSink* transport = nullptr;
+  const std::string tcp_spec = flags.GetString("tcp", "");
+  if (!tcp_spec.empty()) {
+    const auto parts = SplitString(tcp_spec, ':');
     if (parts.size() != 2) {
       return Fail(Status::InvalidArgument("--tcp expects HOST:PORT"));
     }
@@ -75,17 +148,39 @@ int main(int argc, char** argv) {
     if (!port.ok() || *port > 65535) {
       return Fail(Status::InvalidArgument("bad port in --tcp"));
     }
-    TcpSink sink;
-    if (Status st = sink.Connect(std::string(parts[0]),
-                                 static_cast<uint16_t>(*port));
+    if (Status st = tcp.Connect(std::string(parts[0]),
+                                static_cast<uint16_t>(*port));
         !st.ok()) {
       return Fail(st);
     }
-    stats = replayer.ReplayFile(in, &sink);
+    transport = &tcp;
   } else {
-    PipeSink sink(stdout);
-    stats = replayer.ReplayFile(in, &sink);
+    if (*chaos_disconnect > 0.0) {
+      std::fprintf(stderr,
+                   "gt_replay: --chaos-disconnect requires --tcp; ignored\n");
+      chaos_options.disconnect_probability = 0.0;
+    }
+    pipe = std::make_unique<PipeSink>(stdout);
+    transport = pipe.get();
   }
+
+  std::optional<ChaosSink> chaos;
+  EventSink* sink = transport;
+  if (chaos_enabled) {
+    ChaosSink::DisconnectFn disconnect;
+    if (transport == &tcp) disconnect = [&tcp] { tcp.Sever(); };
+    chaos.emplace(sink, chaos_options, std::move(disconnect));
+    sink = &*chaos;
+  }
+  std::optional<ResilientSink> resilient;
+  if (resilience_enabled) {
+    ResilientSink::ReconnectFn reconnect;
+    if (transport == &tcp) reconnect = [&tcp] { return tcp.Reconnect(); };
+    resilient.emplace(sink, resilient_options, std::move(reconnect));
+    sink = &*resilient;
+  }
+
+  Result<ReplayStats> stats = replayer.ReplayFile(in, sink);
   if (!stats.ok()) return Fail(stats.status());
 
   std::fprintf(stderr,
@@ -93,6 +188,10 @@ int main(int argc, char** argv) {
                "%zu markers, %zu controls)\n",
                stats->events_delivered, stats->Elapsed().seconds(),
                stats->AchievedRateEps(), stats->markers, stats->controls);
+  if (chaos_enabled || resilience_enabled) {
+    std::fprintf(stderr, "gt_replay: faults: %s\n",
+                 stats->telemetry.ToString().c_str());
+  }
 
   const std::string marker_log = flags.GetString("marker-log", "");
   if (!marker_log.empty()) {
@@ -111,9 +210,28 @@ int main(int argc, char** argv) {
       LogRecord record{wall_time, "replayer", "marker_sent", 1.0, m.label};
       std::fprintf(f, "%s\n", record.ToCsvLine().c_str());
     }
+    // Fault telemetry as end-of-run records, mergeable by the collector.
+    const SinkTelemetry& t = stats->telemetry;
+    const std::vector<std::pair<std::string, double>> telemetry_metrics = {
+        {"delivery_retries", static_cast<double>(t.retries)},
+        {"delivery_reconnects", static_cast<double>(t.reconnects)},
+        {"delivery_drops_after_retry",
+         static_cast<double>(t.drops_after_retry)},
+        {"delivery_giveups", static_cast<double>(t.giveups)},
+        {"delivery_backoff_s", t.backoff_s},
+        {"chaos_injected_failures", static_cast<double>(t.injected_failures)},
+        {"chaos_injected_disconnects",
+         static_cast<double>(t.injected_disconnects)},
+        {"chaos_stall_s", t.stall_s},
+    };
+    for (const auto& [metric, value] : telemetry_metrics) {
+      LogRecord record{now_wall, "replayer", metric, value, ""};
+      std::fprintf(f, "%s\n", record.ToCsvLine().c_str());
+    }
     std::fclose(f);
-    std::fprintf(stderr, "gt_replay: %zu marker records -> %s\n",
-                 stats->marker_log.size(), marker_log.c_str());
+    std::fprintf(stderr, "gt_replay: %zu marker + %zu telemetry records -> %s\n",
+                 stats->marker_log.size(), telemetry_metrics.size(),
+                 marker_log.c_str());
   }
   return 0;
 }
