@@ -13,13 +13,28 @@
 // itself is killed mid-stream and restarted after a fixed downtime, and we
 // report recovery latency, rebuild workload, and post-recovery consistency
 // (RunCrashRecoveryCase over a RecoverableConnector).
+//
+// A third section exercises the campaign supervision layer end to end: a
+// 10-run campaign in which runs 3 and 7 deliberately wedge their SUT. The
+// RunWatchdog must detect both hangs, the CampaignSupervisor must retry
+// them with fresh seeds, and the final report must show effective n = 10
+// with the hung/retried accounting — unattended §4.5 campaigns survive a
+// wedged system under test.
+#include <chrono>
 #include <cstdio>
+#include <functional>
+#include <set>
+#include <thread>
 
+#include "common/random.h"
 #include "faults/fault_injector.h"
 #include "generator/models/event_mix_model.h"
 #include "generator/stream_generator.h"
 #include "graph/graph.h"
+#include "harness/campaign.h"
 #include "harness/report.h"
+#include "sim/process.h"
+#include "sim/simulator.h"
 #include "stream/validator.h"
 #include "suite/benchmark_suite.h"
 #include "suite/connectors/online_connector.h"
@@ -187,5 +202,85 @@ int main() {
       "a lossy restart permanently misses the downtime window's events.\n"
       "The residual rank error of the online engine dominates both final\n"
       "error figures; the lost-events column is the consistency signal.\n");
+
+  // --- Campaign supervision: hung runs must not stall the campaign -------
+  std::printf("%s", SectionHeader(
+      "Campaign supervision \xe2\x80\x94 10 runs, forced hangs at runs 3 "
+      "and 7, watchdog + retry").c_str());
+
+  const std::set<size_t> hang_runs = {3, 7};  // 1-based run slots
+  constexpr uint64_t kEventsPerRun = 200;
+
+  CampaignOptions campaign_options;
+  campaign_options.experiment.repetitions = 10;
+  campaign_options.experiment.base_seed = 42;
+  campaign_options.retry_budget = 2;
+  campaign_options.watchdog.stall_deadline = Duration::FromMillis(250);
+
+  CampaignSupervisor supervisor({}, campaign_options);
+  auto campaign = supervisor.Run(
+      [&](const ExperimentConfig&, const RunContext& ctx)
+          -> Result<RunOutcome> {
+        Simulator sim;
+        SimProcess sut(&sim, "sut");
+        Rng rng(ctx.seed);
+        // First attempts of the chosen slots wedge halfway: the SUT is
+        // killed, completions stop, and the progress heartbeat freezes.
+        const bool wedge =
+            hang_runs.contains(ctx.run_index + 1) && ctx.attempt == 0;
+        const uint64_t stall_after = wedge ? kEventsPerRun / 2 : kEventsPerRun;
+        uint64_t applied = 0;
+        std::function<void()> submit_next = [&] {
+          const double cost_ms = 0.5 + rng.NextDouble();
+          sut.Submit(Duration::FromNanos(static_cast<int64_t>(cost_ms * 1e6)),
+                     [&] {
+                       ++applied;
+                       if (wedge && applied >= stall_after) {
+                         sut.Kill();
+                         return;
+                       }
+                       if (applied < kEventsPerRun) submit_next();
+                     });
+        };
+        submit_next();
+        // Drive virtual time from the wall clock so a wedged SUT stalls in
+        // real time, exactly like an external system under test.
+        while (applied < kEventsPerRun) {
+          if (ctx.cancel != nullptr && ctx.cancel->cancelled()) {
+            return Status::Cancelled(ctx.cancel->reason());
+          }
+          if (!sim.Step()) {
+            std::this_thread::sleep_for(std::chrono::milliseconds(1));
+          }
+          if (ctx.report_progress) ctx.report_progress(applied);
+        }
+        RunOutcome out;
+        out["virtual_s"] = sim.Now().seconds();
+        return out;
+      });
+  if (!campaign.ok()) {
+    std::fprintf(stderr, "campaign failed: %s\n",
+                 campaign.status().ToString().c_str());
+    return 1;
+  }
+  for (const AttemptRecord& a : campaign->attempts) {
+    if (a.outcome == AttemptOutcome::kCompleted && a.attempt == 0) continue;
+    std::printf("  run %zu attempt %zu: %s%s%s\n", a.run_index + 1, a.attempt,
+                std::string(AttemptOutcomeName(a.outcome)).c_str(),
+                a.detail.empty() ? "" : " — ", a.detail.c_str());
+  }
+  std::printf("%s", FormatCampaignReport(*campaign).c_str());
+  std::printf(
+      "\nReading: both wedged runs were declared hung by the watchdog,\n"
+      "cancelled, and retried with fresh derived seeds; the campaign\n"
+      "finished unattended with effective n = 10, and the CI is computed\n"
+      "over completed runs only.\n");
+  const bool supervised_ok = campaign->total_completed == 10 &&
+                             campaign->total_hung == 2 &&
+                             campaign->quarantined_configs == 0;
+  if (!supervised_ok) {
+    std::fprintf(stderr, "campaign supervision acceptance check FAILED\n");
+    return 1;
+  }
   return 0;
 }

@@ -1,0 +1,60 @@
+// Cooperative cancellation: a thread-safe token that a supervisor (e.g. the
+// harness RunWatchdog) fires and long-running work (replayer emitter loops,
+// simulation drivers, retry loops) polls. Cancellation is a request, not a
+// kill — observers are expected to stop at the next safe boundary and
+// surface Status::Cancelled so checkpoints and accounting stay consistent.
+#ifndef GRAPHTIDES_COMMON_CANCELLATION_H_
+#define GRAPHTIDES_COMMON_CANCELLATION_H_
+
+#include <atomic>
+#include <mutex>
+#include <string>
+
+namespace graphtides {
+
+/// \brief Shared cancel flag plus a human-readable reason.
+///
+/// `cancelled()` is a lock-free acquire load, cheap enough for per-event
+/// polling; the reason string is mutex-guarded and only touched on the
+/// (rare) cancel and report paths. The first RequestCancel wins — later
+/// calls are no-ops, so concurrent supervisors cannot race on the reason.
+class CancellationToken {
+ public:
+  CancellationToken() = default;
+  CancellationToken(const CancellationToken&) = delete;
+  CancellationToken& operator=(const CancellationToken&) = delete;
+
+  /// Fires the token. Only the first call records its reason.
+  void RequestCancel(std::string reason) {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (cancelled_.load(std::memory_order_relaxed)) return;
+      reason_ = std::move(reason);
+    }
+    cancelled_.store(true, std::memory_order_release);
+  }
+
+  bool cancelled() const { return cancelled_.load(std::memory_order_acquire); }
+
+  /// The first RequestCancel's reason; empty while not cancelled.
+  std::string reason() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return reason_;
+  }
+
+  /// Rearms the token for the next run. Must not race RequestCancel.
+  void Reset() {
+    std::lock_guard<std::mutex> lock(mu_);
+    reason_.clear();
+    cancelled_.store(false, std::memory_order_release);
+  }
+
+ private:
+  std::atomic<bool> cancelled_{false};
+  mutable std::mutex mu_;
+  std::string reason_;
+};
+
+}  // namespace graphtides
+
+#endif  // GRAPHTIDES_COMMON_CANCELLATION_H_

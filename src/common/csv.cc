@@ -3,6 +3,12 @@
 namespace graphtides {
 
 Result<std::vector<std::string>> ParseCsvLine(std::string_view line) {
+  // NUL bytes are never legal in the stream format; they typically indicate
+  // binary garbage or an interrupted write, and silently accepting them
+  // would let a truncated field masquerade as valid data downstream.
+  if (line.find('\0') != std::string_view::npos) {
+    return Status::ParseError("NUL byte in CSV input");
+  }
   std::vector<std::string> fields;
   std::string current;
   bool in_quotes = false;

@@ -18,8 +18,9 @@ namespace graphtides {
 
 /// \brief Splits one CSV line into fields, honoring quoting.
 ///
-/// Returns ParseError on unbalanced quotes or characters trailing a closing
-/// quote. The input must not contain the line terminator.
+/// Returns ParseError on unbalanced quotes, characters trailing a closing
+/// quote, or embedded NUL bytes. The input must not contain the line
+/// terminator.
 Result<std::vector<std::string>> ParseCsvLine(std::string_view line);
 
 /// \brief Joins fields into one CSV line, quoting where necessary.

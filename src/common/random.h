@@ -4,6 +4,7 @@
 #ifndef GRAPHTIDES_COMMON_RANDOM_H_
 #define GRAPHTIDES_COMMON_RANDOM_H_
 
+#include <array>
 #include <cstddef>
 #include <cstdint>
 #include <vector>
@@ -44,6 +45,19 @@ class Rng {
 
   /// Derives an independent child generator (for parallel components).
   Rng Fork();
+
+  /// \brief Snapshot of the raw generator state, for checkpoint/resume.
+  ///
+  /// Restoring a snapshot reproduces the exact uniform-draw sequence; a
+  /// half-consumed Box–Muller pair is not carried over (the next Gaussian
+  /// draws a fresh pair).
+  std::array<uint64_t, 4> SaveState() const {
+    return {s_[0], s_[1], s_[2], s_[3]};
+  }
+  void RestoreState(const std::array<uint64_t, 4>& state) {
+    for (size_t i = 0; i < 4; ++i) s_[i] = state[i];
+    has_cached_gaussian_ = false;
+  }
 
  private:
   uint64_t s_[4];

@@ -1,0 +1,176 @@
+#include "harness/campaign.h"
+
+#include <atomic>
+
+#include "common/random.h"
+#include "harness/report.h"
+
+namespace graphtides {
+
+std::string_view AttemptOutcomeName(AttemptOutcome outcome) {
+  switch (outcome) {
+    case AttemptOutcome::kCompleted:
+      return "completed";
+    case AttemptOutcome::kFailed:
+      return "failed";
+    case AttemptOutcome::kHung:
+      return "hung";
+  }
+  return "unknown";
+}
+
+uint64_t CampaignSeed(uint64_t base_seed, size_t config_index,
+                      size_t run_index, size_t attempt) {
+  const uint64_t slot_seed = base_seed + config_index * 1000003ULL + run_index;
+  if (attempt == 0) return slot_seed;  // matches ExperimentRunner exactly
+  // Retries draw a fresh seed deterministically derived from the slot and
+  // attempt ordinal, so a seed-correlated failure is not replayed verbatim
+  // yet the whole campaign stays reproducible.
+  Rng rng(slot_seed ^ (0x9e3779b97f4a7c15ULL * attempt));
+  return rng.NextU64();
+}
+
+Result<CampaignReport> CampaignSupervisor::Run(
+    const SupervisedRunFn& run) const {
+  if (run == nullptr) {
+    return Status::InvalidArgument("campaign run function is null");
+  }
+  const std::vector<ExperimentConfig> configs =
+      ExperimentRunner(factors_, options_.experiment).EnumerateConfigs();
+
+  CampaignReport report;
+  report.results.reserve(configs.size());
+  MonotonicClock clock;
+
+  for (size_t c = 0; c < configs.size(); ++c) {
+    ConfigResult result;
+    result.config = configs[c];
+    result.repetitions = options_.experiment.repetitions;
+    size_t exhausted_slots = 0;
+
+    for (size_t r = 0; r < options_.experiment.repetitions; ++r) {
+      bool slot_completed = false;
+      for (size_t a = 0; a <= options_.retry_budget; ++a) {
+        AttemptRecord record;
+        record.config_index = c;
+        record.run_index = r;
+        record.attempt = a;
+        record.seed = CampaignSeed(options_.experiment.base_seed, c, r, a);
+        if (a > 0) {
+          ++result.accounting.retried;
+          ++report.total_retried;
+        }
+
+        CancellationToken token;
+        std::atomic<uint64_t> progress{0};
+        RunWatchdog watchdog(options_.watchdog);
+        watchdog.Arm(
+            [&progress] { return progress.load(std::memory_order_relaxed); },
+            [&token](uint64_t last, Duration stalled) {
+              token.RequestCancel(
+                  "watchdog: no progress past " + std::to_string(last) +
+                  " for " + std::to_string(stalled.seconds()) + "s");
+            });
+
+        RunContext ctx;
+        ctx.seed = record.seed;
+        ctx.config_index = c;
+        ctx.run_index = r;
+        ctx.attempt = a;
+        ctx.cancel = &token;
+        ctx.report_progress = [&progress](uint64_t value) {
+          progress.store(value, std::memory_order_relaxed);
+        };
+
+        const Timestamp t0 = clock.Now();
+        Result<RunOutcome> outcome = run(configs[c], ctx);
+        watchdog.Disarm();
+        record.elapsed = clock.Now() - t0;
+
+        if (outcome.ok()) {
+          record.outcome = AttemptOutcome::kCompleted;
+          report.attempts.push_back(record);
+          for (const auto& [metric, value] : *outcome) {
+            MetricAggregate& agg = result.metrics[metric];
+            agg.stats.Add(value);
+            agg.samples.push_back(value);
+          }
+          ++result.accounting.completed;
+          ++report.total_completed;
+          slot_completed = true;
+          break;
+        }
+        // A cancel that the watchdog requested is a hang; any other error
+        // (including a self-cancel) is a plain failure.
+        const bool hung =
+            outcome.status().IsCancelled() && watchdog.fired();
+        record.outcome = hung ? AttemptOutcome::kHung : AttemptOutcome::kFailed;
+        record.detail = outcome.status().ToString();
+        report.attempts.push_back(record);
+        if (hung) {
+          ++result.accounting.hung;
+          ++report.total_hung;
+        } else {
+          ++result.accounting.failed;
+          ++report.total_failed;
+        }
+      }
+      if (!slot_completed) {
+        ++exhausted_slots;
+        if (exhausted_slots >= options_.quarantine_after) {
+          result.accounting.quarantined = true;
+          ++report.quarantined_configs;
+          break;  // skip this config's remaining slots
+        }
+      }
+    }
+
+    for (auto& [metric, agg] : result.metrics) {
+      agg.ci = MeanConfidenceInterval(agg.samples,
+                                      options_.experiment.confidence_level);
+    }
+    report.results.push_back(std::move(result));
+  }
+  return report;
+}
+
+namespace {
+
+std::string FormatConfig(const ExperimentConfig& config) {
+  if (config.empty()) return "(default)";
+  std::string out;
+  for (const auto& [name, level] : config) {
+    if (!out.empty()) out += " ";
+    out += name + "=" + TextTable::FormatDouble(level, 3);
+  }
+  return out;
+}
+
+}  // namespace
+
+std::string FormatCampaignReport(const CampaignReport& report) {
+  TextTable table({"config", "n req", "n eff", "retried", "hung", "failed",
+                   "quarantined"});
+  for (const ConfigResult& result : report.results) {
+    const RunAccounting& acc = result.accounting;
+    table.AddRow({FormatConfig(result.config),
+                  std::to_string(result.repetitions),
+                  std::to_string(acc.effective_n()),
+                  std::to_string(acc.retried), std::to_string(acc.hung),
+                  std::to_string(acc.failed), acc.quarantined ? "YES" : "no"});
+  }
+  std::string out = table.ToString();
+  for (const ConfigResult& result : report.results) {
+    for (const auto& [metric, agg] : result.metrics) {
+      out += FormatConfig(result.config) + "  " + metric + ": " +
+             TextTable::FormatDouble(agg.ci.mean, 4) + " CI" +
+             TextTable::FormatDouble(agg.ci.level * 100.0, 0) + "% [" +
+             TextTable::FormatDouble(agg.ci.lower, 4) + ", " +
+             TextTable::FormatDouble(agg.ci.upper, 4) + "] over n=" +
+             std::to_string(agg.effective_n()) + " completed runs\n";
+    }
+  }
+  return out;
+}
+
+}  // namespace graphtides

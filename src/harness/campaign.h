@@ -1,0 +1,126 @@
+// CampaignSupervisor: failure-aware driver for long unattended experiment
+// campaigns (§4.5 demands n ≥ 30 runs per configuration; one hung or
+// crashed SUT must neither stall the campaign nor poison its confidence
+// intervals).
+//
+// Around every run attempt the supervisor arms a RunWatchdog fed by the
+// run's progress heartbeat; a stalled attempt is cancelled through a
+// CancellationToken and counted as *hung*. Failed or hung attempts are
+// retried with fresh derived seeds up to a per-slot budget; configurations
+// whose slots repeatedly exhaust the budget are *quarantined* (remaining
+// slots skipped). Metrics are aggregated over completed runs only, and the
+// report states the effective n per cell next to the requested n.
+#ifndef GRAPHTIDES_HARNESS_CAMPAIGN_H_
+#define GRAPHTIDES_HARNESS_CAMPAIGN_H_
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "common/cancellation.h"
+#include "common/result.h"
+#include "harness/experiment.h"
+#include "harness/run_watchdog.h"
+
+namespace graphtides {
+
+/// \brief Per-attempt context handed to a supervised run function.
+///
+/// The run must (a) poll `cancel` at safe boundaries and return
+/// Status::Cancelled promptly once fired, and (b) call `report_progress`
+/// with a monotonically non-decreasing value whenever it advances — that
+/// heartbeat is what the watchdog derives liveness from.
+struct RunContext {
+  /// Seed for this attempt. Retries get fresh derived seeds so a
+  /// seed-correlated failure is not replayed verbatim.
+  uint64_t seed = 0;
+  /// Config index within the campaign's enumeration.
+  size_t config_index = 0;
+  /// Run slot within the config (0 .. repetitions-1).
+  size_t run_index = 0;
+  /// 0 for the first try, 1.. for retries.
+  size_t attempt = 0;
+  /// Cooperative cancellation; fired by the watchdog on stall.
+  const CancellationToken* cancel = nullptr;
+  /// Progress heartbeat (monotonically non-decreasing).
+  std::function<void(uint64_t)> report_progress;
+};
+
+using SupervisedRunFn =
+    std::function<Result<RunOutcome>(const ExperimentConfig&,
+                                     const RunContext&)>;
+
+struct CampaignOptions {
+  /// Repetitions, confidence level, and base seed (§4.5).
+  ExperimentOptions experiment;
+  /// Extra attempts per run slot after the first (0 = never retry).
+  size_t retry_budget = 2;
+  /// Quarantine a config after this many run slots exhausted their
+  /// attempts (counted per config; 1 = first exhausted slot quarantines).
+  size_t quarantine_after = 1;
+  /// Watchdog: wall-clock no-progress deadline and poll cadence.
+  WatchdogOptions watchdog;
+};
+
+/// \brief One attempt's fate, for the campaign journal.
+enum class AttemptOutcome { kCompleted, kFailed, kHung };
+
+std::string_view AttemptOutcomeName(AttemptOutcome outcome);
+
+/// \brief Journal entry: one attempt of one run slot.
+struct AttemptRecord {
+  size_t config_index = 0;
+  size_t run_index = 0;
+  size_t attempt = 0;
+  uint64_t seed = 0;
+  AttemptOutcome outcome = AttemptOutcome::kCompleted;
+  /// Error text for failed/hung attempts.
+  std::string detail;
+  /// Wall-clock duration of the attempt.
+  Duration elapsed;
+};
+
+/// \brief Everything a finished campaign reports.
+struct CampaignReport {
+  /// Per-config aggregates; CIs computed over completed runs only.
+  std::vector<ConfigResult> results;
+  /// Chronological journal of every attempt (completed, failed, hung).
+  std::vector<AttemptRecord> attempts;
+
+  size_t total_completed = 0;
+  size_t total_failed = 0;
+  size_t total_hung = 0;
+  size_t total_retried = 0;
+  size_t quarantined_configs = 0;
+};
+
+/// \brief Derives the seed for (config, run, attempt). Attempt 0 matches
+/// ExperimentRunner's seed schedule exactly, so a fault-free supervised
+/// campaign reproduces an unsupervised one run for run.
+uint64_t CampaignSeed(uint64_t base_seed, size_t config_index,
+                      size_t run_index, size_t attempt);
+
+/// \brief Runs a full factor sweep under supervision.
+///
+/// Never aborts on individual run failures; returns an error only for
+/// structural problems (no configs, no run function).
+class CampaignSupervisor {
+ public:
+  CampaignSupervisor(std::vector<Factor> factors, CampaignOptions options)
+      : factors_(std::move(factors)), options_(options) {}
+
+  Result<CampaignReport> Run(const SupervisedRunFn& run) const;
+
+ private:
+  std::vector<Factor> factors_;
+  CampaignOptions options_;
+};
+
+/// \brief Renders the per-config accounting table: requested vs effective
+/// n, completed/retried/hung/failed counts, quarantine state, and each
+/// metric's mean ± CI over the completed runs.
+std::string FormatCampaignReport(const CampaignReport& report);
+
+}  // namespace graphtides
+
+#endif  // GRAPHTIDES_HARNESS_CAMPAIGN_H_

@@ -29,6 +29,7 @@ Result<std::vector<ConfigResult>> ExperimentRunner::Run(
     ConfigResult result;
     result.config = configs[c];
     result.repetitions = options_.repetitions;
+    result.accounting.completed = options_.repetitions;
     for (size_t r = 0; r < options_.repetitions; ++r) {
       const uint64_t seed = options_.base_seed + c * 1000003ULL + r;
       GT_ASSIGN_OR_RETURN(const RunOutcome outcome, run(configs[c], seed));

@@ -28,17 +28,43 @@ struct Factor {
 };
 
 /// \brief Aggregate of one metric over the repetitions of one config.
+///
+/// Under campaign supervision only *completed* runs contribute samples, so
+/// `effective_n()` may be smaller than the requested repetitions — the CI
+/// is honest about the runs that actually finished.
 struct MetricAggregate {
   RunningStats stats;
   ConfidenceInterval ci;
   std::vector<double> samples;
+
+  /// Number of completed runs behind this aggregate.
+  size_t effective_n() const { return samples.size(); }
+};
+
+/// \brief Failure accounting for one configuration's runs (§4.5 campaigns
+/// must report how many of the demanded n runs actually completed).
+struct RunAccounting {
+  /// Run slots that produced a usable outcome.
+  size_t completed = 0;
+  /// Attempts that returned an error other than a watchdog cancel.
+  size_t failed = 0;
+  /// Attempts aborted by the watchdog for lack of progress.
+  size_t hung = 0;
+  /// Extra attempts consumed beyond each slot's first try.
+  size_t retried = 0;
+  /// True when the config was quarantined and remaining slots skipped.
+  bool quarantined = false;
+
+  size_t effective_n() const { return completed; }
 };
 
 /// \brief All repetitions of one configuration, aggregated.
 struct ConfigResult {
   ExperimentConfig config;
+  /// Requested repetitions (the §4.5 n); see accounting for effective n.
   size_t repetitions = 0;
   std::map<std::string, MetricAggregate> metrics;
+  RunAccounting accounting;
 };
 
 struct ExperimentOptions {

@@ -1,0 +1,82 @@
+// RunWatchdog: hang detection for unattended runs (§4.5 methodology — an
+// n ≥ 30 campaign must not stall on one wedged system under test).
+//
+// Liveness is derived from *progress*, not mere process aliveness: the
+// supervisor registers a probe returning a monotonically non-decreasing
+// counter (events delivered, markers observed, watermark position), and a
+// background thread polls it against a wall clock. When the counter stays
+// unchanged for longer than the stall deadline, the run is declared hung
+// and the hang action fires exactly once — typically a
+// CancellationToken::RequestCancel that the run observes cooperatively.
+#ifndef GRAPHTIDES_HARNESS_RUN_WATCHDOG_H_
+#define GRAPHTIDES_HARNESS_RUN_WATCHDOG_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <thread>
+
+#include "common/clock.h"
+
+namespace graphtides {
+
+struct WatchdogOptions {
+  /// A run with no observed progress for this long is declared hung.
+  Duration stall_deadline = Duration::FromSeconds(30.0);
+  /// How often the probe is sampled.
+  Duration poll_interval = Duration::FromMillis(10);
+};
+
+/// \brief Watches one run at a time; reusable across runs via Arm/Disarm.
+///
+/// Thread-safety: Arm and Disarm are called by the supervising thread; the
+/// probe and hang action run on the watchdog's own thread and must be safe
+/// to call from there (probes typically read one atomic).
+class RunWatchdog {
+ public:
+  /// Monotonically non-decreasing progress value of the supervised run.
+  using ProgressProbe = std::function<uint64_t()>;
+  /// Invoked once when the run is declared hung, with the last progress
+  /// value and how long it had been stalled.
+  using HangFn = std::function<void(uint64_t last_progress, Duration stalled)>;
+
+  explicit RunWatchdog(WatchdogOptions options) : options_(options) {}
+  ~RunWatchdog() { Disarm(); }
+
+  RunWatchdog(const RunWatchdog&) = delete;
+  RunWatchdog& operator=(const RunWatchdog&) = delete;
+
+  /// \brief Starts watching. The stall clock starts now; the first probe
+  /// sample seeds the baseline. PreconditionFailed semantics: arming an
+  /// armed watchdog is a programming error and asserts in debug builds.
+  void Arm(ProgressProbe probe, HangFn on_hang);
+
+  /// Stops watching and joins the watchdog thread. Idempotent. After
+  /// Disarm returns, the hang action is guaranteed not to fire (anymore).
+  void Disarm();
+
+  /// True once the current/last armed run was declared hung.
+  bool fired() const { return fired_.load(std::memory_order_acquire); }
+
+  /// Last progress value the watchdog observed.
+  uint64_t last_progress() const {
+    return last_progress_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  void Watch(ProgressProbe probe, HangFn on_hang);
+
+  WatchdogOptions options_;
+  std::thread thread_;
+  std::mutex mu_;
+  std::condition_variable cv_;
+  bool stop_ = false;  // guarded by mu_
+  std::atomic<bool> fired_{false};
+  std::atomic<uint64_t> last_progress_{0};
+};
+
+}  // namespace graphtides
+
+#endif  // GRAPHTIDES_HARNESS_RUN_WATCHDOG_H_

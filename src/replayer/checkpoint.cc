@@ -1,0 +1,199 @@
+#include "replayer/checkpoint.h"
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "common/string_util.h"
+
+namespace graphtides {
+
+namespace {
+
+constexpr std::string_view kHeader = "# graphtides replay checkpoint";
+
+std::string FormatDoubleExact(double v) {
+  // %.17g round-trips every double, so resume pacing is bit-identical.
+  char buf[48];
+  std::snprintf(buf, sizeof(buf), "%.17g", v);
+  return buf;
+}
+
+}  // namespace
+
+bool ReplayCheckpoint::operator==(const ReplayCheckpoint& other) const {
+  const SinkTelemetry& a = telemetry;
+  const SinkTelemetry& b = other.telemetry;
+  return version == other.version &&
+         entries_consumed == other.entries_consumed &&
+         events_delivered == other.events_delivered &&
+         markers == other.markers && controls == other.controls &&
+         rate_factor == other.rate_factor && rng_state == other.rng_state &&
+         a.retries == b.retries && a.reconnects == b.reconnects &&
+         a.drops_after_retry == b.drops_after_retry &&
+         a.giveups == b.giveups && a.backoff_s == b.backoff_s &&
+         a.injected_failures == b.injected_failures &&
+         a.injected_disconnects == b.injected_disconnects &&
+         a.injected_stalls == b.injected_stalls &&
+         a.injected_latency_spikes == b.injected_latency_spikes &&
+         a.stall_s == b.stall_s;
+}
+
+std::string ReplayCheckpoint::ToText() const {
+  std::string out(kHeader);
+  out += "\nversion=" + std::to_string(version);
+  out += "\nentries_consumed=" + std::to_string(entries_consumed);
+  out += "\nevents_delivered=" + std::to_string(events_delivered);
+  out += "\nmarkers=" + std::to_string(markers);
+  out += "\ncontrols=" + std::to_string(controls);
+  out += "\nrate_factor=" + FormatDoubleExact(rate_factor);
+  for (size_t i = 0; i < rng_state.size(); ++i) {
+    out += "\nrng_state" + std::to_string(i) + "=" +
+           std::to_string(rng_state[i]);
+  }
+  out += "\nretries=" + std::to_string(telemetry.retries);
+  out += "\nreconnects=" + std::to_string(telemetry.reconnects);
+  out += "\ndrops_after_retry=" + std::to_string(telemetry.drops_after_retry);
+  out += "\ngiveups=" + std::to_string(telemetry.giveups);
+  out += "\nbackoff_s=" + FormatDoubleExact(telemetry.backoff_s);
+  out += "\ninjected_failures=" + std::to_string(telemetry.injected_failures);
+  out += "\ninjected_disconnects=" +
+         std::to_string(telemetry.injected_disconnects);
+  out += "\ninjected_stalls=" + std::to_string(telemetry.injected_stalls);
+  out += "\ninjected_latency_spikes=" +
+         std::to_string(telemetry.injected_latency_spikes);
+  out += "\nstall_s=" + FormatDoubleExact(telemetry.stall_s);
+  out += "\n";
+  return out;
+}
+
+Result<ReplayCheckpoint> ReplayCheckpoint::FromText(const std::string& text) {
+  ReplayCheckpoint cp;
+  std::istringstream in(text);
+  std::string line;
+  bool header_seen = false;
+  size_t line_number = 0;
+  while (std::getline(in, line)) {
+    ++line_number;
+    const std::string_view trimmed = TrimWhitespace(line);
+    if (trimmed.empty()) continue;
+    if (trimmed.front() == '#') {
+      if (StartsWith(trimmed, kHeader)) header_seen = true;
+      continue;
+    }
+    const size_t eq = trimmed.find('=');
+    if (eq == std::string_view::npos) {
+      return Status::ParseError("checkpoint line " +
+                                std::to_string(line_number) + ": missing '='");
+    }
+    const std::string_view key = trimmed.substr(0, eq);
+    const std::string_view value = trimmed.substr(eq + 1);
+    auto u64 = [&]() { return ParseUint64(value); };
+    auto f64 = [&]() { return ParseDouble(value); };
+    Status st;
+    auto assign_u64 = [&](uint64_t* out) {
+      auto parsed = u64();
+      if (!parsed.ok()) {
+        st = parsed.status();
+        return;
+      }
+      *out = *parsed;
+    };
+    auto assign_f64 = [&](double* out) {
+      auto parsed = f64();
+      if (!parsed.ok()) {
+        st = parsed.status();
+        return;
+      }
+      *out = *parsed;
+    };
+    if (key == "version") {
+      assign_u64(&cp.version);
+    } else if (key == "entries_consumed") {
+      assign_u64(&cp.entries_consumed);
+    } else if (key == "events_delivered") {
+      assign_u64(&cp.events_delivered);
+    } else if (key == "markers") {
+      assign_u64(&cp.markers);
+    } else if (key == "controls") {
+      assign_u64(&cp.controls);
+    } else if (key == "rate_factor") {
+      assign_f64(&cp.rate_factor);
+    } else if (StartsWith(key, "rng_state")) {
+      auto index = ParseUint64(key.substr(9));
+      if (!index.ok() || *index >= cp.rng_state.size()) {
+        return Status::ParseError("bad checkpoint key: " + std::string(key));
+      }
+      assign_u64(&cp.rng_state[*index]);
+    } else if (key == "retries") {
+      assign_u64(&cp.telemetry.retries);
+    } else if (key == "reconnects") {
+      assign_u64(&cp.telemetry.reconnects);
+    } else if (key == "drops_after_retry") {
+      assign_u64(&cp.telemetry.drops_after_retry);
+    } else if (key == "giveups") {
+      assign_u64(&cp.telemetry.giveups);
+    } else if (key == "backoff_s") {
+      assign_f64(&cp.telemetry.backoff_s);
+    } else if (key == "injected_failures") {
+      assign_u64(&cp.telemetry.injected_failures);
+    } else if (key == "injected_disconnects") {
+      assign_u64(&cp.telemetry.injected_disconnects);
+    } else if (key == "injected_stalls") {
+      assign_u64(&cp.telemetry.injected_stalls);
+    } else if (key == "injected_latency_spikes") {
+      assign_u64(&cp.telemetry.injected_latency_spikes);
+    } else if (key == "stall_s") {
+      assign_f64(&cp.telemetry.stall_s);
+    } else {
+      // Unknown keys from newer writers are skipped (forward compatible).
+      continue;
+    }
+    if (!st.ok()) {
+      return st.WithContext("checkpoint key " + std::string(key));
+    }
+  }
+  if (!header_seen) {
+    return Status::ParseError("not a replay checkpoint (missing header)");
+  }
+  if (cp.version != 1) {
+    return Status::ParseError("unsupported checkpoint version " +
+                              std::to_string(cp.version));
+  }
+  if (cp.events_delivered + cp.markers + cp.controls > cp.entries_consumed) {
+    return Status::ParseError("checkpoint counts exceed entries_consumed");
+  }
+  return cp;
+}
+
+Status ReplayCheckpoint::SaveTo(const std::string& path) const {
+  const std::string tmp = path + ".tmp";
+  {
+    std::ofstream out(tmp, std::ios::trunc);
+    if (!out.is_open()) {
+      return Status::IoError("cannot create checkpoint file: " + tmp);
+    }
+    out << ToText();
+    out.flush();
+    if (!out.good()) return Status::IoError("checkpoint write failure: " + tmp);
+  }
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    return Status::IoError("cannot publish checkpoint: " + path);
+  }
+  return Status::OK();
+}
+
+Result<ReplayCheckpoint> ReplayCheckpoint::LoadFrom(const std::string& path) {
+  std::ifstream in(path);
+  if (!in.is_open()) {
+    return Status::IoError("cannot open checkpoint file: " + path);
+  }
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  if (in.bad()) return Status::IoError("checkpoint read failure: " + path);
+  Result<ReplayCheckpoint> parsed = FromText(buffer.str());
+  if (!parsed.ok()) return parsed.status().WithContext(path);
+  return parsed;
+}
+
+}  // namespace graphtides

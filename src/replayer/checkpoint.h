@@ -1,0 +1,59 @@
+// Replay checkpoints: periodic durable records of a replay run's position
+// and accounting, so an aborted run (watchdog cancel, controlled stop, or a
+// crash that left the last periodic checkpoint behind) can resume from the
+// last record instead of restarting the stream.
+//
+// The invariant that makes resume exactly-once: a checkpoint is written
+// only at entry boundaries, *after* the sink acknowledged every event the
+// record counts. Entries before `entries_consumed` are never re-emitted on
+// resume; entries at or after it have never been emitted under the
+// checkpointed accounting. Clean aborts (cancellation / stop_after_events)
+// flush a final checkpoint at the exact abort point, so a resumed run's
+// sink output concatenates byte-identically with the aborted run's.
+#ifndef GRAPHTIDES_REPLAYER_CHECKPOINT_H_
+#define GRAPHTIDES_REPLAYER_CHECKPOINT_H_
+
+#include <array>
+#include <cstdint>
+#include <string>
+
+#include "common/result.h"
+#include "replayer/event_sink.h"
+
+namespace graphtides {
+
+/// \brief One durable snapshot of replay progress.
+struct ReplayCheckpoint {
+  /// Format version; readers reject versions they do not understand.
+  uint64_t version = 1;
+  /// Source entries consumed (graph events + markers + controls): the
+  /// stream offset emission resumes from.
+  uint64_t entries_consumed = 0;
+  /// Graph events delivered to (and acknowledged by) the sink.
+  uint64_t events_delivered = 0;
+  uint64_t markers = 0;
+  uint64_t controls = 0;
+  /// Pacing state at the checkpoint: the active SET_RATE factor.
+  double rate_factor = 1.0;
+  /// Raw state of the sink chain's RNG (retry jitter), if one was
+  /// registered for checkpointing; all zeros otherwise.
+  std::array<uint64_t, 4> rng_state{};
+  /// Sink-chain fault telemetry accumulated up to the checkpoint.
+  SinkTelemetry telemetry;
+
+  bool operator==(const ReplayCheckpoint& other) const;
+
+  /// Renders the checkpoint as '#'-headed key=value text.
+  std::string ToText() const;
+  /// Inverse of ToText. ParseError on malformed or unknown-version input.
+  static Result<ReplayCheckpoint> FromText(const std::string& text);
+
+  /// \brief Writes the checkpoint to `path` atomically (temp file +
+  /// rename), so a reader never observes a torn record.
+  Status SaveTo(const std::string& path) const;
+  static Result<ReplayCheckpoint> LoadFrom(const std::string& path);
+};
+
+}  // namespace graphtides
+
+#endif  // GRAPHTIDES_REPLAYER_CHECKPOINT_H_

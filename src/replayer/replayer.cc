@@ -11,38 +11,62 @@
 namespace graphtides {
 
 Result<ReplayStats> StreamReplayer::Replay(const std::vector<Event>& events,
-                                           EventSink* sink) {
+                                           EventSink* sink,
+                                           const ReplayCheckpoint* resume) {
   size_t index = 0;
   return Run(
       [&events, index]() mutable -> Result<std::optional<Event>> {
         if (index >= events.size()) return std::optional<Event>(std::nullopt);
         return std::optional<Event>(events[index++]);
       },
-      sink);
+      sink, resume);
 }
 
 Result<ReplayStats> StreamReplayer::ReplayFile(const std::string& path,
-                                               EventSink* sink) {
+                                               EventSink* sink,
+                                               const ReplayCheckpoint* resume) {
   auto reader = std::make_shared<StreamFileReader>();
   GT_RETURN_NOT_OK(reader->Open(path));
-  return Run([reader]() { return reader->Next(); }, sink);
+  return Run([reader]() { return reader->Next(); }, sink, resume);
 }
 
 Result<ReplayStats> StreamReplayer::Run(const SourceFn& source,
-                                        EventSink* sink) {
+                                        EventSink* sink,
+                                        const ReplayCheckpoint* resume) {
+  if (options_.checkpoint_every > 0 && options_.checkpoint_path.empty()) {
+    return Status::InvalidArgument(
+        "checkpoint_every requires checkpoint_path");
+  }
+  const uint64_t skip_entries = resume ? resume->entries_consumed : 0;
+
   SpscQueue<Event> queue(options_.queue_capacity);
   std::atomic<bool> reader_done{false};
   std::atomic<bool> abort{false};
   Status reader_status;  // written by reader thread before reader_done
 
   std::thread reader([&] {
+    // Resume: fast-forward over the entries a previous segment already
+    // emitted. Every source entry counts (graph + marker + control);
+    // blank/comment lines never reach the source interface.
+    uint64_t to_skip = skip_entries;
     while (!abort.load(std::memory_order_relaxed)) {
       Result<std::optional<Event>> next = source();
       if (!next.ok()) {
         reader_status = next.status();
         break;
       }
-      if (!next->has_value()) break;  // end of stream
+      if (!next->has_value()) {  // end of stream
+        if (to_skip > 0) {
+          reader_status = Status::InvalidArgument(
+              "resume checkpoint lies beyond the end of the stream (" +
+              std::to_string(to_skip) + " entries short)");
+        }
+        break;
+      }
+      if (to_skip > 0) {
+        --to_skip;
+        continue;
+      }
       Event event = std::move(**next);
       while (!queue.TryPush(std::move(event))) {
         if (abort.load(std::memory_order_relaxed)) {
@@ -58,6 +82,25 @@ Result<ReplayStats> StreamReplayer::Run(const SourceFn& source,
   MonotonicClock clock;
   RateController rate(options_.base_rate_eps, &clock);
   ReplayStats stats;
+  if (resume != nullptr) {
+    stats.events_delivered = resume->events_delivered;
+    stats.markers = resume->markers;
+    stats.controls = resume->controls;
+    if (options_.honor_control_events) rate.SetFactor(resume->rate_factor);
+    if (options_.checkpoint_rng != nullptr) {
+      options_.checkpoint_rng->RestoreState(resume->rng_state);
+    }
+  }
+  // Resume baseline: a resumed run uses a fresh sink chain whose own
+  // counters start at zero, so the checkpointed telemetry is added back in.
+  const SinkTelemetry telemetry_base =
+      resume != nullptr ? resume->telemetry : SinkTelemetry{};
+  progress_.store(stats.events_delivered, std::memory_order_relaxed);
+  uint64_t entries = skip_entries;
+  const uint64_t stop_at = options_.stop_after_events > 0
+                               ? stats.events_delivered +
+                                     options_.stop_after_events
+                               : 0;
   stats.started = clock.Now();
 
   Timestamp bin_start = stats.started;
@@ -70,8 +113,37 @@ Result<ReplayStats> StreamReplayer::Run(const SourceFn& source,
     }
   };
 
+  auto current_telemetry = [&] {
+    SinkTelemetry t = telemetry_base;
+    t.Merge(sink->Telemetry());
+    return t;
+  };
+  Status checkpoint_status;
+  auto write_checkpoint = [&]() -> bool {
+    if (options_.checkpoint_path.empty()) return true;
+    ReplayCheckpoint cp;
+    cp.entries_consumed = entries;
+    cp.events_delivered = stats.events_delivered;
+    cp.markers = stats.markers;
+    cp.controls = stats.controls;
+    cp.rate_factor = rate.factor();
+    if (options_.checkpoint_rng != nullptr) {
+      cp.rng_state = options_.checkpoint_rng->SaveState();
+    }
+    cp.telemetry = current_telemetry();
+    checkpoint_status = cp.SaveTo(options_.checkpoint_path);
+    if (checkpoint_status.ok()) ++stats.checkpoints_written;
+    return checkpoint_status.ok();
+  };
+
   Status emit_status;
+  bool cancelled = false;
+  bool stopped = false;
   while (true) {
+    if (options_.cancel != nullptr && options_.cancel->cancelled()) {
+      cancelled = true;
+      break;
+    }
     std::optional<Event> popped = queue.TryPop();
     if (!popped.has_value()) {
       if (reader_done.load(std::memory_order_acquire)) {
@@ -84,6 +156,7 @@ Result<ReplayStats> StreamReplayer::Run(const SourceFn& source,
       }
     }
     const Event& event = *popped;
+    ++entries;
 
     if (IsControl(event.type)) {
       ++stats.controls;
@@ -106,23 +179,57 @@ Result<ReplayStats> StreamReplayer::Run(const SourceFn& source,
     const Timestamp slot = rate.WaitForNextSlot();
     emit_status = sink->Deliver(event);
     if (!emit_status.ok()) {
-      abort.store(true, std::memory_order_relaxed);
       break;
     }
     ++stats.events_delivered;
+    progress_.store(stats.events_delivered, std::memory_order_relaxed);
     stats.lag_us.push_back((clock.Now() - slot).seconds() * 1e6);
     roll_bins(slot);
     ++bin_count;
+    if (options_.checkpoint_every > 0 &&
+        stats.events_delivered % options_.checkpoint_every == 0 &&
+        !write_checkpoint()) {
+      break;
+    }
+    if (stop_at != 0 && stats.events_delivered >= stop_at) {
+      stopped = true;
+      break;
+    }
   }
 
+  abort.store(true, std::memory_order_relaxed);
   reader.join();
   stats.finished = clock.Now();
   if (bin_count > 0) stats.rate_series.push_back({bin_start, bin_count});
+  stats.entries_consumed = entries;
+
+  if (cancelled || stopped) {
+    // Clean abort: flush the sink so every delivered event is durable,
+    // then record the exact abort point — the resumed segment starts
+    // where this one verifiably ended (exactly-once across the boundary).
+    const Status finish_status = sink->Finish();
+    stats.telemetry = current_telemetry();
+    write_checkpoint();
+    stats.stopped_early = true;
+    if (cancelled) {
+      const std::string reason = options_.cancel->reason();
+      return Status::Cancelled(reason.empty() ? "replay cancelled" : reason);
+    }
+    GT_RETURN_NOT_OK(checkpoint_status.WithContext("final checkpoint"));
+    GT_RETURN_NOT_OK(finish_status.WithContext("sink finish"));
+    return stats;
+  }
 
   if (!emit_status.ok()) return emit_status.WithContext("sink delivery");
+  if (!checkpoint_status.ok()) {
+    return checkpoint_status.WithContext("periodic checkpoint");
+  }
   if (!reader_status.ok()) return reader_status.WithContext("stream source");
   GT_RETURN_NOT_OK(sink->Finish());
-  stats.telemetry = sink->Telemetry();
+  stats.telemetry = current_telemetry();
+  if (options_.checkpoint_every > 0 && !write_checkpoint()) {
+    return checkpoint_status.WithContext("final checkpoint");
+  }
   return stats;
 }
 

@@ -11,13 +11,17 @@
 #ifndef GRAPHTIDES_REPLAYER_REPLAYER_H_
 #define GRAPHTIDES_REPLAYER_REPLAYER_H_
 
+#include <atomic>
 #include <functional>
 #include <optional>
 #include <string>
 #include <vector>
 
+#include "common/cancellation.h"
 #include "common/clock.h"
+#include "common/random.h"
 #include "common/result.h"
+#include "replayer/checkpoint.h"
 #include "replayer/event_sink.h"
 #include "replayer/rate_controller.h"
 #include "stream/event.h"
@@ -34,6 +38,28 @@ struct ReplayerOptions {
   /// When false, controls (SET_RATE / PAUSE) are ignored — events stream
   /// at the base rate throughout.
   bool honor_control_events = true;
+
+  // --- Supervision: cancellation + checkpoint/resume -------------------
+
+  /// Cooperative cancellation (e.g. fired by a RunWatchdog). Polled before
+  /// every emission; when fired the run writes a final checkpoint (if
+  /// checkpointing is configured), flushes the sink, and returns
+  /// Status::Cancelled.
+  const CancellationToken* cancel = nullptr;
+  /// Write a checkpoint every N delivered graph events (0 = disabled).
+  /// Checkpoints are written after the Nth event was acknowledged, so a
+  /// resume from one is exactly-once.
+  uint64_t checkpoint_every = 0;
+  /// Destination for checkpoints (atomic replace). Required when
+  /// checkpoint_every > 0 or `cancel` should leave a resumable record.
+  std::string checkpoint_path;
+  /// Stop cleanly after delivering this many graph events (counted from
+  /// the resume base; 0 = run to end of stream), flushing a final
+  /// checkpoint. Models a controlled kill for resume tests and drills.
+  uint64_t stop_after_events = 0;
+  /// RNG whose state is snapshotted into checkpoints and restored on
+  /// resume (e.g. the resilient sink's jitter RNG). Optional, not owned.
+  Rng* checkpoint_rng = nullptr;
 };
 
 /// \brief One marker observation: the wall-clock instant the marker passed
@@ -69,6 +95,14 @@ struct ReplayStats {
   /// reconnects, counted drops, injected chaos faults). All zeros for
   /// plain sinks.
   SinkTelemetry telemetry;
+  /// Source entries consumed across the whole logical run, including the
+  /// segment replayed before a resume checkpoint.
+  uint64_t entries_consumed = 0;
+  /// True when the run ended at stop_after_events instead of the stream's
+  /// end (cancellation instead returns Status::Cancelled).
+  bool stopped_early = false;
+  /// Checkpoints written during the run (periodic + final).
+  uint64_t checkpoints_written = 0;
 
   Duration Elapsed() const { return finished - started; }
   /// Mean achieved rate over the whole run (events/second).
@@ -85,21 +119,37 @@ class StreamReplayer {
  public:
   explicit StreamReplayer(ReplayerOptions options) : options_(options) {}
 
-  /// Replays an in-memory stream. Blocks until done or failed.
-  Result<ReplayStats> Replay(const std::vector<Event>& events,
-                             EventSink* sink);
+  /// \brief Replays an in-memory stream. Blocks until done or failed.
+  ///
+  /// With `resume`, emission starts at the checkpoint's stream offset and
+  /// all counters (events_delivered, markers, controls, telemetry baseline,
+  /// rate factor, checkpoint RNG) continue from the checkpointed values, so
+  /// the final stats match an uninterrupted run; started/finished and the
+  /// rate/lag series cover only the resumed segment.
+  Result<ReplayStats> Replay(const std::vector<Event>& events, EventSink* sink,
+                             const ReplayCheckpoint* resume = nullptr);
 
   /// Streams a file without loading it fully (reader thread parses lines
   /// while the emitter drains the queue).
-  Result<ReplayStats> ReplayFile(const std::string& path, EventSink* sink);
+  Result<ReplayStats> ReplayFile(const std::string& path, EventSink* sink,
+                                 const ReplayCheckpoint* resume = nullptr);
+
+  /// \brief Live progress counter: graph events delivered so far in the
+  /// current run (cumulative across a resume). Safe to read from another
+  /// thread — this is the probe a RunWatchdog polls for liveness.
+  uint64_t progress() const {
+    return progress_.load(std::memory_order_relaxed);
+  }
 
  private:
   /// Pull-based event source; nullopt signals end of stream.
   using SourceFn = std::function<Result<std::optional<Event>>()>;
 
-  Result<ReplayStats> Run(const SourceFn& source, EventSink* sink);
+  Result<ReplayStats> Run(const SourceFn& source, EventSink* sink,
+                          const ReplayCheckpoint* resume);
 
   ReplayerOptions options_;
+  std::atomic<uint64_t> progress_{0};
 };
 
 }  // namespace graphtides

@@ -96,6 +96,11 @@ class ResilientSink final : public EventSink {
 
   const ResilienceStats& stats() const { return stats_; }
 
+  /// \brief The jitter RNG, exposed so a checkpointing replayer can
+  /// snapshot and restore it (ReplayerOptions::checkpoint_rng) — resumed
+  /// runs then reproduce the exact backoff-jitter sequence.
+  Rng* mutable_jitter_rng() { return &jitter_rng_; }
+
  private:
   /// True for errors worth retrying.
   bool Retryable(const Status& status) const;

@@ -27,12 +27,25 @@ class SpscQueue {
     mask_ = cap - 1;
   }
 
-  /// Non-blocking push; false when full.
-  bool TryPush(T value) {
+  /// \brief Non-blocking push; false when full.
+  ///
+  /// The rvalue overload consumes `value` only on success, so a failed push
+  /// leaves it intact for the retry — by-value would move into the doomed
+  /// parameter and silently gut the payload on a full queue.
+  bool TryPush(T&& value) {
     const size_t head = head_.load(std::memory_order_relaxed);
     const size_t tail = tail_.load(std::memory_order_acquire);
     if (head - tail > mask_) return false;  // full
     buffer_[head & mask_] = std::move(value);
+    head_.store(head + 1, std::memory_order_release);
+    return true;
+  }
+
+  bool TryPush(const T& value) {
+    const size_t head = head_.load(std::memory_order_relaxed);
+    const size_t tail = tail_.load(std::memory_order_acquire);
+    if (head - tail > mask_) return false;  // full
+    buffer_[head & mask_] = value;
     head_.store(head + 1, std::memory_order_release);
     return true;
   }

@@ -90,6 +90,15 @@ void TcpSink::Sever() {
   fd_ = -1;
 }
 
+void TcpSink::Abort() {
+  // shutdown() only — the blocked send() in the owning thread returns with
+  // an error at once, and that thread keeps sole responsibility for
+  // close(), so an fd recycled by the kernel cannot be shut down by
+  // mistake.
+  const int fd = fd_.load(std::memory_order_acquire);
+  if (fd >= 0) ::shutdown(fd, SHUT_RDWR);
+}
+
 Status TcpSink::FlushBuffer() {
   if (buffer_.empty()) return Status::OK();
   // On failure the buffer is kept: a retry after Reconnect re-sends it
@@ -188,7 +197,11 @@ bool TcpLineServer::ServeConnection(int conn) {
     if (on_line_) on_line_(std::string_view(pending));
     lines_.fetch_add(1, std::memory_order_relaxed);
   }
-  ::close(conn);
+  {
+    std::lock_guard<std::mutex> lock(conn_mu_);
+    ::close(conn);
+    conn_fd_ = -1;
+  }
   return keep_accepting;
 }
 
@@ -204,6 +217,10 @@ void TcpLineServer::Serve() {
       ::close(conn);  // wake-up connection from Stop()
       return;
     }
+    {
+      std::lock_guard<std::mutex> lock(conn_mu_);
+      conn_fd_ = conn;
+    }
     connections_.fetch_add(1, std::memory_order_relaxed);
     if (!ServeConnection(conn)) return;
   }
@@ -211,6 +228,13 @@ void TcpLineServer::Serve() {
 
 void TcpLineServer::Stop() {
   if (stop_.exchange(true)) return;
+  // Unblock a connection stuck in read(). shutdown() under the lock, never
+  // close() — the server thread owns the close, and closing here could
+  // shut down an unrelated recycled fd.
+  {
+    std::lock_guard<std::mutex> lock(conn_mu_);
+    if (conn_fd_ >= 0) ::shutdown(conn_fd_, SHUT_RDWR);
+  }
   // Wake a blocked accept with a throwaway connection.
   const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
   if (fd < 0) return;

@@ -8,6 +8,7 @@
 #include <cstdint>
 #include <functional>
 #include <memory>
+#include <mutex>
 #include <string>
 #include <thread>
 
@@ -48,20 +49,33 @@ class TcpSink final : public EventSink {
   /// \brief Severs the connection immediately (no flush, fd closed).
   ///
   /// Used as the chaos "forced disconnect" hook: after Sever, Deliver
-  /// fails until Reconnect() re-establishes the connection.
+  /// fails until Reconnect() re-establishes the connection. Must be called
+  /// from the thread that owns the sink.
   void Sever();
+
+  /// \brief Thread-safe abort: shuts the socket down WITHOUT closing it.
+  ///
+  /// Safe to call from a watchdog/supervisor thread while the owning
+  /// thread is blocked in send() — the blocked call returns with an error
+  /// immediately. The fd itself is only ever closed by the owning thread
+  /// (Sever/Finish/destructor); closing here would race fd reuse.
+  void Abort();
 
   Status Deliver(const Event& event) override;
   Status Finish() override;
 
-  bool connected() const { return fd_ >= 0; }
+  bool connected() const {
+    return fd_.load(std::memory_order_acquire) >= 0;
+  }
   uint64_t reconnects() const { return reconnects_; }
 
  private:
   Status Dial();
   Status FlushBuffer();
 
-  int fd_ = -1;
+  /// Owned (open/close) by the sink's thread; atomic so Abort can observe
+  /// it from another thread.
+  std::atomic<int> fd_{-1};
   std::string host_;
   uint16_t port_ = 0;
   bool ever_connected_ = false;
@@ -101,9 +115,10 @@ class TcpLineServer {
   /// listening. Returns the bound port.
   Result<uint16_t> Start(LineFn on_line, uint16_t port = 0);
 
-  /// Asks the server thread to exit after the current connection; wakes a
-  /// blocked accept. Needed before Join when max_connections was not
-  /// exhausted.
+  /// Asks the server thread to exit: wakes a blocked accept AND shuts down
+  /// any connection currently blocked in read, so a watchdog abort can
+  /// never leave the server thread wedged. Needed before Join when
+  /// max_connections was not exhausted.
   void Stop();
 
   /// Waits for the service thread to finish and joins it.
@@ -134,6 +149,10 @@ class TcpLineServer {
   std::atomic<uint64_t> lines_{0};
   std::atomic<uint64_t> connections_{0};
   std::atomic<bool> stop_{false};
+  /// Active connection fd; guarded by conn_mu_ so Stop can shut it down
+  /// without racing the server thread's close.
+  std::mutex conn_mu_;
+  int conn_fd_ = -1;
 };
 
 }  // namespace graphtides

@@ -13,17 +13,61 @@ Status StreamFileReader::Open(const std::string& path) {
   return Status::OK();
 }
 
+namespace {
+
+enum class LineRead { kLine, kEof, kTooLong };
+
+// Reads up to the next '\n' into *line, never buffering more than max_bytes.
+// An over-long line is drained to its newline so the caller can resume at
+// the next record. *terminated reports whether a '\n' was actually seen —
+// false on the final line of a file cut off mid-record.
+LineRead ReadBoundedLine(std::istream& in, std::string* line, size_t max_bytes,
+                         bool* terminated) {
+  line->clear();
+  *terminated = false;
+  constexpr int kEofCh = std::char_traits<char>::eof();
+  int c;
+  while ((c = in.get()) != kEofCh) {
+    if (c == '\n') {
+      *terminated = true;
+      return LineRead::kLine;
+    }
+    if (line->size() >= max_bytes) {
+      while ((c = in.get()) != kEofCh && c != '\n') {
+      }
+      return LineRead::kTooLong;
+    }
+    line->push_back(static_cast<char>(c));
+  }
+  return line->empty() ? LineRead::kEof : LineRead::kLine;
+}
+
+}  // namespace
+
 Result<std::optional<Event>> StreamFileReader::Next() {
   std::string line;
-  while (std::getline(in_, line)) {
+  while (true) {
+    bool terminated = false;
+    const LineRead read =
+        ReadBoundedLine(in_, &line, options_.max_line_bytes, &terminated);
+    if (read == LineRead::kEof) {
+      if (in_.bad()) return Status::IoError("read failure");
+      return std::optional<Event>(std::nullopt);
+    }
     ++line_number_;
+    if (read == LineRead::kTooLong) {
+      return Status::ParseError(
+                 "line exceeds " + std::to_string(options_.max_line_bytes) +
+                 " bytes")
+          .WithContext("line " + std::to_string(line_number_));
+    }
     Result<Event> parsed = ParseEventLine(line);
     if (parsed.ok()) return std::optional<Event>(std::move(parsed).value());
     if (parsed.status().IsNotFound()) continue;  // blank/comment line
-    return parsed.status().WithContext("line " + std::to_string(line_number_));
+    std::string context = "line " + std::to_string(line_number_);
+    if (!terminated) context += " (truncated final record)";
+    return parsed.status().WithContext(context);
   }
-  if (in_.bad()) return Status::IoError("read failure");
-  return std::optional<Event>(std::nullopt);
 }
 
 Status StreamFileWriter::Open(const std::string& path) {

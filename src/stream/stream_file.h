@@ -13,6 +13,13 @@
 
 namespace graphtides {
 
+struct StreamFileReaderOptions {
+  /// Lines longer than this are rejected with ParseError instead of being
+  /// buffered whole — a missing newline in a giant corrupt file must not
+  /// balloon into an unbounded allocation.
+  size_t max_line_bytes = 1 << 20;
+};
+
 /// \brief Sequential reader over a graph stream file.
 ///
 /// Usage:
@@ -26,16 +33,23 @@ namespace graphtides {
 ///   }
 class StreamFileReader {
  public:
+  explicit StreamFileReader(StreamFileReaderOptions options = {})
+      : options_(options) {}
+
   Status Open(const std::string& path);
 
   /// Next event, std::nullopt at end of file, or a ParseError annotated with
-  /// the 1-based line number.
+  /// the 1-based line number. An unterminated final line that fails to parse
+  /// is flagged as a truncated final record. After a ParseError the reader
+  /// is positioned at the next line, so callers may keep reading to collect
+  /// every malformed line.
   Result<std::optional<Event>> Next();
 
   /// 1-based number of the last line consumed.
   size_t line_number() const { return line_number_; }
 
  private:
+  StreamFileReaderOptions options_;
   std::ifstream in_;
   size_t line_number_ = 0;
 };

@@ -1,5 +1,7 @@
 #include "stream/validator.h"
 
+#include "stream/stream_file.h"
+
 namespace graphtides {
 
 Status StreamValidator::Check(const Event& event) {
@@ -103,6 +105,41 @@ StreamValidationReport ValidateStream(const std::vector<Event>& events,
       if (max_violations != 0 && report.violations.size() >= max_violations) {
         break;
       }
+    }
+  }
+  report.final_vertices = validator.num_vertices();
+  report.final_edges = validator.num_edges();
+  return report;
+}
+
+Result<StreamFileValidationReport> ValidateStreamFile(const std::string& path,
+                                                      size_t max_issues,
+                                                      size_t max_line_bytes) {
+  StreamFileReaderOptions reader_options;
+  reader_options.max_line_bytes = max_line_bytes;
+  StreamFileReader reader(reader_options);
+  GT_RETURN_NOT_OK(reader.Open(path));
+
+  StreamValidator validator;
+  StreamFileValidationReport report;
+  const auto full = [&] {
+    return max_issues != 0 && report.issues.size() >= max_issues;
+  };
+  while (!full()) {
+    Result<std::optional<Event>> next = reader.Next();
+    if (!next.ok()) {
+      // Malformed lines are recorded and skipped; anything else (I/O
+      // failure) genuinely ends the validation.
+      if (!next.status().IsParseError()) return next.status();
+      report.issues.push_back(
+          {reader.line_number(), true, next.status().message()});
+      continue;
+    }
+    if (!next->has_value()) break;
+    ++report.events_checked;
+    Status st = validator.Check(**next);
+    if (!st.ok()) {
+      report.issues.push_back({reader.line_number(), false, st.message()});
     }
   }
   report.final_vertices = validator.num_vertices();

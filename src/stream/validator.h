@@ -18,6 +18,7 @@
 #include <unordered_set>
 #include <vector>
 
+#include "common/result.h"
 #include "common/status.h"
 #include "stream/event.h"
 
@@ -69,6 +70,35 @@ class StreamValidator {
 /// violations (0 = unlimited).
 StreamValidationReport ValidateStream(const std::vector<Event>& events,
                                       size_t max_violations = 0);
+
+/// \brief One problem found while validating a stream *file*: either a
+/// malformed line (parse error) or a precondition violation, with the
+/// 1-based line number it occurred on.
+struct StreamFileIssue {
+  size_t line = 0;
+  /// True for malformed input (bad CSV, NUL bytes, over-long or truncated
+  /// lines, non-numeric ids); false for a precondition violation.
+  bool parse_error = false;
+  std::string reason;
+};
+
+struct StreamFileValidationReport {
+  std::vector<StreamFileIssue> issues;
+  size_t events_checked = 0;
+  size_t final_vertices = 0;
+  size_t final_edges = 0;
+
+  bool valid() const { return issues.empty(); }
+};
+
+/// \brief Validates a stream file end to end, collecting up to `max_issues`
+/// problems (0 = unlimited) instead of stopping at the first. Malformed
+/// lines are skipped and validation resumes on the next line, so one bad
+/// record does not hide later violations. Returns an error only for I/O
+/// failures (e.g. the file cannot be opened).
+Result<StreamFileValidationReport> ValidateStreamFile(
+    const std::string& path, size_t max_issues = 0,
+    size_t max_line_bytes = 1 << 20);
 
 }  // namespace graphtides
 

@@ -73,6 +73,21 @@ TEST(CsvTest, EscapeQuotesWhenNeeded) {
   EXPECT_EQ(EscapeCsvField("a\nb"), "\"a\nb\"");
 }
 
+TEST(ParseCsvLineTest, RejectsNulBytes) {
+  const std::string line("a,b\0c,d", 7);
+  auto parsed = ParseCsvLine(line);
+  ASSERT_FALSE(parsed.ok());
+  EXPECT_TRUE(parsed.status().IsParseError());
+  EXPECT_NE(parsed.status().message().find("NUL"), std::string::npos);
+}
+
+TEST(ParseCsvLineTest, RejectsNulInsideQuotedField) {
+  const std::string line("a,\"b\0c\",d", 9);
+  auto parsed = ParseCsvLine(line);
+  ASSERT_FALSE(parsed.ok());
+  EXPECT_TRUE(parsed.status().IsParseError());
+}
+
 struct RoundTripCase {
   std::vector<std::string> fields;
 };

@@ -1,0 +1,290 @@
+#include "harness/campaign.h"
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <functional>
+#include <set>
+#include <thread>
+#include <vector>
+
+#include "common/random.h"
+#include "sim/process.h"
+#include "sim/simulator.h"
+
+namespace graphtides {
+namespace {
+
+CampaignOptions FastOptions(size_t repetitions) {
+  CampaignOptions options;
+  options.experiment.repetitions = repetitions;
+  options.experiment.base_seed = 42;
+  options.watchdog.stall_deadline = Duration::FromMillis(60);
+  options.watchdog.poll_interval = Duration::FromMillis(5);
+  return options;
+}
+
+// A cooperative hang: freeze the heartbeat and wait for the watchdog.
+Status SpinUntilCancelled(const RunContext& ctx) {
+  if (ctx.report_progress) ctx.report_progress(1);
+  while (ctx.cancel == nullptr || !ctx.cancel->cancelled()) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  return Status::Cancelled(ctx.cancel->reason());
+}
+
+TEST(CampaignSeedTest, AttemptZeroMatchesExperimentRunnerSchedule) {
+  const uint64_t base = 42;
+  for (size_t c : {0u, 1u, 3u}) {
+    for (size_t r : {0u, 1u, 29u}) {
+      EXPECT_EQ(CampaignSeed(base, c, r, 0), base + c * 1000003ULL + r);
+    }
+  }
+}
+
+TEST(CampaignSeedTest, RetriesGetFreshDistinctSeeds) {
+  std::set<uint64_t> seeds;
+  for (size_t attempt = 0; attempt < 5; ++attempt) {
+    seeds.insert(CampaignSeed(42, 0, 0, attempt));
+  }
+  EXPECT_EQ(seeds.size(), 5u);
+  // A different slot's retry schedule is also distinct.
+  EXPECT_NE(CampaignSeed(42, 0, 0, 1), CampaignSeed(42, 0, 1, 1));
+}
+
+TEST(CampaignTest, FaultFreeCampaignCompletesWithFirstAttemptSeeds) {
+  std::vector<uint64_t> seeds;
+  CampaignSupervisor supervisor({}, FastOptions(5));
+  auto report = supervisor.Run(
+      [&](const ExperimentConfig&, const RunContext& ctx) -> Result<RunOutcome> {
+        seeds.push_back(ctx.seed);
+        if (ctx.report_progress) ctx.report_progress(ctx.run_index + 1);
+        RunOutcome out;
+        out["value"] = static_cast<double>(ctx.run_index);
+        return out;
+      });
+  ASSERT_TRUE(report.ok());
+  EXPECT_EQ(report->total_completed, 5u);
+  EXPECT_EQ(report->total_failed, 0u);
+  EXPECT_EQ(report->total_hung, 0u);
+  EXPECT_EQ(report->total_retried, 0u);
+  ASSERT_EQ(seeds.size(), 5u);
+  for (size_t r = 0; r < 5; ++r) {
+    EXPECT_EQ(seeds[r], 42u + r);  // ExperimentRunner's schedule, config 0
+  }
+  ASSERT_EQ(report->results.size(), 1u);
+  EXPECT_EQ(report->results[0].accounting.effective_n(), 5u);
+}
+
+TEST(CampaignTest, HungRunsAreDetectedRetriedAndBackfilled) {
+  // The acceptance scenario: 10 runs, slots 3 and 7 wedge on their first
+  // attempt. The watchdog must cancel both; retries must complete the
+  // campaign at effective n = 10.
+  const std::set<size_t> hang_runs = {3, 7};  // 1-based
+  CampaignSupervisor supervisor({}, FastOptions(10));
+  auto report = supervisor.Run(
+      [&](const ExperimentConfig&, const RunContext& ctx) -> Result<RunOutcome> {
+        if (hang_runs.count(ctx.run_index + 1) > 0 && ctx.attempt == 0) {
+          return SpinUntilCancelled(ctx);
+        }
+        if (ctx.report_progress) ctx.report_progress(1);
+        RunOutcome out;
+        out["value"] = static_cast<double>(ctx.run_index);
+        return out;
+      });
+  ASSERT_TRUE(report.ok());
+  EXPECT_EQ(report->total_completed, 10u);
+  EXPECT_EQ(report->total_hung, 2u);
+  EXPECT_EQ(report->total_retried, 2u);
+  EXPECT_EQ(report->total_failed, 0u);
+  EXPECT_EQ(report->quarantined_configs, 0u);
+
+  ASSERT_EQ(report->results.size(), 1u);
+  const ConfigResult& result = report->results[0];
+  EXPECT_EQ(result.accounting.completed, 10u);
+  EXPECT_EQ(result.accounting.hung, 2u);
+  EXPECT_EQ(result.accounting.retried, 2u);
+  EXPECT_FALSE(result.accounting.quarantined);
+
+  // Aggregation covers all ten completed runs.
+  const MetricAggregate& value = result.metrics.at("value");
+  EXPECT_EQ(value.effective_n(), 10u);
+  EXPECT_DOUBLE_EQ(value.stats.mean(), 4.5);
+
+  // The journal records both hung attempts and their retries with fresh
+  // derived seeds.
+  size_t hung_records = 0;
+  for (const AttemptRecord& a : report->attempts) {
+    if (a.outcome != AttemptOutcome::kHung) continue;
+    ++hung_records;
+    EXPECT_TRUE(hang_runs.count(a.run_index + 1) > 0);
+    EXPECT_EQ(a.attempt, 0u);
+    const uint64_t retry_seed = CampaignSeed(42, 0, a.run_index, 1);
+    EXPECT_NE(retry_seed, a.seed);
+  }
+  EXPECT_EQ(hung_records, 2u);
+}
+
+TEST(CampaignTest, FailedRunsAreRetriedWithFreshSeeds) {
+  std::vector<uint64_t> attempt_seeds;
+  CampaignSupervisor supervisor({}, FastOptions(3));
+  auto report = supervisor.Run(
+      [&](const ExperimentConfig&, const RunContext& ctx) -> Result<RunOutcome> {
+        if (ctx.report_progress) ctx.report_progress(1);
+        if (ctx.run_index == 1 && ctx.attempt == 0) {
+          attempt_seeds.push_back(ctx.seed);
+          return Status::IoError("simulated SUT crash");
+        }
+        if (ctx.run_index == 1) attempt_seeds.push_back(ctx.seed);
+        RunOutcome out;
+        out["value"] = 1.0;
+        return out;
+      });
+  ASSERT_TRUE(report.ok());
+  EXPECT_EQ(report->total_completed, 3u);
+  EXPECT_EQ(report->total_failed, 1u);
+  EXPECT_EQ(report->total_hung, 0u);
+  EXPECT_EQ(report->total_retried, 1u);
+  ASSERT_EQ(attempt_seeds.size(), 2u);
+  EXPECT_NE(attempt_seeds[0], attempt_seeds[1]);
+  // The failed attempt's detail survives in the journal.
+  bool found = false;
+  for (const AttemptRecord& a : report->attempts) {
+    if (a.outcome == AttemptOutcome::kFailed) {
+      found = true;
+      EXPECT_NE(a.detail.find("simulated SUT crash"), std::string::npos);
+    }
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST(CampaignTest, RepeatedlyFailingConfigIsQuarantined) {
+  std::vector<Factor> factors = {{"rate", {1.0, 2.0}}};
+  CampaignOptions options = FastOptions(4);
+  options.retry_budget = 1;
+  options.quarantine_after = 1;
+  CampaignSupervisor supervisor(factors, options);
+  size_t poison_attempts = 0;
+  auto report = supervisor.Run(
+      [&](const ExperimentConfig& config,
+          const RunContext& ctx) -> Result<RunOutcome> {
+        if (ctx.report_progress) ctx.report_progress(1);
+        if (config.at("rate") == 2.0) {
+          ++poison_attempts;
+          return Status::IoError("always broken at rate 2");
+        }
+        RunOutcome out;
+        out["value"] = 1.0;
+        return out;
+      });
+  ASSERT_TRUE(report.ok());
+  EXPECT_EQ(report->quarantined_configs, 1u);
+  ASSERT_EQ(report->results.size(), 2u);
+
+  const ConfigResult& healthy = report->results[0];
+  EXPECT_EQ(healthy.accounting.completed, 4u);
+  EXPECT_FALSE(healthy.accounting.quarantined);
+
+  const ConfigResult& poisoned = report->results[1];
+  EXPECT_TRUE(poisoned.accounting.quarantined);
+  EXPECT_EQ(poisoned.accounting.completed, 0u);
+  // Quarantine kicked in after the first slot exhausted its budget: the
+  // three remaining slots were skipped, not attempted.
+  EXPECT_EQ(poison_attempts, 2u);  // first try + one retry
+}
+
+TEST(CampaignTest, AggregatesOverCompletedRunsOnly) {
+  // Slot 2 never completes, but with quarantine disabled the campaign keeps
+  // going; the CI must cover only the runs that finished.
+  CampaignOptions options = FastOptions(4);
+  options.retry_budget = 1;
+  options.quarantine_after = 99;
+  CampaignSupervisor supervisor({}, options);
+  auto report = supervisor.Run(
+      [&](const ExperimentConfig&, const RunContext& ctx) -> Result<RunOutcome> {
+        if (ctx.report_progress) ctx.report_progress(1);
+        if (ctx.run_index == 2) return Status::IoError("permanently broken");
+        RunOutcome out;
+        out["value"] = 10.0;
+        return out;
+      });
+  ASSERT_TRUE(report.ok());
+  EXPECT_EQ(report->total_completed, 3u);
+  EXPECT_EQ(report->total_failed, 2u);  // first try + retry
+  ASSERT_EQ(report->results.size(), 1u);
+  const ConfigResult& result = report->results[0];
+  EXPECT_EQ(result.repetitions, 4u);
+  EXPECT_EQ(result.accounting.effective_n(), 3u);
+  const MetricAggregate& value = result.metrics.at("value");
+  EXPECT_EQ(value.effective_n(), 3u);
+  EXPECT_DOUBLE_EQ(value.stats.mean(), 10.0);
+  EXPECT_EQ(value.ci.n, 3u);
+}
+
+TEST(CampaignTest, SimProcessStallingAfterNEventsIsDeclaredHung) {
+  // Satellite scenario: a simulated SUT applies N events and then stops
+  // completing work. Driven from the wall clock, its heartbeat freezes and
+  // the watchdog must cancel the attempt; the retry (which does not wedge)
+  // completes the campaign.
+  constexpr uint64_t kEvents = 50;
+  CampaignSupervisor supervisor({}, FastOptions(1));
+  auto report = supervisor.Run(
+      [&](const ExperimentConfig&, const RunContext& ctx) -> Result<RunOutcome> {
+        Simulator sim;
+        SimProcess sut(&sim, "sut");
+        Rng rng(ctx.seed);
+        const bool wedge = ctx.attempt == 0;
+        uint64_t applied = 0;
+        std::function<void()> submit_next = [&] {
+          sut.Submit(Duration::FromMillis(1), [&] {
+            ++applied;
+            if (wedge && applied >= kEvents / 2) {
+              sut.Kill();  // stalls after N/2 events
+              return;
+            }
+            if (applied < kEvents) submit_next();
+          });
+        };
+        submit_next();
+        while (applied < kEvents) {
+          if (ctx.cancel != nullptr && ctx.cancel->cancelled()) {
+            return Status::Cancelled(ctx.cancel->reason());
+          }
+          if (!sim.Step()) {
+            std::this_thread::sleep_for(std::chrono::milliseconds(1));
+          }
+          if (ctx.report_progress) ctx.report_progress(applied);
+        }
+        RunOutcome out;
+        out["virtual_s"] = sim.Now().seconds();
+        return out;
+      });
+  ASSERT_TRUE(report.ok());
+  EXPECT_EQ(report->total_completed, 1u);
+  EXPECT_EQ(report->total_hung, 1u);
+  EXPECT_EQ(report->total_retried, 1u);
+  ASSERT_EQ(report->attempts.size(), 2u);
+  EXPECT_EQ(report->attempts[0].outcome, AttemptOutcome::kHung);
+  EXPECT_EQ(report->attempts[1].outcome, AttemptOutcome::kCompleted);
+}
+
+TEST(CampaignTest, FormatReportShowsEffectiveN) {
+  CampaignSupervisor supervisor({}, FastOptions(3));
+  auto report = supervisor.Run(
+      [&](const ExperimentConfig&, const RunContext& ctx) -> Result<RunOutcome> {
+        if (ctx.report_progress) ctx.report_progress(1);
+        if (ctx.run_index == 0 && ctx.attempt == 0) {
+          return SpinUntilCancelled(ctx);
+        }
+        RunOutcome out;
+        out["value"] = 2.0;
+        return out;
+      });
+  ASSERT_TRUE(report.ok());
+  const std::string text = FormatCampaignReport(*report);
+  EXPECT_NE(text.find("n eff"), std::string::npos);
+  EXPECT_NE(text.find("value"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace graphtides

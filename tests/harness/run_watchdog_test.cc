@@ -1,0 +1,118 @@
+#include "harness/run_watchdog.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <thread>
+
+namespace graphtides {
+namespace {
+
+WatchdogOptions FastOptions(double deadline_ms) {
+  WatchdogOptions options;
+  options.stall_deadline = Duration::FromMillis(static_cast<int64_t>(deadline_ms));
+  options.poll_interval = Duration::FromMillis(2);
+  return options;
+}
+
+TEST(RunWatchdogTest, FiresOnceOnStalledProgress) {
+  RunWatchdog watchdog(FastOptions(40));
+  std::atomic<int> fires{0};
+  std::atomic<uint64_t> reported_progress{0};
+  watchdog.Arm([] { return 123u; },  // constant: never advances
+               [&](uint64_t last, Duration stalled) {
+                 ++fires;
+                 reported_progress = last;
+                 EXPECT_GE(stalled.seconds(), 0.04);
+               });
+  // Wait well past several deadlines: the hang action must fire exactly once.
+  std::this_thread::sleep_for(std::chrono::milliseconds(250));
+  EXPECT_TRUE(watchdog.fired());
+  EXPECT_EQ(fires.load(), 1);
+  EXPECT_EQ(reported_progress.load(), 123u);
+  EXPECT_EQ(watchdog.last_progress(), 123u);
+  watchdog.Disarm();
+}
+
+TEST(RunWatchdogTest, DoesNotFireWhileProgressAdvances) {
+  RunWatchdog watchdog(FastOptions(50));
+  std::atomic<uint64_t> counter{0};
+  std::atomic<bool> running{true};
+  std::thread worker([&] {
+    while (running) {
+      ++counter;
+      std::this_thread::sleep_for(std::chrono::milliseconds(5));
+    }
+  });
+  watchdog.Arm([&] { return counter.load(); },
+               [](uint64_t, Duration) { FAIL() << "watchdog fired on a live run"; });
+  std::this_thread::sleep_for(std::chrono::milliseconds(300));
+  EXPECT_FALSE(watchdog.fired());
+  watchdog.Disarm();
+  running = false;
+  worker.join();
+}
+
+TEST(RunWatchdogTest, DisarmReturnsPromptlyWithLongDeadline) {
+  RunWatchdog watchdog(FastOptions(30000));
+  watchdog.Arm([] { return 0u; }, [](uint64_t, Duration) {});
+  const auto start = std::chrono::steady_clock::now();
+  watchdog.Disarm();
+  const auto elapsed = std::chrono::steady_clock::now() - start;
+  // Disarm must not wait out the 30s deadline (or even one poll tick's
+  // worth of slack beyond scheduling noise).
+  EXPECT_LT(std::chrono::duration_cast<std::chrono::milliseconds>(elapsed)
+                .count(),
+            1000);
+  EXPECT_FALSE(watchdog.fired());
+}
+
+TEST(RunWatchdogTest, DisarmIsIdempotent) {
+  RunWatchdog watchdog(FastOptions(40));
+  watchdog.Arm([] { return 0u; }, [](uint64_t, Duration) {});
+  watchdog.Disarm();
+  watchdog.Disarm();  // no crash, no hang
+}
+
+TEST(RunWatchdogTest, ReusableAcrossRuns) {
+  RunWatchdog watchdog(FastOptions(40));
+
+  // First run hangs.
+  std::atomic<int> fires{0};
+  watchdog.Arm([] { return 7u; }, [&](uint64_t, Duration) { ++fires; });
+  std::this_thread::sleep_for(std::chrono::milliseconds(150));
+  watchdog.Disarm();
+  EXPECT_TRUE(watchdog.fired());
+  EXPECT_EQ(fires.load(), 1);
+
+  // Second run is live: re-arming resets the fired flag.
+  std::atomic<uint64_t> counter{0};
+  std::atomic<bool> running{true};
+  std::thread worker([&] {
+    while (running) {
+      ++counter;
+      std::this_thread::sleep_for(std::chrono::milliseconds(5));
+    }
+  });
+  watchdog.Arm([&] { return counter.load(); }, [&](uint64_t, Duration) { ++fires; });
+  std::this_thread::sleep_for(std::chrono::milliseconds(120));
+  EXPECT_FALSE(watchdog.fired());
+  watchdog.Disarm();
+  running = false;
+  worker.join();
+  EXPECT_EQ(fires.load(), 1);
+}
+
+TEST(RunWatchdogTest, DestructorDisarms) {
+  std::atomic<int> fires{0};
+  {
+    RunWatchdog watchdog(FastOptions(30000));
+    watchdog.Arm([] { return 0u; }, [&](uint64_t, Duration) { ++fires; });
+    // Falling out of scope must join the thread without firing.
+  }
+  EXPECT_EQ(fires.load(), 0);
+}
+
+}  // namespace
+}  // namespace graphtides

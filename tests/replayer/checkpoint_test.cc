@@ -1,0 +1,362 @@
+#include "replayer/checkpoint.h"
+
+#include <gtest/gtest.h>
+#include <unistd.h>
+
+#include <chrono>
+#include <filesystem>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/cancellation.h"
+#include "common/random.h"
+#include "harness/run_watchdog.h"
+#include "replayer/event_sink.h"
+#include "replayer/replayer.h"
+#include "stream/event.h"
+
+namespace graphtides {
+namespace {
+
+class CheckpointTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = std::filesystem::temp_directory_path() /
+           ("gt_checkpoint_test_" + std::to_string(::getpid()));
+    std::filesystem::create_directories(dir_);
+  }
+  void TearDown() override { std::filesystem::remove_all(dir_); }
+
+  std::string Path(const std::string& name) const {
+    return (dir_ / name).string();
+  }
+
+  std::filesystem::path dir_;
+};
+
+ReplayCheckpoint SampleCheckpoint() {
+  ReplayCheckpoint cp;
+  cp.entries_consumed = 1234;
+  cp.events_delivered = 1200;
+  cp.markers = 30;
+  cp.controls = 4;
+  cp.rate_factor = 2.5;
+  cp.rng_state = {1, 2, 3, 0x123456789abcdef0ULL};
+  cp.telemetry.retries = 7;
+  cp.telemetry.reconnects = 2;
+  cp.telemetry.drops_after_retry = 1;
+  cp.telemetry.giveups = 1;
+  cp.telemetry.backoff_s = 0.125;
+  cp.telemetry.injected_failures = 9;
+  cp.telemetry.injected_disconnects = 3;
+  cp.telemetry.injected_stalls = 2;
+  cp.telemetry.injected_latency_spikes = 5;
+  cp.telemetry.stall_s = 1.5;
+  return cp;
+}
+
+TEST_F(CheckpointTest, TextRoundTripPreservesEveryField) {
+  const ReplayCheckpoint cp = SampleCheckpoint();
+  auto parsed = ReplayCheckpoint::FromText(cp.ToText());
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(*parsed, cp);
+}
+
+TEST_F(CheckpointTest, SaveLoadRoundTrip) {
+  const ReplayCheckpoint cp = SampleCheckpoint();
+  const std::string path = Path("cp.txt");
+  ASSERT_TRUE(cp.SaveTo(path).ok());
+  // The atomic-rename temp file must not linger.
+  EXPECT_FALSE(std::filesystem::exists(path + ".tmp"));
+  auto loaded = ReplayCheckpoint::LoadFrom(path);
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_EQ(*loaded, cp);
+}
+
+TEST_F(CheckpointTest, SaveReplacesExistingFileAtomically) {
+  ReplayCheckpoint first = SampleCheckpoint();
+  const std::string path = Path("cp.txt");
+  ASSERT_TRUE(first.SaveTo(path).ok());
+  ReplayCheckpoint second = SampleCheckpoint();
+  second.entries_consumed = 9999;
+  second.events_delivered = 9000;
+  ASSERT_TRUE(second.SaveTo(path).ok());
+  auto loaded = ReplayCheckpoint::LoadFrom(path);
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_EQ(loaded->entries_consumed, 9999u);
+}
+
+TEST_F(CheckpointTest, RejectsMissingHeader) {
+  auto parsed = ReplayCheckpoint::FromText("version=1\nentries_consumed=0\n");
+  ASSERT_FALSE(parsed.ok());
+  EXPECT_TRUE(parsed.status().IsParseError());
+}
+
+TEST_F(CheckpointTest, RejectsUnsupportedVersion) {
+  ReplayCheckpoint cp = SampleCheckpoint();
+  cp.version = 99;
+  auto parsed = ReplayCheckpoint::FromText(cp.ToText());
+  ASSERT_FALSE(parsed.ok());
+  EXPECT_TRUE(parsed.status().IsParseError());
+}
+
+TEST_F(CheckpointTest, RejectsCountsExceedingEntriesConsumed) {
+  ReplayCheckpoint cp;
+  cp.entries_consumed = 5;
+  cp.events_delivered = 4;
+  cp.markers = 1;
+  cp.controls = 1;  // 4 + 1 + 1 > 5
+  auto parsed = ReplayCheckpoint::FromText(cp.ToText());
+  ASSERT_FALSE(parsed.ok());
+  EXPECT_TRUE(parsed.status().IsParseError());
+}
+
+TEST_F(CheckpointTest, RejectsNonNumericValueWithKeyContext) {
+  auto parsed = ReplayCheckpoint::FromText(
+      "# graphtides replay checkpoint\nversion=1\nentries_consumed=abc\n");
+  ASSERT_FALSE(parsed.ok());
+  EXPECT_NE(parsed.status().message().find("entries_consumed"),
+            std::string::npos);
+}
+
+TEST_F(CheckpointTest, SkipsUnknownKeysForForwardCompatibility) {
+  ReplayCheckpoint cp = SampleCheckpoint();
+  auto parsed =
+      ReplayCheckpoint::FromText(cp.ToText() + "future_field=42\n");
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(*parsed, cp);
+}
+
+TEST_F(CheckpointTest, LoadMissingFileIsIoError) {
+  auto loaded = ReplayCheckpoint::LoadFrom(Path("missing.txt"));
+  ASSERT_FALSE(loaded.ok());
+  EXPECT_TRUE(loaded.status().IsIoError());
+}
+
+// ---------------------------------------------------------------------------
+// Resume property tests: a run interrupted at a checkpoint and resumed must
+// be indistinguishable from an uninterrupted run — same delivered sequence,
+// same final counters.
+// ---------------------------------------------------------------------------
+
+std::vector<Event> SyntheticStream(size_t graph_events) {
+  std::vector<Event> events;
+  for (size_t i = 0; i < graph_events; ++i) {
+    if (i > 0 && i % 500 == 0) {
+      events.push_back(Event::Marker("m" + std::to_string(i)));
+    }
+    if (i == graph_events / 4) events.push_back(Event::SetRate(2.0));
+    if (i == 3 * graph_events / 4) events.push_back(Event::SetRate(4.0));
+    events.push_back(Event::AddVertex(static_cast<VertexId>(i),
+                                      "p" + std::to_string(i)));
+  }
+  return events;
+}
+
+ReplayerOptions FastOptions() {
+  ReplayerOptions options;
+  options.base_rate_eps = 1e6;
+  return options;
+}
+
+struct Collected {
+  std::vector<std::string> lines;
+  CallbackSink sink;
+
+  Collected()
+      : sink([this](const Event& e) {
+          lines.push_back(e.ToCsvLine());
+          return Status::OK();
+        }) {}
+};
+
+TEST_F(CheckpointTest, ResumeMatchesUninterruptedRunAtManyBoundaries) {
+  const std::vector<Event> events = SyntheticStream(10000);
+
+  Collected baseline;
+  StreamReplayer full(FastOptions());
+  auto full_stats = full.Replay(events, &baseline.sink);
+  ASSERT_TRUE(full_stats.ok());
+  ASSERT_EQ(full_stats->events_delivered, 10000u);
+  ASSERT_GT(full_stats->markers, 0u);
+  ASSERT_EQ(full_stats->controls, 2u);
+
+  // Stop points straddle marker and control boundaries.
+  for (const uint64_t stop : {1ul, 499ul, 500ul, 2500ul, 2501ul, 5000ul,
+                              7500ul, 9999ul}) {
+    SCOPED_TRACE("stop_after_events=" + std::to_string(stop));
+    const std::string cp_path = Path("resume_" + std::to_string(stop));
+
+    Collected part1;
+    ReplayerOptions opts1 = FastOptions();
+    opts1.stop_after_events = stop;
+    opts1.checkpoint_path = cp_path;
+    StreamReplayer replayer1(opts1);
+    auto stats1 = replayer1.Replay(events, &part1.sink);
+    ASSERT_TRUE(stats1.ok());
+    EXPECT_TRUE(stats1->stopped_early);
+    EXPECT_EQ(stats1->events_delivered, stop);
+    EXPECT_GE(stats1->checkpoints_written, 1u);
+
+    auto cp = ReplayCheckpoint::LoadFrom(cp_path);
+    ASSERT_TRUE(cp.ok());
+    EXPECT_EQ(cp->events_delivered, stop);
+
+    Collected part2;
+    StreamReplayer replayer2(FastOptions());
+    auto stats2 = replayer2.Replay(events, &part2.sink, &*cp);
+    ASSERT_TRUE(stats2.ok());
+
+    // Resumed counters continue from the checkpoint: final totals match the
+    // uninterrupted run.
+    EXPECT_EQ(stats2->events_delivered, full_stats->events_delivered);
+    EXPECT_EQ(stats2->markers, full_stats->markers);
+    EXPECT_EQ(stats2->controls, full_stats->controls);
+    EXPECT_EQ(stats2->entries_consumed, full_stats->entries_consumed);
+
+    // The applied-event set is exactly-once: concatenating both segments
+    // reproduces the baseline byte for byte.
+    std::vector<std::string> combined = part1.lines;
+    combined.insert(combined.end(), part2.lines.begin(), part2.lines.end());
+    EXPECT_EQ(combined, baseline.lines);
+  }
+}
+
+TEST_F(CheckpointTest, PeriodicCheckpointsLeaveResumableFinalRecord) {
+  const std::vector<Event> events = SyntheticStream(1000);
+  const std::string cp_path = Path("periodic");
+
+  Collected collected;
+  ReplayerOptions opts = FastOptions();
+  opts.checkpoint_every = 100;
+  opts.checkpoint_path = cp_path;
+  StreamReplayer replayer(opts);
+  auto stats = replayer.Replay(events, &collected.sink);
+  ASSERT_TRUE(stats.ok());
+  EXPECT_GE(stats->checkpoints_written, 10u);
+
+  auto cp = ReplayCheckpoint::LoadFrom(cp_path);
+  ASSERT_TRUE(cp.ok());
+  // The last periodic checkpoint covers the whole run.
+  EXPECT_EQ(cp->events_delivered, 1000u);
+  EXPECT_EQ(cp->entries_consumed, stats->entries_consumed);
+}
+
+TEST_F(CheckpointTest, WatchdogCancelLeavesResumableCheckpoint) {
+  const std::vector<Event> events = SyntheticStream(2000);
+
+  Collected baseline;
+  StreamReplayer full(FastOptions());
+  ASSERT_TRUE(full.Replay(events, &baseline.sink).ok());
+
+  // The sink wedges at the 500th delivery: it stops returning until the
+  // watchdog notices the frozen progress counter and fires the token.
+  CancellationToken token;
+  const std::string cp_path = Path("hung");
+  std::vector<std::string> part1;
+  CallbackSink stalling([&](const Event& e) {
+    part1.push_back(e.ToCsvLine());
+    if (part1.size() == 500) {
+      while (!token.cancelled()) {
+        std::this_thread::sleep_for(std::chrono::milliseconds(1));
+      }
+    }
+    return Status::OK();
+  });
+
+  ReplayerOptions opts = FastOptions();
+  opts.cancel = &token;
+  opts.checkpoint_path = cp_path;
+  StreamReplayer replayer(opts);
+
+  WatchdogOptions wd_opts;
+  wd_opts.stall_deadline = Duration::FromMillis(100);
+  wd_opts.poll_interval = Duration::FromMillis(5);
+  RunWatchdog watchdog(wd_opts);
+  watchdog.Arm([&] { return replayer.progress(); },
+               [&](uint64_t, Duration) {
+                 token.RequestCancel("watchdog: no progress");
+               });
+
+  auto stats = replayer.Replay(events, &stalling);
+  watchdog.Disarm();
+  ASSERT_FALSE(stats.ok());
+  EXPECT_TRUE(stats.status().IsCancelled());
+  EXPECT_TRUE(watchdog.fired());
+
+  // The abort flushed a checkpoint; resuming from it completes the stream
+  // and reproduces the baseline sequence exactly once.
+  auto cp = ReplayCheckpoint::LoadFrom(cp_path);
+  ASSERT_TRUE(cp.ok());
+  EXPECT_EQ(cp->events_delivered, part1.size());
+
+  Collected part2;
+  StreamReplayer resumed(FastOptions());
+  auto stats2 = resumed.Replay(events, &part2.sink, &*cp);
+  ASSERT_TRUE(stats2.ok());
+  EXPECT_EQ(stats2->events_delivered, 2000u);
+
+  std::vector<std::string> combined = part1;
+  combined.insert(combined.end(), part2.lines.begin(), part2.lines.end());
+  EXPECT_EQ(combined, baseline.lines);
+}
+
+TEST_F(CheckpointTest, TelemetryBaselineCarriesAcrossResume) {
+  const std::vector<Event> events = SyntheticStream(100);
+  ReplayCheckpoint cp;  // resume from the very start, with prior telemetry
+  cp.telemetry.retries = 5;
+  cp.telemetry.backoff_s = 1.5;
+
+  Collected collected;
+  StreamReplayer replayer(FastOptions());
+  auto stats = replayer.Replay(events, &collected.sink, &cp);
+  ASSERT_TRUE(stats.ok());
+  EXPECT_EQ(stats->telemetry.retries, 5u);
+  EXPECT_DOUBLE_EQ(stats->telemetry.backoff_s, 1.5);
+}
+
+TEST_F(CheckpointTest, CheckpointRngStateRestoredOnResume) {
+  const std::vector<Event> events = SyntheticStream(100);
+  const std::string cp_path = Path("rng");
+
+  Rng original(7);
+  Collected part1;
+  ReplayerOptions opts1 = FastOptions();
+  opts1.stop_after_events = 10;
+  opts1.checkpoint_path = cp_path;
+  opts1.checkpoint_rng = &original;
+  StreamReplayer replayer1(opts1);
+  ASSERT_TRUE(replayer1.Replay(events, &part1.sink).ok());
+
+  auto cp = ReplayCheckpoint::LoadFrom(cp_path);
+  ASSERT_TRUE(cp.ok());
+
+  // A differently seeded RNG handed to the resumed run must be overwritten
+  // with the checkpointed state.
+  Rng restored(99);
+  Collected part2;
+  ReplayerOptions opts2 = FastOptions();
+  opts2.checkpoint_rng = &restored;
+  StreamReplayer replayer2(opts2);
+  ASSERT_TRUE(replayer2.Replay(events, &part2.sink, &*cp).ok());
+
+  Rng reference(7);
+  EXPECT_EQ(restored.NextU64(), reference.NextU64());
+}
+
+TEST_F(CheckpointTest, ResumeBeyondEndOfStreamIsInvalidArgument) {
+  const std::vector<Event> events = SyntheticStream(50);
+  ReplayCheckpoint cp;
+  cp.entries_consumed = 1000;
+  cp.events_delivered = 1000;
+
+  Collected collected;
+  StreamReplayer replayer(FastOptions());
+  auto stats = replayer.Replay(events, &collected.sink, &cp);
+  ASSERT_FALSE(stats.ok());
+  EXPECT_TRUE(stats.status().IsInvalidArgument());
+}
+
+}  // namespace
+}  // namespace graphtides

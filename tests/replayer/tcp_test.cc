@@ -5,7 +5,11 @@
 #include <sys/socket.h>
 #include <unistd.h>
 
+#include <atomic>
+#include <chrono>
 #include <mutex>
+#include <string>
+#include <thread>
 #include <vector>
 
 #include "replayer/replayer.h"
@@ -200,6 +204,101 @@ TEST(TcpTest, ReconnectResumesDeliveryAndKeepsBufferedLines) {
 TEST(TcpTest, ReconnectWithoutConnectFails) {
   TcpSink sink;
   EXPECT_TRUE(sink.Reconnect().IsPreconditionFailed());
+}
+
+TEST(TcpTest, StopUnblocksServerBlockedInAccept) {
+  TcpLineServer server;
+  auto port = server.Start(nullptr);
+  ASSERT_TRUE(port.ok());
+  // No client ever connects: the server thread is blocked in accept().
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  const auto start = std::chrono::steady_clock::now();
+  server.Stop();
+  server.Join();
+  const auto elapsed = std::chrono::steady_clock::now() - start;
+  EXPECT_LT(std::chrono::duration_cast<std::chrono::milliseconds>(elapsed)
+                .count(),
+            1000);
+}
+
+TEST(TcpTest, StopUnblocksServerBlockedInRead) {
+  // Regression: a client connects and then goes silent, leaving the server
+  // thread blocked in read() on the connection. Stop must shut that
+  // connection down too — not just wake the accept loop — or a watchdog
+  // abort leaves the thread wedged forever.
+  TcpLineServer server;
+  auto port = server.Start(nullptr);
+  ASSERT_TRUE(port.ok());
+
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  ASSERT_GE(fd, 0);
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(*port);
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  ASSERT_EQ(::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)),
+            0);
+  // Let the server accept and park in read().
+  while (server.connections_served() == 0) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+
+  const auto start = std::chrono::steady_clock::now();
+  server.Stop();
+  server.Join();
+  const auto elapsed = std::chrono::steady_clock::now() - start;
+  EXPECT_LT(std::chrono::duration_cast<std::chrono::milliseconds>(elapsed)
+                .count(),
+            1000);
+  ::close(fd);
+}
+
+TEST(TcpTest, AbortUnblocksSinkBlockedInSend) {
+  // Regression: the peer accepts but never reads, so the sink eventually
+  // blocks in send() once both socket buffers fill. A supervisor thread
+  // calling Abort() must unblock it with an error instead of leaving the
+  // emitter thread stuck past a watchdog cancel.
+  const int listen_fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  ASSERT_GE(listen_fd, 0);
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = 0;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  ASSERT_EQ(::bind(listen_fd, reinterpret_cast<sockaddr*>(&addr),
+                   sizeof(addr)),
+            0);
+  ASSERT_EQ(::listen(listen_fd, 1), 0);
+  socklen_t addr_len = sizeof(addr);
+  ASSERT_EQ(::getsockname(listen_fd, reinterpret_cast<sockaddr*>(&addr),
+                          &addr_len),
+            0);
+
+  TcpSink sink;
+  ASSERT_TRUE(sink.Connect("127.0.0.1", ntohs(addr.sin_port)).ok());
+  const int conn = ::accept(listen_fd, nullptr, nullptr);
+  ASSERT_GE(conn, 0);
+
+  // Flood the never-reading peer until Deliver errors out. Without Abort
+  // this loop would block indefinitely once the buffers fill.
+  std::atomic<bool> errored{false};
+  std::thread emitter([&] {
+    const Event e = Event::AddVertex(1, std::string(1024, 'x'));
+    for (int i = 0; i < 1000000; ++i) {
+      if (!sink.Deliver(e).ok()) {
+        errored = true;
+        return;
+      }
+    }
+  });
+  // Give the emitter time to wedge in send(), then abort from this thread.
+  std::this_thread::sleep_for(std::chrono::milliseconds(100));
+  sink.Abort();
+  emitter.join();
+  EXPECT_TRUE(errored);
+
+  ::close(conn);
+  ::close(listen_fd);
 }
 
 TEST(TcpTest, FinishIdempotent) {

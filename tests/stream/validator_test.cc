@@ -1,6 +1,10 @@
 #include "stream/validator.h"
 
 #include <gtest/gtest.h>
+#include <unistd.h>
+
+#include <filesystem>
+#include <fstream>
 
 namespace graphtides {
 namespace {
@@ -139,6 +143,92 @@ TEST(ValidateStreamTest, InvalidEventsNotApplied) {
   const StreamValidationReport report = ValidateStream(events);
   EXPECT_EQ(report.violations.size(), 1u);
   EXPECT_EQ(report.final_edges, 1u);
+}
+
+class ValidateStreamFileTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = std::filesystem::temp_directory_path() /
+           ("gt_validator_test_" + std::to_string(::getpid()));
+    std::filesystem::create_directories(dir_);
+  }
+  void TearDown() override { std::filesystem::remove_all(dir_); }
+
+  std::string Write(const std::string& name, const std::string& content) {
+    const std::string path = (dir_ / name).string();
+    std::ofstream out(path, std::ios::binary);
+    out.write(content.data(), static_cast<std::streamsize>(content.size()));
+    return path;
+  }
+
+  std::filesystem::path dir_;
+};
+
+TEST_F(ValidateStreamFileTest, CollectsAllIssuesWithLineNumbers) {
+  const std::string path = Write("mixed.gts",
+                                 "CREATE_VERTEX,1,\n"
+                                 "CREATE_VERTEX,2,\n"
+                                 "CREATE_EDGE,1-2,\n"
+                                 "CREATE_VERTEX,abc,\n"  // malformed id
+                                 "CREATE_EDGE,1-2,\n"    // duplicate edge
+                                 "BOGUS,9,\n"            // unknown command
+                                 "CREATE_VERTEX,1,\n");  // duplicate vertex
+  auto report = ValidateStreamFile(path);
+  ASSERT_TRUE(report.ok());
+  ASSERT_EQ(report->issues.size(), 4u);
+  EXPECT_EQ(report->issues[0].line, 4u);
+  EXPECT_TRUE(report->issues[0].parse_error);
+  EXPECT_EQ(report->issues[1].line, 5u);
+  EXPECT_FALSE(report->issues[1].parse_error);
+  EXPECT_EQ(report->issues[2].line, 6u);
+  EXPECT_TRUE(report->issues[2].parse_error);
+  EXPECT_EQ(report->issues[3].line, 7u);
+  EXPECT_FALSE(report->issues[3].parse_error);
+  // Events on valid lines were still checked and applied.
+  EXPECT_EQ(report->events_checked, 5u);
+  EXPECT_EQ(report->final_vertices, 2u);
+  EXPECT_EQ(report->final_edges, 1u);
+}
+
+TEST_F(ValidateStreamFileTest, ValidFileHasNoIssues) {
+  const std::string path = Write("ok.gts",
+                                 "# header\n"
+                                 "CREATE_VERTEX,1,\n"
+                                 "CREATE_VERTEX,2,\n"
+                                 "CREATE_EDGE,1-2,\n");
+  auto report = ValidateStreamFile(path);
+  ASSERT_TRUE(report.ok());
+  EXPECT_TRUE(report->valid());
+  EXPECT_EQ(report->events_checked, 3u);
+}
+
+TEST_F(ValidateStreamFileTest, MaxIssuesBoundsTheScan) {
+  std::string content = "CREATE_VERTEX,1,\n";
+  for (int i = 0; i < 10; ++i) content += "CREATE_VERTEX,1,\n";
+  const std::string path = Write("many.gts", content);
+  auto report = ValidateStreamFile(path, 3);
+  ASSERT_TRUE(report.ok());
+  EXPECT_EQ(report->issues.size(), 3u);
+}
+
+TEST_F(ValidateStreamFileTest, NulByteAndTruncationAreReported) {
+  const std::string content("CREATE_VERTEX,1,\nCREATE_VERTEX,\0 2,\nCREATE_V",
+                            44);
+  const std::string path = Write("nul.gts", content);
+  auto report = ValidateStreamFile(path);
+  ASSERT_TRUE(report.ok());
+  ASSERT_EQ(report->issues.size(), 2u);
+  EXPECT_EQ(report->issues[0].line, 2u);
+  EXPECT_NE(report->issues[0].reason.find("NUL"), std::string::npos);
+  EXPECT_EQ(report->issues[1].line, 3u);
+  EXPECT_NE(report->issues[1].reason.find("truncated final record"),
+            std::string::npos);
+}
+
+TEST_F(ValidateStreamFileTest, MissingFileIsIoError) {
+  auto report = ValidateStreamFile((dir_ / "missing.gts").string());
+  ASSERT_FALSE(report.ok());
+  EXPECT_TRUE(report.status().IsIoError());
 }
 
 }  // namespace

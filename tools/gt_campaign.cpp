@@ -1,0 +1,186 @@
+// gt_campaign — campaign supervision demo and smoke-drill (§4.5: an n ≥ 30
+// campaign must run unattended; one wedged system under test must neither
+// stall the campaign nor poison its confidence intervals).
+//
+// Runs a campaign of SimProcess-backed runs. Selected run slots are forced
+// to hang: the simulated SUT is killed mid-run, its progress counter
+// freezes, the RunWatchdog detects the stall and cancels the attempt, and
+// the CampaignSupervisor retries it with a fresh derived seed. The final
+// report shows requested vs effective n and the completed/retried/hung
+// accounting.
+//
+// Usage:
+//   gt_campaign --runs 10 --hang-runs 3,7 --deadline-ms 300
+//
+// Flags:
+//   --runs N             run slots in the campaign (default 10)
+//   --events N           simulated events per run (default 200)
+//   --hang-runs LIST     comma-separated 1-based run numbers to wedge
+//   --hang-attempts K    wedge the first K attempts of each hang run
+//                        (default 1; raise past --retry-budget to force a
+//                        quarantine)
+//   --deadline-ms M      watchdog no-progress deadline (default 300)
+//   --retry-budget N     extra attempts per run slot (default 2)
+//   --quarantine-after N exhausted slots before quarantine (default 1)
+//   --seed S             base seed (default 42)
+//
+// Exit code 0 when every run slot eventually completed, 2 otherwise.
+#include <chrono>
+#include <cstdio>
+#include <functional>
+#include <set>
+#include <thread>
+
+#include "common/flags.h"
+#include "common/random.h"
+#include "common/string_util.h"
+#include "harness/campaign.h"
+#include "sim/process.h"
+#include "sim/simulator.h"
+
+using namespace graphtides;
+
+namespace {
+
+int Fail(const Status& status) {
+  std::fprintf(stderr, "gt_campaign: %s\n", status.ToString().c_str());
+  return 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  auto flags_or = Flags::Parse(argc, argv);
+  if (!flags_or.ok()) return Fail(flags_or.status());
+  const Flags& flags = *flags_or;
+  const auto unknown = flags.UnknownFlags(
+      {"runs", "events", "hang-runs", "hang-attempts", "deadline-ms",
+       "retry-budget", "quarantine-after", "seed", "help"});
+  if (!unknown.empty()) {
+    return Fail(Status::InvalidArgument("unknown flag --" + unknown[0]));
+  }
+  if (flags.GetBool("help")) {
+    std::printf(
+        "usage: gt_campaign [--runs N] [--events N] [--hang-runs 3,7]\n"
+        "       [--hang-attempts K] [--deadline-ms M] [--retry-budget N]\n"
+        "       [--quarantine-after N] [--seed S]\n");
+    return 0;
+  }
+
+  auto runs = flags.GetInt("runs", 10);
+  auto events = flags.GetInt("events", 200);
+  auto hang_attempts = flags.GetInt("hang-attempts", 1);
+  auto deadline_ms = flags.GetInt("deadline-ms", 300);
+  auto retry_budget = flags.GetInt("retry-budget", 2);
+  auto quarantine_after = flags.GetInt("quarantine-after", 1);
+  auto seed = flags.GetInt("seed", 42);
+  for (const Status& st :
+       {runs.status(), events.status(), hang_attempts.status(),
+        deadline_ms.status(), retry_budget.status(),
+        quarantine_after.status(), seed.status()}) {
+    if (!st.ok()) return Fail(st);
+  }
+  if (*runs <= 0 || *events <= 0 || *deadline_ms <= 0) {
+    return Fail(Status::InvalidArgument(
+        "--runs, --events, and --deadline-ms must be positive"));
+  }
+
+  std::set<uint64_t> hang_runs;
+  const std::string hang_spec = flags.GetString("hang-runs", "");
+  if (!hang_spec.empty()) {
+    for (const auto& part : SplitString(hang_spec, ',')) {
+      auto n = ParseUint64(part);
+      if (!n.ok()) return Fail(n.status().WithContext("--hang-runs"));
+      if (*n == 0 || *n > static_cast<uint64_t>(*runs)) {
+        return Fail(Status::InvalidArgument(
+            "--hang-runs entries must be in 1..--runs"));
+      }
+      hang_runs.insert(*n);
+    }
+  }
+
+  CampaignOptions options;
+  options.experiment.repetitions = static_cast<size_t>(*runs);
+  options.experiment.base_seed = static_cast<uint64_t>(*seed);
+  options.retry_budget = static_cast<size_t>(*retry_budget);
+  options.quarantine_after = static_cast<size_t>(*quarantine_after);
+  options.watchdog.stall_deadline = Duration::FromMillis(*deadline_ms);
+
+  const uint64_t total_events = static_cast<uint64_t>(*events);
+  const uint64_t wedge_attempts = static_cast<uint64_t>(*hang_attempts);
+
+  std::printf(
+      "gt_campaign: %lld run(s), %zu forced hang(s), deadline %lld ms, "
+      "retry budget %lld\n",
+      static_cast<long long>(*runs), hang_runs.size(),
+      static_cast<long long>(*deadline_ms),
+      static_cast<long long>(*retry_budget));
+
+  CampaignSupervisor supervisor({}, options);
+  auto report = supervisor.Run(
+      [&](const ExperimentConfig&, const RunContext& ctx)
+          -> Result<RunOutcome> {
+        Simulator sim;
+        SimProcess sut(&sim, "sut");
+        Rng rng(ctx.seed);
+        // Wedge the configured slots on their first attempts: the SUT is
+        // killed halfway, completions stop, and the progress heartbeat
+        // freezes until the watchdog cancels us.
+        const bool wedge = hang_runs.contains(ctx.run_index + 1) &&
+                           ctx.attempt < wedge_attempts;
+        const uint64_t stall_after = wedge ? total_events / 2 : total_events;
+        uint64_t applied = 0;
+
+        std::function<void()> submit_next = [&] {
+          const double cost_ms = 0.5 + rng.NextDouble();
+          sut.Submit(Duration::FromNanos(static_cast<int64_t>(cost_ms * 1e6)),
+                     [&] {
+                       ++applied;
+                       if (wedge && applied >= stall_after) {
+                         sut.Kill();
+                         return;
+                       }
+                       if (applied < total_events) submit_next();
+                     });
+        };
+        submit_next();
+
+        // Drive the simulator from wall clock so a wedged SUT shows up as
+        // real-time stalling, exactly like an external system under test.
+        while (applied < total_events) {
+          if (ctx.cancel != nullptr && ctx.cancel->cancelled()) {
+            return Status::Cancelled(ctx.cancel->reason());
+          }
+          if (!sim.Step()) {
+            std::this_thread::sleep_for(std::chrono::milliseconds(1));
+          }
+          if (ctx.report_progress) ctx.report_progress(applied);
+        }
+
+        RunOutcome out;
+        out["virtual_s"] = sim.Now().seconds();
+        out["events_per_virtual_s"] =
+            static_cast<double>(total_events) / sim.Now().seconds();
+        return out;
+      });
+  if (!report.ok()) return Fail(report.status());
+
+  for (const AttemptRecord& a : report->attempts) {
+    if (a.outcome == AttemptOutcome::kCompleted && a.attempt == 0) continue;
+    std::printf("  run %zu attempt %zu (seed %llu): %s%s%s\n", a.run_index + 1,
+                a.attempt, static_cast<unsigned long long>(a.seed),
+                std::string(AttemptOutcomeName(a.outcome)).c_str(),
+                a.detail.empty() ? "" : " — ", a.detail.c_str());
+  }
+  std::printf("%s", FormatCampaignReport(*report).c_str());
+  std::printf(
+      "gt_campaign: %zu completed, %zu hung, %zu failed, %zu retried, "
+      "%zu quarantined config(s)\n",
+      report->total_completed, report->total_hung, report->total_failed,
+      report->total_retried, report->quarantined_configs);
+
+  const bool all_slots_completed =
+      report->total_completed == static_cast<size_t>(*runs) &&
+      report->quarantined_configs == 0;
+  return all_slots_completed ? 0 : 2;
+}

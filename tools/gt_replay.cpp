@@ -34,14 +34,26 @@
 //   --retry-backoff-ms M   initial backoff (default 1)
 //   --deliver-timeout-ms M per-delivery timeout, 0 = unlimited
 //   --on-failure POLICY    fail | drop | block (default fail)
+//
+// Supervision (checkpoint/resume + watchdog):
+//   --checkpoint-file FILE checkpoint destination (atomic replace)
+//   --checkpoint-every N   write a checkpoint every N delivered events
+//   --resume-from FILE     resume from a previous run's checkpoint
+//   --stop-after N         stop cleanly after N events (writes a final
+//                          checkpoint; models a controlled kill)
+//   --watchdog-ms M        abort the run when no event is delivered for
+//                          M milliseconds (0 = no watchdog)
 #include <cstdio>
 #include <memory>
 #include <optional>
 
+#include "common/cancellation.h"
 #include "common/flags.h"
 #include "common/string_util.h"
 #include "faults/chaos_sink.h"
 #include "harness/log_record.h"
+#include "harness/run_watchdog.h"
+#include "replayer/checkpoint.h"
 #include "replayer/replayer.h"
 #include "replayer/resilient_sink.h"
 #include "replayer/tcp.h"
@@ -65,7 +77,8 @@ int main(int argc, char** argv) {
       {"in", "rate", "tcp", "ignore-controls", "marker-log", "chaos-seed",
        "chaos-fail", "chaos-disconnect", "chaos-stall", "chaos-stall-ms",
        "retry-budget", "retry-backoff-ms", "deliver-timeout-ms", "on-failure",
-       "help"});
+       "checkpoint-file", "checkpoint-every", "resume-from", "stop-after",
+       "watchdog-ms", "help"});
   if (!unknown.empty()) {
     return Fail(Status::InvalidArgument("unknown flag --" + unknown[0]));
   }
@@ -76,7 +89,9 @@ int main(int argc, char** argv) {
         "       [--chaos-seed S --chaos-fail P --chaos-disconnect P "
         "--chaos-stall P --chaos-stall-ms M]\n"
         "       [--retry-budget N --retry-backoff-ms M "
-        "--deliver-timeout-ms M --on-failure fail|drop|block]\n");
+        "--deliver-timeout-ms M --on-failure fail|drop|block]\n"
+        "       [--checkpoint-file FILE --checkpoint-every N "
+        "--resume-from FILE --stop-after N --watchdog-ms M]\n");
     return 0;
   }
 
@@ -96,10 +111,15 @@ int main(int argc, char** argv) {
   auto retry_budget = flags.GetInt("retry-budget", 5);
   auto retry_backoff_ms = flags.GetInt("retry-backoff-ms", 1);
   auto deliver_timeout_ms = flags.GetInt("deliver-timeout-ms", 0);
+  auto checkpoint_every = flags.GetInt("checkpoint-every", 0);
+  auto stop_after = flags.GetInt("stop-after", 0);
+  auto watchdog_ms = flags.GetInt("watchdog-ms", 0);
   for (const Status& st :
        {chaos_seed.status(), chaos_fail.status(), chaos_disconnect.status(),
         chaos_stall.status(), chaos_stall_ms.status(), retry_budget.status(),
-        retry_backoff_ms.status(), deliver_timeout_ms.status()}) {
+        retry_backoff_ms.status(), deliver_timeout_ms.status(),
+        checkpoint_every.status(), stop_after.status(),
+        watchdog_ms.status()}) {
     if (!st.ok()) return Fail(st);
   }
 
@@ -129,10 +149,14 @@ int main(int argc, char** argv) {
     resilient_options.policy = *policy;
   }
 
+  CancellationToken cancel;
   ReplayerOptions options;
   options.base_rate_eps = *rate;
   options.honor_control_events = !flags.GetBool("ignore-controls");
-  StreamReplayer replayer(options);
+  options.cancel = &cancel;
+  options.checkpoint_path = flags.GetString("checkpoint-file", "");
+  options.checkpoint_every = static_cast<uint64_t>(*checkpoint_every);
+  options.stop_after_events = static_cast<uint64_t>(*stop_after);
 
   // Sink chain: transport -> [ChaosSink] -> [ResilientSink] -> replayer.
   TcpSink tcp;
@@ -178,16 +202,70 @@ int main(int argc, char** argv) {
     if (transport == &tcp) reconnect = [&tcp] { return tcp.Reconnect(); };
     resilient.emplace(sink, resilient_options, std::move(reconnect));
     sink = &*resilient;
+    // Snapshot the retry-jitter RNG into checkpoints so a resumed run
+    // replays the same backoff schedule an uninterrupted run would.
+    options.checkpoint_rng = resilient->mutable_jitter_rng();
   }
 
-  Result<ReplayStats> stats = replayer.ReplayFile(in, sink);
-  if (!stats.ok()) return Fail(stats.status());
+  std::optional<ReplayCheckpoint> resume;
+  const std::string resume_from = flags.GetString("resume-from", "");
+  if (!resume_from.empty()) {
+    auto loaded = ReplayCheckpoint::LoadFrom(resume_from);
+    if (!loaded.ok()) return Fail(loaded.status());
+    resume = *loaded;
+    std::fprintf(stderr,
+                 "gt_replay: resuming at entry %llu (%llu events already "
+                 "delivered)\n",
+                 static_cast<unsigned long long>(resume->entries_consumed),
+                 static_cast<unsigned long long>(resume->events_delivered));
+  }
+
+  StreamReplayer replayer(options);
+
+  RunWatchdog watchdog([&] {
+    WatchdogOptions w;
+    if (*watchdog_ms > 0) w.stall_deadline = Duration::FromMillis(*watchdog_ms);
+    return w;
+  }());
+  if (*watchdog_ms > 0) {
+    watchdog.Arm([&replayer] { return replayer.progress(); },
+                 [&cancel, &tcp, transport](uint64_t last, Duration stalled) {
+                   cancel.RequestCancel("watchdog: no progress past event " +
+                                        std::to_string(last) + " for " +
+                                        std::to_string(stalled.seconds()) +
+                                        " s");
+                   // Unblock a send() stuck on a wedged receiver; shutdown
+                   // only, the emitter thread still owns the close.
+                   if (transport == &tcp) tcp.Abort();
+                 });
+  }
+
+  Result<ReplayStats> stats =
+      replayer.ReplayFile(in, sink, resume ? &*resume : nullptr);
+  watchdog.Disarm();
+  if (!stats.ok()) {
+    if (stats.status().IsCancelled() && !options.checkpoint_path.empty()) {
+      std::fprintf(stderr,
+                   "gt_replay: aborted; resumable checkpoint left at %s\n",
+                   options.checkpoint_path.c_str());
+    }
+    return Fail(stats.status());
+  }
 
   std::fprintf(stderr,
                "gt_replay: %zu events in %.3f s (%.0f ev/s achieved; "
                "%zu markers, %zu controls)\n",
                stats->events_delivered, stats->Elapsed().seconds(),
                stats->AchievedRateEps(), stats->markers, stats->controls);
+  if (stats->stopped_early) {
+    std::fprintf(stderr, "gt_replay: stopped early at --stop-after %llu\n",
+                 static_cast<unsigned long long>(options.stop_after_events));
+  }
+  if (stats->checkpoints_written > 0) {
+    std::fprintf(stderr, "gt_replay: %llu checkpoint(s) -> %s\n",
+                 static_cast<unsigned long long>(stats->checkpoints_written),
+                 options.checkpoint_path.c_str());
+  }
   if (chaos_enabled || resilience_enabled) {
     std::fprintf(stderr, "gt_replay: faults: %s\n",
                  stats->telemetry.ToString().c_str());

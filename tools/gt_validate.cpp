@@ -4,6 +4,13 @@
 //
 // Usage:
 //   gt_validate --in stream.gts [--max-violations 10] [--quiet]
+//   gt_validate --in stream.gts --strict
+//
+// --strict validates the file line by line instead of loading it whole:
+// malformed lines (bad CSV, NUL bytes, over-long lines, non-numeric ids,
+// truncated final records) are reported with their 1-based line numbers
+// alongside precondition violations, and every problem is listed rather
+// than stopping at the first parse error.
 //
 // Exit code 0 for a valid stream, 2 for violations, 1 for usage/IO errors.
 #include <cstdio>
@@ -29,23 +36,47 @@ int main(int argc, char** argv) {
   if (!flags_or.ok()) return Fail(flags_or.status());
   const Flags& flags = *flags_or;
   const auto unknown =
-      flags.UnknownFlags({"in", "max-violations", "quiet", "help"});
+      flags.UnknownFlags({"in", "max-violations", "quiet", "strict", "help"});
   if (!unknown.empty()) {
     return Fail(Status::InvalidArgument("unknown flag --" + unknown[0]));
   }
   if (flags.GetBool("help")) {
     std::printf("usage: gt_validate --in FILE [--max-violations N] "
-                "[--quiet]\n");
+                "[--quiet] [--strict]\n");
     return 0;
   }
 
   const std::string in = flags.GetString("in", "");
   if (in.empty()) return Fail(Status::InvalidArgument("--in is required"));
-  auto events = ReadStreamFile(in);
-  if (!events.ok()) return Fail(events.status());
 
   auto max_violations = flags.GetInt("max-violations", 10);
   if (!max_violations.ok()) return Fail(max_violations.status());
+
+  if (flags.GetBool("strict")) {
+    auto report = ValidateStreamFile(in);
+    if (!report.ok()) return Fail(report.status());
+    if (report->valid()) {
+      std::printf(
+          "gt_validate: OK — %zu events, no malformed lines, no "
+          "precondition violations\n",
+          report->events_checked);
+      return 0;
+    }
+    std::printf("gt_validate: %zu problem(s):\n", report->issues.size());
+    for (const StreamFileIssue& issue : report->issues) {
+      // Parse-error reasons already carry their "line N" context.
+      if (issue.parse_error) {
+        std::printf("  malformed: %s\n", issue.reason.c_str());
+      } else {
+        std::printf("  line %zu: precondition violation: %s\n", issue.line,
+                    issue.reason.c_str());
+      }
+    }
+    return 2;
+  }
+
+  auto events = ReadStreamFile(in);
+  if (!events.ok()) return Fail(events.status());
 
   const StreamValidationReport report =
       ValidateStream(*events, static_cast<size_t>(*max_violations));
