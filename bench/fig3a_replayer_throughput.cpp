@@ -11,13 +11,29 @@
 // /dev/null-equivalent (a counting consumer), and the TCP transport streams
 // over a loopback socket to an in-process line server — both measure the
 // same code paths (serialization + transport write + pacing).
+//
+// Shard sweep & CI smoke: the second section measures unthrottled
+// ShardedReplayer throughput at 1/2/4/8 lanes and can persist the result
+// as a machine-readable baseline.
+//
+//   --quick                ~2 s run: skip the rate sweep, small workload
+//   --json PATH            write shard-sweep results as JSON
+//   --check-baseline PATH  compare against a previous --json file; exit 1
+//                          if any shard count lost > 20% events/s
 #include <cstdio>
 
+#include <algorithm>
+#include <fstream>
+#include <sstream>
+#include <thread>
+
+#include "common/flags.h"
 #include "common/stats.h"
 #include "generator/models/social_network_model.h"
 #include "generator/stream_generator.h"
 #include "harness/report.h"
 #include "replayer/replayer.h"
+#include "replayer/sharded_replayer.h"
 #include "replayer/tcp.h"
 
 using namespace graphtides;
@@ -110,9 +126,136 @@ RateObservation Measure(const std::vector<Event>& events, double target_rate,
   return obs;
 }
 
+struct ShardObservation {
+  size_t shards = 1;
+  double events_per_sec = 0.0;
+  double lag_p50_us = 0.0;
+  double lag_p99_us = 0.0;
+};
+
+/// Unthrottled sharded replay to per-lane /dev/null pipes; median
+/// events/s over `repetitions` runs plus emission-jitter percentiles.
+ShardObservation MeasureSharded(const std::vector<Event>& events,
+                                size_t shards, int repetitions) {
+  std::vector<double> rates;
+  std::vector<double> lags;
+  for (int rep = 0; rep < repetitions; ++rep) {
+    ShardedReplayerOptions options;
+    options.shards = shards;
+    options.total_rate_eps = 1e9;  // deadlines always past: emit at full speed
+    ShardedReplayer replayer(options);
+
+    std::vector<std::FILE*> files;
+    std::vector<std::unique_ptr<PipeSink>> pipes;
+    std::vector<EventSink*> sinks;
+    for (size_t s = 0; s < shards; ++s) {
+      files.push_back(std::fopen("/dev/null", "w"));
+      pipes.push_back(std::make_unique<PipeSink>(files.back()));
+      sinks.push_back(pipes.back().get());
+    }
+    auto stats = replayer.Replay(events, sinks);
+    for (std::FILE* f : files) std::fclose(f);
+    if (!stats.ok()) {
+      std::fprintf(stderr, "sharded replay failed: %s\n",
+                   stats.status().ToString().c_str());
+      std::exit(1);
+    }
+    const double elapsed = stats->aggregate.Elapsed().seconds();
+    if (elapsed > 0.0) {
+      rates.push_back(
+          static_cast<double>(stats->aggregate.events_delivered) / elapsed);
+    }
+    lags.insert(lags.end(), stats->aggregate.lag_us.begin(),
+                stats->aggregate.lag_us.end());
+  }
+  ShardObservation obs;
+  obs.shards = shards;
+  std::sort(rates.begin(), rates.end());
+  obs.events_per_sec = PercentileSorted(rates, 0.5);
+  std::sort(lags.begin(), lags.end());
+  obs.lag_p50_us = PercentileSorted(lags, 0.5);
+  obs.lag_p99_us = PercentileSorted(lags, 0.99);
+  return obs;
+}
+
+/// One shard-sweep entry per line so CheckBaseline can re-read the file
+/// with sscanf instead of a JSON library.
+void WriteJson(const std::string& path,
+               const std::vector<ShardObservation>& results,
+               size_t workload_events, bool quick) {
+  std::ofstream out(path);
+  if (!out.good()) {
+    std::fprintf(stderr, "cannot write %s\n", path.c_str());
+    std::exit(1);
+  }
+  out << "{\n";
+  out << "  \"bench\": \"fig3a_replayer_throughput\",\n";
+  out << "  \"host_cores\": " << std::thread::hardware_concurrency() << ",\n";
+  out << "  \"workload_events\": " << workload_events << ",\n";
+  out << "  \"quick\": " << (quick ? "true" : "false") << ",\n";
+  out << "  \"results\": [\n";
+  for (size_t i = 0; i < results.size(); ++i) {
+    const ShardObservation& r = results[i];
+    char line[256];
+    std::snprintf(line, sizeof(line),
+                  "    {\"shards\": %zu, \"events_per_sec\": %.1f, "
+                  "\"lag_p50_us\": %.2f, \"lag_p99_us\": %.2f}%s\n",
+                  r.shards, r.events_per_sec, r.lag_p50_us, r.lag_p99_us,
+                  i + 1 < results.size() ? "," : "");
+    out << line;
+  }
+  out << "  ]\n}\n";
+}
+
+/// Returns the number of shard counts that regressed by more than 20%.
+int CheckBaseline(const std::string& path,
+                  const std::vector<ShardObservation>& results) {
+  std::ifstream in(path);
+  if (!in.good()) {
+    std::fprintf(stderr, "cannot read baseline %s\n", path.c_str());
+    return 1;
+  }
+  int regressions = 0;
+  std::string line;
+  while (std::getline(in, line)) {
+    size_t shards = 0;
+    double baseline_eps = 0.0;
+    if (std::sscanf(line.c_str(), " {\"shards\": %zu, \"events_per_sec\": %lf",
+                    &shards, &baseline_eps) != 2) {
+      continue;
+    }
+    const auto it = std::find_if(
+        results.begin(), results.end(),
+        [shards](const ShardObservation& r) { return r.shards == shards; });
+    if (it == results.end()) continue;
+    const double floor = 0.8 * baseline_eps;
+    if (it->events_per_sec < floor) {
+      std::fprintf(stderr,
+                   "REGRESSION shards=%zu: %.0f ev/s < 80%% of baseline "
+                   "%.0f ev/s\n",
+                   shards, it->events_per_sec, baseline_eps);
+      ++regressions;
+    } else {
+      std::printf("baseline ok shards=%zu: %.0f ev/s vs baseline %.0f ev/s\n",
+                  shards, it->events_per_sec, baseline_eps);
+    }
+  }
+  return regressions;
+}
+
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  auto flags_or = Flags::Parse(argc, argv);
+  if (!flags_or.ok()) {
+    std::fprintf(stderr, "%s\n", flags_or.status().ToString().c_str());
+    return 1;
+  }
+  const Flags& flags = *flags_or;
+  const bool quick = flags.GetBool("quick");
+  const std::string json_path = flags.GetString("json", "");
+  const std::string baseline_path = flags.GetString("check-baseline", "");
+
   std::printf("%s", SectionHeader(
       "Fig. 3a — Graph Stream Replayer throughput (pipe vs TCP)").c_str());
   std::printf("%s", ConfigBlock({
@@ -123,40 +266,67 @@ int main() {
       {"Measurement", "achieved rate per 100 ms bin; median / 5th pct / max"},
   }).c_str());
 
-  const std::vector<double> targets = {10000, 20000, 40000, 80000,
-                                       160000, 320000};
-  const int repetitions = 3;
-
   // Workload sized for ~0.5 s per run at the highest rate and reused
-  // (truncated) for lower rates, keeping total bench time small.
-  const std::vector<Event> full = MakeWorkload(170000);
+  // (truncated) for lower rates, keeping total bench time small. Quick mode
+  // trims everything for a ~2 s CI smoke run.
+  const std::vector<Event> full = MakeWorkload(quick ? 40000 : 170000);
 
-  TextTable table({"transport", "target [ev/s]", "median [ev/s]",
-                   "p05 [ev/s]", "max [ev/s]", "lag p50 [us]",
-                   "lag p99 [us]", "lag max [us]"});
-  for (const bool tcp : {false, true}) {
-    for (double target : targets) {
-      const size_t count = std::min<size_t>(
-          full.size(), static_cast<size_t>(target * 0.5));  // ~0.5 s
-      const std::vector<Event> slice(full.begin(),
-                                     full.begin() + static_cast<long>(count));
-      const RateObservation obs =
-          Measure(slice, target, tcp, repetitions);
-      table.AddRow({tcp ? "tcp" : "pipe",
-                    TextTable::FormatDouble(target, 0),
-                    TextTable::FormatDouble(obs.median, 0),
-                    TextTable::FormatDouble(obs.p05, 0),
-                    TextTable::FormatDouble(obs.max, 0),
-                    TextTable::FormatDouble(obs.lag_p50_us, 1),
-                    TextTable::FormatDouble(obs.lag_p99_us, 1),
-                    TextTable::FormatDouble(obs.lag_max_us, 0)});
+  if (!quick) {
+    const std::vector<double> targets = {10000, 20000, 40000, 80000,
+                                         160000, 320000};
+    const int repetitions = 3;
+    TextTable table({"transport", "target [ev/s]", "median [ev/s]",
+                     "p05 [ev/s]", "max [ev/s]", "lag p50 [us]",
+                     "lag p99 [us]", "lag max [us]"});
+    for (const bool tcp : {false, true}) {
+      for (double target : targets) {
+        const size_t count = std::min<size_t>(
+            full.size(), static_cast<size_t>(target * 0.5));  // ~0.5 s
+        const std::vector<Event> slice(
+            full.begin(), full.begin() + static_cast<long>(count));
+        const RateObservation obs = Measure(slice, target, tcp, repetitions);
+        table.AddRow({tcp ? "tcp" : "pipe",
+                      TextTable::FormatDouble(target, 0),
+                      TextTable::FormatDouble(obs.median, 0),
+                      TextTable::FormatDouble(obs.p05, 0),
+                      TextTable::FormatDouble(obs.max, 0),
+                      TextTable::FormatDouble(obs.lag_p50_us, 1),
+                      TextTable::FormatDouble(obs.lag_p99_us, 1),
+                      TextTable::FormatDouble(obs.lag_max_us, 0)});
+      }
     }
+    std::printf("%s", table.ToString().c_str());
+    std::printf(
+        "\nExpected shape (paper): the achieved median sticks to the target\n"
+        "rate across the sweep for both transports, while the measured range\n"
+        "— here the per-event emission-lag distribution — widens noticeably\n"
+        "at the highest rates.\n");
   }
-  std::printf("%s", table.ToString().c_str());
-  std::printf(
-      "\nExpected shape (paper): the achieved median sticks to the target\n"
-      "rate across the sweep for both transports, while the measured range\n"
-      "— here the per-event emission-lag distribution — widens noticeably\n"
-      "at the highest rates.\n");
+
+  std::printf("%s", SectionHeader(
+      "Shard sweep — unthrottled ShardedReplayer events/s").c_str());
+  const int shard_reps = quick ? 2 : 3;
+  std::vector<ShardObservation> sweep;
+  TextTable shard_table({"shards", "events/s", "jitter p50 [us]",
+                         "jitter p99 [us]"});
+  for (const size_t shards : {1u, 2u, 4u, 8u}) {
+    sweep.push_back(MeasureSharded(full, shards, shard_reps));
+    const ShardObservation& obs = sweep.back();
+    shard_table.AddRow({std::to_string(obs.shards),
+                        TextTable::FormatDouble(obs.events_per_sec, 0),
+                        TextTable::FormatDouble(obs.lag_p50_us, 2),
+                        TextTable::FormatDouble(obs.lag_p99_us, 2)});
+  }
+  std::printf("%s", shard_table.ToString().c_str());
+  std::printf("host cores: %u (lane scaling needs >= as many cores as lanes)\n",
+              std::thread::hardware_concurrency());
+
+  if (!json_path.empty()) {
+    WriteJson(json_path, sweep, full.size(), quick);
+    std::printf("shard-sweep results -> %s\n", json_path.c_str());
+  }
+  if (!baseline_path.empty()) {
+    if (CheckBaseline(baseline_path, sweep) > 0) return 1;
+  }
   return 0;
 }

@@ -42,6 +42,16 @@ Status PipeSink::Deliver(const Event& event) {
   return Status::OK();
 }
 
+Status PipeSink::DeliverSerialized(std::string_view lines, size_t count) {
+  (void)count;
+  if (lines.empty()) return Status::OK();
+  if (std::fwrite(lines.data(), 1, lines.size(), out_) != lines.size()) {
+    return Status::IoError(std::string("pipe write failed: ") +
+                           std::strerror(errno));
+  }
+  return Status::OK();
+}
+
 Status PipeSink::Finish() {
   if (std::fflush(out_) != 0) {
     return Status::IoError(std::string("pipe flush failed: ") +

@@ -54,6 +54,32 @@ class EventSink {
   /// Delivers one graph event. Called from the replayer's emitter thread.
   virtual Status Deliver(const Event& event) = 0;
 
+  /// \brief Delivery tagged with the event's global stream sequence number
+  /// (0-based position among the source's graph events).
+  ///
+  /// The sharded replayer uses this so per-shard capture sinks can merge
+  /// their outputs back into total stream order. The default forwards to
+  /// Deliver, so ordinary sinks and decorators need not care.
+  virtual Status DeliverSequenced(const Event& event, uint64_t seq) {
+    (void)seq;
+    return Deliver(event);
+  }
+
+  /// \brief True when this sink can accept pre-serialized CSV event lines
+  /// via DeliverSerialized — the zero-copy fast path for byte-oriented
+  /// transports (pipe, TCP). Decorator sinks must NOT advertise support:
+  /// the per-event Deliver path is where faults and retries are applied.
+  virtual bool SupportsSerialized() const { return false; }
+
+  /// \brief Delivers a batch of `count` events pre-serialized as
+  /// '\n'-terminated canonical CSV lines. Only called when
+  /// SupportsSerialized() is true.
+  virtual Status DeliverSerialized(std::string_view lines, size_t count) {
+    (void)lines;
+    (void)count;
+    return Status::Internal("sink does not support serialized delivery");
+  }
+
   /// Called once after the last event.
   virtual Status Finish() { return Status::OK(); }
 
@@ -81,6 +107,10 @@ class PipeSink final : public EventSink {
   explicit PipeSink(std::FILE* out) : out_(out) {}
 
   Status Deliver(const Event& event) override;
+  /// One fwrite for the whole batch. stdio locks the FILE internally, so
+  /// several shard lanes may share one FILE* and lines stay whole.
+  bool SupportsSerialized() const override { return true; }
+  Status DeliverSerialized(std::string_view lines, size_t count) override;
   Status Finish() override;
 
  private:

@@ -1,6 +1,7 @@
 #include "replayer/rate_controller.h"
 
 #include <cassert>
+#include <cmath>
 #include <thread>
 
 namespace graphtides {
@@ -12,6 +13,13 @@ RateController::RateController(double base_rate_eps, const Clock* clock)
 
 void RateController::SetFactor(double factor) {
   if (factor <= 0.0) return;
+  // Re-anchor so the new interval applies from the previous deadline:
+  // SET_RATE takes effect on the very next emission, and the fractional
+  // schedule restarts cleanly at the rate-change point.
+  if (started_) {
+    anchor_ = prev_deadline_;
+    events_since_anchor_ = 0;
+  }
   factor_ = factor;
 }
 
@@ -21,11 +29,22 @@ Timestamp RateController::NextDeadline() {
   Timestamp deadline;
   if (!started_) {
     deadline = clock_->Now() + pending_defer_;
+    anchor_ = deadline;
+    events_since_anchor_ = 0;
     started_ = true;
   } else {
-    // The interval is evaluated now, so SET_RATE applies to the very next
-    // emission.
-    deadline = prev_deadline_ + Interval() + pending_defer_;
+    ++events_since_anchor_;
+    deadline = anchor_ +
+               Duration::FromNanos(static_cast<int64_t>(std::llround(
+                   static_cast<double>(events_since_anchor_) *
+                   IntervalNanos()))) +
+               pending_defer_;
+    if (pending_defer_ != Duration::Zero()) {
+      // A pause shifts the whole schedule; restart the fractional count at
+      // the deferred deadline.
+      anchor_ = deadline;
+      events_since_anchor_ = 0;
+    }
   }
   pending_defer_ = Duration::Zero();
   prev_deadline_ = deadline;
@@ -51,7 +70,12 @@ Timestamp RateController::WaitForNextSlot() {
 
 Duration RateController::Lag() const {
   if (!started_) return Duration::Zero();
-  const Timestamp upcoming = prev_deadline_ + Interval() + pending_defer_;
+  const Timestamp upcoming =
+      anchor_ +
+      Duration::FromNanos(static_cast<int64_t>(
+          std::llround(static_cast<double>(events_since_anchor_ + 1) *
+                       IntervalNanos()))) +
+      pending_defer_;
   const Timestamp now = clock_->Now();
   return now >= upcoming ? now - upcoming : Duration::Zero();
 }

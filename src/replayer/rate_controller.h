@@ -4,6 +4,8 @@
 #ifndef GRAPHTIDES_REPLAYER_RATE_CONTROLLER_H_
 #define GRAPHTIDES_REPLAYER_RATE_CONTROLLER_H_
 
+#include <cstdint>
+
 #include "common/clock.h"
 
 namespace graphtides {
@@ -14,6 +16,13 @@ namespace graphtides {
 /// deadline advances by exactly one interval per event, so transient delays
 /// are caught up instead of accumulating drift. SET_RATE control events map
 /// to SetFactor, PAUSE control events to Defer.
+///
+/// Deadlines are computed as anchor + k * interval with the interval held
+/// in fractional nanoseconds, not by repeatedly adding a truncated integer
+/// interval — per-event truncation would otherwise accumulate without bound
+/// (e.g. a 3x factor at 1 kHz truncates 1/3 ns per event, several µs of
+/// schedule drift over a 10k-event run). SetFactor/Defer re-anchor the
+/// schedule at the previous deadline, so rate changes stay exact too.
 class RateController {
  public:
   /// `base_rate_eps` is the initial rate in events per second (factor 1.0).
@@ -39,14 +48,15 @@ class RateController {
   Duration Lag() const;
 
  private:
-  Duration Interval() const {
-    return Duration::FromNanos(
-        static_cast<int64_t>(1e9 / (base_rate_eps_ * factor_)));
-  }
+  double IntervalNanos() const { return 1e9 / (base_rate_eps_ * factor_); }
 
   double base_rate_eps_;
   double factor_ = 1.0;
   const Clock* clock_;
+  /// Schedule origin: deadlines are anchor_ + round(k * interval).
+  Timestamp anchor_;
+  /// Events scheduled since the last re-anchor.
+  int64_t events_since_anchor_ = 0;
   Timestamp prev_deadline_;
   Duration pending_defer_;
   bool started_ = false;

@@ -1,0 +1,639 @@
+#include "replayer/sharded_replayer.h"
+
+#include <condition_variable>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <utility>
+
+#include "replayer/rate_controller.h"
+#include "replayer/spsc_queue.h"
+#include "stream/block_reader.h"
+
+namespace graphtides {
+
+namespace {
+
+// splitmix64 finalizer: generator ids are nearly sequential, so a plain
+// modulo would stripe entities across lanes in lockstep with the stream's
+// own structure; the mix decorrelates them.
+uint64_t MixBits(uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+/// One graph event routed to a lane; payload bytes live in the owning
+/// batch's arena.
+struct LaneRecord {
+  EventType type = EventType::kAddVertex;
+  VertexId vertex = 0;
+  EdgeId edge;
+  /// Global 0-based sequence number among the stream's graph events.
+  uint64_t seq = 0;
+  size_t payload_offset = 0;
+  size_t payload_len = 0;
+};
+
+struct LaneBatch {
+  std::vector<LaneRecord> records;
+  std::string arena;
+};
+
+/// Broadcast token: every live lane receives one copy and meets the others
+/// at the epoch barrier before anyone emits past it.
+struct BarrierCmd {
+  enum class Kind : uint8_t { kMarker, kControl, kCheckpoint };
+  Kind kind = Kind::kMarker;
+  uint64_t epoch = 0;
+  // kMarker:
+  std::string label;
+  // kControl:
+  EventType control = EventType::kSetRate;
+  double rate_factor = 1.0;
+  Duration pause;
+  // Reader-side accounting at the barrier point (cumulative, including a
+  // resume base) for the marker record / checkpoint written at the epoch.
+  uint64_t entries_consumed = 0;
+  uint64_t events_before = 0;
+  uint64_t markers = 0;
+  uint64_t controls = 0;
+  double factor_at = 1.0;
+};
+
+enum class ItemKind : uint8_t { kBatch, kBarrier, kEnd };
+
+struct LaneItem {
+  ItemKind kind = ItemKind::kEnd;
+  LaneBatch batch;
+  BarrierCmd barrier;
+};
+
+/// \brief Barrier with a per-phase completion run by the last arriver while
+/// the others are parked — the quiescent point where markers are recorded
+/// and checkpoints written. A failing lane Drop()s out of every future
+/// phase so the healthy lanes never wait for it. Contended only at
+/// marker/control/checkpoint epochs, never on the batch hot path.
+class EpochBarrier {
+ public:
+  explicit EpochBarrier(size_t parties) : parties_(parties) {}
+
+  void ArriveAndWait(const std::function<void()>& completion) {
+    std::unique_lock<std::mutex> lock(mu_);
+    const uint64_t phase = phase_;
+    ++arrived_;
+    if (arrived_ >= parties_) {
+      if (completion) completion();
+      arrived_ = 0;
+      ++phase_;
+      cv_.notify_all();
+      return;
+    }
+    cv_.wait(lock, [&] { return phase_ != phase; });
+  }
+
+  /// \brief Removes the caller from all future phases.
+  ///
+  /// If the drop makes the current phase complete, the phase advances
+  /// WITHOUT its completion: a run with a failed lane must not record a
+  /// marker or checkpoint that claims events the failed lane never
+  /// delivered.
+  void Drop() {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (parties_ > 0) --parties_;
+    if (parties_ > 0 && arrived_ >= parties_) {
+      arrived_ = 0;
+      ++phase_;
+      cv_.notify_all();
+    }
+  }
+
+ private:
+  std::mutex mu_;
+  std::condition_variable cv_;
+  size_t parties_;
+  size_t arrived_ = 0;
+  uint64_t phase_ = 0;
+};
+
+struct LaneState {
+  explicit LaneState(size_t queue_items)
+      : queue(queue_items), recycle(queue_items) {}
+
+  SpscQueue<LaneItem> queue;
+  /// Lane -> reader batch return path: consumed batches come back with
+  /// their capacity intact, so the steady state recycles arenas instead of
+  /// allocating.
+  SpscQueue<LaneBatch> recycle;
+  std::thread thread;
+  /// Lane-local stats: events_delivered / lag_us / rate_series / telemetry
+  /// cover only this lane (markers, controls and entries are stream-global
+  /// and live in the aggregate).
+  ReplayStats stats;
+  Status status;
+  std::atomic<bool> failed{false};
+};
+
+constexpr size_t kArenaReserveBytesPerEvent = 32;
+/// Flush a batch early once its arena holds this much payload, so a batch
+/// never grows without bound on pathological payload sizes.
+constexpr size_t kMaxBatchArenaBytes = size_t{4} << 20;
+
+}  // namespace
+
+size_t ShardOfVertex(VertexId id, size_t shards) {
+  if (shards <= 1) return 0;
+  return static_cast<size_t>(MixBits(id) % shards);
+}
+
+size_t ShardOfEvent(EventType type, VertexId vertex, const EdgeId& edge,
+                    size_t shards) {
+  return ShardOfVertex(IsEdgeOp(type) ? edge.src : vertex, shards);
+}
+
+Result<ShardedReplayStats> ShardedReplayer::Replay(
+    const std::vector<Event>& events, const std::vector<EventSink*>& sinks,
+    const ReplayCheckpoint* resume) {
+  size_t index = 0;
+  return Run(
+      [&events, index]() mutable -> Result<std::optional<EventView>> {
+        if (index >= events.size()) {
+          return std::optional<EventView>(std::nullopt);
+        }
+        const Event& e = events[index++];
+        EventView view;
+        view.type = e.type;
+        view.vertex = e.vertex;
+        view.edge = e.edge;
+        view.payload = e.payload;
+        view.rate_factor = e.rate_factor;
+        view.pause = e.pause;
+        return std::optional<EventView>(view);
+      },
+      sinks, resume);
+}
+
+Result<ShardedReplayStats> ShardedReplayer::ReplayFile(
+    const std::string& path, const std::vector<EventSink*>& sinks,
+    const ReplayCheckpoint* resume) {
+  auto reader = std::make_shared<BlockLineReader>();
+  GT_RETURN_NOT_OK(reader->Open(path));
+  auto scratch = std::make_shared<std::string>();
+  return Run(
+      [reader, scratch]() -> Result<std::optional<EventView>> {
+        while (true) {
+          bool terminated = true;
+          Result<std::optional<std::string_view>> line =
+              reader->NextLine(&terminated);
+          if (!line.ok()) return line.status();
+          if (!line->has_value()) return std::optional<EventView>(std::nullopt);
+          Result<EventView> view = ParseEventLineView(**line, scratch.get());
+          if (view.ok()) return std::optional<EventView>(*view);
+          if (view.status().IsNotFound()) continue;  // blank / comment line
+          return view.status().WithContext(
+              "line " + std::to_string(reader->line_number()));
+        }
+      },
+      sinks, resume);
+}
+
+Result<ShardedReplayStats> ShardedReplayer::Run(
+    const SourceFn& source, const std::vector<EventSink*>& sinks,
+    const ReplayCheckpoint* resume) {
+  const size_t shards = options_.shards;
+  if (shards == 0) return Status::InvalidArgument("shards must be >= 1");
+  if (sinks.size() != shards) {
+    return Status::InvalidArgument(
+        "need exactly one sink per shard (" + std::to_string(shards) +
+        " shards, " + std::to_string(sinks.size()) + " sinks)");
+  }
+  for (EventSink* sink : sinks) {
+    if (sink == nullptr) return Status::InvalidArgument("null sink");
+  }
+  if (options_.total_rate_eps <= 0.0) {
+    return Status::InvalidArgument("total_rate_eps must be positive");
+  }
+  if (options_.batch_events == 0) {
+    return Status::InvalidArgument("batch_events must be >= 1");
+  }
+  if (options_.checkpoint_every > 0 && options_.checkpoint_path.empty()) {
+    return Status::InvalidArgument("checkpoint_every requires checkpoint_path");
+  }
+
+  // --- Counters seeded from the resume checkpoint (same accounting model
+  // as StreamReplayer::Run: the final stats match an uninterrupted run).
+  const uint64_t skip_entries = resume != nullptr ? resume->entries_consumed : 0;
+  uint64_t entries = skip_entries;
+  uint64_t events_enqueued = resume != nullptr ? resume->events_delivered : 0;
+  uint64_t markers = resume != nullptr ? resume->markers : 0;
+  uint64_t controls = resume != nullptr ? resume->controls : 0;
+  double current_factor = (resume != nullptr && options_.honor_control_events)
+                              ? resume->rate_factor
+                              : 1.0;
+  if (resume != nullptr && options_.checkpoint_rng != nullptr) {
+    options_.checkpoint_rng->RestoreState(resume->rng_state);
+  }
+  const SinkTelemetry telemetry_base =
+      resume != nullptr ? resume->telemetry : SinkTelemetry{};
+  const uint64_t resume_base = events_enqueued;
+  progress_.store(resume_base, std::memory_order_relaxed);
+  const uint64_t stop_at = options_.stop_after_events > 0
+                               ? resume_base + options_.stop_after_events
+                               : 0;
+
+  MonotonicClock clock;
+  const Timestamp run_started = clock.Now();
+  const double per_lane_rate =
+      options_.total_rate_eps / static_cast<double>(shards);
+
+  EpochBarrier barrier(shards);
+  std::atomic<bool> sink_failed{false};
+  std::atomic<bool> checkpoint_failed{false};
+  // Written only inside barrier completions (which run serially under the
+  // barrier mutex) and by this thread after the lanes are joined.
+  std::vector<MarkerRecord> marker_log;
+  uint64_t checkpoints_written = 0;
+  Status checkpoint_status;
+
+  std::vector<std::unique_ptr<LaneState>> lanes;
+  lanes.reserve(shards);
+  for (size_t s = 0; s < shards; ++s) {
+    lanes.push_back(std::make_unique<LaneState>(options_.lane_queue_items));
+  }
+
+  auto current_telemetry = [&] {
+    SinkTelemetry t = telemetry_base;
+    for (EventSink* sink : sinks) t.Merge(sink->Telemetry());
+    return t;
+  };
+
+  // Writes a checkpoint for a quiescent point: called from barrier
+  // completions (all live lanes parked, their sinks idle) and after the
+  // final join. `false` on write failure.
+  auto write_checkpoint_at = [&](const BarrierCmd& at) -> bool {
+    if (options_.checkpoint_path.empty()) return true;
+    ReplayCheckpoint cp;
+    cp.entries_consumed = at.entries_consumed;
+    cp.events_delivered = at.events_before;
+    cp.markers = at.markers;
+    cp.controls = at.controls;
+    cp.rate_factor = at.factor_at;
+    if (options_.checkpoint_rng != nullptr) {
+      cp.rng_state = options_.checkpoint_rng->SaveState();
+    }
+    cp.telemetry = current_telemetry();
+    checkpoint_status = cp.SaveTo(options_.checkpoint_path);
+    if (checkpoint_status.ok()) {
+      ++checkpoints_written;
+      return true;
+    }
+    checkpoint_failed.store(true, std::memory_order_release);
+    return false;
+  };
+
+  auto complete_barrier = [&](const BarrierCmd& cmd) {
+    if (sink_failed.load(std::memory_order_acquire)) return;
+    if (cmd.kind == BarrierCmd::Kind::kMarker) {
+      marker_log.push_back(
+          {cmd.label, clock.Now(), static_cast<size_t>(cmd.events_before)});
+    } else if (cmd.kind == BarrierCmd::Kind::kCheckpoint) {
+      write_checkpoint_at(cmd);
+    }
+  };
+
+  auto lane_main = [&](size_t shard) {
+    LaneState& lane = *lanes[shard];
+    EventSink* sink = sinks[shard];
+    RateController rate(per_lane_rate, &clock);
+    if (resume != nullptr && options_.honor_control_events) {
+      rate.SetFactor(resume->rate_factor);
+    }
+    ReplayStats& st = lane.stats;
+    st.started = clock.Now();
+    Timestamp bin_start = st.started;
+    size_t bin_count = 0;
+    auto roll_bins = [&](Timestamp now) {
+      while (now - bin_start >= options_.stats_bin) {
+        st.rate_series.push_back({bin_start, bin_count});
+        bin_start = bin_start + options_.stats_bin;
+        bin_count = 0;
+      }
+    };
+    const bool serialized = sink->SupportsSerialized();
+    std::string out;
+    EventView view;
+    Event scratch;
+    Status emit;
+    while (true) {
+      std::optional<LaneItem> popped = lane.queue.TryPop();
+      if (!popped.has_value()) {
+        std::this_thread::yield();
+        continue;
+      }
+      LaneItem item = std::move(*popped);
+      if (item.kind == ItemKind::kEnd) break;
+      if (item.kind == ItemKind::kBarrier) {
+        const BarrierCmd& cmd = item.barrier;
+        barrier.ArriveAndWait([&] { complete_barrier(cmd); });
+        if (cmd.kind == BarrierCmd::Kind::kControl &&
+            options_.honor_control_events) {
+          if (cmd.control == EventType::kSetRate) {
+            rate.SetFactor(cmd.rate_factor);
+          } else {
+            rate.Defer(cmd.pause);
+          }
+        }
+        continue;
+      }
+
+      LaneBatch batch = std::move(item.batch);
+      Timestamp last_slot;
+      size_t delivered = 0;
+      if (serialized) {
+        // Zero-copy path: pace each slot, serialize the canonical line
+        // into the reusable buffer, hand the sink the whole batch once.
+        out.clear();
+        for (const LaneRecord& r : batch.records) {
+          last_slot = rate.WaitForNextSlot();
+          view.type = r.type;
+          view.vertex = r.vertex;
+          view.edge = r.edge;
+          view.payload =
+              std::string_view(batch.arena).substr(r.payload_offset,
+                                                   r.payload_len);
+          view.AppendLine(&out);
+        }
+        emit = sink->DeliverSerialized(out, batch.records.size());
+        if (emit.ok()) delivered = batch.records.size();
+      } else {
+        // Decorated sinks (chaos/resilient/callback) need the per-event
+        // path; one reusable Event keeps it allocation-free in steady
+        // state too.
+        for (const LaneRecord& r : batch.records) {
+          last_slot = rate.WaitForNextSlot();
+          scratch.type = r.type;
+          scratch.vertex = r.vertex;
+          scratch.edge = r.edge;
+          scratch.payload.assign(batch.arena, r.payload_offset, r.payload_len);
+          emit = sink->DeliverSequenced(scratch, r.seq);
+          if (!emit.ok()) break;
+          ++delivered;
+        }
+      }
+      if (delivered > 0) {
+        // One telemetry flush per batch, not per event.
+        st.events_delivered += delivered;
+        progress_.fetch_add(delivered, std::memory_order_relaxed);
+        st.lag_us.push_back((clock.Now() - last_slot).seconds() * 1e6);
+        roll_bins(last_slot);
+        bin_count += delivered;
+      }
+      batch.records.clear();
+      batch.arena.clear();
+      (void)lane.recycle.TryPush(std::move(batch));
+      if (!emit.ok()) {
+        lane.status = emit.WithContext("shard " + std::to_string(shard));
+        lane.failed.store(true, std::memory_order_release);
+        sink_failed.store(true, std::memory_order_release);
+        barrier.Drop();
+        break;
+      }
+    }
+    if (bin_count > 0) st.rate_series.push_back({bin_start, bin_count});
+    st.finished = clock.Now();
+    st.telemetry = sink->Telemetry();
+  };
+
+  for (size_t s = 0; s < shards; ++s) {
+    lanes[s]->thread = std::thread(lane_main, s);
+  }
+
+  // --- Reader: parse, partition, batch. ---------------------------------
+  auto acquire_batch = [&](size_t s) -> LaneBatch {
+    if (std::optional<LaneBatch> recycled = lanes[s]->recycle.TryPop()) {
+      return std::move(*recycled);
+    }
+    LaneBatch batch;
+    batch.records.reserve(options_.batch_events);
+    batch.arena.reserve(options_.batch_events * kArenaReserveBytesPerEvent);
+    return batch;
+  };
+  std::vector<LaneBatch> open;
+  open.reserve(shards);
+  for (size_t s = 0; s < shards; ++s) open.push_back(acquire_batch(s));
+
+  // Spins while the lane's queue is full (the lane is draining); false when
+  // the lane failed, so the reader never wedges on a dead consumer.
+  auto push_item = [&](size_t s, LaneItem&& item) -> bool {
+    LaneState& lane = *lanes[s];
+    while (!lane.queue.TryPush(std::move(item))) {
+      if (lane.failed.load(std::memory_order_acquire)) return false;
+      std::this_thread::yield();
+    }
+    return true;
+  };
+  auto flush_lane = [&](size_t s) {
+    if (open[s].records.empty()) return;
+    LaneItem item;
+    item.kind = ItemKind::kBatch;
+    item.batch = std::move(open[s]);
+    push_item(s, std::move(item));
+    open[s] = acquire_batch(s);
+  };
+  uint64_t epoch = 0;
+  // Open batches flush first, so the barrier token follows every graph
+  // event enqueued before it in every lane's FIFO queue.
+  auto broadcast = [&](BarrierCmd cmd) {
+    cmd.epoch = epoch++;
+    for (size_t s = 0; s < shards; ++s) flush_lane(s);
+    for (size_t s = 0; s < shards; ++s) {
+      LaneItem item;
+      item.kind = ItemKind::kBarrier;
+      item.barrier = cmd;
+      push_item(s, std::move(item));
+    }
+  };
+
+  Status reader_status;
+  bool cancelled = false;
+  bool stopped = false;
+  uint64_t to_skip = skip_entries;
+  while (true) {
+    if (options_.cancel != nullptr && options_.cancel->cancelled()) {
+      cancelled = true;
+      break;
+    }
+    if (sink_failed.load(std::memory_order_relaxed) ||
+        checkpoint_failed.load(std::memory_order_relaxed)) {
+      break;
+    }
+    Result<std::optional<EventView>> next = source();
+    if (!next.ok()) {
+      reader_status = next.status();
+      break;
+    }
+    if (!next->has_value()) {  // end of stream
+      if (to_skip > 0) {
+        reader_status = Status::InvalidArgument(
+            "resume checkpoint lies beyond the end of the stream (" +
+            std::to_string(to_skip) + " entries short)");
+      }
+      break;
+    }
+    if (to_skip > 0) {
+      --to_skip;
+      continue;
+    }
+    const EventView& e = **next;
+    ++entries;
+
+    if (IsControl(e.type)) {
+      ++controls;
+      if (options_.honor_control_events) {
+        BarrierCmd cmd;
+        cmd.kind = BarrierCmd::Kind::kControl;
+        cmd.control = e.type;
+        cmd.rate_factor = e.rate_factor;
+        cmd.pause = e.pause;
+        if (e.type == EventType::kSetRate) current_factor = e.rate_factor;
+        broadcast(std::move(cmd));
+      }
+      continue;
+    }
+    if (e.type == EventType::kMarker) {
+      ++markers;
+      BarrierCmd cmd;
+      cmd.kind = BarrierCmd::Kind::kMarker;
+      cmd.label = std::string(e.payload);
+      cmd.events_before = events_enqueued;
+      broadcast(std::move(cmd));
+      continue;
+    }
+
+    const size_t s = ShardOfEvent(e.type, e.vertex, e.edge, shards);
+    if (!lanes[s]->failed.load(std::memory_order_relaxed)) {
+      LaneBatch& batch = open[s];
+      LaneRecord record;
+      record.type = e.type;
+      record.vertex = e.vertex;
+      record.edge = e.edge;
+      record.seq = events_enqueued;
+      record.payload_offset = batch.arena.size();
+      record.payload_len = e.payload.size();
+      batch.arena.append(e.payload);
+      batch.records.push_back(record);
+      if (batch.records.size() >= options_.batch_events ||
+          batch.arena.size() >= kMaxBatchArenaBytes) {
+        flush_lane(s);
+      }
+    }
+    ++events_enqueued;
+    if (options_.checkpoint_every > 0 &&
+        events_enqueued % options_.checkpoint_every == 0) {
+      BarrierCmd cmd;
+      cmd.kind = BarrierCmd::Kind::kCheckpoint;
+      cmd.entries_consumed = entries;
+      cmd.events_before = events_enqueued;
+      cmd.markers = markers;
+      cmd.controls = controls;
+      cmd.factor_at = current_factor;
+      broadcast(std::move(cmd));
+    }
+    if (stop_at != 0 && events_enqueued >= stop_at) {
+      stopped = true;
+      break;
+    }
+  }
+
+  // Drain: everything already enqueued (and counted) must reach its sink
+  // before the final accounting — that is what makes the post-run
+  // checkpoint exactly-once even for cancel/stop aborts.
+  for (size_t s = 0; s < shards; ++s) flush_lane(s);
+  for (size_t s = 0; s < shards; ++s) {
+    LaneItem item;
+    item.kind = ItemKind::kEnd;
+    push_item(s, std::move(item));
+  }
+  for (size_t s = 0; s < shards; ++s) lanes[s]->thread.join();
+
+  // --- Assemble the aggregate. ------------------------------------------
+  ShardedReplayStats result;
+  ReplayStats& agg = result.aggregate;
+  agg.started = run_started;
+  agg.finished = clock.Now();
+  agg.events_delivered = resume_base;
+  std::map<int64_t, size_t> merged_bins;
+  const int64_t bin_nanos = options_.stats_bin.nanos();
+  for (size_t s = 0; s < shards; ++s) {
+    ReplayStats& lane_stats = lanes[s]->stats;
+    agg.events_delivered += lane_stats.events_delivered;
+    agg.lag_us.insert(agg.lag_us.end(), lane_stats.lag_us.begin(),
+                      lane_stats.lag_us.end());
+    for (const RateSample& sample : lane_stats.rate_series) {
+      merged_bins[(sample.bin_start - run_started).nanos() / bin_nanos] +=
+          sample.events;
+    }
+    result.per_shard.push_back(std::move(lane_stats));
+  }
+  for (const auto& [index, events] : merged_bins) {
+    agg.rate_series.push_back(
+        {run_started + options_.stats_bin * index, events});
+  }
+  agg.markers = markers;
+  agg.controls = controls;
+  agg.marker_log = std::move(marker_log);
+  agg.entries_consumed = entries;
+
+  Status lane_error;
+  for (size_t s = 0; s < shards; ++s) {
+    if (!lanes[s]->status.ok()) {
+      lane_error = lanes[s]->status;
+      break;
+    }
+  }
+  // The abort-point checkpoint: all enqueued events were drained, so the
+  // record is exact — unless a lane failed, in which case no record that
+  // claims them may be written.
+  BarrierCmd final_at;
+  final_at.entries_consumed = entries;
+  final_at.events_before = events_enqueued;
+  final_at.markers = markers;
+  final_at.controls = controls;
+  final_at.factor_at = current_factor;
+
+  if (cancelled || stopped) {
+    Status finish_status;
+    for (EventSink* sink : sinks) {
+      const Status st = sink->Finish();
+      if (!st.ok() && finish_status.ok()) finish_status = st;
+    }
+    agg.telemetry = current_telemetry();
+    if (lane_error.ok()) write_checkpoint_at(final_at);
+    agg.checkpoints_written = checkpoints_written;
+    agg.stopped_early = true;
+    if (cancelled) {
+      const std::string reason = options_.cancel->reason();
+      return Status::Cancelled(reason.empty() ? "replay cancelled" : reason);
+    }
+    GT_RETURN_NOT_OK(checkpoint_status.WithContext("final checkpoint"));
+    GT_RETURN_NOT_OK(finish_status.WithContext("sink finish"));
+    return result;
+  }
+
+  if (!lane_error.ok()) return lane_error.WithContext("sink delivery");
+  if (!checkpoint_status.ok()) {
+    return checkpoint_status.WithContext("periodic checkpoint");
+  }
+  if (!reader_status.ok()) return reader_status.WithContext("stream source");
+  for (EventSink* sink : sinks) GT_RETURN_NOT_OK(sink->Finish());
+  agg.telemetry = current_telemetry();
+  if (options_.checkpoint_every > 0 && !write_checkpoint_at(final_at)) {
+    return checkpoint_status.WithContext("final checkpoint");
+  }
+  agg.checkpoints_written = checkpoints_written;
+  return result;
+}
+
+}  // namespace graphtides

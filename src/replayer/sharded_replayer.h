@@ -1,0 +1,141 @@
+// Sharded parallel replay (§5.1–§5.2 scaled out in-process): one reader
+// hash-partitions the stream into N per-shard SPSC lanes, each lane paced
+// and emitted by its own thread into its own sink — the multi-replayer
+// horizontal-scaling setup of §5.2 collapsed into one process on one
+// multi-core machine.
+//
+// Partitioning and ordering guarantees:
+//   * vertex events are routed by hash(vertex id); edge events by
+//     hash(source id). All events touching the same source entity
+//     serialize through one lane, so per-entity order is preserved and a
+//     lane's output is a subsequence of the input stream.
+//   * marker and control events are broadcast to every lane together with
+//     a cross-shard epoch barrier: every lane finishes emitting all graph
+//     events enqueued before the marker/control, then all lanes cross it
+//     together. Marker semantics ("all events before the marker have been
+//     emitted, none after") and SET_RATE/PAUSE positions are therefore
+//     identical to a single-lane replay.
+//   * every graph event carries its global sequence number (0-based among
+//     graph events), delivered to sinks via DeliverSequenced, so per-shard
+//     captures can be merged back into total stream order.
+//
+// Hot path: the reader parses with the zero-copy ParseEventLineView over a
+// BlockLineReader, appends payload bytes into a per-batch arena (batches
+// are recycled through a per-lane return queue, so steady state allocates
+// nothing), and lanes either serialize canonical CSV into a reusable
+// buffer handed to the sink once per batch (SupportsSerialized transports:
+// pipe, TCP) or materialize into one reusable Event for decorated sinks.
+// Telemetry (progress counter, achieved-rate bins, lag samples) is flushed
+// once per batch, not per event.
+#ifndef GRAPHTIDES_REPLAYER_SHARDED_REPLAYER_H_
+#define GRAPHTIDES_REPLAYER_SHARDED_REPLAYER_H_
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/cancellation.h"
+#include "common/clock.h"
+#include "common/random.h"
+#include "common/result.h"
+#include "replayer/checkpoint.h"
+#include "replayer/event_sink.h"
+#include "replayer/replayer.h"
+#include "stream/event.h"
+#include "stream/event_view.h"
+
+namespace graphtides {
+
+/// Stable hash-partition of a vertex id over `shards` lanes (splitmix64
+/// finalizer, so nearly-sequential generator ids still spread evenly).
+size_t ShardOfVertex(VertexId id, size_t shards);
+
+/// Routing rule: vertex ops by vertex id, edge ops by source id (same hash
+/// as the source vertex, so edge ops order with their source's vertex
+/// ops). Markers/controls have no shard — callers broadcast them.
+size_t ShardOfEvent(EventType type, VertexId vertex, const EdgeId& edge,
+                    size_t shards);
+
+struct ShardedReplayerOptions {
+  /// Number of lanes (and sinks). 1 degenerates to a single-lane pipeline.
+  size_t shards = 1;
+  /// Aggregate target emission rate in events/second across all lanes;
+  /// each lane paces at total_rate_eps / shards (SET_RATE factors apply
+  /// per lane, so the aggregate scales the same way).
+  double total_rate_eps = 10000.0;
+  /// Graph events per lane batch (the telemetry-flush granularity).
+  size_t batch_events = 256;
+  /// Per-lane queue capacity in items (batches + barrier tokens).
+  size_t lane_queue_items = 1 << 8;
+  /// Bin width for the achieved-rate time series.
+  Duration stats_bin = Duration::FromMillis(100);
+  /// When false, SET_RATE / PAUSE are counted but not applied (and no
+  /// barrier is paid for them).
+  bool honor_control_events = true;
+
+  // --- Supervision (same contract as ReplayerOptions) ------------------
+  const CancellationToken* cancel = nullptr;
+  /// Write a checkpoint every N enqueued graph events via a cross-shard
+  /// checkpoint barrier (0 = disabled): all lanes quiesce at the barrier,
+  /// so the record is exactly-once — every counted event was acknowledged
+  /// by its sink, none past the barrier was emitted.
+  uint64_t checkpoint_every = 0;
+  std::string checkpoint_path;
+  /// Stop cleanly after this many graph events (counted from the resume
+  /// base; 0 = run to end of stream) and flush a final checkpoint.
+  uint64_t stop_after_events = 0;
+  /// RNG snapshotted into checkpoints and restored on resume.
+  Rng* checkpoint_rng = nullptr;
+};
+
+/// \brief Outcome of a sharded run: the merged aggregate plus each lane's
+/// own stats (its sink's telemetry, its delivered count, its lag samples).
+struct ShardedReplayStats {
+  ReplayStats aggregate;
+  std::vector<ReplayStats> per_shard;
+};
+
+/// \brief Replays one stream against N sinks, one lane per sink.
+///
+/// Replay/ReplayFile block until the stream is exhausted or the run fails.
+/// `sinks.size()` must equal `options.shards`; each sink is driven only by
+/// its own lane thread.
+class ShardedReplayer {
+ public:
+  explicit ShardedReplayer(ShardedReplayerOptions options)
+      : options_(options) {}
+
+  Result<ShardedReplayStats> Replay(const std::vector<Event>& events,
+                                    const std::vector<EventSink*>& sinks,
+                                    const ReplayCheckpoint* resume = nullptr);
+
+  /// Streams a file through the zero-copy block reader without loading it.
+  Result<ShardedReplayStats> ReplayFile(
+      const std::string& path, const std::vector<EventSink*>& sinks,
+      const ReplayCheckpoint* resume = nullptr);
+
+  /// Graph events delivered so far across all lanes (cumulative across a
+  /// resume); the liveness probe a RunWatchdog polls.
+  uint64_t progress() const {
+    return progress_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  /// Pull source yielding borrowed views; a view is valid until the next
+  /// call. nullopt signals end of stream.
+  using SourceFn = std::function<Result<std::optional<EventView>>()>;
+
+  Result<ShardedReplayStats> Run(const SourceFn& source,
+                                 const std::vector<EventSink*>& sinks,
+                                 const ReplayCheckpoint* resume);
+
+  ShardedReplayerOptions options_;
+  std::atomic<uint64_t> progress_{0};
+};
+
+}  // namespace graphtides
+
+#endif  // GRAPHTIDES_REPLAYER_SHARDED_REPLAYER_H_

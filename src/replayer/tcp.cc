@@ -116,6 +116,14 @@ Status TcpSink::Deliver(const Event& event) {
   return Status::OK();
 }
 
+Status TcpSink::DeliverSerialized(std::string_view lines, size_t count) {
+  (void)count;
+  if (fd_ < 0) return Status::PreconditionFailed("TcpSink not connected");
+  buffer_ += lines;
+  if (buffer_.size() >= kFlushBytes) return FlushBuffer();
+  return Status::OK();
+}
+
 Status TcpSink::Finish() {
   if (fd_ < 0) return Status::OK();
   GT_RETURN_NOT_OK(FlushBuffer());

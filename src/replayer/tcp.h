@@ -62,6 +62,10 @@ class TcpSink final : public EventSink {
   void Abort();
 
   Status Deliver(const Event& event) override;
+  /// Appends the pre-serialized batch to the user-space buffer in one go;
+  /// flushed on the same 16 KiB threshold as per-event delivery.
+  bool SupportsSerialized() const override { return true; }
+  Status DeliverSerialized(std::string_view lines, size_t count) override;
   Status Finish() override;
 
   bool connected() const {

@@ -1,0 +1,136 @@
+#include "stream/block_reader.h"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <cstring>
+
+namespace graphtides {
+
+BlockLineReader::BlockLineReader(BlockLineReaderOptions options)
+    : options_(options) {
+  if (options_.block_bytes == 0) options_.block_bytes = 1 << 16;
+}
+
+BlockLineReader::~BlockLineReader() {
+  if (fd_ >= 0) ::close(fd_);
+}
+
+Status BlockLineReader::Open(const std::string& path) {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+  fd_ = ::open(path.c_str(), O_RDONLY);
+  if (fd_ < 0) {
+    return Status::IoError("cannot open stream file: " + path + ": " +
+                           std::strerror(errno));
+  }
+  buffer_.resize(options_.block_bytes);
+  pos_ = end_ = 0;
+  eof_ = false;
+  line_number_ = 0;
+  return Status::OK();
+}
+
+Result<bool> BlockLineReader::Refill() {
+  if (pos_ > 0) {
+    std::memmove(buffer_.data(), buffer_.data() + pos_, end_ - pos_);
+    end_ -= pos_;
+    pos_ = 0;
+  }
+  if (end_ == buffer_.size()) {
+    // A line spans the whole buffer; grow (bounded by the caller's
+    // over-long check) so it can complete.
+    buffer_.resize(std::min(buffer_.size() * 2,
+                            options_.max_line_bytes + options_.block_bytes));
+  }
+  while (true) {
+    const ssize_t n =
+        ::read(fd_, buffer_.data() + end_, buffer_.size() - end_);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return Status::IoError(std::string("read failure: ") +
+                             std::strerror(errno));
+    }
+    if (n == 0) {
+      eof_ = true;
+      return false;
+    }
+    end_ += static_cast<size_t>(n);
+    return true;
+  }
+}
+
+Result<std::optional<std::string_view>> BlockLineReader::NextLine(
+    bool* terminated) {
+  if (terminated != nullptr) *terminated = true;
+  while (true) {
+    const char* base = buffer_.data();
+    const void* nl = std::memchr(base + pos_, '\n', end_ - pos_);
+    if (nl != nullptr) {
+      const size_t len =
+          static_cast<size_t>(static_cast<const char*>(nl) - (base + pos_));
+      if (len > options_.max_line_bytes) {
+        pos_ += len + 1;
+        ++line_number_;
+        return Status::ParseError("line exceeds " +
+                                  std::to_string(options_.max_line_bytes) +
+                                  " bytes")
+            .WithContext("line " + std::to_string(line_number_));
+      }
+      const std::string_view line(base + pos_, len);
+      pos_ += len + 1;
+      ++line_number_;
+      return std::optional<std::string_view>(line);
+    }
+    const size_t pending = end_ - pos_;
+    if (eof_) {
+      if (pending == 0) return std::optional<std::string_view>(std::nullopt);
+      ++line_number_;
+      if (pending > options_.max_line_bytes) {
+        pos_ = end_;
+        return Status::ParseError("line exceeds " +
+                                  std::to_string(options_.max_line_bytes) +
+                                  " bytes")
+            .WithContext("line " + std::to_string(line_number_));
+      }
+      const std::string_view line(base + pos_, pending);
+      pos_ = end_;
+      if (terminated != nullptr) *terminated = false;
+      return std::optional<std::string_view>(line);
+    }
+    if (pending > options_.max_line_bytes) {
+      // Over-long and still unterminated: drain to the next newline (or
+      // EOF) without buffering, so the caller can resume at the next
+      // record — same recovery contract as StreamFileReader.
+      while (true) {
+        const void* drain_nl =
+            std::memchr(buffer_.data() + pos_, '\n', end_ - pos_);
+        if (drain_nl != nullptr) {
+          pos_ = static_cast<size_t>(static_cast<const char*>(drain_nl) -
+                                     buffer_.data()) +
+                 1;
+          break;
+        }
+        pos_ = end_ = 0;
+        GT_ASSIGN_OR_RETURN(const bool more, Refill());
+        if (!more) {
+          pos_ = end_;
+          break;
+        }
+      }
+      ++line_number_;
+      return Status::ParseError("line exceeds " +
+                                std::to_string(options_.max_line_bytes) +
+                                " bytes")
+          .WithContext("line " + std::to_string(line_number_));
+    }
+    GT_ASSIGN_OR_RETURN(const bool more, Refill());
+    (void)more;  // EOF is observed via eof_ on the next iteration
+  }
+}
+
+}  // namespace graphtides

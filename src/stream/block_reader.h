@@ -1,0 +1,77 @@
+// Block-buffered line reading for the replayer hot path.
+//
+// StreamFileReader (stream/stream_file.h) pulls one character at a time
+// through an ifstream and copies every line into a std::string — robust,
+// but the per-byte virtual calls and per-line copies dominate a fast parse
+// loop. BlockLineReader reads the file in large blocks into one reusable
+// buffer and yields each line as a string_view into that buffer: steady
+// state does no per-line allocation and one read(2) per block.
+#ifndef GRAPHTIDES_STREAM_BLOCK_READER_H_
+#define GRAPHTIDES_STREAM_BLOCK_READER_H_
+
+#include <cstddef>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+
+namespace graphtides {
+
+struct BlockLineReaderOptions {
+  /// Bytes per read(2) call.
+  size_t block_bytes = 256 << 10;
+  /// Same bound as StreamFileReaderOptions: a line longer than this is a
+  /// ParseError (and is skipped to its newline), never an unbounded buffer.
+  size_t max_line_bytes = 1 << 20;
+};
+
+/// \brief Sequential zero-copy line reader over a file.
+///
+/// Usage:
+///   BlockLineReader reader;
+///   GT_RETURN_NOT_OK(reader.Open(path));
+///   while (true) {
+///     auto next = reader.NextLine();
+///     if (!next.ok()) ...;           // I/O error or over-long line
+///     if (!next->has_value()) break; // end of file
+///     Consume(**next);               // view valid until the next call
+///   }
+class BlockLineReader {
+ public:
+  explicit BlockLineReader(BlockLineReaderOptions options = {});
+  ~BlockLineReader();
+
+  BlockLineReader(const BlockLineReader&) = delete;
+  BlockLineReader& operator=(const BlockLineReader&) = delete;
+
+  Status Open(const std::string& path);
+
+  /// \brief The next line without its '\n', or nullopt at end of file.
+  ///
+  /// The returned view is invalidated by the next NextLine call. A final
+  /// line without a trailing newline is still returned; `terminated` (when
+  /// non-null) reports whether a '\n' was actually seen. Over-long lines
+  /// yield ParseError with the reader positioned at the following line.
+  Result<std::optional<std::string_view>> NextLine(bool* terminated = nullptr);
+
+  /// 1-based number of the last line returned (or skipped as over-long).
+  size_t line_number() const { return line_number_; }
+
+ private:
+  /// Refills the tail of the buffer, compacting the unconsumed remainder
+  /// to the front first. Returns false at end of file.
+  Result<bool> Refill();
+
+  BlockLineReaderOptions options_;
+  int fd_ = -1;
+  std::vector<char> buffer_;
+  size_t pos_ = 0;  // next unconsumed byte
+  size_t end_ = 0;  // one past the last valid byte
+  bool eof_ = false;
+  size_t line_number_ = 0;
+};
+
+}  // namespace graphtides
+
+#endif  // GRAPHTIDES_STREAM_BLOCK_READER_H_

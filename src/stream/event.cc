@@ -211,7 +211,7 @@ std::string Event::ToCsvLine() const {
   return FormatCsvLine(fields);
 }
 
-namespace {
+std::string FormatEventLine(const Event& event) { return event.ToCsvLine(); }
 
 Result<EdgeId> ParseEdgeId(std::string_view s) {
   const size_t dash = s.find('-');
@@ -222,8 +222,6 @@ Result<EdgeId> ParseEdgeId(std::string_view s) {
   GT_ASSIGN_OR_RETURN(const uint64_t dst, ParseUint64(s.substr(dash + 1)));
   return EdgeId{src, dst};
 }
-
-}  // namespace
 
 Result<Event> ParseEventLine(std::string_view line) {
   const std::string_view trimmed = TrimWhitespace(line);

@@ -108,6 +108,13 @@ struct Event {
 /// '#' yield NotFound (callers skip those); malformed lines yield ParseError.
 Result<Event> ParseEventLine(std::string_view line);
 
+/// Renders the canonical stream-file line (no newline); identical bytes to
+/// `event.ToCsvLine()`. Inverse of ParseEventLine for every valid Event.
+std::string FormatEventLine(const Event& event);
+
+/// Parses a "src-dst" edge id; ParseError if malformed.
+Result<EdgeId> ParseEdgeId(std::string_view s);
+
 std::ostream& operator<<(std::ostream& os, const Event& e);
 
 }  // namespace graphtides

@@ -1,0 +1,223 @@
+#include "stream/event_view.h"
+
+#include <charconv>
+#include <cstdio>
+
+#include "common/string_util.h"
+
+namespace graphtides {
+
+namespace {
+
+/// Scans one CSV field of `line` starting at *i, honoring the same quoting
+/// rules as ParseCsvLine (common/csv.cc). On success *field views either
+/// into `line` (unquoted, or quoted without escapes) or into `scratch`
+/// (quoted with doubled quotes, unescaped by appending — the caller must
+/// have reserved enough scratch capacity that appends cannot reallocate),
+/// and *i is left on the terminating ',' or at end of line.
+Status ScanCsvField(std::string_view line, size_t* i, std::string* scratch,
+                    std::string_view* field) {
+  const size_t n = line.size();
+  size_t pos = *i;
+  if (pos < n && line[pos] == '"') {
+    ++pos;
+    const size_t content_start = pos;
+    bool has_escapes = false;
+    while (pos < n) {
+      if (line[pos] != '"') {
+        ++pos;
+      } else if (pos + 1 < n && line[pos + 1] == '"') {
+        has_escapes = true;
+        pos += 2;
+      } else {
+        break;  // closing quote
+      }
+    }
+    if (pos >= n) return Status::ParseError("unterminated quoted field");
+    if (!has_escapes) {
+      *field = line.substr(content_start, pos - content_start);
+    } else {
+      const size_t offset = scratch->size();
+      for (size_t j = content_start; j < pos; ++j) {
+        scratch->push_back(line[j]);
+        if (line[j] == '"') ++j;  // collapse the doubled quote
+      }
+      *field = std::string_view(*scratch).substr(offset);
+    }
+    ++pos;  // past the closing quote
+    if (pos < n && line[pos] != ',') {
+      return Status::ParseError("characters after closing quote");
+    }
+    *i = pos;
+    return Status::OK();
+  }
+  const size_t start = pos;
+  while (pos < n && line[pos] != ',') {
+    if (line[pos] == '"') {
+      return Status::ParseError("unexpected quote inside unquoted field");
+    }
+    ++pos;
+  }
+  *field = line.substr(start, pos - start);
+  *i = pos;
+  return Status::OK();
+}
+
+void AppendU64(uint64_t value, std::string* out) {
+  char buf[20];
+  const auto [end, ec] = std::to_chars(buf, buf + sizeof(buf), value);
+  (void)ec;
+  out->append(buf, static_cast<size_t>(end - buf));
+}
+
+void AppendI64(int64_t value, std::string* out) {
+  char buf[21];
+  const auto [end, ec] = std::to_chars(buf, buf + sizeof(buf), value);
+  (void)ec;
+  out->append(buf, static_cast<size_t>(end - buf));
+}
+
+/// Append-variant of EscapeCsvField (common/csv.cc): identical output
+/// bytes, no intermediate string.
+void AppendCsvField(std::string_view field, std::string* out) {
+  if (field.find_first_of(",\"\n\r") == std::string_view::npos) {
+    out->append(field);
+    return;
+  }
+  out->push_back('"');
+  for (char c : field) {
+    if (c == '"') out->push_back('"');
+    out->push_back(c);
+  }
+  out->push_back('"');
+}
+
+}  // namespace
+
+Event EventView::Materialize() const {
+  Event e;
+  e.type = type;
+  e.vertex = vertex;
+  e.edge = edge;
+  e.payload = std::string(payload);
+  e.rate_factor = rate_factor;
+  e.pause = pause;
+  return e;
+}
+
+void EventView::AppendLine(std::string* out) const {
+  out->append(EventTypeName(type));
+  out->push_back(',');
+  switch (type) {
+    case EventType::kAddVertex:
+    case EventType::kUpdateVertex:
+      AppendU64(vertex, out);
+      out->push_back(',');
+      AppendCsvField(payload, out);
+      break;
+    case EventType::kRemoveVertex:
+      AppendU64(vertex, out);
+      out->push_back(',');
+      break;
+    case EventType::kAddEdge:
+    case EventType::kUpdateEdge:
+      AppendU64(edge.src, out);
+      out->push_back('-');
+      AppendU64(edge.dst, out);
+      out->push_back(',');
+      AppendCsvField(payload, out);
+      break;
+    case EventType::kRemoveEdge:
+      AppendU64(edge.src, out);
+      out->push_back('-');
+      AppendU64(edge.dst, out);
+      out->push_back(',');
+      break;
+    case EventType::kMarker:
+      out->push_back(',');
+      AppendCsvField(payload, out);
+      break;
+    case EventType::kSetRate: {
+      out->push_back(',');
+      char buf[32];
+      const int len = std::snprintf(buf, sizeof(buf), "%g", rate_factor);
+      out->append(buf, static_cast<size_t>(len));
+      break;
+    }
+    case EventType::kPause:
+      out->push_back(',');
+      AppendI64(pause.millis(), out);
+      break;
+  }
+  out->push_back('\n');
+}
+
+Result<EventView> ParseEventLineView(std::string_view line,
+                                     std::string* scratch) {
+  const std::string_view trimmed = TrimWhitespace(line);
+  if (trimmed.empty() || trimmed.front() == '#') {
+    return Status::NotFound("blank or comment line");
+  }
+  if (trimmed.find('\0') != std::string_view::npos) {
+    return Status::ParseError("NUL byte in CSV input");
+  }
+  scratch->clear();
+  // Unescaped content is never longer than the input, so one reservation
+  // guarantees field views into scratch survive later appends.
+  if (scratch->capacity() < trimmed.size()) scratch->reserve(trimmed.size());
+
+  std::string_view fields[3];
+  size_t count = 0;
+  size_t i = 0;
+  while (true) {
+    std::string_view field;
+    GT_RETURN_NOT_OK(ScanCsvField(trimmed, &i, scratch, &field));
+    if (count < 3) fields[count] = field;
+    ++count;
+    if (i >= trimmed.size()) break;
+    ++i;  // skip the comma
+  }
+  if (count != 3) {
+    return Status::ParseError("expected 3 fields, got " +
+                              std::to_string(count));
+  }
+  GT_ASSIGN_OR_RETURN(const EventType type, EventTypeFromName(fields[0]));
+
+  EventView v;
+  v.type = type;
+  switch (type) {
+    case EventType::kAddVertex:
+    case EventType::kUpdateVertex:
+    case EventType::kRemoveVertex: {
+      GT_ASSIGN_OR_RETURN(v.vertex, ParseUint64(fields[1]));
+      v.payload = fields[2];
+      break;
+    }
+    case EventType::kAddEdge:
+    case EventType::kUpdateEdge:
+    case EventType::kRemoveEdge: {
+      GT_ASSIGN_OR_RETURN(v.edge, ParseEdgeId(fields[1]));
+      v.payload = fields[2];
+      break;
+    }
+    case EventType::kMarker:
+      v.payload = fields[2];
+      break;
+    case EventType::kSetRate: {
+      GT_ASSIGN_OR_RETURN(v.rate_factor, ParseDouble(fields[2]));
+      if (v.rate_factor <= 0.0) {
+        return Status::ParseError("rate factor must be positive");
+      }
+      break;
+    }
+    case EventType::kPause: {
+      GT_ASSIGN_OR_RETURN(const int64_t ms, ParseInt64(fields[2]));
+      if (ms < 0) return Status::ParseError("pause must be non-negative");
+      v.pause = Duration::FromMillis(ms);
+      break;
+    }
+  }
+  return v;
+}
+
+}  // namespace graphtides

@@ -1,0 +1,58 @@
+// Zero-copy event parsing for the replayer hot path.
+//
+// ParseEventLine (stream/event.h) allocates an Event with an owned payload
+// string per call — fine for tools and tests, too slow for a replayer that
+// must saturate hardware (§5.1). ParseEventLineView parses the same format
+// into an EventView whose payload is a string_view into the input line (or
+// into a caller-owned scratch buffer when CSV unescaping is required), so a
+// steady-state parse loop performs no allocation at all.
+//
+// The view parser accepts and rejects exactly the same lines as
+// ParseEventLine and produces identical field values; the property test in
+// tests/stream/event_property_test.cc holds the two byte-for-byte equal.
+#ifndef GRAPHTIDES_STREAM_EVENT_VIEW_H_
+#define GRAPHTIDES_STREAM_EVENT_VIEW_H_
+
+#include <string>
+#include <string_view>
+
+#include "common/result.h"
+#include "stream/event.h"
+
+namespace graphtides {
+
+/// \brief One parsed stream entry whose payload borrows from the input
+/// line or from the scratch buffer passed to ParseEventLineView.
+///
+/// Valid only as long as both the line and the scratch buffer are alive
+/// and unmodified. Materialize() copies into an owned Event.
+struct EventView {
+  EventType type = EventType::kAddVertex;
+  VertexId vertex = 0;
+  EdgeId edge;
+  std::string_view payload;
+  double rate_factor = 1.0;
+  Duration pause;
+
+  Event Materialize() const;
+
+  /// Appends the canonical stream-file rendering of this view (identical
+  /// bytes to Materialize().ToCsvLine()) plus a trailing '\n' to *out.
+  /// Appending instead of returning keeps batched serialization
+  /// allocation-free once *out has warmed up its capacity.
+  void AppendLine(std::string* out) const;
+};
+
+/// \brief Parses one stream-file line without allocating in steady state.
+///
+/// Same contract as ParseEventLine: blank/comment lines yield NotFound,
+/// malformed lines ParseError. `scratch` backs CSV unescaping of quoted
+/// fields and is cleared on every call; reusing one scratch string across
+/// calls makes repeated parsing allocation-free once its capacity has
+/// grown to the longest line seen.
+Result<EventView> ParseEventLineView(std::string_view line,
+                                     std::string* scratch);
+
+}  // namespace graphtides
+
+#endif  // GRAPHTIDES_STREAM_EVENT_VIEW_H_

@@ -5,6 +5,7 @@
 
 #include <chrono>
 #include <filesystem>
+#include <memory>
 #include <string>
 #include <thread>
 #include <vector>
@@ -14,6 +15,7 @@
 #include "harness/run_watchdog.h"
 #include "replayer/event_sink.h"
 #include "replayer/replayer.h"
+#include "replayer/sharded_replayer.h"
 #include "stream/event.h"
 
 namespace graphtides {
@@ -356,6 +358,127 @@ TEST_F(CheckpointTest, ResumeBeyondEndOfStreamIsInvalidArgument) {
   auto stats = replayer.Replay(events, &collected.sink, &cp);
   ASSERT_FALSE(stats.ok());
   EXPECT_TRUE(stats.status().IsInvalidArgument());
+}
+
+// ---------------------------------------------------------------------------
+// Sharded checkpoint/resume: the hash partition is deterministic, so a
+// sharded run interrupted mid-epoch and resumed with fresh sinks must
+// concatenate byte-identically with the uninterrupted sharded run in every
+// lane, and the final counters must match.
+// ---------------------------------------------------------------------------
+
+struct ShardedCollected {
+  std::vector<std::vector<std::string>> lane_lines;
+  std::vector<std::unique_ptr<CallbackSink>> sinks;
+  std::vector<EventSink*> sink_ptrs;
+
+  explicit ShardedCollected(size_t shards) : lane_lines(shards) {
+    for (size_t s = 0; s < shards; ++s) {
+      sinks.push_back(std::make_unique<CallbackSink>([this, s](const Event& e) {
+        lane_lines[s].push_back(e.ToCsvLine());
+        return Status::OK();
+      }));
+      sink_ptrs.push_back(sinks.back().get());
+    }
+  }
+};
+
+ShardedReplayerOptions FastShardedOptions(size_t shards) {
+  ShardedReplayerOptions options;
+  options.shards = shards;
+  options.total_rate_eps = 4e6;
+  return options;
+}
+
+TEST_F(CheckpointTest, ShardedResumeConcatenatesByteIdenticallyPerLane) {
+  constexpr size_t kShards = 4;
+  const std::vector<Event> events = SyntheticStream(4000);
+
+  ShardedCollected baseline(kShards);
+  ShardedReplayer full(FastShardedOptions(kShards));
+  auto full_stats = full.Replay(events, baseline.sink_ptrs);
+  ASSERT_TRUE(full_stats.ok()) << full_stats.status();
+  ASSERT_EQ(full_stats->aggregate.events_delivered, 4000u);
+
+  // Stop points deliberately straddle marker/control epochs and batch
+  // boundaries (1777 is mid-epoch and mid-batch).
+  for (const uint64_t stop : {1ul, 500ul, 1777ul, 3500ul}) {
+    SCOPED_TRACE("stop_after_events=" + std::to_string(stop));
+    const std::string cp_path = Path("sharded_resume_" + std::to_string(stop));
+
+    ShardedCollected part1(kShards);
+    ShardedReplayerOptions opts1 = FastShardedOptions(kShards);
+    opts1.stop_after_events = stop;
+    opts1.checkpoint_path = cp_path;
+    ShardedReplayer replayer1(opts1);
+    auto stats1 = replayer1.Replay(events, part1.sink_ptrs);
+    ASSERT_TRUE(stats1.ok()) << stats1.status();
+    EXPECT_TRUE(stats1->aggregate.stopped_early);
+    EXPECT_EQ(stats1->aggregate.events_delivered, stop);
+
+    auto cp = ReplayCheckpoint::LoadFrom(cp_path);
+    ASSERT_TRUE(cp.ok()) << cp.status();
+    EXPECT_EQ(cp->events_delivered, stop);
+
+    ShardedCollected part2(kShards);
+    ShardedReplayer replayer2(FastShardedOptions(kShards));
+    auto stats2 = replayer2.Replay(events, part2.sink_ptrs, &*cp);
+    ASSERT_TRUE(stats2.ok()) << stats2.status();
+
+    EXPECT_EQ(stats2->aggregate.events_delivered,
+              full_stats->aggregate.events_delivered);
+    EXPECT_EQ(stats2->aggregate.markers, full_stats->aggregate.markers);
+    EXPECT_EQ(stats2->aggregate.controls, full_stats->aggregate.controls);
+    EXPECT_EQ(stats2->aggregate.entries_consumed,
+              full_stats->aggregate.entries_consumed);
+
+    for (size_t s = 0; s < kShards; ++s) {
+      std::vector<std::string> combined = part1.lane_lines[s];
+      combined.insert(combined.end(), part2.lane_lines[s].begin(),
+                      part2.lane_lines[s].end());
+      EXPECT_EQ(combined, baseline.lane_lines[s]) << "lane " << s;
+    }
+  }
+}
+
+TEST_F(CheckpointTest, ShardedPeriodicCheckpointsAreQuiescedAndFinal) {
+  constexpr size_t kShards = 4;
+  const std::vector<Event> events = SyntheticStream(2000);
+  const std::string cp_path = Path("sharded_periodic");
+
+  ShardedCollected collected(kShards);
+  ShardedReplayerOptions opts = FastShardedOptions(kShards);
+  opts.checkpoint_every = 250;
+  opts.checkpoint_path = cp_path;
+  ShardedReplayer replayer(opts);
+  auto stats = replayer.Replay(events, collected.sink_ptrs);
+  ASSERT_TRUE(stats.ok()) << stats.status();
+  // 8 periodic barrier checkpoints plus the final record.
+  EXPECT_GE(stats->aggregate.checkpoints_written, 9u);
+
+  auto cp = ReplayCheckpoint::LoadFrom(cp_path);
+  ASSERT_TRUE(cp.ok());
+  EXPECT_EQ(cp->events_delivered, 2000u);
+  EXPECT_EQ(cp->entries_consumed, stats->aggregate.entries_consumed);
+}
+
+TEST_F(CheckpointTest, ShardedCheckpointRecordsMidStreamRateFactor) {
+  constexpr size_t kShards = 2;
+  // SyntheticStream raises the factor to 2.0 at the quarter mark, so a
+  // checkpoint taken past it must carry factor 2.0 for the resumed lanes.
+  const std::vector<Event> events = SyntheticStream(2000);
+  const std::string cp_path = Path("sharded_factor");
+
+  ShardedCollected collected(kShards);
+  ShardedReplayerOptions opts = FastShardedOptions(kShards);
+  opts.stop_after_events = 1200;
+  opts.checkpoint_path = cp_path;
+  ShardedReplayer replayer(opts);
+  ASSERT_TRUE(replayer.Replay(events, collected.sink_ptrs).ok());
+
+  auto cp = ReplayCheckpoint::LoadFrom(cp_path);
+  ASSERT_TRUE(cp.ok());
+  EXPECT_DOUBLE_EQ(cp->rate_factor, 2.0);
 }
 
 }  // namespace

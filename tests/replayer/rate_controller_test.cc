@@ -63,6 +63,59 @@ TEST(RateControllerTest, LagMeasuredAgainstSchedule) {
   EXPECT_EQ(rate.Lag().millis(), 4);
 }
 
+// Drift audit: with a fractional interval (1e9 / rate not an integer
+// nanosecond count), the schedule must stay anchored to k * interval
+// instead of accumulating a per-event truncation error. Repeatedly adding
+// a truncated integer interval would drift by ~1/3 ns per event here —
+// several microseconds over the run — while the anchored schedule stays
+// within rounding (±0.5 ns) of the ideal for any k.
+TEST(RateControllerTest, NoCumulativeDriftOnFractionalIntervals) {
+  VirtualClock clock;
+  RateController rate(1000.0, &clock);
+  rate.NextDeadline();      // t = 0 anchors the schedule
+  rate.SetFactor(3.0);      // 333333.33... ns interval
+  const int events = 10000;
+  Timestamp last;
+  for (int i = 0; i < events; ++i) last = rate.NextDeadline();
+  const double ideal_nanos = events * (1e9 / 3000.0);
+  EXPECT_NEAR(static_cast<double>(last.nanos()), ideal_nanos, 1.0)
+      << "cumulative drift " << (ideal_nanos - last.nanos()) << " ns";
+}
+
+TEST(RateControllerTest, NoCumulativeDriftAtHighRate) {
+  // 3 MHz schedule: a 333.33 ns interval truncated to 333 ns would lose
+  // 33 us over 100k events; the anchored schedule must not.
+  VirtualClock clock;
+  RateController rate(3.0e6, &clock);
+  const int events = 100000;
+  Timestamp last;
+  for (int i = 0; i < events; ++i) last = rate.NextDeadline();
+  const double ideal_nanos = (events - 1) * (1e9 / 3.0e6);
+  EXPECT_NEAR(static_cast<double>(last.nanos()), ideal_nanos, 1.0)
+      << "cumulative drift " << (ideal_nanos - last.nanos()) << " ns";
+}
+
+TEST(RateControllerTest, FactorChangesKeepScheduleExact) {
+  // Re-anchoring at SetFactor must not inherit drift from the previous
+  // segment nor introduce a discontinuity beyond rounding.
+  VirtualClock clock;
+  RateController rate(1000.0, &clock);
+  rate.NextDeadline();  // t = 0
+  Timestamp last;
+  double ideal = 0.0;
+  const double factors[] = {3.0, 7.0, 1.0, 0.3};
+  for (const double factor : factors) {
+    rate.SetFactor(factor);
+    for (int i = 0; i < 1000; ++i) last = rate.NextDeadline();
+    ideal += 1000 * (1e9 / (1000.0 * factor));
+    EXPECT_NEAR(static_cast<double>(last.nanos()), ideal, 2.0)
+        << "after factor " << factor;
+    // Re-sync the ideal to the rounded actual so per-segment rounding
+    // (sub-ns) does not accumulate into the comparison itself.
+    ideal = static_cast<double>(last.nanos());
+  }
+}
+
 TEST(RateControllerTest, WallClockWaitHitsTargetRate) {
   MonotonicClock clock;
   RateController rate(20000.0, &clock);  // 50 us interval

@@ -1,0 +1,187 @@
+// Property-based tests for the stream format: FormatEventLine and
+// ParseEventLine are inverses over randomly generated valid events, and the
+// zero-copy view parser (ParseEventLineView) agrees with the owning parser
+// byte-for-byte on every line the generator can produce.
+#include <cctype>
+#include <cstdint>
+#include <iterator>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/random.h"
+#include "gtest/gtest.h"
+#include "stream/event.h"
+#include "stream/event_view.h"
+
+namespace graphtides {
+namespace {
+
+constexpr uint64_t kSeed = 0x6772747031ULL;  // stable across runs
+constexpr int kIterations = 5000;
+
+bool IsCsvQuotable(char c) {
+  return c == ',' || c == '"' || c == '\n' || c == '\r';
+}
+
+// A payload round-trips through the line format iff the formatter's
+// quoting protects it from the parser's whitespace trim: either it has no
+// whitespace at the edges, or it contains a character that forces quoting.
+std::string RandomPayload(Rng& rng) {
+  static constexpr std::string_view kAlphabet =
+      "abcdefghijklmnopqrstuvwxyzABCDEFGHIJKLMNOPQRSTUVWXYZ0123456789"
+      " \t,\"\n\r-_.:;!?#{}[]()'/\\|@$%^&*+=~`<>";
+  const uint64_t mode = rng.NextBounded(8);
+  if (mode == 0) return "";
+  size_t length = 1 + rng.NextBounded(24);
+  if (mode == 1) length = 200 + rng.NextBounded(2000);  // overlong payloads
+  std::string payload;
+  payload.reserve(length);
+  bool quotable = false;
+  for (size_t i = 0; i < length; ++i) {
+    const char c = kAlphabet[rng.NextBounded(kAlphabet.size())];
+    quotable = quotable || IsCsvQuotable(c);
+    payload.push_back(c);
+  }
+  if (!quotable) {
+    // Unquoted payloads must survive TrimWhitespace on the parse side.
+    if (std::isspace(static_cast<unsigned char>(payload.front()))) {
+      payload.front() = 'x';
+    }
+    if (std::isspace(static_cast<unsigned char>(payload.back()))) {
+      payload.back() = 'x';
+    }
+    // '#' only comments a line at position 0, and the command name comes
+    // first, so payloads may contain '#' freely.
+  }
+  return payload;
+}
+
+VertexId RandomVertexId(Rng& rng) {
+  switch (rng.NextBounded(3)) {
+    case 0:
+      return rng.NextBounded(100);  // collision-heavy, generator-like ids
+    case 1:
+      return rng.NextBounded(1u << 20);
+    default:
+      return rng.NextU64();  // full 64-bit range incl. UINT64_MAX edge
+  }
+}
+
+// Rate factors must survive the formatter's "%g" (6 significant digits),
+// so the generator draws from dyadic and short-decimal values.
+double RandomRateFactor(Rng& rng) {
+  static constexpr double kFactors[] = {0.125, 0.5,  0.75, 1.0,  1.5,
+                                        2.0,   2.25, 3.0,  10.0, 512.0};
+  return kFactors[rng.NextBounded(std::size(kFactors))];
+}
+
+Event RandomEvent(Rng& rng) {
+  switch (rng.NextBounded(9)) {
+    case 0:
+      return Event::AddVertex(RandomVertexId(rng), RandomPayload(rng));
+    case 1:
+      return Event::RemoveVertex(RandomVertexId(rng));
+    case 2:
+      return Event::UpdateVertex(RandomVertexId(rng), RandomPayload(rng));
+    case 3:
+      return Event::AddEdge(RandomVertexId(rng), RandomVertexId(rng),
+                            RandomPayload(rng));
+    case 4:
+      return Event::RemoveEdge(RandomVertexId(rng), RandomVertexId(rng));
+    case 5:
+      return Event::UpdateEdge(RandomVertexId(rng), RandomVertexId(rng),
+                               RandomPayload(rng));
+    case 6:
+      return Event::Marker(RandomPayload(rng));
+    case 7:
+      return Event::SetRate(RandomRateFactor(rng));
+    default:
+      return Event::Pause(
+          Duration::FromMillis(static_cast<int64_t>(rng.NextBounded(100000))));
+  }
+}
+
+TEST(EventPropertyTest, ParseInvertsFormatOnRandomEvents) {
+  Rng rng(kSeed);
+  for (int i = 0; i < kIterations; ++i) {
+    const Event event = RandomEvent(rng);
+    const std::string line = FormatEventLine(event);
+    const Result<Event> parsed = ParseEventLine(line);
+    ASSERT_TRUE(parsed.ok()) << "iteration " << i << ": " << parsed.status()
+                             << "\nline: " << line;
+    EXPECT_EQ(*parsed, event) << "iteration " << i << "\nline: " << line;
+  }
+}
+
+TEST(EventPropertyTest, FormatIsAFixpointUnderReparse) {
+  // format ∘ parse ∘ format == format: the canonical rendering is stable.
+  Rng rng(kSeed + 1);
+  for (int i = 0; i < kIterations; ++i) {
+    const std::string line = FormatEventLine(RandomEvent(rng));
+    const Result<Event> parsed = ParseEventLine(line);
+    ASSERT_TRUE(parsed.ok()) << line;
+    EXPECT_EQ(FormatEventLine(*parsed), line) << "iteration " << i;
+  }
+}
+
+TEST(EventPropertyTest, ViewParserAgreesWithOwningParserOnValidLines) {
+  Rng rng(kSeed + 2);
+  std::string scratch;
+  for (int i = 0; i < kIterations; ++i) {
+    const Event event = RandomEvent(rng);
+    const std::string line = FormatEventLine(event);
+    const Result<EventView> view = ParseEventLineView(line, &scratch);
+    ASSERT_TRUE(view.ok()) << "iteration " << i << ": " << view.status()
+                           << "\nline: " << line;
+    EXPECT_EQ(view->Materialize(), event) << "iteration " << i
+                                          << "\nline: " << line;
+  }
+}
+
+TEST(EventPropertyTest, ViewAppendLineReproducesCanonicalBytes) {
+  Rng rng(kSeed + 3);
+  std::string scratch;
+  std::string out;
+  for (int i = 0; i < kIterations; ++i) {
+    const Event event = RandomEvent(rng);
+    const std::string line = FormatEventLine(event);
+    const Result<EventView> view = ParseEventLineView(line, &scratch);
+    ASSERT_TRUE(view.ok()) << line;
+    out.clear();
+    view->AppendLine(&out);
+    EXPECT_EQ(out, line + "\n") << "iteration " << i;
+  }
+}
+
+TEST(EventPropertyTest, ViewParserHandlesQuotedFieldsViaScratch) {
+  // Payloads with escapes land in the scratch buffer; several parses
+  // through one scratch must not invalidate each other's results within a
+  // call, and the scratch resets between calls.
+  std::string scratch;
+  const Result<EventView> view =
+      ParseEventLineView("MARKER,,\"a\"\"b\"\"c\"", &scratch);
+  ASSERT_TRUE(view.ok()) << view.status();
+  EXPECT_EQ(view->payload, "a\"b\"c");
+  const Result<EventView> second =
+      ParseEventLineView("CREATE_VERTEX,7,\"x,y\"", &scratch);
+  ASSERT_TRUE(second.ok()) << second.status();
+  EXPECT_EQ(second->payload, "x,y");
+  EXPECT_EQ(second->vertex, 7u);
+}
+
+TEST(EventPropertyTest, ViewParserLeavesUnquotedPayloadInPlace) {
+  // Zero-copy claim: an unquoted payload views directly into the input.
+  const std::string line = "UPDATE_VERTEX,42,hello";
+  std::string scratch;
+  const Result<EventView> view = ParseEventLineView(line, &scratch);
+  ASSERT_TRUE(view.ok());
+  const char* line_begin = line.data();
+  const char* line_end = line.data() + line.size();
+  EXPECT_GE(view->payload.data(), line_begin);
+  EXPECT_LE(view->payload.data() + view->payload.size(), line_end);
+  EXPECT_TRUE(scratch.empty());
+}
+
+}  // namespace
+}  // namespace graphtides

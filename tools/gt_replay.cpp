@@ -21,8 +21,15 @@
 //
 // Flags:
 //   --in FILE              stream file (required)
-//   --rate R               base emission rate in events/s (default 1000)
-//   --tcp HOST:PORT        stream over TCP instead of stdout
+//   --rate R               base emission rate in events/s (default 1000);
+//                          with --shards N this is the TOTAL rate, split
+//                          evenly across shard lanes
+//   --shards N             partition the stream into N parallel lanes
+//                          (vertices by id, edges by source); each lane has
+//                          its own emitter thread and sink connection, and
+//                          markers/controls form cross-shard barriers
+//   --tcp HOST:PORT        stream over TCP instead of stdout; with
+//                          --shards N, N connections to the same endpoint
 //   --ignore-controls      do not honor SET_RATE / PAUSE events
 //   --marker-log FILE      write marker + telemetry records (CSV)
 //   --chaos-seed S         chaos schedule seed (default 1)
@@ -44,8 +51,10 @@
 //   --watchdog-ms M        abort the run when no event is delivered for
 //                          M milliseconds (0 = no watchdog)
 #include <cstdio>
+#include <functional>
 #include <memory>
 #include <optional>
+#include <vector>
 
 #include "common/cancellation.h"
 #include "common/flags.h"
@@ -56,6 +65,7 @@
 #include "replayer/checkpoint.h"
 #include "replayer/replayer.h"
 #include "replayer/resilient_sink.h"
+#include "replayer/sharded_replayer.h"
 #include "replayer/tcp.h"
 
 using namespace graphtides;
@@ -74,17 +84,18 @@ int main(int argc, char** argv) {
   if (!flags_or.ok()) return Fail(flags_or.status());
   const Flags& flags = *flags_or;
   const auto unknown = flags.UnknownFlags(
-      {"in", "rate", "tcp", "ignore-controls", "marker-log", "chaos-seed",
-       "chaos-fail", "chaos-disconnect", "chaos-stall", "chaos-stall-ms",
-       "retry-budget", "retry-backoff-ms", "deliver-timeout-ms", "on-failure",
-       "checkpoint-file", "checkpoint-every", "resume-from", "stop-after",
-       "watchdog-ms", "help"});
+      {"in", "rate", "shards", "tcp", "ignore-controls", "marker-log",
+       "chaos-seed", "chaos-fail", "chaos-disconnect", "chaos-stall",
+       "chaos-stall-ms", "retry-budget", "retry-backoff-ms",
+       "deliver-timeout-ms", "on-failure", "checkpoint-file",
+       "checkpoint-every", "resume-from", "stop-after", "watchdog-ms",
+       "help"});
   if (!unknown.empty()) {
     return Fail(Status::InvalidArgument("unknown flag --" + unknown[0]));
   }
   if (flags.GetBool("help")) {
     std::printf(
-        "usage: gt_replay --in FILE --rate R [--tcp HOST:PORT] "
+        "usage: gt_replay --in FILE --rate R [--shards N] [--tcp HOST:PORT] "
         "[--ignore-controls] [--marker-log FILE]\n"
         "       [--chaos-seed S --chaos-fail P --chaos-disconnect P "
         "--chaos-stall P --chaos-stall-ms M]\n"
@@ -102,6 +113,13 @@ int main(int argc, char** argv) {
   if (*rate <= 0.0) {
     return Fail(Status::InvalidArgument("--rate must be positive"));
   }
+
+  auto shards_flag = flags.GetInt("shards", 1);
+  if (!shards_flag.ok()) return Fail(shards_flag.status());
+  if (*shards_flag < 1) {
+    return Fail(Status::InvalidArgument("--shards must be >= 1"));
+  }
+  const size_t shards = static_cast<size_t>(*shards_flag);
 
   auto chaos_seed = flags.GetInt("chaos-seed", 1);
   auto chaos_fail = flags.GetDouble("chaos-fail", 0.0);
@@ -158,11 +176,14 @@ int main(int argc, char** argv) {
   options.checkpoint_every = static_cast<uint64_t>(*checkpoint_every);
   options.stop_after_events = static_cast<uint64_t>(*stop_after);
 
-  // Sink chain: transport -> [ChaosSink] -> [ResilientSink] -> replayer.
-  TcpSink tcp;
-  std::unique_ptr<PipeSink> pipe;
-  EventSink* transport = nullptr;
+  // Sink chain, one per shard: transport -> [ChaosSink] -> [ResilientSink].
+  // With --shards 1 this degenerates to the classic single chain; with
+  // N > 1, each lane gets its own transport (own TCP connection, or a
+  // PipeSink sharing stdout — serialized batches keep lines atomic) and
+  // its own chaos schedule (seed + shard) and retry state.
   const std::string tcp_spec = flags.GetString("tcp", "");
+  std::string tcp_host;
+  uint16_t tcp_port = 0;
   if (!tcp_spec.empty()) {
     const auto parts = SplitString(tcp_spec, ':');
     if (parts.size() != 2) {
@@ -172,39 +193,57 @@ int main(int argc, char** argv) {
     if (!port.ok() || *port > 65535) {
       return Fail(Status::InvalidArgument("bad port in --tcp"));
     }
-    if (Status st = tcp.Connect(std::string(parts[0]),
-                                static_cast<uint16_t>(*port));
-        !st.ok()) {
-      return Fail(st);
-    }
-    transport = &tcp;
-  } else {
-    if (*chaos_disconnect > 0.0) {
-      std::fprintf(stderr,
-                   "gt_replay: --chaos-disconnect requires --tcp; ignored\n");
-      chaos_options.disconnect_probability = 0.0;
-    }
-    pipe = std::make_unique<PipeSink>(stdout);
-    transport = pipe.get();
+    tcp_host = std::string(parts[0]);
+    tcp_port = static_cast<uint16_t>(*port);
+  } else if (*chaos_disconnect > 0.0) {
+    std::fprintf(stderr,
+                 "gt_replay: --chaos-disconnect requires --tcp; ignored\n");
+    chaos_options.disconnect_probability = 0.0;
   }
 
-  std::optional<ChaosSink> chaos;
-  EventSink* sink = transport;
-  if (chaos_enabled) {
-    ChaosSink::DisconnectFn disconnect;
-    if (transport == &tcp) disconnect = [&tcp] { tcp.Sever(); };
-    chaos.emplace(sink, chaos_options, std::move(disconnect));
-    sink = &*chaos;
+  std::vector<std::unique_ptr<TcpSink>> tcp_sinks;
+  std::vector<std::unique_ptr<PipeSink>> pipe_sinks;
+  std::vector<std::unique_ptr<ChaosSink>> chaos_sinks;
+  std::vector<std::unique_ptr<ResilientSink>> resilient_sinks;
+  std::vector<EventSink*> lane_sinks;
+  for (size_t s = 0; s < shards; ++s) {
+    EventSink* sink = nullptr;
+    TcpSink* tcp = nullptr;
+    if (!tcp_spec.empty()) {
+      tcp_sinks.push_back(std::make_unique<TcpSink>());
+      tcp = tcp_sinks.back().get();
+      if (Status st = tcp->Connect(tcp_host, tcp_port); !st.ok()) {
+        return Fail(st.WithContext("shard " + std::to_string(s)));
+      }
+      sink = tcp;
+    } else {
+      pipe_sinks.push_back(std::make_unique<PipeSink>(stdout));
+      sink = pipe_sinks.back().get();
+    }
+    if (chaos_enabled) {
+      ChaosOptions per_shard = chaos_options;
+      per_shard.seed = chaos_options.seed + s;  // independent schedules
+      ChaosSink::DisconnectFn disconnect;
+      if (tcp != nullptr) disconnect = [tcp] { tcp->Sever(); };
+      chaos_sinks.push_back(std::make_unique<ChaosSink>(
+          sink, per_shard, std::move(disconnect)));
+      sink = chaos_sinks.back().get();
+    }
+    if (resilience_enabled) {
+      ResilientSink::ReconnectFn reconnect;
+      if (tcp != nullptr) reconnect = [tcp] { return tcp->Reconnect(); };
+      resilient_sinks.push_back(std::make_unique<ResilientSink>(
+          sink, resilient_options, std::move(reconnect)));
+      sink = resilient_sinks.back().get();
+    }
+    lane_sinks.push_back(sink);
   }
-  std::optional<ResilientSink> resilient;
   if (resilience_enabled) {
-    ResilientSink::ReconnectFn reconnect;
-    if (transport == &tcp) reconnect = [&tcp] { return tcp.Reconnect(); };
-    resilient.emplace(sink, resilient_options, std::move(reconnect));
-    sink = &*resilient;
     // Snapshot the retry-jitter RNG into checkpoints so a resumed run
     // replays the same backoff schedule an uninterrupted run would.
-    options.checkpoint_rng = resilient->mutable_jitter_rng();
+    // (Sharded runs snapshot shard 0's; the other lanes draw fresh jitter
+    // on resume, which only perturbs backoff timing, never delivery.)
+    options.checkpoint_rng = resilient_sinks[0]->mutable_jitter_rng();
   }
 
   std::optional<ReplayCheckpoint> resume;
@@ -220,7 +259,25 @@ int main(int argc, char** argv) {
                  static_cast<unsigned long long>(resume->events_delivered));
   }
 
-  StreamReplayer replayer(options);
+  std::optional<StreamReplayer> single;
+  std::optional<ShardedReplayer> sharded;
+  std::function<uint64_t()> progress_fn;
+  if (shards == 1) {
+    single.emplace(options);
+    progress_fn = [&] { return single->progress(); };
+  } else {
+    ShardedReplayerOptions sharded_options;
+    sharded_options.shards = shards;
+    sharded_options.total_rate_eps = *rate;
+    sharded_options.honor_control_events = options.honor_control_events;
+    sharded_options.cancel = &cancel;
+    sharded_options.checkpoint_path = options.checkpoint_path;
+    sharded_options.checkpoint_every = options.checkpoint_every;
+    sharded_options.stop_after_events = options.stop_after_events;
+    sharded_options.checkpoint_rng = options.checkpoint_rng;
+    sharded.emplace(sharded_options);
+    progress_fn = [&] { return sharded->progress(); };
+  }
 
   RunWatchdog watchdog([&] {
     WatchdogOptions w;
@@ -228,20 +285,29 @@ int main(int argc, char** argv) {
     return w;
   }());
   if (*watchdog_ms > 0) {
-    watchdog.Arm([&replayer] { return replayer.progress(); },
-                 [&cancel, &tcp, transport](uint64_t last, Duration stalled) {
+    watchdog.Arm(progress_fn,
+                 [&cancel, &tcp_sinks](uint64_t last, Duration stalled) {
                    cancel.RequestCancel("watchdog: no progress past event " +
                                         std::to_string(last) + " for " +
                                         std::to_string(stalled.seconds()) +
                                         " s");
                    // Unblock a send() stuck on a wedged receiver; shutdown
                    // only, the emitter thread still owns the close.
-                   if (transport == &tcp) tcp.Abort();
+                   for (auto& tcp : tcp_sinks) tcp->Abort();
                  });
   }
 
-  Result<ReplayStats> stats =
-      replayer.ReplayFile(in, sink, resume ? &*resume : nullptr);
+  std::vector<ReplayStats> per_shard_stats;
+  Result<ReplayStats> stats = [&]() -> Result<ReplayStats> {
+    if (shards == 1) {
+      return single->ReplayFile(in, lane_sinks[0], resume ? &*resume : nullptr);
+    }
+    auto sharded_stats =
+        sharded->ReplayFile(in, lane_sinks, resume ? &*resume : nullptr);
+    if (!sharded_stats.ok()) return sharded_stats.status();
+    per_shard_stats = std::move(sharded_stats->per_shard);
+    return std::move(sharded_stats->aggregate);
+  }();
   watchdog.Disarm();
   if (!stats.ok()) {
     if (stats.status().IsCancelled() && !options.checkpoint_path.empty()) {
@@ -257,6 +323,11 @@ int main(int argc, char** argv) {
                "%zu markers, %zu controls)\n",
                stats->events_delivered, stats->Elapsed().seconds(),
                stats->AchievedRateEps(), stats->markers, stats->controls);
+  for (size_t s = 0; s < per_shard_stats.size(); ++s) {
+    std::fprintf(stderr, "gt_replay:   shard %zu: %zu events (%.0f ev/s)\n",
+                 s, per_shard_stats[s].events_delivered,
+                 per_shard_stats[s].AchievedRateEps());
+  }
   if (stats->stopped_early) {
     std::fprintf(stderr, "gt_replay: stopped early at --stop-after %llu\n",
                  static_cast<unsigned long long>(options.stop_after_events));
