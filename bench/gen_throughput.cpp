@@ -1,0 +1,354 @@
+// Generator pipeline throughput — the fig3a-style harness for the stream
+// generation side (§5.1: generation must comfortably outrun the replayer so
+// workload preparation never bounds an experiment).
+//
+// Three configurations over the same social-network workload:
+//
+//   seed-inmem   the seed's path: Generate() into a vector, then per-event
+//                std::to_string/vector<string> serialization (a faithful
+//                local copy of the seed formatter) and one fwrite per line
+//   inmem        Generate() into a vector, then the shared std::to_chars
+//                serializer into a reused block buffer, one fwrite per block
+//   pipeline     GenerateTo(PipelinedWriterConsumer): generation overlapped
+//                with serialization + I/O on a writer thread, batch-arena
+//                handoff, one fwrite per batch, constant memory
+//
+// A serialize-only section isolates the formatter change (the events/s of
+// turning an in-memory stream into bytes), where the legacy allocation-per-
+// field path is slowest.
+//
+//   --quick                ~2 s run: small workload, fewer repetitions
+//   --json PATH            write results as JSON (one entry per line)
+//   --check-baseline PATH  compare against a previous --json file; exit 1
+//                          if any configuration lost > 20% events/s
+#include <cstdio>
+
+#include <algorithm>
+#include <fstream>
+#include <sstream>
+#include <thread>
+#include <vector>
+
+#include "common/clock.h"
+#include "common/csv.h"
+#include "common/flags.h"
+#include "common/stats.h"
+#include "generator/models/social_network_model.h"
+#include "generator/stream_generator.h"
+#include "generator/stream_pipeline.h"
+#include "harness/report.h"
+#include "stream/event.h"
+
+using namespace graphtides;
+
+namespace {
+
+StreamGeneratorOptions BenchOptions(size_t rounds) {
+  StreamGeneratorOptions options;
+  options.rounds = rounds;
+  options.seed = 3;
+  options.marker_interval = 1000;
+  return options;
+}
+
+/// The seed's Event::ToCsvLine, kept verbatim as the measurement baseline:
+/// a vector<string> of fields built with std::to_string / string concat,
+/// joined by FormatCsvLine.
+std::string SeedFormatEventLine(const Event& e) {
+  std::vector<std::string> fields;
+  fields.emplace_back(EventTypeName(e.type));
+  switch (e.type) {
+    case EventType::kAddVertex:
+    case EventType::kUpdateVertex:
+      fields.push_back(std::to_string(e.vertex));
+      fields.push_back(e.payload);
+      break;
+    case EventType::kRemoveVertex:
+      fields.push_back(std::to_string(e.vertex));
+      fields.emplace_back();
+      break;
+    case EventType::kAddEdge:
+    case EventType::kUpdateEdge:
+      fields.push_back(std::to_string(e.edge.src) + "-" +
+                       std::to_string(e.edge.dst));
+      fields.push_back(e.payload);
+      break;
+    case EventType::kRemoveEdge:
+      fields.push_back(std::to_string(e.edge.src) + "-" +
+                       std::to_string(e.edge.dst));
+      fields.emplace_back();
+      break;
+    case EventType::kMarker:
+      fields.emplace_back();
+      fields.push_back(e.payload);
+      break;
+    case EventType::kSetRate: {
+      fields.emplace_back();
+      char buf[32];
+      std::snprintf(buf, sizeof(buf), "%g", e.rate_factor);
+      fields.emplace_back(buf);
+      break;
+    }
+    case EventType::kPause:
+      fields.emplace_back();
+      fields.push_back(std::to_string(e.pause.millis()));
+      break;
+  }
+  return FormatCsvLine(fields);
+}
+
+struct Run {
+  double events_per_sec = 0.0;
+  size_t events = 0;
+};
+
+/// Seed path: materialize the whole stream, then serialize each event to
+/// its own string and fwrite it line by line.
+Run RunSeedInmem(size_t rounds, FILE* out) {
+  SocialNetworkModel model;
+  StreamGenerator generator(&model, BenchOptions(rounds));
+  const Timestamp start = WallClock().Now();
+  auto stream = generator.Generate();
+  if (!stream.ok()) std::exit(1);
+  for (const Event& e : stream->events) {
+    const std::string line = SeedFormatEventLine(e);
+    std::fwrite(line.data(), 1, line.size(), out);
+    std::fputc('\n', out);
+  }
+  std::fflush(out);
+  const double elapsed = (WallClock().Now() - start).seconds();
+  return {static_cast<double>(stream->events.size()) / elapsed,
+          stream->events.size()};
+}
+
+/// In-memory generation + the shared to_chars serializer, block writes.
+Run RunInmemToChars(size_t rounds, FILE* out) {
+  SocialNetworkModel model;
+  StreamGenerator generator(&model, BenchOptions(rounds));
+  const Timestamp start = WallClock().Now();
+  auto stream = generator.Generate();
+  if (!stream.ok()) std::exit(1);
+  std::string block;
+  block.reserve(size_t{1} << 20);
+  for (const Event& e : stream->events) {
+    AppendEventLine(e, &block);
+    if (block.size() >= (size_t{1} << 20) - 512) {
+      std::fwrite(block.data(), 1, block.size(), out);
+      block.clear();
+    }
+  }
+  std::fwrite(block.data(), 1, block.size(), out);
+  std::fflush(out);
+  const double elapsed = (WallClock().Now() - start).seconds();
+  return {static_cast<double>(stream->events.size()) / elapsed,
+          stream->events.size()};
+}
+
+/// The pipelined writer: streaming generation, no materialized vector.
+Run RunPipeline(size_t rounds, FILE* out) {
+  SocialNetworkModel model;
+  StreamGenerator generator(&model, BenchOptions(rounds));
+  const Timestamp start = WallClock().Now();
+  PipelinedWriterConsumer writer(out);
+  auto summary = generator.GenerateTo(writer);
+  if (!summary.ok()) std::exit(1);
+  const double elapsed = (WallClock().Now() - start).seconds();
+  return {static_cast<double>(summary->total_events) / elapsed,
+          summary->total_events};
+}
+
+/// Serialize-only: events/s of formatting a pre-generated stream to bytes.
+Run RunSerializeOnly(const std::vector<Event>& events, bool legacy,
+                     FILE* out) {
+  const Timestamp start = WallClock().Now();
+  if (legacy) {
+    for (const Event& e : events) {
+      const std::string line = SeedFormatEventLine(e);
+      std::fwrite(line.data(), 1, line.size(), out);
+      std::fputc('\n', out);
+    }
+  } else {
+    std::string block;
+    block.reserve(size_t{1} << 20);
+    for (const Event& e : events) {
+      AppendEventLine(e, &block);
+      if (block.size() >= (size_t{1} << 20) - 512) {
+        std::fwrite(block.data(), 1, block.size(), out);
+        block.clear();
+      }
+    }
+    std::fwrite(block.data(), 1, block.size(), out);
+  }
+  std::fflush(out);
+  const double elapsed = (WallClock().Now() - start).seconds();
+  return {static_cast<double>(events.size()) / elapsed, events.size()};
+}
+
+struct Observation {
+  std::string config;
+  double events_per_sec = 0.0;
+};
+
+/// Median events/s over `repetitions` runs of `fn`.
+template <typename Fn>
+Observation Measure(const std::string& config, int repetitions, Fn&& fn) {
+  std::vector<double> rates;
+  for (int rep = 0; rep < repetitions; ++rep) {
+    FILE* devnull = std::fopen("/dev/null", "w");
+    const Run run = fn(devnull);
+    std::fclose(devnull);
+    rates.push_back(run.events_per_sec);
+  }
+  std::sort(rates.begin(), rates.end());
+  return {config, PercentileSorted(rates, 0.5)};
+}
+
+/// One result entry per line so CheckBaseline can re-read the file with
+/// sscanf instead of a JSON library (same convention as fig3a).
+void WriteJson(const std::string& path,
+               const std::vector<Observation>& results, size_t rounds,
+               bool quick) {
+  std::ofstream out(path);
+  if (!out.good()) {
+    std::fprintf(stderr, "cannot write %s\n", path.c_str());
+    std::exit(1);
+  }
+  out << "{\n";
+  out << "  \"bench\": \"gen_throughput\",\n";
+  out << "  \"host_cores\": " << std::thread::hardware_concurrency() << ",\n";
+  out << "  \"rounds\": " << rounds << ",\n";
+  out << "  \"quick\": " << (quick ? "true" : "false") << ",\n";
+  out << "  \"results\": [\n";
+  for (size_t i = 0; i < results.size(); ++i) {
+    char line[256];
+    std::snprintf(line, sizeof(line),
+                  "    {\"config\": \"%s\", \"events_per_sec\": %.1f}%s\n",
+                  results[i].config.c_str(), results[i].events_per_sec,
+                  i + 1 < results.size() ? "," : "");
+    out << line;
+  }
+  out << "  ]\n}\n";
+}
+
+/// Returns the number of configurations that regressed by more than 20%.
+int CheckBaseline(const std::string& path,
+                  const std::vector<Observation>& results) {
+  std::ifstream in(path);
+  if (!in.good()) {
+    std::fprintf(stderr, "cannot read baseline %s\n", path.c_str());
+    return 1;
+  }
+  int regressions = 0;
+  std::string line;
+  while (std::getline(in, line)) {
+    char config[64];
+    double baseline_eps = 0.0;
+    if (std::sscanf(line.c_str(),
+                    " {\"config\": \"%63[^\"]\", \"events_per_sec\": %lf",
+                    config, &baseline_eps) != 2) {
+      continue;
+    }
+    const auto it = std::find_if(
+        results.begin(), results.end(),
+        [&config](const Observation& r) { return r.config == config; });
+    if (it == results.end()) continue;
+    const double floor = 0.8 * baseline_eps;
+    if (it->events_per_sec < floor) {
+      std::fprintf(stderr,
+                   "REGRESSION %s: %.0f ev/s < 80%% of baseline %.0f ev/s\n",
+                   config, it->events_per_sec, baseline_eps);
+      ++regressions;
+    } else {
+      std::printf("baseline ok %s: %.0f ev/s vs baseline %.0f ev/s\n",
+                  config, it->events_per_sec, baseline_eps);
+    }
+  }
+  return regressions;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  auto flags_or = Flags::Parse(argc, argv);
+  if (!flags_or.ok()) {
+    std::fprintf(stderr, "%s\n", flags_or.status().ToString().c_str());
+    return 1;
+  }
+  const Flags& flags = *flags_or;
+  const bool quick = flags.GetBool("quick");
+  const std::string json_path = flags.GetString("json", "");
+  const std::string baseline_path = flags.GetString("check-baseline", "");
+
+  const size_t rounds = quick ? 150000 : 1000000;
+  const int reps = quick ? 3 : 5;
+
+  std::printf("%s", SectionHeader(
+      "Generator pipeline throughput (generation -> CSV bytes)").c_str());
+  std::printf("%s", ConfigBlock({
+      {"Workload", "social network model, marker every 1000 events"},
+      {"seed-inmem", "Generate() + per-event to_string serialization"},
+      {"inmem", "Generate() + to_chars block serialization"},
+      {"pipeline", "GenerateTo(PipelinedWriterConsumer), constant memory"},
+      {"Output", "/dev/null (stdio buffered)"},
+      {"Measurement", "median end-to-end events/s over repetitions"},
+  }).c_str());
+
+  std::vector<Observation> results;
+  results.push_back(Measure("seed-inmem", reps, [&](FILE* out) {
+    return RunSeedInmem(rounds, out);
+  }));
+  results.push_back(Measure("inmem", reps, [&](FILE* out) {
+    return RunInmemToChars(rounds, out);
+  }));
+  results.push_back(Measure("pipeline", reps, [&](FILE* out) {
+    return RunPipeline(rounds, out);
+  }));
+
+  // Serialize-only section over a pre-generated stream.
+  SocialNetworkModel model;
+  StreamGenerator generator(&model, BenchOptions(rounds));
+  auto stream = generator.Generate();
+  if (!stream.ok()) {
+    std::fprintf(stderr, "generation failed: %s\n",
+                 stream.status().ToString().c_str());
+    return 1;
+  }
+  const std::vector<Event>& events = stream->events;
+  results.push_back(Measure("serialize-seed", reps, [&](FILE* out) {
+    return RunSerializeOnly(events, /*legacy=*/true, out);
+  }));
+  results.push_back(Measure("serialize-tochars", reps, [&](FILE* out) {
+    return RunSerializeOnly(events, /*legacy=*/false, out);
+  }));
+
+  TextTable table({"config", "events/s"});
+  for (const Observation& r : results) {
+    table.AddRow({r.config, TextTable::FormatDouble(r.events_per_sec, 0)});
+  }
+  std::printf("%s", table.ToString().c_str());
+
+  auto rate_of = [&](const std::string& config) {
+    const auto it = std::find_if(
+        results.begin(), results.end(),
+        [&config](const Observation& r) { return r.config == config; });
+    return it == results.end() ? 0.0 : it->events_per_sec;
+  };
+  const double seed_e2e = rate_of("seed-inmem");
+  const double seed_ser = rate_of("serialize-seed");
+  if (seed_e2e > 0.0 && seed_ser > 0.0) {
+    std::printf("\nspeedup vs seed path: pipeline end-to-end %.2fx, "
+                "serialization %.2fx\n",
+                rate_of("pipeline") / seed_e2e,
+                rate_of("serialize-tochars") / seed_ser);
+  }
+  std::printf("host cores: %u\n", std::thread::hardware_concurrency());
+
+  if (!json_path.empty()) {
+    WriteJson(json_path, results, rounds, quick);
+    std::printf("results -> %s\n", json_path.c_str());
+  }
+  if (!baseline_path.empty()) {
+    if (CheckBaseline(baseline_path, results) > 0) return 1;
+  }
+  return 0;
+}

@@ -92,15 +92,19 @@ double Rng::NextExponential(double lambda) {
 }
 
 size_t Rng::NextWeighted(const std::vector<double>& weights) {
+  return NextWeighted(weights.data(), weights.size());
+}
+
+size_t Rng::NextWeighted(const double* weights, size_t n) {
   double total = 0.0;
-  for (double w : weights) total += w;
-  if (total <= 0.0) return weights.size();
+  for (size_t i = 0; i < n; ++i) total += weights[i];
+  if (total <= 0.0) return n;
   double x = NextDouble() * total;
-  for (size_t i = 0; i < weights.size(); ++i) {
+  for (size_t i = 0; i < n; ++i) {
     x -= weights[i];
     if (x < 0.0) return i;
   }
-  return weights.size() - 1;
+  return n - 1;
 }
 
 Rng Rng::Fork() { return Rng(NextU64()); }

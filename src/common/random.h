@@ -43,6 +43,10 @@ class Rng {
   /// Returns weights.size() if all weights are zero.
   size_t NextWeighted(const std::vector<double>& weights);
 
+  /// Same over a raw array — lets hot paths sample from stack buffers
+  /// without building a vector. Returns n if all weights are zero.
+  size_t NextWeighted(const double* weights, size_t n);
+
   /// Derives an independent child generator (for parallel components).
   Rng Fork();
 

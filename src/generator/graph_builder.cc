@@ -11,14 +11,14 @@ Result<VertexId> GraphBuilder::AddVertex(std::string state) {
 Status GraphBuilder::AddVertexWithId(VertexId id, std::string state) {
   GT_RETURN_NOT_OK(topology_->AddVertex(id));
   ctx_->BumpNextVertexId(id);
-  out_->push_back(Event::AddVertex(id, std::move(state)));
+  GT_RETURN_NOT_OK(out_->Consume(Event::AddVertex(id, std::move(state))));
   ++emitted_;
   return Status::OK();
 }
 
 Status GraphBuilder::AddEdge(VertexId src, VertexId dst, std::string state) {
   GT_RETURN_NOT_OK(topology_->AddEdge(src, dst));
-  out_->push_back(Event::AddEdge(src, dst, std::move(state)));
+  GT_RETURN_NOT_OK(out_->Consume(Event::AddEdge(src, dst, std::move(state))));
   ++emitted_;
   return Status::OK();
 }

@@ -1,12 +1,14 @@
 // GraphBuilder: the object handed to GeneratorModel::BootstrapGraph.
-// Emitting through the builder keeps the generated event list and the
+// Emitting through the builder keeps the generated event stream and the
 // topology shadow consistent.
 #ifndef GRAPHTIDES_GENERATOR_GRAPH_BUILDER_H_
 #define GRAPHTIDES_GENERATOR_GRAPH_BUILDER_H_
 
+#include <optional>
 #include <vector>
 
 #include "common/status.h"
+#include "generator/event_consumer.h"
 #include "generator/model.h"
 #include "generator/topology_index.h"
 #include "stream/event.h"
@@ -14,11 +16,21 @@
 namespace graphtides {
 
 /// \brief Emits bootstrap events and mirrors them into the topology index.
+///
+/// Events flow to an EventConsumer, so bootstrap output streams just like
+/// evolution output; the vector constructor wraps a CollectingConsumer for
+/// callers that want the events materialized.
 class GraphBuilder {
  public:
   GraphBuilder(TopologyIndex* topology, GeneratorContext* ctx,
-               std::vector<Event>* out)
+               EventConsumer* out)
       : topology_(topology), ctx_(ctx), out_(out) {}
+
+  GraphBuilder(TopologyIndex* topology, GeneratorContext* ctx,
+               std::vector<Event>* out)
+      : topology_(topology), ctx_(ctx), owned_(std::in_place, out) {
+    out_ = &*owned_;
+  }
 
   /// Creates a fresh vertex (id from the context counter) and returns it.
   Result<VertexId> AddVertex(std::string state = "");
@@ -33,7 +45,8 @@ class GraphBuilder {
  private:
   TopologyIndex* topology_;
   GeneratorContext* ctx_;
-  std::vector<Event>* out_;
+  EventConsumer* out_;
+  std::optional<CollectingConsumer> owned_;
   size_t emitted_ = 0;
 };
 

@@ -1,94 +1,103 @@
 #include "generator/stream_generator.h"
 
 #include <algorithm>
+#include <charconv>
+#include <cstring>
 
 namespace graphtides {
 
-Result<Event> StreamGenerator::BuildEvent(EventType type,
-                                          GeneratorContext& ctx,
-                                          TopologyIndex& topology) {
+bool StreamGenerator::BuildEvent(EventType type, GeneratorContext& ctx,
+                                 TopologyIndex& topology, Event* out,
+                                 Status* error) {
+  // Candidate misses (no selection, vetoes, duplicates) are the expected
+  // retry path of every round, so they return false without constructing a
+  // Status message — only genuine engine errors pay for one.
   switch (type) {
     case EventType::kAddVertex: {
       const auto id = model_->SelectVertex(type, ctx);
-      if (!id.has_value() || topology.HasVertex(*id)) {
-        return Status::NotFound("no vertex candidate");
-      }
-      return Event::AddVertex(*id, model_->InsertVertexState(*id, ctx));
+      if (!id.has_value() || topology.HasVertex(*id)) return false;
+      *out = Event::AddVertex(*id, model_->InsertVertexState(*id, ctx));
+      return true;
     }
     case EventType::kRemoveVertex: {
       const auto id = model_->SelectVertex(type, ctx);
-      if (!id.has_value() || !topology.HasVertex(*id)) {
-        return Status::NotFound("no vertex candidate");
-      }
-      if (!model_->AllowRemoveVertex(*id, ctx)) {
-        return Status::NotFound("removal vetoed");
-      }
-      return Event::RemoveVertex(*id);
+      if (!id.has_value() || !topology.HasVertex(*id)) return false;
+      if (!model_->AllowRemoveVertex(*id, ctx)) return false;
+      *out = Event::RemoveVertex(*id);
+      return true;
     }
     case EventType::kUpdateVertex: {
       const auto id = model_->SelectVertex(type, ctx);
-      if (!id.has_value() || !topology.HasVertex(*id)) {
-        return Status::NotFound("no vertex candidate");
-      }
-      return Event::UpdateVertex(*id, model_->UpdateVertexState(*id, ctx));
+      if (!id.has_value() || !topology.HasVertex(*id)) return false;
+      *out = Event::UpdateVertex(*id, model_->UpdateVertexState(*id, ctx));
+      return true;
     }
     case EventType::kAddEdge: {
       const auto edge = model_->SelectEdge(type, ctx);
       if (!edge.has_value() || edge->src == edge->dst ||
           !topology.HasVertex(edge->src) || !topology.HasVertex(edge->dst) ||
           topology.HasEdge(edge->src, edge->dst)) {
-        return Status::NotFound("no edge candidate");
+        return false;
       }
-      return Event::AddEdge(edge->src, edge->dst,
+      *out = Event::AddEdge(edge->src, edge->dst,
                             model_->InsertEdgeState(*edge, ctx));
+      return true;
     }
     case EventType::kRemoveEdge: {
       const auto edge = model_->SelectEdge(type, ctx);
       if (!edge.has_value() || !topology.HasEdge(edge->src, edge->dst)) {
-        return Status::NotFound("no edge candidate");
+        return false;
       }
-      if (!model_->AllowRemoveEdge(*edge, ctx)) {
-        return Status::NotFound("removal vetoed");
-      }
-      return Event::RemoveEdge(edge->src, edge->dst);
+      if (!model_->AllowRemoveEdge(*edge, ctx)) return false;
+      *out = Event::RemoveEdge(edge->src, edge->dst);
+      return true;
     }
     case EventType::kUpdateEdge: {
       const auto edge = model_->SelectEdge(type, ctx);
       if (!edge.has_value() || !topology.HasEdge(edge->src, edge->dst)) {
-        return Status::NotFound("no edge candidate");
+        return false;
       }
-      return Event::UpdateEdge(edge->src, edge->dst,
+      *out = Event::UpdateEdge(edge->src, edge->dst,
                                model_->UpdateEdgeState(*edge, ctx));
+      return true;
     }
     case EventType::kMarker:
     case EventType::kSetRate:
     case EventType::kPause:
-      return Status::InvalidArgument(
+      *error = Status::InvalidArgument(
           "models must produce graph-changing event types");
+      return false;
   }
-  return Status::Internal("unhandled event type");
+  *error = Status::Internal("unhandled event type");
+  return false;
 }
 
-Result<GeneratedStream> StreamGenerator::Generate() {
-  GeneratedStream result;
+Result<GenerateSummary> StreamGenerator::GenerateTo(EventConsumer& consumer) {
+  GenerateSummary summary;
   TopologyIndex topology;
   Rng rng(options_.seed);
   GeneratorContext ctx(&topology, &rng);
 
   // Phase (i): bootstrap.
-  GraphBuilder builder(&topology, &ctx, &result.events);
+  GraphBuilder builder(&topology, &ctx, &consumer);
   GT_RETURN_NOT_OK(model_->BootstrapGraph(builder, ctx));
-  result.bootstrap_events = builder.events_emitted();
+  summary.bootstrap_events = builder.events_emitted();
+  summary.total_events = summary.bootstrap_events;
   if (options_.emit_phase_markers) {
-    result.events.push_back(Event::Marker("BOOTSTRAP_DONE"));
+    GT_RETURN_NOT_OK(consumer.Consume(Event::Marker("BOOTSTRAP_DONE")));
+    ++summary.total_events;
   }
   if (options_.bootstrap_pause > Duration::Zero()) {
-    result.events.push_back(Event::Pause(options_.bootstrap_pause));
+    GT_RETURN_NOT_OK(consumer.Consume(Event::Pause(options_.bootstrap_pause)));
+    ++summary.total_events;
   }
 
   // Phase (ii): evolution rounds.
   size_t consecutive_skips = 0;
   size_t marker_counter = 0;
+  // Reused marker label: "MARK_" + counter rendered in place.
+  char marker_label[32] = "MARK_";
+  constexpr size_t kMarkPrefixLen = 5;
   for (size_t round = 1; round <= options_.rounds; ++round) {
     ctx.set_round(round);
     bool emitted = false;
@@ -100,12 +109,12 @@ Result<GeneratedStream> StreamGenerator::Generate() {
             "model " + model_->Name() +
             " returned a non-graph event type from NextEventType");
       }
-      Result<Event> candidate = BuildEvent(type, ctx, topology);
-      if (!candidate.ok()) {
-        if (candidate.status().IsNotFound()) continue;
-        return candidate.status();
+      Event event;
+      Status error;
+      if (!BuildEvent(type, ctx, topology, &event, &error)) {
+        if (error.ok()) continue;  // no candidate this attempt — retry
+        return error;
       }
-      Event event = std::move(candidate).value();
       if (!model_->Constraint(event, ctx)) continue;
 
       // Mirror into the topology shadow; selection already guaranteed
@@ -132,13 +141,14 @@ Result<GeneratedStream> StreamGenerator::Generate() {
         return applied.WithContext("generator engine inconsistency at round " +
                                    std::to_string(round));
       }
-      result.events.push_back(std::move(event));
-      ++result.evolution_events;
+      GT_RETURN_NOT_OK(consumer.Consume(std::move(event)));
+      ++summary.evolution_events;
+      ++summary.total_events;
       emitted = true;
       break;
     }
     if (!emitted) {
-      ++result.skipped_rounds;
+      ++summary.skipped_rounds;
       if (++consecutive_skips > options_.max_consecutive_skips) {
         return Status::Internal(
             "model " + model_->Name() + " produced no applicable event for " +
@@ -148,16 +158,35 @@ Result<GeneratedStream> StreamGenerator::Generate() {
     }
     consecutive_skips = 0;
     if (options_.marker_interval != 0 &&
-        result.evolution_events % options_.marker_interval == 0) {
-      result.events.push_back(
-          Event::Marker("MARK_" + std::to_string(++marker_counter)));
+        summary.evolution_events % options_.marker_interval == 0) {
+      auto [end, ec] =
+          std::to_chars(marker_label + kMarkPrefixLen,
+                        marker_label + sizeof(marker_label), ++marker_counter);
+      (void)ec;
+      GT_RETURN_NOT_OK(consumer.Consume(Event::Marker(
+          std::string(marker_label, static_cast<size_t>(end - marker_label)))));
+      ++summary.total_events;
     }
   }
   if (options_.emit_phase_markers) {
-    result.events.push_back(Event::Marker("STREAM_END"));
+    GT_RETURN_NOT_OK(consumer.Consume(Event::Marker("STREAM_END")));
+    ++summary.total_events;
   }
-  result.final_vertices = topology.num_vertices();
-  result.final_edges = topology.num_edges();
+  summary.final_vertices = topology.num_vertices();
+  summary.final_edges = topology.num_edges();
+  GT_RETURN_NOT_OK(consumer.Finish());
+  return summary;
+}
+
+Result<GeneratedStream> StreamGenerator::Generate() {
+  GeneratedStream result;
+  CollectingConsumer consumer(&result.events);
+  GT_ASSIGN_OR_RETURN(GenerateSummary summary, GenerateTo(consumer));
+  result.bootstrap_events = summary.bootstrap_events;
+  result.evolution_events = summary.evolution_events;
+  result.skipped_rounds = summary.skipped_rounds;
+  result.final_vertices = summary.final_vertices;
+  result.final_edges = summary.final_edges;
   return result;
 }
 

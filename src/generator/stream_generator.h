@@ -1,6 +1,14 @@
 // The graph stream generator engine (§4.1, §5.1): runs a GeneratorModel in
 // two phases (bootstrap + round-based evolution) and produces the event
 // sequence of a graph stream, including phase markers and periodic markers.
+//
+// Two emission modes share one engine:
+//   * GenerateTo(consumer) — streaming: each event is pushed to an
+//     EventConsumer as it is produced, so memory use is bounded by the
+//     topology shadow, never by the stream length (out-of-core generation);
+//   * Generate() — legacy: collects the whole stream into a
+//     GeneratedStream vector via CollectingConsumer.
+// Both produce byte-identical streams for the same model/seed/options.
 #ifndef GRAPHTIDES_GENERATOR_STREAM_GENERATOR_H_
 #define GRAPHTIDES_GENERATOR_STREAM_GENERATOR_H_
 
@@ -9,6 +17,7 @@
 
 #include "common/clock.h"
 #include "common/result.h"
+#include "generator/event_consumer.h"
 #include "generator/graph_builder.h"
 #include "generator/model.h"
 #include "stream/event.h"
@@ -34,6 +43,20 @@ struct StreamGeneratorOptions {
   size_t max_consecutive_skips = 1000;
 };
 
+/// \brief Accounting of one generation run (no events — the streaming
+/// result; events went to the consumer).
+struct GenerateSummary {
+  /// Stream entries emitted to the consumer (graph ops + markers +
+  /// controls).
+  size_t total_events = 0;
+  size_t bootstrap_events = 0;
+  size_t evolution_events = 0;
+  size_t skipped_rounds = 0;
+  /// Final topology sizes.
+  size_t final_vertices = 0;
+  size_t final_edges = 0;
+};
+
 struct GeneratedStream {
   std::vector<Event> events;
   size_t bootstrap_events = 0;
@@ -44,19 +67,27 @@ struct GeneratedStream {
   size_t final_edges = 0;
 };
 
-/// \brief Runs a model to completion and returns the generated stream.
+/// \brief Runs a model to completion, streaming events to a consumer.
 class StreamGenerator {
  public:
   StreamGenerator(GeneratorModel* model, StreamGeneratorOptions options)
       : model_(model), options_(options) {}
 
+  /// Streaming emission: pushes every event to `consumer` in stream order
+  /// and calls consumer.Finish() after the last one. Constant-memory in the
+  /// stream length.
+  Result<GenerateSummary> GenerateTo(EventConsumer& consumer);
+
+  /// Legacy in-memory emission: materializes the whole stream.
   Result<GeneratedStream> Generate();
 
  private:
-  /// Builds one evolution event; NotFound when the model produced no
-  /// applicable candidate this attempt.
-  Result<Event> BuildEvent(EventType type, GeneratorContext& ctx,
-                           TopologyIndex& topology);
+  /// Builds one evolution event into *out. Returns false with *error OK
+  /// when the model produced no applicable candidate this attempt (the
+  /// caller retries — the common case, kept free of Status message
+  /// allocation), false with *error set on an engine error.
+  bool BuildEvent(EventType type, GeneratorContext& ctx,
+                  TopologyIndex& topology, Event* out, Status* error);
 
   GeneratorModel* model_;
   StreamGeneratorOptions options_;

@@ -1,8 +1,96 @@
 #include "generator/topology_index.h"
 
+#include <algorithm>
+#include <array>
 #include <cmath>
+#include <limits>
 
 namespace graphtides {
+
+namespace {
+
+/// Memoized (d + 1)^bias for small degrees. Degree-biased selection calls
+/// pow() per candidate otherwise, which dominates generation time under
+/// power-law models; nearly all candidates have small degrees, so caching
+/// the weight per (bias, degree) removes almost every pow call. Weights are
+/// bit-identical to the direct computation, so selection is unchanged.
+/// Holds a few bias values at once because models alternate between biases
+/// (e.g. negative for removals, positive for edge targets).
+struct BiasWeightCache {
+  static constexpr size_t kMaxDegree = 1024;
+  static constexpr size_t kMaxBiases = 4;
+
+  struct Entry {
+    double bias = 0.0;
+    bool valid = false;
+    std::array<double, kMaxDegree> weight;  // NaN = not yet computed
+
+    double Weight(size_t degree) {
+      if (degree >= kMaxDegree) {
+        return std::pow(static_cast<double>(degree) + 1.0, bias);
+      }
+      double& w = weight[degree];
+      if (std::isnan(w)) w = std::pow(static_cast<double>(degree) + 1.0, bias);
+      return w;
+    }
+  };
+  std::array<Entry, kMaxBiases> entries;
+  size_t next_victim = 0;
+
+  /// Entry for `bias`, evicting round-robin on a miss. Callers hoist this
+  /// lookup out of their per-candidate loop.
+  Entry& EntryFor(double bias) {
+    for (Entry& e : entries) {
+      if (e.valid && e.bias == bias) return e;
+    }
+    Entry& e = entries[next_victim];
+    next_victim = (next_victim + 1) % kMaxBiases;
+    e.bias = bias;
+    e.valid = true;
+    e.weight.fill(std::numeric_limits<double>::quiet_NaN());
+    return e;
+  }
+};
+
+thread_local BiasWeightCache g_bias_cache;
+
+}  // namespace
+
+void TopologyIndex::AdjList::Add(VertexId v) {
+  neighbors.push_back(v);
+  if (indexed) {
+    slot.emplace(v, static_cast<uint32_t>(neighbors.size() - 1));
+  } else if (neighbors.size() > kAdjIndexThreshold) {
+    slot.reserve(neighbors.size() * 2);
+    for (size_t i = 0; i < neighbors.size(); ++i) {
+      slot.emplace(neighbors[i], static_cast<uint32_t>(i));
+    }
+    indexed = true;
+  }
+}
+
+void TopologyIndex::AdjList::Remove(VertexId v) {
+  if (indexed) {
+    auto it = slot.find(v);
+    if (it == slot.end()) return;
+    const size_t pos = it->second;
+    const VertexId last = neighbors.back();
+    neighbors[pos] = last;
+    slot[last] = static_cast<uint32_t>(pos);
+    neighbors.pop_back();
+    slot.erase(v);
+    return;
+  }
+  // Backward scan: RemoveVertex cascades drain from the back, so the hit is
+  // usually the first probe.
+  for (size_t i = neighbors.size(); i-- > 0;) {
+    if (neighbors[i] == v) {
+      neighbors[i] = neighbors.back();
+      neighbors.pop_back();
+      return;
+    }
+  }
+}
 
 Status TopologyIndex::AddVertex(VertexId id) {
   auto [it, inserted] = vertex_pos_.try_emplace(id, vertices_.size());
@@ -11,8 +99,7 @@ Status TopologyIndex::AddVertex(VertexId id) {
                                       std::to_string(id));
   }
   vertices_.push_back(id);
-  out_[id];
-  in_[id];
+  adj_.emplace_back();
   return Status::OK();
 }
 
@@ -22,26 +109,30 @@ Status TopologyIndex::RemoveVertex(VertexId id) {
     return Status::PreconditionFailed("vertex does not exist: " +
                                       std::to_string(id));
   }
-  // Cascade edge removal; copy neighbor sets because RemoveEdge mutates.
-  const std::unordered_set<VertexId> outs = out_[id];
-  for (VertexId dst : outs) {
-    Status st = RemoveEdge(id, dst);
-    (void)st;
-  }
-  const std::unordered_set<VertexId> ins = in_[id];
-  for (VertexId src : ins) {
-    Status st = RemoveEdge(src, id);
-    (void)st;
-  }
-  // Swap-remove from the dense vertex vector.
+  // Cascade edge removal straight off the adjacency vectors — RemoveEdge
+  // swap-removes the drained entry, so each iteration shrinks the list
+  // without copying it first. Edge removal never moves vertex slots, so
+  // `pos` stays valid throughout.
   const size_t pos = pos_it->second;
-  const VertexId last = vertices_.back();
-  vertices_[pos] = last;
-  vertex_pos_[last] = pos;
+  while (!adj_[pos].out.neighbors.empty()) {
+    Status st = RemoveEdge(id, adj_[pos].out.neighbors.back());
+    (void)st;
+  }
+  while (!adj_[pos].in.neighbors.empty()) {
+    Status st = RemoveEdge(adj_[pos].in.neighbors.back(), id);
+    (void)st;
+  }
+  // Swap-remove from the dense vertex vector (adj_ moves in lockstep).
+  const size_t last_pos = vertices_.size() - 1;
+  if (pos != last_pos) {
+    const VertexId last = vertices_[last_pos];
+    vertices_[pos] = last;
+    adj_[pos] = std::move(adj_[last_pos]);
+    vertex_pos_[last] = pos;
+  }
   vertices_.pop_back();
-  vertex_pos_.erase(id);
-  out_.erase(id);
-  in_.erase(id);
+  adj_.pop_back();
+  vertex_pos_.erase(pos_it);
   return Status::OK();
 }
 
@@ -49,7 +140,9 @@ Status TopologyIndex::AddEdge(VertexId src, VertexId dst) {
   if (src == dst) {
     return Status::PreconditionFailed("self-loops are not allowed");
   }
-  if (!HasVertex(src) || !HasVertex(dst)) {
+  auto src_it = vertex_pos_.find(src);
+  auto dst_it = vertex_pos_.find(dst);
+  if (src_it == vertex_pos_.end() || dst_it == vertex_pos_.end()) {
     return Status::PreconditionFailed("edge endpoint does not exist");
   }
   const EdgeId edge{src, dst};
@@ -58,8 +151,8 @@ Status TopologyIndex::AddEdge(VertexId src, VertexId dst) {
     return Status::PreconditionFailed("edge already exists");
   }
   edges_.push_back(edge);
-  out_[src].insert(dst);
-  in_[dst].insert(src);
+  adj_[src_it->second].out.Add(dst);
+  adj_[dst_it->second].in.Add(src);
   return Status::OK();
 }
 
@@ -75,8 +168,8 @@ Status TopologyIndex::RemoveEdge(VertexId src, VertexId dst) {
   edge_pos_[last] = pos;
   edges_.pop_back();
   edge_pos_.erase(edge);
-  out_[src].erase(dst);
-  in_[dst].erase(src);
+  adj_[vertex_pos_.find(src)->second].out.Remove(dst);
+  adj_[vertex_pos_.find(dst)->second].in.Remove(src);
   return Status::OK();
 }
 
@@ -85,15 +178,14 @@ bool TopologyIndex::HasEdge(VertexId src, VertexId dst) const {
 }
 
 size_t TopologyIndex::DegreeOf(VertexId id) const {
-  size_t degree = 0;
-  if (auto it = out_.find(id); it != out_.end()) degree += it->second.size();
-  if (auto it = in_.find(id); it != in_.end()) degree += it->second.size();
-  return degree;
+  auto it = vertex_pos_.find(id);
+  if (it == vertex_pos_.end()) return 0;
+  return adj_[it->second].out.size() + adj_[it->second].in.size();
 }
 
 size_t TopologyIndex::OutDegreeOf(VertexId id) const {
-  auto it = out_.find(id);
-  return it == out_.end() ? 0 : it->second.size();
+  auto it = vertex_pos_.find(id);
+  return it == vertex_pos_.end() ? 0 : adj_[it->second].out.size();
 }
 
 std::optional<VertexId> TopologyIndex::UniformVertex(Rng& rng) const {
@@ -116,19 +208,21 @@ std::optional<VertexId> TopologyIndex::DegreeBiasedVertex(
     Rng& rng, double bias, size_t candidates) const {
   if (vertices_.empty()) return std::nullopt;
   if (bias == 0.0 || vertices_.size() == 1) return UniformVertex(rng);
-  candidates = std::min(candidates, vertices_.size());
-  std::vector<VertexId> picks;
-  std::vector<double> weights;
-  picks.reserve(candidates);
-  weights.reserve(candidates);
+  constexpr size_t kMaxCandidates = 64;
+  candidates = std::min({candidates, vertices_.size(), kMaxCandidates});
+  // Stack buffers: this runs once per degree-biased selection attempt, so
+  // it must not allocate.
+  VertexId picks[kMaxCandidates] = {};
+  double weights[kMaxCandidates] = {};
+  BiasWeightCache::Entry& cache = g_bias_cache.EntryFor(bias);
   for (size_t i = 0; i < candidates; ++i) {
-    const VertexId v = vertices_[rng.NextBounded(vertices_.size())];
-    picks.push_back(v);
-    weights.push_back(
-        std::pow(static_cast<double>(DegreeOf(v) + 1), bias));
+    const size_t slot = rng.NextBounded(vertices_.size());
+    picks[i] = vertices_[slot];
+    const size_t degree = adj_[slot].out.size() + adj_[slot].in.size();
+    weights[i] = cache.Weight(degree);
   }
-  const size_t chosen = rng.NextWeighted(weights);
-  if (chosen >= picks.size()) return picks.front();
+  const size_t chosen = rng.NextWeighted(weights, candidates);
+  if (chosen >= candidates) return picks[0];
   return picks[chosen];
 }
 

@@ -8,7 +8,6 @@
 
 #include <optional>
 #include <unordered_map>
-#include <unordered_set>
 #include <vector>
 
 #include "common/random.h"
@@ -18,12 +17,20 @@
 namespace graphtides {
 
 /// \brief Mutable topology with sampling support (no states, generator-side).
+///
+/// Storage is fully swap-remove based: dense vertex/edge vectors for O(1)
+/// uniform sampling, and flat per-vertex adjacency vectors instead of hash
+/// sets. Small adjacency lists (the overwhelming majority under power-law
+/// degree distributions) are scanned linearly; a list that grows past
+/// kAdjIndexThreshold lazily builds a neighbor→slot map so removal stays
+/// O(1) on hubs too.
 class TopologyIndex {
  public:
   // --- Mutation (preconditions identical to Graph) ----------------------
 
   Status AddVertex(VertexId id);
-  /// Removes the vertex and incident edges.
+  /// Removes the vertex and incident edges (no neighbor-set copies: the
+  /// cascade drains the adjacency vectors in place, back to front).
   Status RemoveVertex(VertexId id);
   Status AddEdge(VertexId src, VertexId dst);
   Status RemoveEdge(VertexId src, VertexId dst);
@@ -51,7 +58,7 @@ class TopologyIndex {
   std::optional<VertexId> PreferentialVertex(Rng& rng) const;
 
   /// \brief Degree-biased vertex via weighted choice over a uniform
-  /// candidate set of size `candidates`.
+  /// candidate set of size `candidates` (capped at 64).
   ///
   /// Weight of a candidate with degree d is (d + 1)^bias: bias > 0 favors
   /// strongly connected vertices, bias < 0 favors weakly connected ones
@@ -67,6 +74,9 @@ class TopologyIndex {
   /// All vertex ids (dense storage order; mutates across removals).
   const std::vector<VertexId>& vertex_ids() const { return vertices_; }
 
+  /// Adjacency lists above this length maintain a neighbor→slot index.
+  static constexpr size_t kAdjIndexThreshold = 32;
+
  private:
   struct EdgeIdHash {
     size_t operator()(const EdgeId& e) const {
@@ -76,14 +86,30 @@ class TopologyIndex {
     }
   };
 
-  // Swap-remove vectors give O(1) uniform sampling under churn.
+  /// Flat neighbor list with swap-remove and a lazily built slot index for
+  /// long (hub) lists.
+  struct AdjList {
+    std::vector<VertexId> neighbors;
+    std::unordered_map<VertexId, uint32_t> slot;  // valid iff indexed
+    bool indexed = false;
+
+    void Add(VertexId v);
+    void Remove(VertexId v);
+    size_t size() const { return neighbors.size(); }
+  };
+
+  struct VertexAdj {
+    AdjList out;
+    AdjList in;
+  };
+
+  // Swap-remove vectors give O(1) uniform sampling under churn. adj_ is
+  // parallel to vertices_ (same slot per vertex).
   std::vector<VertexId> vertices_;
   std::unordered_map<VertexId, size_t> vertex_pos_;
+  std::vector<VertexAdj> adj_;
   std::vector<EdgeId> edges_;
   std::unordered_map<EdgeId, size_t, EdgeIdHash> edge_pos_;
-
-  std::unordered_map<VertexId, std::unordered_set<VertexId>> out_;
-  std::unordered_map<VertexId, std::unordered_set<VertexId>> in_;
 };
 
 }  // namespace graphtides

@@ -8,19 +8,35 @@ namespace graphtides {
 
 ResultLog::ResultLog(std::vector<LogRecord> records)
     : records_(std::move(records)) {
+  // Order by (time, source, seq): records sharing a timestamp group by
+  // producing source, and within a source keep their emission order —
+  // plain time-sorting left equal-timestamp records in whatever order the
+  // loggers were collected.
   std::stable_sort(records_.begin(), records_.end(),
                    [](const LogRecord& a, const LogRecord& b) {
-                     return a.time < b.time;
+                     if (a.time != b.time) return a.time < b.time;
+                     if (a.source != b.source) return a.source < b.source;
+                     return a.seq < b.seq;
                    });
 }
 
 std::vector<LogRecord> ResultLog::Filter(const std::string& source,
                                          const std::string& metric) const {
-  std::vector<LogRecord> out;
+  // Count-then-copy: the scan pass only compares (no record copies, no
+  // vector regrowth); the copy pass fills an exactly pre-sized output.
+  auto matches = [&](const LogRecord& r) {
+    if (!source.empty() && r.source != source) return false;
+    if (!metric.empty() && r.metric != metric) return false;
+    return true;
+  };
+  size_t count = 0;
   for (const LogRecord& r : records_) {
-    if (!source.empty() && r.source != source) continue;
-    if (!metric.empty() && r.metric != metric) continue;
-    out.push_back(r);
+    if (matches(r)) ++count;
+  }
+  std::vector<LogRecord> out;
+  out.reserve(count);
+  for (const LogRecord& r : records_) {
+    if (matches(r)) out.push_back(r);
   }
   return out;
 }
@@ -74,7 +90,11 @@ Result<ResultLog> ResultLog::ReadCsv(const std::string& path) {
       return parsed.status().WithContext("line " +
                                          std::to_string(line_number));
     }
-    records.push_back(std::move(parsed).value());
+    LogRecord record = std::move(parsed).value();
+    // seq is not serialized; file position preserves the written order as
+    // the tie-breaker.
+    record.seq = records.size();
+    records.push_back(std::move(record));
   }
   return ResultLog(std::move(records));
 }

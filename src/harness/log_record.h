@@ -22,6 +22,10 @@ struct LogRecord {
   double value = 0.0;
   /// Free-form annotation (marker labels, query results).
   std::string text;
+  /// Emission index within the producing source (assigned by the logger,
+  /// or by line position when reading a CSV). Tie-breaker for records that
+  /// share a timestamp; not serialized — the CSV format stays 5 fields.
+  uint64_t seq = 0;
 
   /// CSV line: time_ns,source,metric,value,text.
   std::string ToCsvLine() const;

@@ -14,7 +14,8 @@ void MetricsLogger::LogText(const std::string& metric, double value,
 void MetricsLogger::LogAt(Timestamp time, const std::string& metric,
                           double value, const std::string& text) {
   std::lock_guard<std::mutex> lock(mu_);
-  records_.push_back(LogRecord{time, source_, metric, value, text});
+  records_.push_back(
+      LogRecord{time, source_, metric, value, text, records_.size()});
 }
 
 std::vector<LogRecord> MetricsLogger::Records() const {

@@ -33,9 +33,11 @@ std::string SinkTelemetry::ToString() const {
 }
 
 Status PipeSink::Deliver(const Event& event) {
-  const std::string line = event.ToCsvLine();
-  if (std::fwrite(line.data(), 1, line.size(), out_) != line.size() ||
-      std::fputc('\n', out_) == EOF) {
+  // Reused line buffer + to_chars formatting; one fwrite per event.
+  line_buf_.clear();
+  AppendEventLine(event, &line_buf_);
+  if (std::fwrite(line_buf_.data(), 1, line_buf_.size(), out_) !=
+      line_buf_.size()) {
     return Status::IoError(std::string("pipe write failed: ") +
                            std::strerror(errno));
   }

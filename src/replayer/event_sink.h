@@ -115,6 +115,7 @@ class PipeSink final : public EventSink {
 
  private:
   std::FILE* out_;
+  std::string line_buf_;  // reused across Deliver calls
 };
 
 /// \brief Discards events (replayer self-benchmarking).

@@ -7,6 +7,7 @@
 #include <thread>
 #include <utility>
 
+#include "replayer/event_batch.h"
 #include "replayer/rate_controller.h"
 #include "replayer/spsc_queue.h"
 #include "stream/block_reader.h"
@@ -25,22 +26,11 @@ uint64_t MixBits(uint64_t x) {
   return x ^ (x >> 31);
 }
 
-/// One graph event routed to a lane; payload bytes live in the owning
-/// batch's arena.
-struct LaneRecord {
-  EventType type = EventType::kAddVertex;
-  VertexId vertex = 0;
-  EdgeId edge;
-  /// Global 0-based sequence number among the stream's graph events.
-  uint64_t seq = 0;
-  size_t payload_offset = 0;
-  size_t payload_len = 0;
-};
-
-struct LaneBatch {
-  std::vector<LaneRecord> records;
-  std::string arena;
-};
+// Lane batches are the shared batch-arena unit (replayer/event_batch.h),
+// so the generator's pipelined writer and the sharded reader recycle the
+// same structure.
+using LaneRecord = EventRecord;
+using LaneBatch = EventBatch;
 
 /// Broadcast token: every live lane receives one copy and meets the others
 /// at the epoch barrier before anyone emits past it.
@@ -135,11 +125,6 @@ struct LaneState {
   Status status;
   std::atomic<bool> failed{false};
 };
-
-constexpr size_t kArenaReserveBytesPerEvent = 32;
-/// Flush a batch early once its arena holds this much payload, so a batch
-/// never grows without bound on pathological payload sizes.
-constexpr size_t kMaxBatchArenaBytes = size_t{4} << 20;
 
 }  // namespace
 
@@ -360,9 +345,7 @@ Result<ShardedReplayStats> ShardedReplayer::Run(
           view.type = r.type;
           view.vertex = r.vertex;
           view.edge = r.edge;
-          view.payload =
-              std::string_view(batch.arena).substr(r.payload_offset,
-                                                   r.payload_len);
+          view.payload = batch.PayloadOf(r);
           view.AppendLine(&out);
         }
         emit = sink->DeliverSerialized(out, batch.records.size());
@@ -390,8 +373,7 @@ Result<ShardedReplayStats> ShardedReplayer::Run(
         roll_bins(last_slot);
         bin_count += delivered;
       }
-      batch.records.clear();
-      batch.arena.clear();
+      batch.Clear();
       (void)lane.recycle.TryPush(std::move(batch));
       if (!emit.ok()) {
         lane.status = emit.WithContext("shard " + std::to_string(shard));
@@ -416,8 +398,7 @@ Result<ShardedReplayStats> ShardedReplayer::Run(
       return std::move(*recycled);
     }
     LaneBatch batch;
-    batch.records.reserve(options_.batch_events);
-    batch.arena.reserve(options_.batch_events * kArenaReserveBytesPerEvent);
+    batch.Reserve(options_.batch_events);
     return batch;
   };
   std::vector<LaneBatch> open;
@@ -515,19 +496,9 @@ Result<ShardedReplayStats> ShardedReplayer::Run(
     const size_t s = ShardOfEvent(e.type, e.vertex, e.edge, shards);
     if (!lanes[s]->failed.load(std::memory_order_relaxed)) {
       LaneBatch& batch = open[s];
-      LaneRecord record;
-      record.type = e.type;
-      record.vertex = e.vertex;
-      record.edge = e.edge;
-      record.seq = events_enqueued;
-      record.payload_offset = batch.arena.size();
-      record.payload_len = e.payload.size();
-      batch.arena.append(e.payload);
-      batch.records.push_back(record);
-      if (batch.records.size() >= options_.batch_events ||
-          batch.arena.size() >= kMaxBatchArenaBytes) {
-        flush_lane(s);
-      }
+      batch.Append(e.type, e.vertex, e.edge, e.payload, e.rate_factor,
+                   e.pause, events_enqueued);
+      if (batch.Full(options_.batch_events)) flush_lane(s);
     }
     ++events_enqueued;
     if (options_.checkpoint_every > 0 &&

@@ -110,8 +110,8 @@ Status TcpSink::FlushBuffer() {
 
 Status TcpSink::Deliver(const Event& event) {
   if (fd_ < 0) return Status::PreconditionFailed("TcpSink not connected");
-  buffer_ += event.ToCsvLine();
-  buffer_.push_back('\n');
+  // Serialize straight into the send buffer — no per-event temporary.
+  AppendEventLine(event, &buffer_);
   if (buffer_.size() >= kFlushBytes) return FlushBuffer();
   return Status::OK();
 }

@@ -1,5 +1,8 @@
 #include "stream/event.h"
 
+#include <charconv>
+#include <cstdio>
+
 #include "common/csv.h"
 #include "common/string_util.h"
 
@@ -168,50 +171,106 @@ bool Event::operator==(const Event& other) const {
   return false;
 }
 
-std::string Event::ToCsvLine() const {
-  std::vector<std::string> fields;
-  fields.emplace_back(EventTypeName(type));
+namespace event_internal {
+
+namespace {
+
+void AppendU64(uint64_t value, std::string* out) {
+  char buf[20];
+  const auto [end, ec] = std::to_chars(buf, buf + sizeof(buf), value);
+  (void)ec;
+  out->append(buf, static_cast<size_t>(end - buf));
+}
+
+void AppendI64(int64_t value, std::string* out) {
+  char buf[21];
+  const auto [end, ec] = std::to_chars(buf, buf + sizeof(buf), value);
+  (void)ec;
+  out->append(buf, static_cast<size_t>(end - buf));
+}
+
+/// Append-variant of EscapeCsvField (common/csv.cc): identical output
+/// bytes, no intermediate string.
+void AppendCsvField(std::string_view field, std::string* out) {
+  if (field.find_first_of(",\"\n\r") == std::string_view::npos) {
+    out->append(field);
+    return;
+  }
+  out->push_back('"');
+  for (char c : field) {
+    if (c == '"') out->push_back('"');
+    out->push_back(c);
+  }
+  out->push_back('"');
+}
+
+}  // namespace
+
+void AppendEventFields(EventType type, VertexId vertex, const EdgeId& edge,
+                       std::string_view payload, double rate_factor,
+                       Duration pause, std::string* out) {
+  out->append(EventTypeName(type));
+  out->push_back(',');
   switch (type) {
     case EventType::kAddVertex:
     case EventType::kUpdateVertex:
-      fields.push_back(std::to_string(vertex));
-      fields.push_back(payload);
+      AppendU64(vertex, out);
+      out->push_back(',');
+      AppendCsvField(payload, out);
       break;
     case EventType::kRemoveVertex:
-      fields.push_back(std::to_string(vertex));
-      fields.emplace_back();
+      AppendU64(vertex, out);
+      out->push_back(',');
       break;
     case EventType::kAddEdge:
     case EventType::kUpdateEdge:
-      fields.push_back(std::to_string(edge.src) + "-" +
-                       std::to_string(edge.dst));
-      fields.push_back(payload);
+      AppendU64(edge.src, out);
+      out->push_back('-');
+      AppendU64(edge.dst, out);
+      out->push_back(',');
+      AppendCsvField(payload, out);
       break;
     case EventType::kRemoveEdge:
-      fields.push_back(std::to_string(edge.src) + "-" +
-                       std::to_string(edge.dst));
-      fields.emplace_back();
+      AppendU64(edge.src, out);
+      out->push_back('-');
+      AppendU64(edge.dst, out);
+      out->push_back(',');
       break;
     case EventType::kMarker:
-      fields.emplace_back();
-      fields.push_back(payload);
+      out->push_back(',');
+      AppendCsvField(payload, out);
       break;
     case EventType::kSetRate: {
-      fields.emplace_back();
+      out->push_back(',');
       char buf[32];
-      std::snprintf(buf, sizeof(buf), "%g", rate_factor);
-      fields.emplace_back(buf);
+      const int len = std::snprintf(buf, sizeof(buf), "%g", rate_factor);
+      out->append(buf, static_cast<size_t>(len));
       break;
     }
     case EventType::kPause:
-      fields.emplace_back();
-      fields.push_back(std::to_string(pause.millis()));
+      out->push_back(',');
+      AppendI64(pause.millis(), out);
       break;
   }
-  return FormatCsvLine(fields);
+}
+
+}  // namespace event_internal
+
+std::string Event::ToCsvLine() const {
+  std::string out;
+  event_internal::AppendEventFields(type, vertex, edge, payload, rate_factor,
+                                    pause, &out);
+  return out;
 }
 
 std::string FormatEventLine(const Event& event) { return event.ToCsvLine(); }
+
+void AppendEventLine(const Event& event, std::string* out) {
+  event_internal::AppendEventFields(event.type, event.vertex, event.edge,
+                                    event.payload, event.rate_factor,
+                                    event.pause, out);
+  out->push_back('\n');
+}
 
 Result<EdgeId> ParseEdgeId(std::string_view s) {
   const size_t dash = s.find('-');

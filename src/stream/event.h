@@ -112,6 +112,22 @@ Result<Event> ParseEventLine(std::string_view line);
 /// `event.ToCsvLine()`. Inverse of ParseEventLine for every valid Event.
 std::string FormatEventLine(const Event& event);
 
+/// \brief Appends the canonical stream-file line for `event` plus a trailing
+/// '\n' to *out.
+///
+/// Formats numeric fields with std::to_chars directly into *out, so a warm
+/// reused buffer makes repeated serialization allocation-free — the hot path
+/// shared by the replayer transports and the generator's pipelined writer.
+void AppendEventLine(const Event& event, std::string* out);
+
+namespace event_internal {
+/// Field-level serializer shared by Event::ToCsvLine, AppendEventLine and
+/// EventView::AppendLine: appends the canonical line (no newline) to *out.
+void AppendEventFields(EventType type, VertexId vertex, const EdgeId& edge,
+                       std::string_view payload, double rate_factor,
+                       Duration pause, std::string* out);
+}  // namespace event_internal
+
 /// Parses a "src-dst" edge id; ParseError if malformed.
 Result<EdgeId> ParseEdgeId(std::string_view s);
 

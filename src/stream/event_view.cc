@@ -1,8 +1,5 @@
 #include "stream/event_view.h"
 
-#include <charconv>
-#include <cstdio>
-
 #include "common/string_util.h"
 
 namespace graphtides {
@@ -63,35 +60,6 @@ Status ScanCsvField(std::string_view line, size_t* i, std::string* scratch,
   return Status::OK();
 }
 
-void AppendU64(uint64_t value, std::string* out) {
-  char buf[20];
-  const auto [end, ec] = std::to_chars(buf, buf + sizeof(buf), value);
-  (void)ec;
-  out->append(buf, static_cast<size_t>(end - buf));
-}
-
-void AppendI64(int64_t value, std::string* out) {
-  char buf[21];
-  const auto [end, ec] = std::to_chars(buf, buf + sizeof(buf), value);
-  (void)ec;
-  out->append(buf, static_cast<size_t>(end - buf));
-}
-
-/// Append-variant of EscapeCsvField (common/csv.cc): identical output
-/// bytes, no intermediate string.
-void AppendCsvField(std::string_view field, std::string* out) {
-  if (field.find_first_of(",\"\n\r") == std::string_view::npos) {
-    out->append(field);
-    return;
-  }
-  out->push_back('"');
-  for (char c : field) {
-    if (c == '"') out->push_back('"');
-    out->push_back(c);
-  }
-  out->push_back('"');
-}
-
 }  // namespace
 
 Event EventView::Materialize() const {
@@ -106,49 +74,8 @@ Event EventView::Materialize() const {
 }
 
 void EventView::AppendLine(std::string* out) const {
-  out->append(EventTypeName(type));
-  out->push_back(',');
-  switch (type) {
-    case EventType::kAddVertex:
-    case EventType::kUpdateVertex:
-      AppendU64(vertex, out);
-      out->push_back(',');
-      AppendCsvField(payload, out);
-      break;
-    case EventType::kRemoveVertex:
-      AppendU64(vertex, out);
-      out->push_back(',');
-      break;
-    case EventType::kAddEdge:
-    case EventType::kUpdateEdge:
-      AppendU64(edge.src, out);
-      out->push_back('-');
-      AppendU64(edge.dst, out);
-      out->push_back(',');
-      AppendCsvField(payload, out);
-      break;
-    case EventType::kRemoveEdge:
-      AppendU64(edge.src, out);
-      out->push_back('-');
-      AppendU64(edge.dst, out);
-      out->push_back(',');
-      break;
-    case EventType::kMarker:
-      out->push_back(',');
-      AppendCsvField(payload, out);
-      break;
-    case EventType::kSetRate: {
-      out->push_back(',');
-      char buf[32];
-      const int len = std::snprintf(buf, sizeof(buf), "%g", rate_factor);
-      out->append(buf, static_cast<size_t>(len));
-      break;
-    }
-    case EventType::kPause:
-      out->push_back(',');
-      AppendI64(pause.millis(), out);
-      break;
-  }
+  event_internal::AppendEventFields(type, vertex, edge, payload, rate_factor,
+                                    pause, out);
   out->push_back('\n');
 }
 

@@ -7,64 +7,59 @@
 
 namespace graphtides {
 
-StreamStatistics ComputeStreamStatistics(const std::vector<Event>& events) {
-  StreamStatistics s;
-  StreamValidator shadow;
-
-  bool have_prev_class = false;
-  bool prev_is_topology = false;
-  size_t run_count = 0;
-  size_t run_total = 0;
-  size_t current_run = 0;
-
-  for (const Event& e : events) {
-    ++s.total_entries;
-    ++s.by_type[static_cast<size_t>(e.type)];
-    if (e.type == EventType::kMarker) {
-      ++s.markers;
-      continue;
-    }
-    if (IsControl(e.type)) {
-      ++s.controls;
-      continue;
-    }
-    ++s.graph_ops;
-    const bool is_topology = IsTopologyChange(e.type);
-    if (is_topology) {
-      ++s.topology_changes;
-    } else {
-      ++s.state_updates;
-    }
-    if (IsVertexOp(e.type)) ++s.vertex_ops;
-    if (IsEdgeOp(e.type)) ++s.edge_ops;
-    if (IsAddOp(e.type)) ++s.add_ops;
-    if (IsRemoveOp(e.type)) ++s.remove_ops;
-
-    // Interleaving run-length accounting over graph ops only.
-    if (!have_prev_class || is_topology != prev_is_topology) {
-      if (have_prev_class) {
-        run_total += current_run;
-        ++run_count;
-      }
-      current_run = 1;
-      prev_is_topology = is_topology;
-      have_prev_class = true;
-    } else {
-      ++current_run;
-    }
-
-    // Track sizes; ignore invalid events the same way a SUT would reject
-    // them.
-    if (shadow.Check(e).ok()) {
-      s.peak_vertices = std::max(s.peak_vertices, shadow.num_vertices());
-      s.peak_edges = std::max(s.peak_edges, shadow.num_edges());
-    }
+void StreamStatisticsBuilder::Add(const Event& e) {
+  StreamStatistics& s = stats_;
+  ++s.total_entries;
+  ++s.by_type[static_cast<size_t>(e.type)];
+  if (e.type == EventType::kMarker) {
+    ++s.markers;
+    return;
   }
-  if (have_prev_class) {
-    run_total += current_run;
+  if (IsControl(e.type)) {
+    ++s.controls;
+    return;
+  }
+  ++s.graph_ops;
+  const bool is_topology = IsTopologyChange(e.type);
+  if (is_topology) {
+    ++s.topology_changes;
+  } else {
+    ++s.state_updates;
+  }
+  if (IsVertexOp(e.type)) ++s.vertex_ops;
+  if (IsEdgeOp(e.type)) ++s.edge_ops;
+  if (IsAddOp(e.type)) ++s.add_ops;
+  if (IsRemoveOp(e.type)) ++s.remove_ops;
+
+  // Interleaving run-length accounting over graph ops only.
+  if (!have_prev_class_ || is_topology != prev_is_topology_) {
+    if (have_prev_class_) {
+      run_total_ += current_run_;
+      ++run_count_;
+    }
+    current_run_ = 1;
+    prev_is_topology_ = is_topology;
+    have_prev_class_ = true;
+  } else {
+    ++current_run_;
+  }
+
+  // Track sizes; ignore invalid events the same way a SUT would reject
+  // them.
+  if (shadow_.Check(e).ok()) {
+    s.peak_vertices = std::max(s.peak_vertices, shadow_.num_vertices());
+    s.peak_edges = std::max(s.peak_edges, shadow_.num_edges());
+  }
+}
+
+StreamStatistics StreamStatisticsBuilder::Snapshot() const {
+  StreamStatistics s = stats_;
+  size_t run_count = run_count_;
+  size_t run_total = run_total_;
+  if (have_prev_class_) {
+    run_total += current_run_;
     ++run_count;
   }
-
   if (s.graph_ops > 0) {
     s.topology_ratio = static_cast<double>(s.topology_changes) /
                        static_cast<double>(s.graph_ops);
@@ -79,9 +74,15 @@ StreamStatistics ComputeStreamStatistics(const std::vector<Event>& events) {
     s.mean_run_length =
         static_cast<double>(run_total) / static_cast<double>(run_count);
   }
-  s.final_vertices = shadow.num_vertices();
-  s.final_edges = shadow.num_edges();
+  s.final_vertices = shadow_.num_vertices();
+  s.final_edges = shadow_.num_edges();
   return s;
+}
+
+StreamStatistics ComputeStreamStatistics(const std::vector<Event>& events) {
+  StreamStatisticsBuilder builder;
+  for (const Event& e : events) builder.Add(e);
+  return builder.Snapshot();
 }
 
 std::string StreamStatistics::ToString() const {

@@ -10,6 +10,7 @@
 #include <vector>
 
 #include "stream/event.h"
+#include "stream/validator.h"
 
 namespace graphtides {
 
@@ -51,6 +52,29 @@ struct StreamStatistics {
 
   /// Multi-line human-readable rendering.
   std::string ToString() const;
+};
+
+/// \brief Incremental single-pass computation of StreamStatistics.
+///
+/// Feed events one at a time with Add(); Snapshot() finalizes the derived
+/// ratios at any point. Streaming callers (gt_generate --stream-out) tee
+/// events through a builder instead of materializing the stream.
+class StreamStatisticsBuilder {
+ public:
+  void Add(const Event& event);
+
+  /// Statistics over everything added so far.
+  StreamStatistics Snapshot() const;
+
+ private:
+  StreamStatistics stats_;
+  StreamValidator shadow_;
+  // Interleaving run-length accounting over graph ops only.
+  bool have_prev_class_ = false;
+  bool prev_is_topology_ = false;
+  size_t run_count_ = 0;
+  size_t run_total_ = 0;
+  size_t current_run_ = 0;
 };
 
 /// \brief Single-pass computation of StreamStatistics.

@@ -80,7 +80,9 @@ Status StreamFileWriter::Open(const std::string& path) {
 }
 
 Status StreamFileWriter::Append(const Event& event) {
-  out_ << event.ToCsvLine() << '\n';
+  line_buf_.clear();
+  AppendEventLine(event, &line_buf_);
+  out_.write(line_buf_.data(), static_cast<std::streamsize>(line_buf_.size()));
   if (!out_.good()) return Status::IoError("write failure");
   ++events_written_;
   return Status::OK();
@@ -149,8 +151,7 @@ Result<std::vector<Event>> ParseStreamText(const std::string& text) {
 std::string FormatStreamText(const std::vector<Event>& events) {
   std::string out;
   for (const Event& e : events) {
-    out += e.ToCsvLine();
-    out.push_back('\n');
+    AppendEventLine(e, &out);
   }
   return out;
 }

@@ -68,6 +68,7 @@ class StreamFileWriter {
 
  private:
   std::ofstream out_;
+  std::string line_buf_;  // reused across Append calls
   size_t events_written_ = 0;
 };
 

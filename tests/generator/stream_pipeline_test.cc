@@ -1,0 +1,188 @@
+// Tests for the streaming generation path: consumer equivalence with the
+// legacy in-memory path, byte-identical pipelined output, and error
+// propagation through EventConsumer.
+#include "generator/stream_pipeline.h"
+
+#include <cstdio>
+#include <cstdlib>
+
+#include <gtest/gtest.h>
+
+#include "generator/event_consumer.h"
+#include "generator/models/blockchain_model.h"
+#include "generator/models/event_mix_model.h"
+#include "generator/models/social_network_model.h"
+#include "generator/stream_generator.h"
+#include "stream/event.h"
+
+namespace graphtides {
+namespace {
+
+StreamGeneratorOptions TestOptions() {
+  StreamGeneratorOptions options;
+  options.seed = 99;
+  options.rounds = 5000;
+  options.marker_interval = 250;
+  options.bootstrap_pause = Duration::FromMillis(10);
+  return options;
+}
+
+/// Reference rendering of the legacy in-memory path: one ToCsvLine string
+/// per event, '\n'-joined — what WriteStreamFile/the seed serializer
+/// produced.
+std::string RenderLegacy(const std::vector<Event>& events) {
+  std::string out;
+  for (const Event& e : events) {
+    out += e.ToCsvLine();
+    out.push_back('\n');
+  }
+  return out;
+}
+
+TEST(StreamPipelineTest, CollectingConsumerMatchesLegacyGenerate) {
+  SocialNetworkModel model_a;
+  auto legacy = StreamGenerator(&model_a, TestOptions()).Generate();
+  ASSERT_TRUE(legacy.ok()) << legacy.status().ToString();
+
+  SocialNetworkModel model_b;
+  std::vector<Event> streamed;
+  CollectingConsumer consumer(&streamed);
+  auto summary = StreamGenerator(&model_b, TestOptions()).GenerateTo(consumer);
+  ASSERT_TRUE(summary.ok()) << summary.status().ToString();
+
+  ASSERT_EQ(legacy->events.size(), streamed.size());
+  for (size_t i = 0; i < streamed.size(); ++i) {
+    EXPECT_EQ(legacy->events[i], streamed[i]) << "event " << i;
+  }
+  EXPECT_EQ(summary->total_events, streamed.size());
+  EXPECT_EQ(summary->bootstrap_events, legacy->bootstrap_events);
+  EXPECT_EQ(summary->evolution_events, legacy->evolution_events);
+  EXPECT_EQ(summary->skipped_rounds, legacy->skipped_rounds);
+  EXPECT_EQ(summary->final_vertices, legacy->final_vertices);
+  EXPECT_EQ(summary->final_edges, legacy->final_edges);
+}
+
+TEST(StreamPipelineTest, PipelinedWriterByteIdenticalToLegacyPath) {
+  // Same seed, two engines: the in-memory path rendered with per-event
+  // ToCsvLine vs the pipelined writer into a memory FILE. Must match to
+  // the byte.
+  SocialNetworkModel model_a;
+  auto legacy = StreamGenerator(&model_a, TestOptions()).Generate();
+  ASSERT_TRUE(legacy.ok());
+  const std::string expected = RenderLegacy(legacy->events);
+
+  char* data = nullptr;
+  size_t size = 0;
+  FILE* mem = open_memstream(&data, &size);
+  ASSERT_NE(mem, nullptr);
+  {
+    SocialNetworkModel model_b;
+    // Tiny batches to force many queue handoffs and batch recycling.
+    PipelinedWriterOptions wopts;
+    wopts.batch_events = 64;
+    wopts.queue_batches = 2;
+    PipelinedWriterConsumer writer(mem, wopts);
+    auto summary =
+        StreamGenerator(&model_b, TestOptions()).GenerateTo(writer);
+    ASSERT_TRUE(summary.ok()) << summary.status().ToString();
+    EXPECT_EQ(writer.events_written(), summary->total_events);
+    EXPECT_EQ(writer.bytes_written(), expected.size());
+  }
+  std::fclose(mem);
+  ASSERT_NE(data, nullptr);
+  EXPECT_EQ(std::string_view(data, size), expected);
+  std::free(data);
+}
+
+TEST(StreamPipelineTest, PipelinedWriterByteIdenticalAcrossModels) {
+  // The event-mix model exercises removals and quoted JSON-ish payloads;
+  // blockchain exercises hub-biased topologies.
+  StreamGeneratorOptions options;
+  options.seed = 7;
+  options.rounds = 2000;
+  options.marker_interval = 100;
+
+  {
+    EventMixModel model_a{EventMixModelOptions{}};
+    auto legacy = StreamGenerator(&model_a, options).Generate();
+    ASSERT_TRUE(legacy.ok());
+    char* data = nullptr;
+    size_t size = 0;
+    FILE* mem = open_memstream(&data, &size);
+    EventMixModel model_b{EventMixModelOptions{}};
+    PipelinedWriterConsumer writer(mem);
+    auto summary = StreamGenerator(&model_b, options).GenerateTo(writer);
+    ASSERT_TRUE(summary.ok());
+    std::fclose(mem);
+    EXPECT_EQ(std::string_view(data, size), RenderLegacy(legacy->events));
+    std::free(data);
+  }
+  {
+    BlockchainModel model_a;
+    auto legacy = StreamGenerator(&model_a, options).Generate();
+    ASSERT_TRUE(legacy.ok());
+    char* data = nullptr;
+    size_t size = 0;
+    FILE* mem = open_memstream(&data, &size);
+    BlockchainModel model_b;
+    PipelinedWriterConsumer writer(mem);
+    auto summary = StreamGenerator(&model_b, options).GenerateTo(writer);
+    ASSERT_TRUE(summary.ok());
+    std::fclose(mem);
+    EXPECT_EQ(std::string_view(data, size), RenderLegacy(legacy->events));
+    std::free(data);
+  }
+}
+
+TEST(StreamPipelineTest, ConsumerErrorAbortsGeneration) {
+  SocialNetworkModel model;
+  size_t seen = 0;
+  CallbackConsumer consumer([&seen](Event&&) {
+    if (++seen > 100) return Status::IoError("downstream full");
+    return Status::OK();
+  });
+  auto summary = StreamGenerator(&model, TestOptions()).GenerateTo(consumer);
+  ASSERT_FALSE(summary.ok());
+  EXPECT_TRUE(summary.status().IsIoError()) << summary.status().ToString();
+  // Generation stopped shortly after the failure, not at stream end.
+  EXPECT_LE(seen, 102u);
+}
+
+TEST(StreamPipelineTest, AppendEventLineMatchesToCsvLine) {
+  const std::vector<Event> events = {
+      Event::AddVertex(42, "{\"user\":\"u42\",\"joined\":7}"),
+      Event::AddVertex(7, ""),
+      Event::RemoveVertex(42),
+      Event::AddEdge(1, 2, "with,comma"),
+      Event::UpdateEdge(1, 2, "with\"quote"),
+      Event::RemoveEdge(1, 2),
+      Event::Marker("MARK_17"),
+      Event::SetRate(2.5),
+      Event::Pause(Duration::FromMillis(1500)),
+  };
+  for (const Event& e : events) {
+    std::string appended;
+    AppendEventLine(e, &appended);
+    EXPECT_EQ(appended, e.ToCsvLine() + "\n");
+  }
+}
+
+TEST(StreamPipelineTest, WriterReportsIoErrorFromClosedFile) {
+  // A FILE* opened read-only rejects writes; the error must surface from
+  // GenerateTo rather than being swallowed by the writer thread.
+  FILE* readonly = std::fopen("/dev/null", "r");
+  ASSERT_NE(readonly, nullptr);
+  SocialNetworkModel model;
+  StreamGeneratorOptions options;
+  options.seed = 5;
+  options.rounds = 20000;
+  {
+    PipelinedWriterConsumer writer(readonly);
+    auto summary = StreamGenerator(&model, options).GenerateTo(writer);
+    EXPECT_FALSE(summary.ok());
+  }
+  std::fclose(readonly);
+}
+
+}  // namespace
+}  // namespace graphtides

@@ -46,6 +46,41 @@ TEST(TopologyIndexTest, RemoveVertexCascades) {
   EXPECT_TRUE(topo.HasEdge(2, 3));
 }
 
+TEST(TopologyIndexTest, HighDegreeHubCrossesIndexThreshold) {
+  // Push a hub's adjacency well past kAdjIndexThreshold so the indexed
+  // (hash-backed) swap-remove path runs, then drain it back through the
+  // scan path boundary and cascade-remove the hub itself.
+  TopologyIndex topo;
+  const VertexId hub = 0;
+  ASSERT_TRUE(topo.AddVertex(hub).ok());
+  const size_t fan = TopologyIndex::kAdjIndexThreshold * 3;
+  for (VertexId v = 1; v <= fan; ++v) {
+    ASSERT_TRUE(topo.AddVertex(v).ok());
+    ASSERT_TRUE(topo.AddEdge(hub, v).ok());
+    ASSERT_TRUE(topo.AddEdge(v, hub).ok());
+  }
+  EXPECT_EQ(topo.DegreeOf(hub), 2 * fan);
+  EXPECT_EQ(topo.OutDegreeOf(hub), fan);
+
+  // Remove from the middle of the (now indexed) adjacency list.
+  for (VertexId v = 2; v <= fan; v += 2) {
+    ASSERT_TRUE(topo.RemoveEdge(hub, v).ok());
+    ASSERT_TRUE(topo.RemoveEdge(v, hub).ok());
+  }
+  EXPECT_EQ(topo.DegreeOf(hub), fan);
+  for (VertexId v = 1; v <= fan; ++v) {
+    EXPECT_EQ(topo.HasEdge(hub, v), v % 2 == 1) << "edge to " << v;
+  }
+
+  // Cascade removal of the hub drops every remaining incident edge.
+  ASSERT_TRUE(topo.RemoveVertex(hub).ok());
+  EXPECT_EQ(topo.num_edges(), 0u);
+  EXPECT_EQ(topo.num_vertices(), fan);
+  for (VertexId v = 1; v <= fan; ++v) {
+    EXPECT_EQ(topo.DegreeOf(v), 0u);
+  }
+}
+
 TEST(TopologyIndexTest, DegreeTracking) {
   TopologyIndex topo;
   for (VertexId v : {1, 2, 3}) ASSERT_TRUE(topo.AddVertex(v).ok());
@@ -106,7 +141,9 @@ TEST(TopologyIndexTest, SamplingValidAfterChurn) {
     EXPECT_TRUE(topo.HasVertex(*v));
     EXPECT_EQ(*v % 2, 1u);
     const auto e = topo.UniformEdge(rng);
-    if (e.has_value()) EXPECT_TRUE(topo.HasEdge(e->src, e->dst));
+    if (e.has_value()) {
+      EXPECT_TRUE(topo.HasEdge(e->src, e->dst));
+    }
   }
 }
 

@@ -9,11 +9,17 @@
 //   --rounds N         evolution-phase events             (default 10000)
 //   --seed S           generator seed                     (default 42)
 //   --out FILE         output stream file                 (default stdout)
+//   --stream-out FILE  stream events straight to FILE ("-" = stdout)
+//                      through the pipelined writer: constant memory in
+//                      the stream length, so arbitrarily long streams fit
+//                      in a fixed RSS budget
 //   --marker-interval N  MARK_<i> every N events          (default 0 = off)
 //   --bootstrap-pause MS pause event after bootstrap      (default 0)
 //   --no-phase-markers   omit BOOTSTRAP_DONE / STREAM_END
 //   --stats              print stream statistics to stderr
+#include <cerrno>
 #include <cstdio>
+#include <cstring>
 #include <memory>
 
 #include "common/flags.h"
@@ -22,6 +28,7 @@
 #include "generator/models/event_mix_model.h"
 #include "generator/models/social_network_model.h"
 #include "generator/stream_generator.h"
+#include "generator/stream_pipeline.h"
 #include "stream/statistics.h"
 #include "stream/stream_file.h"
 
@@ -34,6 +41,25 @@ int Fail(const Status& status) {
   return 1;
 }
 
+/// Feeds every event to a statistics builder before forwarding it, so
+/// --stats works on the streaming path without materializing the stream.
+class TeeStatsConsumer final : public EventConsumer {
+ public:
+  TeeStatsConsumer(StreamStatisticsBuilder* stats, EventConsumer* inner)
+      : stats_(stats), inner_(inner) {}
+
+  Status Consume(Event&& event) override {
+    stats_->Add(event);
+    return inner_->Consume(std::move(event));
+  }
+
+  Status Finish() override { return inner_->Finish(); }
+
+ private:
+  StreamStatisticsBuilder* stats_;
+  EventConsumer* inner_;
+};
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -41,14 +67,14 @@ int main(int argc, char** argv) {
   if (!flags_or.ok()) return Fail(flags_or.status());
   const Flags& flags = *flags_or;
   const auto unknown = flags.UnknownFlags(
-      {"model", "rounds", "seed", "out", "marker-interval",
+      {"model", "rounds", "seed", "out", "stream-out", "marker-interval",
        "bootstrap-pause", "no-phase-markers", "stats", "help"});
   if (!unknown.empty()) {
     return Fail(Status::InvalidArgument("unknown flag --" + unknown[0]));
   }
   if (flags.GetBool("help")) {
     std::printf("usage: gt_generate --model social|ddos|blockchain|mix "
-                "--rounds N --seed S --out FILE\n");
+                "--rounds N --seed S [--out FILE | --stream-out FILE]\n");
     return 0;
   }
 
@@ -88,6 +114,43 @@ int main(int argc, char** argv) {
   options.emit_phase_markers = !flags.GetBool("no-phase-markers");
 
   StreamGenerator generator(model.get(), options);
+  const bool want_stats = flags.GetBool("stats");
+  StreamStatisticsBuilder stats;
+
+  const std::string stream_out = flags.GetString("stream-out", "");
+  if (!stream_out.empty()) {
+    // Streaming path: generator thread -> batch queue -> writer thread,
+    // one write per block; RSS stays bounded regardless of --rounds.
+    FILE* file = stdout;
+    if (stream_out != "-") {
+      file = std::fopen(stream_out.c_str(), "w");
+      if (file == nullptr) {
+        return Fail(Status::IoError("cannot create stream file: " +
+                                    stream_out + ": " + std::strerror(errno)));
+      }
+    }
+    Result<GenerateSummary> summary = [&]() -> Result<GenerateSummary> {
+      PipelinedWriterConsumer writer(file);
+      if (want_stats) {
+        TeeStatsConsumer tee(&stats, &writer);
+        return generator.GenerateTo(tee);
+      }
+      return generator.GenerateTo(writer);
+    }();
+    if (file != stdout) std::fclose(file);
+    if (!summary.ok()) return Fail(summary.status());
+    std::fprintf(stderr,
+                 "gt_generate: %zu events (%zu bootstrap, %zu evolution, %zu "
+                 "skipped rounds) -> %s\n",
+                 summary->total_events, summary->bootstrap_events,
+                 summary->evolution_events, summary->skipped_rounds,
+                 stream_out == "-" ? "stdout" : stream_out.c_str());
+    if (want_stats) {
+      std::fprintf(stderr, "%s\n", stats.Snapshot().ToString().c_str());
+    }
+    return 0;
+  }
+
   auto stream = generator.Generate();
   if (!stream.ok()) return Fail(stream.status());
 
@@ -105,7 +168,7 @@ int main(int argc, char** argv) {
                stream->events.size(), stream->bootstrap_events,
                stream->evolution_events, stream->skipped_rounds,
                out.empty() ? "stdout" : out.c_str());
-  if (flags.GetBool("stats")) {
+  if (want_stats) {
     std::fprintf(stderr, "%s\n",
                  ComputeStreamStatistics(stream->events).ToString().c_str());
   }
