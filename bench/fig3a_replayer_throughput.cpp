@@ -73,7 +73,7 @@ struct RateObservation {
 RateObservation Measure(const std::vector<Event>& events, double target_rate,
                         bool tcp, int repetitions) {
   std::vector<double> bin_rates;
-  std::vector<double> lags;
+  LatencyHistogram lags;
   for (int rep = 0; rep < repetitions; ++rep) {
     ReplayerOptions options;
     options.base_rate_eps = target_rate;
@@ -112,17 +112,16 @@ RateObservation Measure(const std::vector<Event>& events, double target_rate,
       bin_rates.push_back(static_cast<double>(series[i].events) /
                           options.stats_bin.seconds());
     }
-    lags.insert(lags.end(), stats->lag_us.begin(), stats->lag_us.end());
+    lags.Merge(stats->lag);
   }
   RateObservation obs;
   std::sort(bin_rates.begin(), bin_rates.end());
   obs.median = PercentileSorted(bin_rates, 0.5);
   obs.p05 = PercentileSorted(bin_rates, 0.05);
   obs.max = bin_rates.empty() ? 0.0 : bin_rates.back();
-  std::sort(lags.begin(), lags.end());
-  obs.lag_p50_us = PercentileSorted(lags, 0.5);
-  obs.lag_p99_us = PercentileSorted(lags, 0.99);
-  obs.lag_max_us = lags.empty() ? 0.0 : lags.back();
+  obs.lag_p50_us = lags.ValueAtQuantileMicros(0.5);
+  obs.lag_p99_us = lags.ValueAtQuantileMicros(0.99);
+  obs.lag_max_us = static_cast<double>(lags.max_nanos()) / 1e3;
   return obs;
 }
 
@@ -138,7 +137,7 @@ struct ShardObservation {
 ShardObservation MeasureSharded(const std::vector<Event>& events,
                                 size_t shards, int repetitions) {
   std::vector<double> rates;
-  std::vector<double> lags;
+  LatencyHistogram lags;
   for (int rep = 0; rep < repetitions; ++rep) {
     ShardedReplayerOptions options;
     options.shards = shards;
@@ -165,16 +164,14 @@ ShardObservation MeasureSharded(const std::vector<Event>& events,
       rates.push_back(
           static_cast<double>(stats->aggregate.events_delivered) / elapsed);
     }
-    lags.insert(lags.end(), stats->aggregate.lag_us.begin(),
-                stats->aggregate.lag_us.end());
+    lags.Merge(stats->aggregate.lag);
   }
   ShardObservation obs;
   obs.shards = shards;
   std::sort(rates.begin(), rates.end());
   obs.events_per_sec = PercentileSorted(rates, 0.5);
-  std::sort(lags.begin(), lags.end());
-  obs.lag_p50_us = PercentileSorted(lags, 0.5);
-  obs.lag_p99_us = PercentileSorted(lags, 0.99);
+  obs.lag_p50_us = lags.ValueAtQuantileMicros(0.5);
+  obs.lag_p99_us = lags.ValueAtQuantileMicros(0.99);
   return obs;
 }
 

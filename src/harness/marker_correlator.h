@@ -10,6 +10,7 @@
 
 #include "common/clock.h"
 #include "harness/log_collector.h"
+#include "harness/telemetry/latency_histogram.h"
 
 namespace graphtides {
 
@@ -26,6 +27,9 @@ struct MarkerCorrelationReport {
   std::vector<MarkerLatency> matched;
   /// Markers streamed but never observed (lost / still pending at run end).
   std::vector<std::string> unmatched;
+  /// Matched latencies as a mergeable histogram (same data as `matched`,
+  /// ready for percentile queries and cross-run aggregation).
+  LatencyHistogram latency;
 
   /// Latencies in seconds for statistics.
   std::vector<double> LatenciesSeconds() const;
@@ -33,7 +37,9 @@ struct MarkerCorrelationReport {
 
 /// \brief Joins `sent_metric` records (marker label in `text`) with
 /// `observed_metric` records on the label. The first observation at or
-/// after the send time wins.
+/// after the send time wins; each observation is consumed by its match.
+/// Post-hoc compatibility wrapper over StreamingMarkerCorrelator, which is
+/// what live runs use.
 MarkerCorrelationReport CorrelateMarkers(const ResultLog& log,
                                          const std::string& sent_metric,
                                          const std::string& observed_metric);

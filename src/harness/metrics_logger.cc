@@ -2,20 +2,20 @@
 
 namespace graphtides {
 
-void MetricsLogger::Log(const std::string& metric, double value) {
+void MetricsLogger::Log(std::string_view metric, double value) {
   LogAt(clock_->Now(), metric, value);
 }
 
-void MetricsLogger::LogText(const std::string& metric, double value,
-                            const std::string& text) {
+void MetricsLogger::LogText(std::string_view metric, double value,
+                            std::string_view text) {
   LogAt(clock_->Now(), metric, value, text);
 }
 
-void MetricsLogger::LogAt(Timestamp time, const std::string& metric,
-                          double value, const std::string& text) {
+void MetricsLogger::LogAt(Timestamp time, std::string_view metric,
+                          double value, std::string_view text) {
   std::lock_guard<std::mutex> lock(mu_);
-  records_.push_back(
-      LogRecord{time, source_, metric, value, text, records_.size()});
+  records_.push_back(LogRecord{time, source_, std::string(metric), value,
+                               std::string(text), records_.size()});
 }
 
 std::vector<LogRecord> MetricsLogger::Records() const {

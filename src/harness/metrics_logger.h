@@ -6,6 +6,7 @@
 
 #include <mutex>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "common/clock.h"
@@ -25,14 +26,16 @@ class MetricsLogger {
 
   const std::string& source() const { return source_; }
 
-  /// Records metric=value at the current clock time.
-  void Log(const std::string& metric, double value);
+  /// Records metric=value at the current clock time. Names and annotations
+  /// are taken as string_view so hot callers logging literals or borrowed
+  /// buffers (telemetry spans, zero-copy parsers) pay exactly one copy —
+  /// the one into the stored record.
+  void Log(std::string_view metric, double value);
   /// Records an annotated value (e.g. marker label, query result text).
-  void LogText(const std::string& metric, double value,
-               const std::string& text);
+  void LogText(std::string_view metric, double value, std::string_view text);
   /// Records with an explicit timestamp (e.g. replaying a marker log).
-  void LogAt(Timestamp time, const std::string& metric, double value,
-             const std::string& text = "");
+  void LogAt(Timestamp time, std::string_view metric, double value,
+             std::string_view text = {});
 
   /// Snapshot of all records so far.
   std::vector<LogRecord> Records() const;

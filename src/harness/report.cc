@@ -50,6 +50,25 @@ std::string SectionHeader(const std::string& title) {
   return "\n=== " + title + " ===\n";
 }
 
+std::string PercentileTable(
+    const std::string& label_header,
+    const std::vector<std::pair<std::string, const LatencyHistogram*>>&
+        rows) {
+  TextTable table({label_header, "count", "p50 [us]", "p90 [us]", "p99 [us]",
+                   "p99.9 [us]", "max [us]"});
+  for (const auto& [name, h] : rows) {
+    if (h == nullptr || h->empty()) continue;
+    table.AddRow({name, std::to_string(h->count()),
+                  TextTable::FormatDouble(h->ValueAtQuantileMicros(0.5), 1),
+                  TextTable::FormatDouble(h->ValueAtQuantileMicros(0.9), 1),
+                  TextTable::FormatDouble(h->ValueAtQuantileMicros(0.99), 1),
+                  TextTable::FormatDouble(h->ValueAtQuantileMicros(0.999), 1),
+                  TextTable::FormatDouble(
+                      static_cast<double>(h->max_nanos()) / 1e3, 1)});
+  }
+  return table.ToString();
+}
+
 std::string ConfigBlock(
     const std::vector<std::pair<std::string, std::string>>& entries) {
   size_t width = 0;

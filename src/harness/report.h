@@ -4,7 +4,10 @@
 #define GRAPHTIDES_HARNESS_REPORT_H_
 
 #include <string>
+#include <utility>
 #include <vector>
+
+#include "harness/telemetry/latency_histogram.h"
 
 namespace graphtides {
 
@@ -31,6 +34,14 @@ std::string SectionHeader(const std::string& title);
 /// (Tables 2-4).
 std::string ConfigBlock(
     const std::vector<std::pair<std::string, std::string>>& entries);
+
+/// \brief Percentile table over named latency histograms: one row per
+/// histogram with count, p50/p90/p99/p999, and max in microseconds. The
+/// shared rendering for per-stage span tables (gt_replay) and telemetry
+/// analyses (gt_analyze).
+std::string PercentileTable(
+    const std::string& label_header,
+    const std::vector<std::pair<std::string, const LatencyHistogram*>>& rows);
 
 }  // namespace graphtides
 

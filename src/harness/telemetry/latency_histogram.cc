@@ -1,0 +1,92 @@
+#include "harness/telemetry/latency_histogram.h"
+
+#include <bit>
+#include <limits>
+
+namespace graphtides {
+
+namespace {
+
+constexpr int64_t kMaxTrackable =
+    (int64_t{1} << LatencyHistogram::kMaxExponent) - 1;
+
+}  // namespace
+
+size_t LatencyHistogram::BucketIndex(int64_t nanos) {
+  if (nanos < 0) nanos = 0;
+  if (nanos > kMaxTrackable) nanos = kMaxTrackable;
+  const uint64_t v = static_cast<uint64_t>(nanos);
+  if (v < kUnitBuckets) return static_cast<size_t>(v);
+  // Octave of v is [2^top, 2^(top+1)); its 8 sub-buckets have width
+  // 2^(top-3), so (v >> (top-3)) lies in [8, 16).
+  const int top = std::bit_width(v) - 1;  // >= 4
+  const int shift = top - 3;
+  return kUnitBuckets + static_cast<size_t>(top - 4) * kSubBucketsPerOctave +
+         static_cast<size_t>((v >> shift) - kSubBucketsPerOctave);
+}
+
+int64_t LatencyHistogram::BucketLowNanos(size_t i) {
+  if (i < kUnitBuckets) return static_cast<int64_t>(i);
+  const int top = static_cast<int>((i - kUnitBuckets) / kSubBucketsPerOctave) + 4;
+  const int64_t sub =
+      static_cast<int64_t>((i - kUnitBuckets) % kSubBucketsPerOctave);
+  return (static_cast<int64_t>(kSubBucketsPerOctave) + sub) << (top - 3);
+}
+
+int64_t LatencyHistogram::BucketHighNanos(size_t i) {
+  if (i < kUnitBuckets) return static_cast<int64_t>(i) + 1;
+  const int top = static_cast<int>((i - kUnitBuckets) / kSubBucketsPerOctave) + 4;
+  return BucketLowNanos(i) + (int64_t{1} << (top - 3));
+}
+
+void LatencyHistogram::RecordNanos(int64_t nanos) {
+  if (nanos < 0) nanos = 0;
+  if (nanos > kMaxTrackable) nanos = kMaxTrackable;
+  ++counts_[BucketIndex(nanos)];
+  if (count_ == 0 || nanos < min_) min_ = nanos;
+  if (count_ == 0 || nanos > max_) max_ = nanos;
+  ++count_;
+  sum_ += static_cast<double>(nanos);
+}
+
+void LatencyHistogram::Merge(const LatencyHistogram& other) {
+  if (other.count_ == 0) return;
+  for (size_t i = 0; i < kBucketCount; ++i) counts_[i] += other.counts_[i];
+  if (count_ == 0 || other.min_ < min_) min_ = other.min_;
+  if (count_ == 0 || other.max_ > max_) max_ = other.max_;
+  count_ += other.count_;
+  sum_ += other.sum_;
+}
+
+void LatencyHistogram::Reset() { *this = LatencyHistogram(); }
+
+int64_t LatencyHistogram::ValueAtQuantileNanos(double q) const {
+  if (count_ == 0) return 0;
+  if (q < 0.0) q = 0.0;
+  if (q > 1.0) q = 1.0;
+  // Rank of the target sample, 1-based (HDR convention: the smallest
+  // bucket whose cumulative count covers ceil(q * n)).
+  uint64_t rank = static_cast<uint64_t>(q * static_cast<double>(count_));
+  if (static_cast<double>(rank) < q * static_cast<double>(count_)) ++rank;
+  if (rank == 0) rank = 1;
+  uint64_t cumulative = 0;
+  for (size_t i = 0; i < kBucketCount; ++i) {
+    cumulative += counts_[i];
+    if (cumulative >= rank) {
+      int64_t mid = (BucketLowNanos(i) + BucketHighNanos(i) - 1) / 2;
+      if (mid < min_) mid = min_;
+      if (mid > max_) mid = max_;
+      return mid;
+    }
+  }
+  return max_;
+}
+
+void LatencyHistogram::ForEachNonZero(
+    const std::function<void(size_t, uint64_t)>& fn) const {
+  for (size_t i = 0; i < kBucketCount; ++i) {
+    if (counts_[i] != 0) fn(i, counts_[i]);
+  }
+}
+
+}  // namespace graphtides

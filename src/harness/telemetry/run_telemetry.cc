@@ -1,0 +1,88 @@
+#include "harness/telemetry/run_telemetry.h"
+
+namespace graphtides {
+
+RunTelemetry::RunTelemetry(RunTelemetryOptions options)
+    : options_(options), markers_(options.markers) {
+  if (options_.shards == 0) options_.shards = 1;
+  if (options_.sample_every == 0) options_.sample_every = 1;
+  slots_.reserve(options_.shards);
+  for (size_t i = 0; i < options_.shards; ++i) {
+    slots_.push_back(std::make_unique<Slot>());
+  }
+}
+
+void RunTelemetry::RecordStage(size_t shard, ReplayStage stage,
+                               Duration elapsed) {
+  Slot& slot = *slots_[shard];
+  std::lock_guard<std::mutex> lock(slot.mu);
+  slot.stages[static_cast<size_t>(stage)].Record(elapsed);
+}
+
+void RunTelemetry::UpdateDeliveryCounters(size_t shard,
+                                          const DeliveryCounters& totals) {
+  Slot& slot = *slots_[shard];
+  std::lock_guard<std::mutex> lock(slot.mu);
+  slot.delivery = totals;
+}
+
+uint64_t RunTelemetry::TotalDelivered() const {
+  uint64_t total = 0;
+  for (const auto& slot : slots_) {
+    total += slot->delivered.load(std::memory_order_relaxed);
+  }
+  return total;
+}
+
+std::array<LatencyHistogram, kReplayStageCount>
+RunTelemetry::MergedStageHistograms() const {
+  std::array<LatencyHistogram, kReplayStageCount> merged;
+  for (const auto& slot : slots_) {
+    std::lock_guard<std::mutex> lock(slot->mu);
+    for (size_t s = 0; s < kReplayStageCount; ++s) {
+      merged[s].Merge(slot->stages[s]);
+    }
+  }
+  return merged;
+}
+
+TelemetrySnapshot RunTelemetry::Snapshot() const {
+  TelemetrySnapshot snap;
+  std::array<LatencyHistogram, kReplayStageCount> merged;
+  DeliveryCounters sink_totals;
+  snap.shard_events.reserve(slots_.size());
+  for (const auto& slot : slots_) {
+    snap.shard_events.push_back(
+        slot->delivered.load(std::memory_order_relaxed));
+    std::lock_guard<std::mutex> lock(slot->mu);
+    for (size_t s = 0; s < kReplayStageCount; ++s) {
+      merged[s].Merge(slot->stages[s]);
+    }
+    sink_totals.retries += slot->delivery.retries;
+    sink_totals.reconnects += slot->delivery.reconnects;
+    sink_totals.drops_after_retry += slot->delivery.drops_after_retry;
+    sink_totals.giveups += slot->delivery.giveups;
+    sink_totals.injected_failures += slot->delivery.injected_failures;
+    sink_totals.injected_disconnects += slot->delivery.injected_disconnects;
+    sink_totals.backoff_s += slot->delivery.backoff_s;
+    sink_totals.stall_s += slot->delivery.stall_s;
+  }
+  for (uint64_t e : snap.shard_events) snap.events += e;
+  for (size_t s = 0; s < kReplayStageCount; ++s) {
+    snap.stages[s] = StageSummary::FromHistogram(merged[s]);
+  }
+  snap.sink = sink_totals;
+
+  const CorrelatorCounts mc = markers_.Counts();
+  snap.markers.sent = mc.sent;
+  snap.markers.matched = mc.matched;
+  snap.markers.unmatched = mc.unmatched;
+  snap.markers.pending = mc.pending;
+  snap.markers.orphans = mc.orphan_observations;
+  snap.markers.latency = StageSummary::FromHistogram(markers_.LatencySnapshot());
+
+  snap.ComputeImbalance();
+  return snap;
+}
+
+}  // namespace graphtides

@@ -1,0 +1,97 @@
+// RunTelemetry: the shared hub a live run records into. Each shard lane
+// owns one slot (stage histograms + delivery counters + delivered count);
+// the snapshotter thread assembles a TelemetrySnapshot from all slots
+// without stopping the lanes. Recording is sampled (1-in-N events) and the
+// whole facility compiles out under -DGT_TELEMETRY_OFF.
+#ifndef GRAPHTIDES_HARNESS_TELEMETRY_RUN_TELEMETRY_H_
+#define GRAPHTIDES_HARNESS_TELEMETRY_RUN_TELEMETRY_H_
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "harness/telemetry/latency_histogram.h"
+#include "harness/telemetry/snapshot.h"
+#include "harness/telemetry/streaming_marker_correlator.h"
+
+namespace graphtides {
+
+/// True when sampled spans are compiled in (default). Building with
+/// -DGT_TELEMETRY_OFF (CMake -DGT_TELEMETRY=OFF) turns every hot-path
+/// telemetry block into dead code the optimizer removes.
+#ifdef GT_TELEMETRY_OFF
+inline constexpr bool kTelemetryCompiled = false;
+#else
+inline constexpr bool kTelemetryCompiled = true;
+#endif
+
+struct RunTelemetryOptions {
+  /// Number of shard lanes recording (>= 1).
+  size_t shards = 1;
+  /// Sample 1 in this many events for per-stage spans. 1 = every event.
+  uint32_t sample_every = 64;
+  StreamingCorrelatorOptions markers;
+};
+
+/// \brief Aggregation hub for one replay run.
+///
+/// Thread contract: ShouldSample for shard s must be called from a single
+/// thread (the lane that owns the shard); RecordStage /
+/// UpdateDeliveryCounters are internally locked per slot, AddDelivered is
+/// relaxed-atomic, and Snapshot / markers() are safe from any thread.
+class RunTelemetry {
+ public:
+  explicit RunTelemetry(RunTelemetryOptions options = {});
+
+  size_t shards() const { return slots_.size(); }
+  uint32_t sample_every() const { return options_.sample_every; }
+
+  /// Per-shard sampling gate: true once every sample_every calls. Decide
+  /// once per event (or batch) and record every stage of that event.
+  bool ShouldSample(size_t shard) {
+    Slot& slot = *slots_[shard];
+    return ++slot.sample_counter % options_.sample_every == 0;
+  }
+
+  void RecordStage(size_t shard, ReplayStage stage, Duration elapsed);
+  void AddDelivered(size_t shard, uint64_t n) {
+    slots_[shard]->delivered.fetch_add(n, std::memory_order_relaxed);
+  }
+  /// Replaces shard's delivery-fault counters with the sink's current
+  /// cumulative totals (push from the owning lane; sinks are not safe to
+  /// poll cross-thread).
+  void UpdateDeliveryCounters(size_t shard, const DeliveryCounters& totals);
+
+  StreamingMarkerCorrelator& markers() { return markers_; }
+  const StreamingMarkerCorrelator& markers() const { return markers_; }
+
+  uint64_t TotalDelivered() const;
+
+  /// Stage histograms merged across all shards (exact: bucket counts add).
+  std::array<LatencyHistogram, kReplayStageCount> MergedStageHistograms()
+      const;
+
+  /// Assembles the progress/stage/marker/sink portion of a snapshot.
+  /// seq, elapsed_s, and events_per_sec are the emitter's to fill in.
+  TelemetrySnapshot Snapshot() const;
+
+ private:
+  struct alignas(64) Slot {
+    mutable std::mutex mu;
+    std::array<LatencyHistogram, kReplayStageCount> stages;
+    DeliveryCounters delivery;
+    std::atomic<uint64_t> delivered{0};
+    /// Owned by the lane thread; never read by the snapshotter.
+    uint32_t sample_counter = 0;
+  };
+
+  RunTelemetryOptions options_;
+  std::vector<std::unique_ptr<Slot>> slots_;
+  StreamingMarkerCorrelator markers_;
+};
+
+}  // namespace graphtides
+
+#endif  // GRAPHTIDES_HARNESS_TELEMETRY_RUN_TELEMETRY_H_

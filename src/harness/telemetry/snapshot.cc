@@ -1,0 +1,494 @@
+#include "harness/telemetry/snapshot.h"
+
+#include <cctype>
+#include <cstdio>
+#include <cstdlib>
+#include <map>
+
+namespace graphtides {
+
+namespace {
+
+constexpr std::string_view kSchema = "gt-telemetry-v1";
+
+void AppendNum(std::string* out, double v) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.10g", v);
+  out->append(buf);
+}
+
+void AppendNum(std::string* out, uint64_t v) {
+  char buf[24];
+  std::snprintf(buf, sizeof(buf), "%llu",
+                static_cast<unsigned long long>(v));
+  out->append(buf);
+}
+
+void AppendSummary(std::string* out, const StageSummary& s) {
+  out->append("{\"count\":");
+  AppendNum(out, s.count);
+  out->append(",\"p50_us\":");
+  AppendNum(out, s.p50_us);
+  out->append(",\"p90_us\":");
+  AppendNum(out, s.p90_us);
+  out->append(",\"p99_us\":");
+  AppendNum(out, s.p99_us);
+  out->append(",\"p999_us\":");
+  AppendNum(out, s.p999_us);
+  out->append(",\"max_us\":");
+  AppendNum(out, s.max_us);
+  out->append("}");
+}
+
+// --- Minimal JSON reader (objects/arrays/strings/numbers/bools), just
+// enough to parse and validate the snapshot schema without a dependency.
+
+struct JsonValue {
+  enum class Kind { kNull, kBool, kNumber, kString, kArray, kObject };
+  Kind kind = Kind::kNull;
+  bool boolean = false;
+  double number = 0.0;
+  std::string str;
+  std::vector<JsonValue> array;
+  std::map<std::string, JsonValue> object;
+};
+
+class JsonParser {
+ public:
+  explicit JsonParser(std::string_view text) : text_(text) {}
+
+  Result<JsonValue> Parse() {
+    JsonValue v;
+    GT_RETURN_NOT_OK(ParseValue(&v));
+    SkipSpace();
+    if (pos_ != text_.size()) {
+      return Status::ParseError("trailing characters after JSON value");
+    }
+    return v;
+  }
+
+ private:
+  void SkipSpace() {
+    while (pos_ < text_.size() &&
+           std::isspace(static_cast<unsigned char>(text_[pos_]))) {
+      ++pos_;
+    }
+  }
+
+  Status ParseValue(JsonValue* out) {
+    SkipSpace();
+    if (pos_ >= text_.size()) return Status::ParseError("unexpected end");
+    const char c = text_[pos_];
+    if (c == '{') return ParseObject(out);
+    if (c == '[') return ParseArray(out);
+    if (c == '"') {
+      out->kind = JsonValue::Kind::kString;
+      return ParseString(&out->str);
+    }
+    if (c == 't' || c == 'f') return ParseBool(out);
+    if (c == 'n') return ParseNull(out);
+    return ParseNumber(out);
+  }
+
+  Status ParseObject(JsonValue* out) {
+    out->kind = JsonValue::Kind::kObject;
+    ++pos_;  // '{'
+    SkipSpace();
+    if (pos_ < text_.size() && text_[pos_] == '}') {
+      ++pos_;
+      return Status::OK();
+    }
+    while (true) {
+      SkipSpace();
+      std::string key;
+      GT_RETURN_NOT_OK(ParseString(&key));
+      SkipSpace();
+      if (pos_ >= text_.size() || text_[pos_] != ':') {
+        return Status::ParseError("expected ':' after object key");
+      }
+      ++pos_;
+      JsonValue value;
+      GT_RETURN_NOT_OK(ParseValue(&value));
+      out->object.emplace(std::move(key), std::move(value));
+      SkipSpace();
+      if (pos_ >= text_.size()) return Status::ParseError("unclosed object");
+      if (text_[pos_] == ',') {
+        ++pos_;
+        continue;
+      }
+      if (text_[pos_] == '}') {
+        ++pos_;
+        return Status::OK();
+      }
+      return Status::ParseError("expected ',' or '}' in object");
+    }
+  }
+
+  Status ParseArray(JsonValue* out) {
+    out->kind = JsonValue::Kind::kArray;
+    ++pos_;  // '['
+    SkipSpace();
+    if (pos_ < text_.size() && text_[pos_] == ']') {
+      ++pos_;
+      return Status::OK();
+    }
+    while (true) {
+      JsonValue value;
+      GT_RETURN_NOT_OK(ParseValue(&value));
+      out->array.push_back(std::move(value));
+      SkipSpace();
+      if (pos_ >= text_.size()) return Status::ParseError("unclosed array");
+      if (text_[pos_] == ',') {
+        ++pos_;
+        continue;
+      }
+      if (text_[pos_] == ']') {
+        ++pos_;
+        return Status::OK();
+      }
+      return Status::ParseError("expected ',' or ']' in array");
+    }
+  }
+
+  Status ParseString(std::string* out) {
+    if (pos_ >= text_.size() || text_[pos_] != '"') {
+      return Status::ParseError("expected string");
+    }
+    ++pos_;
+    out->clear();
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_++];
+      if (c == '"') return Status::OK();
+      if (c == '\\') {
+        if (pos_ >= text_.size()) break;
+        const char esc = text_[pos_++];
+        switch (esc) {
+          case '"': out->push_back('"'); break;
+          case '\\': out->push_back('\\'); break;
+          case '/': out->push_back('/'); break;
+          case 'n': out->push_back('\n'); break;
+          case 't': out->push_back('\t'); break;
+          case 'r': out->push_back('\r'); break;
+          case 'b': out->push_back('\b'); break;
+          case 'f': out->push_back('\f'); break;
+          case 'u':
+            if (text_.size() - pos_ < 4) {
+              return Status::ParseError("truncated \\u escape");
+            }
+            pos_ += 4;  // labels are ASCII; placeholder for the code point
+            out->push_back('?');
+            break;
+          default:
+            return Status::ParseError("bad escape in string");
+        }
+        continue;
+      }
+      out->push_back(c);
+    }
+    return Status::ParseError("unclosed string");
+  }
+
+  Status ParseBool(JsonValue* out) {
+    out->kind = JsonValue::Kind::kBool;
+    if (text_.substr(pos_, 4) == "true") {
+      out->boolean = true;
+      pos_ += 4;
+      return Status::OK();
+    }
+    if (text_.substr(pos_, 5) == "false") {
+      out->boolean = false;
+      pos_ += 5;
+      return Status::OK();
+    }
+    return Status::ParseError("bad literal");
+  }
+
+  Status ParseNull(JsonValue* out) {
+    if (text_.substr(pos_, 4) != "null") {
+      return Status::ParseError("bad literal");
+    }
+    out->kind = JsonValue::Kind::kNull;
+    pos_ += 4;
+    return Status::OK();
+  }
+
+  Status ParseNumber(JsonValue* out) {
+    const char* begin = text_.data() + pos_;
+    char* end = nullptr;
+    out->number = std::strtod(begin, &end);
+    if (end == begin) return Status::ParseError("expected number");
+    out->kind = JsonValue::Kind::kNumber;
+    pos_ += static_cast<size_t>(end - begin);
+    return Status::OK();
+  }
+
+  std::string_view text_;
+  size_t pos_ = 0;
+};
+
+Result<double> RequireNumber(const JsonValue& obj, const std::string& key) {
+  auto it = obj.object.find(key);
+  if (it == obj.object.end() ||
+      it->second.kind != JsonValue::Kind::kNumber) {
+    return Status::ParseError("missing numeric field \"" + key + "\"");
+  }
+  return it->second.number;
+}
+
+double OptionalNumber(const JsonValue& obj, const std::string& key) {
+  auto it = obj.object.find(key);
+  if (it == obj.object.end() ||
+      it->second.kind != JsonValue::Kind::kNumber) {
+    return 0.0;
+  }
+  return it->second.number;
+}
+
+Result<StageSummary> SummaryFromJson(const JsonValue& obj) {
+  if (obj.kind != JsonValue::Kind::kObject) {
+    return Status::ParseError("stage summary must be an object");
+  }
+  StageSummary s;
+  auto count = RequireNumber(obj, "count");
+  GT_RETURN_NOT_OK(count.status());
+  s.count = static_cast<uint64_t>(*count);
+  s.p50_us = OptionalNumber(obj, "p50_us");
+  s.p90_us = OptionalNumber(obj, "p90_us");
+  s.p99_us = OptionalNumber(obj, "p99_us");
+  s.p999_us = OptionalNumber(obj, "p999_us");
+  s.max_us = OptionalNumber(obj, "max_us");
+  return s;
+}
+
+}  // namespace
+
+std::string_view ReplayStageName(ReplayStage stage) {
+  switch (stage) {
+    case ReplayStage::kRead: return "read";
+    case ReplayStage::kThrottle: return "throttle";
+    case ReplayStage::kSerialize: return "serialize";
+    case ReplayStage::kDeliver: return "deliver";
+    case ReplayStage::kAck: return "ack";
+  }
+  return "unknown";
+}
+
+StageSummary StageSummary::FromHistogram(const LatencyHistogram& h) {
+  StageSummary s;
+  s.count = h.count();
+  if (s.count == 0) return s;
+  s.p50_us = h.ValueAtQuantileMicros(0.5);
+  s.p90_us = h.ValueAtQuantileMicros(0.9);
+  s.p99_us = h.ValueAtQuantileMicros(0.99);
+  s.p999_us = h.ValueAtQuantileMicros(0.999);
+  s.max_us = static_cast<double>(h.max_nanos()) / 1e3;
+  return s;
+}
+
+void TelemetrySnapshot::ComputeImbalance() {
+  shard_imbalance = 0.0;
+  if (shard_events.size() < 2) return;
+  uint64_t lo = shard_events[0];
+  uint64_t hi = shard_events[0];
+  uint64_t total = 0;
+  for (uint64_t e : shard_events) {
+    lo = std::min(lo, e);
+    hi = std::max(hi, e);
+    total += e;
+  }
+  if (total == 0) return;
+  const double mean =
+      static_cast<double>(total) / static_cast<double>(shard_events.size());
+  shard_imbalance = static_cast<double>(hi - lo) / mean;
+}
+
+std::string TelemetrySnapshot::ToJsonLine() const {
+  std::string out;
+  out.reserve(512);
+  out.append("{\"schema\":\"").append(kSchema).append("\"");
+  out.append(",\"seq\":");
+  AppendNum(&out, seq);
+  out.append(",\"elapsed_s\":");
+  AppendNum(&out, elapsed_s);
+  out.append(",\"events\":");
+  AppendNum(&out, events);
+  out.append(",\"eps\":");
+  AppendNum(&out, events_per_sec);
+  out.append(",\"shards\":[");
+  for (size_t i = 0; i < shard_events.size(); ++i) {
+    if (i > 0) out.push_back(',');
+    AppendNum(&out, shard_events[i]);
+  }
+  out.append("],\"imbalance\":");
+  AppendNum(&out, shard_imbalance);
+  bool any_stage = false;
+  for (size_t i = 0; i < kReplayStageCount; ++i) {
+    if (stages[i].count != 0) any_stage = true;
+  }
+  if (any_stage) {
+    out.append(",\"stages\":{");
+    bool first = true;
+    for (size_t i = 0; i < kReplayStageCount; ++i) {
+      if (stages[i].count == 0) continue;
+      if (!first) out.push_back(',');
+      first = false;
+      out.push_back('"');
+      out.append(ReplayStageName(static_cast<ReplayStage>(i)));
+      out.append("\":");
+      AppendSummary(&out, stages[i]);
+    }
+    out.push_back('}');
+  }
+  if (markers.sent != 0 || markers.matched != 0 || markers.unmatched != 0 ||
+      markers.orphans != 0) {
+    out.append(",\"markers\":{\"sent\":");
+    AppendNum(&out, markers.sent);
+    out.append(",\"matched\":");
+    AppendNum(&out, markers.matched);
+    out.append(",\"unmatched\":");
+    AppendNum(&out, markers.unmatched);
+    out.append(",\"pending\":");
+    AppendNum(&out, markers.pending);
+    out.append(",\"orphans\":");
+    AppendNum(&out, markers.orphans);
+    out.append(",\"latency\":");
+    AppendSummary(&out, markers.latency);
+    out.push_back('}');
+  }
+  if (sink.any()) {
+    out.append(",\"sink\":{\"retries\":");
+    AppendNum(&out, sink.retries);
+    out.append(",\"reconnects\":");
+    AppendNum(&out, sink.reconnects);
+    out.append(",\"drops_after_retry\":");
+    AppendNum(&out, sink.drops_after_retry);
+    out.append(",\"giveups\":");
+    AppendNum(&out, sink.giveups);
+    out.append(",\"injected_failures\":");
+    AppendNum(&out, sink.injected_failures);
+    out.append(",\"injected_disconnects\":");
+    AppendNum(&out, sink.injected_disconnects);
+    out.append(",\"backoff_s\":");
+    AppendNum(&out, sink.backoff_s);
+    out.append(",\"stall_s\":");
+    AppendNum(&out, sink.stall_s);
+    out.push_back('}');
+  }
+  out.push_back('}');
+  return out;
+}
+
+Result<TelemetrySnapshot> TelemetrySnapshot::FromJsonLine(
+    std::string_view line) {
+  auto parsed = JsonParser(line).Parse();
+  GT_RETURN_NOT_OK(parsed.status());
+  const JsonValue& root = *parsed;
+  if (root.kind != JsonValue::Kind::kObject) {
+    return Status::ParseError("snapshot line is not a JSON object");
+  }
+  const auto schema = root.object.find("schema");
+  if (schema == root.object.end() ||
+      schema->second.kind != JsonValue::Kind::kString) {
+    return Status::ParseError("missing \"schema\" field");
+  }
+  if (schema->second.str != kSchema) {
+    return Status::ParseError("unsupported schema \"" + schema->second.str +
+                              "\"");
+  }
+
+  TelemetrySnapshot snap;
+  auto seq = RequireNumber(root, "seq");
+  auto elapsed = RequireNumber(root, "elapsed_s");
+  auto events = RequireNumber(root, "events");
+  auto eps = RequireNumber(root, "eps");
+  auto imbalance = RequireNumber(root, "imbalance");
+  for (const Status& st : {seq.status(), elapsed.status(), events.status(),
+                           eps.status(), imbalance.status()}) {
+    GT_RETURN_NOT_OK(st);
+  }
+  snap.seq = static_cast<uint64_t>(*seq);
+  snap.elapsed_s = *elapsed;
+  snap.events = static_cast<uint64_t>(*events);
+  snap.events_per_sec = *eps;
+  snap.shard_imbalance = *imbalance;
+
+  const auto shards = root.object.find("shards");
+  if (shards == root.object.end() ||
+      shards->second.kind != JsonValue::Kind::kArray) {
+    return Status::ParseError("missing \"shards\" array");
+  }
+  for (const JsonValue& v : shards->second.array) {
+    if (v.kind != JsonValue::Kind::kNumber) {
+      return Status::ParseError("non-numeric entry in \"shards\"");
+    }
+    snap.shard_events.push_back(static_cast<uint64_t>(v.number));
+  }
+
+  const auto stages = root.object.find("stages");
+  if (stages != root.object.end()) {
+    if (stages->second.kind != JsonValue::Kind::kObject) {
+      return Status::ParseError("\"stages\" must be an object");
+    }
+    for (const auto& [name, value] : stages->second.object) {
+      bool known = false;
+      for (size_t i = 0; i < kReplayStageCount; ++i) {
+        if (name == ReplayStageName(static_cast<ReplayStage>(i))) {
+          auto summary = SummaryFromJson(value);
+          GT_RETURN_NOT_OK(summary.status().WithContext("stage " + name));
+          snap.stages[i] = *summary;
+          known = true;
+          break;
+        }
+      }
+      if (!known) {
+        return Status::ParseError("unknown stage \"" + name + "\"");
+      }
+    }
+  }
+
+  const auto markers = root.object.find("markers");
+  if (markers != root.object.end()) {
+    if (markers->second.kind != JsonValue::Kind::kObject) {
+      return Status::ParseError("\"markers\" must be an object");
+    }
+    const JsonValue& m = markers->second;
+    snap.markers.sent = static_cast<uint64_t>(OptionalNumber(m, "sent"));
+    snap.markers.matched =
+        static_cast<uint64_t>(OptionalNumber(m, "matched"));
+    snap.markers.unmatched =
+        static_cast<uint64_t>(OptionalNumber(m, "unmatched"));
+    snap.markers.pending =
+        static_cast<uint64_t>(OptionalNumber(m, "pending"));
+    snap.markers.orphans =
+        static_cast<uint64_t>(OptionalNumber(m, "orphans"));
+    const auto latency = m.object.find("latency");
+    if (latency != m.object.end()) {
+      auto summary = SummaryFromJson(latency->second);
+      GT_RETURN_NOT_OK(summary.status().WithContext("marker latency"));
+      snap.markers.latency = *summary;
+    }
+  }
+
+  const auto sink = root.object.find("sink");
+  if (sink != root.object.end()) {
+    if (sink->second.kind != JsonValue::Kind::kObject) {
+      return Status::ParseError("\"sink\" must be an object");
+    }
+    const JsonValue& s = sink->second;
+    snap.sink.retries = static_cast<uint64_t>(OptionalNumber(s, "retries"));
+    snap.sink.reconnects =
+        static_cast<uint64_t>(OptionalNumber(s, "reconnects"));
+    snap.sink.drops_after_retry =
+        static_cast<uint64_t>(OptionalNumber(s, "drops_after_retry"));
+    snap.sink.giveups = static_cast<uint64_t>(OptionalNumber(s, "giveups"));
+    snap.sink.injected_failures =
+        static_cast<uint64_t>(OptionalNumber(s, "injected_failures"));
+    snap.sink.injected_disconnects =
+        static_cast<uint64_t>(OptionalNumber(s, "injected_disconnects"));
+    snap.sink.backoff_s = OptionalNumber(s, "backoff_s");
+    snap.sink.stall_s = OptionalNumber(s, "stall_s");
+  }
+  return snap;
+}
+
+}  // namespace graphtides

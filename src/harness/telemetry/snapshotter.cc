@@ -1,0 +1,73 @@
+#include "harness/telemetry/snapshotter.h"
+
+#include <chrono>
+
+namespace graphtides {
+
+TelemetrySnapshotter::TelemetrySnapshotter(RunTelemetry* source,
+                                           SnapshotterOptions options)
+    : source_(source), options_(options) {
+  if (options_.period.nanos() <= 0) {
+    options_.period = Duration::FromMillis(500);
+  }
+  // Valid even when Stop() runs without a Start() (aborted setup paths).
+  start_time_ = clock_.Now();
+}
+
+TelemetrySnapshotter::~TelemetrySnapshotter() { Stop(); }
+
+void TelemetrySnapshotter::Start() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (started_ || stopped_) return;
+    started_ = true;
+  }
+  start_time_ = clock_.Now();
+  thread_ = std::thread(&TelemetrySnapshotter::Loop, this);
+}
+
+void TelemetrySnapshotter::Stop() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (stopped_) return;
+    stopped_ = true;
+    stop_requested_ = true;
+  }
+  cv_.notify_all();
+  if (thread_.joinable()) thread_.join();
+  // Final record: whatever the periodic ticks missed at the tail.
+  Emit();
+}
+
+void TelemetrySnapshotter::Loop() {
+  std::unique_lock<std::mutex> lock(mu_);
+  while (!stop_requested_) {
+    const auto wait = std::chrono::nanoseconds(options_.period.nanos());
+    if (cv_.wait_for(lock, wait, [this] { return stop_requested_; })) {
+      break;
+    }
+    lock.unlock();
+    Emit();
+    lock.lock();
+  }
+}
+
+void TelemetrySnapshotter::Emit() {
+  TelemetrySnapshot snap = source_->Snapshot();
+  snap.seq = seq_++;
+  snap.elapsed_s = (clock_.Now() - start_time_).seconds();
+  const double dt = snap.elapsed_s - prev_elapsed_s_;
+  const uint64_t de = snap.events - prev_events_;
+  snap.events_per_sec = dt > 1e-9 ? static_cast<double>(de) / dt : 0.0;
+  prev_events_ = snap.events;
+  prev_elapsed_s_ = snap.elapsed_s;
+  if (options_.out != nullptr) {
+    const std::string line = snap.ToJsonLine();
+    std::fwrite(line.data(), 1, line.size(), options_.out);
+    std::fputc('\n', options_.out);
+    std::fflush(options_.out);
+  }
+  if (options_.on_snapshot) options_.on_snapshot(snap);
+}
+
+}  // namespace graphtides

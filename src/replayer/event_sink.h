@@ -11,6 +11,7 @@
 #include <string>
 
 #include "common/status.h"
+#include "harness/telemetry/snapshot.h"
 #include "stream/event.h"
 
 namespace graphtides {
@@ -42,6 +43,21 @@ struct SinkTelemetry {
   SinkTelemetry& Merge(const SinkTelemetry& other);
   std::string ToString() const;
 };
+
+/// Projects sink-chain counters into the live-telemetry schema (injected
+/// stalls and latency spikes are already folded into stall_s).
+inline DeliveryCounters ToDeliveryCounters(const SinkTelemetry& t) {
+  DeliveryCounters c;
+  c.retries = t.retries;
+  c.reconnects = t.reconnects;
+  c.drops_after_retry = t.drops_after_retry;
+  c.giveups = t.giveups;
+  c.injected_failures = t.injected_failures;
+  c.injected_disconnects = t.injected_disconnects;
+  c.backoff_s = t.backoff_s;
+  c.stall_s = t.stall_s;
+  return c;
+}
 
 /// \brief Destination for replayed graph events.
 ///

@@ -39,6 +39,10 @@ Result<ReplayStats> StreamReplayer::Run(const SourceFn& source,
   }
   const uint64_t skip_entries = resume ? resume->entries_consumed : 0;
 
+  RunTelemetry* const telem =
+      kTelemetryCompiled ? options_.telemetry : nullptr;
+  const size_t tshard = options_.telemetry_shard;
+
   SpscQueue<Event> queue(options_.queue_capacity);
   std::atomic<bool> reader_done{false};
   std::atomic<bool> abort{false};
@@ -49,8 +53,21 @@ Result<ReplayStats> StreamReplayer::Run(const SourceFn& source,
     // emitted. Every source entry counts (graph + marker + control);
     // blank/comment lines never reach the source interface.
     uint64_t to_skip = skip_entries;
+    MonotonicClock read_clock;
+    uint32_t read_tick = 0;
     while (!abort.load(std::memory_order_relaxed)) {
+      // Read-stage span, sampled 1-in-N: how long the source parse/pull
+      // takes (RecordStage is internally locked, so the reader thread may
+      // share the emitter's slot).
+      const bool sample_read =
+          telem != nullptr && ++read_tick % telem->sample_every() == 0;
+      const Timestamp read_start =
+          sample_read ? read_clock.Now() : Timestamp{};
       Result<std::optional<Event>> next = source();
+      if (sample_read) {
+        telem->RecordStage(tshard, ReplayStage::kRead,
+                           read_clock.Now() - read_start);
+      }
       if (!next.ok()) {
         reader_status = next.status();
         break;
@@ -171,21 +188,46 @@ Result<ReplayStats> StreamReplayer::Run(const SourceFn& source,
     }
     if (event.type == EventType::kMarker) {
       ++stats.markers;
-      stats.marker_log.push_back(
-          {event.payload, clock.Now(), stats.events_delivered});
+      const Timestamp now = clock.Now();
+      stats.marker_log.push_back({event.payload, now, stats.events_delivered});
+      if (telem != nullptr) telem->markers().MarkerSent(event.payload, now);
       continue;
     }
 
+    // Sampled per-stage spans: the decision is made once per event, then
+    // every stage of that event is timed (throttle -> deliver -> ack).
+    const bool sampled = telem != nullptr && telem->ShouldSample(tshard);
+    const Timestamp span_start = sampled ? clock.Now() : Timestamp{};
     const Timestamp slot = rate.WaitForNextSlot();
+    Timestamp deliver_start;
+    if (sampled) {
+      deliver_start = clock.Now();
+      telem->RecordStage(tshard, ReplayStage::kThrottle,
+                         deliver_start - span_start);
+    }
     emit_status = sink->Deliver(event);
+    Timestamp ack_start;
+    if (sampled) {
+      ack_start = clock.Now();
+      telem->RecordStage(tshard, ReplayStage::kDeliver,
+                         ack_start - deliver_start);
+    }
     if (!emit_status.ok()) {
       break;
     }
     ++stats.events_delivered;
     progress_.store(stats.events_delivered, std::memory_order_relaxed);
-    stats.lag_us.push_back((clock.Now() - slot).seconds() * 1e6);
+    stats.lag.Record(clock.Now() - slot);
     roll_bins(slot);
     ++bin_count;
+    if (telem != nullptr) {
+      telem->AddDelivered(tshard, 1);
+      if (sampled) {
+        telem->UpdateDeliveryCounters(tshard,
+                                      ToDeliveryCounters(current_telemetry()));
+        telem->RecordStage(tshard, ReplayStage::kAck, clock.Now() - ack_start);
+      }
+    }
     if (options_.checkpoint_every > 0 &&
         stats.events_delivered % options_.checkpoint_every == 0 &&
         !write_checkpoint()) {
@@ -209,6 +251,10 @@ Result<ReplayStats> StreamReplayer::Run(const SourceFn& source,
     // where this one verifiably ended (exactly-once across the boundary).
     const Status finish_status = sink->Finish();
     stats.telemetry = current_telemetry();
+    if (telem != nullptr) {
+      telem->UpdateDeliveryCounters(tshard,
+                                    ToDeliveryCounters(stats.telemetry));
+    }
     write_checkpoint();
     stats.stopped_early = true;
     if (cancelled) {
@@ -227,6 +273,9 @@ Result<ReplayStats> StreamReplayer::Run(const SourceFn& source,
   if (!reader_status.ok()) return reader_status.WithContext("stream source");
   GT_RETURN_NOT_OK(sink->Finish());
   stats.telemetry = current_telemetry();
+  if (telem != nullptr) {
+    telem->UpdateDeliveryCounters(tshard, ToDeliveryCounters(stats.telemetry));
+  }
   if (options_.checkpoint_every > 0 && !write_checkpoint()) {
     return checkpoint_status.WithContext("final checkpoint");
   }

@@ -21,6 +21,8 @@
 #include "common/clock.h"
 #include "common/random.h"
 #include "common/result.h"
+#include "harness/telemetry/latency_histogram.h"
+#include "harness/telemetry/run_telemetry.h"
 #include "replayer/checkpoint.h"
 #include "replayer/event_sink.h"
 #include "replayer/rate_controller.h"
@@ -60,6 +62,17 @@ struct ReplayerOptions {
   /// RNG whose state is snapshotted into checkpoints and restored on
   /// resume (e.g. the resilient sink's jitter RNG). Optional, not owned.
   Rng* checkpoint_rng = nullptr;
+
+  // --- Live telemetry --------------------------------------------------
+
+  /// Optional telemetry hub (not owned). When set, the run records sampled
+  /// per-stage spans, delivered counts, sink fault counters, and marker
+  /// sends into it; a TelemetrySnapshotter attached to the same hub turns
+  /// them into JSONL progress records. No-op under -DGT_TELEMETRY_OFF.
+  RunTelemetry* telemetry = nullptr;
+  /// Slot in the hub this replayer records into (hubs are per-run; a
+  /// single replayer normally uses slot 0 of a 1-shard hub).
+  size_t telemetry_shard = 0;
 };
 
 /// \brief One marker observation: the wall-clock instant the marker passed
@@ -86,11 +99,13 @@ struct ReplayStats {
   Timestamp finished;
   std::vector<MarkerRecord> marker_log;
   std::vector<RateSample> rate_series;
-  /// Per-event emission lag in microseconds: how far behind its scheduled
-  /// deadline each event left the emitter (0 = perfectly timed). The
-  /// spread of this distribution is the "range of rates" effect Fig. 3a
-  /// reports at high target rates.
-  std::vector<double> lag_us;
+  /// Per-event emission lag: how far behind its scheduled deadline each
+  /// event left the emitter (0 = perfectly timed). The spread of this
+  /// distribution is the "range of rates" effect Fig. 3a reports at high
+  /// target rates. A fixed-footprint histogram (not raw samples), so
+  /// arbitrarily long runs cost constant memory and shard lanes merge
+  /// losslessly into the aggregate.
+  LatencyHistogram lag;
   /// Runtime-fault telemetry collected from the sink chain (retries,
   /// reconnects, counted drops, injected chaos faults). All zeros for
   /// plain sinks.

@@ -118,7 +118,7 @@ struct LaneState {
   /// allocating.
   SpscQueue<LaneBatch> recycle;
   std::thread thread;
-  /// Lane-local stats: events_delivered / lag_us / rate_series / telemetry
+  /// Lane-local stats: events_delivered / lag / rate_series / telemetry
   /// cover only this lane (markers, controls and entries are stream-global
   /// and live in the aggregate).
   ReplayStats stats;
@@ -206,6 +206,13 @@ Result<ShardedReplayStats> ShardedReplayer::Run(
   if (options_.checkpoint_every > 0 && options_.checkpoint_path.empty()) {
     return Status::InvalidArgument("checkpoint_every requires checkpoint_path");
   }
+  RunTelemetry* const telem =
+      kTelemetryCompiled ? options_.telemetry : nullptr;
+  if (telem != nullptr && telem->shards() < shards) {
+    return Status::InvalidArgument(
+        "telemetry hub has " + std::to_string(telem->shards()) +
+        " slots for " + std::to_string(shards) + " shards");
+  }
 
   // --- Counters seeded from the resume checkpoint (same accounting model
   // as StreamReplayer::Run: the final stats match an uninterrupted run).
@@ -281,8 +288,10 @@ Result<ShardedReplayStats> ShardedReplayer::Run(
   auto complete_barrier = [&](const BarrierCmd& cmd) {
     if (sink_failed.load(std::memory_order_acquire)) return;
     if (cmd.kind == BarrierCmd::Kind::kMarker) {
+      const Timestamp now = clock.Now();
       marker_log.push_back(
-          {cmd.label, clock.Now(), static_cast<size_t>(cmd.events_before)});
+          {cmd.label, now, static_cast<size_t>(cmd.events_before)});
+      if (telem != nullptr) telem->markers().MarkerSent(cmd.label, now);
     } else if (cmd.kind == BarrierCmd::Kind::kCheckpoint) {
       write_checkpoint_at(cmd);
     }
@@ -336,42 +345,86 @@ Result<ShardedReplayStats> ShardedReplayer::Run(
       LaneBatch batch = std::move(item.batch);
       Timestamp last_slot;
       size_t delivered = 0;
+      // Lane sampling is per batch (the telemetry-flush granularity): the
+      // first event of a sampled batch donates the throttle and serialize
+      // spans; deliver covers the sink handoff; ack the post-batch flush.
+      const bool sampled = telem != nullptr && telem->ShouldSample(shard);
+      Timestamp span_start;
       if (serialized) {
         // Zero-copy path: pace each slot, serialize the canonical line
         // into the reusable buffer, hand the sink the whole batch once.
         out.clear();
+        bool first = true;
         for (const LaneRecord& r : batch.records) {
+          if (sampled && first) span_start = clock.Now();
           last_slot = rate.WaitForNextSlot();
           view.type = r.type;
           view.vertex = r.vertex;
           view.edge = r.edge;
           view.payload = batch.PayloadOf(r);
-          view.AppendLine(&out);
+          if (sampled && first) {
+            const Timestamp serialize_start = clock.Now();
+            telem->RecordStage(shard, ReplayStage::kThrottle,
+                               serialize_start - span_start);
+            view.AppendLine(&out);
+            telem->RecordStage(shard, ReplayStage::kSerialize,
+                               clock.Now() - serialize_start);
+            first = false;
+          } else {
+            view.AppendLine(&out);
+          }
         }
+        const Timestamp deliver_start = sampled ? clock.Now() : Timestamp{};
         emit = sink->DeliverSerialized(out, batch.records.size());
+        if (sampled) {
+          telem->RecordStage(shard, ReplayStage::kDeliver,
+                             clock.Now() - deliver_start);
+        }
         if (emit.ok()) delivered = batch.records.size();
       } else {
         // Decorated sinks (chaos/resilient/callback) need the per-event
         // path; one reusable Event keeps it allocation-free in steady
         // state too.
+        bool first = true;
         for (const LaneRecord& r : batch.records) {
+          if (sampled && first) span_start = clock.Now();
           last_slot = rate.WaitForNextSlot();
           scratch.type = r.type;
           scratch.vertex = r.vertex;
           scratch.edge = r.edge;
           scratch.payload.assign(batch.arena, r.payload_offset, r.payload_len);
-          emit = sink->DeliverSequenced(scratch, r.seq);
+          if (sampled && first) {
+            const Timestamp deliver_start = clock.Now();
+            telem->RecordStage(shard, ReplayStage::kThrottle,
+                               deliver_start - span_start);
+            emit = sink->DeliverSequenced(scratch, r.seq);
+            telem->RecordStage(shard, ReplayStage::kDeliver,
+                               clock.Now() - deliver_start);
+            first = false;
+          } else {
+            emit = sink->DeliverSequenced(scratch, r.seq);
+          }
           if (!emit.ok()) break;
           ++delivered;
         }
       }
       if (delivered > 0) {
         // One telemetry flush per batch, not per event.
+        const Timestamp ack_start = sampled ? clock.Now() : Timestamp{};
         st.events_delivered += delivered;
         progress_.fetch_add(delivered, std::memory_order_relaxed);
-        st.lag_us.push_back((clock.Now() - last_slot).seconds() * 1e6);
+        st.lag.Record(clock.Now() - last_slot);
         roll_bins(last_slot);
         bin_count += delivered;
+        if (telem != nullptr) {
+          telem->AddDelivered(shard, delivered);
+          if (sampled) {
+            telem->UpdateDeliveryCounters(
+                shard, ToDeliveryCounters(sink->Telemetry()));
+            telem->RecordStage(shard, ReplayStage::kAck,
+                               clock.Now() - ack_start);
+          }
+        }
       }
       batch.Clear();
       (void)lane.recycle.TryPush(std::move(batch));
@@ -386,6 +439,9 @@ Result<ShardedReplayStats> ShardedReplayer::Run(
     if (bin_count > 0) st.rate_series.push_back({bin_start, bin_count});
     st.finished = clock.Now();
     st.telemetry = sink->Telemetry();
+    if (telem != nullptr) {
+      telem->UpdateDeliveryCounters(shard, ToDeliveryCounters(st.telemetry));
+    }
   };
 
   for (size_t s = 0; s < shards; ++s) {
@@ -441,6 +497,7 @@ Result<ShardedReplayStats> ShardedReplayer::Run(
   bool cancelled = false;
   bool stopped = false;
   uint64_t to_skip = skip_entries;
+  uint32_t read_tick = 0;
   while (true) {
     if (options_.cancel != nullptr && options_.cancel->cancelled()) {
       cancelled = true;
@@ -450,7 +507,16 @@ Result<ShardedReplayStats> ShardedReplayer::Run(
         checkpoint_failed.load(std::memory_order_relaxed)) {
       break;
     }
+    // Read-stage span, sampled 1-in-N source pulls. The reader is
+    // pipeline-global, so its samples land in slot 0 (RecordStage locks
+    // the slot, sharing it with lane 0 is safe).
+    const bool sample_read =
+        telem != nullptr && ++read_tick % telem->sample_every() == 0;
+    const Timestamp read_start = sample_read ? clock.Now() : Timestamp{};
     Result<std::optional<EventView>> next = source();
+    if (sample_read) {
+      telem->RecordStage(0, ReplayStage::kRead, clock.Now() - read_start);
+    }
     if (!next.ok()) {
       reader_status = next.status();
       break;
@@ -540,8 +606,7 @@ Result<ShardedReplayStats> ShardedReplayer::Run(
   for (size_t s = 0; s < shards; ++s) {
     ReplayStats& lane_stats = lanes[s]->stats;
     agg.events_delivered += lane_stats.events_delivered;
-    agg.lag_us.insert(agg.lag_us.end(), lane_stats.lag_us.begin(),
-                      lane_stats.lag_us.end());
+    agg.lag.Merge(lane_stats.lag);
     for (const RateSample& sample : lane_stats.rate_series) {
       merged_bins[(sample.bin_start - run_started).nanos() / bin_nanos] +=
           sample.events;

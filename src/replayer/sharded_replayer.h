@@ -89,6 +89,16 @@ struct ShardedReplayerOptions {
   uint64_t stop_after_events = 0;
   /// RNG snapshotted into checkpoints and restored on resume.
   Rng* checkpoint_rng = nullptr;
+
+  // --- Live telemetry --------------------------------------------------
+
+  /// Optional telemetry hub (not owned); must be built with at least
+  /// `shards` slots. Each lane records sampled per-stage spans and its
+  /// delivered/fault counters into its own slot (sampling is 1-in-N
+  /// batches on the lane hot path); the reader records read-stage spans
+  /// into slot 0 and feeds marker sends to the hub's correlator. No-op
+  /// under -DGT_TELEMETRY_OFF.
+  RunTelemetry* telemetry = nullptr;
 };
 
 /// \brief Outcome of a sharded run: the merged aggregate plus each lane's

@@ -13,6 +13,7 @@
 #include "graph/csr.h"
 #include "graph/graph.h"
 #include "harness/report.h"
+#include "harness/telemetry/latency_histogram.h"
 #include "sim/virtual_replayer.h"
 #include "suite/recoverable_connector.h"
 
@@ -122,7 +123,7 @@ Result<SuiteCaseScore> RunSuiteCase(const SuiteWorkload& workload,
     Timestamp sent;
   };
   std::deque<PendingWatermark> pending_watermarks;
-  std::vector<double> watermark_latencies;
+  LatencyHistogram watermark_latencies;
 
   bool stream_done = false;
   replayer.Start(
@@ -153,8 +154,7 @@ Result<SuiteCaseScore> RunSuiteCase(const SuiteWorkload& workload,
     while (!pending_watermarks.empty() &&
            connector->EventsApplied() >=
                pending_watermarks.front().events_before) {
-      watermark_latencies.push_back(
-          (sim.Now() - pending_watermarks.front().sent).seconds());
+      watermark_latencies.Record(sim.Now() - pending_watermarks.front().sent);
       pending_watermarks.pop_front();
     }
     // Periodic rank snapshot for retrospective accuracy.
@@ -218,8 +218,8 @@ Result<SuiteCaseScore> RunSuiteCase(const SuiteWorkload& workload,
         static_cast<double>(connector->EventsApplied()) / score.drained_s;
   }
   if (!watermark_latencies.empty()) {
-    score.watermark_p50_s = Percentile(watermark_latencies, 0.5);
-    score.watermark_p99_s = Percentile(watermark_latencies, 0.99);
+    score.watermark_p50_s = watermark_latencies.ValueAtQuantileSeconds(0.5);
+    score.watermark_p99_s = watermark_latencies.ValueAtQuantileSeconds(0.99);
   }
   score.mean_result_age_s = result_age.mean();
 

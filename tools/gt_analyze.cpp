@@ -8,6 +8,7 @@
 //   gt_analyze --log run1.csv --log-2 run2.csv
 //   gt_analyze --log result.csv --correlate replayer.replay_rate,worker-1.queue_length --bin-ms 1000
 //   gt_analyze --log result.csv --markers marker_sent,marker_seen
+//   gt_analyze --telemetry run.telemetry.jsonl
 //
 // Flags:
 //   --log FILE [--log-2 FILE --log-3 FILE]  input logs (merged)
@@ -16,7 +17,13 @@
 //   --correlate A,B          cross-correlate metric series "source.metric"
 //   --bin-ms N               resampling bin for correlation (default 1000)
 //   --max-lag N              lag search range in bins (default 10)
+//   --telemetry FILE         post-hoc analysis of a JSONL telemetry sidecar
+//                            (gt_replay --telemetry-out): throughput over
+//                            the run, final per-stage/marker percentile
+//                            tables, shard balance, fault counters
 #include <cstdio>
+
+#include <fstream>
 
 #include "analysis/time_series.h"
 #include "common/flags.h"
@@ -24,6 +31,7 @@
 #include "harness/log_collector.h"
 #include "harness/marker_correlator.h"
 #include "harness/report.h"
+#include "harness/telemetry/snapshot.h"
 
 using namespace graphtides;
 
@@ -41,6 +49,91 @@ std::pair<std::string, std::string> SplitSeriesName(const std::string& s) {
   return {s.substr(0, dot), s.substr(dot + 1)};
 }
 
+/// Post-hoc read of a JSONL telemetry sidecar: per-snapshot throughput
+/// trace plus the final cumulative stage/marker/sink state.
+int AnalyzeTelemetry(const std::string& path) {
+  std::ifstream file(path);
+  if (!file.good()) return Fail(Status::IoError("cannot read " + path));
+  std::vector<TelemetrySnapshot> snaps;
+  std::string line;
+  size_t line_no = 0;
+  while (std::getline(file, line)) {
+    ++line_no;
+    if (line.empty()) continue;
+    auto snap = TelemetrySnapshot::FromJsonLine(line);
+    if (!snap.ok()) {
+      return Fail(snap.status().WithContext(path + " line " +
+                                            std::to_string(line_no)));
+    }
+    snaps.push_back(std::move(*snap));
+  }
+  if (snaps.empty()) {
+    return Fail(Status::InvalidArgument(path + " holds no snapshots"));
+  }
+  const TelemetrySnapshot& last = snaps.back();
+  std::printf("telemetry: %zu snapshot(s) over %.3f s, %llu events "
+              "(%.0f ev/s overall), %zu shard(s)\n",
+              snaps.size(), last.elapsed_s,
+              static_cast<unsigned long long>(last.events),
+              last.elapsed_s > 0.0
+                  ? static_cast<double>(last.events) / last.elapsed_s
+                  : 0.0,
+              last.shard_events.size());
+
+  TextTable trace({"seq", "elapsed [s]", "events", "ev/s", "imbalance"});
+  for (const TelemetrySnapshot& s : snaps) {
+    trace.AddRow({std::to_string(s.seq),
+                  TextTable::FormatDouble(s.elapsed_s, 3),
+                  std::to_string(s.events),
+                  TextTable::FormatDouble(s.events_per_sec, 0),
+                  TextTable::FormatDouble(s.shard_imbalance, 3)});
+  }
+  std::printf("\n%s", trace.ToString().c_str());
+
+  TextTable stages({"stage", "count", "p50 [us]", "p90 [us]", "p99 [us]",
+                    "p99.9 [us]", "max [us]"});
+  bool any_stage = false;
+  for (size_t i = 0; i < kReplayStageCount; ++i) {
+    const StageSummary& s = last.stages[i];
+    if (s.count == 0) continue;
+    any_stage = true;
+    stages.AddRow({std::string(ReplayStageName(static_cast<ReplayStage>(i))),
+                   std::to_string(s.count),
+                   TextTable::FormatDouble(s.p50_us, 1),
+                   TextTable::FormatDouble(s.p90_us, 1),
+                   TextTable::FormatDouble(s.p99_us, 1),
+                   TextTable::FormatDouble(s.p999_us, 1),
+                   TextTable::FormatDouble(s.max_us, 1)});
+  }
+  if (any_stage) {
+    std::printf("\nfinal sampled stage spans:\n%s", stages.ToString().c_str());
+  }
+  if (last.markers.sent > 0) {
+    std::printf("\nmarkers: %llu sent, %llu matched, %llu unmatched, "
+                "%llu pending, %llu orphan observation(s)\n",
+                static_cast<unsigned long long>(last.markers.sent),
+                static_cast<unsigned long long>(last.markers.matched),
+                static_cast<unsigned long long>(last.markers.unmatched),
+                static_cast<unsigned long long>(last.markers.pending),
+                static_cast<unsigned long long>(last.markers.orphans));
+    if (last.markers.latency.count > 0) {
+      std::printf("marker latency: p50 %.1f us, p99 %.1f us, max %.1f us\n",
+                  last.markers.latency.p50_us, last.markers.latency.p99_us,
+                  last.markers.latency.max_us);
+    }
+  }
+  if (last.sink.any()) {
+    std::printf("\ndelivery faults: %llu retries, %llu reconnects, "
+                "%llu drops, %llu giveups, backoff %.3f s, stall %.3f s\n",
+                static_cast<unsigned long long>(last.sink.retries),
+                static_cast<unsigned long long>(last.sink.reconnects),
+                static_cast<unsigned long long>(last.sink.drops_after_retry),
+                static_cast<unsigned long long>(last.sink.giveups),
+                last.sink.backoff_s, last.sink.stall_s);
+  }
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -49,15 +142,19 @@ int main(int argc, char** argv) {
   const Flags& flags = *flags_or;
   const auto unknown = flags.UnknownFlags({"log", "log-2", "log-3", "out",
                                            "markers", "correlate", "bin-ms",
-                                           "max-lag", "help"});
+                                           "max-lag", "telemetry", "help"});
   if (!unknown.empty()) {
     return Fail(Status::InvalidArgument("unknown flag --" + unknown[0]));
   }
   if (flags.GetBool("help")) {
     std::printf("usage: gt_analyze --log FILE [--markers SENT,SEEN] "
-                "[--correlate A,B --bin-ms N]\n");
+                "[--correlate A,B --bin-ms N]\n"
+                "       gt_analyze --telemetry FILE\n");
     return 0;
   }
+
+  const std::string telemetry_path = flags.GetString("telemetry", "");
+  if (!telemetry_path.empty()) return AnalyzeTelemetry(telemetry_path);
 
   // Merge all provided logs.
   std::vector<LogRecord> all;
@@ -112,10 +209,13 @@ int main(int argc, char** argv) {
                 "unmatched\n",
                 std::string(parts[0]).c_str(), std::string(parts[1]).c_str(),
                 report.matched.size(), report.unmatched.size());
-    const auto latencies = report.LatenciesSeconds();
-    if (!latencies.empty()) {
+    if (!report.latency.empty()) {
       std::printf("latency: median %.6f s, p99 %.6f s\n",
-                  Percentile(latencies, 0.5), Percentile(latencies, 0.99));
+                  report.latency.ValueAtQuantileSeconds(0.5),
+                  report.latency.ValueAtQuantileSeconds(0.99));
+      std::printf("%s", PercentileTable(
+                            "metric", {{"marker_latency", &report.latency}})
+                            .c_str());
     }
   }
 

@@ -7,7 +7,9 @@
 // freezes, the RunWatchdog detects the stall and cancels the attempt, and
 // the CampaignSupervisor retries it with a fresh derived seed. The final
 // report shows requested vs effective n and the completed/retried/hung
-// accounting.
+// accounting. Each completed attempt also prints a live progress line to
+// stderr (events, apply-cost p50/p99 from the shared latency histogram,
+// virtual throughput) so long campaigns are observable while they run.
 //
 // Usage:
 //   gt_campaign --runs 10 --hang-runs 3,7 --deadline-ms 300
@@ -35,6 +37,7 @@
 #include "common/random.h"
 #include "common/string_util.h"
 #include "harness/campaign.h"
+#include "harness/telemetry/latency_histogram.h"
 #include "sim/process.h"
 #include "sim/simulator.h"
 
@@ -130,18 +133,21 @@ int main(int argc, char** argv) {
                            ctx.attempt < wedge_attempts;
         const uint64_t stall_after = wedge ? total_events / 2 : total_events;
         uint64_t applied = 0;
+        LatencyHistogram apply_costs;
 
         std::function<void()> submit_next = [&] {
           const double cost_ms = 0.5 + rng.NextDouble();
-          sut.Submit(Duration::FromNanos(static_cast<int64_t>(cost_ms * 1e6)),
-                     [&] {
-                       ++applied;
-                       if (wedge && applied >= stall_after) {
-                         sut.Kill();
-                         return;
-                       }
-                       if (applied < total_events) submit_next();
-                     });
+          const Duration cost =
+              Duration::FromNanos(static_cast<int64_t>(cost_ms * 1e6));
+          apply_costs.Record(cost);
+          sut.Submit(cost, [&] {
+            ++applied;
+            if (wedge && applied >= stall_after) {
+              sut.Kill();
+              return;
+            }
+            if (applied < total_events) submit_next();
+          });
         };
         submit_next();
 
@@ -157,10 +163,25 @@ int main(int argc, char** argv) {
           if (ctx.report_progress) ctx.report_progress(applied);
         }
 
+        // Live per-run progress line so an unattended n >= 30 campaign is
+        // observable while it runs, not only from the final report.
+        std::fprintf(stderr,
+                     "gt_campaign: run %zu/%lld attempt %zu done: %llu "
+                     "events, apply cost p50 %.2f ms p99 %.2f ms, "
+                     "%.0f ev/virtual-s\n",
+                     ctx.run_index + 1, static_cast<long long>(*runs),
+                     ctx.attempt,
+                     static_cast<unsigned long long>(total_events),
+                     apply_costs.ValueAtQuantileMicros(0.5) / 1e3,
+                     apply_costs.ValueAtQuantileMicros(0.99) / 1e3,
+                     static_cast<double>(total_events) / sim.Now().seconds());
+
         RunOutcome out;
         out["virtual_s"] = sim.Now().seconds();
         out["events_per_virtual_s"] =
             static_cast<double>(total_events) / sim.Now().seconds();
+        out["apply_cost_p50_ms"] = apply_costs.ValueAtQuantileMicros(0.5) / 1e3;
+        out["apply_cost_p99_ms"] = apply_costs.ValueAtQuantileMicros(0.99) / 1e3;
         return out;
       });
   if (!report.ok()) return Fail(report.status());

@@ -50,6 +50,19 @@
 //                          checkpoint; models a controlled kill)
 //   --watchdog-ms M        abort the run when no event is delivered for
 //                          M milliseconds (0 = no watchdog)
+//
+// Live telemetry (§4.3 extended to the replayer's own pipeline):
+//   --telemetry-out DEST   emit JSONL telemetry snapshots (schema
+//                          "gt-telemetry-v1") during the run: events/s,
+//                          per-stage latency percentiles, shard balance,
+//                          marker correlation, delivery-fault counters.
+//                          DEST is a sidecar file path, or "-" for stderr
+//                          (stdout carries the event stream in pipe mode).
+//                          Also prints a per-stage percentile table at the
+//                          end of the run.
+//   --telemetry-period-ms M  snapshot period (default 500)
+//   --telemetry-sample N     sample 1-in-N events for stage spans
+//                            (default 64)
 #include <cstdio>
 #include <functional>
 #include <memory>
@@ -61,7 +74,10 @@
 #include "common/string_util.h"
 #include "faults/chaos_sink.h"
 #include "harness/log_record.h"
+#include "harness/report.h"
 #include "harness/run_watchdog.h"
+#include "harness/telemetry/run_telemetry.h"
+#include "harness/telemetry/snapshotter.h"
 #include "replayer/checkpoint.h"
 #include "replayer/replayer.h"
 #include "replayer/resilient_sink.h"
@@ -89,7 +105,7 @@ int main(int argc, char** argv) {
        "chaos-stall-ms", "retry-budget", "retry-backoff-ms",
        "deliver-timeout-ms", "on-failure", "checkpoint-file",
        "checkpoint-every", "resume-from", "stop-after", "watchdog-ms",
-       "help"});
+       "telemetry-out", "telemetry-period-ms", "telemetry-sample", "help"});
   if (!unknown.empty()) {
     return Fail(Status::InvalidArgument("unknown flag --" + unknown[0]));
   }
@@ -102,7 +118,9 @@ int main(int argc, char** argv) {
         "       [--retry-budget N --retry-backoff-ms M "
         "--deliver-timeout-ms M --on-failure fail|drop|block]\n"
         "       [--checkpoint-file FILE --checkpoint-every N "
-        "--resume-from FILE --stop-after N --watchdog-ms M]\n");
+        "--resume-from FILE --stop-after N --watchdog-ms M]\n"
+        "       [--telemetry-out FILE|- --telemetry-period-ms M "
+        "--telemetry-sample N]\n");
     return 0;
   }
 
@@ -132,12 +150,14 @@ int main(int argc, char** argv) {
   auto checkpoint_every = flags.GetInt("checkpoint-every", 0);
   auto stop_after = flags.GetInt("stop-after", 0);
   auto watchdog_ms = flags.GetInt("watchdog-ms", 0);
+  auto telemetry_period_ms = flags.GetInt("telemetry-period-ms", 500);
+  auto telemetry_sample = flags.GetInt("telemetry-sample", 64);
   for (const Status& st :
        {chaos_seed.status(), chaos_fail.status(), chaos_disconnect.status(),
         chaos_stall.status(), chaos_stall_ms.status(), retry_budget.status(),
         retry_backoff_ms.status(), deliver_timeout_ms.status(),
-        checkpoint_every.status(), stop_after.status(),
-        watchdog_ms.status()}) {
+        checkpoint_every.status(), stop_after.status(), watchdog_ms.status(),
+        telemetry_period_ms.status(), telemetry_sample.status()}) {
     if (!st.ok()) return Fail(st);
   }
 
@@ -259,10 +279,42 @@ int main(int argc, char** argv) {
                  static_cast<unsigned long long>(resume->events_delivered));
   }
 
+  // Live telemetry: hub + background JSONL snapshotter.
+  const std::string telemetry_out = flags.GetString("telemetry-out", "");
+  std::unique_ptr<RunTelemetry> telemetry;
+  std::FILE* telemetry_file = nullptr;
+  std::optional<TelemetrySnapshotter> snapshotter;
+  if (!telemetry_out.empty()) {
+    if (!kTelemetryCompiled) {
+      std::fprintf(stderr,
+                   "gt_replay: built with GT_TELEMETRY=OFF; --telemetry-out "
+                   "will report only delivered counts\n");
+    }
+    RunTelemetryOptions topt;
+    topt.shards = shards;
+    topt.sample_every = static_cast<uint32_t>(
+        *telemetry_sample > 0 ? *telemetry_sample : 1);
+    telemetry = std::make_unique<RunTelemetry>(topt);
+    SnapshotterOptions sopt;
+    sopt.period = Duration::FromMillis(
+        *telemetry_period_ms > 0 ? *telemetry_period_ms : 500);
+    if (telemetry_out == "-") {
+      sopt.out = stderr;
+    } else {
+      telemetry_file = std::fopen(telemetry_out.c_str(), "w");
+      if (telemetry_file == nullptr) {
+        return Fail(Status::IoError("cannot create " + telemetry_out));
+      }
+      sopt.out = telemetry_file;
+    }
+    snapshotter.emplace(telemetry.get(), sopt);
+  }
+
   std::optional<StreamReplayer> single;
   std::optional<ShardedReplayer> sharded;
   std::function<uint64_t()> progress_fn;
   if (shards == 1) {
+    options.telemetry = telemetry.get();
     single.emplace(options);
     progress_fn = [&] { return single->progress(); };
   } else {
@@ -275,6 +327,7 @@ int main(int argc, char** argv) {
     sharded_options.checkpoint_every = options.checkpoint_every;
     sharded_options.stop_after_events = options.stop_after_events;
     sharded_options.checkpoint_rng = options.checkpoint_rng;
+    sharded_options.telemetry = telemetry.get();
     sharded.emplace(sharded_options);
     progress_fn = [&] { return sharded->progress(); };
   }
@@ -298,6 +351,7 @@ int main(int argc, char** argv) {
   }
 
   std::vector<ReplayStats> per_shard_stats;
+  if (snapshotter.has_value()) snapshotter->Start();
   Result<ReplayStats> stats = [&]() -> Result<ReplayStats> {
     if (shards == 1) {
       return single->ReplayFile(in, lane_sinks[0], resume ? &*resume : nullptr);
@@ -309,6 +363,11 @@ int main(int argc, char** argv) {
     return std::move(sharded_stats->aggregate);
   }();
   watchdog.Disarm();
+  if (snapshotter.has_value()) {
+    if (telemetry != nullptr) telemetry->markers().Finish();
+    snapshotter->Stop();
+    if (telemetry_file != nullptr) std::fclose(telemetry_file);
+  }
   if (!stats.ok()) {
     if (stats.status().IsCancelled() && !options.checkpoint_path.empty()) {
       std::fprintf(stderr,
@@ -340,6 +399,24 @@ int main(int argc, char** argv) {
   if (chaos_enabled || resilience_enabled) {
     std::fprintf(stderr, "gt_replay: faults: %s\n",
                  stats->telemetry.ToString().c_str());
+  }
+  if (telemetry != nullptr) {
+    const auto stages = telemetry->MergedStageHistograms();
+    std::vector<std::pair<std::string, const LatencyHistogram*>> rows;
+    for (size_t i = 0; i < kReplayStageCount; ++i) {
+      rows.emplace_back(
+          std::string(ReplayStageName(static_cast<ReplayStage>(i))),
+          &stages[i]);
+    }
+    const std::string table = PercentileTable("stage", rows);
+    std::fprintf(stderr, "gt_replay: sampled stage spans (1 in %u events):\n%s",
+                 telemetry->sample_every(), table.c_str());
+    const std::string dest =
+        telemetry_out == "-" ? std::string("stderr") : telemetry_out;
+    std::fprintf(stderr, "gt_replay: %llu telemetry snapshot(s) -> %s\n",
+                 static_cast<unsigned long long>(
+                     snapshotter->snapshots_emitted()),
+                 dest.c_str());
   }
 
   const std::string marker_log = flags.GetString("marker-log", "");

@@ -5,6 +5,7 @@
 // Usage:
 //   gt_validate --in stream.gts [--max-violations 10] [--quiet]
 //   gt_validate --in stream.gts --strict
+//   gt_validate --in run.telemetry.jsonl --telemetry
 //
 // --strict validates the file line by line instead of loading it whole:
 // malformed lines (bad CSV, NUL bytes, over-long lines, non-numeric ids,
@@ -12,10 +13,19 @@
 // alongside precondition violations, and every problem is listed rather
 // than stopping at the first parse error.
 //
+// --telemetry validates a JSONL telemetry sidecar (gt_replay
+// --telemetry-out) instead of a stream file: every line must parse as a
+// "gt-telemetry-v1" snapshot, seq must increase by 1 from 0, elapsed_s and
+// the cumulative events counter must be non-decreasing.
+//
 // Exit code 0 for a valid stream, 2 for violations, 1 for usage/IO errors.
 #include <cstdio>
 
+#include <fstream>
+#include <string>
+
 #include "common/flags.h"
+#include "harness/telemetry/snapshot.h"
 #include "stream/statistics.h"
 #include "stream/stream_file.h"
 #include "stream/validator.h"
@@ -35,14 +45,14 @@ int main(int argc, char** argv) {
   auto flags_or = Flags::Parse(argc, argv);
   if (!flags_or.ok()) return Fail(flags_or.status());
   const Flags& flags = *flags_or;
-  const auto unknown =
-      flags.UnknownFlags({"in", "max-violations", "quiet", "strict", "help"});
+  const auto unknown = flags.UnknownFlags(
+      {"in", "max-violations", "quiet", "strict", "telemetry", "help"});
   if (!unknown.empty()) {
     return Fail(Status::InvalidArgument("unknown flag --" + unknown[0]));
   }
   if (flags.GetBool("help")) {
     std::printf("usage: gt_validate --in FILE [--max-violations N] "
-                "[--quiet] [--strict]\n");
+                "[--quiet] [--strict | --telemetry]\n");
     return 0;
   }
 
@@ -51,6 +61,59 @@ int main(int argc, char** argv) {
 
   auto max_violations = flags.GetInt("max-violations", 10);
   if (!max_violations.ok()) return Fail(max_violations.status());
+
+  if (flags.GetBool("telemetry")) {
+    std::ifstream file(in);
+    if (!file.good()) return Fail(Status::IoError("cannot read " + in));
+    size_t problems = 0;
+    size_t lines = 0;
+    uint64_t expected_seq = 0;
+    double last_elapsed = -1.0;
+    uint64_t last_events = 0;
+    std::string line;
+    TelemetrySnapshot last;
+    const size_t max_report = static_cast<size_t>(*max_violations);
+    auto complain = [&](const std::string& what) {
+      if (problems < max_report) {
+        std::printf("  line %zu: %s\n", lines, what.c_str());
+      }
+      ++problems;
+    };
+    while (std::getline(file, line)) {
+      ++lines;
+      if (line.empty()) continue;
+      auto snap = TelemetrySnapshot::FromJsonLine(line);
+      if (!snap.ok()) {
+        complain(snap.status().ToString());
+        continue;
+      }
+      if (snap->seq != expected_seq) {
+        complain("seq " + std::to_string(snap->seq) + ", expected " +
+                 std::to_string(expected_seq));
+      }
+      expected_seq = snap->seq + 1;
+      if (snap->elapsed_s < last_elapsed) complain("elapsed_s went backwards");
+      if (snap->events < last_events) complain("events counter decreased");
+      last_elapsed = snap->elapsed_s;
+      last_events = snap->events;
+      last = *snap;
+    }
+    if (lines == 0) {
+      std::printf("gt_validate: telemetry file %s is empty\n", in.c_str());
+      return 2;
+    }
+    if (problems > 0) {
+      std::printf("gt_validate: %zu problem(s) in %zu snapshot line(s)\n",
+                  problems, lines);
+      return 2;
+    }
+    std::printf(
+        "gt_validate: OK — %zu telemetry snapshot(s), final: %llu events "
+        "over %.3f s across %zu shard(s)\n",
+        lines, static_cast<unsigned long long>(last.events), last.elapsed_s,
+        last.shard_events.size());
+    return 0;
+  }
 
   if (flags.GetBool("strict")) {
     auto report = ValidateStreamFile(in);
