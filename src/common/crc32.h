@@ -1,0 +1,21 @@
+// CRC-32 (IEEE 802.3 polynomial, the zlib/gzip variant), table-driven.
+// Used as the integrity footer of durable artifacts (replay checkpoints):
+// a crash mid-write leaves a prefix whose checksum cannot match, so torn
+// records are detected instead of silently parsed.
+#ifndef GRAPHTIDES_COMMON_CRC32_H_
+#define GRAPHTIDES_COMMON_CRC32_H_
+
+#include <cstdint>
+#include <string_view>
+
+namespace graphtides {
+
+/// Incremental update: feed `crc` from a previous call (or 0 to start).
+uint32_t Crc32Update(uint32_t crc, std::string_view data);
+
+/// One-shot CRC-32 of `data`.
+inline uint32_t Crc32(std::string_view data) { return Crc32Update(0, data); }
+
+}  // namespace graphtides
+
+#endif  // GRAPHTIDES_COMMON_CRC32_H_

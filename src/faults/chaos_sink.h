@@ -72,6 +72,10 @@ class ChaosSink final : public EventSink {
 
   Status Deliver(const Event& event) override;
   Status Finish() override { return inner_->Finish(); }
+  Status Flush() override { return inner_->Flush(); }
+  uint64_t bytes_delivered() const override {
+    return inner_->bytes_delivered();
+  }
   SinkTelemetry Telemetry() const override;
 
   const ChaosStats& stats() const { return stats_; }

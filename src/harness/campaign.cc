@@ -50,12 +50,20 @@ Result<CampaignReport> CampaignSupervisor::Run(
 
     for (size_t r = 0; r < options_.experiment.repetitions; ++r) {
       bool slot_completed = false;
+      Timestamp last_failure_end;
+      bool have_failure_end = false;
       for (size_t a = 0; a <= options_.retry_budget; ++a) {
+        // Under auto_resume a retry continues the crashed run from its
+        // checkpoint, so it keeps the attempt-0 seed (same logical run);
+        // plain retries draw a fresh derived seed instead.
+        const bool resuming = options_.auto_resume && a > 0;
         AttemptRecord record;
         record.config_index = c;
         record.run_index = r;
         record.attempt = a;
-        record.seed = CampaignSeed(options_.experiment.base_seed, c, r, a);
+        record.resume = resuming;
+        record.seed = CampaignSeed(options_.experiment.base_seed, c, r,
+                                   resuming ? 0 : a);
         if (a > 0) {
           ++result.accounting.retried;
           ++report.total_retried;
@@ -63,6 +71,9 @@ Result<CampaignReport> CampaignSupervisor::Run(
 
         CancellationToken token;
         std::atomic<uint64_t> progress{0};
+        // Downtime latch: the first heartbeat of a resuming attempt marks
+        // the instant the run is live again after the failure.
+        std::atomic<int64_t> first_progress_nanos{-1};
         RunWatchdog watchdog(options_.watchdog);
         watchdog.Arm(
             [&progress] { return progress.load(std::memory_order_relaxed); },
@@ -77,15 +88,21 @@ Result<CampaignReport> CampaignSupervisor::Run(
         ctx.config_index = c;
         ctx.run_index = r;
         ctx.attempt = a;
+        ctx.resume = resuming;
         ctx.cancel = &token;
-        ctx.report_progress = [&progress](uint64_t value) {
+        ctx.report_progress = [&progress, &first_progress_nanos,
+                               &clock](uint64_t value) {
+          int64_t expected = -1;
+          first_progress_nanos.compare_exchange_strong(
+              expected, clock.Now().nanos(), std::memory_order_relaxed);
           progress.store(value, std::memory_order_relaxed);
         };
 
         const Timestamp t0 = clock.Now();
         Result<RunOutcome> outcome = run(configs[c], ctx);
         watchdog.Disarm();
-        record.elapsed = clock.Now() - t0;
+        const Timestamp t1 = clock.Now();
+        record.elapsed = t1 - t0;
 
         if (outcome.ok()) {
           record.outcome = AttemptOutcome::kCompleted;
@@ -97,6 +114,23 @@ Result<CampaignReport> CampaignSupervisor::Run(
           }
           ++result.accounting.completed;
           ++report.total_completed;
+          if (resuming) {
+            ++result.accounting.resumed;
+            ++report.total_resumed;
+            // Downtime: failure instant to the resumed attempt's first
+            // heartbeat (its end if it never reported — conservative).
+            if (have_failure_end) {
+              const int64_t live = first_progress_nanos.load(
+                  std::memory_order_relaxed);
+              const Timestamp recovered =
+                  live >= 0 ? Timestamp::FromNanos(live) : t1;
+              const double downtime = (recovered - last_failure_end).seconds();
+              result.accounting.downtime_s += downtime;
+              ++result.accounting.recoveries;
+              report.total_downtime_s += downtime;
+              ++report.total_recoveries;
+            }
+          }
           slot_completed = true;
           break;
         }
@@ -107,6 +141,8 @@ Result<CampaignReport> CampaignSupervisor::Run(
         record.outcome = hung ? AttemptOutcome::kHung : AttemptOutcome::kFailed;
         record.detail = outcome.status().ToString();
         report.attempts.push_back(record);
+        last_failure_end = t1;
+        have_failure_end = true;
         if (hung) {
           ++result.accounting.hung;
           ++report.total_hung;
@@ -149,17 +185,32 @@ std::string FormatConfig(const ExperimentConfig& config) {
 }  // namespace
 
 std::string FormatCampaignReport(const CampaignReport& report) {
-  TextTable table({"config", "n req", "n eff", "retried", "hung", "failed",
-                   "quarantined"});
+  TextTable table({"config", "n req", "n eff", "retried", "resumed", "hung",
+                   "failed", "mttr s", "quarantined"});
   for (const ConfigResult& result : report.results) {
     const RunAccounting& acc = result.accounting;
     table.AddRow({FormatConfig(result.config),
                   std::to_string(result.repetitions),
                   std::to_string(acc.effective_n()),
-                  std::to_string(acc.retried), std::to_string(acc.hung),
-                  std::to_string(acc.failed), acc.quarantined ? "YES" : "no"});
+                  std::to_string(acc.retried), std::to_string(acc.resumed),
+                  std::to_string(acc.hung), std::to_string(acc.failed),
+                  acc.recoveries > 0 ? TextTable::FormatDouble(acc.mttr_s(), 3)
+                                     : "-",
+                  acc.quarantined ? "YES" : "no"});
   }
   std::string out = table.ToString();
+  if (report.total_recoveries > 0) {
+    out += "recoveries: " + std::to_string(report.total_recoveries) +
+           " (slots resumed: " + std::to_string(report.total_resumed) +
+           ")  total downtime: " +
+           TextTable::FormatDouble(report.total_downtime_s, 3) +
+           "s  campaign MTTR: " +
+           TextTable::FormatDouble(report.total_downtime_s /
+                                       static_cast<double>(
+                                           report.total_recoveries),
+                                   3) +
+           "s\n";
+  }
   for (const ConfigResult& result : report.results) {
     for (const auto& [metric, agg] : result.metrics) {
       out += FormatConfig(result.config) + "  " + metric + ": " +

@@ -40,6 +40,11 @@ struct RunContext {
   size_t run_index = 0;
   /// 0 for the first try, 1.. for retries.
   size_t attempt = 0;
+  /// True when this attempt should resume the slot's previous attempt
+  /// from its last good checkpoint instead of starting fresh (set for
+  /// retries under CampaignOptions::auto_resume; the seed is then the
+  /// attempt-0 seed, so the resumed run continues the same logical run).
+  bool resume = false;
   /// Cooperative cancellation; fired by the watchdog on stall.
   const CancellationToken* cancel = nullptr;
   /// Progress heartbeat (monotonically non-decreasing).
@@ -58,6 +63,12 @@ struct CampaignOptions {
   /// Quarantine a config after this many run slots exhausted their
   /// attempts (counted per config; 1 = first exhausted slot quarantines).
   size_t quarantine_after = 1;
+  /// When true, retries of a crashed/hung attempt are *resumes*: they
+  /// reuse the attempt-0 seed and carry RunContext::resume so the run
+  /// function restarts from its last good checkpoint. Downtime from the
+  /// failure to the resumed attempt's first progress heartbeat is
+  /// measured into RunAccounting (MTTR).
+  bool auto_resume = false;
   /// Watchdog: wall-clock no-progress deadline and poll cadence.
   WatchdogOptions watchdog;
 };
@@ -73,6 +84,8 @@ struct AttemptRecord {
   size_t run_index = 0;
   size_t attempt = 0;
   uint64_t seed = 0;
+  /// True when the attempt resumed from a checkpoint (auto_resume).
+  bool resume = false;
   AttemptOutcome outcome = AttemptOutcome::kCompleted;
   /// Error text for failed/hung attempts.
   std::string detail;
@@ -91,6 +104,12 @@ struct CampaignReport {
   size_t total_failed = 0;
   size_t total_hung = 0;
   size_t total_retried = 0;
+  /// Slots recovered by an auto-resumed attempt (subset of completed).
+  size_t total_resumed = 0;
+  /// Measured recoveries and their summed downtime (campaign MTTR =
+  /// total_downtime_s / total_recoveries).
+  size_t total_recoveries = 0;
+  double total_downtime_s = 0.0;
   size_t quarantined_configs = 0;
 };
 

@@ -52,10 +52,24 @@ struct RunAccounting {
   size_t hung = 0;
   /// Extra attempts consumed beyond each slot's first try.
   size_t retried = 0;
+  /// Run slots whose usable outcome came from an auto-resumed attempt
+  /// after a crash or hang (a subset of `completed` — reported separately
+  /// from quarantine so recovered runs are not mistaken for discarded
+  /// ones).
+  size_t resumed = 0;
+  /// Total downtime across recoveries: from a failed attempt's end to the
+  /// first progress heartbeat of the attempt that resumed it, seconds.
+  double downtime_s = 0.0;
+  /// Recoveries measured into downtime_s.
+  size_t recoveries = 0;
   /// True when the config was quarantined and remaining slots skipped.
   bool quarantined = false;
 
   size_t effective_n() const { return completed; }
+  /// Mean time to recovery over this config's measured recoveries.
+  double mttr_s() const {
+    return recoveries > 0 ? downtime_s / static_cast<double>(recoveries) : 0.0;
+  }
 };
 
 /// \brief All repetitions of one configuration, aggregated.

@@ -81,6 +81,11 @@ TelemetrySnapshot RunTelemetry::Snapshot() const {
   snap.markers.orphans = mc.orphan_observations;
   snap.markers.latency = StageSummary::FromHistogram(markers_.LatencySnapshot());
 
+  {
+    std::lock_guard<std::mutex> lock(recovery_mu_);
+    snap.recovery = recovery_;
+  }
+
   snap.ComputeImbalance();
   return snap;
 }

@@ -64,6 +64,13 @@ class RunTelemetry {
   /// poll cross-thread).
   void UpdateDeliveryCounters(size_t shard, const DeliveryCounters& totals);
 
+  /// Replaces the run-level crash/recovery counters with the supervisor's
+  /// current cumulative totals (safe from any thread).
+  void UpdateRecoveryCounters(const RecoveryCounters& totals) {
+    std::lock_guard<std::mutex> lock(recovery_mu_);
+    recovery_ = totals;
+  }
+
   StreamingMarkerCorrelator& markers() { return markers_; }
   const StreamingMarkerCorrelator& markers() const { return markers_; }
 
@@ -90,6 +97,9 @@ class RunTelemetry {
   RunTelemetryOptions options_;
   std::vector<std::unique_ptr<Slot>> slots_;
   StreamingMarkerCorrelator markers_;
+  /// Run-level (not per-shard): crashes/resumes happen to the process.
+  mutable std::mutex recovery_mu_;
+  RecoveryCounters recovery_;
 };
 
 }  // namespace graphtides

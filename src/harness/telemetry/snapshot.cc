@@ -374,6 +374,19 @@ std::string TelemetrySnapshot::ToJsonLine() const {
     AppendNum(&out, sink.stall_s);
     out.push_back('}');
   }
+  if (recovery.any()) {
+    out.append(",\"recovery\":{\"crashes\":");
+    AppendNum(&out, recovery.crashes);
+    out.append(",\"resumes\":");
+    AppendNum(&out, recovery.resumes);
+    out.append(",\"checkpoint_fallbacks\":");
+    AppendNum(&out, recovery.checkpoint_fallbacks);
+    out.append(",\"write_faults\":");
+    AppendNum(&out, recovery.write_faults);
+    out.append(",\"downtime_s\":");
+    AppendNum(&out, recovery.downtime_s);
+    out.push_back('}');
+  }
   out.push_back('}');
   return out;
 }
@@ -487,6 +500,21 @@ Result<TelemetrySnapshot> TelemetrySnapshot::FromJsonLine(
         static_cast<uint64_t>(OptionalNumber(s, "injected_disconnects"));
     snap.sink.backoff_s = OptionalNumber(s, "backoff_s");
     snap.sink.stall_s = OptionalNumber(s, "stall_s");
+  }
+
+  const auto recovery = root.object.find("recovery");
+  if (recovery != root.object.end()) {
+    if (recovery->second.kind != JsonValue::Kind::kObject) {
+      return Status::ParseError("\"recovery\" must be an object");
+    }
+    const JsonValue& r = recovery->second;
+    snap.recovery.crashes = static_cast<uint64_t>(OptionalNumber(r, "crashes"));
+    snap.recovery.resumes = static_cast<uint64_t>(OptionalNumber(r, "resumes"));
+    snap.recovery.checkpoint_fallbacks =
+        static_cast<uint64_t>(OptionalNumber(r, "checkpoint_fallbacks"));
+    snap.recovery.write_faults =
+        static_cast<uint64_t>(OptionalNumber(r, "write_faults"));
+    snap.recovery.downtime_s = OptionalNumber(r, "downtime_s");
   }
   return snap;
 }

@@ -66,6 +66,29 @@ struct DeliveryCounters {
   }
 };
 
+/// \brief Crash/recovery counters for supervised runs: how many process
+/// faults the run absorbed and what recovering from them cost. All
+/// cumulative, so a telemetry stream's recovery block is monotonically
+/// non-decreasing (gt_validate checks this).
+struct RecoveryCounters {
+  /// Process crashes (SIGKILL / fault-plan kills) absorbed so far.
+  uint64_t crashes = 0;
+  /// Resumes from a checkpoint after a crash or hang.
+  uint64_t resumes = 0;
+  /// Checkpoint generations skipped as torn/corrupt during resume loads.
+  uint64_t checkpoint_fallbacks = 0;
+  /// Injected file-write faults (ENOSPC / short writes) observed.
+  uint64_t write_faults = 0;
+  /// Total downtime across recoveries, seconds (MTTR = downtime_s /
+  /// resumes when resumes > 0).
+  double downtime_s = 0.0;
+
+  bool any() const {
+    return crashes || resumes || checkpoint_fallbacks || write_faults ||
+           downtime_s > 0.0;
+  }
+};
+
 /// \brief Marker-correlation state at snapshot time.
 struct MarkerSummary {
   uint64_t sent = 0;
@@ -96,6 +119,9 @@ struct TelemetrySnapshot {
   std::array<StageSummary, kReplayStageCount> stages{};
   MarkerSummary markers;
   DeliveryCounters sink;
+  /// Crash/recovery counters; the `recovery` JSON block is emitted only
+  /// when any counter is non-zero.
+  RecoveryCounters recovery;
 
   /// Computes shard_imbalance from shard_events.
   void ComputeImbalance();

@@ -4,6 +4,8 @@
 #include <cstring>
 #include <sstream>
 
+#include "common/fault_plan.h"
+
 namespace graphtides {
 
 SinkTelemetry& SinkTelemetry::Merge(const SinkTelemetry& other) {
@@ -32,29 +34,40 @@ std::string SinkTelemetry::ToString() const {
   return os.str();
 }
 
+Status PipeSink::WriteBytes(std::string_view data) {
+  if (data.empty()) return Status::OK();
+  size_t allowed = data.size();
+  std::string fault;
+  const bool clipped =
+      FaultPlan::Global().ClipFileWrite(data.size(), &allowed, &fault);
+  const std::string_view to_write = clipped ? data.substr(0, allowed) : data;
+  if (!to_write.empty()) {
+    if (std::fwrite(to_write.data(), 1, to_write.size(), out_) !=
+        to_write.size()) {
+      return Status::IoError(std::string("pipe write failed: ") +
+                             std::strerror(errno));
+    }
+    bytes_.fetch_add(to_write.size(), std::memory_order_relaxed);
+  }
+  if (clipped) return Status::IoError("pipe write failed: " + fault);
+  return Status::OK();
+}
+
 Status PipeSink::Deliver(const Event& event) {
   // Reused line buffer + to_chars formatting; one fwrite per event.
   line_buf_.clear();
   AppendEventLine(event, &line_buf_);
-  if (std::fwrite(line_buf_.data(), 1, line_buf_.size(), out_) !=
-      line_buf_.size()) {
-    return Status::IoError(std::string("pipe write failed: ") +
-                           std::strerror(errno));
-  }
-  return Status::OK();
+  return WriteBytes(line_buf_);
 }
 
 Status PipeSink::DeliverSerialized(std::string_view lines, size_t count) {
   (void)count;
-  if (lines.empty()) return Status::OK();
-  if (std::fwrite(lines.data(), 1, lines.size(), out_) != lines.size()) {
-    return Status::IoError(std::string("pipe write failed: ") +
-                           std::strerror(errno));
-  }
-  return Status::OK();
+  return WriteBytes(lines);
 }
 
-Status PipeSink::Finish() {
+Status PipeSink::Finish() { return Flush(); }
+
+Status PipeSink::Flush() {
   if (std::fflush(out_) != 0) {
     return Status::IoError(std::string("pipe flush failed: ") +
                            std::strerror(errno));

@@ -5,6 +5,7 @@
 #ifndef GRAPHTIDES_REPLAYER_EVENT_SINK_H_
 #define GRAPHTIDES_REPLAYER_EVENT_SINK_H_
 
+#include <atomic>
 #include <cstdint>
 #include <cstdio>
 #include <functional>
@@ -99,6 +100,17 @@ class EventSink {
   /// Called once after the last event.
   virtual Status Finish() { return Status::OK(); }
 
+  /// \brief Pushes buffered bytes to the OS. The replayer calls this
+  /// before recording a checkpoint so a crash immediately after cannot
+  /// lose output the checkpoint counts as delivered. Unbuffered sinks
+  /// need not override.
+  virtual Status Flush() { return Status::OK(); }
+
+  /// \brief Cumulative payload bytes this sink has accepted (0 when the
+  /// transport does not account bytes). Decorators forward to their inner
+  /// sink. With Flush(), this is what checkpoint `sink_bytes` records.
+  virtual uint64_t bytes_delivered() const { return 0; }
+
   /// Fault telemetry for this sink and everything it wraps. Plain
   /// transports report nothing.
   virtual SinkTelemetry Telemetry() const { return {}; }
@@ -128,10 +140,20 @@ class PipeSink final : public EventSink {
   bool SupportsSerialized() const override { return true; }
   Status DeliverSerialized(std::string_view lines, size_t count) override;
   Status Finish() override;
+  Status Flush() override;
+  uint64_t bytes_delivered() const override {
+    return bytes_.load(std::memory_order_relaxed);
+  }
 
  private:
+  /// Writes `data` through the FaultPlan write gate: an armed ENOSPC or
+  /// short-write fault clips the write and returns IoError after the
+  /// allowed prefix hit the stream.
+  Status WriteBytes(std::string_view data);
+
   std::FILE* out_;
   std::string line_buf_;  // reused across Deliver calls
+  std::atomic<uint64_t> bytes_{0};
 };
 
 /// \brief Discards events (replayer self-benchmarking).

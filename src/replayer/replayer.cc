@@ -1,10 +1,12 @@
 #include "replayer/replayer.h"
 
+#include <algorithm>
 #include <atomic>
 #include <memory>
 #include <mutex>
 #include <thread>
 
+#include "common/fault_plan.h"
 #include "replayer/spsc_queue.h"
 #include "stream/stream_file.h"
 
@@ -135,6 +137,14 @@ Result<ReplayStats> StreamReplayer::Run(const SourceFn& source,
     t.Merge(sink->Telemetry());
     return t;
   };
+  // Byte offset the sink chain had already flushed when this segment
+  // resumed; the checkpoint records cumulative offsets across segments.
+  const uint64_t sink_bytes_base =
+      resume != nullptr && !resume->sink_bytes.empty() ? resume->sink_bytes[0]
+                                                       : 0;
+  const CheckpointStore store(
+      {options_.checkpoint_path,
+       std::max<size_t>(1, options_.checkpoint_generations)});
   Status checkpoint_status;
   auto write_checkpoint = [&]() -> bool {
     if (options_.checkpoint_path.empty()) return true;
@@ -148,7 +158,14 @@ Result<ReplayStats> StreamReplayer::Run(const SourceFn& source,
       cp.rng_state = options_.checkpoint_rng->SaveState();
     }
     cp.telemetry = current_telemetry();
-    checkpoint_status = cp.SaveTo(options_.checkpoint_path);
+    if (options_.record_sink_bytes) {
+      // Flush before recording: a crash right after this checkpoint must
+      // not be able to lose bytes the record counts as delivered.
+      checkpoint_status = sink->Flush();
+      if (!checkpoint_status.ok()) return false;
+      cp.sink_bytes = {sink_bytes_base + sink->bytes_delivered()};
+    }
+    checkpoint_status = store.Save(cp);
     if (checkpoint_status.ok()) ++stats.checkpoints_written;
     return checkpoint_status.ok();
   };
@@ -215,6 +232,10 @@ Result<ReplayStats> StreamReplayer::Run(const SourceFn& source,
     if (!emit_status.ok()) {
       break;
     }
+    // Crash window: the sink acknowledged the event, the accounting has
+    // not seen it yet. A resume must not re-deliver it past a flushed
+    // checkpoint (resume truncation handles the unflushed tail).
+    FaultPlan::Global().Hit(kCrashPostDelivery);
     ++stats.events_delivered;
     progress_.store(stats.events_delivered, std::memory_order_relaxed);
     stats.lag.Record(clock.Now() - slot);

@@ -62,6 +62,15 @@ struct ReplayerOptions {
   /// RNG whose state is snapshotted into checkpoints and restored on
   /// resume (e.g. the resilient sink's jitter RNG). Optional, not owned.
   Rng* checkpoint_rng = nullptr;
+  /// Rotated checkpoint generations kept at checkpoint_path (>= 1). With
+  /// more than one, a torn/corrupt newest record falls back to an intact
+  /// ancestor on load (CheckpointStore::LoadLatestGood).
+  size_t checkpoint_generations = 1;
+  /// When true, every checkpoint first calls sink->Flush() and records the
+  /// sink's cumulative flushed byte count into ReplayCheckpoint::sink_bytes
+  /// — required for kill–resume byte-equivalence over file sinks (resume
+  /// truncates the output to the checkpointed offset).
+  bool record_sink_bytes = false;
 
   // --- Live telemetry --------------------------------------------------
 

@@ -92,6 +92,10 @@ class ResilientSink final : public EventSink {
 
   Status Deliver(const Event& event) override;
   Status Finish() override { return inner_->Finish(); }
+  Status Flush() override { return inner_->Flush(); }
+  uint64_t bytes_delivered() const override {
+    return inner_->bytes_delivered();
+  }
   SinkTelemetry Telemetry() const override;
 
   const ResilienceStats& stats() const { return stats_; }

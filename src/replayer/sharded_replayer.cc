@@ -1,5 +1,6 @@
 #include "replayer/sharded_replayer.h"
 
+#include <algorithm>
 #include <condition_variable>
 #include <map>
 #include <memory>
@@ -7,6 +8,7 @@
 #include <thread>
 #include <utility>
 
+#include "common/fault_plan.h"
 #include "replayer/event_batch.h"
 #include "replayer/rate_controller.h"
 #include "replayer/spsc_queue.h"
@@ -214,6 +216,19 @@ Result<ShardedReplayStats> ShardedReplayer::Run(
         " slots for " + std::to_string(shards) + " shards");
   }
 
+  // Byte offsets each lane's sink chain had flushed when this segment
+  // resumed; checkpoints record cumulative offsets across segments.
+  std::vector<uint64_t> sink_bytes_base(shards, 0);
+  if (resume != nullptr && !resume->sink_bytes.empty()) {
+    if (resume->sink_bytes.size() != shards) {
+      return Status::InvalidArgument(
+          "resume checkpoint records sink bytes for " +
+          std::to_string(resume->sink_bytes.size()) + " shards, run has " +
+          std::to_string(shards));
+    }
+    sink_bytes_base = resume->sink_bytes;
+  }
+
   // --- Counters seeded from the resume checkpoint (same accounting model
   // as StreamReplayer::Run: the final stats match an uninterrupted run).
   const uint64_t skip_entries = resume != nullptr ? resume->entries_consumed : 0;
@@ -262,8 +277,12 @@ Result<ShardedReplayStats> ShardedReplayer::Run(
   };
 
   // Writes a checkpoint for a quiescent point: called from barrier
-  // completions (all live lanes parked, their sinks idle) and after the
-  // final join. `false` on write failure.
+  // completions (all live lanes parked, their sinks idle — which is what
+  // makes flushing every sink from the completing thread safe) and after
+  // the final join. `false` on write failure.
+  const CheckpointStore store(
+      {options_.checkpoint_path,
+       std::max<size_t>(1, options_.checkpoint_generations)});
   auto write_checkpoint_at = [&](const BarrierCmd& at) -> bool {
     if (options_.checkpoint_path.empty()) return true;
     ReplayCheckpoint cp;
@@ -276,7 +295,18 @@ Result<ShardedReplayStats> ShardedReplayer::Run(
       cp.rng_state = options_.checkpoint_rng->SaveState();
     }
     cp.telemetry = current_telemetry();
-    checkpoint_status = cp.SaveTo(options_.checkpoint_path);
+    if (options_.record_sink_bytes) {
+      cp.sink_bytes.resize(shards);
+      for (size_t s = 0; s < shards; ++s) {
+        checkpoint_status = sinks[s]->Flush();
+        if (!checkpoint_status.ok()) {
+          checkpoint_failed.store(true, std::memory_order_release);
+          return false;
+        }
+        cp.sink_bytes[s] = sink_bytes_base[s] + sinks[s]->bytes_delivered();
+      }
+    }
+    checkpoint_status = store.Save(cp);
     if (checkpoint_status.ok()) {
       ++checkpoints_written;
       return true;
@@ -287,6 +317,10 @@ Result<ShardedReplayStats> ShardedReplayer::Run(
 
   auto complete_barrier = [&](const BarrierCmd& cmd) {
     if (sink_failed.load(std::memory_order_acquire)) return;
+    // Crash window: every lane is quiesced behind the barrier; for a
+    // checkpoint epoch the record has not been published yet — a kill
+    // here must resume from the previous checkpoint exactly-once.
+    FaultPlan::Global().Hit(kCrashEpochBarrier);
     if (cmd.kind == BarrierCmd::Kind::kMarker) {
       const Timestamp now = clock.Now();
       marker_log.push_back(
@@ -380,7 +414,15 @@ Result<ShardedReplayStats> ShardedReplayer::Run(
           telem->RecordStage(shard, ReplayStage::kDeliver,
                              clock.Now() - deliver_start);
         }
-        if (emit.ok()) delivered = batch.records.size();
+        if (emit.ok()) {
+          delivered = batch.records.size();
+          // Sink acked the whole batch; lane accounting not updated yet.
+          // One Hit per record (not per batch) so a scripted crash index
+          // counts delivered events regardless of batching.
+          for (size_t i = 0; i < delivered; ++i) {
+            FaultPlan::Global().Hit(kCrashPostDelivery);
+          }
+        }
       } else {
         // Decorated sinks (chaos/resilient/callback) need the per-event
         // path; one reusable Event keeps it allocation-free in steady
@@ -405,6 +447,7 @@ Result<ShardedReplayStats> ShardedReplayer::Run(
             emit = sink->DeliverSequenced(scratch, r.seq);
           }
           if (!emit.ok()) break;
+          FaultPlan::Global().Hit(kCrashPostDelivery);
           ++delivered;
         }
       }

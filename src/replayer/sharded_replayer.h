@@ -89,6 +89,14 @@ struct ShardedReplayerOptions {
   uint64_t stop_after_events = 0;
   /// RNG snapshotted into checkpoints and restored on resume.
   Rng* checkpoint_rng = nullptr;
+  /// Rotated checkpoint generations kept at checkpoint_path (>= 1).
+  size_t checkpoint_generations = 1;
+  /// When true, checkpoints flush every lane's sink and record per-shard
+  /// cumulative flushed byte counts (ReplayCheckpoint::sink_bytes) so a
+  /// resume over per-shard output files can truncate each file back to
+  /// the checkpointed offset. Resuming then requires the same shard count
+  /// the checkpoint was written with.
+  bool record_sink_bytes = false;
 
   // --- Live telemetry --------------------------------------------------
 

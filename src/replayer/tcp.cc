@@ -104,6 +104,7 @@ Status TcpSink::FlushBuffer() {
   // On failure the buffer is kept: a retry after Reconnect re-sends it
   // (at-least-once semantics on the fault path).
   GT_RETURN_NOT_OK(WriteAll(fd_, buffer_.data(), buffer_.size()));
+  bytes_.fetch_add(buffer_.size(), std::memory_order_relaxed);
   buffer_.clear();
   return Status::OK();
 }

@@ -67,6 +67,11 @@ class TcpSink final : public EventSink {
   bool SupportsSerialized() const override { return true; }
   Status DeliverSerialized(std::string_view lines, size_t count) override;
   Status Finish() override;
+  /// Drains the user-space buffer into the socket (checkpoint boundary).
+  Status Flush() override { return FlushBuffer(); }
+  uint64_t bytes_delivered() const override {
+    return bytes_.load(std::memory_order_relaxed);
+  }
 
   bool connected() const {
     return fd_.load(std::memory_order_acquire) >= 0;
@@ -85,6 +90,8 @@ class TcpSink final : public EventSink {
   bool ever_connected_ = false;
   uint64_t reconnects_ = 0;
   std::string buffer_;
+  /// Payload bytes pushed into the socket (counted at flush).
+  std::atomic<uint64_t> bytes_{0};
   /// Flush threshold; one syscall per ~16 KiB rather than per event.
   static constexpr size_t kFlushBytes = 16 * 1024;
 };

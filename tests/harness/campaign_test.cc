@@ -268,6 +268,80 @@ TEST(CampaignTest, SimProcessStallingAfterNEventsIsDeclaredHung) {
   EXPECT_EQ(report->attempts[1].outcome, AttemptOutcome::kCompleted);
 }
 
+TEST(CampaignTest, AutoResumeKeepsSeedAndCountsRecovery) {
+  CampaignOptions options = FastOptions(3);
+  options.auto_resume = true;
+  CampaignSupervisor supervisor({}, options);
+  // Slot 1 crashes once mid-run, leaving a "checkpoint" (the applied
+  // count); the resumed attempt must observe the same seed and the resume
+  // flag, and the report must count the recovery with its downtime.
+  uint64_t crash_attempt_seed = 0;
+  uint64_t resume_attempt_seed = 0;
+  uint64_t resumed_from = 0;
+  uint64_t checkpoint = 0;
+  auto report = supervisor.Run(
+      [&](const ExperimentConfig&, const RunContext& ctx) -> Result<RunOutcome> {
+        if (ctx.report_progress) ctx.report_progress(1);
+        if (ctx.run_index == 1 && ctx.attempt == 0) {
+          crash_attempt_seed = ctx.seed;
+          checkpoint = 50;
+          return Status::IoError("simulated crash at event 50");
+        }
+        if (ctx.resume) {
+          resume_attempt_seed = ctx.seed;
+          resumed_from = checkpoint;
+        }
+        RunOutcome out;
+        out["value"] = 1.0;
+        return out;
+      });
+  ASSERT_TRUE(report.ok());
+  EXPECT_EQ(report->total_completed, 3u);
+  EXPECT_EQ(report->total_resumed, 1u);
+  EXPECT_EQ(report->total_recoveries, 1u);
+  EXPECT_GE(report->total_downtime_s, 0.0);
+  EXPECT_EQ(resumed_from, 50u);
+  // Resume continues the same logical run: the attempt-0 seed, not a fresh
+  // derived retry seed.
+  EXPECT_EQ(resume_attempt_seed, crash_attempt_seed);
+  bool saw_resume_record = false;
+  for (const AttemptRecord& a : report->attempts) {
+    if (a.resume) {
+      saw_resume_record = true;
+      EXPECT_EQ(a.seed, crash_attempt_seed);
+      EXPECT_EQ(a.outcome, AttemptOutcome::kCompleted);
+    }
+  }
+  EXPECT_TRUE(saw_resume_record);
+  const std::string text = FormatCampaignReport(*report);
+  EXPECT_NE(text.find("resumed"), std::string::npos);
+  EXPECT_NE(text.find("mttr s"), std::string::npos);
+  EXPECT_NE(text.find("recoveries: 1"), std::string::npos);
+}
+
+TEST(CampaignTest, WithoutAutoResumeRetriesUseFreshSeeds) {
+  CampaignOptions options = FastOptions(1);
+  CampaignSupervisor supervisor({}, options);
+  std::vector<uint64_t> seeds;
+  std::vector<bool> resumes;
+  auto report = supervisor.Run(
+      [&](const ExperimentConfig&, const RunContext& ctx) -> Result<RunOutcome> {
+        if (ctx.report_progress) ctx.report_progress(1);
+        seeds.push_back(ctx.seed);
+        resumes.push_back(ctx.resume);
+        if (ctx.attempt == 0) return Status::IoError("crash");
+        RunOutcome out;
+        out["value"] = 1.0;
+        return out;
+      });
+  ASSERT_TRUE(report.ok());
+  ASSERT_EQ(seeds.size(), 2u);
+  EXPECT_NE(seeds[0], seeds[1]);
+  EXPECT_FALSE(resumes[1]);
+  EXPECT_EQ(report->total_resumed, 0u);
+  EXPECT_EQ(report->total_recoveries, 0u);
+}
+
 TEST(CampaignTest, FormatReportShowsEffectiveN) {
   CampaignSupervisor supervisor({}, FastOptions(3));
   auto report = supervisor.Run(

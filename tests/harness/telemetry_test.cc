@@ -468,6 +468,48 @@ TEST(TelemetrySnapshotTest, RejectsMalformedAndWrongSchemaLines) {
       TelemetrySnapshot::FromJsonLine(snap.ToJsonLine() + " trailing").ok());
 }
 
+TEST(TelemetrySnapshotTest, RecoveryBlockEmitsOnlyWhenNonZero) {
+  TelemetrySnapshot snap;
+  snap.shard_events = {0};
+  // Fault-free runs keep the line compact: no "recovery" block at all.
+  EXPECT_EQ(snap.ToJsonLine().find("\"recovery\""), std::string::npos);
+
+  snap.recovery.crashes = 2;
+  snap.recovery.resumes = 2;
+  snap.recovery.checkpoint_fallbacks = 1;
+  snap.recovery.write_faults = 3;
+  snap.recovery.downtime_s = 0.75;
+  const std::string line = snap.ToJsonLine();
+  EXPECT_NE(line.find("\"recovery\""), std::string::npos);
+
+  auto parsed = TelemetrySnapshot::FromJsonLine(line);
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  EXPECT_EQ(parsed->recovery.crashes, 2u);
+  EXPECT_EQ(parsed->recovery.resumes, 2u);
+  EXPECT_EQ(parsed->recovery.checkpoint_fallbacks, 1u);
+  EXPECT_EQ(parsed->recovery.write_faults, 3u);
+  EXPECT_NEAR(parsed->recovery.downtime_s, 0.75, 1e-9);
+  EXPECT_TRUE(parsed->recovery.any());
+}
+
+TEST(RunTelemetryTest, RecoveryCountersFlowIntoSnapshots) {
+  RunTelemetry telemetry;
+  EXPECT_FALSE(telemetry.Snapshot().recovery.any());
+
+  RecoveryCounters counters;
+  counters.resumes = 1;
+  counters.checkpoint_fallbacks = 2;
+  telemetry.UpdateRecoveryCounters(counters);
+  TelemetrySnapshot snap = telemetry.Snapshot();
+  EXPECT_EQ(snap.recovery.resumes, 1u);
+  EXPECT_EQ(snap.recovery.checkpoint_fallbacks, 2u);
+
+  // The supervisor replaces totals wholesale; the latest update wins.
+  counters.write_faults = 4;
+  telemetry.UpdateRecoveryCounters(counters);
+  EXPECT_EQ(telemetry.Snapshot().recovery.write_faults, 4u);
+}
+
 // ---------------------------------------------------------------------------
 // TelemetrySnapshotter
 

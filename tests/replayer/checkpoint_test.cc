@@ -11,6 +11,7 @@
 #include <vector>
 
 #include "common/cancellation.h"
+#include "common/crc32.h"
 #include "common/random.h"
 #include "harness/run_watchdog.h"
 #include "replayer/event_sink.h"
@@ -123,10 +124,17 @@ TEST_F(CheckpointTest, RejectsNonNumericValueWithKeyContext) {
 }
 
 TEST_F(CheckpointTest, SkipsUnknownKeysForForwardCompatibility) {
+  // A newer writer adds its keys *before* the crc footer and checksums
+  // them like everything else; this reader verifies, then skips them.
   ReplayCheckpoint cp = SampleCheckpoint();
-  auto parsed =
-      ReplayCheckpoint::FromText(cp.ToText() + "future_field=42\n");
-  ASSERT_TRUE(parsed.ok());
+  std::string text = cp.ToText();
+  const size_t crc_line = text.rfind("crc32=");
+  ASSERT_NE(crc_line, std::string::npos);
+  std::string body = text.substr(0, crc_line) + "future_field=42\n";
+  char footer[32];
+  std::snprintf(footer, sizeof(footer), "crc32=%08x", Crc32(body));
+  auto parsed = ReplayCheckpoint::FromText(body + footer + "\n");
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
   EXPECT_EQ(*parsed, cp);
 }
 

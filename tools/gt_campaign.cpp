@@ -11,8 +11,16 @@
 // stderr (events, apply-cost p50/p99 from the shared latency histogram,
 // virtual throughput) so long campaigns are observable while they run.
 //
+// Crash drill (--crash-runs + --auto-resume): selected slots crash midway
+// through their first attempts, leaving a simulated checkpoint behind.
+// With --auto-resume the supervisor relaunches the slot as a resume of the
+// same logical run (same seed), the runner continues from the checkpointed
+// event count, and the report separates resumed slots from retried/
+// quarantined ones and prints downtime + MTTR.
+//
 // Usage:
 //   gt_campaign --runs 10 --hang-runs 3,7 --deadline-ms 300
+//   gt_campaign --runs 10 --crash-runs 2,5 --auto-resume
 //
 // Flags:
 //   --runs N             run slots in the campaign (default 10)
@@ -21,6 +29,12 @@
 //   --hang-attempts K    wedge the first K attempts of each hang run
 //                        (default 1; raise past --retry-budget to force a
 //                        quarantine)
+//   --crash-runs LIST    comma-separated 1-based run numbers that crash
+//                        mid-run (leaving a checkpoint)
+//   --crash-attempts K   crash the first K attempts of each crash run
+//                        (default 1)
+//   --auto-resume        resume crashed slots from their checkpoint with
+//                        the attempt-0 seed instead of rerunning fresh
 //   --deadline-ms M      watchdog no-progress deadline (default 300)
 //   --retry-budget N     extra attempts per run slot (default 2)
 //   --quarantine-after N exhausted slots before quarantine (default 1)
@@ -32,6 +46,7 @@
 #include <functional>
 #include <set>
 #include <thread>
+#include <vector>
 
 #include "common/flags.h"
 #include "common/random.h"
@@ -57,15 +72,17 @@ int main(int argc, char** argv) {
   if (!flags_or.ok()) return Fail(flags_or.status());
   const Flags& flags = *flags_or;
   const auto unknown = flags.UnknownFlags(
-      {"runs", "events", "hang-runs", "hang-attempts", "deadline-ms",
-       "retry-budget", "quarantine-after", "seed", "help"});
+      {"runs", "events", "hang-runs", "hang-attempts", "crash-runs",
+       "crash-attempts", "auto-resume", "deadline-ms", "retry-budget",
+       "quarantine-after", "seed", "help"});
   if (!unknown.empty()) {
     return Fail(Status::InvalidArgument("unknown flag --" + unknown[0]));
   }
   if (flags.GetBool("help")) {
     std::printf(
         "usage: gt_campaign [--runs N] [--events N] [--hang-runs 3,7]\n"
-        "       [--hang-attempts K] [--deadline-ms M] [--retry-budget N]\n"
+        "       [--hang-attempts K] [--crash-runs 2,5] [--crash-attempts K]\n"
+        "       [--auto-resume] [--deadline-ms M] [--retry-budget N]\n"
         "       [--quarantine-after N] [--seed S]\n");
     return 0;
   }
@@ -73,13 +90,14 @@ int main(int argc, char** argv) {
   auto runs = flags.GetInt("runs", 10);
   auto events = flags.GetInt("events", 200);
   auto hang_attempts = flags.GetInt("hang-attempts", 1);
+  auto crash_attempts = flags.GetInt("crash-attempts", 1);
   auto deadline_ms = flags.GetInt("deadline-ms", 300);
   auto retry_budget = flags.GetInt("retry-budget", 2);
   auto quarantine_after = flags.GetInt("quarantine-after", 1);
   auto seed = flags.GetInt("seed", 42);
   for (const Status& st :
        {runs.status(), events.status(), hang_attempts.status(),
-        deadline_ms.status(), retry_budget.status(),
+        crash_attempts.status(), deadline_ms.status(), retry_budget.status(),
         quarantine_after.status(), seed.status()}) {
     if (!st.ok()) return Fail(st);
   }
@@ -88,18 +106,30 @@ int main(int argc, char** argv) {
         "--runs, --events, and --deadline-ms must be positive"));
   }
 
-  std::set<uint64_t> hang_runs;
-  const std::string hang_spec = flags.GetString("hang-runs", "");
-  if (!hang_spec.empty()) {
-    for (const auto& part : SplitString(hang_spec, ',')) {
+  auto parse_run_list = [&](const char* flag_name,
+                            std::set<uint64_t>* out) -> Status {
+    const std::string spec = flags.GetString(flag_name, "");
+    for (const auto& part : SplitString(spec, ',')) {
+      if (part.empty()) continue;
       auto n = ParseUint64(part);
-      if (!n.ok()) return Fail(n.status().WithContext("--hang-runs"));
-      if (*n == 0 || *n > static_cast<uint64_t>(*runs)) {
-        return Fail(Status::InvalidArgument(
-            "--hang-runs entries must be in 1..--runs"));
+      if (!n.ok()) {
+        return n.status().WithContext(std::string("--") + flag_name);
       }
-      hang_runs.insert(*n);
+      if (*n == 0 || *n > static_cast<uint64_t>(*runs)) {
+        return Status::InvalidArgument(std::string("--") + flag_name +
+                                       " entries must be in 1..--runs");
+      }
+      out->insert(*n);
     }
+    return Status::OK();
+  };
+  std::set<uint64_t> hang_runs;
+  std::set<uint64_t> crash_runs;
+  if (Status st = parse_run_list("hang-runs", &hang_runs); !st.ok()) {
+    return Fail(st);
+  }
+  if (Status st = parse_run_list("crash-runs", &crash_runs); !st.ok()) {
+    return Fail(st);
   }
 
   CampaignOptions options;
@@ -107,15 +137,21 @@ int main(int argc, char** argv) {
   options.experiment.base_seed = static_cast<uint64_t>(*seed);
   options.retry_budget = static_cast<size_t>(*retry_budget);
   options.quarantine_after = static_cast<size_t>(*quarantine_after);
+  options.auto_resume = flags.GetBool("auto-resume");
   options.watchdog.stall_deadline = Duration::FromMillis(*deadline_ms);
 
   const uint64_t total_events = static_cast<uint64_t>(*events);
   const uint64_t wedge_attempts = static_cast<uint64_t>(*hang_attempts);
+  const uint64_t crash_attempt_count = static_cast<uint64_t>(*crash_attempts);
+  // Per-slot simulated checkpoints: the event count a crashing run had
+  // durably applied before dying. Slots only touch their own entry.
+  std::vector<uint64_t> checkpoints(static_cast<size_t>(*runs), 0);
 
   std::printf(
-      "gt_campaign: %lld run(s), %zu forced hang(s), deadline %lld ms, "
-      "retry budget %lld\n",
-      static_cast<long long>(*runs), hang_runs.size(),
+      "gt_campaign: %lld run(s), %zu forced hang(s), %zu forced crash(es)%s, "
+      "deadline %lld ms, retry budget %lld\n",
+      static_cast<long long>(*runs), hang_runs.size(), crash_runs.size(),
+      options.auto_resume ? " (auto-resume)" : "",
       static_cast<long long>(*deadline_ms),
       static_cast<long long>(*retry_budget));
 
@@ -132,7 +168,13 @@ int main(int argc, char** argv) {
         const bool wedge = hang_runs.contains(ctx.run_index + 1) &&
                            ctx.attempt < wedge_attempts;
         const uint64_t stall_after = wedge ? total_events / 2 : total_events;
-        uint64_t applied = 0;
+        // Crash drill: die two-thirds in, leaving a checkpoint at the last
+        // 50-event boundary — the supervisor's resume continues from it.
+        const bool crash = crash_runs.contains(ctx.run_index + 1) &&
+                           ctx.attempt < crash_attempt_count;
+        const uint64_t crash_after = (2 * total_events) / 3;
+        uint64_t applied = ctx.resume ? checkpoints[ctx.run_index] : 0;
+        bool crashed = false;
         LatencyHistogram apply_costs;
 
         std::function<void()> submit_next = [&] {
@@ -146,6 +188,10 @@ int main(int argc, char** argv) {
               sut.Kill();
               return;
             }
+            if (crash && applied >= crash_after) {
+              crashed = true;
+              return;
+            }
             if (applied < total_events) submit_next();
           });
         };
@@ -154,6 +200,13 @@ int main(int argc, char** argv) {
         // Drive the simulator from wall clock so a wedged SUT shows up as
         // real-time stalling, exactly like an external system under test.
         while (applied < total_events) {
+          if (crashed) {
+            checkpoints[ctx.run_index] = applied - (applied % 50);
+            return Status::IoError(
+                "simulated crash after " + std::to_string(applied) +
+                " events (checkpoint at " +
+                std::to_string(checkpoints[ctx.run_index]) + ")");
+          }
           if (ctx.cancel != nullptr && ctx.cancel->cancelled()) {
             return Status::Cancelled(ctx.cancel->reason());
           }
@@ -181,24 +234,34 @@ int main(int argc, char** argv) {
         out["events_per_virtual_s"] =
             static_cast<double>(total_events) / sim.Now().seconds();
         out["apply_cost_p50_ms"] = apply_costs.ValueAtQuantileMicros(0.5) / 1e3;
-        out["apply_cost_p99_ms"] = apply_costs.ValueAtQuantileMicros(0.99) / 1e3;
+        out["apply_cost_p99_ms"] =
+            apply_costs.ValueAtQuantileMicros(0.99) / 1e3;
         return out;
       });
   if (!report.ok()) return Fail(report.status());
 
   for (const AttemptRecord& a : report->attempts) {
     if (a.outcome == AttemptOutcome::kCompleted && a.attempt == 0) continue;
-    std::printf("  run %zu attempt %zu (seed %llu): %s%s%s\n", a.run_index + 1,
-                a.attempt, static_cast<unsigned long long>(a.seed),
+    std::printf("  run %zu attempt %zu%s (seed %llu): %s%s%s\n",
+                a.run_index + 1, a.attempt, a.resume ? " (resume)" : "",
+                static_cast<unsigned long long>(a.seed),
                 std::string(AttemptOutcomeName(a.outcome)).c_str(),
                 a.detail.empty() ? "" : " — ", a.detail.c_str());
   }
   std::printf("%s", FormatCampaignReport(*report).c_str());
   std::printf(
       "gt_campaign: %zu completed, %zu hung, %zu failed, %zu retried, "
-      "%zu quarantined config(s)\n",
+      "%zu resumed, %zu quarantined config(s)\n",
       report->total_completed, report->total_hung, report->total_failed,
-      report->total_retried, report->quarantined_configs);
+      report->total_retried, report->total_resumed,
+      report->quarantined_configs);
+  if (report->total_recoveries > 0) {
+    std::printf(
+        "gt_campaign: %zu recover(ies), %.3f s total downtime, MTTR %.3f s\n",
+        report->total_recoveries, report->total_downtime_s,
+        report->total_downtime_s /
+            static_cast<double>(report->total_recoveries));
+  }
 
   const bool all_slots_completed =
       report->total_completed == static_cast<size_t>(*runs) &&

@@ -1,0 +1,436 @@
+// gt_chaos — kill–resume equivalence harness for the crash-consistency
+// layer.
+//
+// Proves, with real processes and real SIGKILLs, that a replay interrupted
+// at arbitrary points and auto-resumed from its last good checkpoint
+// delivers the exact same byte stream as an uninterrupted run:
+//
+//   1. Runs one uninterrupted golden `gt_replay --out` run.
+//   2. For every named crash point (and, with --random-kills K, K
+//      randomized crash positions derived from --seed), runs a child
+//      gt_replay armed via GT_CRASH_AT so it SIGKILLs itself mid-run.
+//   3. Supervises the child: while it dies by signal and the resume budget
+//      lasts, relaunches it with --resume-from (or from scratch when no
+//      checkpoint was published before the kill).
+//   4. Byte-compares every per-shard output file against the golden run;
+//      the first mismatching offset is reported with hex context and
+//      written to --diff-out.
+//
+// Exit code 0 iff every trial converged to a byte-identical stream.
+//
+// Usage:
+//   gt_chaos --in stream.gts --shards 4 --random-kills 20
+//   gt_chaos --generate 300 --model social --seed 7 --workdir /tmp/chaos
+//
+// Flags:
+//   --in FILE           stream file to replay (omit to generate one)
+//   --generate N        rounds for the generated stream (default 200)
+//   --model M           generator model (default social)
+//   --seed S            seed for generation and random kill positions
+//   --shards N          shard lanes (default 1)
+//   --rate R            replay rate in events/s (default 1e6 — drills are
+//                       about crash placement, not pacing)
+//   --replayer PATH     gt_replay binary (default: sibling of gt_chaos)
+//   --generator PATH    gt_generate binary (default: sibling of gt_chaos)
+//   --crash-at LIST     comma list of POINT[:N] scripted trials; default is
+//                       every compiled crash point (epoch-barrier only when
+//                       --shards > 1)
+//   --random-kills K    additional trials at K seeded random positions
+//   --checkpoint-every N  checkpoint cadence in events (default 100)
+//   --retry-budget N    resume attempts per trial (default 3)
+//   --workdir DIR       scratch directory (default gt_chaos_work)
+//   --diff-out FILE     mismatch report (default WORKDIR/diff.txt)
+#include <sys/stat.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "common/fault_plan.h"
+#include "common/flags.h"
+#include "common/random.h"
+#include "common/status.h"
+
+using namespace graphtides;
+
+namespace {
+
+int Fail(const Status& status) {
+  std::fprintf(stderr, "gt_chaos: %s\n", status.ToString().c_str());
+  return 1;
+}
+
+/// Outcome of one supervised child process.
+struct ChildExit {
+  bool exited = false;  ///< normal exit (code in `code`)
+  int code = -1;
+  bool signaled = false;  ///< killed by signal (number in `sig`)
+  int sig = 0;
+};
+
+/// fork+exec `args` (args[0] is the binary path). `crash_env` non-empty
+/// arms GT_CRASH_AT in the child; otherwise the variable is scrubbed so a
+/// resumed attempt runs clean. Child stderr goes to `log_path`.
+Result<ChildExit> RunChild(const std::vector<std::string>& args,
+                           const std::string& crash_env,
+                           const std::string& log_path) {
+  std::vector<char*> argv;
+  argv.reserve(args.size() + 1);
+  for (const std::string& a : args) {
+    argv.push_back(const_cast<char*>(a.c_str()));
+  }
+  argv.push_back(nullptr);
+
+  const pid_t pid = ::fork();
+  if (pid < 0) {
+    return Status::IoError(std::string("fork: ") + std::strerror(errno));
+  }
+  if (pid == 0) {
+    if (!log_path.empty()) {
+      std::freopen(log_path.c_str(), "w", stderr);
+    }
+    if (crash_env.empty()) {
+      ::unsetenv("GT_CRASH_AT");
+    } else {
+      ::setenv("GT_CRASH_AT", crash_env.c_str(), 1);
+    }
+    ::execv(argv[0], argv.data());
+    std::fprintf(stderr, "gt_chaos: execv %s: %s\n", argv[0],
+                 std::strerror(errno));
+    ::_exit(127);
+  }
+  int wstatus = 0;
+  if (::waitpid(pid, &wstatus, 0) < 0) {
+    return Status::IoError(std::string("waitpid: ") + std::strerror(errno));
+  }
+  ChildExit out;
+  if (WIFEXITED(wstatus)) {
+    out.exited = true;
+    out.code = WEXITSTATUS(wstatus);
+  } else if (WIFSIGNALED(wstatus)) {
+    out.signaled = true;
+    out.sig = WTERMSIG(wstatus);
+  }
+  return out;
+}
+
+std::string SiblingBinary(const char* argv0, const std::string& name) {
+  const std::string self(argv0);
+  const size_t slash = self.rfind('/');
+  return slash == std::string::npos ? name : self.substr(0, slash + 1) + name;
+}
+
+Result<size_t> CountLines(const std::string& path) {
+  std::ifstream file(path);
+  if (!file.good()) return Status::IoError("cannot read " + path);
+  size_t lines = 0;
+  std::string line;
+  while (std::getline(file, line)) {
+    if (!line.empty()) ++lines;
+  }
+  return lines;
+}
+
+Result<std::string> ReadWholeFile(const std::string& path) {
+  std::ifstream file(path, std::ios::binary);
+  if (!file.good()) return Status::IoError("cannot read " + path);
+  std::string data((std::istreambuf_iterator<char>(file)),
+                   std::istreambuf_iterator<char>());
+  return data;
+}
+
+/// First differing byte offset, or npos when identical (lengths included).
+size_t FirstDiff(const std::string& a, const std::string& b) {
+  const size_t n = std::min(a.size(), b.size());
+  for (size_t i = 0; i < n; ++i) {
+    if (a[i] != b[i]) return i;
+  }
+  return a.size() == b.size() ? std::string::npos : n;
+}
+
+std::string HexContext(const std::string& data, size_t offset) {
+  const size_t lo = offset >= 16 ? offset - 16 : 0;
+  const size_t hi = std::min(data.size(), offset + 16);
+  std::string out;
+  char buf[8];
+  for (size_t i = lo; i < hi; ++i) {
+    std::snprintf(buf, sizeof(buf), i == offset ? "[%02x]" : "%02x ",
+                  static_cast<unsigned char>(data[i]));
+    out += buf;
+  }
+  return out;
+}
+
+struct Trial {
+  std::string name;       ///< display label ("scripted post-delivery:250")
+  std::string crash_env;  ///< GT_CRASH_AT value for attempt 0
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  auto flags_or = Flags::Parse(argc, argv);
+  if (!flags_or.ok()) return Fail(flags_or.status());
+  const Flags& flags = *flags_or;
+  const auto unknown = flags.UnknownFlags(
+      {"in", "generate", "model", "seed", "shards", "rate", "replayer",
+       "generator", "crash-at", "random-kills", "checkpoint-every",
+       "retry-budget", "workdir", "diff-out", "help"});
+  if (!unknown.empty()) {
+    return Fail(Status::InvalidArgument("unknown flag --" + unknown[0]));
+  }
+  if (flags.GetBool("help")) {
+    std::printf(
+        "usage: gt_chaos [--in FILE | --generate N --model M] [--seed S]\n"
+        "       [--shards N] [--rate R] [--replayer PATH] "
+        "[--generator PATH]\n"
+        "       [--crash-at POINT[:N],...] [--random-kills K]\n"
+        "       [--checkpoint-every N] [--retry-budget N]\n"
+        "       [--workdir DIR] [--diff-out FILE]\n");
+    return 0;
+  }
+
+  auto generate_rounds = flags.GetInt("generate", 200);
+  auto seed = flags.GetInt("seed", 1);
+  auto shards_flag = flags.GetInt("shards", 1);
+  auto rate = flags.GetDouble("rate", 1e6);
+  auto random_kills = flags.GetInt("random-kills", 0);
+  auto checkpoint_every = flags.GetInt("checkpoint-every", 100);
+  auto retry_budget = flags.GetInt("retry-budget", 3);
+  for (const Status& st :
+       {generate_rounds.status(), seed.status(), shards_flag.status(),
+        rate.status(), random_kills.status(), checkpoint_every.status(),
+        retry_budget.status()}) {
+    if (!st.ok()) return Fail(st);
+  }
+  if (*shards_flag < 1) {
+    return Fail(Status::InvalidArgument("--shards must be >= 1"));
+  }
+  if (*checkpoint_every < 1) {
+    return Fail(Status::InvalidArgument("--checkpoint-every must be >= 1"));
+  }
+  if (*retry_budget < 1) {
+    return Fail(Status::InvalidArgument("--retry-budget must be >= 1"));
+  }
+  const size_t shards = static_cast<size_t>(*shards_flag);
+  const std::string rate_str = std::to_string(*rate);
+
+  const std::string workdir = flags.GetString("workdir", "gt_chaos_work");
+  if (::mkdir(workdir.c_str(), 0755) != 0 && errno != EEXIST) {
+    return Fail(Status::IoError("cannot create " + workdir));
+  }
+  const std::string diff_out =
+      flags.GetString("diff-out", workdir + "/diff.txt");
+  const std::string replayer =
+      flags.GetString("replayer", SiblingBinary(argv[0], "gt_replay"));
+  const std::string generator =
+      flags.GetString("generator", SiblingBinary(argv[0], "gt_generate"));
+
+  // Workload: caller-provided stream, or a generated one.
+  std::string stream = flags.GetString("in", "");
+  if (stream.empty()) {
+    stream = workdir + "/stream.gts";
+    auto gen = RunChild(
+        {generator, "--model", flags.GetString("model", "social"), "--rounds",
+         std::to_string(*generate_rounds), "--seed", std::to_string(*seed),
+         "--out", stream},
+        "", workdir + "/generate.log");
+    if (!gen.ok()) return Fail(gen.status());
+    if (!gen->exited || gen->code != 0) {
+      return Fail(Status::IoError("stream generation failed; see " + workdir +
+                                  "/generate.log"));
+    }
+  }
+  auto entries = CountLines(stream);
+  if (!entries.ok()) return Fail(entries.status());
+  if (*entries == 0) return Fail(Status::InvalidArgument("empty stream"));
+
+  auto shard_path = [&](const std::string& prefix, size_t s) {
+    return shards == 1 ? prefix : prefix + ".shard" + std::to_string(s);
+  };
+  auto replay_args = [&](const std::string& out_prefix,
+                         const std::string& checkpoint,
+                         bool resume) {
+    std::vector<std::string> args = {
+        replayer,           "--in",
+        stream,             "--rate",
+        rate_str,           "--shards",
+        std::to_string(shards), "--out",
+        out_prefix};
+    if (!checkpoint.empty()) {
+      args.insert(args.end(),
+                  {"--checkpoint-file", checkpoint, "--checkpoint-every",
+                   std::to_string(*checkpoint_every),
+                   "--checkpoint-generations", "3"});
+      if (resume) args.insert(args.end(), {"--resume-from", checkpoint});
+    }
+    return args;
+  };
+
+  // Golden: one uninterrupted run, no checkpointing in the way.
+  const std::string golden_prefix = workdir + "/golden";
+  auto golden_run = RunChild(replay_args(golden_prefix, "", false), "",
+                             workdir + "/golden.log");
+  if (!golden_run.ok()) return Fail(golden_run.status());
+  if (!golden_run->exited || golden_run->code != 0) {
+    return Fail(Status::IoError("golden run failed; see " + workdir +
+                                "/golden.log"));
+  }
+  std::vector<std::string> golden_bytes(shards);
+  for (size_t s = 0; s < shards; ++s) {
+    auto data = ReadWholeFile(shard_path(golden_prefix, s));
+    if (!data.ok()) return Fail(data.status());
+    golden_bytes[s] = std::move(*data);
+  }
+  std::fprintf(stderr, "gt_chaos: golden run: %zu entries, %zu shard(s)\n",
+               *entries, shards);
+
+  // Trial plan: scripted crash points first, then seeded random positions.
+  std::vector<Trial> trials;
+  if (flags.Has("crash-at")) {
+    std::string spec = flags.GetString("crash-at", "");
+    size_t start = 0;
+    while (start <= spec.size()) {
+      const size_t comma = spec.find(',', start);
+      const std::string part =
+          spec.substr(start, comma == std::string::npos ? std::string::npos
+                                                        : comma - start);
+      if (!part.empty()) trials.push_back({"scripted " + part, part});
+      if (comma == std::string::npos) break;
+      start = comma + 1;
+    }
+  } else {
+    // Default: every compiled crash point. Crash points that fire inside
+    // checkpoint writes target hit 2 so one good generation exists to fall
+    // back to; post-delivery targets mid-stream.
+    for (const std::string_view point : FaultPlan::KnownCrashPoints()) {
+      if (point == kCrashEpochBarrier && shards == 1) continue;
+      std::string spec(point);
+      spec += point == kCrashPostDelivery
+                  ? ":" + std::to_string(std::max<size_t>(1, *entries / 2))
+                  : ":2";
+      trials.push_back({"scripted " + spec, spec});
+    }
+  }
+  Rng rng(static_cast<uint64_t>(*seed) ^ 0xc4a5c85d68dbef22ULL);
+  for (int k = 0; k < *random_kills; ++k) {
+    // Random position in the stream: crash after a uniformly random
+    // delivered event. Occasionally pick a checkpoint-path point instead so
+    // randomized trials also exercise torn-rename windows.
+    std::string spec;
+    const double pick = rng.NextDouble();
+    if (pick < 0.7) {
+      spec = std::string(kCrashPostDelivery) + ":" +
+             std::to_string(1 + rng.NextBounded(*entries));
+    } else {
+      const size_t max_checkpoints = std::max<size_t>(
+          1, *entries / static_cast<size_t>(*checkpoint_every));
+      const std::string_view points[] = {kCrashMidCheckpointWrite,
+                                         kCrashPreCheckpointRename,
+                                         kCrashPostCheckpoint};
+      spec = std::string(points[rng.NextBounded(3)]) + ":" +
+             std::to_string(1 + rng.NextBounded(max_checkpoints));
+    }
+    trials.push_back({"random #" + std::to_string(k) + " " + spec, spec});
+  }
+
+  size_t passed = 0;
+  size_t failed = 0;
+  std::FILE* diff_file = nullptr;
+  auto report_diff = [&](const std::string& trial, size_t s, size_t offset,
+                         const std::string& got) {
+    if (diff_file == nullptr) diff_file = std::fopen(diff_out.c_str(), "w");
+    if (diff_file == nullptr) return;
+    std::fprintf(diff_file,
+                 "trial %s shard %zu: first diff at offset %zu\n"
+                 "  golden: %s\n  got:    %s\n",
+                 trial.c_str(), s, offset,
+                 HexContext(golden_bytes[s], offset).c_str(),
+                 HexContext(got, offset).c_str());
+  };
+
+  for (size_t t = 0; t < trials.size(); ++t) {
+    const Trial& trial = trials[t];
+    const std::string prefix = workdir + "/trial" + std::to_string(t);
+    const std::string checkpoint = prefix + ".cp";
+    // Scrub leftovers from a previous invocation: a stale checkpoint
+    // generation would poison the resume path.
+    for (size_t g = 0; g < 4; ++g) {
+      const std::string path =
+          g == 0 ? checkpoint : checkpoint + "." + std::to_string(g);
+      ::unlink(path.c_str());
+    }
+
+    size_t crashes = 0;
+    bool converged = false;
+    std::string failure;
+    for (int attempt = 0; attempt <= *retry_budget; ++attempt) {
+      // Resume only when a checkpoint was published before the kill; a
+      // crash before the first checkpoint restarts from scratch.
+      struct ::stat cp_stat {};
+      const bool have_checkpoint =
+          attempt > 0 && ::stat(checkpoint.c_str(), &cp_stat) == 0;
+      const std::string log =
+          prefix + ".attempt" + std::to_string(attempt) + ".log";
+      auto child = RunChild(replay_args(prefix, checkpoint, have_checkpoint),
+                            attempt == 0 ? trial.crash_env : "", log);
+      if (!child.ok()) return Fail(child.status());
+      if (child->exited && child->code == 0) {
+        converged = true;
+        break;
+      }
+      if (child->signaled) {
+        ++crashes;
+        continue;  // supervised resume
+      }
+      failure = "replayer failed (exit " + std::to_string(child->code) +
+                "); see " + log;
+      break;
+    }
+    if (converged) {
+      for (size_t s = 0; s < shards; ++s) {
+        auto data = ReadWholeFile(shard_path(prefix, s));
+        if (!data.ok()) return Fail(data.status());
+        const size_t diff = FirstDiff(golden_bytes[s], *data);
+        if (diff != std::string::npos) {
+          failure = "shard " + std::to_string(s) + " differs at offset " +
+                    std::to_string(diff) + " (golden " +
+                    std::to_string(golden_bytes[s].size()) + " B, got " +
+                    std::to_string(data->size()) + " B)";
+          report_diff(trial.name, s, diff, *data);
+          break;
+        }
+      }
+    } else if (failure.empty()) {
+      failure = "resume budget exhausted after " + std::to_string(crashes) +
+                " crash(es)";
+    }
+
+    if (failure.empty()) {
+      ++passed;
+      std::fprintf(stderr, "gt_chaos: PASS %-40s (%zu crash(es))\n",
+                   trial.name.c_str(), crashes);
+    } else {
+      ++failed;
+      std::fprintf(stderr, "gt_chaos: FAIL %-40s %s\n", trial.name.c_str(),
+                   failure.c_str());
+    }
+  }
+  if (diff_file != nullptr) {
+    std::fclose(diff_file);
+    std::fprintf(stderr, "gt_chaos: mismatch details -> %s\n",
+                 diff_out.c_str());
+  }
+
+  std::fprintf(stderr,
+               "gt_chaos: %zu/%zu trial(s) byte-identical after kill–resume "
+               "(%zu shard(s), retry budget %lld)\n",
+               passed, trials.size(), shards,
+               static_cast<long long>(*retry_budget));
+  return failed == 0 ? 0 : 2;
+}

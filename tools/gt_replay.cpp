@@ -42,14 +42,38 @@
 //   --deliver-timeout-ms M per-delivery timeout, 0 = unlimited
 //   --on-failure POLICY    fail | drop | block (default fail)
 //
+// File output (kill–resume equivalence over files):
+//   --out PREFIX           write events to PREFIX (1 shard) or
+//                          PREFIX.shard<N> files instead of stdout.
+//                          Checkpoints then flush the sinks and record
+//                          per-shard byte offsets; a resume truncates each
+//                          file to its checkpointed offset and appends, so
+//                          the bytes concatenate identically with an
+//                          uninterrupted run.
+//
 // Supervision (checkpoint/resume + watchdog):
 //   --checkpoint-file FILE checkpoint destination (atomic replace)
 //   --checkpoint-every N   write a checkpoint every N delivered events
-//   --resume-from FILE     resume from a previous run's checkpoint
+//   --checkpoint-generations N  keep N rotated generations (default 1);
+//                          a torn/corrupt newest record falls back to an
+//                          intact ancestor on --resume-from
+//   --resume-from FILE     resume from the newest good checkpoint
+//                          generation at FILE
 //   --stop-after N         stop cleanly after N events (writes a final
 //                          checkpoint; models a controlled kill)
 //   --watchdog-ms M        abort the run when no event is delivered for
 //                          M milliseconds (0 = no watchdog)
+//
+// Scripted process faults (crash-consistency drills; see
+// common/fault_plan.h for the spec grammar and crash points):
+//   --crash-at P[:N]       SIGKILL the process at the N-th hit of the
+//                          named crash point (post-delivery,
+//                          mid-checkpoint-write, pre-checkpoint-rename,
+//                          post-checkpoint, epoch-barrier). Also honored
+//                          from the GT_CRASH_AT environment variable.
+//   --fault-plan SPEC      full fault-plan spec (crash=, torn=, enospc=,
+//                          short-write=, fail=, seed=); also honored from
+//                          GT_FAULT_PLAN
 //
 // Live telemetry (§4.3 extended to the replayer's own pipeline):
 //   --telemetry-out DEST   emit JSONL telemetry snapshots (schema
@@ -63,6 +87,9 @@
 //   --telemetry-period-ms M  snapshot period (default 500)
 //   --telemetry-sample N     sample 1-in-N events for stage spans
 //                            (default 64)
+#include <sys/stat.h>
+#include <unistd.h>
+
 #include <cstdio>
 #include <functional>
 #include <memory>
@@ -70,6 +97,7 @@
 #include <vector>
 
 #include "common/cancellation.h"
+#include "common/fault_plan.h"
 #include "common/flags.h"
 #include "common/string_util.h"
 #include "faults/chaos_sink.h"
@@ -100,25 +128,28 @@ int main(int argc, char** argv) {
   if (!flags_or.ok()) return Fail(flags_or.status());
   const Flags& flags = *flags_or;
   const auto unknown = flags.UnknownFlags(
-      {"in", "rate", "shards", "tcp", "ignore-controls", "marker-log",
+      {"in", "rate", "shards", "tcp", "out", "ignore-controls", "marker-log",
        "chaos-seed", "chaos-fail", "chaos-disconnect", "chaos-stall",
        "chaos-stall-ms", "retry-budget", "retry-backoff-ms",
        "deliver-timeout-ms", "on-failure", "checkpoint-file",
-       "checkpoint-every", "resume-from", "stop-after", "watchdog-ms",
+       "checkpoint-every", "checkpoint-generations", "resume-from",
+       "stop-after", "watchdog-ms", "crash-at", "fault-plan",
        "telemetry-out", "telemetry-period-ms", "telemetry-sample", "help"});
   if (!unknown.empty()) {
     return Fail(Status::InvalidArgument("unknown flag --" + unknown[0]));
   }
   if (flags.GetBool("help")) {
     std::printf(
-        "usage: gt_replay --in FILE --rate R [--shards N] [--tcp HOST:PORT] "
-        "[--ignore-controls] [--marker-log FILE]\n"
+        "usage: gt_replay --in FILE --rate R [--shards N] [--tcp HOST:PORT | "
+        "--out PREFIX] [--ignore-controls] [--marker-log FILE]\n"
         "       [--chaos-seed S --chaos-fail P --chaos-disconnect P "
         "--chaos-stall P --chaos-stall-ms M]\n"
         "       [--retry-budget N --retry-backoff-ms M "
         "--deliver-timeout-ms M --on-failure fail|drop|block]\n"
         "       [--checkpoint-file FILE --checkpoint-every N "
-        "--resume-from FILE --stop-after N --watchdog-ms M]\n"
+        "--checkpoint-generations N --resume-from FILE --stop-after N "
+        "--watchdog-ms M]\n"
+        "       [--crash-at POINT[:N] --fault-plan SPEC]\n"
         "       [--telemetry-out FILE|- --telemetry-period-ms M "
         "--telemetry-sample N]\n");
     return 0;
@@ -148,6 +179,7 @@ int main(int argc, char** argv) {
   auto retry_backoff_ms = flags.GetInt("retry-backoff-ms", 1);
   auto deliver_timeout_ms = flags.GetInt("deliver-timeout-ms", 0);
   auto checkpoint_every = flags.GetInt("checkpoint-every", 0);
+  auto checkpoint_generations = flags.GetInt("checkpoint-generations", 1);
   auto stop_after = flags.GetInt("stop-after", 0);
   auto watchdog_ms = flags.GetInt("watchdog-ms", 0);
   auto telemetry_period_ms = flags.GetInt("telemetry-period-ms", 500);
@@ -156,14 +188,42 @@ int main(int argc, char** argv) {
        {chaos_seed.status(), chaos_fail.status(), chaos_disconnect.status(),
         chaos_stall.status(), chaos_stall_ms.status(), retry_budget.status(),
         retry_backoff_ms.status(), deliver_timeout_ms.status(),
-        checkpoint_every.status(), stop_after.status(), watchdog_ms.status(),
+        checkpoint_every.status(), checkpoint_generations.status(),
+        stop_after.status(), watchdog_ms.status(),
         telemetry_period_ms.status(), telemetry_sample.status()}) {
     if (!st.ok()) return Fail(st);
   }
+  if (*checkpoint_generations < 1) {
+    return Fail(
+        Status::InvalidArgument("--checkpoint-generations must be >= 1"));
+  }
 
-  const bool chaos_enabled = flags.Has("chaos-fail") ||
-                             flags.Has("chaos-disconnect") ||
-                             flags.Has("chaos-stall");
+  // Scripted process faults: environment first (GT_FAULT_PLAN / GT_CRASH_AT
+  // — how a supervisor arms a child without touching its argv), then the
+  // explicit flags on top.
+  FaultPlan& fault_plan = FaultPlan::Global();
+  if (Status st = fault_plan.ConfigureFromEnv(); !st.ok()) return Fail(st);
+  if (flags.Has("fault-plan")) {
+    if (Status st = fault_plan.Configure(flags.GetString("fault-plan", ""));
+        !st.ok()) {
+      return Fail(st);
+    }
+  }
+  if (flags.Has("crash-at")) {
+    const std::string crash_at = flags.GetString("crash-at", "");
+    for (const std::string_view part : SplitString(crash_at, ',')) {
+      const std::string_view point = TrimWhitespace(part);
+      if (point.empty()) continue;
+      if (Status st = fault_plan.Configure("crash=" + std::string(point));
+          !st.ok()) {
+        return Fail(st);
+      }
+    }
+  }
+
+  const bool chaos_enabled =
+      flags.Has("chaos-fail") || flags.Has("chaos-disconnect") ||
+      flags.Has("chaos-stall") || !fault_plan.delivery_fail_points().empty();
   const bool resilience_enabled =
       chaos_enabled || flags.Has("retry-budget") ||
       flags.Has("retry-backoff-ms") || flags.Has("deliver-timeout-ms") ||
@@ -175,6 +235,9 @@ int main(int argc, char** argv) {
   chaos_options.disconnect_probability = *chaos_disconnect;
   chaos_options.stall_probability = *chaos_stall;
   chaos_options.stall = Duration::FromMillis(*chaos_stall_ms);
+  // Deterministic per-attempt fail points from the fault plan unify with
+  // the probabilistic chaos schedule.
+  chaos_options.fail_points = fault_plan.delivery_fail_points();
 
   ResilientSinkOptions resilient_options;
   resilient_options.retry_budget = static_cast<uint32_t>(*retry_budget);
@@ -194,7 +257,38 @@ int main(int argc, char** argv) {
   options.cancel = &cancel;
   options.checkpoint_path = flags.GetString("checkpoint-file", "");
   options.checkpoint_every = static_cast<uint64_t>(*checkpoint_every);
+  options.checkpoint_generations =
+      static_cast<size_t>(*checkpoint_generations);
   options.stop_after_events = static_cast<uint64_t>(*stop_after);
+
+  // Resume: load the newest good checkpoint generation BEFORE the sinks
+  // are built — file-backed output must be truncated to the checkpointed
+  // byte offsets before it reopens for append.
+  std::optional<ReplayCheckpoint> resume;
+  size_t resume_fallbacks = 0;
+  const std::string resume_from = flags.GetString("resume-from", "");
+  if (!resume_from.empty()) {
+    auto loaded = CheckpointStore::LoadLatestGood(resume_from);
+    if (!loaded.ok()) return Fail(loaded.status());
+    resume = loaded->checkpoint;
+    resume_fallbacks = loaded->fallbacks;
+    for (const std::string& reason : loaded->rejected) {
+      std::fprintf(stderr, "gt_replay: checkpoint rejected: %s\n",
+                   reason.c_str());
+    }
+    if (loaded->fallbacks > 0) {
+      std::fprintf(
+          stderr, "gt_replay: fell back %zu generation(s), resuming from %s\n",
+          loaded->fallbacks,
+          CheckpointStore::GenerationPath(resume_from, loaded->generation)
+              .c_str());
+    }
+    std::fprintf(stderr,
+                 "gt_replay: resuming at entry %llu (%llu events already "
+                 "delivered)\n",
+                 static_cast<unsigned long long>(resume->entries_consumed),
+                 static_cast<unsigned long long>(resume->events_delivered));
+  }
 
   // Sink chain, one per shard: transport -> [ChaosSink] -> [ResilientSink].
   // With --shards 1 this degenerates to the classic single chain; with
@@ -221,6 +315,19 @@ int main(int argc, char** argv) {
     chaos_options.disconnect_probability = 0.0;
   }
 
+  // --out PREFIX: per-shard output files. The deterministic alternative to
+  // interleaved stdout — required for byte-exact kill–resume comparison.
+  const std::string out_prefix = flags.GetString("out", "");
+  if (!out_prefix.empty() && !tcp_spec.empty()) {
+    return Fail(
+        Status::InvalidArgument("--out and --tcp are mutually exclusive"));
+  }
+  auto out_path = [&](size_t s) {
+    return shards == 1 ? out_prefix
+                       : out_prefix + ".shard" + std::to_string(s);
+  };
+  std::vector<std::FILE*> out_files;
+
   std::vector<std::unique_ptr<TcpSink>> tcp_sinks;
   std::vector<std::unique_ptr<PipeSink>> pipe_sinks;
   std::vector<std::unique_ptr<ChaosSink>> chaos_sinks;
@@ -236,6 +343,41 @@ int main(int argc, char** argv) {
         return Fail(st.WithContext("shard " + std::to_string(s)));
       }
       sink = tcp;
+    } else if (!out_prefix.empty()) {
+      const std::string path = out_path(s);
+      if (resume.has_value()) {
+        // Kafka-style log truncation: the checkpoint's byte offset is the
+        // durable high-water mark; everything past it was delivered after
+        // the record (or half-flushed by the crash) and gets re-emitted.
+        if (resume->sink_bytes.size() != shards) {
+          return Fail(Status::InvalidArgument(
+              "resume checkpoint has no per-shard sink byte offsets "
+              "(written without --out, or shard count changed); cannot "
+              "resume into --out files"));
+        }
+        struct ::stat file_stat {};
+        if (::stat(path.c_str(), &file_stat) != 0) {
+          return Fail(Status::IoError("cannot stat " + path));
+        }
+        if (static_cast<uint64_t>(file_stat.st_size) <
+            resume->sink_bytes[s]) {
+          return Fail(Status::IoError(
+              path + " is shorter than its checkpointed offset (" +
+              std::to_string(file_stat.st_size) + " < " +
+              std::to_string(resume->sink_bytes[s]) + " bytes)"));
+        }
+        if (::truncate(path.c_str(),
+                       static_cast<off_t>(resume->sink_bytes[s])) != 0) {
+          return Fail(Status::IoError("cannot truncate " + path));
+        }
+      }
+      std::FILE* f = std::fopen(path.c_str(), resume ? "ab" : "wb");
+      if (f == nullptr) {
+        return Fail(Status::IoError("cannot open " + path));
+      }
+      out_files.push_back(f);
+      pipe_sinks.push_back(std::make_unique<PipeSink>(f));
+      sink = pipe_sinks.back().get();
     } else {
       pipe_sinks.push_back(std::make_unique<PipeSink>(stdout));
       sink = pipe_sinks.back().get();
@@ -265,19 +407,9 @@ int main(int argc, char** argv) {
     // on resume, which only perturbs backoff timing, never delivery.)
     options.checkpoint_rng = resilient_sinks[0]->mutable_jitter_rng();
   }
-
-  std::optional<ReplayCheckpoint> resume;
-  const std::string resume_from = flags.GetString("resume-from", "");
-  if (!resume_from.empty()) {
-    auto loaded = ReplayCheckpoint::LoadFrom(resume_from);
-    if (!loaded.ok()) return Fail(loaded.status());
-    resume = *loaded;
-    std::fprintf(stderr,
-                 "gt_replay: resuming at entry %llu (%llu events already "
-                 "delivered)\n",
-                 static_cast<unsigned long long>(resume->entries_consumed),
-                 static_cast<unsigned long long>(resume->events_delivered));
-  }
+  // File-backed output is the byte-exactness contract: checkpoints flush
+  // the sinks and record per-shard byte offsets.
+  options.record_sink_bytes = !out_prefix.empty();
 
   // Live telemetry: hub + background JSONL snapshotter.
   const std::string telemetry_out = flags.GetString("telemetry-out", "");
@@ -309,6 +441,12 @@ int main(int argc, char** argv) {
     }
     snapshotter.emplace(telemetry.get(), sopt);
   }
+  if (telemetry != nullptr && resume.has_value()) {
+    RecoveryCounters rec;
+    rec.resumes = 1;
+    rec.checkpoint_fallbacks = resume_fallbacks;
+    telemetry->UpdateRecoveryCounters(rec);
+  }
 
   std::optional<StreamReplayer> single;
   std::optional<ShardedReplayer> sharded;
@@ -325,8 +463,10 @@ int main(int argc, char** argv) {
     sharded_options.cancel = &cancel;
     sharded_options.checkpoint_path = options.checkpoint_path;
     sharded_options.checkpoint_every = options.checkpoint_every;
+    sharded_options.checkpoint_generations = options.checkpoint_generations;
     sharded_options.stop_after_events = options.stop_after_events;
     sharded_options.checkpoint_rng = options.checkpoint_rng;
+    sharded_options.record_sink_bytes = options.record_sink_bytes;
     sharded_options.telemetry = telemetry.get();
     sharded.emplace(sharded_options);
     progress_fn = [&] { return sharded->progress(); };
@@ -364,9 +504,24 @@ int main(int argc, char** argv) {
   }();
   watchdog.Disarm();
   if (snapshotter.has_value()) {
+    if (telemetry != nullptr &&
+        (resume.has_value() || fault_plan.write_faults_fired() > 0)) {
+      RecoveryCounters rec;
+      rec.resumes = resume.has_value() ? 1 : 0;
+      rec.checkpoint_fallbacks = resume_fallbacks;
+      rec.write_faults = fault_plan.write_faults_fired();
+      telemetry->UpdateRecoveryCounters(rec);
+    }
     if (telemetry != nullptr) telemetry->markers().Finish();
     snapshotter->Stop();
     if (telemetry_file != nullptr) std::fclose(telemetry_file);
+  }
+  for (std::FILE* f : out_files) std::fclose(f);
+  out_files.clear();
+  if (fault_plan.write_faults_fired() > 0) {
+    std::fprintf(stderr, "gt_replay: %llu scripted write fault(s) fired\n",
+                 static_cast<unsigned long long>(
+                     fault_plan.write_faults_fired()));
   }
   if (!stats.ok()) {
     if (stats.status().IsCancelled() && !options.checkpoint_path.empty()) {

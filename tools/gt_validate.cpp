@@ -94,6 +94,25 @@ int main(int argc, char** argv) {
       expected_seq = snap->seq + 1;
       if (snap->elapsed_s < last_elapsed) complain("elapsed_s went backwards");
       if (snap->events < last_events) complain("events counter decreased");
+      // Recovery counters are cumulative for the run; a decrease means a
+      // snapshotter lost state across a resume.
+      const RecoveryCounters& rec = snap->recovery;
+      const RecoveryCounters& prev_rec = last.recovery;
+      if (rec.crashes < prev_rec.crashes) {
+        complain("recovery.crashes decreased");
+      }
+      if (rec.resumes < prev_rec.resumes) {
+        complain("recovery.resumes decreased");
+      }
+      if (rec.checkpoint_fallbacks < prev_rec.checkpoint_fallbacks) {
+        complain("recovery.checkpoint_fallbacks decreased");
+      }
+      if (rec.write_faults < prev_rec.write_faults) {
+        complain("recovery.write_faults decreased");
+      }
+      if (rec.downtime_s < prev_rec.downtime_s) {
+        complain("recovery.downtime_s decreased");
+      }
       last_elapsed = snap->elapsed_s;
       last_events = snap->events;
       last = *snap;
@@ -112,6 +131,16 @@ int main(int argc, char** argv) {
         "over %.3f s across %zu shard(s)\n",
         lines, static_cast<unsigned long long>(last.events), last.elapsed_s,
         last.shard_events.size());
+    if (last.recovery.any()) {
+      std::printf(
+          "  recovery: %llu crash(es), %llu resume(s), %llu checkpoint "
+          "fallback(s), %llu write fault(s), %.3f s downtime\n",
+          static_cast<unsigned long long>(last.recovery.crashes),
+          static_cast<unsigned long long>(last.recovery.resumes),
+          static_cast<unsigned long long>(last.recovery.checkpoint_fallbacks),
+          static_cast<unsigned long long>(last.recovery.write_faults),
+          last.recovery.downtime_s);
+    }
     return 0;
   }
 
