@@ -31,8 +31,11 @@ FaultPlan& FaultPlan::Global() {
 
 const std::vector<std::string_view>& FaultPlan::KnownCrashPoints() {
   static const std::vector<std::string_view> kPoints = {
-      kCrashPostDelivery, kCrashMidCheckpointWrite, kCrashPreCheckpointRename,
-      kCrashPostCheckpoint, kCrashEpochBarrier};
+      kCrashPostDelivery,     kCrashMidCheckpointWrite,
+      kCrashPreCheckpointRename, kCrashPostCheckpoint,
+      kCrashEpochBarrier,     kCrashCoordPostAssign,
+      kCrashCoordEpochRelease, kCrashWorkerPostHello,
+      kCrashWorkerEpochReport};
   return kPoints;
 }
 

@@ -53,6 +53,19 @@ inline constexpr std::string_view kCrashPostCheckpoint = "post-checkpoint";
 /// Inside a cross-shard epoch-barrier completion, all lanes quiesced.
 inline constexpr std::string_view kCrashEpochBarrier = "epoch-barrier";
 
+// Distributed-replay crash points (coordinator + worker control plane).
+/// Coordinator: after a shard-range ASSIGN/REASSIGN was sent to a worker.
+inline constexpr std::string_view kCrashCoordPostAssign = "coord-post-assign";
+/// Coordinator: after broadcasting an epoch release to the fleet.
+inline constexpr std::string_view kCrashCoordEpochRelease =
+    "coord-epoch-release";
+/// Worker: after the HELLO handshake registered it with the coordinator.
+inline constexpr std::string_view kCrashWorkerPostHello = "worker-post-hello";
+/// Worker: after reporting an epoch, before waiting for its release —
+/// lanes quiesced at the barrier, checkpoint state durable.
+inline constexpr std::string_view kCrashWorkerEpochReport =
+    "worker-epoch-report";
+
 /// \brief One armed process-fault script. Thread-safe after Configure.
 ///
 /// The process-global instance (Global()) is what the instrumentation

@@ -1,0 +1,34 @@
+// Exponential backoff with decorrelated jitter for control-plane retry
+// loops (worker re-dial, coordinator send retry). Deterministic given the
+// Rng, so chaos trials replay identically under a fixed seed.
+#ifndef GRAPHTIDES_DISTRIBUTED_BACKOFF_H_
+#define GRAPHTIDES_DISTRIBUTED_BACKOFF_H_
+
+#include <cstdint>
+
+#include "common/random.h"
+
+namespace graphtides {
+
+/// \brief Bounded exponential backoff: delay for attempt k (0-based) is
+/// drawn uniformly from [base/2, base] * 2^k, capped at `max_ms` — full
+/// jitter on the upper half so a worker fleet re-dialing a restarted
+/// coordinator does not stampede in lockstep.
+struct BackoffPolicy {
+  int base_ms = 50;
+  int max_ms = 2000;
+
+  int DelayMs(int attempt, Rng* rng) const {
+    int64_t ceiling = base_ms;
+    for (int i = 0; i < attempt && ceiling < max_ms; ++i) ceiling *= 2;
+    if (ceiling > max_ms) ceiling = max_ms;
+    const int64_t floor = ceiling / 2;
+    return static_cast<int>(
+        floor + static_cast<int64_t>(rng->NextDouble() *
+                                     static_cast<double>(ceiling - floor)));
+  }
+};
+
+}  // namespace graphtides
+
+#endif  // GRAPHTIDES_DISTRIBUTED_BACKOFF_H_

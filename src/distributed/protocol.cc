@@ -1,0 +1,318 @@
+#include "distributed/protocol.h"
+
+#include <charconv>
+#include <cstring>
+#include <utility>
+#include <vector>
+
+#include "common/crc32.h"
+#include "common/string_util.h"
+
+namespace graphtides {
+
+namespace {
+
+constexpr char kMagic[4] = {'G', 'T', 'D', 'P'};
+
+void AppendU32Le(std::string* out, uint32_t v) {
+  out->push_back(static_cast<char>(v & 0xff));
+  out->push_back(static_cast<char>((v >> 8) & 0xff));
+  out->push_back(static_cast<char>((v >> 16) & 0xff));
+  out->push_back(static_cast<char>((v >> 24) & 0xff));
+}
+
+uint32_t ReadU32Le(const char* p) {
+  return static_cast<uint32_t>(static_cast<uint8_t>(p[0])) |
+         static_cast<uint32_t>(static_cast<uint8_t>(p[1])) << 8 |
+         static_cast<uint32_t>(static_cast<uint8_t>(p[2])) << 16 |
+         static_cast<uint32_t>(static_cast<uint8_t>(p[3])) << 24;
+}
+
+Status BadFrame(const std::string& what) {
+  return Status::ParseError("protocol: " + what);
+}
+
+}  // namespace
+
+bool IsKnownFrameType(uint8_t type) {
+  return type >= static_cast<uint8_t>(FrameType::kHello) &&
+         type <= static_cast<uint8_t>(FrameType::kError);
+}
+
+std::string_view FrameTypeName(FrameType type) {
+  switch (type) {
+    case FrameType::kHello:
+      return "HELLO";
+    case FrameType::kAssign:
+      return "ASSIGN";
+    case FrameType::kHeartbeat:
+      return "HEARTBEAT";
+    case FrameType::kEpoch:
+      return "EPOCH";
+    case FrameType::kCheckpointAck:
+      return "CHECKPOINT-ACK";
+    case FrameType::kDrain:
+      return "DRAIN";
+    case FrameType::kReassign:
+      return "REASSIGN";
+    case FrameType::kError:
+      return "ERROR";
+  }
+  return "UNKNOWN";
+}
+
+void Frame::SetU64(const std::string& key, uint64_t value) {
+  Set(key, std::to_string(value));
+}
+
+void Frame::SetDouble(const std::string& key, double value) {
+  char buf[64];
+  auto [end, ec] =
+      std::to_chars(buf, buf + sizeof(buf), value,
+                    std::chars_format::general, 17);
+  (void)ec;
+  Set(key, std::string(buf, end));
+}
+
+std::string Frame::Get(const std::string& key,
+                       const std::string& fallback) const {
+  auto it = fields.find(key);
+  return it == fields.end() ? fallback : it->second;
+}
+
+Result<uint64_t> Frame::GetU64(const std::string& key) const {
+  auto it = fields.find(key);
+  if (it == fields.end()) {
+    return Status::NotFound("frame field missing: " + key);
+  }
+  auto parsed = ParseUint64(it->second);
+  if (!parsed.ok()) {
+    return BadFrame("field '" + key + "' is not a u64: " + it->second);
+  }
+  return parsed.value();
+}
+
+Result<double> Frame::GetDouble(const std::string& key) const {
+  auto it = fields.find(key);
+  if (it == fields.end()) {
+    return Status::NotFound("frame field missing: " + key);
+  }
+  auto parsed = ParseDouble(it->second);
+  if (!parsed.ok()) {
+    return BadFrame("field '" + key + "' is not a double: " + it->second);
+  }
+  return parsed.value();
+}
+
+Result<std::string> EncodeFrame(const Frame& frame) {
+  if (!IsKnownFrameType(static_cast<uint8_t>(frame.type))) {
+    return Status::InvalidArgument("unknown frame type " +
+                                   std::to_string(static_cast<int>(frame.type)));
+  }
+  std::string payload;
+  for (const auto& [key, value] : frame.fields) {
+    if (key.empty() || key.find('=') != std::string::npos ||
+        key.find('\n') != std::string::npos) {
+      return Status::InvalidArgument("bad frame field key: '" + key + "'");
+    }
+    if (value.find('\n') != std::string::npos) {
+      return Status::InvalidArgument("frame field '" + key +
+                                     "' value contains newline");
+    }
+    if (!payload.empty()) payload.push_back('\n');
+    payload.append(key);
+    payload.push_back('=');
+    payload.append(value);
+  }
+  if (payload.size() > kMaxFramePayload) {
+    return Status::InvalidArgument("frame payload exceeds cap: " +
+                                   std::to_string(payload.size()));
+  }
+  std::string out;
+  out.reserve(kFrameHeaderBytes + payload.size() + kFrameTrailerBytes);
+  out.append(kMagic, sizeof(kMagic));
+  out.push_back(static_cast<char>(kProtocolVersion));
+  out.push_back(static_cast<char>(frame.type));
+  out.push_back('\0');
+  out.push_back('\0');
+  AppendU32Le(&out, static_cast<uint32_t>(payload.size()));
+  out.append(payload);
+  AppendU32Le(&out, Crc32(out));
+  return out;
+}
+
+Result<std::optional<Frame>> FrameDecoder::Next() {
+  if (poisoned_) {
+    return BadFrame("stream lost framing after an earlier decode error");
+  }
+  // Validate the header byte-by-byte as soon as the bytes exist, so a
+  // corrupt length field can never make us wait for (or allocate) more
+  // than the payload cap.
+  const size_t have = buffer_.size();
+  for (size_t i = 0; i < sizeof(kMagic) && i < have; ++i) {
+    if (buffer_[i] != kMagic[i]) {
+      poisoned_ = true;
+      return BadFrame("bad magic");
+    }
+  }
+  if (have > 4 && static_cast<uint8_t>(buffer_[4]) != kProtocolVersion) {
+    poisoned_ = true;
+    return BadFrame("unsupported protocol version " +
+                    std::to_string(static_cast<uint8_t>(buffer_[4])));
+  }
+  if (have > 5 && !IsKnownFrameType(static_cast<uint8_t>(buffer_[5]))) {
+    poisoned_ = true;
+    return BadFrame("unknown frame type " +
+                    std::to_string(static_cast<uint8_t>(buffer_[5])));
+  }
+  if ((have > 6 && buffer_[6] != '\0') || (have > 7 && buffer_[7] != '\0')) {
+    poisoned_ = true;
+    return BadFrame("nonzero reserved bytes");
+  }
+  if (have < kFrameHeaderBytes) return std::optional<Frame>(std::nullopt);
+  const uint32_t payload_len = ReadU32Le(buffer_.data() + 8);
+  if (payload_len > kMaxFramePayload) {
+    poisoned_ = true;
+    return BadFrame("payload length " + std::to_string(payload_len) +
+                    " exceeds cap");
+  }
+  const size_t frame_len =
+      kFrameHeaderBytes + payload_len + kFrameTrailerBytes;
+  if (have < frame_len) return std::optional<Frame>(std::nullopt);
+  const uint32_t want_crc =
+      ReadU32Le(buffer_.data() + kFrameHeaderBytes + payload_len);
+  const uint32_t got_crc = Crc32(
+      std::string_view(buffer_.data(), kFrameHeaderBytes + payload_len));
+  if (want_crc != got_crc) {
+    poisoned_ = true;
+    return BadFrame("CRC mismatch");
+  }
+  Frame frame(static_cast<FrameType>(static_cast<uint8_t>(buffer_[5])));
+  std::string_view payload(buffer_.data() + kFrameHeaderBytes, payload_len);
+  while (!payload.empty()) {
+    const size_t nl = payload.find('\n');
+    const std::string_view line =
+        nl == std::string_view::npos ? payload : payload.substr(0, nl);
+    payload = nl == std::string_view::npos ? std::string_view()
+                                           : payload.substr(nl + 1);
+    const size_t eq = line.find('=');
+    if (eq == 0 || eq == std::string_view::npos) {
+      poisoned_ = true;
+      return BadFrame("malformed key=value pair in payload");
+    }
+    auto [it, inserted] = frame.fields.emplace(std::string(line.substr(0, eq)),
+                                               std::string(line.substr(eq + 1)));
+    if (!inserted) {
+      poisoned_ = true;
+      return BadFrame("duplicate frame field: " + it->first);
+    }
+  }
+  buffer_.erase(0, frame_len);
+  return std::optional<Frame>(std::move(frame));
+}
+
+Status FrameDecoder::Finish() const {
+  if (poisoned_) {
+    return BadFrame("stream lost framing after an earlier decode error");
+  }
+  if (!buffer_.empty()) {
+    return BadFrame("peer closed mid-frame with " +
+                    std::to_string(buffer_.size()) + " buffered bytes");
+  }
+  return Status::OK();
+}
+
+std::string ShardRange::ToString() const {
+  return std::to_string(begin) + "-" + std::to_string(end);
+}
+
+Result<ShardRange> ShardRange::Parse(std::string_view text) {
+  const size_t dash = text.find('-');
+  if (dash == 0 || dash == std::string_view::npos || dash + 1 >= text.size()) {
+    return BadFrame("bad shard range: '" + std::string(text) + "'");
+  }
+  auto begin = ParseUint64(text.substr(0, dash));
+  auto end = ParseUint64(text.substr(dash + 1));
+  if (!begin.ok() || !end.ok() || begin.value() > end.value() ||
+      end.value() > UINT32_MAX) {
+    return BadFrame("bad shard range: '" + std::string(text) + "'");
+  }
+  return ShardRange{static_cast<uint32_t>(begin.value()),
+                    static_cast<uint32_t>(end.value())};
+}
+
+std::string EncodeHistogram(const LatencyHistogram& h) {
+  std::string out = "v1;";
+  out += std::to_string(h.count());
+  out.push_back(';');
+  out += std::to_string(h.min_nanos());
+  out.push_back(';');
+  out += std::to_string(h.max_nanos());
+  out.push_back(';');
+  char buf[64];
+  auto [end, ec] = std::to_chars(buf, buf + sizeof(buf), h.sum_nanos(),
+                                 std::chars_format::general, 17);
+  (void)ec;
+  out.append(buf, end);
+  out.push_back(';');
+  bool first = true;
+  h.ForEachNonZero([&](size_t index, uint64_t count) {
+    if (!first) out.push_back(',');
+    first = false;
+    out += std::to_string(index);
+    out.push_back(':');
+    out += std::to_string(count);
+  });
+  return out;
+}
+
+Result<LatencyHistogram> DecodeHistogram(std::string_view text) {
+  std::vector<std::string_view> parts;
+  for (int i = 0; i < 5; ++i) {
+    const size_t semi = text.find(';');
+    if (semi == std::string_view::npos) {
+      return BadFrame("bad histogram encoding: missing fields");
+    }
+    parts.push_back(text.substr(0, semi));
+    text = text.substr(semi + 1);
+  }
+  // `text` is now the bucket list (may be empty).
+  if (parts[0] != "v1") {
+    return BadFrame("bad histogram encoding: version '" +
+                    std::string(parts[0]) + "'");
+  }
+  auto count = ParseUint64(parts[1]);
+  auto min = ParseInt64(parts[2]);
+  auto max = ParseInt64(parts[3]);
+  auto sum = ParseDouble(parts[4]);
+  if (!count.ok() || !min.ok() || !max.ok() || !sum.ok()) {
+    return BadFrame("bad histogram encoding: non-numeric stats");
+  }
+  std::vector<std::pair<size_t, uint64_t>> buckets;
+  while (!text.empty()) {
+    const size_t comma = text.find(',');
+    const std::string_view entry =
+        comma == std::string_view::npos ? text : text.substr(0, comma);
+    text = comma == std::string_view::npos ? std::string_view()
+                                           : text.substr(comma + 1);
+    const size_t colon = entry.find(':');
+    if (colon == 0 || colon == std::string_view::npos) {
+      return BadFrame("bad histogram bucket entry: '" + std::string(entry) +
+                      "'");
+    }
+    auto index = ParseUint64(entry.substr(0, colon));
+    auto bucket_count = ParseUint64(entry.substr(colon + 1));
+    if (!index.ok() || !bucket_count.ok()) {
+      return BadFrame("bad histogram bucket entry: '" + std::string(entry) +
+                      "'");
+    }
+    buckets.emplace_back(static_cast<size_t>(index.value()),
+                         bucket_count.value());
+  }
+  auto h = LatencyHistogram::FromExactState(count.value(), min.value(),
+                                            max.value(), sum.value(), buckets);
+  if (!h.ok()) return BadFrame(h.status().message());
+  return h;
+}
+
+}  // namespace graphtides

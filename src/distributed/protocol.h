@@ -1,0 +1,151 @@
+// Control-plane wire protocol for distributed replay (gt_coordinator <->
+// gt_replay --worker): a versioned, length-prefixed, CRC-protected frame
+// format with a dependency-free parser.
+//
+// Envelope (little-endian):
+//   [0..3]   magic "GTDP"
+//   [4]      protocol version (kProtocolVersion)
+//   [5]      frame type (FrameType)
+//   [6..7]   reserved, must be zero
+//   [8..11]  payload length (u32 LE, <= kMaxFramePayload)
+//   [12..]   payload: '\n'-separated key=value pairs
+//   [last 4] CRC-32 (LE) over every preceding byte of the frame
+//
+// Robustness contract (pinned by protocol_fuzz_test): any truncation is
+// "need more bytes" until the peer closes — then a clean ParseError; any
+// bit flip anywhere in a frame is a ParseError (bad magic/version/type/
+// reserved/length, a length beyond the cap, or a CRC mismatch). A
+// malformed frame can never cause a hang, a crash, or an over-allocation:
+// payload length is bounded before any buffer is grown.
+#ifndef GRAPHTIDES_DISTRIBUTED_PROTOCOL_H_
+#define GRAPHTIDES_DISTRIBUTED_PROTOCOL_H_
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <string_view>
+
+#include "common/result.h"
+#include "harness/telemetry/latency_histogram.h"
+
+namespace graphtides {
+
+inline constexpr uint8_t kProtocolVersion = 1;
+/// Hard cap on a frame's payload: a corrupt length field may never make
+/// the decoder allocate or wait for more than this.
+inline constexpr uint32_t kMaxFramePayload = 1 << 20;
+inline constexpr size_t kFrameHeaderBytes = 12;
+inline constexpr size_t kFrameTrailerBytes = 4;
+
+/// \brief Control-plane message kinds.
+enum class FrameType : uint8_t {
+  /// worker -> coordinator: first frame on a connection (worker id,
+  /// protocol version echo).
+  kHello = 1,
+  /// coordinator -> worker: run a shard range (stream, rate, paths).
+  kAssign = 2,
+  /// worker -> coordinator: liveness + progress; coordinator echoes it
+  /// back as the ack the worker derives coordinator-liveness from.
+  kHeartbeat = 3,
+  /// worker -> coordinator: a range reached a marker/control epoch;
+  /// coordinator -> worker: that epoch is globally released.
+  kEpoch = 4,
+  /// worker -> coordinator: a range published a durable checkpoint.
+  kCheckpointAck = 5,
+  /// worker -> coordinator: a range finished (final stats enclosed);
+  /// coordinator -> worker: whole run finished, shut down cleanly.
+  kDrain = 6,
+  /// coordinator -> worker: take over a dead worker's shard range,
+  /// resuming from that range's last durable checkpoint.
+  kReassign = 7,
+  /// either direction: fatal condition, human-readable reason enclosed.
+  kError = 8,
+};
+
+bool IsKnownFrameType(uint8_t type);
+std::string_view FrameTypeName(FrameType type);
+
+/// \brief One decoded control frame: a type plus ordered key=value fields.
+///
+/// Field keys must be non-empty and contain neither '=' nor '\n'; values
+/// must not contain '\n'. Encode enforces this (InvalidArgument), so every
+/// encodable frame round-trips bit-exactly.
+struct Frame {
+  FrameType type = FrameType::kHello;
+  std::map<std::string, std::string> fields;
+
+  Frame() = default;
+  explicit Frame(FrameType t) : type(t) {}
+
+  bool Has(const std::string& key) const { return fields.contains(key); }
+  void Set(const std::string& key, std::string value) {
+    fields[key] = std::move(value);
+  }
+  void SetU64(const std::string& key, uint64_t value);
+  void SetDouble(const std::string& key, double value);
+
+  std::string Get(const std::string& key,
+                  const std::string& fallback = "") const;
+  /// NotFound when absent, ParseError when present but malformed.
+  Result<uint64_t> GetU64(const std::string& key) const;
+  Result<double> GetDouble(const std::string& key) const;
+
+  bool operator==(const Frame& other) const {
+    return type == other.type && fields == other.fields;
+  }
+};
+
+/// \brief Serializes a frame (envelope + payload + CRC). InvalidArgument
+/// when a field violates the key/value grammar or the payload exceeds
+/// kMaxFramePayload.
+Result<std::string> EncodeFrame(const Frame& frame);
+
+/// \brief Incremental frame decoder over a byte stream.
+///
+/// Feed() appends received bytes; Next() pops the next complete frame,
+/// returns nullopt when more bytes are needed, and ParseError on any
+/// malformed input — after an error the decoder is poisoned (the stream
+/// has lost framing) and every later Next() fails too.
+class FrameDecoder {
+ public:
+  void Feed(std::string_view bytes) { buffer_.append(bytes); }
+
+  /// Pops one frame; nullopt = incomplete, ParseError = corrupt stream.
+  Result<std::optional<Frame>> Next();
+
+  /// \brief End-of-stream check: a peer that closed mid-frame left the
+  /// decoder with buffered bytes — that truncation is a ParseError, not a
+  /// silent drop.
+  Status Finish() const;
+
+  size_t buffered() const { return buffer_.size(); }
+
+ private:
+  std::string buffer_;
+  bool poisoned_ = false;
+};
+
+/// \brief Half-open range [begin, end) of global shard indices.
+struct ShardRange {
+  uint32_t begin = 0;
+  uint32_t end = 0;
+
+  uint32_t width() const { return end > begin ? end - begin : 0; }
+  bool operator==(const ShardRange& other) const {
+    return begin == other.begin && end == other.end;
+  }
+  /// "begin-end" (e.g. "0-4").
+  std::string ToString() const;
+  static Result<ShardRange> Parse(std::string_view text);
+};
+
+/// Exact sparse serialization of a LatencyHistogram, so per-worker lag
+/// histograms merge losslessly at the coordinator ("v1;count;min;max;sum;
+/// idx:cnt,idx:cnt,...").
+std::string EncodeHistogram(const LatencyHistogram& h);
+Result<LatencyHistogram> DecodeHistogram(std::string_view text);
+
+}  // namespace graphtides
+
+#endif  // GRAPHTIDES_DISTRIBUTED_PROTOCOL_H_

@@ -1,0 +1,116 @@
+// Replay worker (`gt_replay --worker`): dials the coordinator, runs one
+// ShardedReplayer task per assigned shard range, reports heartbeats /
+// epochs / checkpoints / final stats over the control channel, and
+// implements the partition-tolerance rule — a worker that loses the
+// coordinator quiesces at the next epoch barrier, writes a final exact
+// checkpoint, and re-dials with bounded backoff instead of free-running.
+#ifndef GRAPHTIDES_DISTRIBUTED_WORKER_H_
+#define GRAPHTIDES_DISTRIBUTED_WORKER_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/result.h"
+#include "distributed/control_channel.h"
+#include "distributed/protocol.h"
+
+namespace graphtides {
+
+struct ReplayWorkerOptions {
+  std::string coordinator_host = "127.0.0.1";
+  uint16_t coordinator_port = 0;
+  /// Stable identity across reconnects (defaults to "worker-<pid>").
+  std::string worker_id;
+  /// Dial deadline per connect attempt (satellite of DialTcp).
+  int connect_timeout_ms = 2000;
+  /// Connect attempts per session (exponential backoff + jitter between
+  /// them); when exhausted, Run gives up with the last dial error.
+  int dial_attempts = 15;
+  int heartbeat_interval_ms = 200;
+  /// How long an epoch waits for its fleet-wide release before the worker
+  /// declares the coordinator lost and quiesces (partition rule).
+  int epoch_wait_timeout_ms = 10000;
+  /// Jitter seed for the re-dial backoff (deterministic chaos trials).
+  uint64_t backoff_seed = 1;
+};
+
+/// \brief One worker process's control loop + replay tasks.
+///
+/// Run() blocks until the coordinator declares the fleet drained (OK), the
+/// dial budget is exhausted (the last dial error), or a fatal protocol
+/// error. A lost coordinator mid-run is NOT fatal: every task quiesces at
+/// its next epoch with a durable checkpoint, and the worker re-dials —
+/// resumed tasks continue byte-exactly.
+class ReplayWorker {
+ public:
+  explicit ReplayWorker(ReplayWorkerOptions options);
+  ~ReplayWorker();
+
+  ReplayWorker(const ReplayWorker&) = delete;
+  ReplayWorker& operator=(const ReplayWorker&) = delete;
+
+  Status Run();
+
+  struct Totals {
+    /// Graph events this worker's tasks delivered (exactly-once across
+    /// resumes: the final value of each range's local counter).
+    uint64_t local_events = 0;
+    /// Range tasks started (assignments + reassignments + restarts).
+    uint64_t tasks_started = 0;
+    /// Tasks that began from a durable checkpoint.
+    uint64_t resumes = 0;
+    /// Coordinator-loss quiesces (partition rule firings).
+    uint64_t quiesces = 0;
+    /// Checkpoint generations skipped as torn/corrupt during resumes.
+    uint64_t checkpoint_fallbacks = 0;
+  };
+  Totals totals() const;
+
+ private:
+  struct Task;
+
+  /// One connection lifetime: HELLO, then serve frames until the fleet
+  /// finishes (sets *finished), the coordinator vanishes (returns the
+  /// transport error), or a fatal protocol error occurs.
+  Status RunSession(ControlChannel* channel, bool* finished);
+  void StartTask(const Frame& assign);
+  /// Task-thread body: resume from the range's newest good checkpoint,
+  /// replay it through per-lane PipeSinks, report DRAIN / quiesce.
+  void RunRangeTask(Task* task);
+  void SendHeartbeats(ControlChannel* channel);
+  /// Sends through the active session's channel, if any (task threads).
+  Status SendToCoordinator(const Frame& frame);
+  /// Joins finished task threads; with `all`, joins everything (tasks
+  /// stop on their own: epoch-hook quiesce, cancellation, or stream end).
+  void ReapTasks(bool all);
+
+  ReplayWorkerOptions options_;
+
+  mutable std::mutex mu_;
+  std::condition_variable release_cv_;
+  /// Highest fleet-released epoch seen this session (guarded by mu_).
+  uint64_t released_epoch_ = 0;
+  /// The active session's channel, for task threads to report through
+  /// (guarded by mu_; null between sessions).
+  ControlChannel* channel_ = nullptr;
+  std::vector<std::unique_ptr<Task>> tasks_;
+  /// Final local-delivered count per range this worker has run (guarded by
+  /// mu_; exactly-once — resumes overwrite, never double-count).
+  std::map<std::string, uint64_t> local_final_;
+
+  std::atomic<uint64_t> resumes_{0};
+  std::atomic<uint64_t> quiesces_{0};
+  std::atomic<uint64_t> tasks_started_{0};
+  std::atomic<uint64_t> checkpoint_fallbacks_{0};
+};
+
+}  // namespace graphtides
+
+#endif  // GRAPHTIDES_DISTRIBUTED_WORKER_H_

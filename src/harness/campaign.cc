@@ -108,6 +108,12 @@ Result<CampaignReport> CampaignSupervisor::Run(
           record.outcome = AttemptOutcome::kCompleted;
           report.attempts.push_back(record);
           for (const auto& [metric, value] : *outcome) {
+            if (metric == kReassignmentsKey) {
+              const auto n = static_cast<uint64_t>(value);
+              result.accounting.reassignments += n;
+              report.total_reassignments += n;
+              continue;
+            }
             MetricAggregate& agg = result.metrics[metric];
             agg.stats.Add(value);
             agg.samples.push_back(value);
@@ -185,30 +191,35 @@ std::string FormatConfig(const ExperimentConfig& config) {
 }  // namespace
 
 std::string FormatCampaignReport(const CampaignReport& report) {
-  TextTable table({"config", "n req", "n eff", "retried", "resumed", "hung",
-                   "failed", "mttr s", "quarantined"});
+  TextTable table({"config", "n req", "n eff", "retried", "resumed",
+                   "reassigned", "hung", "failed", "mttr s", "quarantined"});
   for (const ConfigResult& result : report.results) {
     const RunAccounting& acc = result.accounting;
     table.AddRow({FormatConfig(result.config),
                   std::to_string(result.repetitions),
                   std::to_string(acc.effective_n()),
                   std::to_string(acc.retried), std::to_string(acc.resumed),
-                  std::to_string(acc.hung), std::to_string(acc.failed),
+                  std::to_string(acc.reassignments), std::to_string(acc.hung),
+                  std::to_string(acc.failed),
                   acc.recoveries > 0 ? TextTable::FormatDouble(acc.mttr_s(), 3)
                                      : "-",
                   acc.quarantined ? "YES" : "no"});
   }
   std::string out = table.ToString();
-  if (report.total_recoveries > 0) {
+  if (report.total_recoveries > 0 || report.total_reassignments > 0) {
     out += "recoveries: " + std::to_string(report.total_recoveries) +
            " (slots resumed: " + std::to_string(report.total_resumed) +
+           ", ranges reassigned: " +
+           std::to_string(report.total_reassignments) +
            ")  total downtime: " +
            TextTable::FormatDouble(report.total_downtime_s, 3) +
            "s  campaign MTTR: " +
-           TextTable::FormatDouble(report.total_downtime_s /
-                                       static_cast<double>(
-                                           report.total_recoveries),
-                                   3) +
+           TextTable::FormatDouble(
+               report.total_recoveries > 0
+                   ? report.total_downtime_s /
+                         static_cast<double>(report.total_recoveries)
+                   : 0.0,
+               3) +
            "s\n";
   }
   for (const ConfigResult& result : report.results) {

@@ -55,6 +55,12 @@ using SupervisedRunFn =
     std::function<Result<RunOutcome>(const ExperimentConfig&,
                                      const RunContext&)>;
 
+/// Reserved RunOutcome key: a run that drives a distributed fleet reports
+/// the number of shard-range reassignments here. The supervisor routes it
+/// into RunAccounting/CampaignReport instead of the metric aggregates (it
+/// is recovery accounting, not a measurement to fit a CI around).
+inline constexpr std::string_view kReassignmentsKey = "reassignments";
+
 struct CampaignOptions {
   /// Repetitions, confidence level, and base seed (§4.5).
   ExperimentOptions experiment;
@@ -110,6 +116,8 @@ struct CampaignReport {
   /// total_downtime_s / total_recoveries).
   size_t total_recoveries = 0;
   double total_downtime_s = 0.0;
+  /// Shard-range reassignments reported by runs via kReassignmentsKey.
+  uint64_t total_reassignments = 0;
   size_t quarantined_configs = 0;
 };
 

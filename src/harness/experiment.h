@@ -57,6 +57,10 @@ struct RunAccounting {
   /// from quarantine so recovered runs are not mistaken for discarded
   /// ones).
   size_t resumed = 0;
+  /// Work units adopted by a replacement identity after a failure (a
+  /// distributed run reports shard ranges moved to another worker via the
+  /// reserved "reassignments" outcome key; accounting, not a metric).
+  uint64_t reassignments = 0;
   /// Total downtime across recoveries: from a failed attempt's end to the
   /// first progress heartbeat of the attempt that resumed it, seconds.
   double downtime_s = 0.0;

@@ -89,4 +89,33 @@ void LatencyHistogram::ForEachNonZero(
   }
 }
 
+Result<LatencyHistogram> LatencyHistogram::FromExactState(
+    uint64_t count, int64_t min_nanos, int64_t max_nanos, double sum_nanos,
+    const std::vector<std::pair<size_t, uint64_t>>& buckets) {
+  LatencyHistogram h;
+  uint64_t total = 0;
+  for (const auto& [index, bucket_count] : buckets) {
+    if (index >= kBucketCount) {
+      return Status::InvalidArgument("histogram bucket index out of range");
+    }
+    if (bucket_count > count - total) {  // also catches total overflow
+      return Status::InvalidArgument("histogram bucket counts exceed count");
+    }
+    h.counts_[index] += bucket_count;
+    total += bucket_count;
+  }
+  if (total != count) {
+    return Status::InvalidArgument("histogram bucket counts do not sum to " +
+                                   std::to_string(count));
+  }
+  if (count > 0 && min_nanos > max_nanos) {
+    return Status::InvalidArgument("histogram min exceeds max");
+  }
+  h.count_ = count;
+  h.min_ = count > 0 ? min_nanos : 0;
+  h.max_ = count > 0 ? max_nanos : 0;
+  h.sum_ = count > 0 ? sum_nanos : 0.0;
+  return h;
+}
+
 }  // namespace graphtides

@@ -12,8 +12,11 @@
 #include <cstddef>
 #include <cstdint>
 #include <functional>
+#include <utility>
+#include <vector>
 
 #include "common/clock.h"
+#include "common/result.h"
 
 namespace graphtides {
 
@@ -76,6 +79,19 @@ class LatencyHistogram {
   /// order — sparse serialization and tests.
   void ForEachNonZero(
       const std::function<void(size_t, uint64_t)>& fn) const;
+
+  /// Exact accumulated sum of recorded (clamped) values, nanoseconds —
+  /// with ForEachNonZero/min/max/count this is the full internal state,
+  /// so a serialized histogram merges losslessly after FromExactState.
+  double sum_nanos() const { return sum_; }
+
+  /// \brief Rebuilds a histogram from exact serialized state (inverse of
+  /// ForEachNonZero plus the exact-stat accessors). InvalidArgument when
+  /// a bucket index is out of range, bucket counts do not sum to `count`,
+  /// or the extremes are inconsistent.
+  static Result<LatencyHistogram> FromExactState(
+      uint64_t count, int64_t min_nanos, int64_t max_nanos, double sum_nanos,
+      const std::vector<std::pair<size_t, uint64_t>>& buckets);
 
   /// Inclusive lower / exclusive upper value bound of bucket `i`.
   static int64_t BucketLowNanos(size_t i);

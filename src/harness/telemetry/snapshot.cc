@@ -383,8 +383,16 @@ std::string TelemetrySnapshot::ToJsonLine() const {
     AppendNum(&out, recovery.checkpoint_fallbacks);
     out.append(",\"write_faults\":");
     AppendNum(&out, recovery.write_faults);
+    if (recovery.reassignments != 0) {
+      out.append(",\"reassignments\":");
+      AppendNum(&out, recovery.reassignments);
+    }
     out.append(",\"downtime_s\":");
     AppendNum(&out, recovery.downtime_s);
+    if (recovery.mttr_s > 0.0) {
+      out.append(",\"mttr_s\":");
+      AppendNum(&out, recovery.mttr_s);
+    }
     out.push_back('}');
   }
   out.push_back('}');
@@ -514,7 +522,10 @@ Result<TelemetrySnapshot> TelemetrySnapshot::FromJsonLine(
         static_cast<uint64_t>(OptionalNumber(r, "checkpoint_fallbacks"));
     snap.recovery.write_faults =
         static_cast<uint64_t>(OptionalNumber(r, "write_faults"));
+    snap.recovery.reassignments =
+        static_cast<uint64_t>(OptionalNumber(r, "reassignments"));
     snap.recovery.downtime_s = OptionalNumber(r, "downtime_s");
+    snap.recovery.mttr_s = OptionalNumber(r, "mttr_s");
   }
   return snap;
 }

@@ -79,13 +79,20 @@ struct RecoveryCounters {
   uint64_t checkpoint_fallbacks = 0;
   /// Injected file-write faults (ENOSPC / short writes) observed.
   uint64_t write_faults = 0;
+  /// Shard ranges reassigned to a surviving/respawned worker after a
+  /// worker death or hang (distributed replay).
+  uint64_t reassignments = 0;
   /// Total downtime across recoveries, seconds (MTTR = downtime_s /
-  /// resumes when resumes > 0).
+  /// recoveries when any happened).
   double downtime_s = 0.0;
+  /// Derived mean time to recovery, seconds — downtime_s over resumes +
+  /// reassignments. NOT cumulative (a fast recovery lowers it), so
+  /// monotonicity checks must skip it.
+  double mttr_s = 0.0;
 
   bool any() const {
     return crashes || resumes || checkpoint_fallbacks || write_faults ||
-           downtime_s > 0.0;
+           reassignments || downtime_s > 0.0;
   }
 };
 

@@ -86,6 +86,7 @@ bool ReplayCheckpoint::operator==(const ReplayCheckpoint& other) const {
   return version == other.version &&
          entries_consumed == other.entries_consumed &&
          events_delivered == other.events_delivered &&
+         local_events == other.local_events &&
          markers == other.markers && controls == other.controls &&
          rate_factor == other.rate_factor && rng_state == other.rng_state &&
          sink_bytes == other.sink_bytes && a.retries == b.retries &&
@@ -104,6 +105,11 @@ std::string ReplayCheckpoint::ToText() const {
   out += "\nversion=" + std::to_string(version);
   out += "\nentries_consumed=" + std::to_string(entries_consumed);
   out += "\nevents_delivered=" + std::to_string(events_delivered);
+  // Emitted only by distributed shard-range writers; older readers skip
+  // the unknown key (it still sits under the crc).
+  if (local_events != 0) {
+    out += "\nlocal_events=" + std::to_string(local_events);
+  }
   out += "\nmarkers=" + std::to_string(markers);
   out += "\ncontrols=" + std::to_string(controls);
   out += "\nrate_factor=" + FormatDoubleExact(rate_factor);
@@ -224,6 +230,8 @@ Result<ReplayCheckpoint> ReplayCheckpoint::FromText(const std::string& text) {
       assign_u64(&cp.entries_consumed);
     } else if (key == "events_delivered") {
       assign_u64(&cp.events_delivered);
+    } else if (key == "local_events") {
+      assign_u64(&cp.local_events);
     } else if (key == "markers") {
       assign_u64(&cp.markers);
     } else if (key == "controls") {
@@ -285,6 +293,10 @@ Result<ReplayCheckpoint> ReplayCheckpoint::FromText(const std::string& text) {
   }
   if (cp.events_delivered + cp.markers + cp.controls > cp.entries_consumed) {
     return Status::ParseError("checkpoint counts exceed entries_consumed");
+  }
+  if (cp.local_events > cp.events_delivered) {
+    return Status::ParseError(
+        "checkpoint local_events exceeds events_delivered");
   }
   return cp;
 }

@@ -43,6 +43,10 @@ struct ReplayCheckpoint {
   uint64_t entries_consumed = 0;
   /// Graph events delivered to (and acknowledged by) the sink.
   uint64_t events_delivered = 0;
+  /// Graph events delivered by THIS process's shard range (distributed
+  /// shard-range runs, where events_delivered counts the whole stream).
+  /// 0 in single-process records — their local share IS events_delivered.
+  uint64_t local_events = 0;
   uint64_t markers = 0;
   uint64_t controls = 0;
   /// Pacing state at the checkpoint: the active SET_RATE factor.

@@ -40,6 +40,11 @@ struct BarrierCmd {
   enum class Kind : uint8_t { kMarker, kControl, kCheckpoint };
   Kind kind = Kind::kMarker;
   uint64_t epoch = 0;
+  /// Global epoch ordinal for marker/control barriers: 1-based count of
+  /// markers + honored controls, identical on every process replaying the
+  /// stream (and across resumes) — the id the distributed epoch_hook
+  /// reports to the coordinator.
+  uint64_t global_epoch = 0;
   // kMarker:
   std::string label;
   // kControl:
@@ -208,6 +213,15 @@ Result<ShardedReplayStats> ShardedReplayer::Run(
   if (options_.checkpoint_every > 0 && options_.checkpoint_path.empty()) {
     return Status::InvalidArgument("checkpoint_every requires checkpoint_path");
   }
+  const size_t hash_shards =
+      options_.total_shards == 0 ? shards : options_.total_shards;
+  const size_t shard_offset = options_.shard_offset;
+  if (shard_offset + shards > hash_shards) {
+    return Status::InvalidArgument(
+        "shard range [" + std::to_string(shard_offset) + ", " +
+        std::to_string(shard_offset + shards) + ") exceeds total_shards " +
+        std::to_string(hash_shards));
+  }
   RunTelemetry* const telem =
       kTelemetryCompiled ? options_.telemetry : nullptr;
   if (telem != nullptr && telem->shards() < shards) {
@@ -246,6 +260,8 @@ Result<ShardedReplayStats> ShardedReplayer::Run(
       resume != nullptr ? resume->telemetry : SinkTelemetry{};
   const uint64_t resume_base = events_enqueued;
   progress_.store(resume_base, std::memory_order_relaxed);
+  local_delivered_.store(resume != nullptr ? resume->local_events : 0,
+                         std::memory_order_relaxed);
   const uint64_t stop_at = options_.stop_after_events > 0
                                ? resume_base + options_.stop_after_events
                                : 0;
@@ -258,6 +274,10 @@ Result<ShardedReplayStats> ShardedReplayer::Run(
   EpochBarrier barrier(shards);
   std::atomic<bool> sink_failed{false};
   std::atomic<bool> checkpoint_failed{false};
+  std::atomic<bool> hook_failed{false};
+  // Written only inside barrier completions (serial under the barrier
+  // mutex), read by this thread after the lanes are joined.
+  Status hook_status;
   // Written only inside barrier completions (which run serially under the
   // barrier mutex) and by this thread after the lanes are joined.
   std::vector<MarkerRecord> marker_log;
@@ -291,6 +311,9 @@ Result<ShardedReplayStats> ShardedReplayer::Run(
     cp.markers = at.markers;
     cp.controls = at.controls;
     cp.rate_factor = at.factor_at;
+    // Exact at a quiescent point: every enqueued in-range event up to the
+    // barrier has been acknowledged by its sink.
+    cp.local_events = local_delivered_.load(std::memory_order_relaxed);
     if (options_.checkpoint_rng != nullptr) {
       cp.rng_state = options_.checkpoint_rng->SaveState();
     }
@@ -328,6 +351,17 @@ Result<ShardedReplayStats> ShardedReplayer::Run(
       if (telem != nullptr) telem->markers().MarkerSent(cmd.label, now);
     } else if (cmd.kind == BarrierCmd::Kind::kCheckpoint) {
       write_checkpoint_at(cmd);
+    }
+    // Distributed hold point: every local lane is quiesced at this epoch;
+    // block here until the coordinator releases it fleet-wide. Failure
+    // aborts the run like a cancellation (drain + final checkpoint).
+    if (options_.epoch_hook && cmd.kind != BarrierCmd::Kind::kCheckpoint &&
+        !hook_failed.load(std::memory_order_acquire)) {
+      const Status hs = options_.epoch_hook(cmd.global_epoch);
+      if (!hs.ok()) {
+        hook_status = hs;
+        hook_failed.store(true, std::memory_order_release);
+      }
     }
   };
 
@@ -456,6 +490,7 @@ Result<ShardedReplayStats> ShardedReplayer::Run(
         const Timestamp ack_start = sampled ? clock.Now() : Timestamp{};
         st.events_delivered += delivered;
         progress_.fetch_add(delivered, std::memory_order_relaxed);
+        local_delivered_.fetch_add(delivered, std::memory_order_relaxed);
         st.lag.Record(clock.Now() - last_slot);
         roll_bins(last_slot);
         bin_count += delivered;
@@ -547,7 +582,8 @@ Result<ShardedReplayStats> ShardedReplayer::Run(
       break;
     }
     if (sink_failed.load(std::memory_order_relaxed) ||
-        checkpoint_failed.load(std::memory_order_relaxed)) {
+        checkpoint_failed.load(std::memory_order_relaxed) ||
+        hook_failed.load(std::memory_order_relaxed)) {
       break;
     }
     // Read-stage span, sampled 1-in-N source pulls. The reader is
@@ -584,6 +620,7 @@ Result<ShardedReplayStats> ShardedReplayer::Run(
       if (options_.honor_control_events) {
         BarrierCmd cmd;
         cmd.kind = BarrierCmd::Kind::kControl;
+        cmd.global_epoch = markers + controls;
         cmd.control = e.type;
         cmd.rate_factor = e.rate_factor;
         cmd.pause = e.pause;
@@ -596,18 +633,25 @@ Result<ShardedReplayStats> ShardedReplayer::Run(
       ++markers;
       BarrierCmd cmd;
       cmd.kind = BarrierCmd::Kind::kMarker;
+      cmd.global_epoch = markers + controls;
       cmd.label = std::string(e.payload);
       cmd.events_before = events_enqueued;
       broadcast(std::move(cmd));
       continue;
     }
 
-    const size_t s = ShardOfEvent(e.type, e.vertex, e.edge, shards);
-    if (!lanes[s]->failed.load(std::memory_order_relaxed)) {
-      LaneBatch& batch = open[s];
-      batch.Append(e.type, e.vertex, e.edge, e.payload, e.rate_factor,
-                   e.pause, events_enqueued);
-      if (batch.Full(options_.batch_events)) flush_lane(s);
+    // Global shard first: every process counts every event (checkpoint
+    // cadence, sequence numbers and epochs stay fleet-identical); only
+    // the owner of the hash slot emits it.
+    const size_t g = ShardOfEvent(e.type, e.vertex, e.edge, hash_shards);
+    if (g >= shard_offset && g - shard_offset < shards) {
+      const size_t s = g - shard_offset;
+      if (!lanes[s]->failed.load(std::memory_order_relaxed)) {
+        LaneBatch& batch = open[s];
+        batch.Append(e.type, e.vertex, e.edge, e.payload, e.rate_factor,
+                     e.pause, events_enqueued);
+        if (batch.Full(options_.batch_events)) flush_lane(s);
+      }
     }
     ++events_enqueued;
     if (options_.checkpoint_every > 0 &&
@@ -660,6 +704,13 @@ Result<ShardedReplayStats> ShardedReplayer::Run(
     agg.rate_series.push_back(
         {run_started + options_.stats_bin * index, events});
   }
+  if (hash_shards > shards) {
+    // Shard-range runs keep stream-global accounting in the aggregate
+    // (markers, controls, entries already are): every enqueued event was
+    // counted exactly once fleet-wide. This range's own share is
+    // local_delivered().
+    agg.events_delivered = events_enqueued;
+  }
   agg.markers = markers;
   agg.controls = controls;
   agg.marker_log = std::move(marker_log);
@@ -682,7 +733,8 @@ Result<ShardedReplayStats> ShardedReplayer::Run(
   final_at.controls = controls;
   final_at.factor_at = current_factor;
 
-  if (cancelled || stopped) {
+  const bool hook_aborted = hook_failed.load(std::memory_order_acquire);
+  if (cancelled || stopped || hook_aborted) {
     Status finish_status;
     for (EventSink* sink : sinks) {
       const Status st = sink->Finish();
@@ -695,6 +747,12 @@ Result<ShardedReplayStats> ShardedReplayer::Run(
     if (cancelled) {
       const std::string reason = options_.cancel->reason();
       return Status::Cancelled(reason.empty() ? "replay cancelled" : reason);
+    }
+    if (hook_aborted) {
+      // Quiesce-and-wait abort: everything enqueued was drained and the
+      // final checkpoint is exact, so a later resume continues
+      // byte-exactly — the caller decides whether to re-dial or give up.
+      return hook_status.WithContext("epoch hook");
     }
     GT_RETURN_NOT_OK(checkpoint_status.WithContext("final checkpoint"));
     GT_RETURN_NOT_OK(finish_status.WithContext("sink finish"));

@@ -76,6 +76,29 @@ struct ShardedReplayerOptions {
   /// barrier is paid for them).
   bool honor_control_events = true;
 
+  // --- Distributed shard-range replay ----------------------------------
+  /// Size of the global hash-partition space (0 = `shards`, the
+  /// single-process default). When larger, this process drives only the
+  /// lanes for global shards [shard_offset, shard_offset + shards): it
+  /// still reads and counts the whole stream (global accounting —
+  /// events_delivered, checkpoint cadence, epochs — is identical on every
+  /// process), but events hashing outside the range are skipped, so a
+  /// fleet of processes over disjoint ranges reproduces the
+  /// single-process per-lane output byte-for-byte.
+  size_t total_shards = 0;
+  /// First global shard this process owns (only with total_shards > 0).
+  size_t shard_offset = 0;
+  /// \brief Distributed epoch hold point: called inside every marker /
+  /// control barrier completion — all local lanes quiesced, nothing past
+  /// the epoch emitted — with the global epoch ordinal (1-based count of
+  /// markers + honored controls, stable across processes and resumes).
+  /// The callback blocks until the cross-process epoch is released; a
+  /// non-OK return aborts the run like a cancellation: lanes drain, a
+  /// final exact checkpoint is written, and Run returns the hook's
+  /// status (the worker's quiesce-and-wait partition rule builds on
+  /// this).
+  std::function<Status(uint64_t epoch)> epoch_hook;
+
   // --- Supervision (same contract as ReplayerOptions) ------------------
   const CancellationToken* cancel = nullptr;
   /// Write a checkpoint every N enqueued graph events via a cross-shard
@@ -141,6 +164,15 @@ class ShardedReplayer {
     return progress_.load(std::memory_order_relaxed);
   }
 
+  /// Graph events delivered by THIS process's lanes (cumulative across a
+  /// resume via ReplayCheckpoint::local_events). Equals progress() minus
+  /// the global resume base in single-process runs; in shard-range runs it
+  /// is the range's share of the stream — what exactly-once accounting
+  /// sums across a fleet.
+  uint64_t local_delivered() const {
+    return local_delivered_.load(std::memory_order_relaxed);
+  }
+
  private:
   /// Pull source yielding borrowed views; a view is valid until the next
   /// call. nullopt signals end of stream.
@@ -152,6 +184,7 @@ class ShardedReplayer {
 
   ShardedReplayerOptions options_;
   std::atomic<uint64_t> progress_{0};
+  std::atomic<uint64_t> local_delivered_{0};
 };
 
 }  // namespace graphtides

@@ -1,13 +1,18 @@
 #include "replayer/tcp.h"
 
 #include <arpa/inet.h>
+#include <fcntl.h>
 #include <netinet/in.h>
 #include <netinet/tcp.h>
+#include <poll.h>
 #include <sys/socket.h>
 #include <unistd.h>
 
 #include <cerrno>
+#include <chrono>
 #include <cstring>
+
+#include "common/fault_plan.h"
 
 namespace graphtides {
 
@@ -34,32 +39,92 @@ Status WriteAll(int fd, const char* data, size_t size) {
 
 }  // namespace
 
+Result<int> DialTcp(const std::string& host, uint16_t port,
+                    int connect_timeout_ms) {
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  const std::string resolved = (host == "localhost") ? "127.0.0.1" : host;
+  if (::inet_pton(AF_INET, resolved.c_str(), &addr.sin_addr) != 1) {
+    return Status::InvalidArgument("not an IPv4 address: " + host);
+  }
+  const std::string where = resolved + ":" + std::to_string(port);
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return Errno("socket");
+
+  if (connect_timeout_ms <= 0) {
+    if (::connect(fd, reinterpret_cast<const sockaddr*>(&addr),
+                  sizeof(addr)) != 0) {
+      const Status s = Errno("connect " + where);
+      ::close(fd);
+      return s;
+    }
+  } else {
+    const int flags = ::fcntl(fd, F_GETFL, 0);
+    ::fcntl(fd, F_SETFL, flags | O_NONBLOCK);
+    if (::connect(fd, reinterpret_cast<const sockaddr*>(&addr),
+                  sizeof(addr)) != 0) {
+      if (errno != EINPROGRESS) {
+        const Status s = Errno("connect " + where);
+        ::close(fd);
+        return s;
+      }
+      pollfd pfd{fd, POLLOUT, 0};
+      int rc;
+      do {
+        rc = ::poll(&pfd, 1, connect_timeout_ms);
+      } while (rc < 0 && errno == EINTR);
+      if (rc == 0) {
+        ::close(fd);
+        return Status::Timeout("connect " + where + " timed out after " +
+                               std::to_string(connect_timeout_ms) + " ms");
+      }
+      if (rc < 0) {
+        const Status s = Errno("connect poll " + where);
+        ::close(fd);
+        return s;
+      }
+      int err = 0;
+      socklen_t len = sizeof(err);
+      if (::getsockopt(fd, SOL_SOCKET, SO_ERROR, &err, &len) != 0 ||
+          err != 0) {
+        ::close(fd);
+        return Status::IoError("connect " + where + ": " +
+                               std::strerror(err != 0 ? err : errno));
+      }
+    }
+    // The deadline only governs the dial; delivery keeps the blocking
+    // flow-control semantics.
+    ::fcntl(fd, F_SETFL, flags);
+  }
+  int one = 1;
+  ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  return fd;
+}
+
 TcpSink::~TcpSink() {
   if (fd_ >= 0) ::close(fd_);
 }
 
 Status TcpSink::Dial() {
-  fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
-  if (fd_ < 0) return Errno("socket");
-
-  sockaddr_in addr{};
-  addr.sin_family = AF_INET;
-  addr.sin_port = htons(port_);
-  const std::string resolved = (host_ == "localhost") ? "127.0.0.1" : host_;
-  if (::inet_pton(AF_INET, resolved.c_str(), &addr.sin_addr) != 1) {
-    ::close(fd_);
-    fd_ = -1;
-    return Status::InvalidArgument("not an IPv4 address: " + host_);
+  Status last = Status::OK();
+  for (int attempt = 0; attempt < connect_attempts_; ++attempt) {
+    if (attempt > 0) {
+      int backoff_ms = 50 * attempt;
+      if (backoff_ms > 1000) backoff_ms = 1000;
+      std::this_thread::sleep_for(std::chrono::milliseconds(backoff_ms));
+    }
+    Result<int> fd = DialTcp(host_, port_, connect_timeout_ms_);
+    if (fd.ok()) {
+      fd_ = fd.value();
+      buffer_.reserve(2 * kFlushBytes);
+      return Status::OK();
+    }
+    last = fd.status();
+    if (last.code() == StatusCode::kInvalidArgument) break;  // not retryable
   }
-  if (::connect(fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
-    ::close(fd_);
-    fd_ = -1;
-    return Errno("connect " + resolved + ":" + std::to_string(port_));
-  }
-  int one = 1;
-  ::setsockopt(fd_, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
-  buffer_.reserve(2 * kFlushBytes);
-  return Status::OK();
+  fd_ = -1;
+  return last;
 }
 
 Status TcpSink::Connect(const std::string& host, uint16_t port) {
@@ -101,11 +166,22 @@ void TcpSink::Abort() {
 
 Status TcpSink::FlushBuffer() {
   if (buffer_.empty()) return Status::OK();
-  // On failure the buffer is kept: a retry after Reconnect re-sends it
-  // (at-least-once semantics on the fault path).
-  GT_RETURN_NOT_OK(WriteAll(fd_, buffer_.data(), buffer_.size()));
-  bytes_.fetch_add(buffer_.size(), std::memory_order_relaxed);
-  buffer_.clear();
+  // Injected ENOSPC/short-write gate (same contract as PipeSink): the
+  // allowed prefix lands on the socket, then the fault latches and every
+  // later flush fails with 0 allowed bytes.
+  size_t allowed = buffer_.size();
+  std::string fault;
+  const bool clipped =
+      FaultPlan::Global().ClipFileWrite(buffer_.size(), &allowed, &fault);
+  const size_t to_write = clipped ? allowed : buffer_.size();
+  if (to_write > 0) {
+    // On failure the buffer is kept: a retry after Reconnect re-sends it
+    // (at-least-once semantics on the fault path).
+    GT_RETURN_NOT_OK(WriteAll(fd_, buffer_.data(), to_write));
+    bytes_.fetch_add(to_write, std::memory_order_relaxed);
+    buffer_.erase(0, to_write);
+  }
+  if (clipped) return Status::IoError("socket write failed: " + fault);
   return Status::OK();
 }
 

@@ -17,6 +17,17 @@
 
 namespace graphtides {
 
+/// \brief Dials host:port (IPv4 dotted quad or "localhost") and returns a
+/// connected fd with TCP_NODELAY set.
+///
+/// With `connect_timeout_ms > 0` the connect is non-blocking + poll, so a
+/// black-holed peer surfaces as a Timeout after the deadline instead of
+/// blocking for the kernel's multi-minute SYN retry budget; the fd is
+/// restored to blocking mode before it is returned. `connect_timeout_ms <=
+/// 0` keeps the historic blocking connect.
+Result<int> DialTcp(const std::string& host, uint16_t port,
+                    int connect_timeout_ms);
+
 /// \brief EventSink that writes CSV event lines over a TCP connection.
 ///
 /// Writes go through a small user-space buffer and the kernel socket
@@ -35,6 +46,17 @@ class TcpSink final : public EventSink {
 
   TcpSink(const TcpSink&) = delete;
   TcpSink& operator=(const TcpSink&) = delete;
+
+  /// \brief Dial deadline per connect attempt, milliseconds (0 = block
+  /// indefinitely, the historic default). Call before Connect; applies to
+  /// Reconnect too.
+  void set_connect_timeout_ms(int ms) { connect_timeout_ms_ = ms; }
+  /// Connect attempts per Connect/Reconnect call (default 1). Failed
+  /// attempts back off linearly (50 ms * attempt, capped at 1 s) — bounded,
+  /// never an indefinite dial loop.
+  void set_connect_attempts(int attempts) {
+    connect_attempts_ = attempts < 1 ? 1 : attempts;
+  }
 
   /// Connects to host:port (IPv4 dotted quad or "localhost").
   Status Connect(const std::string& host, uint16_t port);
@@ -87,6 +109,8 @@ class TcpSink final : public EventSink {
   std::atomic<int> fd_{-1};
   std::string host_;
   uint16_t port_ = 0;
+  int connect_timeout_ms_ = 0;
+  int connect_attempts_ = 1;
   bool ever_connected_ = false;
   uint64_t reconnects_ = 0;
   std::string buffer_;

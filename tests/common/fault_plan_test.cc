@@ -223,10 +223,12 @@ TEST_F(FaultPlanTest, ResetDisarmsAndClearsCounters) {
 
 TEST_F(FaultPlanTest, KnownCrashPointsCoverTheCompiledSites) {
   const auto& points = FaultPlan::KnownCrashPoints();
-  ASSERT_EQ(points.size(), 5u);
+  ASSERT_EQ(points.size(), 9u);
   for (const std::string_view expected :
        {kCrashPostDelivery, kCrashMidCheckpointWrite,
-        kCrashPreCheckpointRename, kCrashPostCheckpoint, kCrashEpochBarrier}) {
+        kCrashPreCheckpointRename, kCrashPostCheckpoint, kCrashEpochBarrier,
+        kCrashCoordPostAssign, kCrashCoordEpochRelease, kCrashWorkerPostHello,
+        kCrashWorkerEpochReport}) {
     bool found = false;
     for (const std::string_view p : points) {
       if (p == expected) found = true;

@@ -1,0 +1,292 @@
+// Round-trip property tests for the control-plane wire protocol: every
+// encodable frame must decode bit-exactly regardless of how the bytes are
+// chunked, numeric/range/histogram helpers must survive the text trip
+// losslessly, and grammar violations must be rejected at encode time (the
+// decoder-side robustness contract lives in protocol_fuzz_test).
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "common/random.h"
+#include "distributed/protocol.h"
+#include "harness/telemetry/latency_histogram.h"
+
+namespace graphtides {
+namespace {
+
+Result<std::optional<Frame>> DecodeOne(const std::string& bytes) {
+  FrameDecoder decoder;
+  decoder.Feed(bytes);
+  return decoder.Next();
+}
+
+TEST(ProtocolTest, EveryFrameTypeRoundTrips) {
+  const FrameType types[] = {
+      FrameType::kHello,         FrameType::kAssign, FrameType::kHeartbeat,
+      FrameType::kEpoch,         FrameType::kDrain,  FrameType::kReassign,
+      FrameType::kCheckpointAck, FrameType::kError,
+  };
+  for (FrameType type : types) {
+    Frame frame(type);
+    frame.Set("worker", "w0");
+    frame.Set("range", "0-4");
+    frame.SetU64("events", 12345);
+    auto encoded = EncodeFrame(frame);
+    ASSERT_TRUE(encoded.ok()) << encoded.status().ToString();
+    auto decoded = DecodeOne(*encoded);
+    ASSERT_TRUE(decoded.ok()) << decoded.status().ToString();
+    ASSERT_TRUE(decoded->has_value());
+    EXPECT_EQ(**decoded, frame) << FrameTypeName(type);
+  }
+}
+
+TEST(ProtocolTest, EmptyPayloadRoundTrips) {
+  const Frame frame(FrameType::kHeartbeat);
+  auto encoded = EncodeFrame(frame);
+  ASSERT_TRUE(encoded.ok());
+  EXPECT_EQ(encoded->size(), kFrameHeaderBytes + kFrameTrailerBytes);
+  auto decoded = DecodeOne(*encoded);
+  ASSERT_TRUE(decoded.ok());
+  ASSERT_TRUE(decoded->has_value());
+  EXPECT_EQ(**decoded, frame);
+}
+
+TEST(ProtocolTest, RandomizedFramesRoundTrip) {
+  // Values may contain anything but '\n' — including '=' (the parser
+  // splits on the first one) and high bytes.
+  Rng rng(0x5eed);
+  const std::string key_alphabet =
+      "abcdefghijklmnopqrstuvwxyz_0123456789-";
+  for (int iter = 0; iter < 300; ++iter) {
+    Frame frame(static_cast<FrameType>(1 + rng.NextBounded(8)));
+    const size_t fields = rng.NextBounded(8);
+    for (size_t f = 0; f < fields; ++f) {
+      std::string key;
+      const size_t key_len = 1 + rng.NextBounded(12);
+      for (size_t i = 0; i < key_len; ++i) {
+        key.push_back(key_alphabet[rng.NextBounded(key_alphabet.size())]);
+      }
+      std::string value;
+      const size_t value_len = rng.NextBounded(40);
+      for (size_t i = 0; i < value_len; ++i) {
+        char c;
+        do {
+          c = static_cast<char>(rng.NextBounded(256));
+        } while (c == '\n');
+        value.push_back(c);
+      }
+      frame.Set(key, value);
+    }
+    auto encoded = EncodeFrame(frame);
+    ASSERT_TRUE(encoded.ok()) << encoded.status().ToString();
+    auto decoded = DecodeOne(*encoded);
+    ASSERT_TRUE(decoded.ok())
+        << "iter " << iter << ": " << decoded.status().ToString();
+    ASSERT_TRUE(decoded->has_value()) << "iter " << iter;
+    EXPECT_EQ(**decoded, frame) << "iter " << iter;
+  }
+}
+
+TEST(ProtocolTest, BackToBackFramesDecodeInOrder) {
+  std::vector<Frame> frames;
+  std::string wire;
+  for (int i = 0; i < 3; ++i) {
+    Frame frame(static_cast<FrameType>(i + 1));
+    frame.SetU64("seq", static_cast<uint64_t>(i));
+    auto encoded = EncodeFrame(frame);
+    ASSERT_TRUE(encoded.ok());
+    wire += *encoded;
+    frames.push_back(std::move(frame));
+  }
+  FrameDecoder decoder;
+  decoder.Feed(wire);
+  for (const Frame& expected : frames) {
+    auto decoded = decoder.Next();
+    ASSERT_TRUE(decoded.ok()) << decoded.status().ToString();
+    ASSERT_TRUE(decoded->has_value());
+    EXPECT_EQ(**decoded, expected);
+  }
+  auto tail = decoder.Next();
+  ASSERT_TRUE(tail.ok());
+  EXPECT_FALSE(tail->has_value());
+  EXPECT_TRUE(decoder.Finish().ok());
+  EXPECT_EQ(decoder.buffered(), 0u);
+}
+
+TEST(ProtocolTest, ByteAtATimeFeedingDecodes) {
+  Frame frame(FrameType::kDrain);
+  frame.Set("range", "2-4");
+  frame.SetU64("events", 999);
+  auto encoded = EncodeFrame(frame);
+  ASSERT_TRUE(encoded.ok());
+
+  FrameDecoder decoder;
+  for (size_t i = 0; i + 1 < encoded->size(); ++i) {
+    decoder.Feed(std::string_view(encoded->data() + i, 1));
+    auto partial = decoder.Next();
+    ASSERT_TRUE(partial.ok()) << "byte " << i;
+    EXPECT_FALSE(partial->has_value()) << "frame complete after byte " << i;
+  }
+  decoder.Feed(std::string_view(encoded->data() + encoded->size() - 1, 1));
+  auto decoded = decoder.Next();
+  ASSERT_TRUE(decoded.ok());
+  ASSERT_TRUE(decoded->has_value());
+  EXPECT_EQ(**decoded, frame);
+}
+
+TEST(ProtocolTest, NumericHelpersRoundTrip) {
+  Frame frame(FrameType::kHeartbeat);
+  frame.SetU64("zero", 0);
+  frame.SetU64("max", UINT64_MAX);
+  frame.SetDouble("rate", 12345.6789);
+  auto encoded = EncodeFrame(frame);
+  ASSERT_TRUE(encoded.ok());
+  auto decoded = DecodeOne(*encoded);
+  ASSERT_TRUE(decoded.ok());
+  ASSERT_TRUE(decoded->has_value());
+  auto zero = (*decoded)->GetU64("zero");
+  auto max = (*decoded)->GetU64("max");
+  auto rate = (*decoded)->GetDouble("rate");
+  ASSERT_TRUE(zero.ok());
+  ASSERT_TRUE(max.ok());
+  ASSERT_TRUE(rate.ok());
+  EXPECT_EQ(*zero, 0u);
+  EXPECT_EQ(*max, UINT64_MAX);
+  EXPECT_NEAR(*rate, 12345.6789, 1e-6);
+
+  auto missing = frame.GetU64("absent");
+  ASSERT_FALSE(missing.ok());
+  EXPECT_TRUE(missing.status().IsNotFound());
+
+  Frame bad(FrameType::kHeartbeat);
+  bad.Set("events", "12x");
+  auto malformed = bad.GetU64("events");
+  ASSERT_FALSE(malformed.ok());
+  EXPECT_TRUE(malformed.status().IsParseError());
+}
+
+TEST(ProtocolTest, EncodeRejectsGrammarViolations) {
+  const std::pair<std::string, std::string> bad_fields[] = {
+      {"", "value"},          // empty key
+      {"a=b", "value"},       // '=' in key
+      {"a\nb", "value"},      // '\n' in key
+      {"key", "line\nbreak"}, // '\n' in value
+  };
+  for (const auto& [key, value] : bad_fields) {
+    Frame frame(FrameType::kHello);
+    frame.Set(key, value);
+    auto encoded = EncodeFrame(frame);
+    ASSERT_FALSE(encoded.ok()) << "key='" << key << "'";
+    EXPECT_TRUE(encoded.status().IsInvalidArgument());
+  }
+}
+
+TEST(ProtocolTest, EncodeRejectsOversizedPayload) {
+  Frame frame(FrameType::kDrain);
+  frame.Set("blob", std::string(kMaxFramePayload, 'x'));
+  auto encoded = EncodeFrame(frame);
+  ASSERT_FALSE(encoded.ok());
+  EXPECT_TRUE(encoded.status().IsInvalidArgument());
+}
+
+TEST(ProtocolTest, FinishMidFrameIsParseError) {
+  Frame frame(FrameType::kEpoch);
+  frame.SetU64("epoch", 7);
+  auto encoded = EncodeFrame(frame);
+  ASSERT_TRUE(encoded.ok());
+
+  FrameDecoder decoder;
+  decoder.Feed(std::string_view(*encoded).substr(0, encoded->size() / 2));
+  auto partial = decoder.Next();
+  ASSERT_TRUE(partial.ok());
+  EXPECT_FALSE(partial->has_value());
+  const Status eos = decoder.Finish();
+  ASSERT_FALSE(eos.ok());
+  EXPECT_TRUE(eos.IsParseError());
+}
+
+TEST(ProtocolTest, PoisonedDecoderStaysPoisoned) {
+  Frame frame(FrameType::kHello);
+  frame.Set("worker", "w1");
+  auto encoded = EncodeFrame(frame);
+  ASSERT_TRUE(encoded.ok());
+
+  FrameDecoder decoder;
+  decoder.Feed("XXXX garbage that is certainly not a frame header");
+  auto first = decoder.Next();
+  ASSERT_FALSE(first.ok());
+  EXPECT_TRUE(first.status().IsParseError());
+  // Once framing is lost, even a pristine frame appended later must fail:
+  // the decoder cannot know where it starts.
+  decoder.Feed(*encoded);
+  auto second = decoder.Next();
+  ASSERT_FALSE(second.ok());
+  EXPECT_TRUE(second.status().IsParseError());
+}
+
+TEST(ProtocolTest, ShardRangeRoundTrips) {
+  const ShardRange ranges[] = {{0, 4}, {2, 3}, {10, 1000}, {0, UINT32_MAX}};
+  for (const ShardRange& range : ranges) {
+    auto parsed = ShardRange::Parse(range.ToString());
+    ASSERT_TRUE(parsed.ok()) << range.ToString();
+    EXPECT_EQ(*parsed, range);
+  }
+  EXPECT_EQ((ShardRange{2, 6}).width(), 4u);
+}
+
+TEST(ProtocolTest, ShardRangeParseRejectsMalformedText) {
+  const std::string bad[] = {"",    "4",    "-4",      "4-",   "a-b",
+                             "3-2", "1--2", "0-5000000000", " 0-4"};
+  for (const std::string& text : bad) {
+    auto parsed = ShardRange::Parse(text);
+    EXPECT_FALSE(parsed.ok()) << "'" << text << "' parsed";
+  }
+}
+
+TEST(ProtocolTest, HistogramRoundTripsLosslessly) {
+  LatencyHistogram h;
+  Rng rng(42);
+  for (int i = 0; i < 5000; ++i) {
+    h.Record(Duration::FromNanos(
+        static_cast<int64_t>(1000 + rng.NextBounded(100000000))));
+  }
+  auto decoded = DecodeHistogram(EncodeHistogram(h));
+  ASSERT_TRUE(decoded.ok()) << decoded.status().ToString();
+  EXPECT_EQ(decoded->count(), h.count());
+  EXPECT_EQ(decoded->min_nanos(), h.min_nanos());
+  EXPECT_EQ(decoded->max_nanos(), h.max_nanos());
+  // Bin-exact: re-encoding the decoded histogram reproduces the text.
+  EXPECT_EQ(EncodeHistogram(*decoded), EncodeHistogram(h));
+}
+
+TEST(ProtocolTest, HistogramMergeAfterDecodeMatchesLocalMerge) {
+  LatencyHistogram a;
+  LatencyHistogram b;
+  Rng rng(7);
+  for (int i = 0; i < 2000; ++i) {
+    a.Record(Duration::FromNanos(static_cast<int64_t>(1 + rng.NextBounded(1 << 20))));
+    b.Record(Duration::FromNanos(static_cast<int64_t>(1 + rng.NextBounded(1 << 24))));
+  }
+  LatencyHistogram local = a;
+  local.Merge(b);
+
+  auto remote_a = DecodeHistogram(EncodeHistogram(a));
+  auto remote_b = DecodeHistogram(EncodeHistogram(b));
+  ASSERT_TRUE(remote_a.ok());
+  ASSERT_TRUE(remote_b.ok());
+  remote_a->Merge(*remote_b);
+  EXPECT_EQ(EncodeHistogram(*remote_a), EncodeHistogram(local));
+}
+
+TEST(ProtocolTest, HistogramDecodeRejectsMalformedText) {
+  const std::string bad[] = {"", "v2;0;0;0;0;", "v1;x;0;0;0;",
+                             "v1;1;0;0", "garbage"};
+  for (const std::string& text : bad) {
+    auto decoded = DecodeHistogram(text);
+    EXPECT_FALSE(decoded.ok()) << "'" << text << "' decoded";
+  }
+}
+
+}  // namespace
+}  // namespace graphtides

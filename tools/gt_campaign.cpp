@@ -236,6 +236,11 @@ int main(int argc, char** argv) {
         out["apply_cost_p50_ms"] = apply_costs.ValueAtQuantileMicros(0.5) / 1e3;
         out["apply_cost_p99_ms"] =
             apply_costs.ValueAtQuantileMicros(0.99) / 1e3;
+        // A resumed attempt is a replacement identity adopting the slot
+        // from its checkpoint — the single-box analogue of a shard range
+        // reassigned to a respawned worker. Reserved key, routed into the
+        // report's recovery accounting rather than the metric CIs.
+        if (ctx.resume) out[std::string(kReassignmentsKey)] = 1.0;
         return out;
       });
   if (!report.ok()) return Fail(report.status());
@@ -257,8 +262,11 @@ int main(int argc, char** argv) {
       report->quarantined_configs);
   if (report->total_recoveries > 0) {
     std::printf(
-        "gt_campaign: %zu recover(ies), %.3f s total downtime, MTTR %.3f s\n",
-        report->total_recoveries, report->total_downtime_s,
+        "gt_campaign: %zu recover(ies), %llu reassignment(s), %.3f s total "
+        "downtime, MTTR %.3f s\n",
+        report->total_recoveries,
+        static_cast<unsigned long long>(report->total_reassignments),
+        report->total_downtime_s,
         report->total_downtime_s /
             static_cast<double>(report->total_recoveries));
   }

@@ -18,9 +18,18 @@
 //
 // Exit code 0 iff every trial converged to a byte-identical stream.
 //
+// With --workers W the same drill runs against a distributed fleet:
+// gt_coordinator plus W `gt_replay --worker` processes on localhost. Crash
+// specs starting with "coord-" SIGKILL the coordinator (workers quiesce,
+// checkpoint, and re-dial its respawn); every other spec arms worker 0
+// (the coordinator reassigns its orphaned ranges to survivors). The merged
+// per-shard fleet outputs must still be byte-identical to the
+// single-process golden run.
+//
 // Usage:
 //   gt_chaos --in stream.gts --shards 4 --random-kills 20
 //   gt_chaos --generate 300 --model social --seed 7 --workdir /tmp/chaos
+//   gt_chaos --shards 4 --workers 2 --workdir /tmp/fleet_chaos
 //
 // Flags:
 //   --in FILE           stream file to replay (omit to generate one)
@@ -40,20 +49,31 @@
 //   --retry-budget N    resume attempts per trial (default 3)
 //   --workdir DIR       scratch directory (default gt_chaos_work)
 //   --diff-out FILE     mismatch report (default WORKDIR/diff.txt)
+//   --workers W         distributed mode: coordinator + W workers
+//                       (requires --shards >= 2; 0 = single-process)
+//   --coordinator PATH  gt_coordinator binary (default: sibling)
+//   --marker-interval N generated-stream marker cadence (default 100 in
+//                       distributed mode so epoch trials have barriers
+//                       to crash at, else 0)
+#include <signal.h>
 #include <sys/stat.h>
 #include <sys/wait.h>
 #include <unistd.h>
 
 #include <algorithm>
+#include <chrono>
 #include <cstdio>
 #include <cstring>
 #include <fstream>
+#include <optional>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "common/fault_plan.h"
 #include "common/flags.h"
 #include "common/random.h"
+#include "common/result.h"
 #include "common/status.h"
 
 using namespace graphtides;
@@ -73,12 +93,25 @@ struct ChildExit {
   int sig = 0;
 };
 
-/// fork+exec `args` (args[0] is the binary path). `crash_env` non-empty
-/// arms GT_CRASH_AT in the child; otherwise the variable is scrubbed so a
-/// resumed attempt runs clean. Child stderr goes to `log_path`.
-Result<ChildExit> RunChild(const std::vector<std::string>& args,
-                           const std::string& crash_env,
-                           const std::string& log_path) {
+ChildExit DecodeWait(int wstatus) {
+  ChildExit out;
+  if (WIFEXITED(wstatus)) {
+    out.exited = true;
+    out.code = WEXITSTATUS(wstatus);
+  } else if (WIFSIGNALED(wstatus)) {
+    out.signaled = true;
+    out.sig = WTERMSIG(wstatus);
+  }
+  return out;
+}
+
+/// fork+exec `args` (args[0] is the binary path) without waiting.
+/// `crash_env` non-empty arms GT_CRASH_AT in the child; otherwise the
+/// variable is scrubbed so a resumed attempt runs clean. Child stderr goes
+/// to `log_path`.
+Result<pid_t> SpawnChild(const std::vector<std::string>& args,
+                         const std::string& crash_env,
+                         const std::string& log_path) {
   std::vector<char*> argv;
   argv.reserve(args.size() + 1);
   for (const std::string& a : args) {
@@ -104,19 +137,27 @@ Result<ChildExit> RunChild(const std::vector<std::string>& args,
                  std::strerror(errno));
     ::_exit(127);
   }
+  return pid;
+}
+
+/// Non-blocking reap: nullopt while the child is still running.
+std::optional<ChildExit> PollChild(pid_t pid) {
+  int wstatus = 0;
+  const pid_t r = ::waitpid(pid, &wstatus, WNOHANG);
+  if (r <= 0) return std::nullopt;
+  return DecodeWait(wstatus);
+}
+
+/// Spawn + blocking wait (the classic single-process trial path).
+Result<ChildExit> RunChild(const std::vector<std::string>& args,
+                           const std::string& crash_env,
+                           const std::string& log_path) {
+  GT_ASSIGN_OR_RETURN(const pid_t pid, SpawnChild(args, crash_env, log_path));
   int wstatus = 0;
   if (::waitpid(pid, &wstatus, 0) < 0) {
     return Status::IoError(std::string("waitpid: ") + std::strerror(errno));
   }
-  ChildExit out;
-  if (WIFEXITED(wstatus)) {
-    out.exited = true;
-    out.code = WEXITSTATUS(wstatus);
-  } else if (WIFSIGNALED(wstatus)) {
-    out.signaled = true;
-    out.sig = WTERMSIG(wstatus);
-  }
-  return out;
+  return DecodeWait(wstatus);
 }
 
 std::string SiblingBinary(const char* argv0, const std::string& name) {
@@ -171,6 +212,237 @@ struct Trial {
   std::string crash_env;  ///< GT_CRASH_AT value for attempt 0
 };
 
+/// Everything a distributed trial needs to spawn a fleet.
+struct FleetParams {
+  std::string coordinator_bin;
+  std::string replayer_bin;
+  std::string stream;
+  size_t shards = 2;   ///< global hash-partition width
+  size_t workers = 2;  ///< fleet size
+  std::string rate;    ///< aggregate fleet rate, forwarded verbatim
+  long long checkpoint_every = 100;
+  int retry_budget = 3;
+};
+
+/// Outcome of one supervised fleet trial.
+struct FleetOutcome {
+  bool converged = false;
+  size_t crashes = 0;   ///< processes that died by signal
+  std::string failure;  ///< non-empty when the trial failed outright
+};
+
+/// Runs gt_coordinator + W workers on localhost, arming one side with
+/// `crash_env` (specs starting with "coord-" target the coordinator,
+/// everything else worker 0), and respawns SIGKILLed processes until the
+/// fleet drains or the respawn budget is spent. A killed worker's ranges
+/// are reassigned by the coordinator; a killed coordinator is respawned on
+/// the same port and rebuilds fleet state from the workers' re-HELLOs.
+Result<FleetOutcome> RunFleetTrial(const FleetParams& p,
+                                   const std::string& prefix,
+                                   const std::string& crash_env) {
+  FleetOutcome out;
+  const bool coord_target = crash_env.rfind("coord-", 0) == 0;
+  const std::string cp_prefix = prefix + ".cp";
+  const std::string port_file = prefix + ".port";
+  ::unlink(port_file.c_str());
+
+  // Scrub stale outputs and per-range checkpoint generations; the range
+  // split mirrors the coordinator's contiguous deal exactly.
+  for (size_t s = 0; s < p.shards; ++s) {
+    ::unlink((prefix + ".shard" + std::to_string(s)).c_str());
+  }
+  const size_t nranges = std::min(p.workers, p.shards);
+  const size_t rbase = p.shards / nranges;
+  const size_t rextra = p.shards % nranges;
+  for (size_t r = 0, at = 0; r < nranges; ++r) {
+    const size_t width = rbase + (r < rextra ? 1 : 0);
+    const std::string cp = cp_prefix + ".range" + std::to_string(at) + "-" +
+                           std::to_string(at + width);
+    at += width;
+    for (size_t g = 0; g < 5; ++g) {
+      const std::string path = g == 0 ? cp : cp + "." + std::to_string(g);
+      ::unlink(path.c_str());
+    }
+  }
+
+  struct Proc {
+    pid_t pid = -1;
+    size_t attempt = 0;
+  };
+  Proc coord;
+  std::vector<Proc> workers(p.workers);
+  auto coord_args = [&](const std::string& listen) {
+    return std::vector<std::string>{p.coordinator_bin,
+                                    "--stream",
+                                    p.stream,
+                                    "--total-shards",
+                                    std::to_string(p.shards),
+                                    "--workers",
+                                    std::to_string(p.workers),
+                                    "--rate",
+                                    p.rate,
+                                    "--checkpoint-prefix",
+                                    cp_prefix,
+                                    "--checkpoint-every",
+                                    std::to_string(p.checkpoint_every),
+                                    "--out",
+                                    prefix,
+                                    "--listen",
+                                    listen,
+                                    "--port-file",
+                                    port_file,
+                                    "--heartbeat-timeout-ms",
+                                    "1000",
+                                    "--max-runtime-ms",
+                                    "60000"};
+  };
+  auto kill_all = [&] {
+    int wstatus = 0;
+    if (coord.pid > 0) {
+      ::kill(coord.pid, SIGKILL);
+      ::waitpid(coord.pid, &wstatus, 0);
+    }
+    for (Proc& w : workers) {
+      if (w.pid > 0) {
+        ::kill(w.pid, SIGKILL);
+        ::waitpid(w.pid, &wstatus, 0);
+      }
+    }
+  };
+
+  GT_ASSIGN_OR_RETURN(
+      coord.pid,
+      SpawnChild(coord_args("127.0.0.1:0"), coord_target ? crash_env : "",
+                 prefix + ".coord.attempt0.log"));
+
+  // The coordinator publishes the port right after binding, before any
+  // scripted crash point can fire, so this poll cannot race a kill.
+  std::string port;
+  for (int i = 0; i < 500 && port.empty(); ++i) {
+    std::ifstream pf(port_file);
+    std::getline(pf, port);
+    if (port.empty()) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    }
+  }
+  if (port.empty()) {
+    kill_all();
+    out.failure = "coordinator never published its port; see " + prefix +
+                  ".coord.attempt0.log";
+    return out;
+  }
+  const std::string address = "127.0.0.1:" + port;
+
+  auto worker_args = [&](size_t i) {
+    return std::vector<std::string>{p.replayer_bin,
+                                    "--worker",
+                                    "--coordinator",
+                                    address,
+                                    "--worker-id",
+                                    "w" + std::to_string(i),
+                                    "--heartbeat-ms",
+                                    "100",
+                                    "--dial-attempts",
+                                    "40",
+                                    "--backoff-seed",
+                                    std::to_string(11 + i)};
+  };
+  for (size_t i = 0; i < p.workers; ++i) {
+    GT_ASSIGN_OR_RETURN(
+        workers[i].pid,
+        SpawnChild(worker_args(i), !coord_target && i == 0 ? crash_env : "",
+                   prefix + ".w" + std::to_string(i) + ".attempt0.log"));
+  }
+
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(90);
+  while (out.failure.empty() && !out.converged) {
+    if (auto e = PollChild(coord.pid)) {
+      if (e->exited && e->code == 0) {
+        coord.pid = -1;
+        out.converged = true;
+        break;
+      }
+      if (e->signaled) {
+        ++out.crashes;
+        if (out.crashes > static_cast<size_t>(p.retry_budget)) {
+          coord.pid = -1;
+          out.failure = "respawn budget exhausted";
+          break;
+        }
+        ++coord.attempt;
+        // Respawn on the published port so workers re-dial the same
+        // address; fleet state rebuilds from their re-HELLOs.
+        GT_ASSIGN_OR_RETURN(
+            coord.pid, SpawnChild(coord_args(address), "",
+                                  prefix + ".coord.attempt" +
+                                      std::to_string(coord.attempt) + ".log"));
+      } else {
+        const std::string log = prefix + ".coord.attempt" +
+                                std::to_string(coord.attempt) + ".log";
+        coord.pid = -1;
+        out.failure = "coordinator failed (exit " + std::to_string(e->code) +
+                      "); see " + log;
+        break;
+      }
+    }
+    for (size_t i = 0; i < p.workers && out.failure.empty(); ++i) {
+      Proc& w = workers[i];
+      if (w.pid <= 0) continue;
+      if (auto e = PollChild(w.pid)) {
+        if (e->signaled) {
+          ++out.crashes;
+          if (out.crashes > static_cast<size_t>(p.retry_budget)) {
+            w.pid = -1;
+            out.failure = "respawn budget exhausted";
+            break;
+          }
+          ++w.attempt;
+          GT_ASSIGN_OR_RETURN(
+              w.pid, SpawnChild(worker_args(i), "",
+                                prefix + ".w" + std::to_string(i) +
+                                    ".attempt" + std::to_string(w.attempt) +
+                                    ".log"));
+        } else if (e->exited && e->code == 0) {
+          w.pid = -1;  // dismissed with the fleet's completion DRAIN
+        } else {
+          const std::string log = prefix + ".w" + std::to_string(i) +
+                                  ".attempt" + std::to_string(w.attempt) +
+                                  ".log";
+          w.pid = -1;
+          out.failure = "worker w" + std::to_string(i) + " failed (exit " +
+                        std::to_string(e->code) + "); see " + log;
+          break;
+        }
+      }
+    }
+    if (std::chrono::steady_clock::now() > deadline) {
+      out.failure = "fleet trial timed out";
+      break;
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  }
+
+  // A scripted kill close to the drain can race the coordinator's own
+  // exit: the victim's corpse may still be waiting when the loop breaks
+  // on convergence. Reap those now so the crash count stays truthful —
+  // live stragglers killed below are dismissals, not crashes.
+  for (Proc& w : workers) {
+    if (w.pid <= 0) continue;
+    if (auto e = PollChild(w.pid)) {
+      if (e->signaled) ++out.crashes;
+      w.pid = -1;
+    }
+  }
+
+  // The coordinator only exits 0 after every range drained and accounting
+  // balanced, and workers flush lane files before sending DRAIN — so once
+  // converged, the outputs are final and straggling workers (still waiting
+  // out a dismissed session) can simply be killed.
+  kill_all();
+  return out;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -180,7 +452,8 @@ int main(int argc, char** argv) {
   const auto unknown = flags.UnknownFlags(
       {"in", "generate", "model", "seed", "shards", "rate", "replayer",
        "generator", "crash-at", "random-kills", "checkpoint-every",
-       "retry-budget", "workdir", "diff-out", "help"});
+       "retry-budget", "workdir", "diff-out", "workers", "coordinator",
+       "marker-interval", "help"});
   if (!unknown.empty()) {
     return Fail(Status::InvalidArgument("unknown flag --" + unknown[0]));
   }
@@ -191,7 +464,8 @@ int main(int argc, char** argv) {
         "[--generator PATH]\n"
         "       [--crash-at POINT[:N],...] [--random-kills K]\n"
         "       [--checkpoint-every N] [--retry-budget N]\n"
-        "       [--workdir DIR] [--diff-out FILE]\n");
+        "       [--workdir DIR] [--diff-out FILE]\n"
+        "       [--workers W --coordinator PATH] [--marker-interval N]\n");
     return 0;
   }
 
@@ -202,15 +476,25 @@ int main(int argc, char** argv) {
   auto random_kills = flags.GetInt("random-kills", 0);
   auto checkpoint_every = flags.GetInt("checkpoint-every", 100);
   auto retry_budget = flags.GetInt("retry-budget", 3);
+  auto workers_flag = flags.GetInt("workers", 0);
   for (const Status& st :
        {generate_rounds.status(), seed.status(), shards_flag.status(),
         rate.status(), random_kills.status(), checkpoint_every.status(),
-        retry_budget.status()}) {
+        retry_budget.status(), workers_flag.status()}) {
     if (!st.ok()) return Fail(st);
   }
   if (*shards_flag < 1) {
     return Fail(Status::InvalidArgument("--shards must be >= 1"));
   }
+  const bool distributed = *workers_flag > 0;
+  if (distributed && *shards_flag < 2) {
+    return Fail(Status::InvalidArgument(
+        "--workers needs --shards >= 2 (a fleet partitions the shard "
+        "space; give the golden run the same width)"));
+  }
+  auto marker_interval =
+      flags.GetInt("marker-interval", distributed ? 100 : 0);
+  if (!marker_interval.ok()) return Fail(marker_interval.status());
   if (*checkpoint_every < 1) {
     return Fail(Status::InvalidArgument("--checkpoint-every must be >= 1"));
   }
@@ -230,16 +514,22 @@ int main(int argc, char** argv) {
       flags.GetString("replayer", SiblingBinary(argv[0], "gt_replay"));
   const std::string generator =
       flags.GetString("generator", SiblingBinary(argv[0], "gt_generate"));
+  const std::string coordinator =
+      flags.GetString("coordinator", SiblingBinary(argv[0], "gt_coordinator"));
 
   // Workload: caller-provided stream, or a generated one.
   std::string stream = flags.GetString("in", "");
   if (stream.empty()) {
     stream = workdir + "/stream.gts";
-    auto gen = RunChild(
-        {generator, "--model", flags.GetString("model", "social"), "--rounds",
-         std::to_string(*generate_rounds), "--seed", std::to_string(*seed),
-         "--out", stream},
-        "", workdir + "/generate.log");
+    std::vector<std::string> gen_args = {
+        generator, "--model", flags.GetString("model", "social"), "--rounds",
+        std::to_string(*generate_rounds), "--seed", std::to_string(*seed),
+        "--out", stream};
+    if (*marker_interval > 0) {
+      gen_args.insert(gen_args.end(), {"--marker-interval",
+                                       std::to_string(*marker_interval)});
+    }
+    auto gen = RunChild(gen_args, "", workdir + "/generate.log");
     if (!gen.ok()) return Fail(gen.status());
     if (!gen->exited || gen->code != 0) {
       return Fail(Status::IoError("stream generation failed; see " + workdir +
@@ -304,12 +594,31 @@ int main(int argc, char** argv) {
       if (comma == std::string::npos) break;
       start = comma + 1;
     }
+  } else if (distributed) {
+    // Default fleet drill: kill each side of the control plane at its
+    // dedicated points, plus a data-plane kill mid-range and a torn
+    // checkpoint write inside worker 0.
+    const std::string mid_range = std::to_string(std::max<size_t>(
+        1, *entries / (2 * static_cast<size_t>(*workers_flag))));
+    for (const std::string& spec :
+         {std::string(kCrashWorkerPostHello) + ":1",
+          std::string(kCrashWorkerEpochReport) + ":2",
+          std::string(kCrashPostDelivery) + ":" + mid_range,
+          std::string(kCrashMidCheckpointWrite) + ":2",
+          std::string(kCrashCoordPostAssign) + ":1",
+          std::string(kCrashCoordEpochRelease) + ":2"}) {
+      trials.push_back({"scripted " + spec, spec});
+    }
   } else {
-    // Default: every compiled crash point. Crash points that fire inside
-    // checkpoint writes target hit 2 so one good generation exists to fall
-    // back to; post-delivery targets mid-stream.
+    // Default: every compiled crash point that can fire in a single
+    // process (the coord-*/worker-* points only exist in a fleet). Crash
+    // points that fire inside checkpoint writes target hit 2 so one good
+    // generation exists to fall back to; post-delivery targets mid-stream.
     for (const std::string_view point : FaultPlan::KnownCrashPoints()) {
       if (point == kCrashEpochBarrier && shards == 1) continue;
+      if (point.rfind("coord-", 0) == 0 || point.rfind("worker-", 0) == 0) {
+        continue;
+      }
       std::string spec(point);
       spec += point == kCrashPostDelivery
                   ? ":" + std::to_string(std::max<size_t>(1, *entries / 2))
@@ -358,39 +667,56 @@ int main(int argc, char** argv) {
     const Trial& trial = trials[t];
     const std::string prefix = workdir + "/trial" + std::to_string(t);
     const std::string checkpoint = prefix + ".cp";
-    // Scrub leftovers from a previous invocation: a stale checkpoint
-    // generation would poison the resume path.
-    for (size_t g = 0; g < 4; ++g) {
-      const std::string path =
-          g == 0 ? checkpoint : checkpoint + "." + std::to_string(g);
-      ::unlink(path.c_str());
-    }
 
     size_t crashes = 0;
     bool converged = false;
     std::string failure;
-    for (int attempt = 0; attempt <= *retry_budget; ++attempt) {
-      // Resume only when a checkpoint was published before the kill; a
-      // crash before the first checkpoint restarts from scratch.
-      struct ::stat cp_stat {};
-      const bool have_checkpoint =
-          attempt > 0 && ::stat(checkpoint.c_str(), &cp_stat) == 0;
-      const std::string log =
-          prefix + ".attempt" + std::to_string(attempt) + ".log";
-      auto child = RunChild(replay_args(prefix, checkpoint, have_checkpoint),
-                            attempt == 0 ? trial.crash_env : "", log);
-      if (!child.ok()) return Fail(child.status());
-      if (child->exited && child->code == 0) {
-        converged = true;
+    if (distributed) {
+      FleetParams params;
+      params.coordinator_bin = coordinator;
+      params.replayer_bin = replayer;
+      params.stream = stream;
+      params.shards = shards;
+      params.workers = static_cast<size_t>(*workers_flag);
+      params.rate = rate_str;
+      params.checkpoint_every = *checkpoint_every;
+      params.retry_budget = static_cast<int>(*retry_budget);
+      auto fleet = RunFleetTrial(params, prefix, trial.crash_env);
+      if (!fleet.ok()) return Fail(fleet.status());
+      crashes = fleet->crashes;
+      converged = fleet->converged;
+      failure = fleet->failure;
+    } else {
+      // Scrub leftovers from a previous invocation: a stale checkpoint
+      // generation would poison the resume path.
+      for (size_t g = 0; g < 4; ++g) {
+        const std::string path =
+            g == 0 ? checkpoint : checkpoint + "." + std::to_string(g);
+        ::unlink(path.c_str());
+      }
+      for (int attempt = 0; attempt <= *retry_budget; ++attempt) {
+        // Resume only when a checkpoint was published before the kill; a
+        // crash before the first checkpoint restarts from scratch.
+        struct ::stat cp_stat {};
+        const bool have_checkpoint =
+            attempt > 0 && ::stat(checkpoint.c_str(), &cp_stat) == 0;
+        const std::string log =
+            prefix + ".attempt" + std::to_string(attempt) + ".log";
+        auto child = RunChild(replay_args(prefix, checkpoint, have_checkpoint),
+                              attempt == 0 ? trial.crash_env : "", log);
+        if (!child.ok()) return Fail(child.status());
+        if (child->exited && child->code == 0) {
+          converged = true;
+          break;
+        }
+        if (child->signaled) {
+          ++crashes;
+          continue;  // supervised resume
+        }
+        failure = "replayer failed (exit " + std::to_string(child->code) +
+                  "); see " + log;
         break;
       }
-      if (child->signaled) {
-        ++crashes;
-        continue;  // supervised resume
-      }
-      failure = "replayer failed (exit " + std::to_string(child->code) +
-                "); see " + log;
-      break;
     }
     if (converged) {
       for (size_t s = 0; s < shards; ++s) {
@@ -429,8 +755,11 @@ int main(int argc, char** argv) {
 
   std::fprintf(stderr,
                "gt_chaos: %zu/%zu trial(s) byte-identical after kill–resume "
-               "(%zu shard(s), retry budget %lld)\n",
+               "(%zu shard(s), %s, retry budget %lld)\n",
                passed, trials.size(), shards,
+               distributed
+                   ? (std::to_string(*workers_flag) + "-worker fleet").c_str()
+                   : "single process",
                static_cast<long long>(*retry_budget));
   return failed == 0 ? 0 : 2;
 }

@@ -30,6 +30,10 @@
 //                          markers/controls form cross-shard barriers
 //   --tcp HOST:PORT        stream over TCP instead of stdout; with
 //                          --shards N, N connections to the same endpoint
+//   --connect-timeout-ms M TCP connect deadline per attempt (0 = OS
+//                          default blocking connect)
+//   --connect-attempts N   bounded connect retries with linear backoff
+//                          (default 1)
 //   --ignore-controls      do not honor SET_RATE / PAUSE events
 //   --marker-log FILE      write marker + telemetry records (CSV)
 //   --chaos-seed S         chaos schedule seed (default 1)
@@ -87,6 +91,18 @@
 //   --telemetry-period-ms M  snapshot period (default 500)
 //   --telemetry-sample N     sample 1-in-N events for stage spans
 //                            (default 64)
+//
+// Distributed replay (one worker in a gt_coordinator fleet; see
+// src/distributed/ and DESIGN.md §12):
+//   --worker               run as a replay worker: everything else
+//                          (stream, shard range, rate, checkpoint, output)
+//                          arrives over the control channel
+//   --coordinator HOST:PORT  coordinator control endpoint (required)
+//   --worker-id ID         stable identity across reconnects
+//   --dial-attempts N      re-dial budget (exponential backoff + jitter)
+//   --heartbeat-ms M       heartbeat interval (default 200)
+//   --epoch-wait-ms M      partition rule: quiesce when an epoch release
+//                          does not arrive within M ms (default 10000)
 #include <sys/stat.h>
 #include <unistd.h>
 
@@ -100,6 +116,7 @@
 #include "common/fault_plan.h"
 #include "common/flags.h"
 #include "common/string_util.h"
+#include "distributed/worker.h"
 #include "faults/chaos_sink.h"
 #include "harness/log_record.h"
 #include "harness/report.h"
@@ -121,6 +138,79 @@ int Fail(const Status& status) {
   return 1;
 }
 
+Status ConfigureFaultPlan(const Flags& flags) {
+  FaultPlan& fault_plan = FaultPlan::Global();
+  GT_RETURN_NOT_OK(fault_plan.ConfigureFromEnv());
+  if (flags.Has("fault-plan")) {
+    GT_RETURN_NOT_OK(
+        fault_plan.Configure(flags.GetString("fault-plan", "")));
+  }
+  if (flags.Has("crash-at")) {
+    const std::string crash_at = flags.GetString("crash-at", "");
+    for (const std::string_view part : SplitString(crash_at, ',')) {
+      const std::string_view point = TrimWhitespace(part);
+      if (point.empty()) continue;
+      GT_RETURN_NOT_OK(
+          fault_plan.Configure("crash=" + std::string(point)));
+    }
+  }
+  return Status::OK();
+}
+
+// --worker: hand this process to a coordinator as a distributed replay
+// worker. All replay parameters (stream, range, rate, checkpointing,
+// output) arrive over the control channel in ASSIGN frames.
+int RunWorkerMode(const Flags& flags) {
+  if (Status st = ConfigureFaultPlan(flags); !st.ok()) return Fail(st);
+  const std::string spec = flags.GetString("coordinator", "");
+  const auto parts = SplitString(spec, ':');
+  if (parts.size() != 2) {
+    return Fail(
+        Status::InvalidArgument("--worker requires --coordinator HOST:PORT"));
+  }
+  auto port = ParseUint64(parts[1]);
+  if (!port.ok() || *port == 0 || *port > 65535) {
+    return Fail(Status::InvalidArgument("bad port in --coordinator"));
+  }
+  auto connect_timeout_ms = flags.GetInt("connect-timeout-ms", 2000);
+  auto dial_attempts = flags.GetInt("dial-attempts", 15);
+  auto heartbeat_ms = flags.GetInt("heartbeat-ms", 200);
+  auto epoch_wait_ms = flags.GetInt("epoch-wait-ms", 10000);
+  auto backoff_seed = flags.GetInt("backoff-seed", 1);
+  for (const Status& st :
+       {connect_timeout_ms.status(), dial_attempts.status(),
+        heartbeat_ms.status(), epoch_wait_ms.status(),
+        backoff_seed.status()}) {
+    if (!st.ok()) return Fail(st);
+  }
+
+  ReplayWorkerOptions options;
+  options.coordinator_host = std::string(parts[0]);
+  options.coordinator_port = static_cast<uint16_t>(*port);
+  options.worker_id = flags.GetString("worker-id", "");
+  options.connect_timeout_ms = static_cast<int>(*connect_timeout_ms);
+  options.dial_attempts = static_cast<int>(*dial_attempts);
+  options.heartbeat_interval_ms = static_cast<int>(*heartbeat_ms);
+  options.epoch_wait_timeout_ms = static_cast<int>(*epoch_wait_ms);
+  options.backoff_seed = static_cast<uint64_t>(*backoff_seed);
+
+  ReplayWorker worker(options);
+  const Status status = worker.Run();
+  const ReplayWorker::Totals totals = worker.totals();
+  std::fprintf(
+      stderr,
+      "gt_replay: worker %s — %llu local events over %llu task(s), %llu "
+      "resume(s), %llu quiesce(s), %llu checkpoint fallback(s)\n",
+      status.ok() ? "done" : "failed",
+      static_cast<unsigned long long>(totals.local_events),
+      static_cast<unsigned long long>(totals.tasks_started),
+      static_cast<unsigned long long>(totals.resumes),
+      static_cast<unsigned long long>(totals.quiesces),
+      static_cast<unsigned long long>(totals.checkpoint_fallbacks));
+  if (!status.ok()) return Fail(status);
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -134,10 +224,14 @@ int main(int argc, char** argv) {
        "deliver-timeout-ms", "on-failure", "checkpoint-file",
        "checkpoint-every", "checkpoint-generations", "resume-from",
        "stop-after", "watchdog-ms", "crash-at", "fault-plan",
-       "telemetry-out", "telemetry-period-ms", "telemetry-sample", "help"});
+       "telemetry-out", "telemetry-period-ms", "telemetry-sample",
+       "connect-timeout-ms", "connect-attempts", "worker", "coordinator",
+       "worker-id", "dial-attempts", "heartbeat-ms", "epoch-wait-ms",
+       "backoff-seed", "help"});
   if (!unknown.empty()) {
     return Fail(Status::InvalidArgument("unknown flag --" + unknown[0]));
   }
+  if (flags.GetBool("worker")) return RunWorkerMode(flags);
   if (flags.GetBool("help")) {
     std::printf(
         "usage: gt_replay --in FILE --rate R [--shards N] [--tcp HOST:PORT | "
@@ -184,13 +278,16 @@ int main(int argc, char** argv) {
   auto watchdog_ms = flags.GetInt("watchdog-ms", 0);
   auto telemetry_period_ms = flags.GetInt("telemetry-period-ms", 500);
   auto telemetry_sample = flags.GetInt("telemetry-sample", 64);
+  auto connect_timeout_ms = flags.GetInt("connect-timeout-ms", 0);
+  auto connect_attempts = flags.GetInt("connect-attempts", 1);
   for (const Status& st :
        {chaos_seed.status(), chaos_fail.status(), chaos_disconnect.status(),
         chaos_stall.status(), chaos_stall_ms.status(), retry_budget.status(),
         retry_backoff_ms.status(), deliver_timeout_ms.status(),
         checkpoint_every.status(), checkpoint_generations.status(),
         stop_after.status(), watchdog_ms.status(),
-        telemetry_period_ms.status(), telemetry_sample.status()}) {
+        telemetry_period_ms.status(), telemetry_sample.status(),
+        connect_timeout_ms.status(), connect_attempts.status()}) {
     if (!st.ok()) return Fail(st);
   }
   if (*checkpoint_generations < 1) {
@@ -202,24 +299,7 @@ int main(int argc, char** argv) {
   // — how a supervisor arms a child without touching its argv), then the
   // explicit flags on top.
   FaultPlan& fault_plan = FaultPlan::Global();
-  if (Status st = fault_plan.ConfigureFromEnv(); !st.ok()) return Fail(st);
-  if (flags.Has("fault-plan")) {
-    if (Status st = fault_plan.Configure(flags.GetString("fault-plan", ""));
-        !st.ok()) {
-      return Fail(st);
-    }
-  }
-  if (flags.Has("crash-at")) {
-    const std::string crash_at = flags.GetString("crash-at", "");
-    for (const std::string_view part : SplitString(crash_at, ',')) {
-      const std::string_view point = TrimWhitespace(part);
-      if (point.empty()) continue;
-      if (Status st = fault_plan.Configure("crash=" + std::string(point));
-          !st.ok()) {
-        return Fail(st);
-      }
-    }
-  }
+  if (Status st = ConfigureFaultPlan(flags); !st.ok()) return Fail(st);
 
   const bool chaos_enabled =
       flags.Has("chaos-fail") || flags.Has("chaos-disconnect") ||
@@ -339,6 +419,8 @@ int main(int argc, char** argv) {
     if (!tcp_spec.empty()) {
       tcp_sinks.push_back(std::make_unique<TcpSink>());
       tcp = tcp_sinks.back().get();
+      tcp->set_connect_timeout_ms(static_cast<int>(*connect_timeout_ms));
+      tcp->set_connect_attempts(static_cast<int>(*connect_attempts));
       if (Status st = tcp->Connect(tcp_host, tcp_port); !st.ok()) {
         return Fail(st.WithContext("shard " + std::to_string(s)));
       }

@@ -110,9 +110,14 @@ int main(int argc, char** argv) {
       if (rec.write_faults < prev_rec.write_faults) {
         complain("recovery.write_faults decreased");
       }
+      if (rec.reassignments < prev_rec.reassignments) {
+        complain("recovery.reassignments decreased");
+      }
       if (rec.downtime_s < prev_rec.downtime_s) {
         complain("recovery.downtime_s decreased");
       }
+      // mttr_s is derived (downtime over recoveries), not cumulative — a
+      // fast recovery legitimately lowers it, so it is NOT checked.
       last_elapsed = snap->elapsed_s;
       last_events = snap->events;
       last = *snap;
@@ -134,12 +139,14 @@ int main(int argc, char** argv) {
     if (last.recovery.any()) {
       std::printf(
           "  recovery: %llu crash(es), %llu resume(s), %llu checkpoint "
-          "fallback(s), %llu write fault(s), %.3f s downtime\n",
+          "fallback(s), %llu write fault(s), %llu reassignment(s), %.3f s "
+          "downtime, %.3f s MTTR\n",
           static_cast<unsigned long long>(last.recovery.crashes),
           static_cast<unsigned long long>(last.recovery.resumes),
           static_cast<unsigned long long>(last.recovery.checkpoint_fallbacks),
           static_cast<unsigned long long>(last.recovery.write_faults),
-          last.recovery.downtime_s);
+          static_cast<unsigned long long>(last.recovery.reassignments),
+          last.recovery.downtime_s, last.recovery.mttr_s);
     }
     return 0;
   }
