@@ -1,33 +1,103 @@
 #include "common/crc32.h"
 
 #include <array>
+#include <cstring>
+
+#if defined(__x86_64__) && (defined(__GNUC__) || defined(__clang__))
+#include <nmmintrin.h>
+#define GT_CRC32C_HW 1
+#endif
 
 namespace graphtides {
 
 namespace {
 
-// Reflected polynomial 0xEDB88320; table built once at first use.
-std::array<uint32_t, 256> BuildTable() {
-  std::array<uint32_t, 256> table{};
+// Eight tables for slicing-by-8: table 0 is the classic byte-at-a-time
+// table; table s advances a byte past s more zero bytes, so eight input
+// bytes fold into one XOR chain per iteration. Built once per reflected
+// polynomial (0xEDB88320 for IEEE CRC-32, 0x82F63B78 for CRC-32C).
+using Crc32Tables = std::array<std::array<uint32_t, 256>, 8>;
+
+Crc32Tables BuildTables(uint32_t poly) {
+  Crc32Tables t{};
   for (uint32_t i = 0; i < 256; ++i) {
     uint32_t c = i;
     for (int k = 0; k < 8; ++k) {
-      c = (c & 1u) ? 0xEDB88320u ^ (c >> 1) : c >> 1;
+      c = (c & 1u) ? poly ^ (c >> 1) : c >> 1;
     }
-    table[i] = c;
+    t[0][i] = c;
   }
-  return table;
+  for (uint32_t i = 0; i < 256; ++i) {
+    uint32_t c = t[0][i];
+    for (size_t s = 1; s < 8; ++s) {
+      c = t[0][c & 0xFFu] ^ (c >> 8);
+      t[s][i] = c;
+    }
+  }
+  return t;
 }
+
+// Core slicing-by-8 fold over pre-inverted `crc`; caller inverts in/out.
+uint32_t SliceBy8(const Crc32Tables& kT, uint32_t crc, const unsigned char* p,
+                  size_t n) {
+  // Byte-composed loads keep the fold endian-independent; on little-endian
+  // targets the compiler collapses them into one 32-bit load.
+  while (n >= 8) {
+    const uint32_t c0 = crc ^ (static_cast<uint32_t>(p[0]) |
+                               static_cast<uint32_t>(p[1]) << 8 |
+                               static_cast<uint32_t>(p[2]) << 16 |
+                               static_cast<uint32_t>(p[3]) << 24);
+    crc = kT[7][c0 & 0xFFu] ^ kT[6][(c0 >> 8) & 0xFFu] ^
+          kT[5][(c0 >> 16) & 0xFFu] ^ kT[4][c0 >> 24] ^ kT[3][p[4]] ^
+          kT[2][p[5]] ^ kT[1][p[6]] ^ kT[0][p[7]];
+    p += 8;
+    n -= 8;
+  }
+  while (n > 0) {
+    crc = kT[0][(crc ^ *p++) & 0xFFu] ^ (crc >> 8);
+    --n;
+  }
+  return crc;
+}
+
+#ifdef GT_CRC32C_HW
+// Hardware CRC-32C over pre-inverted `crc`. Compiled with SSE4.2 enabled
+// for this one function only; callers must gate on the runtime CPU check.
+__attribute__((target("sse4.2"))) uint32_t Crc32cHardware(
+    uint32_t crc, const unsigned char* p, size_t n) {
+  uint64_t c = crc;
+  while (n >= 8) {
+    uint64_t word;
+    std::memcpy(&word, p, 8);
+    c = _mm_crc32_u64(c, word);
+    p += 8;
+    n -= 8;
+  }
+  uint32_t c32 = static_cast<uint32_t>(c);
+  while (n > 0) {
+    c32 = _mm_crc32_u8(c32, *p++);
+    --n;
+  }
+  return c32;
+}
+#endif  // GT_CRC32C_HW
 
 }  // namespace
 
 uint32_t Crc32Update(uint32_t crc, std::string_view data) {
-  static const std::array<uint32_t, 256> kTable = BuildTable();
-  crc = ~crc;
-  for (const char ch : data) {
-    crc = kTable[(crc ^ static_cast<uint8_t>(ch)) & 0xFFu] ^ (crc >> 8);
-  }
-  return ~crc;
+  static const Crc32Tables kT = BuildTables(0xEDB88320u);
+  const unsigned char* p = reinterpret_cast<const unsigned char*>(data.data());
+  return ~SliceBy8(kT, ~crc, p, data.size());
+}
+
+uint32_t Crc32cUpdate(uint32_t crc, std::string_view data) {
+  const unsigned char* p = reinterpret_cast<const unsigned char*>(data.data());
+#ifdef GT_CRC32C_HW
+  static const bool kHaveSse42 = __builtin_cpu_supports("sse4.2");
+  if (kHaveSse42) return ~Crc32cHardware(~crc, p, data.size());
+#endif
+  static const Crc32Tables kT = BuildTables(0x82F63B78u);
+  return ~SliceBy8(kT, ~crc, p, data.size());
 }
 
 }  // namespace graphtides

@@ -1,7 +1,13 @@
-// CRC-32 (IEEE 802.3 polynomial, the zlib/gzip variant), table-driven.
-// Used as the integrity footer of durable artifacts (replay checkpoints):
-// a crash mid-write leaves a prefix whose checksum cannot match, so torn
-// records are detected instead of silently parsed.
+// CRC-32 (IEEE 802.3 polynomial, the zlib/gzip variant) and CRC-32C
+// (Castagnoli polynomial), table-driven with a hardware CRC-32C path.
+//
+// CRC-32 seals durable artifacts (replay checkpoints, GTDP frames): a
+// crash mid-write leaves a prefix whose checksum cannot match, so torn
+// records are detected instead of silently parsed. CRC-32C seals
+// gt-stream-v2 blocks — it checksums every byte on the replay hot path,
+// and the Castagnoli polynomial has a dedicated x86 instruction (SSE4.2
+// `crc32`) that runs an order of magnitude faster than any table walk,
+// which is why storage wire formats standardize on it.
 #ifndef GRAPHTIDES_COMMON_CRC32_H_
 #define GRAPHTIDES_COMMON_CRC32_H_
 
@@ -15,6 +21,14 @@ uint32_t Crc32Update(uint32_t crc, std::string_view data);
 
 /// One-shot CRC-32 of `data`.
 inline uint32_t Crc32(std::string_view data) { return Crc32Update(0, data); }
+
+/// Incremental CRC-32C update: feed `crc` from a previous call (or 0 to
+/// start). Uses the SSE4.2 `crc32` instruction when the CPU has it;
+/// the software fallback produces bit-identical values.
+uint32_t Crc32cUpdate(uint32_t crc, std::string_view data);
+
+/// One-shot CRC-32C of `data`.
+inline uint32_t Crc32c(std::string_view data) { return Crc32cUpdate(0, data); }
 
 }  // namespace graphtides
 

@@ -54,9 +54,18 @@ Status PipeSink::WriteBytes(std::string_view data) {
 }
 
 Status PipeSink::Deliver(const Event& event) {
-  // Reused line buffer + to_chars formatting; one fwrite per event.
   line_buf_.clear();
-  AppendEventLine(event, &line_buf_);
+  if (wire_ == WireFormat::kV2) {
+    // Per-event callers on a v2-negotiated stream still produce a valid
+    // v2 byte stream: one sealed single-record block per event. Batched
+    // callers use DeliverSerialized with replayer-sealed blocks instead.
+    v2_encoder_.Add(event.type, event.vertex, event.edge, event.payload,
+                    event.rate_factor, event.pause);
+    v2_encoder_.SealTo(&line_buf_);
+  } else {
+    // Reused line buffer + to_chars formatting; one fwrite per event.
+    AppendEventLine(event, &line_buf_);
+  }
   return WriteBytes(line_buf_);
 }
 
@@ -65,7 +74,26 @@ Status PipeSink::DeliverSerialized(std::string_view lines, size_t count) {
   return WriteBytes(lines);
 }
 
-Status PipeSink::Finish() { return Flush(); }
+Result<WireFormat> PipeSink::NegotiateWireFormat(WireFormat preferred) {
+  if (preferred != WireFormat::kV2 || !allow_v2_) return WireFormat::kCsv;
+  if (wire_ != WireFormat::kV2) {
+    wire_ = WireFormat::kV2;
+    std::string preamble;
+    AppendV2Preamble(&preamble);
+    GT_RETURN_NOT_OK(WriteBytes(preamble));
+  }
+  return WireFormat::kV2;
+}
+
+Status PipeSink::Finish() {
+  if (wire_ == WireFormat::kV2 && !sentinel_written_) {
+    sentinel_written_ = true;
+    std::string sentinel;
+    AppendV2SentinelBlock(&sentinel);
+    GT_RETURN_NOT_OK(WriteBytes(sentinel));
+  }
+  return Flush();
+}
 
 Status PipeSink::Flush() {
   if (std::fflush(out_) != 0) {

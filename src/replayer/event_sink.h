@@ -11,11 +11,21 @@
 #include <functional>
 #include <string>
 
+#include "common/result.h"
 #include "common/status.h"
 #include "harness/telemetry/snapshot.h"
 #include "stream/event.h"
+#include "stream/v2_format.h"
 
 namespace graphtides {
+
+/// \brief Wire encodings a byte-oriented sink can carry.
+///
+/// kCsv is '\n'-terminated canonical CSV lines — the interchange/golden
+/// format every transport speaks. kV2 is gt-stream-v2 sealed blocks
+/// (stream/v2_format.h): preamble on negotiation, blocks per batch,
+/// end-of-stream sentinel at Finish.
+enum class WireFormat : uint8_t { kCsv = 0, kV2 = 1 };
 
 /// \brief Runtime-fault telemetry accumulated along a sink chain.
 ///
@@ -97,6 +107,20 @@ class EventSink {
     return Status::Internal("sink does not support serialized delivery");
   }
 
+  /// \brief Per-sink wire-format negotiation (the pipe/TCP "handshake").
+  ///
+  /// The replayer offers its preferred wire format once, before any
+  /// delivery; the sink answers with what it will actually carry. The
+  /// default — and the only answer decorators may give — is kCsv: faults
+  /// and retries operate on the per-event path, so anything wrapped stays
+  /// on the golden CSV form. A transport that answers kV2 emits the v2
+  /// preamble immediately, expects DeliverSerialized batches to be sealed
+  /// v2 blocks, and appends the end-of-stream sentinel in Finish().
+  virtual Result<WireFormat> NegotiateWireFormat(WireFormat preferred) {
+    (void)preferred;
+    return WireFormat::kCsv;
+  }
+
   /// Called once after the last event.
   virtual Status Finish() { return Status::OK(); }
 
@@ -134,11 +158,17 @@ class PipeSink final : public EventSink {
  public:
   explicit PipeSink(std::FILE* out) : out_(out) {}
 
+  /// Opt-in to v2 wire delivery: a later NegotiateWireFormat(kV2) is
+  /// answered with kV2 (without this call the answer stays kCsv). Call
+  /// before the replayer starts.
+  void EnableV2Wire() { allow_v2_ = true; }
+
   Status Deliver(const Event& event) override;
   /// One fwrite for the whole batch. stdio locks the FILE internally, so
   /// several shard lanes may share one FILE* and lines stay whole.
   bool SupportsSerialized() const override { return true; }
   Status DeliverSerialized(std::string_view lines, size_t count) override;
+  Result<WireFormat> NegotiateWireFormat(WireFormat preferred) override;
   Status Finish() override;
   Status Flush() override;
   uint64_t bytes_delivered() const override {
@@ -154,6 +184,10 @@ class PipeSink final : public EventSink {
   std::FILE* out_;
   std::string line_buf_;  // reused across Deliver calls
   std::atomic<uint64_t> bytes_{0};
+  bool allow_v2_ = false;
+  WireFormat wire_ = WireFormat::kCsv;
+  bool sentinel_written_ = false;
+  V2BlockEncoder v2_encoder_;  // per-event fallback when wire_ is kV2
 };
 
 /// \brief Discards events (replayer self-benchmarking).

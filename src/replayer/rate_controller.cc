@@ -28,7 +28,8 @@ void RateController::Defer(Duration pause) { pending_defer_ += pause; }
 Timestamp RateController::NextDeadline() {
   Timestamp deadline;
   if (!started_) {
-    deadline = clock_->Now() + pending_defer_;
+    observed_now_ = clock_->Now();
+    deadline = observed_now_ + pending_defer_;
     anchor_ = deadline;
     events_since_anchor_ = 0;
     started_ = true;
@@ -53,12 +54,18 @@ Timestamp RateController::NextDeadline() {
 
 Timestamp RateController::WaitForNextSlot() {
   const Timestamp deadline = NextDeadline();
+  // Lag fast path: time already observed at/past the deadline means the
+  // slot is open — no clock read. When replay runs behind schedule this
+  // releases whole stretches of slots off one observation (~35 ns per
+  // steady_clock read saved per event on a typical VM).
+  if (observed_now_ >= deadline) return deadline;
   // Two-stage wait: yield while far from the deadline, spin when close.
   // Yielding keeps the reader thread runnable on loaded machines; the final
   // busy-wait gives microsecond-precision release times.
   constexpr Duration kSpinWindow = Duration::FromMicros(50);
   while (true) {
     const Timestamp now = clock_->Now();
+    observed_now_ = now;
     if (now >= deadline) break;
     if (deadline - now > kSpinWindow) {
       std::this_thread::yield();

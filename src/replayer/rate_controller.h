@@ -38,6 +38,12 @@ class RateController {
 
   /// Blocks (busy-waits near the deadline) until the next emission slot,
   /// then advances the schedule. Returns the deadline that was enforced.
+  ///
+  /// Clock reads are amortized when emission lags the schedule: a
+  /// previously observed clock value at/past the deadline proves the slot
+  /// is open without reading again (the clock is monotone), so a
+  /// saturated replay pays one clock read per elapsed wait, not per
+  /// event.
   Timestamp WaitForNextSlot();
 
   /// Non-blocking variant for virtual-time use: the deadline for the next
@@ -59,6 +65,9 @@ class RateController {
   int64_t events_since_anchor_ = 0;
   Timestamp prev_deadline_;
   Duration pending_defer_;
+  /// Largest clock value observed so far; deadlines at/below it have
+  /// provably passed without another clock read.
+  Timestamp observed_now_;
   bool started_ = false;
 };
 

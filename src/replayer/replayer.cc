@@ -9,6 +9,8 @@
 #include "common/fault_plan.h"
 #include "replayer/spsc_queue.h"
 #include "stream/stream_file.h"
+#include "stream/v2_format.h"
+#include "stream/v2_reader.h"
 
 namespace graphtides {
 
@@ -27,6 +29,22 @@ Result<ReplayStats> StreamReplayer::Replay(const std::vector<Event>& events,
 Result<ReplayStats> StreamReplayer::ReplayFile(const std::string& path,
                                                EventSink* sink,
                                                const ReplayCheckpoint* resume) {
+  // Auto-detect by magic: v2 streams decode through the block reader,
+  // anything else parses as CSV. Both sources feed the same Run(), so
+  // replay semantics are format-independent.
+  GT_ASSIGN_OR_RETURN(const StreamFormat format, DetectStreamFormat(path));
+  if (format == StreamFormat::kV2) {
+    auto reader = std::make_shared<V2StreamReader>();
+    GT_RETURN_NOT_OK(reader->Open(path));
+    return Run(
+        [reader]() -> Result<std::optional<Event>> {
+          GT_ASSIGN_OR_RETURN(const std::optional<EventView> view,
+                              reader->Next());
+          if (!view.has_value()) return std::optional<Event>(std::nullopt);
+          return std::optional<Event>(view->Materialize());
+        },
+        sink, resume);
+  }
   auto reader = std::make_shared<StreamFileReader>();
   GT_RETURN_NOT_OK(reader->Open(path));
   return Run([reader]() { return reader->Next(); }, sink, resume);

@@ -13,6 +13,8 @@
 #include "replayer/rate_controller.h"
 #include "replayer/spsc_queue.h"
 #include "stream/block_reader.h"
+#include "stream/v2_format.h"
+#include "stream/v2_reader.h"
 
 namespace graphtides {
 
@@ -170,6 +172,18 @@ Result<ShardedReplayStats> ShardedReplayer::Replay(
 Result<ShardedReplayStats> ShardedReplayer::ReplayFile(
     const std::string& path, const std::vector<EventSink*>& sinks,
     const ReplayCheckpoint* resume) {
+  // Auto-detect by magic. A v2 stream feeds Run() borrowed views straight
+  // out of the mmap'd block reader — no parse, no copy; CSV goes through
+  // the zero-copy line parser. Either way Run() is format-blind, so
+  // sharding, barriers and checkpoints behave identically (the golden
+  // equivalence tests in tests/stream/v2_replay_equivalence_test.cc hold
+  // the two byte-for-byte equal).
+  GT_ASSIGN_OR_RETURN(const StreamFormat format, DetectStreamFormat(path));
+  if (format == StreamFormat::kV2) {
+    auto reader = std::make_shared<V2StreamReader>();
+    GT_RETURN_NOT_OK(reader->Open(path));
+    return Run([reader]() { return reader->Next(); }, sinks, resume);
+  }
   auto reader = std::make_shared<BlockLineReader>();
   GT_RETURN_NOT_OK(reader->Open(path));
   auto scratch = std::make_shared<std::string>();
@@ -228,6 +242,17 @@ Result<ShardedReplayStats> ShardedReplayer::Run(
     return Status::InvalidArgument(
         "telemetry hub has " + std::to_string(telem->shards()) +
         " slots for " + std::to_string(shards) + " shards");
+  }
+
+  // Per-sink wire handshake, before any lane starts: a sink answering kV2
+  // has already emitted its preamble and its lane will hand it sealed v2
+  // blocks; decliners stay on canonical CSV lines.
+  std::vector<WireFormat> lane_wire(shards, WireFormat::kCsv);
+  if (options_.wire_format != WireFormat::kCsv) {
+    for (size_t s = 0; s < shards; ++s) {
+      GT_ASSIGN_OR_RETURN(lane_wire[s], sinks[s]->NegotiateWireFormat(
+                                            options_.wire_format));
+    }
   }
 
   // Byte offsets each lane's sink chain had flushed when this segment
@@ -384,10 +409,25 @@ Result<ShardedReplayStats> ShardedReplayer::Run(
       }
     };
     const bool serialized = sink->SupportsSerialized();
+    const bool v2_wire = serialized && lane_wire[shard] == WireFormat::kV2;
     std::string out;
+    V2BlockEncoder v2_encoder;
     EventView view;
     Event scratch;
     Status emit;
+    // Serializes the current `view` into `out` in the negotiated wire
+    // format: one sealed v2 block per batch (oversize batches seal and
+    // continue — several blocks per delivery is still one valid stream)
+    // or one canonical CSV line per event.
+    auto serialize_one = [&] {
+      if (v2_wire) {
+        v2_encoder.Add(view.type, view.vertex, view.edge, view.payload,
+                       view.rate_factor, view.pause);
+        if (v2_encoder.Full()) v2_encoder.SealTo(&out);
+      } else {
+        view.AppendLine(&out);
+      }
+    };
     while (true) {
       std::optional<LaneItem> popped = lane.queue.TryPop();
       if (!popped.has_value()) {
@@ -434,14 +474,15 @@ Result<ShardedReplayStats> ShardedReplayer::Run(
             const Timestamp serialize_start = clock.Now();
             telem->RecordStage(shard, ReplayStage::kThrottle,
                                serialize_start - span_start);
-            view.AppendLine(&out);
+            serialize_one();
             telem->RecordStage(shard, ReplayStage::kSerialize,
                                clock.Now() - serialize_start);
             first = false;
           } else {
-            view.AppendLine(&out);
+            serialize_one();
           }
         }
+        if (v2_wire) v2_encoder.SealTo(&out);
         const Timestamp deliver_start = sampled ? clock.Now() : Timestamp{};
         emit = sink->DeliverSerialized(out, batch.records.size());
         if (sampled) {

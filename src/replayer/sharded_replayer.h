@@ -75,6 +75,14 @@ struct ShardedReplayerOptions {
   /// When false, SET_RATE / PAUSE are counted but not applied (and no
   /// barrier is paid for them).
   bool honor_control_events = true;
+  /// \brief Preferred wire format offered to every sink before delivery
+  /// starts (EventSink::NegotiateWireFormat).
+  ///
+  /// kCsv (default) skips the handshake entirely. kV2 asks each sink to
+  /// carry gt-stream-v2 blocks on the serialized path; a lane whose sink
+  /// declines (decorated chains always do) stays on CSV, so formats are
+  /// negotiated per sink, not per run.
+  WireFormat wire_format = WireFormat::kCsv;
 
   // --- Distributed shard-range replay ----------------------------------
   /// Size of the global hash-partition space (0 = `shards`, the

@@ -187,10 +187,29 @@ Status TcpSink::FlushBuffer() {
 
 Status TcpSink::Deliver(const Event& event) {
   if (fd_ < 0) return Status::PreconditionFailed("TcpSink not connected");
-  // Serialize straight into the send buffer — no per-event temporary.
-  AppendEventLine(event, &buffer_);
+  if (wire_ == WireFormat::kV2) {
+    // Per-event callers on a v2-negotiated connection still produce a
+    // valid v2 byte stream: one sealed single-record block per event.
+    v2_encoder_.Add(event.type, event.vertex, event.edge, event.payload,
+                    event.rate_factor, event.pause);
+    v2_encoder_.SealTo(&buffer_);
+  } else {
+    // Serialize straight into the send buffer — no per-event temporary.
+    AppendEventLine(event, &buffer_);
+  }
   if (buffer_.size() >= kFlushBytes) return FlushBuffer();
   return Status::OK();
+}
+
+Result<WireFormat> TcpSink::NegotiateWireFormat(WireFormat preferred) {
+  if (preferred != WireFormat::kV2 || !allow_v2_) return WireFormat::kCsv;
+  if (wire_ != WireFormat::kV2) {
+    wire_ = WireFormat::kV2;
+    // The preamble enters the send buffer like any payload, so it is the
+    // first bytes on the wire and survives a pre-flush reconnect.
+    AppendV2Preamble(&buffer_);
+  }
+  return WireFormat::kV2;
 }
 
 Status TcpSink::DeliverSerialized(std::string_view lines, size_t count) {
@@ -203,6 +222,10 @@ Status TcpSink::DeliverSerialized(std::string_view lines, size_t count) {
 
 Status TcpSink::Finish() {
   if (fd_ < 0) return Status::OK();
+  if (wire_ == WireFormat::kV2 && !sentinel_written_) {
+    sentinel_written_ = true;
+    AppendV2SentinelBlock(&buffer_);
+  }
   GT_RETURN_NOT_OK(FlushBuffer());
   ::shutdown(fd_, SHUT_WR);
   ::close(fd_);

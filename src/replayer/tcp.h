@@ -83,11 +83,17 @@ class TcpSink final : public EventSink {
   /// (Sever/Finish/destructor); closing here would race fd reuse.
   void Abort();
 
+  /// Opt-in to v2 wire delivery: a later NegotiateWireFormat(kV2) is
+  /// answered with kV2 (without this call the answer stays kCsv). Call
+  /// before the replayer starts.
+  void EnableV2Wire() { allow_v2_ = true; }
+
   Status Deliver(const Event& event) override;
   /// Appends the pre-serialized batch to the user-space buffer in one go;
   /// flushed on the same 16 KiB threshold as per-event delivery.
   bool SupportsSerialized() const override { return true; }
   Status DeliverSerialized(std::string_view lines, size_t count) override;
+  Result<WireFormat> NegotiateWireFormat(WireFormat preferred) override;
   Status Finish() override;
   /// Drains the user-space buffer into the socket (checkpoint boundary).
   Status Flush() override { return FlushBuffer(); }
@@ -114,6 +120,10 @@ class TcpSink final : public EventSink {
   bool ever_connected_ = false;
   uint64_t reconnects_ = 0;
   std::string buffer_;
+  bool allow_v2_ = false;
+  WireFormat wire_ = WireFormat::kCsv;
+  bool sentinel_written_ = false;
+  V2BlockEncoder v2_encoder_;  // per-event fallback when wire_ is kV2
   /// Payload bytes pushed into the socket (counted at flush).
   std::atomic<uint64_t> bytes_{0};
   /// Flush threshold; one syscall per ~16 KiB rather than per event.

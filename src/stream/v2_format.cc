@@ -1,0 +1,350 @@
+#include "stream/v2_format.h"
+
+#include <bit>
+#include <cmath>
+#include <cstdio>
+#include <cstring>
+#include <limits>
+
+#include "common/crc32.h"
+
+namespace graphtides {
+
+namespace {
+
+// The largest pause (in ms) whose nanosecond count fits a Duration.
+constexpr uint64_t kMaxPauseMillis =
+    static_cast<uint64_t>(std::numeric_limits<int64_t>::max() / 1000000);
+
+void AppendU32(uint32_t v, std::string* out) {
+  char buf[4];
+  buf[0] = static_cast<char>(v & 0xFFu);
+  buf[1] = static_cast<char>((v >> 8) & 0xFFu);
+  buf[2] = static_cast<char>((v >> 16) & 0xFFu);
+  buf[3] = static_cast<char>(v >> 24);
+  out->append(buf, 4);
+}
+
+void AppendU64(uint64_t v, std::string* out) {
+  AppendU32(static_cast<uint32_t>(v), out);
+  AppendU32(static_cast<uint32_t>(v >> 32), out);
+}
+
+// memcpy-free byte composition: endian-independent, no alignment
+// requirement (block bodies start at arbitrary offsets), and the
+// compiler collapses it into a single load on little-endian targets —
+// the "bounds-checked pointer cast" of the hot path.
+uint32_t LoadU32(const unsigned char* p) {
+  return static_cast<uint32_t>(p[0]) | static_cast<uint32_t>(p[1]) << 8 |
+         static_cast<uint32_t>(p[2]) << 16 | static_cast<uint32_t>(p[3]) << 24;
+}
+
+uint64_t LoadU64(const unsigned char* p) {
+  return static_cast<uint64_t>(LoadU32(p)) |
+         static_cast<uint64_t>(LoadU32(p + 4)) << 32;
+}
+
+// "BLK2" as a little-endian u32.
+constexpr uint32_t kV2BlockMagic = 0x324B4C42u;
+
+/// True for types whose CSV rendering carries the payload field; all
+/// others must encode (0, 0).
+bool TypeHasPayload(EventType type) {
+  switch (type) {
+    case EventType::kAddVertex:
+    case EventType::kUpdateVertex:
+    case EventType::kAddEdge:
+    case EventType::kUpdateEdge:
+    case EventType::kMarker:
+      return true;
+    default:
+      return false;
+  }
+}
+
+void AppendBlockHeader(uint32_t flags, uint32_t record_count,
+                       uint32_t payload_bytes, uint32_t body_crc,
+                       std::string* out) {
+  const size_t start = out->size();
+  AppendU32(kV2BlockMagic, out);
+  AppendU32(flags, out);
+  AppendU32(record_count, out);
+  AppendU32(payload_bytes, out);
+  AppendU32(body_crc, out);
+  AppendU32(Crc32c(std::string_view(out->data() + start, 20)), out);
+}
+
+}  // namespace
+
+std::string_view StreamFormatName(StreamFormat format) {
+  return format == StreamFormat::kV2 ? "v2" : "csv";
+}
+
+void AppendV2Preamble(std::string* out) {
+  out->append(kV2Magic, sizeof(kV2Magic));
+  AppendU32(kV2Version, out);
+  AppendU32(0, out);  // preamble flags, reserved
+}
+
+Status CheckV2Preamble(std::string_view preamble) {
+  if (preamble.size() < kV2PreambleBytes) {
+    return Status::ParseError("truncated v2 preamble (" +
+                              std::to_string(preamble.size()) + " of " +
+                              std::to_string(kV2PreambleBytes) + " bytes)");
+  }
+  if (std::memcmp(preamble.data(), kV2Magic, sizeof(kV2Magic)) != 0) {
+    return Status::ParseError("bad v2 magic");
+  }
+  const unsigned char* p =
+      reinterpret_cast<const unsigned char*>(preamble.data());
+  const uint32_t version = LoadU32(p + 8);
+  if (version != kV2Version) {
+    return Status::ParseError("unsupported v2 version " +
+                              std::to_string(version));
+  }
+  if (const uint32_t flags = LoadU32(p + 12); flags != 0) {
+    return Status::ParseError("unsupported v2 preamble flags " +
+                              std::to_string(flags));
+  }
+  return Status::OK();
+}
+
+Result<V2BlockHeader> ParseV2BlockHeader(std::string_view header) {
+  if (header.size() < kV2BlockHeaderBytes) {
+    return Status::ParseError("truncated v2 block header (" +
+                              std::to_string(header.size()) + " of " +
+                              std::to_string(kV2BlockHeaderBytes) + " bytes)");
+  }
+  const unsigned char* p =
+      reinterpret_cast<const unsigned char*>(header.data());
+  if (LoadU32(p) != kV2BlockMagic) {
+    return Status::ParseError("bad v2 block magic");
+  }
+  const uint32_t header_crc = LoadU32(p + 20);
+  if (Crc32c(header.substr(0, 20)) != header_crc) {
+    return Status::ParseError("v2 block header CRC mismatch");
+  }
+  V2BlockHeader h;
+  h.flags = LoadU32(p + 4);
+  h.record_count = LoadU32(p + 8);
+  h.payload_bytes = LoadU32(p + 12);
+  h.body_crc = LoadU32(p + 16);
+  if ((h.flags & ~kV2BlockFlagEnd) != 0) {
+    return Status::ParseError("unsupported v2 block flags " +
+                              std::to_string(h.flags));
+  }
+  if (h.record_count > kV2MaxBlockRecords) {
+    return Status::ParseError("v2 block record count " +
+                              std::to_string(h.record_count) +
+                              " exceeds the format cap");
+  }
+  if (h.payload_bytes > kV2MaxBlockPayloadBytes) {
+    return Status::ParseError("v2 block trailer of " +
+                              std::to_string(h.payload_bytes) +
+                              " bytes exceeds the format cap");
+  }
+  if (h.end_of_stream() && (h.record_count != 0 || h.payload_bytes != 0)) {
+    return Status::ParseError("v2 end-of-stream block must be empty");
+  }
+  if (!h.end_of_stream() && h.record_count == 0) {
+    return Status::ParseError("empty v2 data block");
+  }
+  return h;
+}
+
+Status CheckV2BlockBody(const V2BlockHeader& header, std::string_view body) {
+  if (body.size() != header.body_bytes()) {
+    return Status::ParseError(
+        "truncated v2 block body (" + std::to_string(body.size()) + " of " +
+        std::to_string(header.body_bytes()) + " bytes)");
+  }
+  if (Crc32c(body) != header.body_crc) {
+    return Status::ParseError("v2 block body CRC mismatch");
+  }
+  return Status::OK();
+}
+
+Result<EventView> DecodeV2Record(std::string_view record,
+                                 std::string_view trailer) {
+  if (record.size() != kV2RecordBytes) {
+    return Status::ParseError("v2 record must be " +
+                              std::to_string(kV2RecordBytes) + " bytes, got " +
+                              std::to_string(record.size()));
+  }
+  const unsigned char* p =
+      reinterpret_cast<const unsigned char*>(record.data());
+  const uint8_t type_byte = p[0];
+  if (type_byte > static_cast<uint8_t>(EventType::kPause)) {
+    return Status::ParseError("unknown v2 event type " +
+                              std::to_string(type_byte));
+  }
+  if ((p[1] | p[2] | p[3]) != 0) {
+    return Status::ParseError("nonzero reserved bytes in v2 record");
+  }
+  const uint64_t len = LoadU32(p + 4);
+  const uint64_t off = LoadU64(p + 8);
+  const uint64_t a = LoadU64(p + 16);
+  const uint64_t b = LoadU64(p + 24);
+  // Bounds before anything dereferences the trailer; written to be
+  // overflow-proof for any off/len combination.
+  if (off > trailer.size() || len > trailer.size() - off) {
+    return Status::ParseError("v2 payload reference out of trailer bounds");
+  }
+  EventView v;
+  v.type = static_cast<EventType>(type_byte);
+  if (!TypeHasPayload(v.type) && (len != 0 || off != 0)) {
+    return Status::ParseError("v2 payload on a payload-free event type");
+  }
+  if (TypeHasPayload(v.type)) {
+    v.payload = trailer.substr(static_cast<size_t>(off),
+                               static_cast<size_t>(len));
+  }
+  switch (v.type) {
+    case EventType::kAddVertex:
+    case EventType::kUpdateVertex:
+    case EventType::kRemoveVertex:
+      if (b != 0) return Status::ParseError("nonzero b field on a vertex op");
+      v.vertex = a;
+      break;
+    case EventType::kAddEdge:
+    case EventType::kUpdateEdge:
+    case EventType::kRemoveEdge:
+      v.edge = {a, b};
+      break;
+    case EventType::kMarker:
+      if (a != 0 || b != 0) {
+        return Status::ParseError("nonzero id fields on a marker");
+      }
+      break;
+    case EventType::kSetRate: {
+      if (b != 0) return Status::ParseError("nonzero b field on SET_RATE");
+      const double factor = std::bit_cast<double>(a);
+      if (!std::isfinite(factor) || factor <= 0.0) {
+        return Status::ParseError("rate factor must be positive");
+      }
+      v.rate_factor = factor;
+      break;
+    }
+    case EventType::kPause:
+      if (b != 0) return Status::ParseError("nonzero b field on PAUSE");
+      if (a > kMaxPauseMillis) {
+        return Status::ParseError("pause of " + std::to_string(a) +
+                                  " ms overflows");
+      }
+      v.pause = Duration::FromMillis(static_cast<int64_t>(a));
+      break;
+  }
+  return v;
+}
+
+void AppendV2SentinelBlock(std::string* out) {
+  AppendBlockHeader(kV2BlockFlagEnd, 0, 0, Crc32c(""), out);
+}
+
+void V2BlockEncoder::Add(EventType type, VertexId vertex, const EdgeId& edge,
+                         std::string_view payload, double rate_factor,
+                         Duration pause) {
+  uint64_t off = 0;
+  uint32_t len = 0;
+  if (TypeHasPayload(type) && !payload.empty()) {
+    off = InternPayload(payload);
+    len = static_cast<uint32_t>(payload.size());
+  }
+  uint64_t a = 0;
+  uint64_t b = 0;
+  switch (type) {
+    case EventType::kAddVertex:
+    case EventType::kUpdateVertex:
+    case EventType::kRemoveVertex:
+      a = vertex;
+      break;
+    case EventType::kAddEdge:
+    case EventType::kUpdateEdge:
+    case EventType::kRemoveEdge:
+      a = edge.src;
+      b = edge.dst;
+      break;
+    case EventType::kMarker:
+      break;
+    case EventType::kSetRate:
+      a = std::bit_cast<uint64_t>(rate_factor);
+      break;
+    case EventType::kPause:
+      a = static_cast<uint64_t>(pause.millis());
+      break;
+  }
+  records_.push_back(static_cast<char>(type));
+  records_.append(3, '\0');
+  AppendU32(len, &records_);
+  AppendU64(off, &records_);
+  AppendU64(a, &records_);
+  AppendU64(b, &records_);
+  ++count_;
+}
+
+uint64_t V2BlockEncoder::InternPayload(std::string_view payload) {
+  // FNV-1a over 8-byte words: ~4 multiplies for a typical payload, fast
+  // enough to sit on the encode hot path.
+  uint64_t h = 0xcbf29ce484222325ull ^ payload.size();
+  size_t i = 0;
+  for (; i + 8 <= payload.size(); i += 8) {
+    uint64_t w;
+    std::memcpy(&w, payload.data() + i, 8);
+    h = (h ^ w) * 0x100000001b3ull;
+    h ^= h >> 29;
+  }
+  if (i < payload.size()) {
+    uint64_t w = 0;
+    std::memcpy(&w, payload.data() + i, payload.size() - i);
+    h = (h ^ w) * 0x100000001b3ull;
+    h ^= h >> 29;
+  }
+  InternSlot& slot = intern_[h & (kInternSlots - 1)];
+  if (slot.hash == h && slot.len == payload.size() &&
+      std::memcmp(trailer_.data() + slot.off, payload.data(),
+                  payload.size()) == 0) {
+    return slot.off;
+  }
+  const uint64_t off = trailer_.size();
+  trailer_.append(payload);
+  slot.hash = h;
+  slot.off = off;
+  slot.len = static_cast<uint32_t>(payload.size());
+  return off;
+}
+
+void V2BlockEncoder::SealTo(std::string* out) {
+  if (count_ == 0) return;
+  const uint32_t body_crc = Crc32cUpdate(Crc32c(records_), trailer_);
+  AppendBlockHeader(0, static_cast<uint32_t>(count_),
+                    static_cast<uint32_t>(trailer_.size()), body_crc, out);
+  out->append(records_);
+  out->append(trailer_);
+  Reset();
+}
+
+void V2BlockEncoder::Reset() {
+  records_.clear();
+  trailer_.clear();
+  count_ = 0;
+  // Slot offsets point into the cleared trailer; zero them all (a 16 KiB
+  // memset amortized over a sealed block's records).
+  intern_.fill(InternSlot{});
+}
+
+Result<StreamFormat> DetectStreamFormat(const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) {
+    return Status::IoError("cannot open " + path);
+  }
+  char magic[sizeof(kV2Magic)];
+  const size_t got = std::fread(magic, 1, sizeof(magic), f);
+  std::fclose(f);
+  if (got == sizeof(magic) &&
+      std::memcmp(magic, kV2Magic, sizeof(kV2Magic)) == 0) {
+    return StreamFormat::kV2;
+  }
+  return StreamFormat::kCsv;
+}
+
+}  // namespace graphtides

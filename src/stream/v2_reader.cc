@@ -1,0 +1,190 @@
+#include "stream/v2_reader.h"
+
+#include <fcntl.h>
+#include <sys/mman.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+#include "stream/stream_file.h"
+
+namespace graphtides {
+
+namespace {
+
+Status MissingSentinel() {
+  return Status::ParseError(
+      "truncated v2 stream: missing end-of-stream block");
+}
+
+}  // namespace
+
+V2StreamReader::~V2StreamReader() { CloseFile(); }
+
+void V2StreamReader::CloseFile() {
+  if (map_ != nullptr) {
+    ::munmap(const_cast<char*>(map_), map_size_);
+    map_ = nullptr;
+    map_size_ = 0;
+  }
+  if (file_ != nullptr) {
+    std::fclose(file_);
+    file_ = nullptr;
+  }
+}
+
+Status V2StreamReader::Open(const std::string& path) {
+  if (opened_) return Status::Internal("reader already open");
+  if (options_.use_mmap) {
+    const int fd = ::open(path.c_str(), O_RDONLY);
+    if (fd < 0) {
+      return Status::IoError("cannot open " + path + ": " +
+                             std::strerror(errno));
+    }
+    struct stat st;
+    if (::fstat(fd, &st) != 0) {
+      const int err = errno;
+      ::close(fd);
+      return Status::IoError("cannot stat " + path + ": " +
+                             std::strerror(err));
+    }
+    map_size_ = static_cast<size_t>(st.st_size);
+    if (map_size_ < kV2PreambleBytes) {
+      ::close(fd);
+      return Status::ParseError("truncated v2 preamble (" +
+                                std::to_string(map_size_) + " of " +
+                                std::to_string(kV2PreambleBytes) + " bytes)");
+    }
+    void* map = ::mmap(nullptr, map_size_, PROT_READ, MAP_PRIVATE, fd, 0);
+    // The descriptor is not needed once the mapping exists.
+    ::close(fd);
+    if (map == MAP_FAILED) {
+      map_size_ = 0;
+      return Status::IoError("cannot mmap " + path + ": " +
+                             std::strerror(errno));
+    }
+    map_ = static_cast<const char*>(map);
+    const Status preamble =
+        CheckV2Preamble(std::string_view(map_, kV2PreambleBytes));
+    if (!preamble.ok()) {
+      CloseFile();
+      return preamble;
+    }
+    pos_ = kV2PreambleBytes;
+  } else {
+    file_ = std::fopen(path.c_str(), "rb");
+    if (file_ == nullptr) {
+      return Status::IoError("cannot open " + path + ": " +
+                             std::strerror(errno));
+    }
+    char preamble[kV2PreambleBytes];
+    const size_t got = std::fread(preamble, 1, sizeof(preamble), file_);
+    const Status st =
+        CheckV2Preamble(std::string_view(preamble, got));
+    if (!st.ok()) {
+      CloseFile();
+      return st;
+    }
+  }
+  opened_ = true;
+  return Status::OK();
+}
+
+Status V2StreamReader::LoadNextBlock() {
+  std::string_view header;
+  char header_buf[kV2BlockHeaderBytes];
+  if (options_.use_mmap) {
+    const size_t remaining = map_size_ - pos_;
+    if (remaining == 0) return MissingSentinel();
+    header = std::string_view(map_ + pos_,
+                              std::min(remaining, kV2BlockHeaderBytes));
+  } else {
+    const size_t got =
+        std::fread(header_buf, 1, sizeof(header_buf), file_);
+    if (got == 0 && std::feof(file_)) return MissingSentinel();
+    if (got < sizeof(header_buf) && std::ferror(file_)) {
+      return Status::IoError("read failed: " +
+                             std::string(std::strerror(errno)));
+    }
+    header = std::string_view(header_buf, got);
+  }
+  GT_ASSIGN_OR_RETURN(const V2BlockHeader h, ParseV2BlockHeader(header));
+  if (h.end_of_stream()) {
+    // The sentinel must be the final bytes of the stream: anything after
+    // it is corruption, not more events.
+    if (options_.use_mmap) {
+      if (pos_ + kV2BlockHeaderBytes != map_size_) {
+        return Status::ParseError("trailing bytes after v2 end-of-stream");
+      }
+    } else {
+      if (std::fgetc(file_) != EOF) {
+        return Status::ParseError("trailing bytes after v2 end-of-stream");
+      }
+    }
+    at_end_ = true;
+    block_records_ = 0;
+    next_record_ = 0;
+    return Status::OK();
+  }
+  const size_t body_bytes = h.body_bytes();
+  std::string_view body;
+  if (options_.use_mmap) {
+    pos_ += kV2BlockHeaderBytes;
+    body = std::string_view(map_ + pos_,
+                            std::min(map_size_ - pos_, body_bytes));
+    pos_ += body.size();
+  } else {
+    block_buf_.resize(body_bytes);
+    const size_t got = std::fread(block_buf_.data(), 1, body_bytes, file_);
+    if (got < body_bytes && std::ferror(file_)) {
+      return Status::IoError("read failed: " +
+                             std::string(std::strerror(errno)));
+    }
+    body = std::string_view(block_buf_.data(), got);
+  }
+  GT_RETURN_NOT_OK(CheckV2BlockBody(h, body));
+  records_ = body.substr(0, h.record_count * kV2RecordBytes);
+  trailer_ = body.substr(h.record_count * kV2RecordBytes);
+  block_records_ = h.record_count;
+  next_record_ = 0;
+  return Status::OK();
+}
+
+Result<std::optional<EventView>> V2StreamReader::Next() {
+  if (!opened_) return Status::Internal("reader is not open");
+  while (next_record_ >= block_records_) {
+    if (at_end_) return std::optional<EventView>(std::nullopt);
+    GT_RETURN_NOT_OK(LoadNextBlock());
+  }
+  const std::string_view record =
+      records_.substr(next_record_ * kV2RecordBytes, kV2RecordBytes);
+  ++next_record_;
+  ++record_number_;
+  Result<EventView> view = DecodeV2Record(record, trailer_);
+  if (!view.ok()) {
+    return view.status().WithContext("record " +
+                                     std::to_string(record_number_));
+  }
+  return std::optional<EventView>(*view);
+}
+
+Result<std::vector<Event>> ReadV2StreamFile(const std::string& path) {
+  V2StreamReader reader;
+  GT_RETURN_NOT_OK(reader.Open(path));
+  std::vector<Event> events;
+  while (true) {
+    GT_ASSIGN_OR_RETURN(const std::optional<EventView> view, reader.Next());
+    if (!view.has_value()) return events;
+    events.push_back(view->Materialize());
+  }
+}
+
+Result<std::vector<Event>> ReadStreamFileAnyFormat(const std::string& path) {
+  GT_ASSIGN_OR_RETURN(const StreamFormat format, DetectStreamFormat(path));
+  if (format == StreamFormat::kV2) return ReadV2StreamFile(path);
+  return ReadStreamFile(path);
+}
+
+}  // namespace graphtides

@@ -1,0 +1,98 @@
+#include "stream/v2_writer.h"
+
+#include <cerrno>
+#include <cstring>
+
+namespace graphtides {
+
+V2FileWriter::~V2FileWriter() {
+  if (out_ != nullptr && owns_file_) std::fclose(out_);
+}
+
+Status V2FileWriter::Open(const std::string& path) {
+  if (out_ != nullptr) return Status::Internal("writer already open");
+  out_ = std::fopen(path.c_str(), "wb");
+  if (out_ == nullptr) {
+    return Status::IoError("cannot create " + path + ": " +
+                           std::strerror(errno));
+  }
+  owns_file_ = true;
+  block_buf_.clear();
+  AppendV2Preamble(&block_buf_);
+  return WriteSealed();
+}
+
+Status V2FileWriter::Attach(std::FILE* out) {
+  if (out_ != nullptr) return Status::Internal("writer already open");
+  if (out == nullptr) return Status::InvalidArgument("null output stream");
+  out_ = out;
+  owns_file_ = false;
+  block_buf_.clear();
+  AppendV2Preamble(&block_buf_);
+  return WriteSealed();
+}
+
+Status V2FileWriter::WriteSealed() {
+  if (block_buf_.empty()) return Status::OK();
+  const size_t wrote = std::fwrite(block_buf_.data(), 1, block_buf_.size(),
+                                   out_);
+  bytes_written_ += wrote;
+  if (wrote != block_buf_.size()) {
+    return Status::IoError("short write to v2 stream");
+  }
+  block_buf_.clear();
+  return Status::OK();
+}
+
+Status V2FileWriter::Append(const Event& event) {
+  return AppendFields(event.type, event.vertex, event.edge, event.payload,
+                      event.rate_factor, event.pause);
+}
+
+Status V2FileWriter::AppendFields(EventType type, VertexId vertex,
+                                  const EdgeId& edge, std::string_view payload,
+                                  double rate_factor, Duration pause) {
+  if (out_ == nullptr || finished_) {
+    return Status::Internal("v2 writer is not open");
+  }
+  encoder_.Add(type, vertex, edge, payload, rate_factor, pause);
+  ++events_written_;
+  if (encoder_.Full()) {
+    encoder_.SealTo(&block_buf_);
+    return WriteSealed();
+  }
+  return Status::OK();
+}
+
+Status V2FileWriter::Finish() {
+  if (finished_) return Status::OK();
+  if (out_ == nullptr) return Status::Internal("v2 writer is not open");
+  finished_ = true;
+  encoder_.SealTo(&block_buf_);
+  AppendV2SentinelBlock(&block_buf_);
+  GT_RETURN_NOT_OK(WriteSealed());
+  if (std::fflush(out_) != 0) {
+    return Status::IoError("flush failed: " + std::string(std::strerror(errno)));
+  }
+  if (owns_file_) {
+    const int rc = std::fclose(out_);
+    out_ = nullptr;
+    if (rc != 0) {
+      return Status::IoError("close failed: " +
+                             std::string(std::strerror(errno)));
+    }
+  }
+  return Status::OK();
+}
+
+Status WriteV2StreamFile(const std::string& path,
+                         const std::vector<Event>& events) {
+  V2FileWriter writer;
+  GT_RETURN_NOT_OK(writer.Open(path));
+  for (const Event& event : events) {
+    GT_RETURN_NOT_OK(writer.Append(event));
+  }
+  return writer.Finish();
+}
+
+}  // namespace graphtides

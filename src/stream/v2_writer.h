@@ -1,0 +1,73 @@
+// Writing gt-stream-v2 files (stream/v2_format.h): events accumulate in a
+// V2BlockEncoder and each sealed block is issued as a single fwrite, so
+// writing is buffered, bounded-memory and deterministic — the same event
+// sequence always yields the same file bytes.
+#ifndef GRAPHTIDES_STREAM_V2_WRITER_H_
+#define GRAPHTIDES_STREAM_V2_WRITER_H_
+
+#include <cstdint>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "stream/event.h"
+#include "stream/v2_format.h"
+
+namespace graphtides {
+
+/// \brief Sequential writer producing a gt-stream-v2 file.
+///
+/// Open(path) owns the FILE and closes it in Finish(); Attach(out) borrows
+/// a stream (e.g. stdout) and only flushes it. Finish() MUST be called for
+/// the file to be complete: it seals the partial block and writes the
+/// mandatory end-of-stream sentinel — a file missing it is rejected as
+/// truncated by every v2 reader.
+class V2FileWriter {
+ public:
+  V2FileWriter() = default;
+  ~V2FileWriter();
+
+  V2FileWriter(const V2FileWriter&) = delete;
+  V2FileWriter& operator=(const V2FileWriter&) = delete;
+
+  /// Creates/truncates `path` and writes the preamble.
+  Status Open(const std::string& path);
+
+  /// Borrows an open stream and writes the preamble.
+  Status Attach(std::FILE* out);
+
+  Status Append(const Event& event);
+  /// Field-level append mirroring event_internal::AppendEventFields — the
+  /// allocation-free path for callers holding borrowed views.
+  Status AppendFields(EventType type, VertexId vertex, const EdgeId& edge,
+                      std::string_view payload, double rate_factor,
+                      Duration pause);
+
+  /// Seals the partial block, writes the sentinel, flushes, and closes the
+  /// FILE when owned. Idempotent; further Appends fail.
+  Status Finish();
+
+  uint64_t events_written() const { return events_written_; }
+  /// Bytes handed to fwrite so far (exact after Finish()).
+  uint64_t bytes_written() const { return bytes_written_; }
+
+ private:
+  Status WriteSealed();
+
+  std::FILE* out_ = nullptr;
+  bool owns_file_ = false;
+  bool finished_ = false;
+  V2BlockEncoder encoder_;
+  std::string block_buf_;  // reused across seals
+  uint64_t events_written_ = 0;
+  uint64_t bytes_written_ = 0;
+};
+
+/// Writes `events` to `path` as a v2 stream, replacing any existing file.
+Status WriteV2StreamFile(const std::string& path,
+                         const std::vector<Event>& events);
+
+}  // namespace graphtides
+
+#endif  // GRAPHTIDES_STREAM_V2_WRITER_H_

@@ -5,6 +5,7 @@
 
 #include <chrono>
 #include <filesystem>
+#include <fstream>
 #include <memory>
 #include <string>
 #include <thread>
@@ -468,6 +469,118 @@ TEST_F(CheckpointTest, ShardedPeriodicCheckpointsAreQuiescedAndFinal) {
   ASSERT_TRUE(cp.ok());
   EXPECT_EQ(cp->events_delivered, 2000u);
   EXPECT_EQ(cp->entries_consumed, stats->aggregate.entries_consumed);
+}
+
+// ---------------------------------------------------------------------------
+// Generation-rotation boundaries. The randomized torn/corrupt fallback
+// sweeps live in checkpoint_fuzz_test.cc; these pin the exact edges: the
+// very first save into an empty store, saving at exactly the configured
+// generation count, and a middle generation that exists but cannot be
+// read at all (as opposed to parsing badly).
+// ---------------------------------------------------------------------------
+
+TEST_F(CheckpointTest, FirstSaveIntoEmptyStoreCreatesOnlyGenerationZero) {
+  const std::string base = Path("gen_first");
+  CheckpointStore store({base, /*generations=*/3});
+  ReplayCheckpoint cp = SampleCheckpoint();
+  ASSERT_TRUE(store.Save(cp).ok());
+
+  // Rotating zero prior generations must not conjure phantom slots.
+  EXPECT_TRUE(std::filesystem::exists(CheckpointStore::GenerationPath(base, 0)));
+  EXPECT_FALSE(
+      std::filesystem::exists(CheckpointStore::GenerationPath(base, 1)));
+  EXPECT_FALSE(
+      std::filesystem::exists(CheckpointStore::GenerationPath(base, 2)));
+
+  auto loaded = CheckpointStore::LoadLatestGood(base);
+  ASSERT_TRUE(loaded.ok()) << loaded.status();
+  EXPECT_EQ(loaded->checkpoint, cp);
+  EXPECT_EQ(loaded->generation, 0u);
+  EXPECT_EQ(loaded->fallbacks, 0u);
+  EXPECT_TRUE(loaded->rejected.empty());
+}
+
+TEST_F(CheckpointTest, SingleGenerationStoreOverwritesInPlace) {
+  const std::string base = Path("gen_single");
+  CheckpointStore store({base, /*generations=*/1});
+  for (const uint64_t n : {100u, 200u, 300u}) {
+    ReplayCheckpoint cp;
+    cp.entries_consumed = n;
+    ASSERT_TRUE(store.Save(cp).ok());
+  }
+  // Classic single-file behavior: no ".1" sibling ever appears.
+  EXPECT_FALSE(
+      std::filesystem::exists(CheckpointStore::GenerationPath(base, 1)));
+  auto loaded = CheckpointStore::LoadLatestGood(base);
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_EQ(loaded->checkpoint.entries_consumed, 300u);
+}
+
+TEST_F(CheckpointTest, RotationAtExactlyMaxGenerationsDropsOldest) {
+  const std::string base = Path("gen_max");
+  CheckpointStore store({base, /*generations=*/3});
+  auto save = [&](uint64_t n) {
+    ReplayCheckpoint cp;
+    cp.entries_consumed = n;
+    ASSERT_TRUE(store.Save(cp).ok());
+  };
+  auto slot = [&](size_t g) {
+    auto cp = ReplayCheckpoint::LoadFrom(CheckpointStore::GenerationPath(base, g));
+    EXPECT_TRUE(cp.ok()) << "generation " << g << ": " << cp.status();
+    return cp.ok() ? cp->entries_consumed : 0u;
+  };
+
+  // The third save fills the store to exactly its configured capacity.
+  save(100);
+  save(200);
+  save(300);
+  EXPECT_EQ(slot(0), 300u);
+  EXPECT_EQ(slot(1), 200u);
+  EXPECT_EQ(slot(2), 100u);
+  EXPECT_FALSE(
+      std::filesystem::exists(CheckpointStore::GenerationPath(base, 3)));
+
+  // The save after the boundary discards the oldest; capacity never grows.
+  save(400);
+  EXPECT_EQ(slot(0), 400u);
+  EXPECT_EQ(slot(1), 300u);
+  EXPECT_EQ(slot(2), 200u);
+  EXPECT_FALSE(
+      std::filesystem::exists(CheckpointStore::GenerationPath(base, 3)));
+}
+
+TEST_F(CheckpointTest, UnreadableMiddleGenerationFallsBackToOlder) {
+  const std::string base = Path("gen_unreadable");
+  CheckpointStore store({base, /*generations=*/3});
+  ReplayCheckpoint oldest;
+  oldest.entries_consumed = 100;
+  ReplayCheckpoint middle;
+  middle.entries_consumed = 200;
+  ReplayCheckpoint newest;
+  newest.entries_consumed = 300;
+  ASSERT_TRUE(store.Save(oldest).ok());
+  ASSERT_TRUE(store.Save(middle).ok());
+  ASSERT_TRUE(store.Save(newest).ok());
+
+  // Generation 0 is torn; generation 1 exists but cannot be read (a
+  // directory stands in for an unreadable file — permission bits are no
+  // barrier when tests run as root). The loader must fall back past BOTH
+  // failure kinds to the intact generation 2.
+  {
+    std::ofstream torn(CheckpointStore::GenerationPath(base, 0),
+                       std::ios::binary | std::ios::trunc);
+    torn << "# graphtides replay checkpoint\nversion=2\nentries_cons";
+  }
+  const std::string mid_path = CheckpointStore::GenerationPath(base, 1);
+  std::filesystem::remove(mid_path);
+  std::filesystem::create_directory(mid_path);
+
+  auto loaded = CheckpointStore::LoadLatestGood(base);
+  ASSERT_TRUE(loaded.ok()) << loaded.status();
+  EXPECT_EQ(loaded->checkpoint.entries_consumed, 100u);
+  EXPECT_EQ(loaded->generation, 2u);
+  EXPECT_EQ(loaded->fallbacks, 2u);
+  EXPECT_EQ(loaded->rejected.size(), 2u);
 }
 
 TEST_F(CheckpointTest, ShardedCheckpointRecordsMidStreamRateFactor) {

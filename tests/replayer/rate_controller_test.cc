@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include "common/random.h"
+
 namespace graphtides {
 namespace {
 
@@ -135,6 +137,112 @@ TEST(RateControllerTest, WaitNeverReturnsEarly) {
     const Timestamp deadline = rate.WaitForNextSlot();
     EXPECT_GE(clock.Now(), deadline);
   }
+}
+
+// ---------------------------------------------------------------------------
+// Clock-jump properties. The schedule is anchor + k*interval, consulted
+// against the clock only inside the wait loop — so a clock that leaps
+// forward must cause bounded catch-up (not drift), and one that leaps
+// backward must cause a longer wait (never a livelock, never a deadline
+// that recedes, never a "negative sleep" where the controller tries to
+// schedule into the past).
+// ---------------------------------------------------------------------------
+
+// A settable clock for jump tests. Each Now() also ticks time forward a
+// little, the way a real clock advances while the wait loop polls it —
+// without the tick, WaitForNextSlot against a frozen clock would spin
+// forever after a backward jump.
+class JumpClock final : public Clock {
+ public:
+  explicit JumpClock(Duration tick) : tick_(tick) {}
+
+  Timestamp Now() const override {
+    now_ = now_ + tick_;
+    ++reads_;
+    return now_;
+  }
+
+  /// Moves the clock by `d`, forward or backward.
+  void Jump(Duration d) { now_ = now_ + d; }
+  uint64_t reads() const { return reads_; }
+
+ private:
+  Duration tick_;
+  mutable Timestamp now_;
+  mutable uint64_t reads_ = 0;
+};
+
+TEST(RateControllerTest, ForwardClockJumpCatchesUpWithoutScheduleDrift) {
+  JumpClock clock(Duration::FromNanos(200));
+  RateController rate(100000.0, &clock);  // 10 us interval
+  const Timestamp first = rate.WaitForNextSlot();
+
+  Timestamp prev = first;
+  for (int i = 1; i <= 200; ++i) {
+    if (i == 50) clock.Jump(Duration::FromSeconds(5.0));
+    const Timestamp deadline = rate.WaitForNextSlot();
+    // Deadlines never recede, and the slot spacing stays exactly one
+    // interval: the jump makes the controller late, not the schedule fast.
+    EXPECT_GE(deadline, prev) << "slot " << i;
+    prev = deadline;
+    EXPECT_NEAR(static_cast<double>((deadline - first).nanos()),
+                i * 10000.0, 1.0)
+        << "slot " << i;
+  }
+
+  // Catch-up after the jump is immediate: a deadline already in the past
+  // needs exactly one clock read to release, no sleeping toward it.
+  const uint64_t before = clock.reads();
+  rate.WaitForNextSlot();
+  EXPECT_LE(clock.reads() - before, 2u);
+}
+
+TEST(RateControllerTest, BackwardClockJumpWaitsLongerButNeverLivelocks) {
+  JumpClock clock(Duration::FromMicros(1));
+  RateController rate(1000.0, &clock);  // 1 ms interval
+  const Timestamp first = rate.WaitForNextSlot();
+  rate.WaitForNextSlot();
+
+  // The clock leaps 5 ms into the past; the next deadline is now ~7 ms of
+  // clock-reads away. The wait must cover the gap by polling forward —
+  // if the controller instead recomputed the schedule from Now() or
+  // attempted a negative sleep, the spacing or ordering would break.
+  clock.Jump(Duration::FromMillis(-5));
+  const Timestamp third = rate.WaitForNextSlot();
+  EXPECT_NEAR(static_cast<double>((third - first).nanos()), 2.0e6, 1.0);
+
+  Timestamp prev = third;
+  for (int i = 3; i <= 10; ++i) {
+    const Timestamp deadline = rate.WaitForNextSlot();
+    EXPECT_GE(deadline, prev);
+    EXPECT_GE(clock.Now(), deadline);  // released at/after its slot
+    prev = deadline;
+  }
+  // Slots 0..10 released: ten intervals separate the last from the first.
+  EXPECT_NEAR(static_cast<double>((prev - first).nanos()), 10.0e6, 1.0);
+}
+
+TEST(RateControllerTest, RandomJumpSequencePreservesExactScheduleSpan) {
+  // Property sweep: whatever sequence of forward/backward leaps the clock
+  // takes between slots, the emitted schedule stays anchor + k*interval —
+  // monotone, no cumulative drift, span independent of every jump.
+  Rng rng(42);
+  VirtualClock clock;
+  clock.Advance(Duration::FromSeconds(1.0));
+  RateController rate(250000.0, &clock);  // 4 us interval
+  const Timestamp first = rate.NextDeadline();
+
+  Timestamp prev = first;
+  for (int i = 1; i <= 5000; ++i) {
+    // Jumps up to ±1 ms between slots (250x the interval).
+    const int64_t jump_nanos =
+        static_cast<int64_t>(rng.NextU64() % 2000001) - 1000000;
+    clock.Advance(Duration::FromNanos(jump_nanos));
+    const Timestamp deadline = rate.NextDeadline();
+    ASSERT_GE(deadline, prev) << "slot " << i;
+    prev = deadline;
+  }
+  EXPECT_NEAR(static_cast<double>((prev - first).nanos()), 5000 * 4000.0, 1.0);
 }
 
 }  // namespace

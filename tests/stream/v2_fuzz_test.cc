@@ -1,0 +1,271 @@
+// gt-stream-v2 conformance, part 2: corruption rejection, proven
+// exhaustively on a small stream — truncation at EVERY byte offset and a
+// flip of EVERY single bit must surface as ParseError (never a crash,
+// never silently-wrong events), in both the mmap and buffered readers.
+// CRC-valid-but-semantically-invalid blocks (undefined flags, cap
+// violations, bad payload bounds, illegal field values) are constructed
+// by hand and must be rejected too: the CRC pass gates framing, the
+// decoder gates meaning.
+#include <gtest/gtest.h>
+#include <unistd.h>
+
+#include <cstdint>
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/crc32.h"
+#include "stream/event.h"
+#include "stream/v2_format.h"
+#include "stream/v2_reader.h"
+#include "stream/v2_writer.h"
+
+namespace graphtides {
+namespace {
+
+class V2FuzzTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = std::filesystem::temp_directory_path() /
+           ("gt_v2_fuzz_" + std::to_string(::getpid()));
+    std::filesystem::create_directories(dir_);
+    path_ = (dir_ / "fuzz.gts2").string();
+  }
+  void TearDown() override { std::filesystem::remove_all(dir_); }
+
+  void WriteBytes(std::string_view bytes) {
+    std::ofstream out(path_, std::ios::binary | std::ios::trunc);
+    out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+    ASSERT_TRUE(out.good());
+  }
+
+  // Reads the file in the given mode; Open errors and Next errors collapse
+  // into one status (corruption can surface at either stage).
+  Status ReadAll(bool use_mmap, std::vector<Event>* out = nullptr) {
+    V2StreamReader reader(V2ReaderOptions{.use_mmap = use_mmap});
+    Status st = reader.Open(path_);
+    if (!st.ok()) return st;
+    for (;;) {
+      auto next = reader.Next();
+      if (!next.ok()) return next.status();
+      if (!next->has_value()) return Status::OK();
+      if (out != nullptr) out->push_back((*next)->Materialize());
+    }
+  }
+
+  std::filesystem::path dir_;
+  std::string path_;
+};
+
+// A small but structurally complete stream: two data blocks (the second
+// forced by sealing mid-stream is not possible through the public writer,
+// so two encoder seals are composed by hand), interned payloads, every
+// field kind, and the sentinel. ~300 bytes, so the exhaustive passes stay
+// fast.
+std::string ValidStream() {
+  std::string bytes;
+  AppendV2Preamble(&bytes);
+  V2BlockEncoder encoder;
+  encoder.Add(EventType::kAddVertex, 1, {}, "alpha", 1.0, Duration::Zero());
+  encoder.Add(EventType::kAddVertex, 2, {}, "alpha", 1.0, Duration::Zero());
+  encoder.Add(EventType::kAddEdge, 0, {1, 2}, "w", 1.0, Duration::Zero());
+  encoder.Add(EventType::kMarker, 0, {}, "M0", 1.0, Duration::Zero());
+  encoder.SealTo(&bytes);
+  encoder.Add(EventType::kSetRate, 0, {}, "", 2.5, Duration::Zero());
+  encoder.Add(EventType::kPause, 0, {}, "", 1.0, Duration::FromMillis(3));
+  encoder.Add(EventType::kRemoveEdge, 0, {1, 2}, "", 1.0, Duration::Zero());
+  encoder.Add(EventType::kRemoveVertex, 2, {}, "", 1.0, Duration::Zero());
+  encoder.SealTo(&bytes);
+  AppendV2SentinelBlock(&bytes);
+  return bytes;
+}
+
+TEST_F(V2FuzzTest, ValidStreamReadsCleanInBothModes) {
+  WriteBytes(ValidStream());
+  for (const bool use_mmap : {true, false}) {
+    std::vector<Event> events;
+    ASSERT_TRUE(ReadAll(use_mmap, &events).ok());
+    ASSERT_EQ(events.size(), 8u);
+    EXPECT_EQ(events[0], Event::AddVertex(1, "alpha"));
+    EXPECT_EQ(events[7], Event::RemoveVertex(2));
+  }
+}
+
+TEST_F(V2FuzzTest, TruncationAtEveryOffsetIsParseError) {
+  const std::string valid = ValidStream();
+  for (size_t len = 0; len < valid.size(); ++len) {
+    WriteBytes(std::string_view(valid).substr(0, len));
+    for (const bool use_mmap : {true, false}) {
+      const Status st = ReadAll(use_mmap);
+      ASSERT_FALSE(st.ok()) << "prefix of " << len << " bytes accepted "
+                            << (use_mmap ? "(mmap)" : "(read)");
+      EXPECT_TRUE(st.IsParseError())
+          << "prefix " << len << ": " << st.ToString();
+    }
+  }
+}
+
+TEST_F(V2FuzzTest, EverySingleBitFlipIsDetected) {
+  const std::string valid = ValidStream();
+  std::string corrupt = valid;
+  for (size_t byte = 0; byte < valid.size(); ++byte) {
+    for (int bit = 0; bit < 8; ++bit) {
+      corrupt[byte] =
+          static_cast<char>(static_cast<unsigned char>(valid[byte]) ^
+                            (1u << bit));
+      WriteBytes(corrupt);
+      const Status st = ReadAll(/*use_mmap=*/true);
+      ASSERT_FALSE(st.ok())
+          << "bit " << bit << " of byte " << byte << " flipped unnoticed";
+      EXPECT_TRUE(st.IsParseError())
+          << "byte " << byte << " bit " << bit << ": " << st.ToString();
+      corrupt[byte] = valid[byte];
+    }
+  }
+}
+
+TEST_F(V2FuzzTest, TrailingBytesAfterSentinelAreParseError) {
+  for (const std::string_view garbage : {"x", "\n", "GTSTRM2\n"}) {
+    WriteBytes(ValidStream() + std::string(garbage));
+    for (const bool use_mmap : {true, false}) {
+      const Status st = ReadAll(use_mmap);
+      ASSERT_FALSE(st.ok());
+      EXPECT_TRUE(st.IsParseError()) << st.ToString();
+    }
+  }
+}
+
+TEST_F(V2FuzzTest, MissingFileIsIoErrorNotParseError) {
+  std::filesystem::remove(path_);
+  for (const bool use_mmap : {true, false}) {
+    const Status st = ReadAll(use_mmap);
+    ASSERT_FALSE(st.ok());
+    EXPECT_TRUE(st.IsIoError()) << st.ToString();
+  }
+}
+
+// ---- CRC-valid but semantically invalid blocks ---------------------------
+// The fuzz passes above only prove the CRCs catch random damage; these
+// prove the decoder rejects well-formed framing around illegal content.
+
+void AppendU32(uint32_t v, std::string* out) {
+  for (int i = 0; i < 4; ++i) {
+    out->push_back(static_cast<char>((v >> (8 * i)) & 0xFF));
+  }
+}
+
+void AppendU64(uint64_t v, std::string* out) {
+  for (int i = 0; i < 8; ++i) {
+    out->push_back(static_cast<char>((v >> (8 * i)) & 0xFF));
+  }
+}
+
+// Builds a block with correct header/body CRCs around arbitrary contents.
+std::string SealedBlock(uint32_t flags, uint32_t record_count,
+                        std::string_view records, std::string_view trailer) {
+  std::string block;
+  AppendU32(0x324B4C42u, &block);  // "BLK2"
+  AppendU32(flags, &block);
+  AppendU32(record_count, &block);
+  AppendU32(static_cast<uint32_t>(trailer.size()), &block);
+  AppendU32(Crc32cUpdate(Crc32c(records), trailer), &block);
+  AppendU32(Crc32c(block), &block);
+  block.append(records);
+  block.append(trailer);
+  return block;
+}
+
+std::string Record(uint8_t type, uint32_t payload_len, uint64_t payload_off,
+                   uint64_t a, uint64_t b, uint8_t reserved = 0) {
+  std::string r;
+  r.push_back(static_cast<char>(type));
+  r.append(3, static_cast<char>(reserved));
+  AppendU32(payload_len, &r);
+  AppendU64(payload_off, &r);
+  AppendU64(a, &r);
+  AppendU64(b, &r);
+  return r;
+}
+
+struct BadBlockCase {
+  const char* what;
+  std::string block;
+};
+
+TEST_F(V2FuzzTest, CrcValidButIllegalBlocksAreParseError) {
+  const std::string ok_record = Record(0 /*kAddVertex*/, 0, 0, 1, 0);
+  const uint64_t rate_bits = 0x7FF0000000000000ull;  // +inf as f64
+  const std::vector<BadBlockCase> cases = {
+      {"undefined header flag bit", SealedBlock(1u << 1, 1, ok_record, "")},
+      {"sentinel with records",
+       SealedBlock(kV2BlockFlagEnd, 1, ok_record, "")},
+      {"non-sentinel empty block", SealedBlock(0, 0, "", "")},
+      {"record count over cap",
+       SealedBlock(0, kV2MaxBlockRecords + 1, ok_record, "")},
+      {"record count vs body mismatch", SealedBlock(0, 2, ok_record, "")},
+      {"unknown event type", SealedBlock(0, 1, Record(42, 0, 0, 1, 0), "")},
+      {"nonzero reserved bytes",
+       SealedBlock(0, 1, Record(0, 0, 0, 1, 0, 0xAA), "")},
+      {"payload bounds past trailer",
+       SealedBlock(0, 1, Record(0, 4, 1, 1, 0), "abc")},
+      {"payload offset overflow",
+       SealedBlock(0, 1, Record(0, 1, UINT64_MAX, 1, 0), "abc")},
+      {"payload on payload-free type (remove)",
+       SealedBlock(0, 1, Record(1 /*kRemoveVertex*/, 3, 0, 1, 0), "abc")},
+      {"nonzero b on vertex op", SealedBlock(0, 1, Record(0, 0, 0, 1, 9), "")},
+      {"nonzero fields on marker",
+       SealedBlock(0, 1, Record(6 /*kMarker*/, 0, 0, 5, 0), "")},
+      {"non-finite rate factor",
+       SealedBlock(0, 1, Record(7 /*kSetRate*/, 0, 0, rate_bits, 0), "")},
+      {"zero rate factor", SealedBlock(0, 1, Record(7, 0, 0, 0, 0), "")},
+      {"pause beyond representable millis",
+       SealedBlock(0, 1, Record(8 /*kPause*/, 0, 0, UINT64_MAX, 0), "")},
+  };
+  for (const BadBlockCase& c : cases) {
+    std::string bytes;
+    AppendV2Preamble(&bytes);
+    bytes.append(c.block);
+    AppendV2SentinelBlock(&bytes);
+    WriteBytes(bytes);
+    for (const bool use_mmap : {true, false}) {
+      const Status st = ReadAll(use_mmap);
+      ASSERT_FALSE(st.ok()) << c.what << " accepted";
+      EXPECT_TRUE(st.IsParseError()) << c.what << ": " << st.ToString();
+    }
+  }
+}
+
+TEST_F(V2FuzzTest, HandSealedLegalBlockIsAccepted) {
+  // The SealedBlock helper must itself produce acceptable framing, or the
+  // rejection cases above would pass vacuously.
+  std::string bytes;
+  AppendV2Preamble(&bytes);
+  bytes.append(SealedBlock(0, 1, Record(0, 3, 0, 1, 0), "abc"));
+  AppendV2SentinelBlock(&bytes);
+  WriteBytes(bytes);
+  std::vector<Event> events;
+  ASSERT_TRUE(ReadAll(/*use_mmap=*/true, &events).ok());
+  ASSERT_EQ(events.size(), 1u);
+  EXPECT_EQ(events[0], Event::AddVertex(1, "abc"));
+}
+
+TEST_F(V2FuzzTest, ParseErrorsCarryRecordContext) {
+  // The second record is damaged (unknown type) behind valid CRCs; the
+  // error must name record 2 so a corrupt capture can be localized.
+  std::string records = Record(0, 0, 0, 1, 0);
+  records += Record(42, 0, 0, 2, 0);
+  std::string bytes;
+  AppendV2Preamble(&bytes);
+  bytes.append(SealedBlock(0, 2, records, ""));
+  AppendV2SentinelBlock(&bytes);
+  WriteBytes(bytes);
+  const Status st = ReadAll(/*use_mmap=*/true);
+  ASSERT_FALSE(st.ok());
+  EXPECT_NE(st.ToString().find("record 2"), std::string::npos)
+      << st.ToString();
+}
+
+}  // namespace
+}  // namespace graphtides

@@ -46,6 +46,7 @@
 #include "common/flags.h"
 #include "common/string_util.h"
 #include "distributed/coordinator.h"
+#include "stream/v2_format.h"
 
 using namespace graphtides;
 
@@ -145,6 +146,16 @@ int main(int argc, char** argv) {
   options.host = std::string(parts[0]);
   options.port = static_cast<uint16_t>(*port);
   options.stream = flags.GetString("stream", "");
+  if (!options.stream.empty()) {
+    // Workers open the stream themselves and auto-detect the encoding;
+    // sniffing here surfaces a missing/garbled file before the fleet dials
+    // in, and logs which format the fleet will replay.
+    auto format = DetectStreamFormat(options.stream);
+    if (!format.ok()) return Fail(format.status());
+    std::fprintf(stderr, "gt_coordinator: stream %s (%s format)\n",
+                 options.stream.c_str(),
+                 std::string(StreamFormatName(*format)).c_str());
+  }
   options.total_shards = static_cast<uint32_t>(*total_shards);
   options.ranges = static_cast<uint32_t>(*ranges);
   options.workers = static_cast<size_t>(*workers);

@@ -13,6 +13,10 @@
 //                      through the pipelined writer: constant memory in
 //                      the stream length, so arbitrarily long streams fit
 //                      in a fixed RSS budget
+//   --format F         csv (default) | v2 — output encoding; v2 writes
+//                      the gt-stream-v2 binary block format
+//                      (stream/v2_format.h), which gt_replay auto-detects
+//                      and gt_convert round-trips losslessly to CSV
 //   --marker-interval N  MARK_<i> every N events          (default 0 = off)
 //   --bootstrap-pause MS pause event after bootstrap      (default 0)
 //   --no-phase-markers   omit BOOTSTRAP_DONE / STREAM_END
@@ -29,8 +33,10 @@
 #include "generator/models/social_network_model.h"
 #include "generator/stream_generator.h"
 #include "generator/stream_pipeline.h"
+#include "generator/v2_consumer.h"
 #include "stream/statistics.h"
 #include "stream/stream_file.h"
+#include "stream/v2_writer.h"
 
 using namespace graphtides;
 
@@ -67,16 +73,24 @@ int main(int argc, char** argv) {
   if (!flags_or.ok()) return Fail(flags_or.status());
   const Flags& flags = *flags_or;
   const auto unknown = flags.UnknownFlags(
-      {"model", "rounds", "seed", "out", "stream-out", "marker-interval",
-       "bootstrap-pause", "no-phase-markers", "stats", "help"});
+      {"model", "rounds", "seed", "out", "stream-out", "format",
+       "marker-interval", "bootstrap-pause", "no-phase-markers", "stats",
+       "help"});
   if (!unknown.empty()) {
     return Fail(Status::InvalidArgument("unknown flag --" + unknown[0]));
   }
   if (flags.GetBool("help")) {
     std::printf("usage: gt_generate --model social|ddos|blockchain|mix "
-                "--rounds N --seed S [--out FILE | --stream-out FILE]\n");
+                "--rounds N --seed S [--out FILE | --stream-out FILE] "
+                "[--format csv|v2]\n");
     return 0;
   }
+
+  const std::string format_name = flags.GetString("format", "csv");
+  if (format_name != "csv" && format_name != "v2") {
+    return Fail(Status::InvalidArgument("unknown --format: " + format_name));
+  }
+  const bool v2_out = format_name == "v2";
 
   const std::string model_name = flags.GetString("model", "social");
   std::unique_ptr<GeneratorModel> model;
@@ -123,19 +137,26 @@ int main(int argc, char** argv) {
     // one write per block; RSS stays bounded regardless of --rounds.
     FILE* file = stdout;
     if (stream_out != "-") {
-      file = std::fopen(stream_out.c_str(), "w");
+      file = std::fopen(stream_out.c_str(), v2_out ? "wb" : "w");
       if (file == nullptr) {
         return Fail(Status::IoError("cannot create stream file: " +
                                     stream_out + ": " + std::strerror(errno)));
       }
     }
     Result<GenerateSummary> summary = [&]() -> Result<GenerateSummary> {
-      PipelinedWriterConsumer writer(file);
-      if (want_stats) {
-        TeeStatsConsumer tee(&stats, &writer);
-        return generator.GenerateTo(tee);
+      auto run = [&](EventConsumer& writer) {
+        if (want_stats) {
+          TeeStatsConsumer tee(&stats, &writer);
+          return generator.GenerateTo(tee);
+        }
+        return generator.GenerateTo(writer);
+      };
+      if (v2_out) {
+        V2WriterConsumer writer(file);
+        return run(writer);
       }
-      return generator.GenerateTo(writer);
+      PipelinedWriterConsumer writer(file);
+      return run(writer);
     }();
     if (file != stdout) std::fclose(file);
     if (!summary.ok()) return Fail(summary.status());
@@ -156,11 +177,22 @@ int main(int argc, char** argv) {
 
   const std::string out = flags.GetString("out", "");
   if (out.empty()) {
-    std::fputs(FormatStreamText(stream->events).c_str(), stdout);
-  } else {
-    if (Status st = WriteStreamFile(out, stream->events); !st.ok()) {
-      return Fail(st);
+    if (v2_out) {
+      V2FileWriter writer;
+      Status st = writer.Attach(stdout);
+      for (const Event& e : stream->events) {
+        if (!st.ok()) break;
+        st = writer.Append(e);
+      }
+      if (st.ok()) st = writer.Finish();
+      if (!st.ok()) return Fail(st);
+    } else {
+      std::fputs(FormatStreamText(stream->events).c_str(), stdout);
     }
+  } else {
+    const Status st = v2_out ? WriteV2StreamFile(out, stream->events)
+                             : WriteStreamFile(out, stream->events);
+    if (!st.ok()) return Fail(st);
   }
   std::fprintf(stderr,
                "gt_generate: %zu events (%zu bootstrap, %zu evolution, %zu "

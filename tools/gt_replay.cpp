@@ -20,7 +20,15 @@
 //       --retry-budget 8 --on-failure block
 //
 // Flags:
-//   --in FILE              stream file (required)
+//   --in FILE              stream file (required; CSV or gt-stream-v2,
+//                          auto-detected by magic)
+//   --wire-format F        csv (default) | v2 — preferred sink wire format,
+//                          negotiated per sink: pipe/TCP transports carry
+//                          sealed gt-stream-v2 blocks, decorated chains
+//                          (--chaos-*/--retry-*) decline and stay on CSV.
+//                          Incompatible with --resume-from and with
+//                          checkpointed --out runs (a resume truncates sink
+//                          files and would re-emit the v2 preamble).
 //   --rate R               base emission rate in events/s (default 1000);
 //                          with --shards N this is the TOTAL rate, split
 //                          evenly across shard lanes
@@ -218,7 +226,8 @@ int main(int argc, char** argv) {
   if (!flags_or.ok()) return Fail(flags_or.status());
   const Flags& flags = *flags_or;
   const auto unknown = flags.UnknownFlags(
-      {"in", "rate", "shards", "tcp", "out", "ignore-controls", "marker-log",
+      {"in", "rate", "shards", "tcp", "out", "wire-format", "ignore-controls",
+       "marker-log",
        "chaos-seed", "chaos-fail", "chaos-disconnect", "chaos-stall",
        "chaos-stall-ms", "retry-budget", "retry-backoff-ms",
        "deliver-timeout-ms", "on-failure", "checkpoint-file",
@@ -235,7 +244,8 @@ int main(int argc, char** argv) {
   if (flags.GetBool("help")) {
     std::printf(
         "usage: gt_replay --in FILE --rate R [--shards N] [--tcp HOST:PORT | "
-        "--out PREFIX] [--ignore-controls] [--marker-log FILE]\n"
+        "--out PREFIX] [--wire-format csv|v2] [--ignore-controls] "
+        "[--marker-log FILE]\n"
         "       [--chaos-seed S --chaos-fail P --chaos-disconnect P "
         "--chaos-stall P --chaos-stall-ms M]\n"
         "       [--retry-budget N --retry-backoff-ms M "
@@ -263,6 +273,13 @@ int main(int argc, char** argv) {
     return Fail(Status::InvalidArgument("--shards must be >= 1"));
   }
   const size_t shards = static_cast<size_t>(*shards_flag);
+
+  const std::string wire_name = flags.GetString("wire-format", "csv");
+  if (wire_name != "csv" && wire_name != "v2") {
+    return Fail(
+        Status::InvalidArgument("unknown --wire-format: " + wire_name));
+  }
+  const bool v2_wire = wire_name == "v2";
 
   auto chaos_seed = flags.GetInt("chaos-seed", 1);
   auto chaos_fail = flags.GetDouble("chaos-fail", 0.0);
@@ -347,6 +364,19 @@ int main(int argc, char** argv) {
   std::optional<ReplayCheckpoint> resume;
   size_t resume_fallbacks = 0;
   const std::string resume_from = flags.GetString("resume-from", "");
+  if (v2_wire && !resume_from.empty()) {
+    // A resume truncates sink files to the checkpointed offset and a fresh
+    // sink would re-emit the v2 preamble mid-file; CSV stays the golden
+    // resumable wire format.
+    return Fail(Status::InvalidArgument(
+        "--wire-format v2 cannot be combined with --resume-from; "
+        "resume runs must use the CSV wire format"));
+  }
+  if (v2_wire && flags.Has("out") && *checkpoint_every > 0) {
+    return Fail(Status::InvalidArgument(
+        "--wire-format v2 cannot be combined with checkpointed --out runs "
+        "(the checkpoint's sink byte offsets are only resumable over CSV)"));
+  }
   if (!resume_from.empty()) {
     auto loaded = CheckpointStore::LoadLatestGood(resume_from);
     if (!loaded.ok()) return Fail(loaded.status());
@@ -424,6 +454,7 @@ int main(int argc, char** argv) {
       if (Status st = tcp->Connect(tcp_host, tcp_port); !st.ok()) {
         return Fail(st.WithContext("shard " + std::to_string(s)));
       }
+      if (v2_wire) tcp->EnableV2Wire();
       sink = tcp;
     } else if (!out_prefix.empty()) {
       const std::string path = out_path(s);
@@ -459,9 +490,11 @@ int main(int argc, char** argv) {
       }
       out_files.push_back(f);
       pipe_sinks.push_back(std::make_unique<PipeSink>(f));
+      if (v2_wire) pipe_sinks.back()->EnableV2Wire();
       sink = pipe_sinks.back().get();
     } else {
       pipe_sinks.push_back(std::make_unique<PipeSink>(stdout));
+      if (v2_wire) pipe_sinks.back()->EnableV2Wire();
       sink = pipe_sinks.back().get();
     }
     if (chaos_enabled) {
@@ -530,16 +563,26 @@ int main(int argc, char** argv) {
     telemetry->UpdateRecoveryCounters(rec);
   }
 
+  // The v2 wire handshake lives on the sharded serialized path, so v2-wire
+  // runs route through ShardedReplayer even at --shards 1 (a single lane).
+  // Decorated chains never opt in — their outer sink declines negotiation
+  // and the lane stays on CSV.
+  if (v2_wire && (chaos_enabled || resilience_enabled)) {
+    std::fprintf(stderr,
+                 "gt_replay: --wire-format v2 with --chaos-*/--retry-* "
+                 "sinks: decorated sinks decline v2; output stays CSV\n");
+  }
   std::optional<StreamReplayer> single;
   std::optional<ShardedReplayer> sharded;
   std::function<uint64_t()> progress_fn;
-  if (shards == 1) {
+  if (shards == 1 && !v2_wire) {
     options.telemetry = telemetry.get();
     single.emplace(options);
     progress_fn = [&] { return single->progress(); };
   } else {
     ShardedReplayerOptions sharded_options;
     sharded_options.shards = shards;
+    sharded_options.wire_format = v2_wire ? WireFormat::kV2 : WireFormat::kCsv;
     sharded_options.total_rate_eps = *rate;
     sharded_options.honor_control_events = options.honor_control_events;
     sharded_options.cancel = &cancel;
@@ -575,7 +618,7 @@ int main(int argc, char** argv) {
   std::vector<ReplayStats> per_shard_stats;
   if (snapshotter.has_value()) snapshotter->Start();
   Result<ReplayStats> stats = [&]() -> Result<ReplayStats> {
-    if (shards == 1) {
+    if (single.has_value()) {
       return single->ReplayFile(in, lane_sinks[0], resume ? &*resume : nullptr);
     }
     auto sharded_stats =
