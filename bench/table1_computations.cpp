@@ -15,6 +15,9 @@
 #include <chrono>
 #include <cstdio>
 
+#include "common/flags.h"
+#include "common/parallel.h"
+
 #include "algorithms/coloring.h"
 #include "algorithms/communities.h"
 #include "algorithms/kmeans.h"
@@ -44,7 +47,20 @@ double MillisSince(std::chrono::steady_clock::time_point start) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  auto flags_or = Flags::Parse(argc, argv);
+  if (!flags_or.ok()) {
+    std::fprintf(stderr, "table1_computations: %s\n",
+                 flags_or.status().ToString().c_str());
+    return 1;
+  }
+  auto threads_flag = flags_or->GetInt("threads", 0);
+  if (!threads_flag.ok() || *threads_flag < 0) {
+    std::fprintf(stderr, "table1_computations: --threads expects N >= 0\n");
+    return 1;
+  }
+  const size_t threads = ResolveThreads(static_cast<size_t>(*threads_flag));
+
   std::printf("%s", SectionHeader(
       "Table 1 — example computations for stream-based graph systems").c_str());
 
@@ -64,11 +80,11 @@ int main() {
     std::fprintf(stderr, "apply failed: %s\n", st.ToString().c_str());
     return 1;
   }
-  const CsrGraph csr = CsrGraph::FromGraph(graph);
+  const CsrGraph csr = CsrGraph::FromGraph(graph, threads);
   std::printf("input: BarabasiAlbert(n=%zu, m0=%zu, M=%zu) -> %zu vertices, "
-              "%zu edges\n\n",
+              "%zu edges (compute threads: %zu)\n\n",
               params.n, params.m0, params.m, csr.num_vertices(),
-              csr.num_edges());
+              csr.num_edges(), threads);
 
   TextTable table({"category", "computation", "time [ms]", "result"});
   auto add = [&](const char* category, const char* name, double ms,
@@ -78,7 +94,7 @@ int main() {
 
   {
     auto t = std::chrono::steady_clock::now();
-    const GraphStatistics s = ComputeGraphStatistics(csr);
+    const GraphStatistics s = ComputeGraphStatistics(csr, threads);
     add("Graph statistics", "global properties", MillisSince(t),
         "mean out-deg " + TextTable::FormatDouble(s.mean_out_degree, 2) +
             ", gini " + TextTable::FormatDouble(s.out_degree_gini, 2));
@@ -91,7 +107,7 @@ int main() {
   }
   {
     auto t = std::chrono::steady_clock::now();
-    const PageRankResult pr = PageRank(csr);
+    const PageRankResult pr = PageRank(csr, {.threads = threads});
     add("Graph properties", "PageRank", MillisSince(t),
         std::to_string(pr.iterations) + " iterations, top rank " +
             TextTable::FormatDouble(pr.ranks[TopKByRank(pr.ranks, 1)[0]], 5));
@@ -162,13 +178,14 @@ int main() {
   }
   {
     auto t = std::chrono::steady_clock::now();
-    const uint64_t triangles = CountTriangles(csr);
+    const uint64_t triangles = CountTriangles(csr, threads);
     add("Graph theory", "triangle count", MillisSince(t),
         std::to_string(triangles) + " triangles");
   }
   {
     auto t = std::chrono::steady_clock::now();
-    const ComponentsResult wcc = WeaklyConnectedComponents(csr);
+    const ComponentsResult wcc =
+        WeaklyConnectedComponents(csr, {.threads = threads});
     add("Communities", "weakly connected components", MillisSince(t),
         std::to_string(wcc.num_components) + " components, largest " +
             std::to_string(wcc.LargestSize()));
@@ -222,7 +239,7 @@ int main() {
       online.ProcessPending(16);
     }
     while (online.HasPendingWork()) online.ProcessPending(100000);
-    const PageRankResult exact = PageRank(csr);
+    const PageRankResult exact = PageRank(csr, {.threads = threads});
     std::vector<double> approx(csr.num_vertices());
     for (CsrGraph::Index v = 0; v < csr.num_vertices(); ++v) {
       approx[v] = online.RankOf(csr.IdOf(v));

@@ -1,8 +1,13 @@
 #include "algorithms/components.h"
 
 #include <algorithm>
+#include <atomic>
 #include <numeric>
+#include <random>
 #include <unordered_map>
+#include <utility>
+
+#include "common/parallel.h"
 
 namespace graphtides {
 
@@ -36,13 +41,143 @@ class UnionFind {
   std::vector<uint8_t> rank_;
 };
 
+uint32_t LoadComp(const std::vector<uint32_t>& comp, uint32_t v) {
+  return std::atomic_ref<uint32_t>(const_cast<uint32_t&>(comp[v]))
+      .load(std::memory_order_relaxed);
+}
+
+void StoreComp(std::vector<uint32_t>& comp, uint32_t v, uint32_t value) {
+  std::atomic_ref<uint32_t>(comp[v]).store(value, std::memory_order_relaxed);
+}
+
+/// Hooks the trees of `u` and `v` together: the higher current parent is
+/// pointed at the lower one via CAS, so parent values only ever decrease
+/// and no cycles (beyond self-loops at roots) can form.
+void Link(uint32_t u, uint32_t v, std::vector<uint32_t>& comp) {
+  uint32_t p1 = LoadComp(comp, u);
+  uint32_t p2 = LoadComp(comp, v);
+  while (p1 != p2) {
+    const uint32_t high = std::max(p1, p2);
+    const uint32_t low = std::min(p1, p2);
+    uint32_t expected = high;
+    std::atomic_ref<uint32_t> ref(comp[high]);
+    const uint32_t p_high = ref.load(std::memory_order_relaxed);
+    if (p_high == low ||
+        (p_high == high && ref.compare_exchange_strong(
+                               expected, low, std::memory_order_relaxed))) {
+      break;
+    }
+    p1 = LoadComp(comp, LoadComp(comp, high));
+    p2 = LoadComp(comp, low);
+  }
+}
+
+/// Full pointer jumping: afterwards comp[v] is the root of v's tree.
+void Compress(std::vector<uint32_t>& comp, size_t threads) {
+  ParallelFor(0, comp.size(), {.threads = threads},
+              [&](size_t begin, size_t end) {
+                for (size_t v = begin; v < end; ++v) {
+                  uint32_t parent = LoadComp(comp, static_cast<uint32_t>(v));
+                  while (parent != LoadComp(comp, parent)) {
+                    parent = LoadComp(comp, parent);
+                  }
+                  StoreComp(comp, static_cast<uint32_t>(v), parent);
+                }
+              });
+}
+
+/// Most frequent component id in a fixed-seed sample — the likely largest
+/// component, whose members can skip the exhaustive final link pass. Runs
+/// sequentially between parallel phases, so the choice never depends on
+/// the schedule (ties break toward the smaller id).
+uint32_t SampleFrequentComponent(const std::vector<uint32_t>& comp) {
+  std::unordered_map<uint32_t, size_t> counts;
+  std::minstd_rand rng(27u);
+  std::uniform_int_distribution<size_t> dist(0, comp.size() - 1);
+  const size_t samples = std::min<size_t>(comp.size(), 1024);
+  for (size_t i = 0; i < samples; ++i) ++counts[comp[dist(rng)]];
+  uint32_t best = comp[0];
+  size_t best_count = 0;
+  for (const auto& [id, count] : counts) {
+    if (count > best_count || (count == best_count && id < best)) {
+      best = id;
+      best_count = count;
+    }
+  }
+  return best;
+}
+
+/// Afforest-style hooking: a few rounds linking only the i-th out-edge of
+/// every vertex grow the giant component cheaply; after sampling it, only
+/// vertices outside it process their remaining edges. Every edge is either
+/// linked by one of its endpoints or has both endpoints already inside the
+/// sampled component, so the resulting partition is exactly the weak
+/// connectivity relation — independent of the schedule.
+std::vector<uint32_t> AfforestComponents(const CsrGraph& graph,
+                                         size_t threads) {
+  constexpr size_t kNeighborRounds = 2;
+  const size_t n = graph.num_vertices();
+  std::vector<uint32_t> comp(n);
+  std::iota(comp.begin(), comp.end(), 0);
+
+  for (size_t r = 0; r < kNeighborRounds; ++r) {
+    ParallelFor(0, n, {.threads = threads}, [&](size_t begin, size_t end) {
+      for (size_t v = begin; v < end; ++v) {
+        const auto out = graph.OutNeighbors(static_cast<CsrGraph::Index>(v));
+        if (r < out.size()) Link(static_cast<uint32_t>(v), out[r], comp);
+      }
+    });
+    Compress(comp, threads);
+  }
+
+  const uint32_t giant = SampleFrequentComponent(comp);
+  const auto chunks = DegreeBalancedChunks(graph.in_offsets(), 8192);
+  ParallelForChunks(chunks, threads, [&](size_t, size_t begin, size_t end) {
+    for (size_t v = begin; v < end; ++v) {
+      const auto u = static_cast<uint32_t>(v);
+      if (LoadComp(comp, u) == giant) continue;
+      const auto out = graph.OutNeighbors(static_cast<CsrGraph::Index>(v));
+      for (size_t i = kNeighborRounds; i < out.size(); ++i) {
+        Link(u, out[i], comp);
+      }
+      for (CsrGraph::Index w :
+           graph.InNeighbors(static_cast<CsrGraph::Index>(v))) {
+        Link(u, w, comp);
+      }
+    }
+  });
+  Compress(comp, threads);
+  return comp;
+}
+
+/// Maps per-vertex representatives to dense labels in order of first
+/// appearance by vertex index. Both the union-find and Afforest paths
+/// funnel through this, so equal partitions yield bit-identical results.
+ComponentsResult FinalizeLabels(const std::vector<uint32_t>& representative) {
+  ComponentsResult result;
+  const size_t n = representative.size();
+  result.component.assign(n, 0);
+  std::unordered_map<uint32_t, uint32_t> label_of_root;
+  for (size_t v = 0; v < n; ++v) {
+    auto [it, inserted] = label_of_root.try_emplace(
+        representative[v], static_cast<uint32_t>(label_of_root.size()));
+    result.component[v] = it->second;
+  }
+  result.num_components = label_of_root.size();
+  result.sizes.assign(result.num_components, 0);
+  for (uint32_t label : result.component) ++result.sizes[label];
+  return result;
+}
+
 }  // namespace
 
-ComponentsResult WeaklyConnectedComponents(const CsrGraph& graph) {
-  ComponentsResult result;
+ComponentsResult WeaklyConnectedComponents(const CsrGraph& graph,
+                                           const ComponentsOptions& options) {
   const size_t n = graph.num_vertices();
-  result.component.assign(n, 0);
-  if (n == 0) return result;
+  if (n == 0) return ComponentsResult{};
+
+  const size_t threads = ResolveThreads(options.threads);
+  if (threads > 1) return FinalizeLabels(AfforestComponents(graph, threads));
 
   UnionFind uf(n);
   for (size_t v = 0; v < n; ++v) {
@@ -51,18 +186,11 @@ ComponentsResult WeaklyConnectedComponents(const CsrGraph& graph) {
       uf.Union(static_cast<uint32_t>(v), w);
     }
   }
-
-  std::unordered_map<uint32_t, uint32_t> label_of_root;
+  std::vector<uint32_t> representative(n);
   for (size_t v = 0; v < n; ++v) {
-    const uint32_t root = uf.Find(static_cast<uint32_t>(v));
-    auto [it, inserted] = label_of_root.try_emplace(
-        root, static_cast<uint32_t>(label_of_root.size()));
-    result.component[v] = it->second;
+    representative[v] = uf.Find(static_cast<uint32_t>(v));
   }
-  result.num_components = label_of_root.size();
-  result.sizes.assign(result.num_components, 0);
-  for (uint32_t label : result.component) ++result.sizes[label];
-  return result;
+  return FinalizeLabels(representative);
 }
 
 size_t ComponentsResult::LargestSize() const {

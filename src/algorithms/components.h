@@ -21,8 +21,24 @@ struct ComponentsResult {
   size_t LargestSize() const;
 };
 
-/// \brief Weakly connected components via union-find with path halving.
-ComponentsResult WeaklyConnectedComponents(const CsrGraph& graph);
+struct ComponentsOptions {
+  /// Worker threads (0 = auto). threads <= 1 runs the sequential
+  /// union-find; more threads run Afforest-style parallel hooking. Both
+  /// paths produce the identical normalized labeling (labels are dense,
+  /// assigned in order of first appearance by vertex index), so the
+  /// sequential path doubles as the golden reference for the parallel one.
+  size_t threads = 0;
+};
+
+/// \brief Weakly connected components. Sequential: union-find with path
+/// halving. Parallel: min-label hooking with compression (Afforest-style
+/// neighbor-sampling rounds plus a largest-component skip), which reaches
+/// the same partition on any schedule.
+ComponentsResult WeaklyConnectedComponents(const CsrGraph& graph,
+                                           const ComponentsOptions& options);
+inline ComponentsResult WeaklyConnectedComponents(const CsrGraph& graph) {
+  return WeaklyConnectedComponents(graph, ComponentsOptions{});
+}
 
 }  // namespace graphtides
 

@@ -4,6 +4,7 @@
 #include <cmath>
 #include <numeric>
 
+#include "common/parallel.h"
 #include "common/stats.h"
 
 namespace graphtides {
@@ -12,35 +13,64 @@ PageRankResult PageRank(const CsrGraph& graph, const PageRankOptions& options) {
   PageRankResult result;
   const size_t n = graph.num_vertices();
   if (n == 0) return result;
+  const size_t threads = ResolveThreads(options.threads);
+  const double inv_n = 1.0 / static_cast<double>(n);
 
-  std::vector<double> rank(n, 1.0 / static_cast<double>(n));
+  std::vector<double> rank(n, inv_n);
   std::vector<double> next(n, 0.0);
+  // contrib[u] = damping * rank[u] / out_deg(u): the per-edge share each
+  // vertex offers, so the pull loop is a pure sum over in-neighbors.
+  std::vector<double> contrib(n, 0.0);
+
+  // Chunk layouts derive only from the graph, never from `threads`: the
+  // reduction trees (dangling mass, delta) are identical at any thread
+  // count, which is what makes the parallel ranks bit-deterministic.
+  const auto vertex_chunks = UniformChunks(0, n, 4096);
+  const auto pull_chunks = DegreeBalancedChunks(graph.in_offsets(), 8192);
+  const auto plus = [](double a, double b) { return a + b; };
 
   for (size_t iter = 0; iter < options.max_iterations; ++iter) {
     // Dangling vertices donate their rank uniformly.
-    double dangling_mass = 0.0;
-    for (size_t v = 0; v < n; ++v) {
-      if (graph.OutDegree(static_cast<CsrGraph::Index>(v)) == 0) {
-        dangling_mass += rank[v];
-      }
-    }
-    const double base = (1.0 - options.damping) / static_cast<double>(n) +
-                        options.damping * dangling_mass /
-                            static_cast<double>(n);
-    std::fill(next.begin(), next.end(), base);
-    for (size_t v = 0; v < n; ++v) {
-      const size_t out_deg = graph.OutDegree(static_cast<CsrGraph::Index>(v));
-      if (out_deg == 0) continue;
-      const double share =
-          options.damping * rank[v] / static_cast<double>(out_deg);
-      for (CsrGraph::Index w :
-           graph.OutNeighbors(static_cast<CsrGraph::Index>(v))) {
-        next[w] += share;
-      }
-    }
+    const double dangling_mass = ParallelReduceChunks(
+        std::span(vertex_chunks), threads, 0.0,
+        [&](size_t begin, size_t end) {
+          double mass = 0.0;
+          for (size_t v = begin; v < end; ++v) {
+            const size_t out_deg =
+                graph.OutDegree(static_cast<CsrGraph::Index>(v));
+            if (out_deg == 0) {
+              mass += rank[v];
+              contrib[v] = 0.0;
+            } else {
+              contrib[v] =
+                  options.damping * rank[v] / static_cast<double>(out_deg);
+            }
+          }
+          return mass;
+        },
+        plus);
+    const double base = (1.0 - options.damping) * inv_n +
+                        options.damping * dangling_mass * inv_n;
 
-    double delta = 0.0;
-    for (size_t v = 0; v < n; ++v) delta += std::abs(next[v] - rank[v]);
+    // Pull phase: each vertex sums its sorted in-neighbor contributions —
+    // per-vertex results are schedule-independent by construction.
+    const double delta = ParallelReduceChunks(
+        std::span(pull_chunks), threads, 0.0,
+        [&](size_t begin, size_t end) {
+          double chunk_delta = 0.0;
+          for (size_t v = begin; v < end; ++v) {
+            double sum = base;
+            for (CsrGraph::Index u :
+                 graph.InNeighbors(static_cast<CsrGraph::Index>(v))) {
+              sum += contrib[u];
+            }
+            next[v] = sum;
+            chunk_delta += std::abs(sum - rank[v]);
+          }
+          return chunk_delta;
+        },
+        plus);
+
     rank.swap(next);
     result.iterations = iter + 1;
     if (delta < options.tolerance) {

@@ -19,6 +19,11 @@ struct PageRankOptions {
   size_t max_iterations = 100;
   /// Convergence threshold on the L1 norm of the rank delta.
   double tolerance = 1e-9;
+  /// Worker threads (0 = auto, 1 = run inline). The iteration is
+  /// pull-based — every vertex sums its in-neighbor contributions in
+  /// sorted order — and the global reductions fold fixed chunk partials
+  /// in chunk order, so ranks are bit-identical at every thread count.
+  size_t threads = 0;
 };
 
 struct PageRankResult {

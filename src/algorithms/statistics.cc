@@ -3,25 +3,56 @@
 #include <algorithm>
 #include <sstream>
 
+#include "common/parallel.h"
+
 namespace graphtides {
 
-GraphStatistics ComputeGraphStatistics(const CsrGraph& graph) {
+namespace {
+
+/// Per-chunk partial of the degree scan; merged in chunk order. Every
+/// field is an integer, so the merge is exact on any chunk layout.
+struct DegreeScan {
+  size_t degree_sum = 0;
+  size_t max_out = 0;
+  size_t max_in = 0;
+  size_t isolated = 0;
+};
+
+}  // namespace
+
+GraphStatistics ComputeGraphStatistics(const CsrGraph& graph, size_t threads) {
   GraphStatistics s;
   s.num_vertices = graph.num_vertices();
   s.num_edges = graph.num_edges();
   if (s.num_vertices == 0) return s;
 
   std::vector<size_t> out_degrees(s.num_vertices);
-  size_t degree_sum = 0;
-  for (size_t v = 0; v < s.num_vertices; ++v) {
-    const size_t out = graph.OutDegree(static_cast<CsrGraph::Index>(v));
-    const size_t in = graph.InDegree(static_cast<CsrGraph::Index>(v));
-    out_degrees[v] = out;
-    degree_sum += out;
-    s.max_out_degree = std::max(s.max_out_degree, out);
-    s.max_in_degree = std::max(s.max_in_degree, in);
-    if (out == 0 && in == 0) ++s.isolated_vertices;
-  }
+  const DegreeScan scan = ParallelReduce(
+      0, s.num_vertices, {.threads = threads, .grain = 8192}, DegreeScan{},
+      [&](size_t begin, size_t end) {
+        DegreeScan part;
+        for (size_t v = begin; v < end; ++v) {
+          const size_t out = graph.OutDegree(static_cast<CsrGraph::Index>(v));
+          const size_t in = graph.InDegree(static_cast<CsrGraph::Index>(v));
+          out_degrees[v] = out;
+          part.degree_sum += out;
+          part.max_out = std::max(part.max_out, out);
+          part.max_in = std::max(part.max_in, in);
+          if (out == 0 && in == 0) ++part.isolated;
+        }
+        return part;
+      },
+      [](DegreeScan a, const DegreeScan& b) {
+        a.degree_sum += b.degree_sum;
+        a.max_out = std::max(a.max_out, b.max_out);
+        a.max_in = std::max(a.max_in, b.max_in);
+        a.isolated += b.isolated;
+        return a;
+      });
+  const size_t degree_sum = scan.degree_sum;
+  s.max_out_degree = scan.max_out;
+  s.max_in_degree = scan.max_in;
+  s.isolated_vertices = scan.isolated;
   s.mean_out_degree =
       static_cast<double>(degree_sum) / static_cast<double>(s.num_vertices);
   if (s.num_vertices > 1) {

@@ -30,7 +30,12 @@ struct GraphStatistics {
   std::string ToString() const;
 };
 
-GraphStatistics ComputeGraphStatistics(const CsrGraph& graph);
+/// Computes the aggregate statistics. `threads` (0 = auto, 1 = sequential)
+/// parallelizes the degree scan; all parallel reductions are integer sums
+/// and maxima folded in fixed chunk order, so the result is identical at
+/// every thread count (the Gini sort stays sequential).
+GraphStatistics ComputeGraphStatistics(const CsrGraph& graph,
+                                       size_t threads = 0);
 
 /// \brief Out-degree histogram: degree -> number of vertices.
 std::map<size_t, size_t> OutDegreeDistribution(const CsrGraph& graph);

@@ -1,88 +1,121 @@
 #include "algorithms/triangles.h"
 
 #include <algorithm>
+#include <span>
 #include <vector>
+
+#include "common/parallel.h"
 
 namespace graphtides {
 
 namespace {
 
-/// Undirected, deduplicated, sorted adjacency lists.
+/// Undirected, deduplicated, sorted adjacency lists. Each vertex merges
+/// its already-sorted out- and in-neighbor spans independently, so the
+/// build parallelizes over degree-balanced vertex chunks without locks.
 std::vector<std::vector<CsrGraph::Index>> BuildUndirectedAdjacency(
-    const CsrGraph& graph) {
+    const CsrGraph& graph, size_t threads) {
   const size_t n = graph.num_vertices();
   std::vector<std::vector<CsrGraph::Index>> adj(n);
-  for (size_t v = 0; v < n; ++v) {
-    auto& list = adj[v];
-    for (CsrGraph::Index w :
-         graph.OutNeighbors(static_cast<CsrGraph::Index>(v))) {
-      list.push_back(w);
-    }
-    for (CsrGraph::Index w :
-         graph.InNeighbors(static_cast<CsrGraph::Index>(v))) {
-      list.push_back(w);
-    }
-    std::sort(list.begin(), list.end());
-    list.erase(std::unique(list.begin(), list.end()), list.end());
+  // Weight vertices by total incident degree for chunking.
+  std::vector<size_t> weight(n + 1, 0);
+  for (size_t v = 0; v <= n; ++v) {
+    weight[v] = graph.out_offsets()[v] + graph.in_offsets()[v];
   }
+  const auto chunks = DegreeBalancedChunks(weight, 8192);
+  ParallelForChunks(chunks, threads, [&](size_t, size_t begin, size_t end) {
+    for (size_t v = begin; v < end; ++v) {
+      const auto out = graph.OutNeighbors(static_cast<CsrGraph::Index>(v));
+      const auto in = graph.InNeighbors(static_cast<CsrGraph::Index>(v));
+      auto& list = adj[v];
+      list.resize(out.size() + in.size());
+      std::merge(out.begin(), out.end(), in.begin(), in.end(), list.begin());
+      list.erase(std::unique(list.begin(), list.end()), list.end());
+    }
+  });
   return adj;
 }
 
 }  // namespace
 
-uint64_t CountTriangles(const CsrGraph& graph) {
+uint64_t CountTriangles(const CsrGraph& graph, size_t threads) {
   const size_t n = graph.num_vertices();
-  const auto adj = BuildUndirectedAdjacency(graph);
+  threads = ResolveThreads(threads);
+  const auto adj = BuildUndirectedAdjacency(graph, threads);
 
   // Rank vertices by (degree, index); keep only forward edges. Every
-  // triangle then has exactly one representation.
+  // triangle then has exactly one representation. Filtering a sorted list
+  // keeps it sorted, so no per-vertex re-sort is needed.
   auto rank_less = [&](CsrGraph::Index a, CsrGraph::Index b) {
     if (adj[a].size() != adj[b].size()) return adj[a].size() < adj[b].size();
     return a < b;
   };
   std::vector<std::vector<CsrGraph::Index>> forward(n);
-  for (size_t v = 0; v < n; ++v) {
-    for (CsrGraph::Index w : adj[v]) {
-      if (rank_less(static_cast<CsrGraph::Index>(v), w)) {
-        forward[v].push_back(w);
-      }
-    }
-    std::sort(forward[v].begin(), forward[v].end());
-  }
-
-  uint64_t triangles = 0;
-  for (size_t v = 0; v < n; ++v) {
-    for (CsrGraph::Index w : forward[v]) {
-      // Intersect forward[v] with forward[w].
-      const auto& a = forward[v];
-      const auto& b = forward[w];
-      size_t i = 0;
-      size_t j = 0;
-      while (i < a.size() && j < b.size()) {
-        if (a[i] < b[j]) {
-          ++i;
-        } else if (a[i] > b[j]) {
-          ++j;
-        } else {
-          ++triangles;
-          ++i;
-          ++j;
+  ParallelFor(0, n, {.threads = threads}, [&](size_t begin, size_t end) {
+    for (size_t v = begin; v < end; ++v) {
+      for (CsrGraph::Index w : adj[v]) {
+        if (rank_less(static_cast<CsrGraph::Index>(v), w)) {
+          forward[v].push_back(w);
         }
       }
     }
+  });
+
+  // Chunk the intersection pass by forward degree — the hubs that
+  // dominate the work land in their own chunks. The layout depends only
+  // on the graph, so the chunk partials (and their in-order integer fold)
+  // are identical at every thread count.
+  std::vector<size_t> forward_prefix(n + 1, 0);
+  for (size_t v = 0; v < n; ++v) {
+    forward_prefix[v + 1] = forward_prefix[v] + forward[v].size();
   }
-  return triangles;
+  const auto chunks = DegreeBalancedChunks(forward_prefix, 4096);
+  return ParallelReduceChunks(
+      std::span<const std::pair<size_t, size_t>>(chunks), threads,
+      static_cast<uint64_t>(0),
+      [&](size_t begin, size_t end) {
+        uint64_t triangles = 0;
+        for (size_t v = begin; v < end; ++v) {
+          for (CsrGraph::Index w : forward[v]) {
+            // Intersect forward[v] with forward[w].
+            const auto& a = forward[v];
+            const auto& b = forward[w];
+            size_t i = 0;
+            size_t j = 0;
+            while (i < a.size() && j < b.size()) {
+              if (a[i] < b[j]) {
+                ++i;
+              } else if (a[i] > b[j]) {
+                ++j;
+              } else {
+                ++triangles;
+                ++i;
+                ++j;
+              }
+            }
+          }
+        }
+        return triangles;
+      },
+      [](uint64_t a, uint64_t b) { return a + b; });
 }
 
-double GlobalClusteringCoefficient(const CsrGraph& graph) {
-  const auto adj = BuildUndirectedAdjacency(graph);
-  uint64_t wedges = 0;
-  for (const auto& list : adj) {
-    const uint64_t d = list.size();
-    wedges += d * (d - 1) / 2;
-  }
+double GlobalClusteringCoefficient(const CsrGraph& graph, size_t threads) {
+  threads = ResolveThreads(threads);
+  const auto adj = BuildUndirectedAdjacency(graph, threads);
+  const uint64_t wedges = ParallelReduce(
+      0, adj.size(), {.threads = threads}, static_cast<uint64_t>(0),
+      [&](size_t begin, size_t end) {
+        uint64_t chunk_wedges = 0;
+        for (size_t v = begin; v < end; ++v) {
+          const uint64_t d = adj[v].size();
+          chunk_wedges += d * (d - 1) / 2;
+        }
+        return chunk_wedges;
+      },
+      [](uint64_t a, uint64_t b) { return a + b; });
   if (wedges == 0) return 0.0;
-  return 3.0 * static_cast<double>(CountTriangles(graph)) /
+  return 3.0 * static_cast<double>(CountTriangles(graph, threads)) /
          static_cast<double>(wedges);
 }
 

@@ -11,12 +11,17 @@
 namespace graphtides {
 
 /// \brief Exact triangle count over the undirected view (each triangle
-/// counted once), using degree-ordered neighbor intersection.
-uint64_t CountTriangles(const CsrGraph& graph);
+/// counted once), using degree-ordered neighbor intersection. `threads`
+/// (0 = auto, 1 = sequential) parallelizes the adjacency build and the
+/// intersection over degree-balanced vertex chunks; the count is an
+/// integer sum folded in fixed chunk order, so it is identical at every
+/// thread count.
+uint64_t CountTriangles(const CsrGraph& graph, size_t threads = 0);
 
 /// \brief Global clustering coefficient: 3 * triangles / open-or-closed
-/// wedges. Returns 0 if the graph has no wedges.
-double GlobalClusteringCoefficient(const CsrGraph& graph);
+/// wedges. Returns 0 if the graph has no wedges. Deterministic for any
+/// `threads` (0 = auto, 1 = sequential).
+double GlobalClusteringCoefficient(const CsrGraph& graph, size_t threads = 0);
 
 }  // namespace graphtides
 

@@ -1,0 +1,268 @@
+#include "common/parallel.h"
+
+#include <algorithm>
+
+namespace graphtides {
+
+namespace {
+
+std::atomic<size_t> g_default_threads{0};
+
+/// Set while a thread executes chunk work; nested parallel regions run
+/// inline instead of deadlocking on the (serialized) pool.
+thread_local bool t_in_parallel_region = false;
+
+class RegionGuard {
+ public:
+  RegionGuard() : prev_(t_in_parallel_region) { t_in_parallel_region = true; }
+  ~RegionGuard() { t_in_parallel_region = prev_; }
+
+ private:
+  bool prev_;
+};
+
+}  // namespace
+
+ThreadPool::ThreadPool(size_t initial_workers) {
+  EnsureWorkers(std::min(initial_workers, kMaxThreads - 1));
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(wake_mu_);
+    stop_ = true;
+  }
+  wake_cv_.notify_all();
+  for (std::thread& t : threads_) t.join();
+}
+
+size_t ThreadPool::workers() const {
+  std::lock_guard<std::mutex> lock(wake_mu_);
+  return threads_.size();
+}
+
+void ThreadPool::EnsureWorkers(size_t count) {
+  count = std::min(count, kMaxThreads - 1);
+  std::lock_guard<std::mutex> lock(wake_mu_);
+  while (threads_.size() < count) {
+    threads_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+bool ThreadPool::PopTask(Job& job, size_t slot, size_t* out) {
+  const size_t n = job.queues.size();
+  {
+    WorkDeque& own = *job.queues[slot % n];
+    std::lock_guard<std::mutex> lock(own.mu);
+    if (!own.tasks.empty()) {
+      *out = own.tasks.front();  // own block in ascending (cache) order
+      own.tasks.pop_front();
+      return true;
+    }
+  }
+  for (size_t i = 1; i < n; ++i) {
+    WorkDeque& victim = *job.queues[(slot + i) % n];
+    std::lock_guard<std::mutex> lock(victim.mu);
+    if (!victim.tasks.empty()) {
+      *out = victim.tasks.back();  // steal from the cold end
+      victim.tasks.pop_back();
+      return true;
+    }
+  }
+  return false;
+}
+
+void ThreadPool::WorkOn(Job& job, size_t slot) {
+  RegionGuard region;
+  size_t task_index = 0;
+  while (PopTask(job, slot, &task_index)) {
+    if (!job.failed.load(std::memory_order_acquire)) {
+      try {
+        (*job.task)(task_index);
+      } catch (...) {
+        std::lock_guard<std::mutex> lock(job.done_mu);
+        if (!job.error) job.error = std::current_exception();
+        job.failed.store(true, std::memory_order_release);
+      }
+    }
+    if (job.remaining.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+      std::lock_guard<std::mutex> lock(job.done_mu);
+      job.done_cv.notify_all();
+    }
+  }
+}
+
+void ThreadPool::WorkerLoop() {
+  uint64_t seen_generation = 0;
+  std::unique_lock<std::mutex> lock(wake_mu_);
+  while (true) {
+    wake_cv_.wait(lock, [&] {
+      return stop_ || (job_ != nullptr && generation_ != seen_generation);
+    });
+    if (stop_) return;
+    seen_generation = generation_;
+    Job* job = job_;
+    const size_t slot = job->next_slot.fetch_add(1, std::memory_order_relaxed);
+    if (slot >= job->queues.size()) continue;  // every slot already taken
+    job->active_helpers.fetch_add(1, std::memory_order_acq_rel);
+    lock.unlock();
+    WorkOn(*job, slot);
+    {
+      std::lock_guard<std::mutex> done_lock(job->done_mu);
+      job->active_helpers.fetch_sub(1, std::memory_order_acq_rel);
+      job->done_cv.notify_all();
+    }
+    lock.lock();
+  }
+}
+
+void ThreadPool::RunTasks(size_t num_tasks, size_t max_threads,
+                          const std::function<void(size_t)>& task) {
+  if (num_tasks == 0) return;
+  if (max_threads == 0) max_threads = kMaxThreads;
+  const size_t participants =
+      std::min({max_threads, kMaxThreads, num_tasks});
+  if (participants <= 1 || t_in_parallel_region) {
+    RegionGuard region;
+    for (size_t i = 0; i < num_tasks; ++i) task(i);
+    return;
+  }
+  EnsureWorkers(participants - 1);
+
+  std::lock_guard<std::mutex> run_lock(run_mu_);
+  Job job;
+  job.task = &task;
+  job.queues.reserve(participants);
+  for (size_t i = 0; i < participants; ++i) {
+    job.queues.push_back(std::make_unique<WorkDeque>());
+  }
+  // Contiguous blocks per participant: owners walk their block in order
+  // (cache-friendly); thieves take from the far end of a victim's block.
+  for (size_t q = 0; q < participants; ++q) {
+    const size_t begin = q * num_tasks / participants;
+    const size_t end = (q + 1) * num_tasks / participants;
+    for (size_t i = begin; i < end; ++i) job.queues[q]->tasks.push_back(i);
+  }
+  job.remaining.store(num_tasks, std::memory_order_release);
+
+  {
+    std::lock_guard<std::mutex> lock(wake_mu_);
+    job_ = &job;
+    ++generation_;
+  }
+  wake_cv_.notify_all();
+
+  WorkOn(job, 0);
+
+  {
+    std::unique_lock<std::mutex> done_lock(job.done_mu);
+    job.done_cv.wait(done_lock, [&] {
+      return job.remaining.load(std::memory_order_acquire) == 0;
+    });
+  }
+  // Unpublish, then wait for helpers that had already joined; no new
+  // helper can pick the job up once job_ is null.
+  {
+    std::lock_guard<std::mutex> lock(wake_mu_);
+    job_ = nullptr;
+  }
+  {
+    std::unique_lock<std::mutex> done_lock(job.done_mu);
+    job.done_cv.wait(done_lock, [&] {
+      return job.active_helpers.load(std::memory_order_acquire) == 0;
+    });
+  }
+  if (job.error) std::rethrow_exception(job.error);
+}
+
+ThreadPool& ThreadPool::Global() {
+  static ThreadPool pool;
+  return pool;
+}
+
+void ThreadPool::SetDefaultThreads(size_t threads) {
+  g_default_threads.store(std::min(threads, kMaxThreads),
+                          std::memory_order_relaxed);
+}
+
+size_t ThreadPool::DefaultThreads() {
+  const size_t configured = g_default_threads.load(std::memory_order_relaxed);
+  if (configured > 0) return configured;
+  const size_t hw = std::thread::hardware_concurrency();
+  return std::clamp<size_t>(hw, 1, kMaxThreads);
+}
+
+size_t ResolveThreads(size_t threads) {
+  return threads > 0 ? std::min(threads, ThreadPool::kMaxThreads)
+                     : ThreadPool::DefaultThreads();
+}
+
+std::vector<std::pair<size_t, size_t>> UniformChunks(size_t begin, size_t end,
+                                                     size_t grain) {
+  std::vector<std::pair<size_t, size_t>> chunks;
+  if (begin >= end) return chunks;
+  const size_t n = end - begin;
+  if (grain == 0) grain = 1;
+  const size_t count =
+      std::clamp<size_t>((n + grain - 1) / grain, 1, kMaxParallelChunks);
+  chunks.reserve(count);
+  for (size_t c = 0; c < count; ++c) {
+    const size_t lo = begin + c * n / count;
+    const size_t hi = begin + (c + 1) * n / count;
+    if (lo < hi) chunks.emplace_back(lo, hi);
+  }
+  return chunks;
+}
+
+std::vector<std::pair<size_t, size_t>> DegreeBalancedChunks(
+    std::span<const size_t> offsets, size_t grain_weight) {
+  std::vector<std::pair<size_t, size_t>> chunks;
+  if (offsets.size() < 2) return chunks;
+  const size_t n = offsets.size() - 1;
+  // Weight of vertex v: its edge span plus 1, so zero-degree vertices
+  // still count toward chunk sizes.
+  const size_t total = (offsets[n] - offsets[0]) + n;
+  if (grain_weight == 0) grain_weight = 1;
+  const size_t count = std::clamp<size_t>(total / grain_weight, 1,
+                                          kMaxParallelChunks);
+  const size_t target = (total + count - 1) / count;
+  chunks.reserve(count);
+  size_t chunk_begin = 0;
+  size_t weight = 0;
+  for (size_t v = 0; v < n; ++v) {
+    weight += offsets[v + 1] - offsets[v] + 1;
+    if (weight >= target) {
+      chunks.emplace_back(chunk_begin, v + 1);
+      chunk_begin = v + 1;
+      weight = 0;
+    }
+  }
+  if (chunk_begin < n) chunks.emplace_back(chunk_begin, n);
+  return chunks;
+}
+
+void ParallelForChunks(
+    std::span<const std::pair<size_t, size_t>> chunks, size_t threads,
+    const std::function<void(size_t, size_t, size_t)>& body) {
+  if (chunks.empty()) return;
+  threads = ResolveThreads(threads);
+  if (threads <= 1 || chunks.size() == 1) {
+    RegionGuard region;
+    for (size_t i = 0; i < chunks.size(); ++i) {
+      body(i, chunks[i].first, chunks[i].second);
+    }
+    return;
+  }
+  ThreadPool::Global().RunTasks(chunks.size(), threads, [&](size_t i) {
+    body(i, chunks[i].first, chunks[i].second);
+  });
+}
+
+void ParallelFor(size_t begin, size_t end, const ParallelOptions& options,
+                 const std::function<void(size_t, size_t)>& body) {
+  const auto chunks = UniformChunks(begin, end, options.grain);
+  ParallelForChunks(chunks, options.threads,
+                    [&](size_t, size_t b, size_t e) { body(b, e); });
+}
+
+}  // namespace graphtides

@@ -1,0 +1,177 @@
+// Work-stealing parallel-compute substrate for the CSR batch kernels
+// (Table 1 computations) and the snapshot builders that feed them.
+//
+// Design constraints, in order:
+//  1. Bit-determinism at any thread count. Chunk boundaries are derived
+//     only from the input (size, degree prefix sums) and fixed constants —
+//     never from the thread count — and ParallelReduce folds per-chunk
+//     partials in chunk-index order. Running with 1, 2, or 64 threads
+//     therefore executes the identical floating-point reduction tree.
+//  2. threads == 1 means *inline*: no pool, no queues, no atomics — the
+//     sequential path pays nothing for the parallel machinery.
+//  3. Exceptions propagate: the first exception thrown by any chunk is
+//     rethrown on the calling thread; remaining chunks are skipped.
+//
+// The pool itself is a lazily-grown set of workers sleeping on a condition
+// variable. Each parallel region deals contiguous chunk blocks into
+// per-participant deques; owners pop from the front of their own deque and
+// idle participants steal from the back of a victim's, so skewed chunks
+// (hub vertices) rebalance without a central queue. The calling thread is
+// always participant 0 and does its share of the work.
+#ifndef GRAPHTIDES_COMMON_PARALLEL_H_
+#define GRAPHTIDES_COMMON_PARALLEL_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
+#include <deque>
+#include <exception>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <span>
+#include <thread>
+#include <utility>
+#include <vector>
+
+namespace graphtides {
+
+/// \brief Work-stealing thread pool. One shared process-global instance
+/// (`Global()`) serves all kernels; independent instances can be built for
+/// tests. Destruction joins every worker.
+class ThreadPool {
+ public:
+  /// Workers beyond the calling thread; they start immediately. The
+  /// global pool starts empty and grows on demand instead.
+  explicit ThreadPool(size_t initial_workers = 0);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Currently spawned worker threads (excludes callers).
+  size_t workers() const;
+
+  /// Executes `task(i)` for every i in [0, num_tasks) across at most
+  /// `max_threads` threads (the calling thread included; 0 = no limit)
+  /// and blocks until all complete. Reentrant calls from inside a task
+  /// run inline. The first exception any task throws is rethrown here.
+  void RunTasks(size_t num_tasks, size_t max_threads,
+                const std::function<void(size_t)>& task);
+
+  /// The process-global pool used by ParallelFor/ParallelReduce.
+  static ThreadPool& Global();
+
+  /// Overrides the default thread count used when a kernel passes
+  /// threads = 0 (auto). 0 restores hardware_concurrency.
+  static void SetDefaultThreads(size_t threads);
+  static size_t DefaultThreads();
+
+  /// Hard cap on pool size, and thereby on useful `threads` values.
+  static constexpr size_t kMaxThreads = 64;
+
+ private:
+  struct WorkDeque {
+    std::mutex mu;
+    std::deque<size_t> tasks;
+  };
+
+  struct Job {
+    std::vector<std::unique_ptr<WorkDeque>> queues;
+    std::atomic<size_t> next_slot{1};  // slot 0 is the calling thread
+    std::atomic<size_t> remaining{0};
+    std::atomic<size_t> active_helpers{0};
+    std::atomic<bool> failed{false};
+    std::mutex done_mu;
+    std::condition_variable done_cv;
+    std::exception_ptr error;  // guarded by done_mu
+    const std::function<void(size_t)>* task = nullptr;
+  };
+
+  void WorkerLoop();
+  void EnsureWorkers(size_t count);
+  static bool PopTask(Job& job, size_t slot, size_t* out);
+  static void WorkOn(Job& job, size_t slot);
+
+  std::mutex run_mu_;  // one parallel region at a time per pool
+  mutable std::mutex wake_mu_;
+  std::condition_variable wake_cv_;
+  Job* job_ = nullptr;  // guarded by wake_mu_
+  uint64_t generation_ = 0;
+  bool stop_ = false;
+  std::vector<std::thread> threads_;  // guarded by wake_mu_ for growth
+};
+
+/// 0 = auto: ThreadPool::DefaultThreads().
+size_t ResolveThreads(size_t threads);
+
+struct ParallelOptions {
+  /// Max threads for this region; 0 = ThreadPool::DefaultThreads(),
+  /// 1 = run inline.
+  size_t threads = 0;
+  /// Minimum items (ParallelFor) or weight (degree-balanced chunking)
+  /// per chunk. Part of the deterministic chunk layout — changing it
+  /// changes reduction trees, changing `threads` never does.
+  size_t grain = 2048;
+};
+
+/// Upper bound on chunks per region; a fixed constant so chunk layouts
+/// are independent of the machine.
+inline constexpr size_t kMaxParallelChunks = 256;
+
+/// [begin, end) split into at most kMaxParallelChunks near-equal chunks of
+/// at least `grain` items (except possibly the sole chunk of a small
+/// range). Deterministic in the inputs.
+std::vector<std::pair<size_t, size_t>> UniformChunks(size_t begin, size_t end,
+                                                     size_t grain);
+
+/// Degree-aware chunking: `offsets` is a prefix-sum array (n + 1 entries,
+/// CSR-style); vertex v has weight offsets[v+1] - offsets[v] + 1. Returns
+/// contiguous vertex ranges of near-equal total weight, so chunks cover
+/// similar edge counts even when degrees are heavily skewed.
+/// Deterministic in the inputs.
+std::vector<std::pair<size_t, size_t>> DegreeBalancedChunks(
+    std::span<const size_t> offsets, size_t grain_weight);
+
+/// Runs body(chunk_index, begin, end) over precomputed chunks. With
+/// threads <= 1 runs inline in chunk order.
+void ParallelForChunks(
+    std::span<const std::pair<size_t, size_t>> chunks, size_t threads,
+    const std::function<void(size_t, size_t, size_t)>& body);
+
+/// Chunked parallel loop: body(begin, end) over deterministic uniform
+/// chunks of [begin, end).
+void ParallelFor(size_t begin, size_t end, const ParallelOptions& options,
+                 const std::function<void(size_t, size_t)>& body);
+
+/// Chunk-ordered reduction: partials[i] = chunk_fn(chunks[i]) computed in
+/// parallel, then folded left-to-right in chunk-index order — the fold
+/// tree depends only on the chunk layout, so results are bit-identical at
+/// any thread count.
+template <typename T, typename ChunkFn, typename FoldFn>
+T ParallelReduceChunks(std::span<const std::pair<size_t, size_t>> chunks,
+                       size_t threads, T init, const ChunkFn& chunk_fn,
+                       const FoldFn& fold) {
+  std::vector<T> partials(chunks.size());
+  ParallelForChunks(chunks, threads,
+                    [&](size_t i, size_t begin, size_t end) {
+                      partials[i] = chunk_fn(begin, end);
+                    });
+  T acc = std::move(init);
+  for (T& partial : partials) acc = fold(std::move(acc), std::move(partial));
+  return acc;
+}
+
+/// ParallelReduceChunks over uniform chunks of [begin, end).
+template <typename T, typename ChunkFn, typename FoldFn>
+T ParallelReduce(size_t begin, size_t end, const ParallelOptions& options,
+                 T init, const ChunkFn& chunk_fn, const FoldFn& fold) {
+  const auto chunks = UniformChunks(begin, end, options.grain);
+  return ParallelReduceChunks(chunks, options.threads, std::move(init),
+                              chunk_fn, fold);
+}
+
+}  // namespace graphtides
+
+#endif  // GRAPHTIDES_COMMON_PARALLEL_H_

@@ -1,53 +1,78 @@
 #include "graph/csr.h"
 
 #include <algorithm>
+#include <utility>
+
+#include "common/parallel.h"
 
 namespace graphtides {
 
-CsrGraph CsrGraph::FromGraph(const Graph& graph) {
+CsrGraph CsrGraph::FromGraph(const Graph& graph, size_t threads) {
   CsrGraph csr;
-  csr.ids_ = graph.VertexIds();
-  std::sort(csr.ids_.begin(), csr.ids_.end());
-  csr.index_of_.reserve(csr.ids_.size());
-  for (Index i = 0; i < csr.ids_.size(); ++i) {
-    csr.index_of_.emplace(csr.ids_[i], i);
+  const size_t n = graph.vertices_.size();
+
+  // One walk over the vertex table yields both the sorted id list and a
+  // record pointer per dense index — no per-vertex hash lookups later.
+  std::vector<std::pair<VertexId, const Graph::VertexRecord*>> records;
+  records.reserve(n);
+  for (const auto& [id, record] : graph.vertices_) {
+    records.emplace_back(id, &record);
+  }
+  std::sort(records.begin(), records.end(),
+            [](const auto& a, const auto& b) { return a.first < b.first; });
+
+  csr.ids_.resize(n);
+  csr.index_of_.reserve(n);
+  for (Index i = 0; i < n; ++i) {
+    csr.ids_[i] = records[i].first;
+    csr.index_of_.emplace(records[i].first, i);
   }
 
-  const size_t n = csr.ids_.size();
   csr.out_offsets_.assign(n + 1, 0);
   csr.in_offsets_.assign(n + 1, 0);
+  if (n == 0) return csr;
 
-  // Counting pass.
-  graph.ForEachEdge([&](VertexId src, VertexId dst, const std::string&) {
-    ++csr.out_offsets_[csr.index_of_[src] + 1];
-    ++csr.in_offsets_[csr.index_of_[dst] + 1];
-  });
+  // Degree pass: each vertex's degrees come straight off its record.
+  ParallelFor(0, n, {.threads = threads, .grain = 8192},
+              [&](size_t begin, size_t end) {
+                for (size_t v = begin; v < end; ++v) {
+                  csr.out_offsets_[v + 1] = records[v].second->out.size();
+                  csr.in_offsets_[v + 1] = records[v].second->in.size();
+                }
+              });
+  // Prefix sums (O(n), sequential), plus the combined work prefix that
+  // drives degree-balanced chunking of the scatter pass.
+  std::vector<size_t> work(n + 1, 0);
   for (size_t i = 1; i <= n; ++i) {
+    work[i] = work[i - 1] + csr.out_offsets_[i] + csr.in_offsets_[i];
     csr.out_offsets_[i] += csr.out_offsets_[i - 1];
     csr.in_offsets_[i] += csr.in_offsets_[i - 1];
   }
 
-  // Fill pass.
+  // Scatter pass: every vertex fills and sorts its own target ranges, so
+  // no two chunks ever write the same cache line's worth of slots twice
+  // and no atomics are needed. The id -> index map is read-only here.
   csr.out_targets_.resize(graph.num_edges());
   csr.in_targets_.resize(graph.num_edges());
-  std::vector<size_t> out_cursor(csr.out_offsets_.begin(),
-                                 csr.out_offsets_.end() - 1);
-  std::vector<size_t> in_cursor(csr.in_offsets_.begin(),
-                                csr.in_offsets_.end() - 1);
-  graph.ForEachEdge([&](VertexId src, VertexId dst, const std::string&) {
-    const Index s = csr.index_of_[src];
-    const Index d = csr.index_of_[dst];
-    csr.out_targets_[out_cursor[s]++] = d;
-    csr.in_targets_[in_cursor[d]++] = s;
-  });
-
-  // Sort neighbor lists for deterministic iteration and fast intersection.
-  for (size_t v = 0; v < n; ++v) {
-    std::sort(csr.out_targets_.begin() + csr.out_offsets_[v],
-              csr.out_targets_.begin() + csr.out_offsets_[v + 1]);
-    std::sort(csr.in_targets_.begin() + csr.in_offsets_[v],
-              csr.in_targets_.begin() + csr.in_offsets_[v + 1]);
-  }
+  const auto chunks = DegreeBalancedChunks(work, 16384);
+  ParallelForChunks(
+      chunks, threads, [&](size_t, size_t begin, size_t end) {
+        for (size_t v = begin; v < end; ++v) {
+          const Graph::VertexRecord& record = *records[v].second;
+          size_t cursor = csr.out_offsets_[v];
+          for (const auto& [dst, state] : record.out) {
+            csr.out_targets_[cursor++] = csr.index_of_.find(dst)->second;
+          }
+          std::sort(csr.out_targets_.begin() + csr.out_offsets_[v],
+                    csr.out_targets_.begin() + cursor);
+          cursor = csr.in_offsets_[v];
+          for (VertexId src : record.in) {
+            csr.in_targets_[cursor++] = csr.index_of_.find(src)->second;
+          }
+          std::sort(csr.in_targets_.begin() + csr.in_offsets_[v],
+                    csr.in_targets_.begin() + cursor);
+        }
+      });
   return csr;
 }
 

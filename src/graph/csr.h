@@ -25,8 +25,11 @@ class CsrGraph {
   using Index = uint32_t;
 
   /// Builds a snapshot of `graph`. Vertex IDs are assigned dense indices in
-  /// ascending VertexId order (deterministic across runs).
-  static CsrGraph FromGraph(const Graph& graph);
+  /// ascending VertexId order (deterministic across runs). `threads`
+  /// parallelizes the degree count, edge scatter, and neighbor-list sort
+  /// over vertex ranges (0 = auto, 1 = sequential); the result is
+  /// identical at every thread count.
+  static CsrGraph FromGraph(const Graph& graph, size_t threads = 0);
 
   size_t num_vertices() const { return ids_.size(); }
   size_t num_edges() const { return out_targets_.size(); }
@@ -52,6 +55,11 @@ class CsrGraph {
 
   /// All original vertex IDs in dense-index order.
   const std::vector<VertexId>& ids() const { return ids_; }
+
+  /// CSR offset arrays (n + 1 entries) — the degree prefix sums the
+  /// parallel kernels use for degree-balanced chunking.
+  const std::vector<size_t>& out_offsets() const { return out_offsets_; }
+  const std::vector<size_t>& in_offsets() const { return in_offsets_; }
 
  private:
   std::vector<VertexId> ids_;                      // dense index -> id

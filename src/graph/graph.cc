@@ -124,6 +124,13 @@ Status Graph::Apply(const Event& event) {
 }
 
 Status Graph::ApplyAll(const std::vector<Event>& events) {
+  // Pre-size the vertex table: rehash churn dominates large snapshot
+  // replays otherwise (every rehash rebuilds every bucket chain).
+  size_t added_vertices = 0;
+  for (const Event& e : events) {
+    if (e.type == EventType::kAddVertex) ++added_vertices;
+  }
+  if (added_vertices > 0) vertices_.reserve(vertices_.size() + added_vertices);
   for (size_t i = 0; i < events.size(); ++i) {
     Status st = Apply(events[i]);
     if (!st.ok()) {

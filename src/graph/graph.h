@@ -98,6 +98,11 @@ class Graph {
     std::unordered_set<VertexId> in;
   };
 
+  // CsrGraph::FromGraph reads the vertex records directly: the snapshot
+  // build walks every adjacency set once per vertex, and going through the
+  // std::function iteration API would cost an allocation per vertex.
+  friend class CsrGraph;
+
   std::unordered_map<VertexId, VertexRecord> vertices_;
   size_t num_edges_ = 0;
 };

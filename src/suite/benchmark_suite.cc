@@ -101,8 +101,10 @@ Result<SuiteCaseScore> RunSuiteCase(const SuiteWorkload& workload,
   // Tracked users: top-k of the final exact ranking.
   Graph final_graph;
   for (const Event& e : workload.events) (void)final_graph.Apply(e);
-  const CsrGraph final_csr = CsrGraph::FromGraph(final_graph);
-  const PageRankResult final_pr = PageRank(final_csr);
+  const CsrGraph final_csr =
+      CsrGraph::FromGraph(final_graph, options.compute_threads);
+  const PageRankResult final_pr =
+      PageRank(final_csr, {.threads = options.compute_threads});
   std::vector<VertexId> tracked;
   for (CsrGraph::Index idx : TopKByRank(final_pr.ranks, options.track_top_k)) {
     tracked.push_back(final_csr.IdOf(idx));
@@ -242,8 +244,10 @@ Result<SuiteCaseScore> RunSuiteCase(const SuiteWorkload& workload,
       ++cursor;
     }
     if (reconstructed.num_vertices() == 0) continue;
-    const CsrGraph csr = CsrGraph::FromGraph(reconstructed);
-    const PageRankResult exact = PageRank(csr);
+    const CsrGraph csr =
+        CsrGraph::FromGraph(reconstructed, options.compute_threads);
+    const PageRankResult exact =
+        PageRank(csr, {.threads = options.compute_threads});
     std::vector<double> errors;
     for (size_t i = 0; i < tracked.size(); ++i) {
       CsrGraph::Index idx;
@@ -273,8 +277,10 @@ Result<CrashRecoveryReport> RunCrashRecoveryCase(
   // Tracked users: top-k of the final exact ranking (as in RunSuiteCase).
   Graph final_graph;
   for (const Event& e : workload.events) (void)final_graph.Apply(e);
-  const CsrGraph final_csr = CsrGraph::FromGraph(final_graph);
-  const PageRankResult final_pr = PageRank(final_csr);
+  const CsrGraph final_csr =
+      CsrGraph::FromGraph(final_graph, options.compute_threads);
+  const PageRankResult final_pr =
+      PageRank(final_csr, {.threads = options.compute_threads});
   std::vector<VertexId> tracked;
   for (CsrGraph::Index idx : TopKByRank(final_pr.ranks, options.track_top_k)) {
     tracked.push_back(final_csr.IdOf(idx));

@@ -45,6 +45,9 @@ struct SuiteCaseOptions {
   /// Exact-reference evaluation cadence (batch PageRank per point).
   Duration error_interval = Duration::FromSeconds(10.0);
   Duration max_duration = Duration::FromSeconds(600.0);
+  /// Worker threads for the exact-reference batch computations (0 = auto,
+  /// 1 = sequential). Scores are thread-count invariant.
+  size_t compute_threads = 1;
 };
 
 /// \brief Scores of one (workload, connector) cell.
@@ -109,6 +112,9 @@ struct CrashRecoveryOptions {
   size_t track_top_k = 10;
   Duration sample_interval = Duration::FromMillis(100);
   Duration max_duration = Duration::FromSeconds(600.0);
+  /// Worker threads for the exact-reference batch computations (0 = auto,
+  /// 1 = sequential). Reports are thread-count invariant.
+  size_t compute_threads = 1;
 };
 
 /// \brief Outcome of one kill–restart experiment.

@@ -21,6 +21,10 @@ struct HybridConnectorOptions {
   Duration compute_cost_per_edge = Duration::FromNanos(400);
   size_t compute_iterations = 20;
   Duration epoch = Duration::FromSeconds(10.0);
+  /// Worker threads for the real (host-side) snapshot recompute
+  /// (0 = auto, 1 = sequential). Results are thread-count invariant;
+  /// this only changes host wall time, never simulated cost.
+  size_t compute_threads = 1;
 };
 
 /// \brief Two-process connector: concurrent ingestion + epoch recomputes.

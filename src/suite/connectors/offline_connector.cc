@@ -50,8 +50,10 @@ void OfflineSnapshotConnector::RunRecompute() {
         static_cast<int64_t>(options_.compute_iterations);
     process_->Submit(Duration::FromNanos(cost_ns), [this, snapshot,
                                                     snapshot_time] {
-      const CsrGraph csr = CsrGraph::FromGraph(*snapshot);
-      const PageRankResult pr = PageRank(csr);
+      const CsrGraph csr =
+          CsrGraph::FromGraph(*snapshot, options_.compute_threads);
+      const PageRankResult pr =
+          PageRank(csr, {.threads = options_.compute_threads});
       published_ranks_.clear();
       for (CsrGraph::Index v = 0; v < csr.num_vertices(); ++v) {
         published_ranks_[csr.IdOf(v)] = pr.ranks[v];

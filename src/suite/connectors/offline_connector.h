@@ -25,6 +25,10 @@ struct OfflineConnectorOptions {
   size_t compute_iterations = 20;
   /// Epoch length: a recompute is scheduled this often.
   Duration epoch = Duration::FromSeconds(10.0);
+  /// Worker threads for the real (host-side) snapshot recompute
+  /// (0 = auto, 1 = sequential). Results are thread-count invariant;
+  /// this only changes host wall time, never simulated cost.
+  size_t compute_threads = 1;
 };
 
 /// \brief Epoch-snapshot connector: exact results, stale by up to one epoch

@@ -19,13 +19,13 @@ namespace {
 /// Exact final ranking determines which users to track (the paper dumps
 /// "intermediate processing results for the most influential users").
 std::vector<VertexId> PickTrackedUsers(const std::vector<Event>& stream,
-                                       size_t k) {
+                                       size_t k, size_t threads) {
   Graph graph;
   for (const Event& e : stream) {
     (void)graph.Apply(e);  // faults would be rejected here as in the SUT
   }
-  const CsrGraph csr = CsrGraph::FromGraph(graph);
-  const PageRankResult pr = PageRank(csr);
+  const CsrGraph csr = CsrGraph::FromGraph(graph, threads);
+  const PageRankResult pr = PageRank(csr, {.threads = threads});
   std::vector<VertexId> tracked;
   for (CsrGraph::Index idx : TopKByRank(pr.ranks, k)) {
     tracked.push_back(csr.IdOf(idx));
@@ -39,7 +39,8 @@ Result<ChronographExperimentResult> RunChronographExperiment(
     const std::vector<Event>& stream,
     const ChronographExperimentConfig& config) {
   ChronographExperimentResult result;
-  result.tracked_users = PickTrackedUsers(stream, config.track_top_k);
+  result.tracked_users =
+      PickTrackedUsers(stream, config.track_top_k, config.compute_threads);
 
   Simulator sim;
   ChronoLiteOptions engine_options = config.engine;
@@ -195,8 +196,10 @@ Result<ChronographExperimentResult> RunChronographExperiment(
         ++cursor;
       }
       if (reconstructed.num_vertices() == 0) continue;
-      const CsrGraph csr = CsrGraph::FromGraph(reconstructed);
-      const PageRankResult exact = PageRank(csr);
+      const CsrGraph csr =
+          CsrGraph::FromGraph(reconstructed, config.compute_threads);
+      const PageRankResult exact =
+          PageRank(csr, {.threads = config.compute_threads});
       std::vector<double> errors;
       for (size_t i = 0; i < result.tracked_users.size(); ++i) {
         CsrGraph::Index idx;

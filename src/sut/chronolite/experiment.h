@@ -30,6 +30,9 @@ struct ChronographExperimentConfig {
   size_t track_top_k = 10;
   /// Hard stop in virtual time.
   Duration max_duration = Duration::FromSeconds(600.0);
+  /// Worker threads for the retrospective exact-reference recomputes
+  /// (0 = auto, 1 = sequential). Results are thread-count invariant.
+  size_t compute_threads = 1;
   ChronoLiteOptions engine;
 };
 

@@ -1,0 +1,184 @@
+#include "common/parallel.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cmath>
+#include <numeric>
+#include <stdexcept>
+#include <vector>
+
+namespace graphtides {
+namespace {
+
+TEST(ParallelTest, ResolveThreadsAutoAndExplicit) {
+  EXPECT_GE(ResolveThreads(0), 1u);
+  EXPECT_EQ(ResolveThreads(1), 1u);
+  EXPECT_EQ(ResolveThreads(3), 3u);
+  EXPECT_EQ(ResolveThreads(1000), ThreadPool::kMaxThreads);
+}
+
+TEST(ParallelTest, SetDefaultThreadsOverridesAuto) {
+  ThreadPool::SetDefaultThreads(1);
+  EXPECT_EQ(ResolveThreads(0), 1u);
+  ThreadPool::SetDefaultThreads(3);
+  EXPECT_EQ(ResolveThreads(0), 3u);
+  ThreadPool::SetDefaultThreads(0);  // restore hardware default
+  EXPECT_GE(ResolveThreads(0), 1u);
+}
+
+TEST(ParallelTest, UniformChunksPartitionTheRange) {
+  for (const size_t n : {0u, 1u, 5u, 2048u, 100000u}) {
+    const auto chunks = UniformChunks(0, n, 64);
+    ASSERT_LE(chunks.size(), kMaxParallelChunks);
+    size_t covered = 0;
+    size_t expected_begin = 0;
+    for (const auto& [begin, end] : chunks) {
+      EXPECT_EQ(begin, expected_begin);
+      EXPECT_LT(begin, end);
+      covered += end - begin;
+      expected_begin = end;
+    }
+    EXPECT_EQ(covered, n);
+    if (n == 0) {
+      EXPECT_TRUE(chunks.empty());
+    }
+  }
+}
+
+TEST(ParallelTest, DegreeBalancedChunksPartitionAndBalance) {
+  // Skewed degrees: one hub with weight ~n, the rest tiny.
+  const size_t n = 10000;
+  std::vector<size_t> offsets(n + 1, 0);
+  for (size_t v = 0; v < n; ++v) {
+    const size_t degree = (v == 7) ? n : (v % 3);
+    offsets[v + 1] = offsets[v] + degree;
+  }
+  const auto chunks = DegreeBalancedChunks(offsets, 128);
+  ASSERT_FALSE(chunks.empty());
+  ASSERT_LE(chunks.size(), kMaxParallelChunks);
+  size_t expected_begin = 0;
+  size_t max_weight = 0;
+  for (const auto& [begin, end] : chunks) {
+    ASSERT_EQ(begin, expected_begin);
+    ASSERT_LT(begin, end);
+    expected_begin = end;
+    size_t weight = 0;
+    for (size_t v = begin; v < end; ++v) {
+      weight += offsets[v + 1] - offsets[v] + 1;
+    }
+    max_weight = std::max(max_weight, weight);
+  }
+  EXPECT_EQ(expected_begin, n);
+  // No chunk exceeds hub weight + the greedy target; the hub forces one
+  // heavy chunk, everything else stays near the target.
+  const size_t total = offsets[n] + n;
+  const size_t target = (total + chunks.size() - 1) / chunks.size();
+  EXPECT_LE(max_weight, n + 1 + target);
+}
+
+TEST(ParallelTest, ParallelForCoversEveryIndexOnce) {
+  const size_t n = 50000;
+  std::vector<std::atomic<int>> hits(n);
+  ParallelFor(0, n, {.threads = 4, .grain = 128}, [&](size_t begin,
+                                                      size_t end) {
+    for (size_t i = begin; i < end; ++i) {
+      hits[i].fetch_add(1, std::memory_order_relaxed);
+    }
+  });
+  for (size_t i = 0; i < n; ++i) ASSERT_EQ(hits[i].load(), 1) << i;
+}
+
+TEST(ParallelTest, ReduceIsBitIdenticalAcrossThreadCounts) {
+  const size_t n = 100000;
+  std::vector<double> values(n);
+  for (size_t i = 0; i < n; ++i) {
+    values[i] = 1.0 / static_cast<double>(i + 1);
+  }
+  auto sum_with = [&](size_t threads) {
+    return ParallelReduce(
+        0, n, {.threads = threads, .grain = 512}, 0.0,
+        [&](size_t begin, size_t end) {
+          double s = 0.0;
+          for (size_t i = begin; i < end; ++i) s += values[i];
+          return s;
+        },
+        [](double a, double b) { return a + b; });
+  };
+  const double reference = sum_with(1);
+  for (const size_t threads : {2u, 3u, 8u}) {
+    const double parallel = sum_with(threads);
+    // Exact equality on purpose: same chunk layout, same fold order.
+    EXPECT_EQ(parallel, reference) << "threads=" << threads;
+  }
+}
+
+TEST(ParallelTest, ExceptionPropagatesAndPoolStaysUsable) {
+  EXPECT_THROW(
+      ParallelFor(0, 10000, {.threads = 4, .grain = 16},
+                  [&](size_t begin, size_t) {
+                    if (begin >= 5000) throw std::runtime_error("chunk fail");
+                  }),
+      std::runtime_error);
+
+  // The pool must have fully quiesced: the next region works normally.
+  std::atomic<size_t> covered{0};
+  ParallelFor(0, 10000, {.threads = 4, .grain = 16},
+              [&](size_t begin, size_t end) {
+                covered.fetch_add(end - begin, std::memory_order_relaxed);
+              });
+  EXPECT_EQ(covered.load(), 10000u);
+}
+
+TEST(ParallelTest, NestedParallelRegionsRunInline) {
+  std::vector<std::atomic<int>> hits(4096);
+  ParallelFor(0, 64, {.threads = 4, .grain = 8}, [&](size_t outer_begin,
+                                                     size_t outer_end) {
+    for (size_t outer = outer_begin; outer < outer_end; ++outer) {
+      ParallelFor(0, 64, {.threads = 4, .grain = 8},
+                  [&](size_t begin, size_t end) {
+                    for (size_t inner = begin; inner < end; ++inner) {
+                      hits[outer * 64 + inner].fetch_add(
+                          1, std::memory_order_relaxed);
+                    }
+                  });
+    }
+  });
+  for (size_t i = 0; i < hits.size(); ++i) ASSERT_EQ(hits[i].load(), 1) << i;
+}
+
+TEST(ParallelTest, DedicatedPoolRunTasksExecutesEachTaskOnce) {
+  ThreadPool pool(3);
+  EXPECT_EQ(pool.workers(), 3u);
+  std::vector<std::atomic<int>> hits(500);
+  pool.RunTasks(hits.size(), 4, [&](size_t i) {
+    hits[i].fetch_add(1, std::memory_order_relaxed);
+  });
+  for (size_t i = 0; i < hits.size(); ++i) ASSERT_EQ(hits[i].load(), 1) << i;
+}
+
+TEST(ParallelTest, PoolShutdownAndRecreationLoop) {
+  for (int round = 0; round < 5; ++round) {
+    ThreadPool pool(2);
+    std::atomic<size_t> sum{0};
+    pool.RunTasks(100, 3,
+                  [&](size_t i) { sum.fetch_add(i + 1,
+                                                std::memory_order_relaxed); });
+    EXPECT_EQ(sum.load(), 5050u);
+    // Destructor joins the workers; a stuck worker would hang the test.
+  }
+}
+
+TEST(ParallelTest, GlobalPoolReusedAcrossRegions) {
+  // Repeated regions must reuse (not leak) workers in the global pool.
+  ParallelFor(0, 1000, {.threads = 4, .grain = 16}, [](size_t, size_t) {});
+  const size_t workers_after_first = ThreadPool::Global().workers();
+  for (int i = 0; i < 20; ++i) {
+    ParallelFor(0, 1000, {.threads = 4, .grain = 16}, [](size_t, size_t) {});
+  }
+  EXPECT_EQ(ThreadPool::Global().workers(), workers_after_first);
+  EXPECT_LE(workers_after_first, ThreadPool::kMaxThreads);
+}
+
+}  // namespace
+}  // namespace graphtides

@@ -21,17 +21,32 @@
 //                            (gt_replay --telemetry-out): throughput over
 //                            the run, final per-stage/marker percentile
 //                            tables, shard balance, fault counters
+//   --stream FILE            reconstruct the graph from a stream file (CSV
+//                            or gt-stream-v2) and run the batch reference
+//                            computations (statistics, PageRank, WCC,
+//                            triangles) with per-kernel timings
+//   --threads N              worker threads for --stream computations
+//                            (0 = auto: hardware concurrency)
+#include <chrono>
 #include <cstdio>
 
 #include <fstream>
 
+#include "algorithms/components.h"
+#include "algorithms/pagerank.h"
+#include "algorithms/statistics.h"
+#include "algorithms/triangles.h"
 #include "analysis/time_series.h"
 #include "common/flags.h"
+#include "common/parallel.h"
 #include "common/string_util.h"
+#include "graph/csr.h"
+#include "graph/graph.h"
 #include "harness/log_collector.h"
 #include "harness/marker_correlator.h"
 #include "harness/report.h"
 #include "harness/telemetry/snapshot.h"
+#include "stream/v2_reader.h"
 
 using namespace graphtides;
 
@@ -134,6 +149,66 @@ int AnalyzeTelemetry(const std::string& path) {
   return 0;
 }
 
+/// Reconstructs the target graph from a stream file and runs the batch
+/// reference computations on it (§4.3: exact results "by reconstructing
+/// the target graph and running a separate batch computation").
+int AnalyzeStream(const std::string& path, size_t threads) {
+  const auto start = std::chrono::steady_clock::now();
+  auto events = ReadStreamFileAnyFormat(path);
+  if (!events.ok()) return Fail(events.status());
+
+  // Lenient application: a stream under analysis may contain events the
+  // strict builder rejects (duplicates, unknown endpoints); count them
+  // instead of bailing so partial or faulty captures stay analyzable.
+  Graph graph;
+  size_t rejected = 0;
+  for (const Event& event : *events) {
+    if (!graph.Apply(event).ok()) ++rejected;
+  }
+
+  auto elapsed_ms = [&start] {
+    return std::chrono::duration<double, std::milli>(
+               std::chrono::steady_clock::now() - start)
+        .count();
+  };
+  double last_ms = elapsed_ms();
+  std::printf("stream: %zu event(s) -> %zu vertices, %zu edges "
+              "(%zu rejected), load %.1f ms, threads %zu\n\n",
+              events->size(), graph.num_vertices(), graph.num_edges(),
+              rejected, last_ms, threads);
+
+  TextTable table({"computation", "time [ms]", "result"});
+  auto add = [&](const char* name, const std::string& result) {
+    const double now_ms = elapsed_ms();
+    table.AddRow({name, TextTable::FormatDouble(now_ms - last_ms, 2), result});
+    last_ms = now_ms;
+  };
+
+  const CsrGraph csr = CsrGraph::FromGraph(graph, threads);
+  add("csr build", std::to_string(csr.num_vertices()) + " vertices, " +
+                       std::to_string(csr.num_edges()) + " edges");
+  const GraphStatistics stats = ComputeGraphStatistics(csr, threads);
+  add("graph statistics", stats.ToString());
+  const PageRankResult pr = PageRank(csr, {.threads = threads});
+  add("pagerank",
+      std::to_string(pr.iterations) + " iterations" +
+          (pr.converged ? "" : " (not converged)") + ", top rank " +
+          (pr.ranks.empty()
+               ? std::string("n/a")
+               : TextTable::FormatDouble(pr.ranks[TopKByRank(pr.ranks, 1)[0]],
+                                         6)));
+  const ComponentsResult wcc =
+      WeaklyConnectedComponents(csr, {.threads = threads});
+  add("weakly connected components",
+      std::to_string(wcc.num_components) + " component(s), largest " +
+          std::to_string(wcc.LargestSize()));
+  const uint64_t triangles = CountTriangles(csr, threads);
+  add("triangle count", std::to_string(triangles) + " triangle(s)");
+
+  std::printf("%s", table.ToString().c_str());
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -142,19 +217,32 @@ int main(int argc, char** argv) {
   const Flags& flags = *flags_or;
   const auto unknown = flags.UnknownFlags({"log", "log-2", "log-3", "out",
                                            "markers", "correlate", "bin-ms",
-                                           "max-lag", "telemetry", "help"});
+                                           "max-lag", "telemetry", "stream",
+                                           "threads", "help"});
   if (!unknown.empty()) {
     return Fail(Status::InvalidArgument("unknown flag --" + unknown[0]));
   }
   if (flags.GetBool("help")) {
     std::printf("usage: gt_analyze --log FILE [--markers SENT,SEEN] "
                 "[--correlate A,B --bin-ms N]\n"
-                "       gt_analyze --telemetry FILE\n");
+                "       gt_analyze --telemetry FILE\n"
+                "       gt_analyze --stream FILE [--threads N]\n");
     return 0;
   }
 
   const std::string telemetry_path = flags.GetString("telemetry", "");
   if (!telemetry_path.empty()) return AnalyzeTelemetry(telemetry_path);
+
+  const std::string stream_path = flags.GetString("stream", "");
+  if (!stream_path.empty()) {
+    auto threads = flags.GetInt("threads", 0);
+    if (!threads.ok()) return Fail(threads.status());
+    if (*threads < 0) {
+      return Fail(Status::InvalidArgument("--threads expects N >= 0"));
+    }
+    return AnalyzeStream(stream_path,
+                         ResolveThreads(static_cast<size_t>(*threads)));
+  }
 
   // Merge all provided logs.
   std::vector<LogRecord> all;
