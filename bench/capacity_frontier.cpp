@@ -1,0 +1,110 @@
+// Closed-loop capacity search as a benchmark (DESIGN.md §16): runs the
+// full SLO-frontier sweep against both simulated SUTs and reports the
+// discovered sustainable rates, the search cost (steps, measurement runs,
+// wall time), and the determinism property the CI smoke job gates on —
+// two sweeps from the same base seed must emit byte-identical artifacts.
+//
+// Virtual-time measurement: the sweep replays the workload once per
+// measurement window inside the simulator, so wall time here is simulator
+// throughput, not SUT latency — useful for tracking the cost of the
+// capacity-smoke CI job itself.
+#include <cstdio>
+#include <string>
+
+#include "common/clock.h"
+#include "harness/capacity/frontier.h"
+#include "harness/capacity/frontier_sweep.h"
+#include "harness/report.h"
+#include "suite/benchmark_suite.h"
+#include "suite/connectors/online_connector.h"
+#include "suite/connectors/weaver_connector.h"
+
+using namespace graphtides;
+
+namespace {
+
+struct SweepCase {
+  std::string sut;
+  double slo_p99_ms;
+  double start_rate_eps;
+  double max_rate_eps;
+  ConnectorFactory factory;
+};
+
+}  // namespace
+
+int main() {
+  std::printf("%s", SectionHeader(
+      "Closed-loop capacity search — SLO-frontier sweep cost "
+      "(tiny size class)").c_str());
+  std::printf("%s", ConfigBlock({
+      {"Workload", "social (tiny, seeded per measurement run)"},
+      {"Search", "geometric bracketing + bisection, resolution 5%"},
+      {"Repetitions", "2 per visited rate (pilot + top-up)"},
+      {"Determinism", "same base seed run twice, artifacts compared"},
+  }).c_str());
+
+  std::vector<SweepCase> cases;
+  cases.push_back({"weaverlite", 100.0, 1000.0, 1e6,
+                   [](Simulator* sim) -> std::unique_ptr<SuiteConnector> {
+                     return std::make_unique<WeaverConnector>(sim, WeaverConnectorOptions{});
+                   }});
+  cases.push_back({"chronolite", 30.0, 1000.0, 2e5,
+                   [](Simulator* sim) -> std::unique_ptr<SuiteConnector> {
+                     return std::make_unique<OnlineConnector>(
+                         sim, ChronoLiteOptions{});
+                   }});
+
+  const SeededWorkloadFactory workload_for =
+      [](uint64_t seed) -> Result<SuiteWorkload> {
+    for (SuiteWorkload& w : StandardWorkloads(SuiteSize::kTiny, seed)) {
+      if (w.name == "social") return std::move(w);
+    }
+    return Status::Internal("standard workload set lacks 'social'");
+  };
+
+  TextTable table({"sut", "sustainable [ev/s]", "steps", "points",
+                   "sweep [s]", "identical rerun"});
+  MonotonicClock clock;
+  int failures = 0;
+  for (const SweepCase& c : cases) {
+    FrontierSweepOptions sweep;
+    sweep.search.slo_p99_ms = c.slo_p99_ms;
+    sweep.search.start_rate_eps = c.start_rate_eps;
+    sweep.search.max_rate_eps = c.max_rate_eps;
+    sweep.search.seed = 42;
+    sweep.repetitions = 2;
+
+    const Timestamp begin = clock.Now();
+    auto first = RunFrontierSweep(c.sut, workload_for, c.factory, sweep);
+    const double elapsed_s = (clock.Now() - begin).seconds();
+    if (!first.ok()) {
+      std::fprintf(stderr, "%s: sweep failed: %s\n", c.sut.c_str(),
+                   first.status().ToString().c_str());
+      ++failures;
+      continue;
+    }
+    auto rerun = RunFrontierSweep(c.sut, workload_for, c.factory, sweep);
+    const bool identical =
+        rerun.ok() && rerun->ToJson() == first->ToJson();
+    if (!identical) ++failures;
+    if (Status st = ValidateFrontier(*first); !st.ok()) {
+      std::fprintf(stderr, "%s: frontier invalid: %s\n", c.sut.c_str(),
+                   st.ToString().c_str());
+      ++failures;
+    }
+
+    table.AddRow({c.sut,
+                  TextTable::FormatDouble(first->sustainable_rate_eps, 0),
+                  std::to_string(first->step_schedule.size()),
+                  std::to_string(first->points.size()),
+                  TextTable::FormatDouble(elapsed_s, 2),
+                  identical ? "yes" : "NO"});
+  }
+  std::printf("%s", table.ToString().c_str());
+  if (failures > 0) {
+    std::fprintf(stderr, "capacity_frontier: %d failure(s)\n", failures);
+    return 1;
+  }
+  return 0;
+}

@@ -173,9 +173,14 @@ int CheckBaseline(const std::string& path,
     const std::string label =
         std::string(kernel) + " threads=" + std::to_string(threads);
     if (it->edges_per_sec < 0.75 * baseline_eps) {
+      const double delta_pct =
+          baseline_eps > 0.0
+              ? (it->edges_per_sec / baseline_eps - 1.0) * 100.0
+              : 0.0;
       std::fprintf(stderr,
-                   "REGRESSION %s: %.0f edges/s < 75%% of baseline %.0f\n",
-                   label.c_str(), it->edges_per_sec, baseline_eps);
+                   "REGRESSION %s: %.0f edges/s < 75%% of baseline %.0f "
+                   "(%+.1f%%)\n",
+                   label.c_str(), it->edges_per_sec, baseline_eps, delta_pct);
       ++regressions;
     } else {
       std::printf("baseline ok %s: %.0f edges/s vs baseline %.0f\n",

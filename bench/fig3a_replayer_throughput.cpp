@@ -322,9 +322,12 @@ int CheckBaseline(const std::string& path,
     }
     const double floor = 0.8 * baseline_eps;
     if (current < floor) {
+      const double delta_pct =
+          baseline_eps > 0.0 ? (current / baseline_eps - 1.0) * 100.0 : 0.0;
       std::fprintf(stderr,
-                   "REGRESSION %s: %.0f ev/s < 80%% of baseline %.0f ev/s\n",
-                   label.c_str(), current, baseline_eps);
+                   "REGRESSION %s: %.0f ev/s < 80%% of baseline %.0f ev/s "
+                   "(%+.1f%%)\n",
+                   label.c_str(), current, baseline_eps, delta_pct);
       ++regressions;
     } else {
       std::printf("baseline ok %s: %.0f ev/s vs baseline %.0f ev/s\n",

@@ -254,9 +254,14 @@ int CheckBaseline(const std::string& path,
     if (it == results.end()) continue;
     const double floor = 0.8 * baseline_eps;
     if (it->events_per_sec < floor) {
+      const double delta_pct =
+          baseline_eps > 0.0
+              ? (it->events_per_sec / baseline_eps - 1.0) * 100.0
+              : 0.0;
       std::fprintf(stderr,
-                   "REGRESSION %s: %.0f ev/s < 80%% of baseline %.0f ev/s\n",
-                   config, it->events_per_sec, baseline_eps);
+                   "REGRESSION %s: %.0f ev/s < 80%% of baseline %.0f ev/s "
+                   "(%+.1f%%)\n",
+                   config, it->events_per_sec, baseline_eps, delta_pct);
       ++regressions;
     } else {
       std::printf("baseline ok %s: %.0f ev/s vs baseline %.0f ev/s\n",

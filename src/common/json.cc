@@ -1,0 +1,231 @@
+#include "common/json.h"
+
+#include <cctype>
+#include <cstdio>
+#include <cstdlib>
+
+namespace graphtides {
+
+namespace {
+
+class JsonParser {
+ public:
+  explicit JsonParser(std::string_view text) : text_(text) {}
+
+  Result<JsonValue> Parse() {
+    JsonValue v;
+    GT_RETURN_NOT_OK(ParseValue(&v));
+    SkipSpace();
+    if (pos_ != text_.size()) {
+      return Status::ParseError("trailing characters after JSON value");
+    }
+    return v;
+  }
+
+ private:
+  void SkipSpace() {
+    while (pos_ < text_.size() &&
+           std::isspace(static_cast<unsigned char>(text_[pos_]))) {
+      ++pos_;
+    }
+  }
+
+  Status ParseValue(JsonValue* out) {
+    SkipSpace();
+    if (pos_ >= text_.size()) return Status::ParseError("unexpected end");
+    const char c = text_[pos_];
+    if (c == '{') return ParseObject(out);
+    if (c == '[') return ParseArray(out);
+    if (c == '"') {
+      out->kind = JsonValue::Kind::kString;
+      return ParseString(&out->str);
+    }
+    if (c == 't' || c == 'f') return ParseBool(out);
+    if (c == 'n') return ParseNull(out);
+    return ParseNumber(out);
+  }
+
+  Status ParseObject(JsonValue* out) {
+    out->kind = JsonValue::Kind::kObject;
+    ++pos_;  // '{'
+    SkipSpace();
+    if (pos_ < text_.size() && text_[pos_] == '}') {
+      ++pos_;
+      return Status::OK();
+    }
+    while (true) {
+      SkipSpace();
+      std::string key;
+      GT_RETURN_NOT_OK(ParseString(&key));
+      SkipSpace();
+      if (pos_ >= text_.size() || text_[pos_] != ':') {
+        return Status::ParseError("expected ':' after object key");
+      }
+      ++pos_;
+      JsonValue value;
+      GT_RETURN_NOT_OK(ParseValue(&value));
+      out->object.emplace(std::move(key), std::move(value));
+      SkipSpace();
+      if (pos_ >= text_.size()) return Status::ParseError("unclosed object");
+      if (text_[pos_] == ',') {
+        ++pos_;
+        continue;
+      }
+      if (text_[pos_] == '}') {
+        ++pos_;
+        return Status::OK();
+      }
+      return Status::ParseError("expected ',' or '}' in object");
+    }
+  }
+
+  Status ParseArray(JsonValue* out) {
+    out->kind = JsonValue::Kind::kArray;
+    ++pos_;  // '['
+    SkipSpace();
+    if (pos_ < text_.size() && text_[pos_] == ']') {
+      ++pos_;
+      return Status::OK();
+    }
+    while (true) {
+      JsonValue value;
+      GT_RETURN_NOT_OK(ParseValue(&value));
+      out->array.push_back(std::move(value));
+      SkipSpace();
+      if (pos_ >= text_.size()) return Status::ParseError("unclosed array");
+      if (text_[pos_] == ',') {
+        ++pos_;
+        continue;
+      }
+      if (text_[pos_] == ']') {
+        ++pos_;
+        return Status::OK();
+      }
+      return Status::ParseError("expected ',' or ']' in array");
+    }
+  }
+
+  Status ParseString(std::string* out) {
+    if (pos_ >= text_.size() || text_[pos_] != '"') {
+      return Status::ParseError("expected string");
+    }
+    ++pos_;
+    out->clear();
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_++];
+      if (c == '"') return Status::OK();
+      if (c == '\\') {
+        if (pos_ >= text_.size()) break;
+        const char esc = text_[pos_++];
+        switch (esc) {
+          case '"': out->push_back('"'); break;
+          case '\\': out->push_back('\\'); break;
+          case '/': out->push_back('/'); break;
+          case 'n': out->push_back('\n'); break;
+          case 't': out->push_back('\t'); break;
+          case 'r': out->push_back('\r'); break;
+          case 'b': out->push_back('\b'); break;
+          case 'f': out->push_back('\f'); break;
+          case 'u':
+            if (text_.size() - pos_ < 4) {
+              return Status::ParseError("truncated \\u escape");
+            }
+            pos_ += 4;  // labels are ASCII; placeholder for the code point
+            out->push_back('?');
+            break;
+          default:
+            return Status::ParseError("bad escape in string");
+        }
+        continue;
+      }
+      out->push_back(c);
+    }
+    return Status::ParseError("unclosed string");
+  }
+
+  Status ParseBool(JsonValue* out) {
+    out->kind = JsonValue::Kind::kBool;
+    if (text_.substr(pos_, 4) == "true") {
+      out->boolean = true;
+      pos_ += 4;
+      return Status::OK();
+    }
+    if (text_.substr(pos_, 5) == "false") {
+      out->boolean = false;
+      pos_ += 5;
+      return Status::OK();
+    }
+    return Status::ParseError("bad literal");
+  }
+
+  Status ParseNull(JsonValue* out) {
+    if (text_.substr(pos_, 4) != "null") {
+      return Status::ParseError("bad literal");
+    }
+    out->kind = JsonValue::Kind::kNull;
+    pos_ += 4;
+    return Status::OK();
+  }
+
+  Status ParseNumber(JsonValue* out) {
+    const char* begin = text_.data() + pos_;
+    char* end = nullptr;
+    out->number = std::strtod(begin, &end);
+    if (end == begin) return Status::ParseError("expected number");
+    out->kind = JsonValue::Kind::kNumber;
+    pos_ += static_cast<size_t>(end - begin);
+    return Status::OK();
+  }
+
+  std::string_view text_;
+  size_t pos_ = 0;
+};
+
+}  // namespace
+
+Result<JsonValue> ParseJson(std::string_view text) {
+  return JsonParser(text).Parse();
+}
+
+Result<double> JsonRequireNumber(const JsonValue& obj, const std::string& key) {
+  auto it = obj.object.find(key);
+  if (it == obj.object.end() ||
+      it->second.kind != JsonValue::Kind::kNumber) {
+    return Status::ParseError("missing numeric field \"" + key + "\"");
+  }
+  return it->second.number;
+}
+
+double JsonOptionalNumber(const JsonValue& obj, const std::string& key) {
+  auto it = obj.object.find(key);
+  if (it == obj.object.end() ||
+      it->second.kind != JsonValue::Kind::kNumber) {
+    return 0.0;
+  }
+  return it->second.number;
+}
+
+Result<std::string> JsonRequireString(const JsonValue& obj,
+                                      const std::string& key) {
+  auto it = obj.object.find(key);
+  if (it == obj.object.end() ||
+      it->second.kind != JsonValue::Kind::kString) {
+    return Status::ParseError("missing string field \"" + key + "\"");
+  }
+  return it->second.str;
+}
+
+void JsonAppendNumber(std::string* out, double v) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.10g", v);
+  out->append(buf);
+}
+
+void JsonAppendNumber(std::string* out, uint64_t v) {
+  char buf[24];
+  std::snprintf(buf, sizeof(buf), "%llu",
+                static_cast<unsigned long long>(v));
+  out->append(buf);
+}
+
+}  // namespace graphtides

@@ -1,0 +1,49 @@
+// Minimal JSON reader/writer helpers shared by the framework's line-based
+// artifact schemas (gt-telemetry-v1 snapshots, gt-frontier-v1 capacity
+// artifacts): objects/arrays/strings/numbers/bools, just enough to parse
+// and validate without a dependency. Not a general-purpose JSON library —
+// \u escapes decode to a placeholder (labels are ASCII).
+#ifndef GRAPHTIDES_COMMON_JSON_H_
+#define GRAPHTIDES_COMMON_JSON_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/result.h"
+
+namespace graphtides {
+
+struct JsonValue {
+  enum class Kind { kNull, kBool, kNumber, kString, kArray, kObject };
+  Kind kind = Kind::kNull;
+  bool boolean = false;
+  double number = 0.0;
+  std::string str;
+  std::vector<JsonValue> array;
+  std::map<std::string, JsonValue> object;
+};
+
+/// \brief Parses one complete JSON value; trailing characters are an error.
+Result<JsonValue> ParseJson(std::string_view text);
+
+/// Required numeric field of an object; ParseError when missing or not a
+/// number.
+Result<double> JsonRequireNumber(const JsonValue& obj, const std::string& key);
+/// Numeric field with a 0.0 fallback when missing or mistyped.
+double JsonOptionalNumber(const JsonValue& obj, const std::string& key);
+/// Required string field of an object.
+Result<std::string> JsonRequireString(const JsonValue& obj,
+                                      const std::string& key);
+
+/// Writer helpers: append a number in the canonical compact form the
+/// artifact schemas use (%.10g keeps doubles round-trippable at the
+/// precision the validators check).
+void JsonAppendNumber(std::string* out, double v);
+void JsonAppendNumber(std::string* out, uint64_t v);
+
+}  // namespace graphtides
+
+#endif  // GRAPHTIDES_COMMON_JSON_H_

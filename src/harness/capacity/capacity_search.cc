@@ -1,0 +1,120 @@
+#include "harness/capacity/capacity_search.h"
+
+#include <algorithm>
+
+namespace graphtides {
+
+CapacitySearch::CapacitySearch(const CapacitySearchOptions& options)
+    : options_(options) {
+  if (options_.slo_p99_ms <= 0.0) options_.slo_p99_ms = 1.0;
+  if (options_.start_rate_eps <= 0.0) options_.start_rate_eps = 1.0;
+  if (options_.growth <= 1.0) options_.growth = 2.0;
+  if (options_.max_rate_eps < options_.start_rate_eps) {
+    options_.max_rate_eps = options_.start_rate_eps;
+  }
+  if (options_.resolution <= 0.0) options_.resolution = 0.05;
+  options_.windows_per_step = std::max(1, options_.windows_per_step);
+  options_.confirm_violations =
+      std::clamp(options_.confirm_violations, 1, options_.windows_per_step);
+  options_.max_steps = std::max(1, options_.max_steps);
+  current_rate_ = options_.start_rate_eps;
+}
+
+void CapacitySearch::ResetStepAccumulators() {
+  windows_seen_ = 0;
+  violations_ = 0;
+  worst_p99_ms_ = 0.0;
+  sum_p50_ms_ = 0.0;
+  sum_p99_ms_ = 0.0;
+  sum_achieved_ = 0.0;
+  signal_windows_ = 0;
+}
+
+bool CapacitySearch::ReportWindow(const CapacityWindow& window) {
+  if (done()) return false;
+  ++windows_seen_;
+  if (window.samples > 0) {
+    ++signal_windows_;
+    worst_p99_ms_ = std::max(worst_p99_ms_, window.p99_ms);
+    sum_p50_ms_ += window.p50_ms;
+    sum_p99_ms_ += window.p99_ms;
+    if (window.p99_ms > options_.slo_p99_ms) ++violations_;
+  }
+  sum_achieved_ += window.achieved_rate_eps;
+
+  // Early conclusion once the verdict cannot change: enough violations to
+  // confirm, or too few remaining windows to ever reach the confirmation
+  // count.
+  const int remaining = options_.windows_per_step - windows_seen_;
+  if (violations_ >= options_.confirm_violations) {
+    ConcludeStep(/*violated=*/true);
+    return true;
+  }
+  if (remaining == 0 ||
+      violations_ + remaining < options_.confirm_violations) {
+    ConcludeStep(/*violated=*/false);
+    return true;
+  }
+  return false;
+}
+
+void CapacitySearch::ConcludeStep(bool violated) {
+  CapacityStep step;
+  step.index = static_cast<int>(steps_.size());
+  step.phase = phase_;
+  step.offered_rate_eps = current_rate_;
+  step.violated = violated;
+  step.windows = windows_seen_;
+  step.violations = violations_;
+  step.worst_p99_ms = worst_p99_ms_;
+  if (signal_windows_ > 0) {
+    step.mean_p50_ms = sum_p50_ms_ / signal_windows_;
+    step.mean_p99_ms = sum_p99_ms_ / signal_windows_;
+  }
+  if (windows_seen_ > 0) step.mean_achieved_eps = sum_achieved_ / windows_seen_;
+  steps_.push_back(step);
+  ResetStepAccumulators();
+
+  // Advance the state machine.
+  if (phase_ == CapacityPhase::kBracketing) {
+    if (!violated) {
+      lo_ = current_rate_;
+      if (current_rate_ >= options_.max_rate_eps) {
+        // The cap itself sustains: the bracket is degenerate but resolved.
+        phase_ = CapacityPhase::kDone;
+        converged_ = true;
+        return;
+      }
+      current_rate_ =
+          std::min(current_rate_ * options_.growth, options_.max_rate_eps);
+    } else {
+      hi_ = current_rate_;
+      phase_ = CapacityPhase::kRefining;
+      current_rate_ = (lo_ + hi_) / 2.0;
+    }
+  } else {  // kRefining
+    if (!violated) {
+      lo_ = current_rate_;
+    } else {
+      hi_ = current_rate_;
+    }
+    if (hi_ - lo_ <= options_.resolution * hi_) {
+      phase_ = CapacityPhase::kDone;
+      converged_ = true;
+      return;
+    }
+    current_rate_ = (lo_ + hi_) / 2.0;
+  }
+  if (static_cast<int>(steps_.size()) >= options_.max_steps) {
+    phase_ = CapacityPhase::kDone;  // budget exhausted; lo_ is best-known
+  }
+}
+
+std::vector<double> CapacitySearch::StepSchedule() const {
+  std::vector<double> schedule;
+  schedule.reserve(steps_.size());
+  for (const CapacityStep& s : steps_) schedule.push_back(s.offered_rate_eps);
+  return schedule;
+}
+
+}  // namespace graphtides

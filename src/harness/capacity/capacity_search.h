@@ -1,0 +1,138 @@
+// Closed-loop capacity search (DESIGN.md §16): given a latency SLO, find
+// the maximum offered rate a system sustains — the inverse of the paper's
+// fixed-rate methodology, framed as the sustainable-throughput question of
+// the Dayarathna et al. benchmarking survey.
+//
+// CapacitySearch is a pure decision engine: it owns no threads, reads no
+// clock, and draws no randomness. The caller measures windows at the rate
+// the engine asks for and feeds them back; every decision is a
+// deterministic function of the reported measurements, so two runs that
+// observe the same windows produce the identical step schedule — the
+// reproducibility property the frontier artifact's comparison checks pin.
+//
+// State machine:
+//   kBracketing: geometric ramp (rate *= growth) from start_rate_eps until
+//     a step violates the SLO (upper bracket found) or max_rate_eps
+//     sustains (done: the cap is sustainable).
+//   kRefining: arithmetic bisection between the last sustained rate (lo)
+//     and the first violating rate (hi) until hi - lo <= resolution * hi.
+//   kDone: sustainable rate = lo (0 when even the first step violated and
+//     refinement could not find any sustained rate).
+//
+// Hysteresis: one noisy window must not flip a step. A step observes up to
+// windows_per_step measurement windows and is violated only when
+// confirm_violations of them exceeded the SLO; it concludes early once the
+// verdict cannot change. A window with no latency signal (zero samples)
+// counts as within-SLO: no observed violation.
+#ifndef GRAPHTIDES_HARNESS_CAPACITY_CAPACITY_SEARCH_H_
+#define GRAPHTIDES_HARNESS_CAPACITY_CAPACITY_SEARCH_H_
+
+#include <cstdint>
+#include <vector>
+
+namespace graphtides {
+
+struct CapacitySearchOptions {
+  /// The SLO: a window violates when its latency p99 exceeds this.
+  double slo_p99_ms = 100.0;
+  /// First offered rate (events/s).
+  double start_rate_eps = 1000.0;
+  /// Bracketing ramp factor (> 1).
+  double growth = 2.0;
+  /// Bracketing cap: a sustained step at this rate ends the search.
+  double max_rate_eps = 1e9;
+  /// Refinement stops when (hi - lo) <= resolution * hi.
+  double resolution = 0.05;
+  /// Measurement windows observed per rate step (>= 1).
+  int windows_per_step = 3;
+  /// Violating windows (out of windows_per_step) that make a step
+  /// violated; clamped into [1, windows_per_step].
+  int confirm_violations = 2;
+  /// Hard cap on rate steps across both phases.
+  int max_steps = 32;
+  /// Recorded into the step trace / artifact for provenance (workload
+  /// seeding); the engine itself draws no randomness from it.
+  uint64_t seed = 42;
+};
+
+/// \brief One measurement window at the current offered rate.
+struct CapacityWindow {
+  double p99_ms = 0.0;
+  double p50_ms = 0.0;
+  double achieved_rate_eps = 0.0;
+  /// Latency observations inside the window; 0 = no signal, the window
+  /// counts as within-SLO (an idle system trivially meets the SLO).
+  uint64_t samples = 0;
+};
+
+enum class CapacityPhase { kBracketing, kRefining, kDone };
+
+/// \brief Trace entry: one concluded rate step.
+struct CapacityStep {
+  int index = 0;
+  CapacityPhase phase = CapacityPhase::kBracketing;
+  double offered_rate_eps = 0.0;
+  bool violated = false;
+  int windows = 0;
+  int violations = 0;
+  double worst_p99_ms = 0.0;
+  double mean_p50_ms = 0.0;
+  double mean_p99_ms = 0.0;
+  double mean_achieved_eps = 0.0;
+};
+
+class CapacitySearch {
+ public:
+  explicit CapacitySearch(const CapacitySearchOptions& options);
+
+  bool done() const { return phase_ == CapacityPhase::kDone; }
+  CapacityPhase phase() const { return phase_; }
+  /// The offered rate the caller must measure next (valid until done()).
+  double current_rate_eps() const { return current_rate_; }
+
+  /// \brief Feeds one measurement window at current_rate_eps(). Returns
+  /// true when the window concluded the step (the rate changed or the
+  /// search finished).
+  bool ReportWindow(const CapacityWindow& window);
+
+  /// Concluded steps in decision order (the "step schedule").
+  const std::vector<CapacityStep>& steps() const { return steps_; }
+  /// Offered rates in decision order — the sequence the reproducibility
+  /// check compares across seeded runs.
+  std::vector<double> StepSchedule() const;
+
+  /// Highest offered rate proven sustained (0 when none was).
+  double sustainable_rate_eps() const { return lo_; }
+  /// Lowest offered rate proven violating (0 until one was seen).
+  double first_violating_rate_eps() const { return hi_; }
+  /// False when the search ended on max_steps instead of converging.
+  bool converged() const { return converged_; }
+
+  const CapacitySearchOptions& options() const { return options_; }
+
+ private:
+  void ConcludeStep(bool violated);
+  void ResetStepAccumulators();
+
+  CapacitySearchOptions options_;
+  CapacityPhase phase_ = CapacityPhase::kBracketing;
+  double current_rate_ = 0.0;
+  double lo_ = 0.0;  // highest sustained rate
+  double hi_ = 0.0;  // lowest violating rate
+  bool converged_ = false;
+
+  // Current-step accumulators.
+  int windows_seen_ = 0;
+  int violations_ = 0;
+  double worst_p99_ms_ = 0.0;
+  double sum_p50_ms_ = 0.0;
+  double sum_p99_ms_ = 0.0;
+  double sum_achieved_ = 0.0;
+  int signal_windows_ = 0;
+
+  std::vector<CapacityStep> steps_;
+};
+
+}  // namespace graphtides
+
+#endif  // GRAPHTIDES_HARNESS_CAPACITY_CAPACITY_SEARCH_H_

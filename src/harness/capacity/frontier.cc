@@ -1,0 +1,346 @@
+#include "harness/capacity/frontier.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/json.h"
+#include "harness/report.h"
+
+namespace graphtides {
+
+namespace {
+
+bool NearlyEqual(double a, double b) {
+  const double scale = std::max(std::abs(a), std::abs(b));
+  return std::abs(a - b) <= 1e-9 * std::max(scale, 1.0);
+}
+
+Result<bool> RequireBool(const JsonValue& obj, const std::string& key) {
+  auto it = obj.object.find(key);
+  if (it == obj.object.end() || it->second.kind != JsonValue::Kind::kBool) {
+    return Status::ParseError("missing boolean field \"" + key + "\"");
+  }
+  return it->second.boolean;
+}
+
+void AppendEscaped(std::string* out, const std::string& s) {
+  out->push_back('"');
+  for (const char c : s) {
+    switch (c) {
+      case '"': out->append("\\\""); break;
+      case '\\': out->append("\\\\"); break;
+      case '\n': out->append("\\n"); break;
+      case '\t': out->append("\\t"); break;
+      default: out->push_back(c);
+    }
+  }
+  out->push_back('"');
+}
+
+}  // namespace
+
+std::string FrontierArtifact::ToJson() const {
+  std::string out;
+  out.reserve(1024);
+  out.append("{\"schema\":\"").append(kFrontierSchema).append("\"");
+  out.append(",\"sut\":");
+  AppendEscaped(&out, sut);
+  out.append(",\"workload\":");
+  AppendEscaped(&out, workload);
+  out.append(",\"slo_p99_ms\":");
+  JsonAppendNumber(&out, slo_p99_ms);
+  out.append(",\"seed\":");
+  JsonAppendNumber(&out, seed);
+  out.append(",\"resolution\":");
+  JsonAppendNumber(&out, resolution);
+  out.append(",\"complete\":").append(complete ? "true" : "false");
+  out.append(",\"sustainable\":{\"rate_eps\":");
+  JsonAppendNumber(&out, sustainable_rate_eps);
+  out.append(",\"ci_lo_eps\":");
+  JsonAppendNumber(&out, sustainable_ci_lo_eps);
+  out.append(",\"ci_hi_eps\":");
+  JsonAppendNumber(&out, sustainable_ci_hi_eps);
+  out.append(",\"offered_eps\":");
+  JsonAppendNumber(&out, sustainable_offered_eps);
+  out.append("},\"step_schedule\":[");
+  for (size_t i = 0; i < step_schedule.size(); ++i) {
+    if (i > 0) out.push_back(',');
+    JsonAppendNumber(&out, step_schedule[i]);
+  }
+  out.append("],\"points\":[");
+  for (size_t i = 0; i < points.size(); ++i) {
+    const FrontierPoint& p = points[i];
+    if (i > 0) out.push_back(',');
+    out.append("{\"offered_eps\":");
+    JsonAppendNumber(&out, p.offered_rate_eps);
+    out.append(",\"achieved_eps\":");
+    JsonAppendNumber(&out, p.achieved_rate_eps);
+    out.append(",\"p50_ms\":");
+    JsonAppendNumber(&out, p.p50_ms);
+    out.append(",\"p99_ms\":");
+    JsonAppendNumber(&out, p.p99_ms);
+    out.append(",\"p99_ci_lo_ms\":");
+    JsonAppendNumber(&out, p.p99_ci_lo_ms);
+    out.append(",\"p99_ci_hi_ms\":");
+    JsonAppendNumber(&out, p.p99_ci_hi_ms);
+    out.append(",\"n\":");
+    JsonAppendNumber(&out, p.n);
+    out.append(",\"violated\":").append(p.violated ? "true" : "false");
+    out.push_back('}');
+  }
+  out.append("]}");
+  return out;
+}
+
+Result<FrontierArtifact> FrontierArtifact::FromJson(std::string_view text) {
+  GT_ASSIGN_OR_RETURN(const JsonValue root, ParseJson(text));
+  if (root.kind != JsonValue::Kind::kObject) {
+    return Status::ParseError("frontier artifact is not a JSON object");
+  }
+  GT_ASSIGN_OR_RETURN(const std::string schema,
+                      JsonRequireString(root, "schema"));
+  if (schema != kFrontierSchema) {
+    return Status::ParseError("unsupported schema \"" + schema + "\"");
+  }
+  FrontierArtifact artifact;
+  GT_ASSIGN_OR_RETURN(artifact.sut, JsonRequireString(root, "sut"));
+  GT_ASSIGN_OR_RETURN(artifact.workload, JsonRequireString(root, "workload"));
+  GT_ASSIGN_OR_RETURN(artifact.slo_p99_ms,
+                      JsonRequireNumber(root, "slo_p99_ms"));
+  artifact.seed = static_cast<uint64_t>(JsonOptionalNumber(root, "seed"));
+  artifact.resolution = JsonOptionalNumber(root, "resolution");
+  GT_ASSIGN_OR_RETURN(artifact.complete, RequireBool(root, "complete"));
+
+  const auto sustainable = root.object.find("sustainable");
+  if (sustainable == root.object.end() ||
+      sustainable->second.kind != JsonValue::Kind::kObject) {
+    return Status::ParseError("missing \"sustainable\" object");
+  }
+  const JsonValue& s = sustainable->second;
+  GT_ASSIGN_OR_RETURN(artifact.sustainable_rate_eps,
+                      JsonRequireNumber(s, "rate_eps"));
+  GT_ASSIGN_OR_RETURN(artifact.sustainable_ci_lo_eps,
+                      JsonRequireNumber(s, "ci_lo_eps"));
+  GT_ASSIGN_OR_RETURN(artifact.sustainable_ci_hi_eps,
+                      JsonRequireNumber(s, "ci_hi_eps"));
+  artifact.sustainable_offered_eps = JsonOptionalNumber(s, "offered_eps");
+
+  const auto schedule = root.object.find("step_schedule");
+  if (schedule == root.object.end() ||
+      schedule->second.kind != JsonValue::Kind::kArray) {
+    return Status::ParseError("missing \"step_schedule\" array");
+  }
+  for (const JsonValue& v : schedule->second.array) {
+    if (v.kind != JsonValue::Kind::kNumber) {
+      return Status::ParseError("non-numeric entry in \"step_schedule\"");
+    }
+    artifact.step_schedule.push_back(v.number);
+  }
+
+  const auto points = root.object.find("points");
+  if (points == root.object.end() ||
+      points->second.kind != JsonValue::Kind::kArray) {
+    return Status::ParseError("missing \"points\" array");
+  }
+  for (const JsonValue& v : points->second.array) {
+    if (v.kind != JsonValue::Kind::kObject) {
+      return Status::ParseError("frontier point is not an object");
+    }
+    FrontierPoint p;
+    GT_ASSIGN_OR_RETURN(p.offered_rate_eps,
+                        JsonRequireNumber(v, "offered_eps"));
+    GT_ASSIGN_OR_RETURN(p.achieved_rate_eps,
+                        JsonRequireNumber(v, "achieved_eps"));
+    p.p50_ms = JsonOptionalNumber(v, "p50_ms");
+    GT_ASSIGN_OR_RETURN(p.p99_ms, JsonRequireNumber(v, "p99_ms"));
+    GT_ASSIGN_OR_RETURN(p.p99_ci_lo_ms, JsonRequireNumber(v, "p99_ci_lo_ms"));
+    GT_ASSIGN_OR_RETURN(p.p99_ci_hi_ms, JsonRequireNumber(v, "p99_ci_hi_ms"));
+    GT_ASSIGN_OR_RETURN(const double n, JsonRequireNumber(v, "n"));
+    p.n = static_cast<uint64_t>(n);
+    GT_ASSIGN_OR_RETURN(p.violated, RequireBool(v, "violated"));
+    artifact.points.push_back(p);
+  }
+  return artifact;
+}
+
+FrontierArtifact FrontierFromSearch(const CapacitySearch& search,
+                                    const std::string& sut,
+                                    const std::string& workload) {
+  FrontierArtifact artifact;
+  artifact.sut = sut;
+  artifact.workload = workload;
+  artifact.slo_p99_ms = search.options().slo_p99_ms;
+  artifact.seed = search.options().seed;
+  artifact.resolution = search.options().resolution;
+  artifact.complete = search.converged();
+  artifact.step_schedule = search.StepSchedule();
+  for (const CapacityStep& step : search.steps()) {
+    FrontierPoint point;
+    point.offered_rate_eps = step.offered_rate_eps;
+    point.achieved_rate_eps = step.mean_achieved_eps;
+    point.p50_ms = step.mean_p50_ms;
+    point.p99_ms = step.mean_p99_ms;
+    point.p99_ci_lo_ms = step.mean_p99_ms;
+    point.p99_ci_hi_ms = step.mean_p99_ms;
+    point.n = 1;
+    point.violated = step.violated;
+    artifact.points.push_back(point);
+  }
+  std::sort(artifact.points.begin(), artifact.points.end(),
+            [](const FrontierPoint& a, const FrontierPoint& b) {
+              return a.offered_rate_eps < b.offered_rate_eps;
+            });
+  const double sustained = search.sustainable_rate_eps();
+  if (sustained > 0.0) {
+    artifact.sustainable_offered_eps = sustained;
+    for (const CapacityStep& step : search.steps()) {
+      if (step.offered_rate_eps == sustained) {
+        artifact.sustainable_rate_eps = step.mean_achieved_eps;
+        break;
+      }
+    }
+    artifact.sustainable_ci_lo_eps = artifact.sustainable_rate_eps;
+    artifact.sustainable_ci_hi_eps = artifact.sustainable_rate_eps;
+  }
+  return artifact;
+}
+
+Status ValidateFrontier(const FrontierArtifact& artifact,
+                        double monotone_tolerance) {
+  if (artifact.slo_p99_ms <= 0.0) {
+    return Status::InvalidArgument("slo_p99_ms must be positive");
+  }
+  if (artifact.points.empty()) {
+    return Status::InvalidArgument("frontier has no points");
+  }
+  if (artifact.step_schedule.empty()) {
+    return Status::InvalidArgument("frontier has no step schedule");
+  }
+  for (size_t i = 0; i < artifact.points.size(); ++i) {
+    const FrontierPoint& p = artifact.points[i];
+    const std::string at = "point " + std::to_string(i);
+    if (p.offered_rate_eps <= 0.0) {
+      return Status::InvalidArgument(at + ": offered rate must be positive");
+    }
+    if (p.achieved_rate_eps < 0.0 || p.p99_ms < 0.0 || p.p50_ms < 0.0) {
+      return Status::InvalidArgument(at + ": negative measurement");
+    }
+    if (p.n == 0) {
+      return Status::InvalidArgument(at + ": zero repetitions");
+    }
+    if (p.p99_ci_lo_ms > p.p99_ms + 1e-9 ||
+        p.p99_ms > p.p99_ci_hi_ms + 1e-9) {
+      return Status::InvalidArgument(
+          at + ": CI95 bounds do not bracket the mean (lo " +
+          std::to_string(p.p99_ci_lo_ms) + ", mean " +
+          std::to_string(p.p99_ms) + ", hi " +
+          std::to_string(p.p99_ci_hi_ms) + ")");
+    }
+    if (i > 0) {
+      const FrontierPoint& prev = artifact.points[i - 1];
+      if (p.offered_rate_eps <= prev.offered_rate_eps) {
+        return Status::InvalidArgument(
+            at + ": offered rates not strictly increasing");
+      }
+      // Queueing latency is non-decreasing in offered rate once the system
+      // approaches capacity. Deep below the SLO (both points under half of
+      // it) rate-dependent floors legitimately move the other way — e.g. a
+      // batching client's fill time shrinks as the rate rises — so the
+      // monotonicity gate only applies once either point is within reach
+      // of the SLO, and then allows a bounded relative dip for
+      // bucket-resolution wiggle.
+      const bool near_slo =
+          std::max(p.p99_ms, prev.p99_ms) > 0.5 * artifact.slo_p99_ms;
+      if (near_slo && p.p99_ms < prev.p99_ms * (1.0 - monotone_tolerance)) {
+        return Status::InvalidArgument(
+            at + ": p99 " + std::to_string(p.p99_ms) +
+            " ms dips more than " +
+            std::to_string(monotone_tolerance * 100.0) + "% below " +
+            std::to_string(prev.p99_ms) + " ms at the lower rate");
+      }
+    }
+  }
+  if (artifact.sustainable_rate_eps < 0.0) {
+    return Status::InvalidArgument("negative sustainable rate");
+  }
+  if (artifact.sustainable_rate_eps > 0.0 &&
+      (artifact.sustainable_ci_lo_eps >
+           artifact.sustainable_rate_eps + 1e-9 ||
+       artifact.sustainable_rate_eps >
+           artifact.sustainable_ci_hi_eps + 1e-9)) {
+    return Status::InvalidArgument(
+        "sustainable rate outside its own CI95 band");
+  }
+  return Status::OK();
+}
+
+Status CompareFrontiers(const FrontierArtifact& a, const FrontierArtifact& b) {
+  if (a.step_schedule.size() != b.step_schedule.size()) {
+    return Status::InvalidArgument(
+        "step schedules differ in length: " +
+        std::to_string(a.step_schedule.size()) + " vs " +
+        std::to_string(b.step_schedule.size()));
+  }
+  for (size_t i = 0; i < a.step_schedule.size(); ++i) {
+    if (!NearlyEqual(a.step_schedule[i], b.step_schedule[i])) {
+      return Status::InvalidArgument(
+          "step " + std::to_string(i) + " diverges: " +
+          std::to_string(a.step_schedule[i]) + " vs " +
+          std::to_string(b.step_schedule[i]) + " ev/s");
+    }
+  }
+  auto band_contains = [](const FrontierArtifact& host, double rate) {
+    // A single-repetition band is degenerate (lo == hi == mean); widen to
+    // the search resolution, the finest distinction the sweep could make.
+    const double floor = host.resolution * host.sustainable_rate_eps;
+    const double lo =
+        std::min(host.sustainable_ci_lo_eps, host.sustainable_rate_eps - floor);
+    const double hi =
+        std::max(host.sustainable_ci_hi_eps, host.sustainable_rate_eps + floor);
+    return rate >= lo && rate <= hi;
+  };
+  if (!band_contains(a, b.sustainable_rate_eps) ||
+      !band_contains(b, a.sustainable_rate_eps)) {
+    return Status::InvalidArgument(
+        "sustainable rates not mutually within CI95 bands: " +
+        std::to_string(a.sustainable_rate_eps) + " [" +
+        std::to_string(a.sustainable_ci_lo_eps) + ", " +
+        std::to_string(a.sustainable_ci_hi_eps) + "] vs " +
+        std::to_string(b.sustainable_rate_eps) + " [" +
+        std::to_string(b.sustainable_ci_lo_eps) + ", " +
+        std::to_string(b.sustainable_ci_hi_eps) + "]");
+  }
+  return Status::OK();
+}
+
+std::string FormatFrontierTable(const FrontierArtifact& artifact) {
+  std::string out = SectionHeader("capacity frontier: " + artifact.sut + " / " +
+                                  artifact.workload);
+  out.append(ConfigBlock({
+      {"slo p99 [ms]", TextTable::FormatDouble(artifact.slo_p99_ms, 2)},
+      {"seed", std::to_string(artifact.seed)},
+      {"steps", std::to_string(artifact.step_schedule.size())},
+      {"complete", artifact.complete ? "yes" : "no"},
+      {"sustainable [ev/s]",
+       TextTable::FormatDouble(artifact.sustainable_rate_eps, 0) + "  (CI95 " +
+           TextTable::FormatDouble(artifact.sustainable_ci_lo_eps, 0) + " - " +
+           TextTable::FormatDouble(artifact.sustainable_ci_hi_eps, 0) +
+           ", offered " +
+           TextTable::FormatDouble(artifact.sustainable_offered_eps, 0) + ")"},
+  }));
+  TextTable table({"offered [ev/s]", "achieved [ev/s]", "p50 [ms]", "p99 [ms]",
+                   "p99 CI95 [ms]", "n", "SLO"});
+  for (const FrontierPoint& p : artifact.points) {
+    table.AddRow({TextTable::FormatDouble(p.offered_rate_eps, 0),
+                  TextTable::FormatDouble(p.achieved_rate_eps, 0),
+                  TextTable::FormatDouble(p.p50_ms, 3),
+                  TextTable::FormatDouble(p.p99_ms, 3),
+                  TextTable::FormatDouble(p.p99_ci_lo_ms, 3) + " - " +
+                      TextTable::FormatDouble(p.p99_ci_hi_ms, 3),
+                  std::to_string(p.n), p.violated ? "violated" : "ok"});
+  }
+  out.append(table.ToString());
+  return out;
+}
+
+}  // namespace graphtides

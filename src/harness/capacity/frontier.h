@@ -1,0 +1,98 @@
+// The gt-frontier-v1 artifact: one capacity search's result — the
+// sustainable-rate point plus the full latency-vs-throughput curve, with
+// CI95 bands when the sweep ran repetitions (§4.5 methodology: mean ± CI95
+// over n runs; single live runs carry degenerate bands). Emitted by
+// gt_replay --find-capacity and gt_campaign --frontier, rendered by
+// gt_analyze --frontier, schema-checked by gt_validate --frontier.
+#ifndef GRAPHTIDES_HARNESS_CAPACITY_FRONTIER_H_
+#define GRAPHTIDES_HARNESS_CAPACITY_FRONTIER_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/result.h"
+#include "harness/capacity/capacity_search.h"
+
+namespace graphtides {
+
+inline constexpr std::string_view kFrontierSchema = "gt-frontier-v1";
+
+/// \brief One point on the latency-vs-throughput curve (one offered rate,
+/// aggregated over n repetitions).
+struct FrontierPoint {
+  double offered_rate_eps = 0.0;
+  /// Mean rate actually sustained at this offered rate.
+  double achieved_rate_eps = 0.0;
+  double p50_ms = 0.0;
+  /// Mean latency p99 across repetitions, with its CI95 band (lo == hi ==
+  /// mean when n == 1).
+  double p99_ms = 0.0;
+  double p99_ci_lo_ms = 0.0;
+  double p99_ci_hi_ms = 0.0;
+  uint64_t n = 1;
+  /// Step verdict: this offered rate exceeded the SLO.
+  bool violated = false;
+};
+
+struct FrontierArtifact {
+  std::string sut;
+  std::string workload;
+  double slo_p99_ms = 0.0;
+  uint64_t seed = 0;
+  /// Refinement stop width (relative); also the floor the reproducibility
+  /// comparison widens degenerate CI bands to.
+  double resolution = 0.05;
+  /// False when the search ran out of steps or stream before converging.
+  bool complete = true;
+
+  /// Mean achieved rate at the highest sustained offered rate, with its
+  /// CI95 band over repetitions.
+  double sustainable_rate_eps = 0.0;
+  double sustainable_ci_lo_eps = 0.0;
+  double sustainable_ci_hi_eps = 0.0;
+  /// The offered rate that produced it (0 when nothing sustained).
+  double sustainable_offered_eps = 0.0;
+
+  /// Offered rates in search-decision order — two seeded runs of the same
+  /// deterministic sweep must produce this sequence identically.
+  std::vector<double> step_schedule;
+  /// The curve, sorted by strictly increasing offered rate.
+  std::vector<FrontierPoint> points;
+
+  std::string ToJson() const;
+  static Result<FrontierArtifact> FromJson(std::string_view text);
+};
+
+/// \brief Builds the artifact for a single live search (gt_replay
+/// --find-capacity): one point per concluded step, CI bands degenerate
+/// (n = 1 aggregate per rate; live runs carry no repetitions).
+FrontierArtifact FrontierFromSearch(const CapacitySearch& search,
+                                    const std::string& sut,
+                                    const std::string& workload);
+
+/// \brief Structural validation of an artifact: schema invariants the CI
+/// smoke job gates on — points sorted by strictly increasing offered rate,
+/// CI bounds ordered around each mean, sustainable rate inside its own
+/// band, and latency monotone in offered rate near the knee: once a
+/// point's p99 is within half the SLO, it may dip below its predecessor's
+/// by at most `monotone_tolerance` (relative). Deeper below the SLO dips
+/// are allowed — rate-dependent floors (batch fill time) legitimately
+/// shrink as the rate rises.
+Status ValidateFrontier(const FrontierArtifact& artifact,
+                        double monotone_tolerance = 0.10);
+
+/// \brief Reproducibility check across two seeded runs of the same sweep:
+/// identical step schedules (rate sequences equal to 1e-9 relative) and
+/// each run's sustainable rate inside the other's CI95 band, degenerate
+/// bands widened to ± resolution * mean (a single-rep band carries no
+/// spread of its own).
+Status CompareFrontiers(const FrontierArtifact& a, const FrontierArtifact& b);
+
+/// \brief Renders the curve as the analyzer's fixed-width table.
+std::string FormatFrontierTable(const FrontierArtifact& artifact);
+
+}  // namespace graphtides
+
+#endif  // GRAPHTIDES_HARNESS_CAPACITY_FRONTIER_H_

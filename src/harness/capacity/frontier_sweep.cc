@@ -1,0 +1,146 @@
+#include "harness/capacity/frontier_sweep.h"
+
+#include <algorithm>
+#include <map>
+#include <utility>
+#include <vector>
+
+#include "common/stats.h"
+
+namespace graphtides {
+
+namespace {
+
+struct RateMeasurements {
+  std::vector<double> p99_ms;
+  std::vector<double> p50_ms;
+  std::vector<double> achieved_eps;
+};
+
+CapacityWindow WindowFrom(const CapacityPointScore& score) {
+  CapacityWindow window;
+  window.p50_ms = score.watermark_p50_s * 1e3;
+  window.p99_ms = score.watermark_p99_s * 1e3;
+  window.achieved_rate_eps = score.achieved_rate_eps;
+  window.samples = score.watermarks_visible;
+  return window;
+}
+
+}  // namespace
+
+uint64_t DeriveSweepSeed(uint64_t base, uint64_t a, uint64_t b) {
+  uint64_t x = base ^ (a * 0x9e3779b97f4a7c15ULL) ^
+               (b * 0xc2b2ae3d27d4eb4fULL) ^ 0x5851f42d4c957f2dULL;
+  x ^= x >> 30;
+  x *= 0xbf58476d1ce4e5b9ULL;
+  x ^= x >> 27;
+  x *= 0x94d049bb133111ebULL;
+  x ^= x >> 31;
+  return x;
+}
+
+Result<FrontierArtifact> RunFrontierSweep(
+    const std::string& sut_name, const SeededWorkloadFactory& workload_for,
+    const ConnectorFactory& connector_factory,
+    const FrontierSweepOptions& options) {
+  if (!workload_for || !connector_factory) {
+    return Status::InvalidArgument("sweep needs workload and connector");
+  }
+  const int repetitions = std::max(1, options.repetitions);
+
+  std::string workload_name;
+  std::map<double, RateMeasurements> by_rate;
+  auto measure = [&](double rate_eps,
+                     uint64_t seed) -> Result<CapacityPointScore> {
+    GT_ASSIGN_OR_RETURN(SuiteWorkload workload, workload_for(seed));
+    if (workload_name.empty()) workload_name = workload.name;
+    GT_ASSIGN_OR_RETURN(
+        CapacityPointScore score,
+        MeasureCapacityPoint(workload, connector_factory, rate_eps,
+                             options.case_options));
+    RateMeasurements& m = by_rate[rate_eps];
+    m.p50_ms.push_back(score.watermark_p50_s * 1e3);
+    m.p99_ms.push_back(score.watermark_p99_s * 1e3);
+    m.achieved_eps.push_back(score.achieved_rate_eps);
+    return score;
+  };
+
+  // Pilot: the search decides the schedule, one full seeded replay per
+  // measurement window.
+  CapacitySearch search(options.search);
+  while (!search.done()) {
+    const int step_index = static_cast<int>(search.steps().size());
+    const double rate = search.current_rate_eps();
+    bool concluded = false;
+    for (int w = 0; !concluded && w < search.options().windows_per_step;
+         ++w) {
+      const uint64_t seed = DeriveSweepSeed(
+          options.search.seed, static_cast<uint64_t>(step_index) + 1,
+          static_cast<uint64_t>(w));
+      GT_ASSIGN_OR_RETURN(CapacityPointScore score, measure(rate, seed));
+      concluded = search.ReportWindow(WindowFrom(score));
+    }
+    if (!concluded) {
+      return Status::Internal("capacity step did not conclude");
+    }
+  }
+
+  // Top-up: bring every visited rate to `repetitions` measurements.
+  {
+    uint64_t rate_index = 0;
+    for (auto& [rate, m] : by_rate) {
+      ++rate_index;
+      while (static_cast<int>(m.p99_ms.size()) < repetitions) {
+        const uint64_t seed = DeriveSweepSeed(
+            options.search.seed, 0x52455053ULL + rate_index,
+            m.p99_ms.size());
+        GT_ASSIGN_OR_RETURN(CapacityPointScore score, measure(rate, seed));
+        (void)score;
+      }
+    }
+  }
+
+  FrontierArtifact artifact;
+  artifact.sut = sut_name;
+  artifact.workload = workload_name;
+  artifact.slo_p99_ms = search.options().slo_p99_ms;
+  artifact.seed = options.search.seed;
+  artifact.resolution = search.options().resolution;
+  artifact.complete = search.converged();
+  artifact.step_schedule = search.StepSchedule();
+
+  // Verdicts by rate, from the search trace (a rate is visited once).
+  std::map<double, bool> violated_at;
+  for (const CapacityStep& step : search.steps()) {
+    violated_at[step.offered_rate_eps] = step.violated;
+  }
+
+  for (const auto& [rate, m] : by_rate) {
+    FrontierPoint point;
+    point.offered_rate_eps = rate;
+    point.n = m.p99_ms.size();
+    const ConfidenceInterval p99 = MeanConfidenceInterval(m.p99_ms);
+    point.p99_ms = p99.mean;
+    point.p99_ci_lo_ms = p99.lower;
+    point.p99_ci_hi_ms = p99.upper;
+    point.p50_ms = MeanConfidenceInterval(m.p50_ms).mean;
+    point.achieved_rate_eps = MeanConfidenceInterval(m.achieved_eps).mean;
+    auto it = violated_at.find(rate);
+    point.violated = it != violated_at.end() && it->second;
+    artifact.points.push_back(point);
+  }
+
+  const double sustained_offered = search.sustainable_rate_eps();
+  if (sustained_offered > 0.0) {
+    artifact.sustainable_offered_eps = sustained_offered;
+    const RateMeasurements& m = by_rate[sustained_offered];
+    const ConfidenceInterval achieved =
+        MeanConfidenceInterval(m.achieved_eps);
+    artifact.sustainable_rate_eps = achieved.mean;
+    artifact.sustainable_ci_lo_eps = achieved.lower;
+    artifact.sustainable_ci_hi_eps = achieved.upper;
+  }
+  return artifact;
+}
+
+}  // namespace graphtides

@@ -1,0 +1,61 @@
+// The simulated-SUT frontier sweep: drives a CapacitySearch over
+// MeasureCapacityPoint runs on the virtual-time simulator and assembles a
+// gt-frontier-v1 artifact. This is the gt_campaign --frontier engine.
+//
+// Determinism plan (DESIGN.md §16): the simulator is virtual-time
+// deterministic, every per-run workload seed is a pure function of the
+// sweep's base seed and the run's position (step, window / rate, rep), and
+// the search engine itself draws no randomness — so two sweeps with the
+// same base seed produce bit-identical artifacts, which the CI smoke job
+// checks with CompareFrontiers.
+//
+// Measurement plan: the pilot phase runs the search (each window = one
+// full workload replay at the step's offered rate, seeded by step/window);
+// once the schedule is fixed, every visited rate is topped up to
+// `repetitions` total measurements with fresh derived seeds, and the curve
+// points carry mean ± CI95 over those measurements.
+#ifndef GRAPHTIDES_HARNESS_CAPACITY_FRONTIER_SWEEP_H_
+#define GRAPHTIDES_HARNESS_CAPACITY_FRONTIER_SWEEP_H_
+
+#include <cstdint>
+#include <functional>
+#include <string>
+
+#include "common/result.h"
+#include "harness/capacity/capacity_search.h"
+#include "harness/capacity/frontier.h"
+#include "suite/benchmark_suite.h"
+
+namespace graphtides {
+
+struct FrontierSweepOptions {
+  /// Search knobs; `search.seed` is the sweep's base seed.
+  CapacitySearchOptions search;
+  /// Total measurements aggregated per visited rate (pilot windows count;
+  /// the sweep tops up after the schedule is fixed). Minimum 1.
+  int repetitions = 3;
+  /// Per-measurement run limits. Watermark visibility is observed on the
+  /// sampler grid, so the default cadence is much finer than the suite's
+  /// 100 ms — the grid must sit well below any plausible SLO (virtual
+  /// time: extra samples cost simulator events, not wall clock).
+  SuiteCaseOptions case_options{
+      .sample_interval = Duration::FromMillis(2)};
+};
+
+/// Builds the workload for one seeded measurement run.
+using SeededWorkloadFactory =
+    std::function<Result<SuiteWorkload>(uint64_t seed)>;
+
+/// \brief Mixes (a, b) into a base seed — splitmix64 finalizer, the same
+/// derivation on every platform.
+uint64_t DeriveSweepSeed(uint64_t base, uint64_t a, uint64_t b);
+
+/// \brief Runs the full closed-loop sweep for one (SUT, workload) pair.
+Result<FrontierArtifact> RunFrontierSweep(
+    const std::string& sut_name, const SeededWorkloadFactory& workload_for,
+    const ConnectorFactory& connector_factory,
+    const FrontierSweepOptions& options);
+
+}  // namespace graphtides
+
+#endif  // GRAPHTIDES_HARNESS_CAPACITY_FRONTIER_SWEEP_H_

@@ -1,0 +1,56 @@
+#include "harness/capacity/window_probe.h"
+
+namespace graphtides {
+
+CapacityProbe::CapacityProbe(const RunTelemetry* telemetry, Signal signal,
+                             const Clock* clock)
+    : telemetry_(telemetry), signal_(signal), clock_(clock) {
+  base_ = Read();
+}
+
+CapacityProbe::Cumulative CapacityProbe::Read() const {
+  Cumulative c;
+  c.marker = telemetry_->markers().LatencySnapshot();
+  c.deliver = telemetry_->MergedStageHistograms()[static_cast<size_t>(
+      ReplayStage::kDeliver)];
+  c.delivered = telemetry_->TotalDelivered();
+  c.at = clock_->Now();
+  return c;
+}
+
+void CapacityProbe::BeginWindow() { base_ = Read(); }
+
+CapacityWindow CapacityProbe::EndWindow() {
+  const Cumulative now = Read();
+  CapacityWindow window;
+
+  auto delta_of = [](const LatencyHistogram& cur,
+                     const LatencyHistogram& base) -> LatencyHistogram {
+    Result<LatencyHistogram> delta = cur.DeltaSince(base);
+    // Cumulative hub histograms only grow; a failure here would mean the
+    // hub was reset mid-run — treat the window as signal-free.
+    return delta.ok() ? *delta : LatencyHistogram();
+  };
+  const LatencyHistogram marker = delta_of(now.marker, base_.marker);
+  const LatencyHistogram deliver = delta_of(now.deliver, base_.deliver);
+
+  const LatencyHistogram* chosen = &deliver;
+  if (signal_ == Signal::kMarker ||
+      (signal_ == Signal::kAuto && !marker.empty())) {
+    chosen = &marker;
+  }
+  window.samples = chosen->count();
+  if (window.samples > 0) {
+    window.p50_ms = chosen->ValueAtQuantileSeconds(0.5) * 1e3;
+    window.p99_ms = chosen->ValueAtQuantileSeconds(0.99) * 1e3;
+  }
+  const double span_s = (now.at - base_.at).seconds();
+  if (span_s > 0.0 && now.delivered >= base_.delivered) {
+    window.achieved_rate_eps =
+        static_cast<double>(now.delivered - base_.delivered) / span_s;
+  }
+  base_ = now;
+  return window;
+}
+
+}  // namespace graphtides

@@ -1,0 +1,62 @@
+// Windowed latency extraction from a live RunTelemetry hub: the hub's
+// histograms are cumulative, so a measurement window's percentiles are the
+// delta between two snapshots (LatencyHistogram::DeltaSince). The probe
+// runs on the capacity controller's thread, concurrently with the lanes
+// recording into the hub — safe because Snapshot-side reads
+// (markers().LatencySnapshot(), MergedStageHistograms(), TotalDelivered())
+// are locked/atomic by the hub's thread contract; the Capacity TSan suite
+// pins exactly this concurrent reader path.
+#ifndef GRAPHTIDES_HARNESS_CAPACITY_WINDOW_PROBE_H_
+#define GRAPHTIDES_HARNESS_CAPACITY_WINDOW_PROBE_H_
+
+#include "common/clock.h"
+#include "harness/capacity/capacity_search.h"
+#include "harness/telemetry/latency_histogram.h"
+#include "harness/telemetry/run_telemetry.h"
+
+namespace graphtides {
+
+class CapacityProbe {
+ public:
+  /// Which live histogram supplies the SLO latency signal.
+  enum class Signal {
+    /// Marker latency when the window matched any markers (the end-to-end
+    /// ingestion-to-visibility signal), else the deliver-stage span (sink
+    /// handoff latency — the only signal when no SUT echoes markers back).
+    kAuto,
+    kMarker,
+    kDeliver,
+  };
+
+  /// `telemetry` and `clock` are borrowed; both must outlive the probe.
+  CapacityProbe(const RunTelemetry* telemetry, Signal signal,
+                const Clock* clock);
+
+  /// Drops the baseline at the hub's current cumulative state: the next
+  /// EndWindow covers only what is recorded from here on. Call after each
+  /// warmup/settle period so ramp-transient samples never pollute a
+  /// measurement window.
+  void BeginWindow();
+
+  /// Closes the window against the current cumulative state and
+  /// re-baselines, so back-to-back windows partition the run exactly.
+  CapacityWindow EndWindow();
+
+ private:
+  struct Cumulative {
+    LatencyHistogram marker;
+    LatencyHistogram deliver;
+    uint64_t delivered = 0;
+    Timestamp at;
+  };
+  Cumulative Read() const;
+
+  const RunTelemetry* telemetry_;
+  Signal signal_;
+  const Clock* clock_;
+  Cumulative base_;
+};
+
+}  // namespace graphtides
+
+#endif  // GRAPHTIDES_HARNESS_CAPACITY_WINDOW_PROBE_H_

@@ -60,6 +60,39 @@ void LatencyHistogram::Merge(const LatencyHistogram& other) {
 
 void LatencyHistogram::Reset() { *this = LatencyHistogram(); }
 
+Result<LatencyHistogram> LatencyHistogram::DeltaSince(
+    const LatencyHistogram& earlier) const {
+  if (earlier.count_ > count_) {
+    return Status::InvalidArgument(
+        "histogram delta: earlier snapshot has more samples");
+  }
+  LatencyHistogram delta;
+  size_t lo_bucket = kBucketCount;
+  size_t hi_bucket = 0;
+  for (size_t i = 0; i < kBucketCount; ++i) {
+    if (earlier.counts_[i] > counts_[i]) {
+      return Status::InvalidArgument(
+          "histogram delta: earlier snapshot is not a prefix (bucket " +
+          std::to_string(i) + " shrank)");
+    }
+    delta.counts_[i] = counts_[i] - earlier.counts_[i];
+    if (delta.counts_[i] != 0) {
+      if (lo_bucket == kBucketCount) lo_bucket = i;
+      hi_bucket = i;
+    }
+  }
+  delta.count_ = count_ - earlier.count_;
+  if (delta.count_ > 0) {
+    // Exact interval extremes are not recoverable from two cumulative
+    // states; bound them by the extreme non-empty delta buckets.
+    delta.min_ = BucketLowNanos(lo_bucket);
+    delta.max_ = BucketHighNanos(hi_bucket) - 1;
+    delta.sum_ = sum_ - earlier.sum_;
+    if (delta.sum_ < 0.0) delta.sum_ = 0.0;
+  }
+  return delta;
+}
+
 int64_t LatencyHistogram::ValueAtQuantileNanos(double q) const {
   if (count_ == 0) return 0;
   if (q < 0.0) q = 0.0;

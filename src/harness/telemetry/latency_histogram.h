@@ -54,6 +54,19 @@ class LatencyHistogram {
   void Merge(const LatencyHistogram& other);
   void Reset();
 
+  /// \brief The histogram of samples recorded since `earlier` was
+  /// snapshotted from the same cumulative histogram: per-bucket count
+  /// subtraction, the windowed-percentile primitive the capacity probe
+  /// builds on (interval p99 = DeltaSince(previous snapshot).p99).
+  ///
+  /// `earlier` must be a prefix of this histogram (no bucket may shrink);
+  /// InvalidArgument otherwise. The interval's exact min/max/sum are not
+  /// recoverable from two cumulative states, so the delta approximates
+  /// them from its extreme non-empty buckets (min/max within one bucket
+  /// width, i.e. <= 12.5% relative error) and by sum subtraction —
+  /// quantiles, the windowed signal, stay bucket-exact.
+  Result<LatencyHistogram> DeltaSince(const LatencyHistogram& earlier) const;
+
   uint64_t count() const { return count_; }
   bool empty() const { return count_ == 0; }
   /// Exact extremes and mean of the recorded (clamped) values; 0 when

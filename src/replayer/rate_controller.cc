@@ -1,5 +1,6 @@
 #include "replayer/rate_controller.h"
 
+#include <algorithm>
 #include <cassert>
 #include <cmath>
 #include <thread>
@@ -21,6 +22,24 @@ void RateController::SetFactor(double factor) {
     events_since_anchor_ = 0;
   }
   factor_ = factor;
+}
+
+void RateController::Retarget(double rate_eps) {
+  if (rate_eps <= 0.0) return;
+  if (started_) {
+    // No burst catch-up: when emission lags, prev_deadline_ is in the
+    // past; anchoring there would schedule the first new-rate deadlines
+    // in the past too and the emitter would blast through them. The last
+    // observed clock value is the latest instant proven to have passed —
+    // anchoring at whichever is later keeps an ahead-of-schedule run
+    // seamless (anchor = prev deadline, exactly like SetFactor) and turns
+    // a lagging run into "resume at the new rate from now".
+    anchor_ = std::max(prev_deadline_, observed_now_);
+    prev_deadline_ = anchor_;
+    events_since_anchor_ = 0;
+  }
+  base_rate_eps_ = rate_eps;
+  factor_ = 1.0;
 }
 
 void RateController::Defer(Duration pause) { pending_defer_ += pause; }

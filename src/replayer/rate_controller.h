@@ -33,6 +33,21 @@ class RateController {
   double factor() const { return factor_; }
   double current_rate_eps() const { return base_rate_eps_ * factor_; }
 
+  /// \brief Changes the base rate mid-run (capacity search): the new
+  /// interval applies from the next emission, re-anchored like SetFactor
+  /// so the fractional schedule stays exact.
+  ///
+  /// Unlike SetFactor (driven by in-stream SET_RATE controls, which arrive
+  /// paced), Retarget is driven externally and can land while emission
+  /// lags the schedule — deadlines in the past. Re-anchoring at the stale
+  /// previous deadline would put the whole new-rate schedule in the past
+  /// and release a catch-up burst at unbounded speed; Retarget therefore
+  /// anchors at max(previous deadline, last observed time), so the new
+  /// rate takes effect from "now" without a burst and without drifting
+  /// the anchored-deadline spacing. The speed-up factor resets to 1.0, so
+  /// a later SET_RATE control scales the new base.
+  void Retarget(double rate_eps);
+
   /// Pushes the schedule into the future (PAUSE control event).
   void Defer(Duration pause);
 

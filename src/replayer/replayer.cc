@@ -118,6 +118,7 @@ Result<ReplayStats> StreamReplayer::Run(const SourceFn& source,
 
   MonotonicClock clock;
   RateController rate(options_.base_rate_eps, &clock);
+  double rate_target = options_.base_rate_eps;
   ReplayStats stats;
   if (resume != nullptr) {
     stats.events_delivered = resume->events_delivered;
@@ -227,6 +228,15 @@ Result<ReplayStats> StreamReplayer::Run(const SourceFn& source,
       stats.marker_log.push_back({event.payload, now, stats.events_delivered});
       if (telem != nullptr) telem->markers().MarkerSent(event.payload, now);
       continue;
+    }
+
+    if (options_.rate_target_eps != nullptr) {
+      const double target =
+          options_.rate_target_eps->load(std::memory_order_relaxed);
+      if (target > 0.0 && target != rate_target) {
+        rate.Retarget(target);
+        rate_target = target;
+      }
     }
 
     // Sampled per-stage spans: the decision is made once per event, then

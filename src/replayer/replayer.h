@@ -72,6 +72,17 @@ struct ReplayerOptions {
   /// truncates the output to the checkpointed offset).
   bool record_sink_bytes = false;
 
+  // --- Live rate retargeting (capacity search) -------------------------
+
+  /// Mid-run offered-rate control: when set, the emitter polls this target
+  /// (events/s) before every throttle and calls RateController::Retarget
+  /// on change. The anchored-deadline schedule is re-anchored at the later
+  /// of the previous deadline and now, so lowering the rate never triggers
+  /// a catch-up burst and raising it takes effect on the next slot.
+  /// Values <= 0 are ignored. Written by a capacity-search controller
+  /// thread; not owned.
+  const std::atomic<double>* rate_target_eps = nullptr;
+
   // --- Live telemetry --------------------------------------------------
 
   /// Optional telemetry hub (not owned). When set, the run records sampled

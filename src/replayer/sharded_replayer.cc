@@ -394,6 +394,7 @@ Result<ShardedReplayStats> ShardedReplayer::Run(
     LaneState& lane = *lanes[shard];
     EventSink* sink = sinks[shard];
     RateController rate(per_lane_rate, &clock);
+    double lane_target = options_.total_rate_eps;
     if (resume != nullptr && options_.honor_control_events) {
       rate.SetFactor(resume->rate_factor);
     }
@@ -451,6 +452,17 @@ Result<ShardedReplayStats> ShardedReplayer::Run(
       }
 
       LaneBatch batch = std::move(item.batch);
+      // Retarget at batch granularity: cheap enough to never touch the
+      // per-event fast path, fine-grained enough for capacity windows
+      // (a batch is ~256 events).
+      if (options_.rate_target_eps != nullptr) {
+        const double target =
+            options_.rate_target_eps->load(std::memory_order_relaxed);
+        if (target > 0.0 && target != lane_target) {
+          rate.Retarget(target / static_cast<double>(shards));
+          lane_target = target;
+        }
+      }
       Timestamp last_slot;
       size_t delivered = 0;
       // Lane sampling is per batch (the telemetry-flush granularity): the

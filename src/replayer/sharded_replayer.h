@@ -84,6 +84,13 @@ struct ShardedReplayerOptions {
   /// negotiated per sink, not per run.
   WireFormat wire_format = WireFormat::kCsv;
 
+  /// Mid-run offered-rate control (same contract as
+  /// ReplayerOptions::rate_target_eps): the *aggregate* target in
+  /// events/s. Each lane polls at batch granularity and retargets its own
+  /// controller to target / shards, preserving per-lane anchored-deadline
+  /// schedules (no catch-up burst). Values <= 0 are ignored; not owned.
+  const std::atomic<double>* rate_target_eps = nullptr;
+
   // --- Distributed shard-range replay ----------------------------------
   /// Size of the global hash-partition space (0 = `shards`, the
   /// single-process default). When larger, this process drives only the

@@ -23,6 +23,8 @@ namespace {
 
 size_t RoundsFor(SuiteSize size) {
   switch (size) {
+    case SuiteSize::kTiny:
+      return 2000;
     case SuiteSize::kSmall:
       return 20000;
     case SuiteSize::kMedium:
@@ -263,6 +265,100 @@ Result<SuiteCaseScore> RunSuiteCase(const SuiteWorkload& workload,
   if (error_stats.count() > 0) {
     score.mean_rank_error = error_stats.mean();
     score.final_rank_error = final_error;
+  }
+  return score;
+}
+
+Result<CapacityPointScore> MeasureCapacityPoint(
+    const SuiteWorkload& workload, const ConnectorFactory& factory,
+    double rate_eps, const SuiteCaseOptions& options) {
+  if (workload.events.empty()) {
+    return Status::InvalidArgument("empty workload: " + workload.name);
+  }
+  if (rate_eps <= 0.0) {
+    return Status::InvalidArgument("rate must be positive");
+  }
+
+  Simulator sim;
+  std::unique_ptr<SuiteConnector> connector = factory(&sim);
+  if (connector == nullptr) {
+    return Status::InvalidArgument("connector factory returned null");
+  }
+
+  VirtualReplayerOptions replay_options;
+  replay_options.base_rate_eps = rate_eps;
+  VirtualReplayer replayer(&sim, replay_options);
+
+  struct PendingWatermark {
+    uint64_t events_before;
+    Timestamp sent;
+  };
+  std::deque<PendingWatermark> pending_watermarks;
+  LatencyHistogram watermark_latencies;
+
+  bool stream_done = false;
+  replayer.Start(
+      workload.events,
+      [&](const Event& e, size_t) { connector->Ingest(e); },
+      [&](const std::string&) {
+        pending_watermarks.push_back(
+            {replayer.events_delivered(), sim.Now()});
+      },
+      [&] { stream_done = true; });
+
+  const Timestamp t0 = sim.Now();
+  const Timestamp deadline = t0 + options.max_duration;
+  bool drained_seen = false;
+  Timestamp drained_at;
+  std::function<void()> sample = [&]() {
+    while (!pending_watermarks.empty() &&
+           connector->EventsApplied() >=
+               pending_watermarks.front().events_before) {
+      watermark_latencies.Record(sim.Now() - pending_watermarks.front().sent);
+      pending_watermarks.pop_front();
+    }
+    const bool drained =
+        stream_done && connector->Idle() && pending_watermarks.empty();
+    if (drained && !drained_seen) {
+      drained_seen = true;
+      drained_at = sim.Now();
+    }
+    if (drained || sim.Now() >= deadline) return;
+    sim.ScheduleAfter(options.sample_interval, sample);
+  };
+  sim.ScheduleAfter(options.sample_interval, sample);
+  sim.RunUntil(deadline);
+
+  if (!drained_seen) {
+    // Watermarks still invisible at the deadline are censored observations:
+    // their true latency is at least their current age. Recording the age
+    // keeps the p99 honest under partial saturation (some watermarks
+    // surfaced early, later ones never did).
+    for (const PendingWatermark& wm : pending_watermarks) {
+      watermark_latencies.Record(sim.Now() - wm.sent);
+    }
+  }
+
+  CapacityPointScore score;
+  score.offered_rate_eps = rate_eps;
+  score.drained = drained_seen;
+  const double active_s =
+      drained_seen ? (drained_at - t0).seconds() : (sim.Now() - t0).seconds();
+  if (active_s > 0.0) {
+    score.achieved_rate_eps =
+        static_cast<double>(connector->EventsApplied()) / active_s;
+  }
+  score.watermarks_visible = watermark_latencies.count();
+  if (!watermark_latencies.empty()) {
+    score.watermark_p50_s = watermark_latencies.ValueAtQuantileSeconds(0.5);
+    score.watermark_p99_s = watermark_latencies.ValueAtQuantileSeconds(0.99);
+  } else if (!drained_seen) {
+    // Saturated past the point of any watermark becoming visible within
+    // the deadline: report the run's whole span as the latency floor so
+    // the search sees an unambiguous violation rather than silence.
+    score.watermark_p50_s = active_s;
+    score.watermark_p99_s = active_s;
+    score.watermarks_visible = 1;
   }
   return score;
 }

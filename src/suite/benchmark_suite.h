@@ -19,8 +19,10 @@
 
 namespace graphtides {
 
-/// Workload size classes (Graphalytics-style).
-enum class SuiteSize { kSmall, kMedium, kLarge };
+/// Workload size classes (Graphalytics-style). kTiny exists for CI smoke
+/// runs — capacity sweeps replay a workload dozens of times, so the smoke
+/// lane needs a class an order of magnitude below kSmall.
+enum class SuiteSize { kTiny, kSmall, kMedium, kLarge };
 
 /// \brief One standardized benchmark workload.
 struct SuiteWorkload {
@@ -82,6 +84,29 @@ using ConnectorFactory =
 Result<SuiteCaseScore> RunSuiteCase(const SuiteWorkload& workload,
                                     const ConnectorFactory& factory,
                                     const SuiteCaseOptions& options = {});
+
+// --- Capacity measurement (closed-loop search, DESIGN.md §16) ------------
+
+/// \brief One capacity-search step's measurement at a fixed offered rate.
+struct CapacityPointScore {
+  double offered_rate_eps = 0.0;
+  /// Events applied per virtual second of active time.
+  double achieved_rate_eps = 0.0;
+  /// Watermark ingestion-to-visibility latency over the run (seconds).
+  double watermark_p50_s = 0.0;
+  double watermark_p99_s = 0.0;
+  /// Watermarks that became visible (the latency sample count).
+  uint64_t watermarks_visible = 0;
+  bool drained = false;
+};
+
+/// \brief Measures one (workload, connector) cell at `rate_eps`, skipping
+/// the accuracy machinery (no reference PageRank) — the cheap repeated
+/// primitive a CapacitySearch drives. Deterministic in the workload and
+/// connector (virtual time).
+Result<CapacityPointScore> MeasureCapacityPoint(
+    const SuiteWorkload& workload, const ConnectorFactory& factory,
+    double rate_eps, const SuiteCaseOptions& options = {});
 
 /// \brief Runs a full suite: every workload against every connector.
 struct SuiteEntry {

@@ -1,0 +1,68 @@
+#include "suite/connectors/weaver_connector.h"
+
+#include <utility>
+
+namespace graphtides {
+
+WeaverConnector::WeaverConnector(Simulator* sim,
+                                 WeaverConnectorOptions options)
+    : sim_(sim), options_(std::move(options)) {
+  if (options_.events_per_tx == 0) options_.events_per_tx = 1;
+  store_ = std::make_unique<WeaverLite>(sim_, options_.store);
+  store_->SetOnTransactionDone([this] { Drain(); });
+}
+
+void WeaverConnector::Ingest(const Event& event) {
+  ++ingested_;
+  batch_.push_back(event);
+  if (batch_.size() >= options_.events_per_tx) {
+    ready_.push_back(std::move(batch_));
+    batch_.clear();
+  } else {
+    ArmLinger();
+  }
+  Drain();
+}
+
+void WeaverConnector::ArmLinger() {
+  const uint64_t generation = ++linger_generation_;
+  sim_->ScheduleAfter(options_.batch_linger, [this, generation] {
+    // A newer event re-armed the timer (or the batch already shipped).
+    if (generation != linger_generation_ || batch_.empty()) return;
+    ready_.push_back(std::move(batch_));
+    batch_.clear();
+    Drain();
+  });
+}
+
+void WeaverConnector::Drain() {
+  while (!ready_.empty()) {
+    if (!store_->TrySubmit(ready_.front())) return;  // backpressure
+    ready_.pop_front();
+  }
+}
+
+bool WeaverConnector::Idle() const {
+  return batch_.empty() && ready_.empty() &&
+         EventsApplied() >= ingested_;
+}
+
+std::unordered_map<VertexId, double> WeaverConnector::CurrentRanks() const {
+  std::unordered_map<VertexId, double> ranks;
+  double total = 0.0;
+  for (size_t i = 0; i < store_->num_shards(); ++i) {
+    const Graph& partition = store_->shard_graph(i);
+    partition.ForEachVertex([&](VertexId id, const std::string&) {
+      const double weight =
+          1.0 + static_cast<double>(partition.Degree(id).ValueOr(0));
+      ranks[id] += weight;
+      total += weight;
+    });
+  }
+  if (total > 0.0) {
+    for (auto& [id, weight] : ranks) weight /= total;
+  }
+  return ranks;
+}
+
+}  // namespace graphtides

@@ -1,0 +1,232 @@
+#include "harness/capacity/frontier.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <string>
+#include <vector>
+
+#include "harness/capacity/capacity_search.h"
+#include "harness/capacity/frontier_sweep.h"
+
+namespace graphtides {
+namespace {
+
+FrontierPoint MakePoint(double offered, double p99, bool violated) {
+  FrontierPoint p;
+  p.offered_rate_eps = offered;
+  p.achieved_rate_eps = violated ? offered * 0.7 : offered;
+  p.p50_ms = p99 / 4.0;
+  p.p99_ms = p99;
+  p.p99_ci_lo_ms = p99 * 0.9;
+  p.p99_ci_hi_ms = p99 * 1.1;
+  p.n = 3;
+  p.violated = violated;
+  return p;
+}
+
+FrontierArtifact MakeArtifact() {
+  FrontierArtifact a;
+  a.sut = "weaverlite";
+  a.workload = "social";
+  a.slo_p99_ms = 100.0;
+  a.seed = 42;
+  a.resolution = 0.05;
+  a.complete = true;
+  a.points = {MakePoint(1000, 2.0, false), MakePoint(2000, 10.0, false),
+              MakePoint(4000, 400.0, true)};
+  a.step_schedule = {1000, 2000, 4000};
+  a.sustainable_rate_eps = 1990.0;
+  a.sustainable_ci_lo_eps = 1950.0;
+  a.sustainable_ci_hi_eps = 2030.0;
+  a.sustainable_offered_eps = 2000.0;
+  return a;
+}
+
+TEST(CapacityFrontierTest, JsonRoundTripPreservesEveryField) {
+  const FrontierArtifact a = MakeArtifact();
+  const auto b = FrontierArtifact::FromJson(a.ToJson());
+  ASSERT_TRUE(b.ok()) << b.status().ToString();
+  EXPECT_EQ(b->sut, a.sut);
+  EXPECT_EQ(b->workload, a.workload);
+  EXPECT_DOUBLE_EQ(b->slo_p99_ms, a.slo_p99_ms);
+  EXPECT_EQ(b->seed, a.seed);
+  EXPECT_DOUBLE_EQ(b->resolution, a.resolution);
+  EXPECT_EQ(b->complete, a.complete);
+  EXPECT_DOUBLE_EQ(b->sustainable_rate_eps, a.sustainable_rate_eps);
+  EXPECT_DOUBLE_EQ(b->sustainable_ci_lo_eps, a.sustainable_ci_lo_eps);
+  EXPECT_DOUBLE_EQ(b->sustainable_ci_hi_eps, a.sustainable_ci_hi_eps);
+  EXPECT_DOUBLE_EQ(b->sustainable_offered_eps, a.sustainable_offered_eps);
+  EXPECT_EQ(b->step_schedule, a.step_schedule);
+  ASSERT_EQ(b->points.size(), a.points.size());
+  for (size_t i = 0; i < a.points.size(); ++i) {
+    EXPECT_DOUBLE_EQ(b->points[i].offered_rate_eps,
+                     a.points[i].offered_rate_eps);
+    EXPECT_DOUBLE_EQ(b->points[i].achieved_rate_eps,
+                     a.points[i].achieved_rate_eps);
+    EXPECT_DOUBLE_EQ(b->points[i].p50_ms, a.points[i].p50_ms);
+    EXPECT_DOUBLE_EQ(b->points[i].p99_ms, a.points[i].p99_ms);
+    EXPECT_DOUBLE_EQ(b->points[i].p99_ci_lo_ms, a.points[i].p99_ci_lo_ms);
+    EXPECT_DOUBLE_EQ(b->points[i].p99_ci_hi_ms, a.points[i].p99_ci_hi_ms);
+    EXPECT_EQ(b->points[i].n, a.points[i].n);
+    EXPECT_EQ(b->points[i].violated, a.points[i].violated);
+  }
+  // The round-tripped artifact serializes identically: a stable JSON form
+  // is what lets the CI reproducibility check compare files byte-for-byte.
+  EXPECT_EQ(b->ToJson(), a.ToJson());
+}
+
+TEST(CapacityFrontierTest, MalformedJsonRejected) {
+  EXPECT_FALSE(FrontierArtifact::FromJson("").ok());
+  EXPECT_FALSE(FrontierArtifact::FromJson("{").ok());
+  EXPECT_FALSE(FrontierArtifact::FromJson("[1,2,3]").ok());
+  EXPECT_FALSE(FrontierArtifact::FromJson("\"gt-frontier-v1\"").ok());
+  // Right shape, wrong schema tag.
+  std::string wrong = MakeArtifact().ToJson();
+  wrong.replace(wrong.find("gt-frontier-v1"), 14, "gt-frontier-v9");
+  EXPECT_FALSE(FrontierArtifact::FromJson(wrong).ok());
+  // Schema tag alone is not an artifact: required fields are missing.
+  EXPECT_FALSE(FrontierArtifact::FromJson(
+                   "{\"schema\":\"gt-frontier-v1\"}")
+                   .ok());
+  // Structurally valid JSON with a type error inside a point.
+  std::string bad_type = MakeArtifact().ToJson();
+  bad_type.replace(bad_type.find("\"p99_ms\":2"), 10, "\"p99_ms\":\"x\"");
+  EXPECT_FALSE(FrontierArtifact::FromJson(bad_type).ok());
+}
+
+TEST(CapacityFrontierTest, ValidateAcceptsWellFormedArtifact) {
+  EXPECT_TRUE(ValidateFrontier(MakeArtifact()).ok());
+}
+
+TEST(CapacityFrontierTest, ValidateRejectsUnsortedRates) {
+  FrontierArtifact a = MakeArtifact();
+  std::swap(a.points[0], a.points[1]);
+  EXPECT_FALSE(ValidateFrontier(a).ok());
+}
+
+TEST(CapacityFrontierTest, ValidateRejectsCiNotBracketingMean) {
+  FrontierArtifact a = MakeArtifact();
+  a.points[1].p99_ci_lo_ms = a.points[1].p99_ms + 5.0;
+  EXPECT_FALSE(ValidateFrontier(a).ok());
+}
+
+TEST(CapacityFrontierTest, ValidateRejectsNearSloLatencyDip) {
+  // 60 ms then 40 ms with a 100 ms SLO: the higher rate's p99 dips 33%
+  // while within reach of the SLO — not physical, must fail.
+  FrontierArtifact a = MakeArtifact();
+  a.points = {MakePoint(1000, 60.0, false), MakePoint(2000, 40.0, false),
+              MakePoint(4000, 400.0, true)};
+  EXPECT_FALSE(ValidateFrontier(a).ok());
+}
+
+TEST(CapacityFrontierTest, ValidateAllowsDeepBelowSloDip) {
+  // 30 ms then 10 ms, both under half the 100 ms SLO: rate-dependent
+  // floors (batch fill time) legitimately shrink as the rate rises.
+  FrontierArtifact a = MakeArtifact();
+  a.points = {MakePoint(1000, 30.0, false), MakePoint(2000, 10.0, false),
+              MakePoint(4000, 400.0, true)};
+  EXPECT_TRUE(ValidateFrontier(a).ok());
+}
+
+TEST(CapacityFrontierTest, ValidateRejectsSustainableOutsideOwnBand) {
+  FrontierArtifact a = MakeArtifact();
+  a.sustainable_rate_eps = 3000.0;  // band stays [1950, 2030]
+  EXPECT_FALSE(ValidateFrontier(a).ok());
+}
+
+TEST(CapacityFrontierTest, CompareIdenticalArtifactsPasses) {
+  const FrontierArtifact a = MakeArtifact();
+  EXPECT_TRUE(CompareFrontiers(a, a).ok());
+}
+
+TEST(CapacityFrontierTest, CompareRejectsDivergedSchedule) {
+  const FrontierArtifact a = MakeArtifact();
+  FrontierArtifact b = MakeArtifact();
+  b.step_schedule[1] = 2500.0;
+  EXPECT_FALSE(CompareFrontiers(a, b).ok());
+  FrontierArtifact c = MakeArtifact();
+  c.step_schedule.push_back(3000.0);
+  EXPECT_FALSE(CompareFrontiers(a, c).ok());
+}
+
+TEST(CapacityFrontierTest, CompareRejectsRateOutsideBothBands) {
+  const FrontierArtifact a = MakeArtifact();
+  FrontierArtifact b = MakeArtifact();
+  b.sustainable_rate_eps = 2500.0;
+  b.sustainable_ci_lo_eps = 2450.0;
+  b.sustainable_ci_hi_eps = 2550.0;
+  EXPECT_FALSE(CompareFrontiers(a, b).ok());
+}
+
+TEST(CapacityFrontierTest, CompareWidensDegenerateBandsToResolution) {
+  // Single-rep artifacts carry lo == hi == mean; mutual containment must
+  // then tolerate up to resolution * mean of spread.
+  FrontierArtifact a = MakeArtifact();
+  a.sustainable_ci_lo_eps = a.sustainable_ci_hi_eps = a.sustainable_rate_eps;
+  FrontierArtifact b = a;
+  b.sustainable_rate_eps = a.sustainable_rate_eps * 1.03;  // inside 5%
+  b.sustainable_ci_lo_eps = b.sustainable_ci_hi_eps = b.sustainable_rate_eps;
+  EXPECT_TRUE(CompareFrontiers(a, b).ok());
+  b.sustainable_rate_eps = a.sustainable_rate_eps * 1.12;  // outside 5%
+  b.sustainable_ci_lo_eps = b.sustainable_ci_hi_eps = b.sustainable_rate_eps;
+  EXPECT_FALSE(CompareFrontiers(a, b).ok());
+}
+
+TEST(CapacityFrontierTest, FromSearchBuildsOnePointPerStep) {
+  CapacitySearchOptions opt;
+  opt.slo_p99_ms = 100.0;
+  opt.start_rate_eps = 1000.0;
+  opt.max_rate_eps = 1e6;
+  opt.windows_per_step = 1;
+  opt.confirm_violations = 1;
+  CapacitySearch search(opt);
+  const double capacity = 5000.0;
+  while (!search.done()) {
+    CapacityWindow w;
+    w.samples = 50;
+    const double rate = search.current_rate_eps();
+    w.p50_ms = rate <= capacity ? 1.0 : 300.0;
+    w.p99_ms = rate <= capacity ? 2.0 : 600.0;
+    w.achieved_rate_eps = rate <= capacity ? rate : capacity;
+    search.ReportWindow(w);
+  }
+
+  const FrontierArtifact artifact =
+      FrontierFromSearch(search, "tcp:localhost:7171", "stream.gts");
+  EXPECT_EQ(artifact.sut, "tcp:localhost:7171");
+  EXPECT_EQ(artifact.workload, "stream.gts");
+  EXPECT_EQ(artifact.points.size(), search.steps().size());
+  EXPECT_EQ(artifact.step_schedule, search.StepSchedule());
+  EXPECT_TRUE(artifact.complete);
+  EXPECT_DOUBLE_EQ(artifact.sustainable_offered_eps,
+                   search.sustainable_rate_eps());
+  // Live-lane points are single measurements: degenerate CI bands.
+  for (const FrontierPoint& p : artifact.points) {
+    EXPECT_EQ(p.n, 1u);
+    EXPECT_DOUBLE_EQ(p.p99_ci_lo_ms, p.p99_ms);
+    EXPECT_DOUBLE_EQ(p.p99_ci_hi_ms, p.p99_ms);
+  }
+  // The synthetic artifact passes the same gate CI applies to real ones.
+  EXPECT_TRUE(ValidateFrontier(artifact).ok())
+      << ValidateFrontier(artifact).ToString();
+  EXPECT_TRUE(CompareFrontiers(artifact, artifact).ok());
+}
+
+TEST(CapacityFrontierTest, SweepSeedDerivationIsStableAndCollisionFree) {
+  // The sweep derives every per-run workload seed from (base, a, b); the
+  // function must be deterministic (reproducibility across runs) and
+  // spread distinct coordinates to distinct seeds (independent workloads).
+  EXPECT_EQ(DeriveSweepSeed(42, 1, 2), DeriveSweepSeed(42, 1, 2));
+  std::set<uint64_t> seen;
+  for (uint64_t a = 0; a < 32; ++a) {
+    for (uint64_t b = 0; b < 32; ++b) {
+      seen.insert(DeriveSweepSeed(42, a, b));
+    }
+  }
+  EXPECT_EQ(seen.size(), 32u * 32u);
+  EXPECT_NE(DeriveSweepSeed(42, 1, 2), DeriveSweepSeed(43, 1, 2));
+}
+
+}  // namespace
+}  // namespace graphtides

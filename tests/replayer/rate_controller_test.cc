@@ -222,6 +222,88 @@ TEST(RateControllerTest, BackwardClockJumpWaitsLongerButNeverLivelocks) {
   EXPECT_NEAR(static_cast<double>((prev - first).nanos()), 10.0e6, 1.0);
 }
 
+// ---------------------------------------------------------------------------
+// Retarget properties (capacity search drives this live). A retarget must
+// keep the anchored-deadline schedule: ahead-of-schedule it splices the
+// new interval seamlessly at the previous deadline; behind schedule it
+// resumes from the last observed time — never a burst of past deadlines.
+// ---------------------------------------------------------------------------
+
+TEST(RateControllerTest, RetargetOnScheduleSplicesSeamlessly) {
+  VirtualClock clock;
+  RateController rate(1000.0, &clock);  // 1 ms interval
+  rate.NextDeadline();                  // t = 0
+  rate.NextDeadline();                  // 1 ms
+  const Timestamp prev = rate.NextDeadline();  // 2 ms
+  rate.Retarget(2000.0);                       // 0.5 ms interval
+  EXPECT_DOUBLE_EQ(rate.current_rate_eps(), 2000.0);
+  // New-rate deadlines continue from the previous deadline, exactly like
+  // SetFactor: no gap, no overlap.
+  EXPECT_EQ(rate.NextDeadline().nanos(), prev.nanos() + 500000);
+  EXPECT_EQ(rate.NextDeadline().nanos(), prev.nanos() + 1000000);
+}
+
+TEST(RateControllerTest, RetargetResetsControlFactor) {
+  VirtualClock clock;
+  RateController rate(1000.0, &clock);
+  rate.NextDeadline();
+  rate.SetFactor(4.0);
+  rate.Retarget(2000.0);
+  // The factor scales the NEW base, not a leftover of the old one.
+  EXPECT_DOUBLE_EQ(rate.factor(), 1.0);
+  EXPECT_DOUBLE_EQ(rate.current_rate_eps(), 2000.0);
+}
+
+TEST(RateControllerTest, RetargetWhileLaggingDoesNotBurstCatchUp) {
+  VirtualClock clock;
+  RateController rate(1000.0, &clock);  // 1 ms interval
+  rate.WaitForNextSlot();               // t = 0, schedule anchored
+
+  // Emission stalls: the clock runs 10 ms ahead of the schedule. The next
+  // wait observes now = 10 ms against a 1 ms deadline (released late).
+  clock.Advance(Duration::FromMillis(10));
+  rate.WaitForNextSlot();
+
+  // Retargeting mid-lag must resume from the observed now, not from the
+  // stale 1 ms deadline — anchoring there would put the whole new-rate
+  // schedule in the past and release an unpaced catch-up burst.
+  rate.Retarget(500.0);  // 2 ms interval
+  const Timestamp now = clock.Now();
+  const Timestamp first = rate.NextDeadline();
+  EXPECT_GE(first, now);  // strictly in the future: no burst
+  EXPECT_EQ(first.nanos(), now.nanos() + 2000000);
+  EXPECT_EQ(rate.NextDeadline().nanos(), now.nanos() + 4000000);
+}
+
+TEST(RateControllerTest, RetargetInvalidRateIgnored) {
+  VirtualClock clock;
+  RateController rate(1000.0, &clock);
+  rate.NextDeadline();  // t = 0
+  rate.Retarget(0.0);
+  rate.Retarget(-100.0);
+  EXPECT_DOUBLE_EQ(rate.current_rate_eps(), 1000.0);
+  EXPECT_EQ(rate.NextDeadline().nanos(), 1000000);  // schedule untouched
+}
+
+TEST(RateControllerTest, RetargetSequencePreservesExactSchedule) {
+  // Drift audit across many retargets while on schedule: every segment
+  // stays anchor + k * interval; truncation errors never accumulate.
+  VirtualClock clock;
+  RateController rate(1000.0, &clock);
+  rate.NextDeadline();  // t = 0
+  Timestamp last;
+  double ideal = 0.0;
+  const double rates[] = {3000.0, 7000.0, 1000.0, 300.0};
+  for (const double r : rates) {
+    rate.Retarget(r);
+    for (int i = 0; i < 1000; ++i) last = rate.NextDeadline();
+    ideal += 1000 * (1e9 / r);
+    EXPECT_NEAR(static_cast<double>(last.nanos()), ideal, 2.0)
+        << "after retarget to " << r;
+    ideal = static_cast<double>(last.nanos());
+  }
+}
+
 TEST(RateControllerTest, RandomJumpSequencePreservesExactScheduleSpan) {
   // Property sweep: whatever sequence of forward/backward leaps the clock
   // takes between slots, the emitted schedule stays anchor + k*interval —

@@ -27,6 +27,14 @@
 //                            triangles) with per-kernel timings
 //   --threads N              worker threads for --stream computations
 //                            (0 = auto: hardware concurrency)
+//   --frontier FILE          render a gt-frontier-v1 capacity artifact
+//                            (gt_campaign --frontier / gt_replay
+//                            --find-capacity) and validate its invariants
+//   --frontier-compare FILE2 reproducibility check: identical step
+//                            schedules and mutually CI95-compatible
+//                            sustainable rates (exit 2 on mismatch)
+//   --expect-range LO,HI     sanity band: exit 2 unless the sustainable
+//                            rate [ev/s] falls inside [LO, HI]
 #include <chrono>
 #include <cstdio>
 
@@ -42,6 +50,7 @@
 #include "common/string_util.h"
 #include "graph/csr.h"
 #include "graph/graph.h"
+#include "harness/capacity/frontier.h"
 #include "harness/log_collector.h"
 #include "harness/marker_correlator.h"
 #include "harness/report.h"
@@ -209,16 +218,85 @@ int AnalyzeStream(const std::string& path, size_t threads) {
   return 0;
 }
 
+Result<FrontierArtifact> LoadFrontier(const std::string& path) {
+  std::ifstream file(path);
+  if (!file.good()) return Status::IoError("cannot read " + path);
+  std::string text((std::istreambuf_iterator<char>(file)),
+                   std::istreambuf_iterator<char>());
+  auto artifact = FrontierArtifact::FromJson(text);
+  if (!artifact.ok()) return artifact.status().WithContext(path);
+  return artifact;
+}
+
+/// Renders + validates a frontier artifact; optionally checks
+/// reproducibility against a second run and a sanity band. Exit 0 = all
+/// checks passed, 2 = a check failed, 1 = unreadable input.
+int AnalyzeFrontier(const Flags& flags, const std::string& path) {
+  auto artifact = LoadFrontier(path);
+  if (!artifact.ok()) return Fail(artifact.status());
+  std::printf("%s", FormatFrontierTable(*artifact).c_str());
+
+  bool ok = true;
+  if (Status st = ValidateFrontier(*artifact); !st.ok()) {
+    std::fprintf(stderr, "gt_analyze: frontier invalid: %s\n",
+                 st.ToString().c_str());
+    ok = false;
+  }
+
+  const std::string compare_path = flags.GetString("frontier-compare", "");
+  if (!compare_path.empty()) {
+    auto other = LoadFrontier(compare_path);
+    if (!other.ok()) return Fail(other.status());
+    if (Status st = CompareFrontiers(*artifact, *other); !st.ok()) {
+      std::fprintf(stderr, "gt_analyze: runs not reproducible: %s\n",
+                   st.ToString().c_str());
+      ok = false;
+    } else {
+      std::printf("reproducible: schedules identical (%zu steps), "
+                  "sustainable %.0f vs %.0f ev/s within CI95\n",
+                  artifact->step_schedule.size(),
+                  artifact->sustainable_rate_eps,
+                  other->sustainable_rate_eps);
+    }
+  }
+
+  const std::string range = flags.GetString("expect-range", "");
+  if (!range.empty()) {
+    const auto parts = SplitString(range, ',');
+    const auto lo_or = parts.size() == 2 ? ParseDouble(parts[0])
+                                         : Result<double>(Status::InvalidArgument(""));
+    const auto hi_or = parts.size() == 2 ? ParseDouble(parts[1])
+                                         : Result<double>(Status::InvalidArgument(""));
+    if (!lo_or.ok() || !hi_or.ok() || *lo_or > *hi_or) {
+      return Fail(
+          Status::InvalidArgument("--expect-range wants LO,HI (ev/s)"));
+    }
+    const double lo = *lo_or, hi = *hi_or;
+    if (artifact->sustainable_rate_eps < lo ||
+        artifact->sustainable_rate_eps > hi) {
+      std::fprintf(stderr,
+                   "gt_analyze: sustainable rate %.0f ev/s outside the "
+                   "expected band [%.0f, %.0f]\n",
+                   artifact->sustainable_rate_eps, lo, hi);
+      ok = false;
+    } else {
+      std::printf("sustainable rate %.0f ev/s within expected [%.0f, %.0f]\n",
+                  artifact->sustainable_rate_eps, lo, hi);
+    }
+  }
+  return ok ? 0 : 2;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   auto flags_or = Flags::Parse(argc, argv);
   if (!flags_or.ok()) return Fail(flags_or.status());
   const Flags& flags = *flags_or;
-  const auto unknown = flags.UnknownFlags({"log", "log-2", "log-3", "out",
-                                           "markers", "correlate", "bin-ms",
-                                           "max-lag", "telemetry", "stream",
-                                           "threads", "help"});
+  const auto unknown = flags.UnknownFlags(
+      {"log", "log-2", "log-3", "out", "markers", "correlate", "bin-ms",
+       "max-lag", "telemetry", "stream", "threads", "help", "frontier",
+       "frontier-compare", "expect-range"});
   if (!unknown.empty()) {
     return Fail(Status::InvalidArgument("unknown flag --" + unknown[0]));
   }
@@ -226,9 +304,14 @@ int main(int argc, char** argv) {
     std::printf("usage: gt_analyze --log FILE [--markers SENT,SEEN] "
                 "[--correlate A,B --bin-ms N]\n"
                 "       gt_analyze --telemetry FILE\n"
-                "       gt_analyze --stream FILE [--threads N]\n");
+                "       gt_analyze --stream FILE [--threads N]\n"
+                "       gt_analyze --frontier FILE "
+                "[--frontier-compare FILE2] [--expect-range LO,HI]\n");
     return 0;
   }
+
+  const std::string frontier_path = flags.GetString("frontier", "");
+  if (!frontier_path.empty()) return AnalyzeFrontier(flags, frontier_path);
 
   const std::string telemetry_path = flags.GetString("telemetry", "");
   if (!telemetry_path.empty()) return AnalyzeTelemetry(telemetry_path);

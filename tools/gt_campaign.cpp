@@ -18,9 +18,19 @@
 // event count, and the report separates resumed slots from retried/
 // quarantined ones and prints downtime + MTTR.
 //
+// Frontier mode (--frontier): per-SUT closed-loop capacity sweeps
+// (DESIGN.md §16). For each named simulated SUT the campaign runs an
+// adaptive CapacitySearch over full seeded workload replays, tops every
+// visited rate up to --repetitions measurements, and writes a
+// gt-frontier-v1 artifact (sustainable-rate point + latency-vs-throughput
+// curve with CI95 bands). Deterministic in --seed: two runs with the same
+// seed produce bit-identical artifacts.
+//
 // Usage:
 //   gt_campaign --runs 10 --hang-runs 3,7 --deadline-ms 300
 //   gt_campaign --runs 10 --crash-runs 2,5 --auto-resume
+//   gt_campaign --frontier --sut weaverlite,chronolite --workload social
+//       --slo-p99-ms 100 --repetitions 3 --frontier-out frontier.json
 //
 // Flags:
 //   --runs N             run slots in the campaign (default 10)
@@ -43,8 +53,11 @@
 // Exit code 0 when every run slot eventually completed, 2 otherwise.
 #include <chrono>
 #include <cstdio>
+#include <fstream>
 #include <functional>
+#include <memory>
 #include <set>
+#include <string>
 #include <thread>
 #include <vector>
 
@@ -52,9 +65,14 @@
 #include "common/random.h"
 #include "common/string_util.h"
 #include "harness/campaign.h"
+#include "harness/capacity/frontier.h"
+#include "harness/capacity/frontier_sweep.h"
 #include "harness/telemetry/latency_histogram.h"
 #include "sim/process.h"
 #include "sim/simulator.h"
+#include "suite/benchmark_suite.h"
+#include "suite/connectors/online_connector.h"
+#include "suite/connectors/weaver_connector.h"
 
 using namespace graphtides;
 
@@ -63,6 +81,135 @@ namespace {
 int Fail(const Status& status) {
   std::fprintf(stderr, "gt_campaign: %s\n", status.ToString().c_str());
   return 1;
+}
+
+Result<ConnectorFactory> ConnectorFor(const std::string& sut) {
+  if (sut == "weaverlite") {
+    return ConnectorFactory([](Simulator* sim) {
+      return std::make_unique<WeaverConnector>(sim, WeaverConnectorOptions{});
+    });
+  }
+  if (sut == "chronolite") {
+    return ConnectorFactory([](Simulator* sim) {
+      return std::make_unique<OnlineConnector>(sim, ChronoLiteOptions{});
+    });
+  }
+  return Status::InvalidArgument("unknown --sut '" + sut +
+                                 "' (weaverlite, chronolite)");
+}
+
+/// Per-SUT output path: a single SUT writes to `base` verbatim; several
+/// insert the SUT name before the extension.
+std::string FrontierPathFor(const std::string& base, const std::string& sut,
+                            size_t num_suts) {
+  if (num_suts == 1) return base;
+  const size_t dot = base.rfind('.');
+  if (dot == std::string::npos) return base + "." + sut;
+  return base.substr(0, dot) + "." + sut + base.substr(dot);
+}
+
+int RunFrontierMode(const Flags& flags) {
+  const std::string sut_spec = flags.GetString("sut", "weaverlite");
+  const std::string workload_name = flags.GetString("workload", "social");
+  const std::string size_name = flags.GetString("size", "small");
+  const std::string out_path = flags.GetString("frontier-out", "");
+
+  auto slo_ms = flags.GetDouble("slo-p99-ms", 100.0);
+  auto repetitions = flags.GetInt("repetitions", 3);
+  auto seed = flags.GetInt("seed", 42);
+  auto start_rate = flags.GetDouble("start-rate", 1000.0);
+  auto max_rate = flags.GetDouble("max-rate", 1e6);
+  auto growth = flags.GetDouble("growth", 2.0);
+  auto resolution = flags.GetDouble("resolution", 0.05);
+  auto windows = flags.GetInt("windows", 1);
+  auto confirm = flags.GetInt("confirm", 1);
+  auto max_steps = flags.GetInt("max-steps", 32);
+  auto max_duration_s = flags.GetDouble("max-duration-s", 600.0);
+  for (const Status& st :
+       {slo_ms.status(), repetitions.status(), seed.status(),
+        start_rate.status(), max_rate.status(), growth.status(),
+        resolution.status(), windows.status(), confirm.status(),
+        max_steps.status(), max_duration_s.status()}) {
+    if (!st.ok()) return Fail(st);
+  }
+
+  SuiteSize size;
+  if (size_name == "tiny") {
+    size = SuiteSize::kTiny;
+  } else if (size_name == "small") {
+    size = SuiteSize::kSmall;
+  } else if (size_name == "medium") {
+    size = SuiteSize::kMedium;
+  } else if (size_name == "large") {
+    size = SuiteSize::kLarge;
+  } else {
+    return Fail(Status::InvalidArgument("unknown --size '" + size_name +
+                                        "' (tiny, small, medium, large)"));
+  }
+
+  FrontierSweepOptions sweep;
+  sweep.search.slo_p99_ms = *slo_ms;
+  sweep.search.start_rate_eps = *start_rate;
+  sweep.search.max_rate_eps = *max_rate;
+  sweep.search.growth = *growth;
+  sweep.search.resolution = *resolution;
+  sweep.search.windows_per_step = *windows;
+  sweep.search.confirm_violations = *confirm;
+  sweep.search.max_steps = *max_steps;
+  sweep.search.seed = static_cast<uint64_t>(*seed);
+  sweep.repetitions = *repetitions;
+  sweep.case_options.max_duration = Duration::FromSeconds(*max_duration_s);
+
+  const SeededWorkloadFactory workload_for =
+      [&](uint64_t workload_seed) -> Result<SuiteWorkload> {
+    for (SuiteWorkload& w : StandardWorkloads(size, workload_seed)) {
+      if (w.name == workload_name) return std::move(w);
+    }
+    return Status::InvalidArgument("unknown --workload '" + workload_name +
+                                   "' (social, ddos, blockchain, mix)");
+  };
+
+  std::vector<std::string> suts;
+  for (std::string_view part : SplitString(sut_spec, ',')) {
+    if (!part.empty()) suts.emplace_back(part);
+  }
+  bool all_ok = true;
+  for (const std::string& sut : suts) {
+    auto factory = ConnectorFor(sut);
+    if (!factory.ok()) return Fail(factory.status());
+
+    std::fprintf(stderr,
+                 "gt_campaign: frontier sweep: sut=%s workload=%s "
+                 "slo p99 %.1f ms, seed %llu\n",
+                 sut.c_str(), workload_name.c_str(), *slo_ms,
+                 static_cast<unsigned long long>(sweep.search.seed));
+    auto artifact = RunFrontierSweep(sut, workload_for, *factory, sweep);
+    if (!artifact.ok()) return Fail(artifact.status());
+
+    std::printf("%s", FormatFrontierTable(*artifact).c_str());
+    if (Status st = ValidateFrontier(*artifact); !st.ok()) {
+      std::fprintf(stderr, "gt_campaign: frontier invalid: %s\n",
+                   st.ToString().c_str());
+      all_ok = false;
+    }
+    if (!artifact->complete) {
+      std::fprintf(stderr,
+                   "gt_campaign: sweep for %s did not converge "
+                   "(raise --max-steps or --max-rate)\n",
+                   sut.c_str());
+      all_ok = false;
+    }
+    if (!out_path.empty()) {
+      const std::string path = FrontierPathFor(out_path, sut, suts.size());
+      std::ofstream out(path, std::ios::trunc);
+      out << artifact->ToJson() << "\n";
+      if (!out.good()) {
+        return Fail(Status::IoError("cannot write " + path));
+      }
+      std::fprintf(stderr, "gt_campaign: wrote %s\n", path.c_str());
+    }
+  }
+  return all_ok ? 0 : 2;
 }
 
 }  // namespace
@@ -74,7 +221,10 @@ int main(int argc, char** argv) {
   const auto unknown = flags.UnknownFlags(
       {"runs", "events", "hang-runs", "hang-attempts", "crash-runs",
        "crash-attempts", "auto-resume", "deadline-ms", "retry-budget",
-       "quarantine-after", "seed", "help"});
+       "quarantine-after", "seed", "help", "frontier", "sut", "workload",
+       "size", "slo-p99-ms", "repetitions", "frontier-out", "start-rate",
+       "max-rate", "growth", "resolution", "windows", "confirm", "max-steps",
+       "max-duration-s"});
   if (!unknown.empty()) {
     return Fail(Status::InvalidArgument("unknown flag --" + unknown[0]));
   }
@@ -83,9 +233,16 @@ int main(int argc, char** argv) {
         "usage: gt_campaign [--runs N] [--events N] [--hang-runs 3,7]\n"
         "       [--hang-attempts K] [--crash-runs 2,5] [--crash-attempts K]\n"
         "       [--auto-resume] [--deadline-ms M] [--retry-budget N]\n"
-        "       [--quarantine-after N] [--seed S]\n");
+        "       [--quarantine-after N] [--seed S]\n"
+        "   or: gt_campaign --frontier [--sut weaverlite,chronolite]\n"
+        "       [--workload social] [--size small] [--slo-p99-ms X]\n"
+        "       [--repetitions N] [--seed S] [--frontier-out FILE]\n"
+        "       [--start-rate R] [--max-rate R] [--growth G]\n"
+        "       [--resolution R] [--windows N] [--confirm K]\n"
+        "       [--max-steps N] [--max-duration-s S]\n");
     return 0;
   }
+  if (flags.GetBool("frontier")) return RunFrontierMode(flags);
 
   auto runs = flags.GetInt("runs", 10);
   auto events = flags.GetInt("events", 200);

@@ -100,6 +100,32 @@
 //   --telemetry-sample N     sample 1-in-N events for stage spans
 //                            (default 64)
 //
+// Closed-loop capacity search (DESIGN.md §16): instead of replaying at a
+// fixed --rate, discover the highest rate the downstream sustains under a
+// latency SLO. A controller thread drives the CapacitySearch decision
+// engine (geometric bracketing, then bisection refinement) against
+// windowed deltas of the live telemetry hub, retargeting the emitter lanes
+// in place — RateController::Retarget re-anchors the pacing schedule, so a
+// rate change never produces a catch-up burst. When the search concludes
+// it stops the replay; that stop is the success path of the run.
+//   --find-capacity        enable the search (single and sharded lanes)
+//   --slo-p99-ms X         the SLO: a window violates when its latency p99
+//                          exceeds X ms (default 100)
+//   --capacity-start-rate R  first offered rate (default: --rate)
+//   --capacity-max-rate R  bracketing cap (default 1e6)
+//   --capacity-growth G    bracketing ramp factor (default 2)
+//   --capacity-resolution F  refinement stop width, relative (default 0.05)
+//   --capacity-warmup-ms M  settle time after each retarget, excluded from
+//                          measurement (default 300)
+//   --capacity-window-ms M  measurement window length (default 500)
+//   --capacity-windows N   windows per rate step (default 3)
+//   --capacity-confirm N   violating windows that flip a step (default 2)
+//   --capacity-max-steps N  hard cap on rate steps (default 32)
+//   --capacity-signal S    latency signal: auto | marker | deliver
+//                          (default auto: marker latency when markers
+//                          matched, else the deliver-stage span)
+//   --frontier-out FILE    write the gt-frontier-v1 artifact
+//
 // Distributed replay (one worker in a gt_coordinator fleet; see
 // src/distributed/ and DESIGN.md §12):
 //   --worker               run as a replay worker: everything else
@@ -114,10 +140,13 @@
 #include <sys/stat.h>
 #include <unistd.h>
 
+#include <atomic>
+#include <chrono>
 #include <cstdio>
 #include <functional>
 #include <memory>
 #include <optional>
+#include <thread>
 #include <vector>
 
 #include "common/cancellation.h"
@@ -126,6 +155,9 @@
 #include "common/string_util.h"
 #include "distributed/worker.h"
 #include "faults/chaos_sink.h"
+#include "harness/capacity/capacity_search.h"
+#include "harness/capacity/frontier.h"
+#include "harness/capacity/window_probe.h"
 #include "harness/log_record.h"
 #include "harness/report.h"
 #include "harness/run_watchdog.h"
@@ -234,6 +266,11 @@ int main(int argc, char** argv) {
        "checkpoint-every", "checkpoint-generations", "resume-from",
        "stop-after", "watchdog-ms", "crash-at", "fault-plan",
        "telemetry-out", "telemetry-period-ms", "telemetry-sample",
+       "find-capacity", "slo-p99-ms", "capacity-start-rate",
+       "capacity-max-rate", "capacity-growth", "capacity-resolution",
+       "capacity-warmup-ms", "capacity-window-ms", "capacity-windows",
+       "capacity-confirm", "capacity-max-steps", "capacity-signal",
+       "frontier-out",
        "connect-timeout-ms", "connect-attempts", "worker", "coordinator",
        "worker-id", "dial-attempts", "heartbeat-ms", "epoch-wait-ms",
        "backoff-seed", "help"});
@@ -255,7 +292,13 @@ int main(int argc, char** argv) {
         "--watchdog-ms M]\n"
         "       [--crash-at POINT[:N] --fault-plan SPEC]\n"
         "       [--telemetry-out FILE|- --telemetry-period-ms M "
-        "--telemetry-sample N]\n");
+        "--telemetry-sample N]\n"
+        "       [--find-capacity --slo-p99-ms X --capacity-start-rate R "
+        "--capacity-max-rate R --capacity-growth G "
+        "--capacity-resolution F]\n"
+        "       [--capacity-warmup-ms M --capacity-window-ms M "
+        "--capacity-windows N --capacity-confirm N --capacity-max-steps N "
+        "--capacity-signal auto|marker|deliver --frontier-out FILE]\n");
     return 0;
   }
 
@@ -311,6 +354,39 @@ int main(int argc, char** argv) {
     return Fail(
         Status::InvalidArgument("--checkpoint-generations must be >= 1"));
   }
+
+  // Closed-loop capacity search flags. The controller itself is built
+  // later, once the telemetry hub and emitter lanes exist.
+  const bool find_capacity = flags.GetBool("find-capacity");
+  auto slo_p99_ms = flags.GetDouble("slo-p99-ms", 100.0);
+  auto capacity_start = flags.GetDouble("capacity-start-rate", *rate);
+  auto capacity_max = flags.GetDouble("capacity-max-rate", 1e6);
+  auto capacity_growth = flags.GetDouble("capacity-growth", 2.0);
+  auto capacity_resolution = flags.GetDouble("capacity-resolution", 0.05);
+  auto capacity_warmup_ms = flags.GetInt("capacity-warmup-ms", 300);
+  auto capacity_window_ms = flags.GetInt("capacity-window-ms", 500);
+  auto capacity_windows = flags.GetInt("capacity-windows", 3);
+  auto capacity_confirm = flags.GetInt("capacity-confirm", 2);
+  auto capacity_max_steps = flags.GetInt("capacity-max-steps", 32);
+  for (const Status& st :
+       {slo_p99_ms.status(), capacity_start.status(), capacity_max.status(),
+        capacity_growth.status(), capacity_resolution.status(),
+        capacity_warmup_ms.status(), capacity_window_ms.status(),
+        capacity_windows.status(), capacity_confirm.status(),
+        capacity_max_steps.status()}) {
+    if (!st.ok()) return Fail(st);
+  }
+  CapacityProbe::Signal capacity_signal = CapacityProbe::Signal::kAuto;
+  const std::string signal_name = flags.GetString("capacity-signal", "auto");
+  if (signal_name == "marker") {
+    capacity_signal = CapacityProbe::Signal::kMarker;
+  } else if (signal_name == "deliver") {
+    capacity_signal = CapacityProbe::Signal::kDeliver;
+  } else if (signal_name != "auto") {
+    return Fail(
+        Status::InvalidArgument("unknown --capacity-signal: " + signal_name));
+  }
+  const std::string frontier_out = flags.GetString("frontier-out", "");
 
   // Scripted process faults: environment first (GT_FAULT_PLAN / GT_CRASH_AT
   // — how a supervisor arms a child without touching its argv), then the
@@ -531,17 +607,24 @@ int main(int argc, char** argv) {
   std::unique_ptr<RunTelemetry> telemetry;
   std::FILE* telemetry_file = nullptr;
   std::optional<TelemetrySnapshotter> snapshotter;
-  if (!telemetry_out.empty()) {
+  // The capacity probe reads the same hub the snapshotter does, so
+  // --find-capacity creates one even without --telemetry-out.
+  if (!telemetry_out.empty() || find_capacity) {
     if (!kTelemetryCompiled) {
       std::fprintf(stderr,
                    "gt_replay: built with GT_TELEMETRY=OFF; --telemetry-out "
-                   "will report only delivered counts\n");
+                   "will report only delivered counts%s\n",
+                   find_capacity ? " and --find-capacity has no latency "
+                                   "signal (every window reads as idle)"
+                                 : "");
     }
     RunTelemetryOptions topt;
     topt.shards = shards;
     topt.sample_every = static_cast<uint32_t>(
         *telemetry_sample > 0 ? *telemetry_sample : 1);
     telemetry = std::make_unique<RunTelemetry>(topt);
+  }
+  if (!telemetry_out.empty()) {
     SnapshotterOptions sopt;
     sopt.period = Duration::FromMillis(
         *telemetry_period_ms > 0 ? *telemetry_period_ms : 500);
@@ -572,11 +655,18 @@ int main(int argc, char** argv) {
                  "gt_replay: --wire-format v2 with --chaos-*/--retry-* "
                  "sinks: decorated sinks decline v2; output stays CSV\n");
   }
+  // Live rate retargeting: the capacity controller publishes new offered
+  // rates here; the lanes poll it and re-anchor their pacing in place.
+  std::atomic<double> rate_target{find_capacity ? *capacity_start : *rate};
   std::optional<StreamReplayer> single;
   std::optional<ShardedReplayer> sharded;
   std::function<uint64_t()> progress_fn;
   if (shards == 1 && !v2_wire) {
     options.telemetry = telemetry.get();
+    if (find_capacity) {
+      options.base_rate_eps = *capacity_start;
+      options.rate_target_eps = &rate_target;
+    }
     single.emplace(options);
     progress_fn = [&] { return single->progress(); };
   } else {
@@ -593,6 +683,10 @@ int main(int argc, char** argv) {
     sharded_options.checkpoint_rng = options.checkpoint_rng;
     sharded_options.record_sink_bytes = options.record_sink_bytes;
     sharded_options.telemetry = telemetry.get();
+    if (find_capacity) {
+      sharded_options.total_rate_eps = *capacity_start;
+      sharded_options.rate_target_eps = &rate_target;
+    }
     sharded.emplace(sharded_options);
     progress_fn = [&] { return sharded->progress(); };
   }
@@ -615,6 +709,60 @@ int main(int argc, char** argv) {
                  });
   }
 
+  // Capacity controller: drives the CapacitySearch decision engine against
+  // windowed deltas of the live hub, retargeting the lanes at each step.
+  // When the search concludes it cancels the replay — for a
+  // --find-capacity run that cancellation is the success path.
+  std::optional<CapacitySearch> search;
+  std::atomic<bool> replay_done{false};
+  std::atomic<bool> capacity_concluded{false};
+  std::thread capacity_thread;
+  MonotonicClock capacity_clock;
+  if (find_capacity) {
+    CapacitySearchOptions copt;
+    copt.slo_p99_ms = *slo_p99_ms;
+    copt.start_rate_eps = *capacity_start;
+    copt.growth = *capacity_growth;
+    copt.max_rate_eps = *capacity_max;
+    copt.resolution = *capacity_resolution;
+    copt.windows_per_step = static_cast<int>(*capacity_windows);
+    copt.confirm_violations = static_cast<int>(*capacity_confirm);
+    copt.max_steps = static_cast<int>(*capacity_max_steps);
+    search.emplace(copt);
+    const Duration warmup = Duration::FromMillis(*capacity_warmup_ms);
+    const Duration window = Duration::FromMillis(
+        *capacity_window_ms > 0 ? *capacity_window_ms : 500);
+    capacity_thread = std::thread([&, warmup, window] {
+      CapacityProbe probe(telemetry.get(), capacity_signal, &capacity_clock);
+      // Sleeps are sliced so a finished replay (stream exhausted) or a
+      // watchdog cancel stops the controller promptly; a false return
+      // means the run ended mid-search and the artifact stays incomplete.
+      auto settle = [&](Duration d) {
+        const Timestamp until = capacity_clock.Now() + d;
+        while (!replay_done.load(std::memory_order_acquire) &&
+               !cancel.cancelled() && capacity_clock.Now() < until) {
+          std::this_thread::sleep_for(std::chrono::milliseconds(10));
+        }
+        return !replay_done.load(std::memory_order_acquire) &&
+               !cancel.cancelled();
+      };
+      while (!search->done()) {
+        rate_target.store(search->current_rate_eps(),
+                          std::memory_order_relaxed);
+        if (!settle(warmup)) return;  // ramp transient, never measured
+        probe.BeginWindow();
+        for (bool concluded = false; !concluded;) {
+          if (!settle(window)) return;
+          // EndWindow re-baselines, so back-to-back windows partition the
+          // step exactly.
+          concluded = search->ReportWindow(probe.EndWindow());
+        }
+      }
+      capacity_concluded.store(true, std::memory_order_release);
+      cancel.RequestCancel("capacity search complete");
+    });
+  }
+
   std::vector<ReplayStats> per_shard_stats;
   if (snapshotter.has_value()) snapshotter->Start();
   Result<ReplayStats> stats = [&]() -> Result<ReplayStats> {
@@ -628,16 +776,19 @@ int main(int argc, char** argv) {
     return std::move(sharded_stats->aggregate);
   }();
   watchdog.Disarm();
-  if (snapshotter.has_value()) {
-    if (telemetry != nullptr &&
-        (resume.has_value() || fault_plan.write_faults_fired() > 0)) {
+  replay_done.store(true, std::memory_order_release);
+  if (capacity_thread.joinable()) capacity_thread.join();
+  if (telemetry != nullptr) {
+    if (resume.has_value() || fault_plan.write_faults_fired() > 0) {
       RecoveryCounters rec;
       rec.resumes = resume.has_value() ? 1 : 0;
       rec.checkpoint_fallbacks = resume_fallbacks;
       rec.write_faults = fault_plan.write_faults_fired();
       telemetry->UpdateRecoveryCounters(rec);
     }
-    if (telemetry != nullptr) telemetry->markers().Finish();
+    telemetry->markers().Finish();
+  }
+  if (snapshotter.has_value()) {
     snapshotter->Stop();
     if (telemetry_file != nullptr) std::fclose(telemetry_file);
   }
@@ -648,7 +799,12 @@ int main(int argc, char** argv) {
                  static_cast<unsigned long long>(
                      fault_plan.write_faults_fired()));
   }
-  if (!stats.ok()) {
+  // A cancellation raised by the concluded capacity search is this mode's
+  // normal end of run, not a failure.
+  const bool capacity_stopped_replay =
+      find_capacity && !stats.ok() && stats.status().IsCancelled() &&
+      capacity_concluded.load(std::memory_order_acquire);
+  if (!stats.ok() && !capacity_stopped_replay) {
     if (stats.status().IsCancelled() && !options.checkpoint_path.empty()) {
       std::fprintf(stderr,
                    "gt_replay: aborted; resumable checkpoint left at %s\n",
@@ -657,28 +813,30 @@ int main(int argc, char** argv) {
     return Fail(stats.status());
   }
 
-  std::fprintf(stderr,
-               "gt_replay: %zu events in %.3f s (%.0f ev/s achieved; "
-               "%zu markers, %zu controls)\n",
-               stats->events_delivered, stats->Elapsed().seconds(),
-               stats->AchievedRateEps(), stats->markers, stats->controls);
-  for (size_t s = 0; s < per_shard_stats.size(); ++s) {
-    std::fprintf(stderr, "gt_replay:   shard %zu: %zu events (%.0f ev/s)\n",
-                 s, per_shard_stats[s].events_delivered,
-                 per_shard_stats[s].AchievedRateEps());
-  }
-  if (stats->stopped_early) {
-    std::fprintf(stderr, "gt_replay: stopped early at --stop-after %llu\n",
-                 static_cast<unsigned long long>(options.stop_after_events));
-  }
-  if (stats->checkpoints_written > 0) {
-    std::fprintf(stderr, "gt_replay: %llu checkpoint(s) -> %s\n",
-                 static_cast<unsigned long long>(stats->checkpoints_written),
-                 options.checkpoint_path.c_str());
-  }
-  if (chaos_enabled || resilience_enabled) {
-    std::fprintf(stderr, "gt_replay: faults: %s\n",
-                 stats->telemetry.ToString().c_str());
+  if (stats.ok()) {
+    std::fprintf(stderr,
+                 "gt_replay: %zu events in %.3f s (%.0f ev/s achieved; "
+                 "%zu markers, %zu controls)\n",
+                 stats->events_delivered, stats->Elapsed().seconds(),
+                 stats->AchievedRateEps(), stats->markers, stats->controls);
+    for (size_t s = 0; s < per_shard_stats.size(); ++s) {
+      std::fprintf(stderr, "gt_replay:   shard %zu: %zu events (%.0f ev/s)\n",
+                   s, per_shard_stats[s].events_delivered,
+                   per_shard_stats[s].AchievedRateEps());
+    }
+    if (stats->stopped_early) {
+      std::fprintf(stderr, "gt_replay: stopped early at --stop-after %llu\n",
+                   static_cast<unsigned long long>(options.stop_after_events));
+    }
+    if (stats->checkpoints_written > 0) {
+      std::fprintf(stderr, "gt_replay: %llu checkpoint(s) -> %s\n",
+                   static_cast<unsigned long long>(stats->checkpoints_written),
+                   options.checkpoint_path.c_str());
+    }
+    if (chaos_enabled || resilience_enabled) {
+      std::fprintf(stderr, "gt_replay: faults: %s\n",
+                   stats->telemetry.ToString().c_str());
+    }
   }
   if (telemetry != nullptr) {
     const auto stages = telemetry->MergedStageHistograms();
@@ -691,16 +849,51 @@ int main(int argc, char** argv) {
     const std::string table = PercentileTable("stage", rows);
     std::fprintf(stderr, "gt_replay: sampled stage spans (1 in %u events):\n%s",
                  telemetry->sample_every(), table.c_str());
-    const std::string dest =
-        telemetry_out == "-" ? std::string("stderr") : telemetry_out;
-    std::fprintf(stderr, "gt_replay: %llu telemetry snapshot(s) -> %s\n",
-                 static_cast<unsigned long long>(
-                     snapshotter->snapshots_emitted()),
-                 dest.c_str());
+    if (snapshotter.has_value()) {
+      const std::string dest =
+          telemetry_out == "-" ? std::string("stderr") : telemetry_out;
+      std::fprintf(stderr, "gt_replay: %llu telemetry snapshot(s) -> %s\n",
+                   static_cast<unsigned long long>(
+                       snapshotter->snapshots_emitted()),
+                   dest.c_str());
+    }
+  }
+
+  if (find_capacity) {
+    if (!capacity_concluded.load(std::memory_order_acquire)) {
+      std::fprintf(stderr,
+                   "gt_replay: capacity search ran out of stream before "
+                   "concluding — artifact marked incomplete; use a longer "
+                   "input or smaller --capacity-window-ms\n");
+    }
+    const std::string sut = !tcp_spec.empty() ? "tcp:" + tcp_spec
+                            : !out_prefix.empty() ? "file"
+                                                  : "stdout";
+    const FrontierArtifact artifact = FrontierFromSearch(*search, sut, in);
+    std::fprintf(stderr, "%s", FormatFrontierTable(artifact).c_str());
+    std::fprintf(stderr,
+                 "gt_replay: sustainable rate %.0f ev/s (offered %.0f) "
+                 "under p99 SLO %.1f ms after %zu step(s)%s\n",
+                 artifact.sustainable_rate_eps,
+                 artifact.sustainable_offered_eps, artifact.slo_p99_ms,
+                 artifact.step_schedule.size(),
+                 artifact.complete ? "" : " (did not converge)");
+    if (!frontier_out.empty()) {
+      std::FILE* f = std::fopen(frontier_out.c_str(), "w");
+      if (f == nullptr) {
+        return Fail(Status::IoError("cannot create " + frontier_out));
+      }
+      const std::string json = artifact.ToJson();
+      std::fwrite(json.data(), 1, json.size(), f);
+      std::fputc('\n', f);
+      std::fclose(f);
+      std::fprintf(stderr, "gt_replay: frontier artifact -> %s\n",
+                   frontier_out.c_str());
+    }
   }
 
   const std::string marker_log = flags.GetString("marker-log", "");
-  if (!marker_log.empty()) {
+  if (!marker_log.empty() && stats.ok()) {
     std::FILE* f = std::fopen(marker_log.c_str(), "w");
     if (f == nullptr) {
       return Fail(Status::IoError("cannot create " + marker_log));

@@ -24,6 +24,11 @@
 // "gt-telemetry-v1" snapshot, seq must increase by 1 from 0, elapsed_s and
 // the cumulative events counter must be non-decreasing.
 //
+// --frontier validates a gt-frontier-v1 capacity artifact (gt_campaign
+// --frontier / gt_replay --find-capacity): schema fields, strictly
+// increasing offered rates, CI95 bounds bracketing each mean, near-SLO
+// latency monotonicity, and the sustainable rate inside its own band.
+//
 // Exit code 0 for a valid stream, 2 for violations, 1 for usage/IO errors.
 #include <cstdio>
 
@@ -32,6 +37,7 @@
 #include <vector>
 
 #include "common/flags.h"
+#include "harness/capacity/frontier.h"
 #include "harness/telemetry/snapshot.h"
 #include "stream/statistics.h"
 #include "stream/stream_file.h"
@@ -54,14 +60,15 @@ int main(int argc, char** argv) {
   auto flags_or = Flags::Parse(argc, argv);
   if (!flags_or.ok()) return Fail(flags_or.status());
   const Flags& flags = *flags_or;
-  const auto unknown = flags.UnknownFlags(
-      {"in", "max-violations", "quiet", "strict", "telemetry", "help"});
+  const auto unknown = flags.UnknownFlags({"in", "max-violations", "quiet",
+                                           "strict", "telemetry", "frontier",
+                                           "help"});
   if (!unknown.empty()) {
     return Fail(Status::InvalidArgument("unknown flag --" + unknown[0]));
   }
   if (flags.GetBool("help")) {
     std::printf("usage: gt_validate --in FILE [--max-violations N] "
-                "[--quiet] [--strict | --telemetry]\n");
+                "[--quiet] [--strict | --telemetry | --frontier]\n");
     return 0;
   }
 
@@ -70,6 +77,35 @@ int main(int argc, char** argv) {
 
   auto max_violations = flags.GetInt("max-violations", 10);
   if (!max_violations.ok()) return Fail(max_violations.status());
+
+  if (flags.GetBool("frontier")) {
+    std::ifstream file(in);
+    if (!file.good()) return Fail(Status::IoError("cannot read " + in));
+    std::string text((std::istreambuf_iterator<char>(file)),
+                     std::istreambuf_iterator<char>());
+    auto artifact = FrontierArtifact::FromJson(text);
+    if (!artifact.ok()) {
+      std::printf("gt_validate: %s does not parse as %s: %s\n", in.c_str(),
+                  std::string(kFrontierSchema).c_str(),
+                  artifact.status().ToString().c_str());
+      return 2;
+    }
+    if (Status st = ValidateFrontier(*artifact); !st.ok()) {
+      std::printf("gt_validate: frontier invariant violated: %s\n",
+                  st.ToString().c_str());
+      return 2;
+    }
+    std::printf(
+        "gt_validate: OK — %s frontier for %s/%s: %zu point(s), %zu "
+        "step(s), sustainable %.0f ev/s (offered %.0f) under p99 SLO "
+        "%.1f ms%s\n",
+        std::string(kFrontierSchema).c_str(), artifact->sut.c_str(),
+        artifact->workload.c_str(), artifact->points.size(),
+        artifact->step_schedule.size(), artifact->sustainable_rate_eps,
+        artifact->sustainable_offered_eps, artifact->slo_p99_ms,
+        artifact->complete ? "" : " (search did not converge)");
+    return 0;
+  }
 
   if (flags.GetBool("telemetry")) {
     std::ifstream file(in);
